@@ -1,0 +1,134 @@
+// Repository-level benchmarks: one per table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index). Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark regenerates its experiment and reports the headline
+// metric as a custom unit so `go test -bench` output doubles as a results
+// table. Figures run in fast mode under -short-like constraints; the
+// crophe-bench command runs them at full coverage.
+package crophe
+
+import (
+	"strings"
+	"testing"
+
+	"crophe/internal/bench"
+)
+
+func BenchmarkTable1Configs(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = bench.Table1()
+	}
+	if !strings.Contains(out, "CROPHE-36") {
+		b.Fatal("table 1 incomplete")
+	}
+}
+
+func BenchmarkTable2AreaPower(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = bench.Table2()
+	}
+	if !strings.Contains(out, "Total") {
+		b.Fatal("table 2 incomplete")
+	}
+}
+
+func BenchmarkTable3Params(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = bench.Table3()
+	}
+	if !strings.Contains(out, "CraterLake") {
+		b.Fatal("table 3 incomplete")
+	}
+}
+
+func BenchmarkTable4Utilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.Util.PE*100, "PE%_"+sanitize(r.Design))
+			}
+		}
+	}
+}
+
+func BenchmarkFigure9Overall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Figure9(true)
+		if i == 0 {
+			for pairing, sps := range bench.SpeedupSummary(rows) {
+				for j, sp := range sps {
+					_ = j
+					b.ReportMetric(sp, "speedup_"+sanitize(pairing))
+					break // one headline metric per pairing
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFigure10SramSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Figure10(true)
+		if i == 0 && len(rows) > 0 {
+			b.ReportMetric(rows[0].Speedup, "speedup_largest_sram")
+			b.ReportMetric(rows[len(rows)-1].Speedup, "speedup_smallest_sram")
+		}
+	}
+}
+
+func BenchmarkFigure11Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Figure11(true)
+		if i == 0 {
+			var mad, full float64
+			for _, r := range rows {
+				switch r.Design {
+				case "MAD":
+					mad = r.TimeSec
+				case "CROPHE":
+					full = r.TimeSec
+				}
+			}
+			if full > 0 {
+				b.ReportMetric(mad/full, "ladder_speedup")
+			}
+		}
+	}
+}
+
+func sanitize(s string) string {
+	s = strings.ReplaceAll(s, " ", "")
+	s = strings.ReplaceAll(s, "+", "_")
+	return s
+}
+
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Ablations()
+		if i == 0 {
+			// Report the proportional-vs-uniform PE allocation delta.
+			var prop, uni float64
+			for _, r := range rows {
+				if r.Study == "pe-alloc" {
+					if r.Setting == "uniform split" {
+						uni = r.TimeSec
+					} else {
+						prop = r.TimeSec
+					}
+				}
+			}
+			if prop > 0 {
+				b.ReportMetric(uni/prop, "pe_alloc_gain")
+			}
+		}
+	}
+}

@@ -1,0 +1,36 @@
+// Command crophe-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	crophe-bench [-fast] [-exp table1|table2|table3|table4|fig9|fig10|fig11|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"crophe/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id or 'all'")
+	fast := flag.Bool("fast", false, "reduced coverage for quick runs")
+	flag.Parse()
+
+	ids := bench.Experiments()
+	if *exp != "all" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		out, err := bench.Run(id, *fast)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crophe-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

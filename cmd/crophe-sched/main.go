@@ -1,0 +1,124 @@
+// Command crophe-sched runs the CROPHE scheduler on a workload and prints
+// the discovered dataflow scheme: per-segment groups, pipelined edges,
+// shared auxiliaries, traffic and the end-to-end time estimate.
+//
+// Usage:
+//
+//	crophe-sched [-hw crophe64|crophe36|bts|ark|sharp|cl]
+//	             [-workload bootstrapping|helr|resnet20|resnet110]
+//	             [-dataflow crophe|mad] [-nttdec] [-hybrot] [-clusters N]
+//	             [-sram MB] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"crophe/internal/arch"
+	"crophe/internal/sched"
+	"crophe/internal/workload"
+)
+
+func main() {
+	hwName := flag.String("hw", "crophe64", "hardware configuration")
+	wlName := flag.String("workload", "bootstrapping", "benchmark workload")
+	dfName := flag.String("dataflow", "crophe", "scheduling policy: crophe or mad")
+	nttdec := flag.Bool("nttdec", true, "enable NTT decomposition (§V-B)")
+	hybrot := flag.Bool("hybrot", true, "enable hybrid rotation (§V-C)")
+	clusters := flag.Int("clusters", 1, "CROPHE-p cluster count")
+	sramMB := flag.Float64("sram", 0, "override global SRAM capacity (MB)")
+	verbose := flag.Bool("v", false, "print per-segment detail")
+	flag.Parse()
+
+	hw := lookupHW(*hwName)
+	if hw == nil {
+		fmt.Fprintf(os.Stderr, "crophe-sched: unknown hardware %q\n", *hwName)
+		os.Exit(1)
+	}
+	if *sramMB > 0 {
+		hw = hw.WithSRAM(*sramMB)
+	}
+	params := arch.ParamsFor(hw)
+	if hw.Homogeneous {
+		// CROPHE variants default to the matching baseline's parameters.
+		if hw.WordBits == 64 {
+			params = arch.ParamsARK
+		} else {
+			params = arch.ParamsSHARP
+		}
+	}
+
+	factory := lookupWorkload(*wlName, params)
+	if factory == nil {
+		fmt.Fprintf(os.Stderr, "crophe-sched: unknown workload %q\n", *wlName)
+		os.Exit(1)
+	}
+
+	df := sched.DataflowCROPHE
+	if *dfName == "mad" {
+		df = sched.DataflowMAD
+	}
+	d := sched.Design{
+		Name: hw.Name, HW: hw, Dataflow: df,
+		NTTDec:    *nttdec && df == sched.DataflowCROPHE,
+		HybridRot: *hybrot && df == sched.DataflowCROPHE,
+		Clusters:  *clusters,
+	}
+	res := d.Evaluate(factory)
+	fmt.Println(res.String())
+	fmt.Printf("utilisation: PE %.1f%%  NoC %.1f%%  SRAM %.1f%%  DRAM %.1f%%\n",
+		res.Util.PE*100, res.Util.NoC*100, res.Util.SRAM*100, res.Util.DRAM*100)
+
+	if *verbose {
+		for _, seg := range res.Segments {
+			pipelined, shared := 0, 0
+			for _, g := range seg.Groups {
+				pipelined += g.Pipelined
+				shared += g.AuxShared
+			}
+			fmt.Printf("  segment %-16s ×%-4d %8.3f ms/run, %3d groups, %4d pipelined edges, DRAM %7.1f MB/run\n",
+				seg.Name, seg.Count, seg.TimeSec*1e3, len(seg.Groups), pipelined, seg.Traffic.DRAM/1e6)
+		}
+	}
+}
+
+func lookupHW(name string) *arch.HWConfig {
+	switch name {
+	case "crophe64":
+		return arch.CROPHE64
+	case "crophe36":
+		return arch.CROPHE36
+	case "bts":
+		return arch.BTS
+	case "ark":
+		return arch.ARK
+	case "sharp":
+		return arch.SHARP
+	case "cl", "cl+":
+		return arch.CLPlus
+	}
+	return nil
+}
+
+func lookupWorkload(name string, p arch.ParamSet) sched.WorkloadFactory {
+	switch name {
+	case "bootstrapping", "boot":
+		return func(m workload.RotMode, r int) *workload.Workload {
+			return workload.Bootstrapping(p, m, r)
+		}
+	case "helr", "helr1024":
+		return func(m workload.RotMode, r int) *workload.Workload {
+			return workload.HELR(p, m, r)
+		}
+	case "resnet20", "resnet-20":
+		return func(m workload.RotMode, r int) *workload.Workload {
+			return workload.ResNet(p, 20, m, r)
+		}
+	case "resnet110", "resnet-110":
+		return func(m workload.RotMode, r int) *workload.Workload {
+			return workload.ResNet(p, 110, m, r)
+		}
+	}
+	return nil
+}

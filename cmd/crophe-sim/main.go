@@ -1,0 +1,84 @@
+// Command crophe-sim schedules a workload and executes it on the
+// cycle-level accelerator simulator, printing refined timing and resource
+// utilisation.
+//
+// Usage:
+//
+//	crophe-sim [-hw crophe64|crophe36|bts|ark|sharp|cl]
+//	           [-workload bootstrapping|helr|resnet20|resnet110]
+//	           [-dataflow crophe|mad] [-clusters N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"crophe/internal/arch"
+	"crophe/internal/sched"
+	"crophe/internal/sim"
+	"crophe/internal/workload"
+)
+
+func main() {
+	hwName := flag.String("hw", "crophe64", "hardware configuration")
+	wlName := flag.String("workload", "bootstrapping", "benchmark workload")
+	dfName := flag.String("dataflow", "crophe", "scheduling policy")
+	clusters := flag.Int("clusters", 1, "CROPHE-p cluster count")
+	flag.Parse()
+
+	hw := map[string]*arch.HWConfig{
+		"crophe64": arch.CROPHE64, "crophe36": arch.CROPHE36,
+		"bts": arch.BTS, "ark": arch.ARK, "sharp": arch.SHARP, "cl": arch.CLPlus,
+	}[*hwName]
+	if hw == nil {
+		fmt.Fprintf(os.Stderr, "crophe-sim: unknown hardware %q\n", *hwName)
+		os.Exit(1)
+	}
+	params := arch.ParamsFor(hw)
+	if hw.Homogeneous {
+		if hw.WordBits == 64 {
+			params = arch.ParamsARK
+		} else {
+			params = arch.ParamsSHARP
+		}
+	}
+
+	var w *workload.Workload
+	mode := workload.RotHoisted
+	switch *wlName {
+	case "bootstrapping", "boot":
+		w = workload.Bootstrapping(params, mode, 0)
+	case "helr", "helr1024":
+		w = workload.HELR(params, mode, 0)
+	case "resnet20", "resnet-20":
+		w = workload.ResNet(params, 20, mode, 0)
+	case "resnet110", "resnet-110":
+		w = workload.ResNet(params, 110, mode, 0)
+	default:
+		fmt.Fprintf(os.Stderr, "crophe-sim: unknown workload %q\n", *wlName)
+		os.Exit(1)
+	}
+
+	df := sched.DataflowCROPHE
+	if *dfName == "mad" {
+		df = sched.DataflowMAD
+	}
+	opt := sched.DefaultOptions(df)
+	opt.Clusters = *clusters
+	if df == sched.DataflowCROPHE {
+		w = w.DecomposeNTTs()
+	}
+
+	s := sched.New(hw, opt).Run(w)
+	r, err := sim.New(hw).SimulateSchedule(w, s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crophe-sim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(r.Describe())
+	fmt.Printf("analytical schedule: %.3f ms; cycle simulation: %.3f ms\n",
+		s.TimeSec*1e3, r.TimeSec*1e3)
+	fmt.Printf("traffic: DRAM %.1f MB, SRAM %.1f MB, NoC %.1f MB\n",
+		r.Traffic.DRAM/1e6, r.Traffic.SRAM/1e6, r.Traffic.NoC/1e6)
+}

@@ -1,0 +1,134 @@
+// Package crophe is the public facade of the CROPHE reproduction: a
+// hardware–software co-design for cross-operator dataflow optimisation on
+// fully homomorphic encryption accelerators (HPCA 2026).
+//
+// The package re-exports the main entry points of the internal modules:
+//
+//   - CKKS — the functional RNS-CKKS library (encode, encrypt, HAdd,
+//     HMult, HRot, rescale, bootstrapping kernels);
+//   - Workloads — operator-graph generators for the paper's benchmarks;
+//   - Scheduler — the CROPHE cross-operator dataflow search plus the MAD
+//     baseline policy;
+//   - Simulator — the cycle-level accelerator model;
+//   - Experiments — generators for every table and figure of the paper.
+//
+// Quick start (see examples/quickstart for a runnable version):
+//
+//	params, _ := crophe.NewTestCKKSParameters(10, 3, 2)
+//	design := crophe.CROPHEDesign(crophe.HWCROPHE64)
+//	res := design.Evaluate(crophe.BootstrappingWorkload(crophe.ParamsARK))
+package crophe
+
+import (
+	"crophe/internal/arch"
+	"crophe/internal/bench"
+	"crophe/internal/ckks"
+	"crophe/internal/sched"
+	"crophe/internal/sim"
+	"crophe/internal/workload"
+)
+
+// Re-exported CKKS types.
+type (
+	// CKKSParameters fixes a CKKS instance.
+	CKKSParameters = ckks.Parameters
+	// Ciphertext is a CKKS ciphertext.
+	Ciphertext = ckks.Ciphertext
+	// Encoder maps complex vectors to plaintexts.
+	Encoder = ckks.Encoder
+	// Evaluator executes homomorphic operations.
+	Evaluator = ckks.Evaluator
+	// KeyGenerator creates key material.
+	KeyGenerator = ckks.KeyGenerator
+)
+
+// NewTestCKKSParameters builds a small functional parameter set
+// (logN, levels, alpha).
+func NewTestCKKSParameters(logN, levels, alpha int) (*CKKSParameters, error) {
+	return ckks.TestParameters(logN, levels, alpha)
+}
+
+// Hardware configurations of Table I.
+var (
+	HWCROPHE64 = arch.CROPHE64
+	HWCROPHE36 = arch.CROPHE36
+	HWBTS      = arch.BTS
+	HWARK      = arch.ARK
+	HWSHARP    = arch.SHARP
+	HWCLPlus   = arch.CLPlus
+)
+
+// Parameter sets of Table III.
+var (
+	ParamsBTS   = arch.ParamsBTS
+	ParamsARK   = arch.ParamsARK
+	ParamsSHARP = arch.ParamsSHARP
+	ParamsCL    = arch.ParamsCL
+)
+
+// Scheduling types.
+type (
+	// Design is one evaluated design point (hardware + policy + flags).
+	Design = sched.Design
+	// Schedule is a scheduling result.
+	Schedule = sched.Schedule
+	// HWConfig is a hardware configuration.
+	HWConfig = arch.HWConfig
+	// ParamSet is a CKKS parameter set for workload generation.
+	ParamSet = arch.ParamSet
+	// Workload is an operator-graph benchmark.
+	Workload = workload.Workload
+	// WorkloadFactory builds a workload per rotation structure.
+	WorkloadFactory = sched.WorkloadFactory
+	// SimResult is a cycle-simulation result.
+	SimResult = sim.Result
+)
+
+// CROPHEDesign returns the full CROPHE design point (fine-grained
+// dataflow + NTT decomposition + hybrid rotation) on the given hardware.
+func CROPHEDesign(hw *HWConfig) Design {
+	return Design{
+		Name: hw.Name, HW: hw,
+		Dataflow: sched.DataflowCROPHE, NTTDec: true, HybridRot: true,
+	}
+}
+
+// MADDesign returns the prior-work MAD policy on the given hardware.
+func MADDesign(hw *HWConfig) Design {
+	return Design{Name: hw.Name + "+MAD", HW: hw, Dataflow: sched.DataflowMAD}
+}
+
+// BootstrappingWorkload returns the bootstrapping benchmark factory.
+func BootstrappingWorkload(p ParamSet) WorkloadFactory {
+	return func(m workload.RotMode, r int) *Workload {
+		return workload.Bootstrapping(p, m, r)
+	}
+}
+
+// HELRWorkload returns the HELR1024 benchmark factory.
+func HELRWorkload(p ParamSet) WorkloadFactory {
+	return func(m workload.RotMode, r int) *Workload {
+		return workload.HELR(p, m, r)
+	}
+}
+
+// ResNetWorkload returns the encrypted ResNet benchmark factory.
+func ResNetWorkload(p ParamSet, layers int) WorkloadFactory {
+	return func(m workload.RotMode, r int) *Workload {
+		return workload.ResNet(p, layers, m, r)
+	}
+}
+
+// Simulate runs the cycle-level simulator on a schedule.
+func Simulate(hw *HWConfig, w *Workload, s *Schedule) (*SimResult, error) {
+	return sim.New(hw).SimulateSchedule(w, s)
+}
+
+// RunExperiment regenerates a paper table or figure by id (table1..table4,
+// fig9..fig11). fast trades coverage for runtime.
+func RunExperiment(id string, fast bool) (string, error) {
+	return bench.Run(id, fast)
+}
+
+// Experiments lists the experiment ids.
+func Experiments() []string { return bench.Experiments() }

@@ -1,0 +1,97 @@
+// Encrypted matrix–vector multiplication with the BSGS method of
+// Algorithm 1 — the PtMatVecMult kernel that dominates bootstrapping —
+// comparing the three baby-step rotation strategies of Figure 8
+// (Min-KS, Hoisting, Hybrid) on the same computation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/cmplx"
+	"math/rand"
+
+	"crophe/internal/boot"
+	"crophe/internal/ckks"
+)
+
+func main() {
+	params, err := ckks.TestParameters(7, 3, 2) // 64 slots
+	if err != nil {
+		log.Fatal(err)
+	}
+	slots := params.Slots()
+
+	// A random dense matrix and input vector.
+	rng := rand.New(rand.NewSource(7))
+	m := make([][]complex128, slots)
+	for i := range m {
+		m[i] = make([]complex128, slots)
+		for j := range m[i] {
+			m[i][j] = complex(rng.Float64()*2-1, 0)
+		}
+	}
+	lt, err := boot.NewLinearTransform(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BSGS split: n = %d = %d × %d, %d diagonals\n",
+		slots, lt.N1, lt.N2, lt.NumDiagonals())
+
+	// Key material: the BSGS rotations plus what each strategy needs.
+	rotSet := map[int]bool{}
+	for _, r := range lt.Rotations() {
+		rotSet[r] = true
+	}
+	strategies := []boot.RotationStrategy{
+		boot.MinKS{}, boot.Hoisting{}, boot.Hybrid{RHyb: 4},
+	}
+	for _, s := range strategies {
+		for _, r := range s.Keys(lt.N1) {
+			rotSet[r] = true
+		}
+	}
+	var rotations []int
+	for r := range rotSet {
+		rotations = append(rotations, r)
+	}
+
+	crand := ckks.NewTestRand(99)
+	kg := ckks.NewKeyGenerator(params, crand)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	keys := kg.GenEvaluationKeySet(sk, rotations)
+	enc := ckks.NewEncoder(params)
+	encryptor := ckks.NewEncryptor(params, pk, crand)
+	decryptor := ckks.NewDecryptor(params, sk)
+	eval := ckks.NewEvaluator(params, keys)
+
+	v := make([]complex128, slots)
+	for i := range v {
+		v[i] = complex(rng.Float64()*2-1, 0)
+	}
+	want := lt.Apply(v)
+
+	ct, err := ckks.EncryptAtLevel(enc, encryptor, v, params.MaxLevel())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, s := range strategies {
+		out, err := lt.Evaluate(eval, enc, ct, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got := enc.Decode(decryptor.Decrypt(out))
+		var worst float64
+		for i := range want {
+			if e := cmplx.Abs(got[i] - want[i]); e > worst {
+				worst = e
+			}
+		}
+		ops := boot.CountOps(s, lt.N1)
+		fmt.Printf("%-12s max error %.2e, %2d key-switches, %2d distinct evks\n",
+			s.Name(), worst, ops.KeySwitches, ops.DistinctEvk)
+	}
+	fmt.Println("All three strategies compute the same M×v — they differ " +
+		"only in dataflow, which is what CROPHE's hybrid rotation exploits.")
+}

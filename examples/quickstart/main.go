@@ -1,0 +1,89 @@
+// Quickstart: encrypt a vector, compute homomorphically (add, multiply,
+// rotate), decrypt, and check the results against plaintext arithmetic —
+// the CKKS substrate every CROPHE workload runs on.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/cmplx"
+
+	"crophe/internal/ckks"
+)
+
+func main() {
+	// A small but fully functional parameter set: ring degree 2^10,
+	// 3 rescaling levels, key-switching digits of 2 limbs.
+	params, err := ckks.TestParameters(10, 3, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CKKS: N=%d, slots=%d, L=%d, dnum=%d\n",
+		params.N(), params.Slots(), params.MaxLevel(), params.DNum())
+
+	rng := ckks.NewTestRand(2026)
+	kg := ckks.NewKeyGenerator(params, rng)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	keys := kg.GenEvaluationKeySet(sk, []int{1, 4}) // rotation keys for r=1, r=4
+
+	enc := ckks.NewEncoder(params)
+	encryptor := ckks.NewEncryptor(params, pk, rng)
+	decryptor := ckks.NewDecryptor(params, sk)
+	eval := ckks.NewEvaluator(params, keys)
+
+	// Two messages.
+	x := make([]complex128, params.Slots())
+	y := make([]complex128, params.Slots())
+	for i := range x {
+		x[i] = complex(float64(i%7)/10, 0)
+		y[i] = complex(float64(i%5)/10, 0)
+	}
+	ctX, err := ckks.EncryptAtLevel(enc, encryptor, x, params.MaxLevel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctY, err := ckks.EncryptAtLevel(enc, encryptor, y, params.MaxLevel())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// HAdd.
+	sum, err := eval.Add(ctX, ctY)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("x + y", enc.Decode(decryptor.Decrypt(sum)), func(i int) complex128 { return x[i] + y[i] })
+
+	// HMult + HRescale.
+	prod, err := eval.MulRelin(ctX, ctY)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if prod, err = eval.Rescale(prod); err != nil {
+		log.Fatal(err)
+	}
+	report("x * y", enc.Decode(decryptor.Decrypt(prod)), func(i int) complex128 { return x[i] * y[i] })
+
+	// HRot by 4 slots.
+	rot, err := eval.Rotate(ctX, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := params.Slots()
+	report("rot(x, 4)", enc.Decode(decryptor.Decrypt(rot)), func(i int) complex128 { return x[(i+4)%n] })
+}
+
+func report(name string, got []complex128, want func(int) complex128) {
+	var worst float64
+	for i := range got {
+		if e := cmplx.Abs(got[i] - want(i)); e > worst {
+			worst = e
+		}
+	}
+	fmt.Printf("%-12s max error %.2e  (first slots:", name, worst)
+	for i := 0; i < 4; i++ {
+		fmt.Printf(" %.3f", real(got[i]))
+	}
+	fmt.Println(" ...)")
+}

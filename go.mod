@@ -1,0 +1,3 @@
+module crophe
+
+go 1.22

@@ -1,0 +1,151 @@
+package arch
+
+import "math"
+
+// The area/power model replaces the paper's RTL + FN-CACTI + Orion 3 flow
+// with per-component coefficients at 7 nm, calibrated so that the
+// CROPHE-36 breakdown reproduces Table II and the CROPHE-64 totals match
+// Table I. Logic area scales quadratically with word width (multiplier
+// arrays), register files and SRAM linearly with capacity, and the NoC
+// with PE count and link width.
+
+// Component is one row of the Table II breakdown.
+type Component struct {
+	Name    string
+	AreaMM2 float64
+	PowerW  float64
+}
+
+// PEBreakdown is the per-PE portion of Table II (in µm² / mW).
+type PEBreakdown struct {
+	Multipliers Component
+	AddersSubs  Component
+	RegFile     Component
+	InterLane   Component
+}
+
+// Total sums the per-PE components.
+func (p PEBreakdown) Total() Component {
+	return Component{
+		Name:    "PE",
+		AreaMM2: p.Multipliers.AreaMM2 + p.AddersSubs.AreaMM2 + p.RegFile.AreaMM2 + p.InterLane.AreaMM2,
+		PowerW:  p.Multipliers.PowerW + p.AddersSubs.PowerW + p.RegFile.PowerW + p.InterLane.PowerW,
+	}
+}
+
+// ChipBreakdown is the chip-level portion of Table II.
+type ChipBreakdown struct {
+	PEs       Component
+	NoC       Component
+	GlobalBuf Component
+	Transpose Component
+	HBMPHY    Component
+}
+
+// Total sums the chip-level components.
+func (c ChipBreakdown) Total() Component {
+	return Component{
+		Name:    "Total",
+		AreaMM2: c.PEs.AreaMM2 + c.NoC.AreaMM2 + c.GlobalBuf.AreaMM2 + c.Transpose.AreaMM2 + c.HBMPHY.AreaMM2,
+		PowerW:  c.PEs.PowerW + c.NoC.PowerW + c.GlobalBuf.PowerW + c.Transpose.PowerW + c.HBMPHY.PowerW,
+	}
+}
+
+// Calibration constants: Table II values for CROPHE-36 (word = 36 bit,
+// 256 lanes, 64 kB RF, 128 PEs, 180 MB buffer, 8 MB transpose unit).
+const (
+	refWordBits = 36.0
+	refLanes    = 256.0
+
+	// Per-PE, µm² and mW at the reference point.
+	refMulArea  = 337650.31
+	refMulPower = 388.80
+	refAddArea  = 27784.55
+	refAddPower = 33.79
+	refRFArea   = 67242.02 // 64 kB
+	refRFPower  = 16.86
+	refNetArea  = 15806.76
+	refNetPower = 58.17
+
+	// Chip-level, mm² and W at the reference point (128 PEs, 180 MB).
+	refNoCArea    = 40.70
+	refNoCPower   = 67.40
+	refBufArea    = 116.05 // 180 MB global buffer
+	refBufPower   = 15.34
+	refTransArea  = 7.38 // 8 MB transpose unit
+	refTransPower = 2.87
+	refPHYArea    = 29.60
+	refPHYPower   = 31.80
+)
+
+// PEModel computes the per-PE breakdown for a configuration.
+func PEModel(cfg *HWConfig) PEBreakdown {
+	wordScale := math.Pow(float64(cfg.WordBits)/refWordBits, 2) // multiplier array
+	wordLin := float64(cfg.WordBits) / refWordBits
+	laneScale := float64(cfg.Lanes) / refLanes
+	rfScale := cfg.RegFileKBPerPE / 64.0
+
+	return PEBreakdown{
+		Multipliers: Component{
+			Name:    "modular multipliers",
+			AreaMM2: refMulArea * wordScale * laneScale,
+			PowerW:  refMulPower * wordScale * laneScale,
+		},
+		AddersSubs: Component{
+			Name:    "modular adders/subtractors",
+			AreaMM2: refAddArea * wordLin * laneScale,
+			PowerW:  refAddPower * wordLin * laneScale,
+		},
+		RegFile: Component{
+			Name:    "register file",
+			AreaMM2: refRFArea * rfScale * wordLin,
+			PowerW:  refRFPower * rfScale * wordLin,
+		},
+		InterLane: Component{
+			Name:    "inter-lane network",
+			AreaMM2: refNetArea * wordLin * laneScale,
+			PowerW:  refNetPower * wordLin * laneScale,
+		},
+	}
+}
+
+// ChipModel computes the chip-level breakdown for a configuration.
+// Per-PE numbers are in µm²/mW; chip-level numbers in mm²/W.
+func ChipModel(cfg *HWConfig) ChipBreakdown {
+	pe := PEModel(cfg).Total()
+	peScale := float64(cfg.NumPEs) / 128.0
+	wordLin := float64(cfg.WordBits) / refWordBits
+	// SRAM area grows sub-linearly with capacity (larger macros amortise
+	// peripheral logic); the 0.7 exponent is fitted between the 180 MB
+	// CROPHE-36 point of Table II and the 512 MB designs of Table I.
+	bufScale := math.Pow(cfg.SRAMCapacityMB/180.0, 0.7)
+	transScale := cfg.TransposeMB / 8.0
+
+	return ChipBreakdown{
+		PEs: Component{
+			Name:    "PEs",
+			AreaMM2: pe.AreaMM2 * float64(cfg.NumPEs) / 1e6,
+			PowerW:  pe.PowerW * float64(cfg.NumPEs) / 1e3,
+		},
+		NoC: Component{
+			Name:    "inter-PE NoC & crossbars",
+			AreaMM2: refNoCArea * peScale * wordLin,
+			PowerW:  refNoCPower * peScale * wordLin,
+		},
+		GlobalBuf: Component{
+			Name:    "global buffer",
+			AreaMM2: refBufArea * bufScale,
+			PowerW:  refBufPower * bufScale,
+		},
+		Transpose: Component{
+			Name:    "transpose unit",
+			AreaMM2: refTransArea * transScale,
+			PowerW:  refTransPower * transScale,
+		},
+		HBMPHY: Component{
+			Name:    "HBM PHY",
+			AreaMM2: refPHYArea,
+			PowerW:  refPHYPower,
+		},
+	}
+}

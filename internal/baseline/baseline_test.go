@@ -1,0 +1,81 @@
+package baseline
+
+import (
+	"testing"
+
+	"crophe/internal/sched"
+	"crophe/internal/workload"
+)
+
+func TestPairingsMatchPaper(t *testing.T) {
+	ps := Pairings()
+	if len(ps) != 4 {
+		t.Fatalf("pairings: %d", len(ps))
+	}
+	wants := []struct {
+		base, cro string
+		word      int
+	}{
+		{"BTS", "CROPHE-64", 64},
+		{"ARK", "CROPHE-64", 64},
+		{"SHARP", "CROPHE-36", 36},
+		{"CL+", "CROPHE-28", 28},
+	}
+	for i, w := range wants {
+		if ps[i].Baseline.Name != w.base || ps[i].CROPHE.Name != w.cro {
+			t.Errorf("pairing %d: %s vs %s", i, ps[i].Baseline.Name, ps[i].CROPHE.Name)
+		}
+		if ps[i].CROPHE.WordBits != w.word {
+			t.Errorf("pairing %d word bits %d want %d", i, ps[i].CROPHE.WordBits, w.word)
+		}
+		// Each pairing must use the baseline's own parameter set.
+		if ps[i].Params.Name == "" {
+			t.Errorf("pairing %d missing params", i)
+		}
+	}
+}
+
+func TestCROPHE28IsScaledCopy(t *testing.T) {
+	if CROPHE28.WordBits != 28 {
+		t.Fatal("word width")
+	}
+	if CROPHE28.NumPEs != 128 || CROPHE28.Lanes != 256 {
+		t.Fatal("CROPHE-28 must keep the 36-bit microarchitecture")
+	}
+	// Mutating the copy must not leak into CROPHE36.
+	if CROPHE28.FUShare != nil {
+		t.Fatal("homogeneous design should not carry FU shares")
+	}
+}
+
+func TestDesignsAndFactories(t *testing.T) {
+	p := Pairings()[1] // ARK
+	ds := p.Designs()
+	if len(ds) != 4 {
+		t.Fatalf("designs: %d", len(ds))
+	}
+	names := []string{"ARK+MAD", "CROPHE-64+MAD", "CROPHE-64", "CROPHE-64-p"}
+	for i, d := range ds {
+		if d.Name != names[i] {
+			t.Errorf("design %d = %s want %s", i, d.Name, names[i])
+		}
+	}
+	fs := p.WorkloadFactories()
+	for _, wn := range WorkloadNames() {
+		f, ok := fs[wn]
+		if !ok {
+			t.Fatalf("missing workload %s", wn)
+		}
+		w := f(workload.RotHoisted, 0)
+		if w.TotalOps() == 0 {
+			t.Fatalf("workload %s empty", wn)
+		}
+	}
+	// A quick end-to-end evaluation of the fastest design sanity-checks
+	// the wiring.
+	res := ds[0].Evaluate(fs["bootstrapping"])
+	if res.TimeSec <= 0 {
+		t.Fatal("evaluation produced no time")
+	}
+	_ = sched.DataflowMAD
+}

@@ -1,0 +1,386 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation section. Each experiment returns structured rows and can
+// render itself as text; cmd/crophe-bench and the repository-level
+// benchmarks drive them.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"crophe/internal/arch"
+	"crophe/internal/baseline"
+	"crophe/internal/sched"
+	"crophe/internal/sim"
+	"crophe/internal/workload"
+)
+
+// Table1 renders the hardware configurations (Table I).
+func Table1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE I — HARDWARE CONFIGURATIONS\n")
+	fmt.Fprintf(&b, "%-12s %6s %6s %7s %7s %9s %9s %9s %10s\n",
+		"Config", "Word", "GHz", "Lanes", "PEs", "DRAM TB/s", "SRAM TB/s", "SRAM MB", "Area mm²")
+	for _, c := range arch.Table1() {
+		area := arch.ChipModel(c).Total().AreaMM2
+		fmt.Fprintf(&b, "%-12s %6d %6.1f %7d %7d %9.1f %9.1f %9.0f %10.1f\n",
+			c.Name, c.WordBits, c.FreqGHz, c.Lanes, c.NumPEs,
+			c.DRAMBandwidthTBs, c.SRAMBandwidthTBs, c.SRAMCapacityMB, area)
+	}
+	return b.String()
+}
+
+// Table2 renders the CROPHE-36 area/power breakdown (Table II).
+func Table2() string {
+	pe := arch.PEModel(arch.CROPHE36)
+	chip := arch.ChipModel(arch.CROPHE36)
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE II — AREA AND POWER BREAKDOWN OF CROPHE-36\n")
+	fmt.Fprintf(&b, "%-32s %14s %10s\n", "Component", "Area (µm²)", "Power (mW)")
+	for _, c := range []arch.Component{pe.Multipliers, pe.AddersSubs, pe.RegFile, pe.InterLane, pe.Total()} {
+		fmt.Fprintf(&b, "%-32s %14.2f %10.2f\n", c.Name, c.AreaMM2, c.PowerW)
+	}
+	fmt.Fprintf(&b, "%-32s %14s %10s\n", "", "Area (mm²)", "Power (W)")
+	for _, c := range []arch.Component{chip.PEs, chip.NoC, chip.GlobalBuf, chip.Transpose, chip.HBMPHY, chip.Total()} {
+		fmt.Fprintf(&b, "%-32s %14.2f %10.2f\n", c.Name, c.AreaMM2, c.PowerW)
+	}
+	return b.String()
+}
+
+// Table3 renders the parameter sets (Table III).
+func Table3() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE III — PARAMETER SETS\n")
+	fmt.Fprintf(&b, "%-14s %6s %4s %6s %5s %6s\n", "Set", "log2N", "L", "Lboot", "dnum", "alpha")
+	for _, p := range arch.Table3() {
+		fmt.Fprintf(&b, "%-14s %6d %4d %6d %5d %6d\n", p.Name, p.LogN, p.L, p.LBoot, p.DNum, p.Alpha)
+	}
+	return b.String()
+}
+
+// Fig9Row is one bar of Figure 9: a design's time and speedup over the
+// baseline+MAD reference, per workload.
+type Fig9Row struct {
+	Pairing  string
+	Workload string
+	Design   string
+	TimeSec  float64
+	Speedup  float64 // vs baseline+MAD on the same workload
+}
+
+// Figure9 runs the overall comparison. With fast=true only the ARK and
+// SHARP pairings and the bootstrapping/ResNet-20 workloads run (for
+// tests); the full run covers all four pairings and workloads.
+func Figure9(fast bool) []Fig9Row {
+	var rows []Fig9Row
+	pairings := baseline.Pairings()
+	names := baseline.WorkloadNames()
+	if fast {
+		pairings = pairings[1:3] // ARK, SHARP
+		names = []string{"bootstrapping", "resnet-20"}
+	}
+	for _, p := range pairings {
+		factories := p.WorkloadFactories()
+		for _, wn := range names {
+			factory := factories[wn]
+			var baseTime float64
+			for _, d := range p.Designs() {
+				res := d.Evaluate(factory)
+				if baseTime == 0 {
+					baseTime = res.TimeSec
+				}
+				rows = append(rows, Fig9Row{
+					Pairing:  p.Baseline.Name + " vs " + p.CROPHE.Name,
+					Workload: wn,
+					Design:   d.Name,
+					TimeSec:  res.TimeSec,
+					Speedup:  baseTime / res.TimeSec,
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// RenderFig9 formats Figure 9 rows.
+func RenderFig9(rows []Fig9Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIGURE 9 — OVERALL PERFORMANCE (speedup vs baseline+MAD)\n")
+	fmt.Fprintf(&b, "%-24s %-14s %-14s %10s %9s\n", "Pairing", "Workload", "Design", "Time (ms)", "Speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %-14s %-14s %10.3f %8.2fx\n",
+			r.Pairing, r.Workload, r.Design, r.TimeSec*1e3, r.Speedup)
+	}
+	return b.String()
+}
+
+// Table4Row is one row of the resource-utilisation table.
+type Table4Row struct {
+	Design string
+	Util   sched.Utilization
+}
+
+// Table4 measures resource utilisation on ResNet-20 via the cycle
+// simulator, reproducing the Table IV design set.
+func Table4() ([]Table4Row, error) {
+	type cfg struct {
+		name     string
+		hw       *arch.HWConfig
+		dataflow sched.Dataflow
+		nttDec   bool
+		hybrid   bool
+		clusters int
+		params   arch.ParamSet
+	}
+	cfgs := []cfg{
+		{"ARK+MAD", arch.ARK, sched.DataflowMAD, false, false, 1, arch.ParamsARK},
+		{"CROPHE-64", arch.CROPHE64, sched.DataflowCROPHE, true, true, 1, arch.ParamsARK},
+		{"CROPHE-p-64", arch.CROPHE64, sched.DataflowCROPHE, true, true, 4, arch.ParamsARK},
+		{"SHARP+MAD", arch.SHARP, sched.DataflowMAD, false, false, 1, arch.ParamsSHARP},
+		{"CROPHE-36", arch.CROPHE36, sched.DataflowCROPHE, true, true, 1, arch.ParamsSHARP},
+		{"CROPHE-p-36", arch.CROPHE36, sched.DataflowCROPHE, true, true, 4, arch.ParamsSHARP},
+	}
+	var rows []Table4Row
+	for _, c := range cfgs {
+		d := sched.Design{
+			Name: c.name, HW: c.hw, Dataflow: c.dataflow,
+			NTTDec: c.nttDec, HybridRot: c.hybrid, Clusters: c.clusters,
+		}
+		params := c.params
+		factory := func(m workload.RotMode, r int) *workload.Workload {
+			return workload.ResNet(params, 20, m, r)
+		}
+		s := d.Evaluate(factory)
+		// Validate the schedule on the cycle simulator (its refined time
+		// stays within the analytical envelope) but report the
+		// scheduler's utilisation, which knows the traffic provenance.
+		w := factory(workload.RotHoisted, 0)
+		if _, err := sim.New(c.hw).SimulateSchedule(w, s); err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table4Row{Design: c.name, Util: s.Util})
+	}
+	return rows, nil
+}
+
+// RenderTable4 formats Table IV.
+func RenderTable4(rows []Table4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE IV — RESOURCE UTILISATION ON RESNET-20\n")
+	fmt.Fprintf(&b, "%-14s %7s %7s %9s %9s\n", "Design", "PEs", "NoC bw", "SRAM bw", "DRAM bw")
+	for _, r := range rows {
+		noc := "-"
+		if r.Util.NoC > 0 {
+			noc = fmt.Sprintf("%.2f%%", r.Util.NoC*100)
+		}
+		fmt.Fprintf(&b, "%-14s %6.2f%% %7s %8.2f%% %8.2f%%\n",
+			r.Design, r.Util.PE*100, noc, r.Util.SRAM*100, r.Util.DRAM*100)
+	}
+	return b.String()
+}
+
+// Fig10Row is one point of the SRAM sweep.
+type Fig10Row struct {
+	Pairing  string
+	Workload string
+	SRAMMB   float64
+	Baseline float64 // seconds
+	CROPHE   float64
+	CROPHEP  float64
+	Speedup  float64 // baseline / CROPHE
+}
+
+// Figure10 sweeps the global buffer capacity (Figure 10). fast restricts
+// to bootstrapping on the SHARP pairing.
+func Figure10(fast bool) []Fig10Row {
+	type sweep struct {
+		pairing baseline.Pairing
+		sizes   []float64
+	}
+	sweeps := []sweep{
+		{baseline.Pairings()[1], []float64{512, 256, 128, 64}}, // ARK vs CROPHE-64
+		{baseline.Pairings()[2], []float64{180, 128, 90, 45}},  // SHARP vs CROPHE-36
+	}
+	names := baseline.WorkloadNames()
+	if fast {
+		sweeps = sweeps[1:]
+		names = []string{"bootstrapping"}
+	}
+	var rows []Fig10Row
+	for _, sw := range sweeps {
+		factories := sw.pairing.WorkloadFactories()
+		for _, wn := range names {
+			factory := factories[wn]
+			for _, size := range sw.sizes {
+				base := sched.Design{
+					Name: sw.pairing.Baseline.Name + "+MAD",
+					HW:   sw.pairing.Baseline.WithSRAM(size), Dataflow: sched.DataflowMAD,
+				}.Evaluate(factory)
+				cro := sched.Design{
+					Name: sw.pairing.CROPHE.Name,
+					HW:   sw.pairing.CROPHE.WithSRAM(size), Dataflow: sched.DataflowCROPHE,
+					NTTDec: true, HybridRot: true,
+				}.Evaluate(factory)
+				crop := sched.Design{
+					Name: sw.pairing.CROPHE.Name + "-p",
+					HW:   sw.pairing.CROPHE.WithSRAM(size), Dataflow: sched.DataflowCROPHE,
+					NTTDec: true, HybridRot: true, Clusters: 4,
+				}.Evaluate(factory)
+				rows = append(rows, Fig10Row{
+					Pairing:  sw.pairing.Baseline.Name + " vs " + sw.pairing.CROPHE.Name,
+					Workload: wn,
+					SRAMMB:   size,
+					Baseline: base.TimeSec,
+					CROPHE:   cro.TimeSec,
+					CROPHEP:  crop.TimeSec,
+					Speedup:  base.TimeSec / cro.TimeSec,
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// RenderFig10 formats the sweep.
+func RenderFig10(rows []Fig10Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIGURE 10 — PERFORMANCE AT SMALLER SRAM CAPACITIES\n")
+	fmt.Fprintf(&b, "%-22s %-14s %8s %12s %12s %12s %9s\n",
+		"Pairing", "Workload", "SRAM MB", "Base (ms)", "CROPHE (ms)", "CROPHE-p", "Speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %-14s %8.0f %12.3f %12.3f %12.3f %8.2fx\n",
+			r.Pairing, r.Workload, r.SRAMMB, r.Baseline*1e3, r.CROPHE*1e3, r.CROPHEP*1e3, r.Speedup)
+	}
+	return b.String()
+}
+
+// Fig11Row is one bar group of the ablation: a design's runtime plus its
+// SRAM and DRAM traffic on the bootstrapping workload at small SRAM.
+type Fig11Row struct {
+	Variant string
+	Design  string
+	TimeSec float64
+	SRAMGB  float64
+	DRAMGB  float64
+}
+
+// Figure11 runs the optimisation-breakdown ablation on both CROPHE
+// variants at reduced SRAM (the paper's small-capacity setting), plus the
+// corresponding baseline reference.
+func Figure11(fast bool) []Fig11Row {
+	type variant struct {
+		name    string
+		hw      *arch.HWConfig
+		base    *arch.HWConfig
+		params  arch.ParamSet
+		smallMB float64
+	}
+	variants := []variant{
+		{"64-bit", arch.CROPHE64, arch.ARK, arch.ParamsARK, 128},
+		{"36-bit", arch.CROPHE36, arch.SHARP, arch.ParamsSHARP, 45},
+	}
+	if fast {
+		variants = variants[1:]
+	}
+	var rows []Fig11Row
+	for _, v := range variants {
+		params := v.params
+		factory := func(m workload.RotMode, r int) *workload.Workload {
+			return workload.Bootstrapping(params, m, r)
+		}
+		// Baseline reference.
+		ref := sched.Design{
+			Name: v.base.Name + "+MAD", HW: v.base.WithSRAM(v.smallMB),
+			Dataflow: sched.DataflowMAD,
+		}.Evaluate(factory)
+		rows = append(rows, Fig11Row{
+			Variant: v.name, Design: v.base.Name + "+MAD",
+			TimeSec: ref.TimeSec,
+			SRAMGB:  ref.Traffic.SRAM / 1e9, DRAMGB: ref.Traffic.DRAM / 1e9,
+		})
+		for _, d := range sched.AblationDesigns(v.hw.WithSRAM(v.smallMB)) {
+			res := d.Evaluate(factory)
+			rows = append(rows, Fig11Row{
+				Variant: v.name, Design: d.Name,
+				TimeSec: res.TimeSec,
+				SRAMGB:  res.Traffic.SRAM / 1e9, DRAMGB: res.Traffic.DRAM / 1e9,
+			})
+		}
+	}
+	return rows
+}
+
+// RenderFig11 formats the ablation.
+func RenderFig11(rows []Fig11Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIGURE 11 — OPTIMISATION BREAKDOWN (bootstrapping, small SRAM)\n")
+	fmt.Fprintf(&b, "%-8s %-12s %10s %10s %10s\n", "Variant", "Design", "Time (ms)", "SRAM (GB)", "DRAM (GB)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-12s %10.3f %10.1f %10.1f\n",
+			r.Variant, r.Design, r.TimeSec*1e3, r.SRAMGB, r.DRAMGB)
+	}
+	return b.String()
+}
+
+// Experiments lists the available experiment ids.
+func Experiments() []string {
+	return []string{"table1", "table2", "table3", "table4", "fig9", "fig10", "fig11", "ablations"}
+}
+
+// Run executes an experiment by id and returns its rendered output.
+func Run(id string, fast bool) (string, error) {
+	switch id {
+	case "table1":
+		return Table1(), nil
+	case "table2":
+		return Table2(), nil
+	case "table3":
+		return Table3(), nil
+	case "table4":
+		rows, err := Table4()
+		if err != nil {
+			return "", err
+		}
+		return RenderTable4(rows), nil
+	case "fig9":
+		return RenderFig9(Figure9(fast)), nil
+	case "fig10":
+		return RenderFig10(Figure10(fast)), nil
+	case "fig11":
+		return RenderFig11(Figure11(fast)), nil
+	case "ablations":
+		return RenderAblations(Ablations()), nil
+	}
+	return "", fmt.Errorf("bench: unknown experiment %q (have %s)", id, strings.Join(Experiments(), ", "))
+}
+
+// SpeedupSummary extracts the headline CROPHE-vs-baseline speedups from
+// Figure 9 rows, per pairing, in workload order.
+func SpeedupSummary(rows []Fig9Row) map[string][]float64 {
+	out := map[string][]float64{}
+	keys := map[string]map[string]float64{}
+	for _, r := range rows {
+		if !strings.HasPrefix(r.Design, "CROPHE") || strings.HasSuffix(r.Design, "+MAD") {
+			continue
+		}
+		if strings.HasSuffix(r.Design, "-p") {
+			continue
+		}
+		if keys[r.Pairing] == nil {
+			keys[r.Pairing] = map[string]float64{}
+		}
+		keys[r.Pairing][r.Workload] = r.Speedup
+	}
+	for pairing, m := range keys {
+		var names []string
+		for wn := range m {
+			names = append(names, wn)
+		}
+		sort.Strings(names)
+		for _, wn := range names {
+			out[pairing] = append(out[pairing], m[wn])
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStaticTables(t *testing.T) {
+	t1 := Table1()
+	for _, want := range []string{"CROPHE-64", "CROPHE-36", "BTS", "ARK", "SHARP", "CL+"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table 1 missing %s", want)
+		}
+	}
+	t2 := Table2()
+	for _, want := range []string{"modular multipliers", "global buffer", "HBM PHY", "Total"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table 2 missing %q", want)
+		}
+	}
+	t3 := Table3()
+	for _, want := range []string{"BTS (INS-2)", "CraterLake", "dnum"} {
+		if !strings.Contains(t3, want) {
+			t.Errorf("Table 3 missing %q", want)
+		}
+	}
+}
+
+func TestFigure9FastOrderings(t *testing.T) {
+	rows := Figure9(true)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// For every (pairing, workload): the full CROPHE design must beat the
+	// baseline reference.
+	type key struct{ p, w string }
+	best := map[key]float64{}
+	for _, r := range rows {
+		k := key{r.Pairing, r.Workload}
+		if !strings.HasSuffix(r.Design, "+MAD") && !strings.HasSuffix(r.Design, "-p") {
+			best[k] = r.Speedup
+		}
+	}
+	for k, sp := range best {
+		if sp <= 1.0 {
+			t.Errorf("%v: CROPHE speedup %.2f not above baseline", k, sp)
+		}
+	}
+	out := RenderFig9(rows)
+	if !strings.Contains(out, "FIGURE 9") {
+		t.Error("render header")
+	}
+}
+
+func TestFigure10FastShape(t *testing.T) {
+	rows := Figure10(true)
+	if len(rows) < 3 {
+		t.Fatalf("too few sweep points: %d", len(rows))
+	}
+	// Speedup at the smallest capacity must exceed the largest.
+	first, last := rows[0], rows[len(rows)-1]
+	if first.SRAMMB <= last.SRAMMB {
+		t.Fatal("sweep should go from large to small capacity")
+	}
+	if last.Speedup <= first.Speedup {
+		t.Errorf("speedup %.2f at %g MB not above %.2f at %g MB",
+			last.Speedup, last.SRAMMB, first.Speedup, first.SRAMMB)
+	}
+	// CROPHE-p must never be slower than CROPHE.
+	for _, r := range rows {
+		if r.CROPHEP > r.CROPHE*1.001 {
+			t.Errorf("CROPHE-p slower at %g MB: %.3g vs %.3g", r.SRAMMB, r.CROPHEP, r.CROPHE)
+		}
+	}
+	if !strings.Contains(RenderFig10(rows), "FIGURE 10") {
+		t.Error("render header")
+	}
+}
+
+func TestFigure11FastLadder(t *testing.T) {
+	rows := Figure11(true)
+	times := map[string]float64{}
+	dram := map[string]float64{}
+	for _, r := range rows {
+		times[r.Design] = r.TimeSec
+		dram[r.Design] = r.DRAMGB
+	}
+	// The ladder must be present.
+	for _, d := range []string{"SHARP+MAD", "MAD", "Base", "NTTDec", "HybRot", "CROPHE"} {
+		if _, ok := times[d]; !ok {
+			t.Fatalf("missing design %s", d)
+		}
+	}
+	// §VII-D orderings: homogeneous+MAD slower than the baseline; Base
+	// recovers; the full combination is fastest.
+	if times["MAD"] <= times["SHARP+MAD"] {
+		t.Errorf("MAD on CROPHE hw (%.3g) should be slower than SHARP+MAD (%.3g)",
+			times["MAD"], times["SHARP+MAD"])
+	}
+	if times["Base"] >= times["MAD"] {
+		t.Errorf("Base (%.3g) should beat MAD (%.3g)", times["Base"], times["MAD"])
+	}
+	if times["CROPHE"] > times["Base"] || times["CROPHE"] > times["NTTDec"] || times["CROPHE"] > times["HybRot"] {
+		t.Errorf("full CROPHE (%.3g) should be fastest of the ladder", times["CROPHE"])
+	}
+	// Traffic reduction: the full design must access DRAM less than MAD.
+	if dram["CROPHE"] >= dram["MAD"] {
+		t.Errorf("CROPHE DRAM %.1f GB not below MAD %.1f GB", dram["CROPHE"], dram["MAD"])
+	}
+	if !strings.Contains(RenderFig11(rows), "FIGURE 11") {
+		t.Error("render header")
+	}
+}
+
+func TestTable4Utilisation(t *testing.T) {
+	rows, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("Table 4 rows: %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Util.PE <= 0 || r.Util.PE > 1 {
+			t.Errorf("%s: PE util %.2f", r.Design, r.Util.PE)
+		}
+	}
+	if !strings.Contains(RenderTable4(rows), "TABLE IV") {
+		t.Error("render header")
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	for _, id := range []string{"table1", "table2", "table3"} {
+		out, err := Run(id, true)
+		if err != nil || out == "" {
+			t.Errorf("Run(%s): %v", id, err)
+		}
+	}
+	if _, err := Run("nope", true); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestSpeedupSummary(t *testing.T) {
+	rows := Figure9(true)
+	sum := SpeedupSummary(rows)
+	if len(sum) == 0 {
+		t.Fatal("empty summary")
+	}
+	for pairing, sps := range sum {
+		for _, sp := range sps {
+			if sp <= 0 {
+				t.Errorf("%s: non-positive speedup", pairing)
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package boot
+
+import (
+	"fmt"
+	"math"
+
+	"crophe/internal/ckks"
+)
+
+// ChebyshevPoly is a polynomial Σ c_k·T_k(u) in the Chebyshev basis over
+// an interval [A, B] (mapped affinely to u ∈ [-1, 1]).
+type ChebyshevPoly struct {
+	Coeffs []float64
+	A, B   float64
+}
+
+// Degree returns the polynomial degree.
+func (p *ChebyshevPoly) Degree() int { return len(p.Coeffs) - 1 }
+
+// FitChebyshev interpolates f on [a, b] with a degree-d Chebyshev
+// polynomial using the Chebyshev nodes of the first kind.
+func FitChebyshev(f func(float64) float64, a, b float64, degree int) *ChebyshevPoly {
+	m := degree + 1
+	nodes := make([]float64, m)
+	vals := make([]float64, m)
+	for k := 0; k < m; k++ {
+		theta := (float64(k) + 0.5) * math.Pi / float64(m)
+		u := math.Cos(theta)
+		nodes[k] = theta
+		vals[k] = f((u+1)/2*(b-a) + a)
+	}
+	coeffs := make([]float64, m)
+	for j := 0; j < m; j++ {
+		var s float64
+		for k := 0; k < m; k++ {
+			s += vals[k] * math.Cos(float64(j)*nodes[k])
+		}
+		coeffs[j] = 2 * s / float64(m)
+	}
+	coeffs[0] /= 2
+	return &ChebyshevPoly{Coeffs: coeffs, A: a, B: b}
+}
+
+// EvalFloat evaluates the polynomial on a plain float (Clenshaw), the
+// reference for homomorphic evaluation tests.
+func (p *ChebyshevPoly) EvalFloat(x float64) float64 {
+	u := (x-p.A)/(p.B-p.A)*2 - 1
+	var b1, b2 float64
+	for k := len(p.Coeffs) - 1; k >= 1; k-- {
+		b1, b2 = 2*u*b1-b2+p.Coeffs[k], b1
+	}
+	return u*b1 - b2 + p.Coeffs[0]
+}
+
+// EvaluateChebyshev computes p(ct) homomorphically. The input slots must
+// lie in [A, B]. Depth used is ⌈log₂ degree⌉ + 2 levels (basis recursion
+// plus the affine normalisation and the coefficient multiply).
+//
+// The Chebyshev basis is built with the product recurrences
+// T_{2k} = 2T_k²−1 and T_{a+b} = 2·T_a·T_b − T_{a−b}, giving O(log d)
+// multiplicative depth — the same HMult/CMult cascade the paper's EvalMod
+// stage lowers onto the accelerator.
+func EvaluateChebyshev(eval *ckks.Evaluator, p *ChebyshevPoly, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	d := p.Degree()
+	if d < 1 {
+		return nil, fmt.Errorf("boot: chebyshev degree must be ≥ 1")
+	}
+	// Affine map to u ∈ [-1, 1]: u = (2·x − (A+B)) / (B−A).
+	u := eval.MulConst(ct, 2/(p.B-p.A))
+	u, err := eval.Rescale(u)
+	if err != nil {
+		return nil, err
+	}
+	u = eval.AddConst(u, -(p.A+p.B)/(p.B-p.A))
+
+	basis, err := chebyshevBasis(eval, u, d)
+	if err != nil {
+		return nil, err
+	}
+
+	// Combine Σ_{k≥1} c_k·T_k then add c_0.
+	var acc *ckks.Ciphertext
+	for k := 1; k <= d; k++ {
+		if math.Abs(p.Coeffs[k]) < 1e-13 {
+			continue
+		}
+		term := eval.MulConst(basis[k], p.Coeffs[k])
+		term, err := eval.Rescale(term)
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = term
+		} else if acc, err = eval.Add(acc, term); err != nil {
+			return nil, err
+		}
+	}
+	if acc == nil {
+		// Constant polynomial: encode c_0 on top of a zeroed ciphertext.
+		zero, err := eval.Sub(u, u)
+		if err != nil {
+			return nil, err
+		}
+		return eval.AddConst(zero, p.Coeffs[0]), nil
+	}
+	return eval.AddConst(acc, p.Coeffs[0]), nil
+}
+
+// chebyshevBasis returns T_1..T_d evaluated at u (slots in [-1, 1]).
+func chebyshevBasis(eval *ckks.Evaluator, u *ckks.Ciphertext, d int) (map[int]*ckks.Ciphertext, error) {
+	basis := map[int]*ckks.Ciphertext{1: u}
+	var build func(k int) (*ckks.Ciphertext, error)
+	build = func(k int) (*ckks.Ciphertext, error) {
+		if ct, ok := basis[k]; ok {
+			return ct, nil
+		}
+		a := (k + 1) / 2
+		b := k / 2 // a + b = k, a − b ∈ {0, 1}
+		ta, err := build(a)
+		if err != nil {
+			return nil, err
+		}
+		tb, err := build(b)
+		if err != nil {
+			return nil, err
+		}
+		// T_k = 2·T_a·T_b − T_{a−b}
+		prod, err := eval.MulRelin(ta, tb)
+		if err != nil {
+			return nil, err
+		}
+		if prod, err = eval.Rescale(prod); err != nil {
+			return nil, err
+		}
+		if prod, err = eval.Add(prod, prod); err != nil { // ×2 without a level
+			return nil, err
+		}
+		var tk *ckks.Ciphertext
+		if a == b { // T_{a−b} = T_0 = 1
+			tk = eval.AddConst(prod, -1)
+		} else { // T_{a−b} = T_1 = u
+			if tk, err = eval.Sub(prod, basis[1]); err != nil {
+				return nil, err
+			}
+		}
+		basis[k] = tk
+		return tk, nil
+	}
+	// T_0 is handled implicitly by the caller via AddConst.
+	for k := 2; k <= d; k++ {
+		if _, err := build(k); err != nil {
+			return nil, err
+		}
+	}
+	return basis, nil
+}
+
+// EvalModPoly returns the Chebyshev approximation of the modular-reduction
+// surrogate used by bootstrapping: f(t) = (q/2π)·sin(2π·t/q) on
+// t ∈ [−K·q, K·q]. For |m| ≪ q the sine agrees with t mod q on the lattice
+// points t = m + k·q.
+func EvalModPoly(q float64, K int, degree int) *ChebyshevPoly {
+	f := func(t float64) float64 {
+		return q / (2 * math.Pi) * math.Sin(2*math.Pi*t/q)
+	}
+	bound := float64(K) * q
+	return FitChebyshev(f, -bound, bound, degree)
+}

@@ -1,0 +1,114 @@
+package ckks
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crophe/internal/poly"
+)
+
+// Ciphertext is a CKKS ciphertext (b, a) over Q at some level, in NTT form,
+// carrying its scale. Degree-2 intermediates after a tensor product carry a
+// third polynomial D2 until relinearisation.
+type Ciphertext struct {
+	B, A  *poly.Poly
+	D2    *poly.Poly // non-nil only between tensor product and relinearisation
+	Scale float64
+	Level int
+}
+
+// Degree returns 1 for a regular ciphertext, 2 when relinearisation is
+// pending.
+func (ct *Ciphertext) Degree() int {
+	if ct.D2 != nil {
+		return 2
+	}
+	return 1
+}
+
+// CopyCt returns a deep copy.
+func (ct *Ciphertext) CopyCt() *Ciphertext {
+	out := &Ciphertext{B: ct.B.Copy(), A: ct.A.Copy(), Scale: ct.Scale, Level: ct.Level}
+	if ct.D2 != nil {
+		out.D2 = ct.D2.Copy()
+	}
+	return out
+}
+
+// Encryptor encrypts plaintexts under a public key.
+type Encryptor struct {
+	params *Parameters
+	pk     *PublicKey
+	rng    *rand.Rand
+}
+
+// NewEncryptor builds an encryptor.
+func NewEncryptor(params *Parameters, pk *PublicKey, rng *rand.Rand) *Encryptor {
+	return &Encryptor{params: params, pk: pk, rng: rng}
+}
+
+// Encrypt produces (b·u + e0 + m, a·u + e1) at the plaintext's level.
+func (e *Encryptor) Encrypt(pt *Plaintext) *Ciphertext {
+	rq := e.params.RingQ()
+	limbs := pt.Level + 1
+
+	u := rq.TernaryPoly(limbs, e.rng)
+	rq.NTT(u)
+	e0 := rq.GaussianPoly(limbs, e.params.Sigma, e.rng)
+	rq.NTT(e0)
+	e1 := rq.GaussianPoly(limbs, e.params.Sigma, e.rng)
+	rq.NTT(e1)
+
+	pkB := &poly.Poly{Coeffs: e.pk.B.Coeffs[:limbs], IsNTT: true}
+	pkA := &poly.Poly{Coeffs: e.pk.A.Coeffs[:limbs], IsNTT: true}
+
+	b := rq.NewPoly(limbs)
+	rq.MulHadamard(b, pkB, u)
+	rq.Add(b, b, e0)
+	rq.Add(b, b, pt.Value)
+
+	a := rq.NewPoly(limbs)
+	rq.MulHadamard(a, pkA, u)
+	rq.Add(a, a, e1)
+
+	return &Ciphertext{B: b, A: a, Scale: pt.Scale, Level: pt.Level}
+}
+
+// Decryptor decrypts ciphertexts with the secret key.
+type Decryptor struct {
+	params *Parameters
+	sk     *SecretKey
+}
+
+// NewDecryptor builds a decryptor.
+func NewDecryptor(params *Parameters, sk *SecretKey) *Decryptor {
+	return &Decryptor{params: params, sk: sk}
+}
+
+// Decrypt computes b + a·s (+ d2·s² for degree-2 ciphertexts) and returns
+// it as a plaintext.
+func (d *Decryptor) Decrypt(ct *Ciphertext) *Plaintext {
+	rq := d.params.RingQ()
+	limbs := ct.Level + 1
+	sQ := restrictToQ(d.params, d.sk.Value, limbs)
+
+	m := rq.NewPoly(limbs)
+	rq.MulHadamard(m, ct.A, sQ)
+	rq.Add(m, m, ct.B)
+	if ct.D2 != nil {
+		s2 := rq.NewPoly(limbs)
+		rq.MulHadamard(s2, sQ, sQ)
+		rq.MulAddHadamard(m, ct.D2, s2)
+	}
+	return &Plaintext{Value: m, Scale: ct.Scale, Level: ct.Level}
+}
+
+// EncryptAtLevel is a convenience that encodes and encrypts values at the
+// given level.
+func EncryptAtLevel(enc *Encoder, encryptor *Encryptor, values []complex128, level int) (*Ciphertext, error) {
+	pt, err := enc.Encode(values, level)
+	if err != nil {
+		return nil, fmt.Errorf("ckks: encode: %w", err)
+	}
+	return encryptor.Encrypt(pt), nil
+}

@@ -1,0 +1,551 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+
+	"crophe/internal/poly"
+	"crophe/internal/rns"
+)
+
+// Evaluator executes homomorphic operations. It caches the per-(level,
+// digit) base-conversion tables that ModUp and ModDown use, so the first
+// operation at a level pays the precomputation and subsequent ones do not.
+// An Evaluator is not safe for concurrent use (the caches mutate).
+type Evaluator struct {
+	params *Parameters
+	keys   *EvaluationKeySet
+
+	modUpConv   map[[2]int]*rns.Conv // (level, digit) → digit → complement conversion
+	modDownConv map[int]*rns.Conv    // level → P → Q_level conversion
+}
+
+// NewEvaluator builds an evaluator bound to an evaluation-key set. The key
+// set may be nil if only key-free operations (Add, MulPlain, Rescale) are
+// used.
+func NewEvaluator(params *Parameters, keys *EvaluationKeySet) *Evaluator {
+	return &Evaluator{
+		params:      params,
+		keys:        keys,
+		modUpConv:   make(map[[2]int]*rns.Conv),
+		modDownConv: make(map[int]*rns.Conv),
+	}
+}
+
+func (ev *Evaluator) alignLevels(a, b *Ciphertext) (*Ciphertext, *Ciphertext) {
+	if a.Level == b.Level {
+		return a, b
+	}
+	if a.Level > b.Level {
+		a = a.CopyCt()
+		a.B.DropLevel(b.Level + 1)
+		a.A.DropLevel(b.Level + 1)
+		a.Level = b.Level
+		return a, b
+	}
+	b = b.CopyCt()
+	b.B.DropLevel(a.Level + 1)
+	b.A.DropLevel(a.Level + 1)
+	b.Level = a.Level
+	return a, b
+}
+
+// checkScales tolerates the small relative drift that accumulates when
+// rescaling primes are close to, but not exactly, the scale Δ. Operands
+// whose scales agree within this bound are combined as-is; the drift adds
+// relative error far below the scheme's noise floor.
+func checkScales(s0, s1 float64) error {
+	if math.Abs(s0-s1) > 1e-4*math.Max(s0, s1) {
+		return fmt.Errorf("ckks: scale mismatch %g vs %g", s0, s1)
+	}
+	return nil
+}
+
+// Add returns ct0 + ct1 (HAdd). Levels are aligned by dropping limbs;
+// scales must match.
+func (ev *Evaluator) Add(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
+	if err := checkScales(ct0.Scale, ct1.Scale); err != nil {
+		return nil, err
+	}
+	ct0, ct1 = ev.alignLevels(ct0, ct1)
+	rq := ev.params.RingQ()
+	out := &Ciphertext{
+		B: rq.NewPoly(ct0.Level + 1), A: rq.NewPoly(ct0.Level + 1),
+		Scale: ct0.Scale, Level: ct0.Level,
+	}
+	rq.Add(out.B, ct0.B, ct1.B)
+	rq.Add(out.A, ct0.A, ct1.A)
+	return out, nil
+}
+
+// Sub returns ct0 − ct1.
+func (ev *Evaluator) Sub(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
+	if err := checkScales(ct0.Scale, ct1.Scale); err != nil {
+		return nil, err
+	}
+	ct0, ct1 = ev.alignLevels(ct0, ct1)
+	rq := ev.params.RingQ()
+	out := &Ciphertext{
+		B: rq.NewPoly(ct0.Level + 1), A: rq.NewPoly(ct0.Level + 1),
+		Scale: ct0.Scale, Level: ct0.Level,
+	}
+	rq.Sub(out.B, ct0.B, ct1.B)
+	rq.Sub(out.A, ct0.A, ct1.A)
+	return out, nil
+}
+
+// AddPlain returns ct + pt (PAdd).
+func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+	if err := checkScales(ct.Scale, pt.Scale); err != nil {
+		return nil, err
+	}
+	level := ct.Level
+	if pt.Level < level {
+		level = pt.Level
+	}
+	rq := ev.params.RingQ()
+	out := &Ciphertext{
+		B: rq.NewPoly(level + 1), A: rq.NewPoly(level + 1),
+		Scale: ct.Scale, Level: level,
+	}
+	ctB := &poly.Poly{Coeffs: ct.B.Coeffs[:level+1], IsNTT: true}
+	ptV := &poly.Poly{Coeffs: pt.Value.Coeffs[:level+1], IsNTT: true}
+	rq.Add(out.B, ctB, ptV)
+	copyLimbs(out.A, ct.A, level+1)
+	return out, nil
+}
+
+// MulPlain returns ct ⊙ pt (PMult). The result scale is the product; call
+// Rescale afterwards.
+func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+	level := ct.Level
+	if pt.Level < level {
+		level = pt.Level
+	}
+	rq := ev.params.RingQ()
+	out := &Ciphertext{
+		B: rq.NewPoly(level + 1), A: rq.NewPoly(level + 1),
+		Scale: ct.Scale * pt.Scale, Level: level,
+	}
+	ctB := &poly.Poly{Coeffs: ct.B.Coeffs[:level+1], IsNTT: true}
+	ctA := &poly.Poly{Coeffs: ct.A.Coeffs[:level+1], IsNTT: true}
+	ptV := &poly.Poly{Coeffs: pt.Value.Coeffs[:level+1], IsNTT: true}
+	rq.MulHadamard(out.B, ctB, ptV)
+	rq.MulHadamard(out.A, ctA, ptV)
+	return out, nil
+}
+
+// AddConst returns ct + c for a real constant c (CAdd): a constant slot
+// vector encodes to a constant polynomial, which in the NTT domain is the
+// same value in every slot.
+func (ev *Evaluator) AddConst(ct *Ciphertext, c float64) *Ciphertext {
+	out := ct.CopyCt()
+	rq := ev.params.RingQ()
+	for i := 0; i <= ct.Level; i++ {
+		m := rq.Mod(i)
+		v := int64(math.Round(c * ct.Scale))
+		var vm uint64
+		if v >= 0 {
+			vm = m.Reduce(uint64(v))
+		} else {
+			vm = m.Neg(m.Reduce(uint64(-v)))
+		}
+		bi := out.B.Coeffs[i]
+		for j := range bi {
+			bi[j] = m.Add(bi[j], vm)
+		}
+	}
+	return out
+}
+
+// MulConst returns ct · c for a real constant c (CMult), scaling by Δ; the
+// result scale is ct.Scale·Δ, so a Rescale typically follows.
+func (ev *Evaluator) MulConst(ct *Ciphertext, c float64) *Ciphertext {
+	rq := ev.params.RingQ()
+	k := int64(math.Round(c * ev.params.Scale))
+	out := &Ciphertext{
+		B: rq.NewPoly(ct.Level + 1), A: rq.NewPoly(ct.Level + 1),
+		Scale: ct.Scale * ev.params.Scale, Level: ct.Level,
+	}
+	mulSignedScalar(rq, out.B, ct.B, k)
+	mulSignedScalar(rq, out.A, ct.A, k)
+	return out
+}
+
+// MulNoRelin returns the degree-2 tensor product (d0, d1, d2) without
+// key-switching. Useful for lazy relinearisation: several products can be
+// accumulated (Add supports degree-2 operands of equal degree via their
+// D2 parts at the caller's discretion) and relinearised once.
+func (ev *Evaluator) MulNoRelin(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
+	if ct0.Degree() != 1 || ct1.Degree() != 1 {
+		return nil, fmt.Errorf("ckks: MulNoRelin requires degree-1 operands")
+	}
+	ct0, ct1 = ev.alignLevels(ct0, ct1)
+	rq := ev.params.RingQ()
+	limbs := ct0.Level + 1
+	out := &Ciphertext{
+		B: rq.NewPoly(limbs), A: rq.NewPoly(limbs), D2: rq.NewPoly(limbs),
+		Scale: ct0.Scale * ct1.Scale, Level: ct0.Level,
+	}
+	rq.MulHadamard(out.B, ct0.B, ct1.B)
+	rq.MulHadamard(out.A, ct0.A, ct1.B)
+	rq.MulAddHadamard(out.A, ct0.B, ct1.A)
+	rq.MulHadamard(out.D2, ct0.A, ct1.A)
+	return out, nil
+}
+
+// Relinearize converts a degree-2 ciphertext back to degree 1 by
+// key-switching its D2 component with the relinearisation key.
+func (ev *Evaluator) Relinearize(ct *Ciphertext) (*Ciphertext, error) {
+	if ct.Degree() != 2 {
+		return nil, fmt.Errorf("ckks: Relinearize requires a degree-2 ciphertext")
+	}
+	if ev.keys == nil || ev.keys.Relin == nil {
+		return nil, fmt.Errorf("ckks: Relinearize requires a relinearisation key")
+	}
+	rq := ev.params.RingQ()
+	c0, c1, err := ev.keySwitch(ct.D2, ct.Level, ev.keys.Relin)
+	if err != nil {
+		return nil, err
+	}
+	out := &Ciphertext{
+		B: rq.NewPoly(ct.Level + 1), A: rq.NewPoly(ct.Level + 1),
+		Scale: ct.Scale, Level: ct.Level,
+	}
+	rq.Add(out.B, ct.B, c0)
+	rq.Add(out.A, ct.A, c1)
+	return out, nil
+}
+
+// MulRelin returns ct0 · ct1 followed by relinearisation with the relin
+// key (HMult). The result scale is the product of scales.
+func (ev *Evaluator) MulRelin(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
+	if ev.keys == nil || ev.keys.Relin == nil {
+		return nil, fmt.Errorf("ckks: MulRelin requires a relinearisation key")
+	}
+	ct0, ct1 = ev.alignLevels(ct0, ct1)
+	rq := ev.params.RingQ()
+	level := ct0.Level
+	limbs := level + 1
+
+	// Tensor product: (d0, d1, d2).
+	d0 := rq.NewPoly(limbs)
+	d1 := rq.NewPoly(limbs)
+	d2 := rq.NewPoly(limbs)
+	rq.MulHadamard(d0, ct0.B, ct1.B)
+	rq.MulHadamard(d1, ct0.A, ct1.B)
+	rq.MulAddHadamard(d1, ct0.B, ct1.A)
+	rq.MulHadamard(d2, ct0.A, ct1.A)
+
+	// KeySwitch(d2) and fold in.
+	c0, c1, err := ev.keySwitch(d2, level, ev.keys.Relin)
+	if err != nil {
+		return nil, err
+	}
+	rq.Add(d0, d0, c0)
+	rq.Add(d1, d1, c1)
+	return &Ciphertext{B: d0, A: d1, Scale: ct0.Scale * ct1.Scale, Level: level}, nil
+}
+
+// Rescale divides the ciphertext by the top modulus q_ℓ, dropping one
+// level and dividing the scale by q_ℓ (HRescale).
+func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
+	if ct.Level == 0 {
+		return nil, fmt.Errorf("ckks: cannot rescale at level 0")
+	}
+	rq := ev.params.RingQ()
+	level := ct.Level
+	qL := rq.Mod(level).Q
+
+	out := &Ciphertext{
+		B: rq.NewPoly(level), A: rq.NewPoly(level),
+		Scale: ct.Scale / float64(qL), Level: level - 1,
+	}
+	rescalePoly(ev.params, out.B, ct.B, level)
+	rescalePoly(ev.params, out.A, ct.A, level)
+	return out, nil
+}
+
+// rescalePoly computes dst_i = (src_i − src_ℓ)·q_ℓ^{-1} mod q_i for
+// i < ℓ, with the last limb lifted through the coefficient domain.
+func rescalePoly(params *Parameters, dst, src *poly.Poly, level int) {
+	rq := params.RingQ()
+	qL := rq.Mod(level)
+
+	// Last limb to coefficient form.
+	last := append([]uint64(nil), src.Coeffs[level]...)
+	rq.Tables[level].Inverse(last)
+
+	n := rq.N
+	for i := 0; i < level; i++ {
+		m := rq.Mod(i)
+		qlInv := m.Inv(m.Reduce(qL.Q))
+		// Lift last-limb coefficients (centered) into q_i and NTT them
+		// under q_i so the subtraction happens in the NTT domain.
+		lifted := make([]uint64, n)
+		for j := 0; j < n; j++ {
+			v := last[j]
+			if v > qL.Q/2 { // centered lift
+				lifted[j] = m.Sub(m.Reduce(v), m.Reduce(qL.Q))
+			} else {
+				lifted[j] = m.Reduce(v)
+			}
+		}
+		rq.Tables[i].Forward(lifted)
+		di, si := dst.Coeffs[i], src.Coeffs[i]
+		for j := 0; j < n; j++ {
+			di[j] = m.Mul(m.Sub(si[j], lifted[j]), qlInv)
+		}
+	}
+	dst.IsNTT = true
+}
+
+// Rotate applies HRot: homomorphically rotates slots left by r using the
+// rotation key for r.
+func (ev *Evaluator) Rotate(ct *Ciphertext, r int) (*Ciphertext, error) {
+	if ev.keys == nil {
+		return nil, fmt.Errorf("ckks: Rotate requires rotation keys")
+	}
+	key, err := ev.keys.RotKey(r)
+	if err != nil {
+		return nil, err
+	}
+	return ev.automorphism(ct, ev.params.RingQ().GaloisElement(r), key)
+}
+
+// Conjugate applies the conjugation automorphism.
+func (ev *Evaluator) Conjugate(ct *Ciphertext) (*Ciphertext, error) {
+	if ev.keys == nil || ev.keys.Conj == nil {
+		return nil, fmt.Errorf("ckks: Conjugate requires the conjugation key")
+	}
+	return ev.automorphism(ct, ev.params.RingQ().GaloisElementConjugate(), ev.keys.Conj)
+}
+
+func (ev *Evaluator) automorphism(ct *Ciphertext, galois uint64, key *SwitchingKey) (*Ciphertext, error) {
+	rq := ev.params.RingQ()
+	level := ct.Level
+	limbs := level + 1
+
+	bAuto := applyAutoNTT(rq, ct.B, galois, limbs)
+	aAuto := applyAutoNTT(rq, ct.A, galois, limbs)
+
+	c0, c1, err := ev.keySwitch(aAuto, level, key)
+	if err != nil {
+		return nil, err
+	}
+	rq.Add(c0, c0, bAuto)
+	return &Ciphertext{B: c0, A: c1, Scale: ct.Scale, Level: level}, nil
+}
+
+// applyAutoNTT computes σ_g of an NTT-form polynomial by round-tripping
+// through the coefficient domain (the hardware instead permutes in place
+// with its shift networks; functionally identical).
+func applyAutoNTT(rq *poly.Ring, p *poly.Poly, galois uint64, limbs int) *poly.Poly {
+	tmp := (&poly.Poly{Coeffs: p.Coeffs[:limbs], IsNTT: p.IsNTT}).Copy()
+	rq.INTT(tmp)
+	out := rq.NewPoly(limbs)
+	rq.Automorphism(out, tmp, galois)
+	rq.NTT(out)
+	return out
+}
+
+// KeySwitch applies the raw key-switching primitive (Equation 1 of the
+// paper) to an NTT-form polynomial at the given level, returning the
+// (b, a) contribution pair.
+func (ev *Evaluator) KeySwitch(x *poly.Poly, level int, key *SwitchingKey) (*poly.Poly, *poly.Poly, error) {
+	return ev.keySwitch(x, level, key)
+}
+
+// keySwitch implements Decomp → ModUp → KSKInP → ModDown.
+func (ev *Evaluator) keySwitch(x *poly.Poly, level int, key *SwitchingKey) (*poly.Poly, *poly.Poly, error) {
+	params := ev.params
+	rqp := params.RingQP()
+	nQ := len(params.Q)
+	k := params.Alpha // number of special primes
+	n := rqp.N
+
+	if x.Limbs() != level+1 {
+		return nil, nil, fmt.Errorf("ckks: keySwitch operand has %d limbs, want %d", x.Limbs(), level+1)
+	}
+	digits := rns.DigitBounds(level, params.Alpha)
+	if len(digits) > key.Digits() {
+		return nil, nil, fmt.Errorf("ckks: key has %d digits, need %d", key.Digits(), len(digits))
+	}
+
+	// Decomp: operand to coefficient form once.
+	xc := x.Copy()
+	params.RingQ().INTT(xc)
+
+	// Extended limb set: q_0..q_level, p_0..p_{k-1}; QP indices.
+	extQP := make([]int, 0, level+1+k)
+	for i := 0; i <= level; i++ {
+		extQP = append(extQP, i)
+	}
+	for j := 0; j < k; j++ {
+		extQP = append(extQP, nQ+j)
+	}
+
+	acc0 := make([][]uint64, len(extQP))
+	acc1 := make([][]uint64, len(extQP))
+	for t := range extQP {
+		acc0[t] = make([]uint64, n)
+		acc1[t] = make([]uint64, n)
+	}
+
+	ext := make([][]uint64, len(extQP))
+	for d, bounds := range digits {
+		lo, hi := bounds[0], bounds[1]
+		conv := ev.modUpConvFor(level, d, lo, hi)
+
+		// ModUp: digit limbs copied, complement limbs base-converted.
+		src := xc.Coeffs[lo:hi]
+		compRows := make([][]uint64, 0, len(extQP)-(hi-lo))
+		for t, qp := range extQP {
+			if qp >= lo && qp < hi {
+				ext[t] = append([]uint64(nil), xc.Coeffs[qp]...)
+			} else {
+				row := make([]uint64, n)
+				ext[t] = row
+				compRows = append(compRows, row)
+			}
+		}
+		conv.ConvertColumns(compRows, src)
+
+		// To NTT form, limb by limb with the right table.
+		for t, qp := range extQP {
+			rqp.Tables[qp].Forward(ext[t])
+		}
+
+		// KSKInP: acc += ext ⊙ evk_d (both components).
+		kb, ka := key.B[d], key.A[d]
+		for t, qp := range extQP {
+			m := rqp.Mod(qp)
+			eRow := ext[t]
+			bRow, aRow := kb.Coeffs[qp], ka.Coeffs[qp]
+			a0, a1 := acc0[t], acc1[t]
+			for j := 0; j < n; j++ {
+				a0[j] = m.Add(a0[j], m.Mul(eRow[j], bRow[j]))
+				a1[j] = m.Add(a1[j], m.Mul(eRow[j], aRow[j]))
+			}
+		}
+	}
+
+	// ModDown: divide by P. For each accumulator, convert the P-part back
+	// to Q, subtract, and multiply by P^{-1}.
+	c0 := ev.modDown(acc0, extQP, level)
+	c1 := ev.modDown(acc1, extQP, level)
+	return c0, c1, nil
+}
+
+// modDown maps an extended-basis accumulator (NTT form) back to Q_level,
+// dividing by P.
+func (ev *Evaluator) modDown(acc [][]uint64, extQP []int, level int) *poly.Poly {
+	params := ev.params
+	rqp := params.RingQP()
+	rq := params.RingQ()
+	nQ := len(params.Q)
+	k := params.Alpha
+	n := rq.N
+
+	// P-part limbs to coefficient form.
+	pPart := make([][]uint64, k)
+	for j := 0; j < k; j++ {
+		t := level + 1 + j // position within ext limb list
+		row := append([]uint64(nil), acc[t]...)
+		rqp.Tables[nQ+j].Inverse(row)
+		pPart[j] = row
+	}
+
+	// Convert P-part into Q_level.
+	conv := ev.modDownConvFor(level)
+	corr := make([][]uint64, level+1)
+	for i := range corr {
+		corr[i] = make([]uint64, n)
+	}
+	conv.ConvertColumns(corr, pPart)
+
+	out := rq.NewPoly(level + 1)
+	out.IsNTT = true
+	for i := 0; i <= level; i++ {
+		m := rq.Mod(i)
+		rq.Tables[i].Forward(corr[i])
+		pInv := params.PInvModQ()[i]
+		ai, ci, oi := acc[i], corr[i], out.Coeffs[i]
+		for j := 0; j < n; j++ {
+			oi[j] = m.Mul(m.Sub(ai[j], ci[j]), pInv)
+		}
+	}
+	return out
+}
+
+// modUpConvFor returns (building and caching) the digit → complement
+// conversion for a digit spanning q-limbs [lo, hi) at the given level.
+func (ev *Evaluator) modUpConvFor(level, digit, lo, hi int) *rns.Conv {
+	ck := [2]int{level, digit}
+	if c, ok := ev.modUpConv[ck]; ok {
+		return c
+	}
+	params := ev.params
+	srcPrimes := params.Q[lo:hi]
+	dstPrimes := make([]uint64, 0, level+1-(hi-lo)+params.Alpha)
+	for i := 0; i <= level; i++ {
+		if i < lo || i >= hi {
+			dstPrimes = append(dstPrimes, params.Q[i])
+		}
+	}
+	dstPrimes = append(dstPrimes, params.P...)
+	src, err := rns.NewBasis(srcPrimes)
+	if err != nil {
+		panic(err) // parameter sets are validated at construction
+	}
+	dst, err := rns.NewBasis(dstPrimes)
+	if err != nil {
+		panic(err)
+	}
+	c := rns.NewConv(src, dst)
+	ev.modUpConv[ck] = c
+	return c
+}
+
+func (ev *Evaluator) modDownConvFor(level int) *rns.Conv {
+	if c, ok := ev.modDownConv[level]; ok {
+		return c
+	}
+	params := ev.params
+	src, err := rns.NewBasis(params.P)
+	if err != nil {
+		panic(err)
+	}
+	dst, err := rns.NewBasis(params.Q[:level+1])
+	if err != nil {
+		panic(err)
+	}
+	c := rns.NewConv(src, dst)
+	ev.modDownConv[level] = c
+	return c
+}
+
+func copyLimbs(dst, src *poly.Poly, limbs int) {
+	for i := 0; i < limbs; i++ {
+		copy(dst.Coeffs[i], src.Coeffs[i])
+	}
+	dst.IsNTT = src.IsNTT
+}
+
+func mulSignedScalar(rq *poly.Ring, dst, src *poly.Poly, k int64) {
+	for i := 0; i < src.Limbs(); i++ {
+		m := rq.Mod(i)
+		var km uint64
+		if k >= 0 {
+			km = m.Reduce(uint64(k))
+		} else {
+			km = m.Neg(m.Reduce(uint64(-k)))
+		}
+		ks := m.ShoupPrecomp(km)
+		si, di := src.Coeffs[i], dst.Coeffs[i]
+		for j := range si {
+			di[j] = m.MulShoup(si[j], km, ks)
+		}
+	}
+	dst.IsNTT = src.IsNTT
+}

@@ -1,0 +1,158 @@
+package ckks
+
+import (
+	"fmt"
+
+	"crophe/internal/poly"
+	"crophe/internal/rns"
+)
+
+// RotateHoisted computes several rotations of one ciphertext while
+// performing the expensive Decomp + ModUp only once (the Hoisting
+// optimisation of Figure 8(b), from [2]/[7]): because the Galois
+// automorphism σ_g acts coefficient-wise within every RNS limb, it
+// commutes with digit decomposition and base conversion, so
+//
+//	KeySwitch(σ_g(a)) = Σ_d σ_g(ModUp([a]_{D_d})) ⊙ evk_g,d,
+//
+// and the per-digit ModUp results are shared across all requested
+// rotation amounts. Returns a map from rotation amount to rotated
+// ciphertext. Rotation amount 0 returns the input unchanged.
+func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rotations []int) (map[int]*Ciphertext, error) {
+	if ev.keys == nil {
+		return nil, fmt.Errorf("ckks: RotateHoisted requires rotation keys")
+	}
+	params := ev.params
+	rq := params.RingQ()
+	rqp := params.RingQP()
+	level := ct.Level
+	nQ := len(params.Q)
+	k := params.Alpha
+	n := rq.N
+
+	out := make(map[int]*Ciphertext, len(rotations))
+
+	// Shared Decomp: operand to coefficient form once.
+	aCoeff := ct.A.Copy()
+	rq.INTT(aCoeff)
+	bCoeff := ct.B.Copy()
+	rq.INTT(bCoeff)
+
+	digits := rns.DigitBounds(level, params.Alpha)
+
+	// Extended limb set indices into ringQP.
+	extQP := make([]int, 0, level+1+k)
+	for i := 0; i <= level; i++ {
+		extQP = append(extQP, i)
+	}
+	for j := 0; j < k; j++ {
+		extQP = append(extQP, nQ+j)
+	}
+
+	// Shared ModUp: per digit, in COEFFICIENT form (so the automorphism
+	// can be applied per rotation before the NTT).
+	moduped := make([][][]uint64, len(digits)) // [digit][extLimb][N]
+	for d, bounds := range digits {
+		lo, hi := bounds[0], bounds[1]
+		conv := ev.modUpConvFor(level, d, lo, hi)
+		ext := make([][]uint64, len(extQP))
+		compRows := make([][]uint64, 0, len(extQP)-(hi-lo))
+		for t, qp := range extQP {
+			if qp >= lo && qp < hi {
+				ext[t] = append([]uint64(nil), aCoeff.Coeffs[qp]...)
+			} else {
+				row := make([]uint64, n)
+				ext[t] = row
+				compRows = append(compRows, row)
+			}
+		}
+		conv.ConvertColumns(compRows, aCoeff.Coeffs[lo:hi])
+		moduped[d] = ext
+	}
+
+	for _, r := range rotations {
+		if r == 0 {
+			out[0] = ct.CopyCt()
+			continue
+		}
+		key, err := ev.keys.RotKey(r)
+		if err != nil {
+			return nil, err
+		}
+		if len(digits) > key.Digits() {
+			return nil, fmt.Errorf("ckks: rotation key for %d has %d digits, need %d",
+				r, key.Digits(), len(digits))
+		}
+		galois := rq.GaloisElement(r)
+
+		acc0 := make([][]uint64, len(extQP))
+		acc1 := make([][]uint64, len(extQP))
+		for t := range extQP {
+			acc0[t] = make([]uint64, n)
+			acc1[t] = make([]uint64, n)
+		}
+
+		// Per digit: permute the shared ModUp result, NTT, inner-product.
+		entries := rqp.AutomorphismIndex(galois)
+		_ = entries
+		for d := range digits {
+			kb, ka := key.B[d], key.A[d]
+			for t, qp := range extQP {
+				m := rqp.Mod(qp)
+				// σ_g of this limb in coefficient form.
+				permuted := make([]uint64, n)
+				applyAutoRow(rqp, permuted, moduped[d][t], galois, qp)
+				rqp.Tables[qp].Forward(permuted)
+				bRow, aRow := kb.Coeffs[qp], ka.Coeffs[qp]
+				a0, a1 := acc0[t], acc1[t]
+				for j := 0; j < n; j++ {
+					a0[j] = m.Add(a0[j], m.Mul(permuted[j], bRow[j]))
+					a1[j] = m.Add(a1[j], m.Mul(permuted[j], aRow[j]))
+				}
+			}
+		}
+
+		c0 := ev.modDown(acc0, extQP, level)
+		c1 := ev.modDown(acc1, extQP, level)
+
+		// Add σ_g(b).
+		bAuto := rq.NewPoly(level + 1)
+		rq.Automorphism(bAuto, bCoeff, galois)
+		rq.NTT(bAuto)
+		rq.Add(c0, c0, bAuto)
+
+		out[r] = &Ciphertext{B: c0, A: c1, Scale: ct.Scale, Level: level}
+	}
+	return out, nil
+}
+
+// applyAutoRow applies the coefficient permutation of σ_g to a single
+// limb row under the modulus at QP index qp.
+func applyAutoRow(rqp *poly.Ring, dst, src []uint64, galois uint64, qp int) {
+	tmpIn := &poly.Poly{Coeffs: [][]uint64{src}}
+	tmpOut := &poly.Poly{Coeffs: [][]uint64{dst}}
+	// Build a single-limb view ring operation: Automorphism works on the
+	// limb list given; the modulus index must match, so shift the view.
+	subRing := ringView{rqp, qp}
+	subRing.automorphism(tmpOut, tmpIn, galois)
+}
+
+// ringView lets single-limb operations use the modulus at an arbitrary
+// limb index of a ring.
+type ringView struct {
+	r  *poly.Ring
+	qp int
+}
+
+func (v ringView) automorphism(dst, src *poly.Poly, galois uint64) {
+	m := v.r.Mod(v.qp)
+	entries := v.r.AutomorphismIndex(galois)
+	da, dd := src.Coeffs[0], dst.Coeffs[0]
+	for out, e := range entries {
+		val := da[e.Src()]
+		if e.Negate() {
+			val = m.Neg(val)
+		}
+		dd[out] = val
+	}
+}

@@ -1,0 +1,121 @@
+package ckks
+
+import (
+	"math/cmplx"
+	"testing"
+)
+
+func TestRotateHoistedMatchesRotate(t *testing.T) {
+	rotations := []int{1, 2, 5}
+	tc := newTestContext(t, 7, 2, 2, rotations)
+	v := randomValues(tc.rng, tc.params.Slots())
+	ct, err := EncryptAtLevel(tc.enc, tc.encr, v, tc.params.MaxLevel())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hoisted, err := tc.eval.RotateHoisted(ct, rotations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rotations {
+		direct, err := tc.eval.Rotate(ct, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotH := tc.enc.Decode(tc.decr.Decrypt(hoisted[r]))
+		gotD := tc.enc.Decode(tc.decr.Decrypt(direct))
+		var worst float64
+		for i := range gotH {
+			if e := cmplx.Abs(gotH[i] - gotD[i]); e > worst {
+				worst = e
+			}
+		}
+		if worst > 1e-4 {
+			t.Fatalf("rotation %d: hoisted deviates from direct by %g", r, worst)
+		}
+	}
+}
+
+func TestRotateHoistedCorrectValues(t *testing.T) {
+	rotations := []int{1, 3}
+	tc := newTestContext(t, 7, 2, 1, rotations) // dnum > 1 path via alpha=1
+	slots := tc.params.Slots()
+	v := randomValues(tc.rng, slots)
+	ct, _ := EncryptAtLevel(tc.enc, tc.encr, v, tc.params.MaxLevel())
+
+	hoisted, err := tc.eval.RotateHoisted(ct, rotations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rotations {
+		got := tc.enc.Decode(tc.decr.Decrypt(hoisted[r]))
+		var worst float64
+		for i := range got {
+			want := v[(i+r)%slots]
+			if e := cmplx.Abs(got[i] - want); e > worst {
+				worst = e
+			}
+		}
+		if worst > 1e-3 {
+			t.Fatalf("hoisted rotation %d error %g", r, worst)
+		}
+	}
+}
+
+func TestRotateHoistedZeroAmount(t *testing.T) {
+	tc := newTestContext(t, 6, 1, 1, []int{1})
+	v := randomValues(tc.rng, 4)
+	ct, _ := EncryptAtLevel(tc.enc, tc.encr, v, 0)
+	out, err := tc.eval.RotateHoisted(ct, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tc.enc.Decode(tc.decr.Decrypt(out[0]))
+	if e := maxErr(got[:4], v); e > 1e-4 {
+		t.Fatalf("identity rotation error %g", e)
+	}
+}
+
+func TestRotateHoistedMissingKey(t *testing.T) {
+	tc := newTestContext(t, 6, 1, 1, []int{1})
+	v := randomValues(tc.rng, 4)
+	ct, _ := EncryptAtLevel(tc.enc, tc.encr, v, 0)
+	if _, err := tc.eval.RotateHoisted(ct, []int{9}); err == nil {
+		t.Fatal("missing key should fail")
+	}
+	bare := NewEvaluator(tc.params, nil)
+	if _, err := bare.RotateHoisted(ct, []int{1}); err == nil {
+		t.Fatal("nil key set should fail")
+	}
+}
+
+func BenchmarkRotateHoisted8(b *testing.B) {
+	rotations := []int{1, 2, 3, 4, 5, 6, 7}
+	tc := newTestContext(b, 10, 3, 2, rotations)
+	v := randomValues(tc.rng, tc.params.Slots())
+	ct, _ := EncryptAtLevel(tc.enc, tc.encr, v, tc.params.MaxLevel())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tc.eval.RotateHoisted(ct, rotations); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRotateDirect8(b *testing.B) {
+	rotations := []int{1, 2, 3, 4, 5, 6, 7}
+	tc := newTestContext(b, 10, 3, 2, rotations)
+	v := randomValues(tc.rng, tc.params.Slots())
+	ct, _ := EncryptAtLevel(tc.enc, tc.encr, v, tc.params.MaxLevel())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range rotations {
+			if _, err := tc.eval.Rotate(ct, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

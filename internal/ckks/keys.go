@@ -1,0 +1,193 @@
+package ckks
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crophe/internal/poly"
+)
+
+// SecretKey is a ternary secret s represented over the full Q∪P basis in
+// NTT form.
+type SecretKey struct {
+	Value *poly.Poly // over ringQP, NTT form
+}
+
+// PublicKey is an encryption of zero: (b, a) = (−a·s + e, a) over Q.
+type PublicKey struct {
+	B, A *poly.Poly // over ringQ, NTT form
+}
+
+// SwitchingKey re-encrypts a polynomial from key sIn to the canonical
+// secret s. It holds dnum digit components, each a pair over Q∪P in NTT
+// form — the 2 × dnum × (α+L+1) × N tensor of the paper.
+type SwitchingKey struct {
+	B, A []*poly.Poly // [digit] over ringQP, NTT form
+}
+
+// Digits returns the number of digit components.
+func (k *SwitchingKey) Digits() int { return len(k.B) }
+
+// EvaluationKeySet bundles the relinearisation key and per-rotation keys.
+type EvaluationKeySet struct {
+	Relin    *SwitchingKey
+	Rot      map[int]*SwitchingKey // keyed by rotation amount
+	Conj     *SwitchingKey
+	galoisOf map[int]uint64
+}
+
+// RotKey returns the switching key for rotation r, or an error if it was
+// not generated.
+func (s *EvaluationKeySet) RotKey(r int) (*SwitchingKey, error) {
+	k, ok := s.Rot[r]
+	if !ok {
+		return nil, fmt.Errorf("ckks: no rotation key for amount %d", r)
+	}
+	return k, nil
+}
+
+// KeyGenerator creates key material under a parameter set.
+type KeyGenerator struct {
+	params *Parameters
+	rng    *rand.Rand
+}
+
+// NewKeyGenerator builds a generator with the given randomness source.
+func NewKeyGenerator(params *Parameters, rng *rand.Rand) *KeyGenerator {
+	return &KeyGenerator{params: params, rng: rng}
+}
+
+// GenSecretKey samples a ternary secret.
+func (g *KeyGenerator) GenSecretKey() *SecretKey {
+	rqp := g.params.RingQP()
+	s := rqp.TernaryPoly(rqp.K(), g.rng)
+	rqp.NTT(s)
+	return &SecretKey{Value: s}
+}
+
+// GenSecretKeySparse samples a sparse ternary secret with Hamming weight h,
+// required by bootstrapping so that the ModRaise overflow polynomial stays
+// within the EvalMod approximation range.
+func (g *KeyGenerator) GenSecretKeySparse(h int) *SecretKey {
+	rqp := g.params.RingQP()
+	s := rqp.SparseTernaryPoly(rqp.K(), h, g.rng)
+	rqp.NTT(s)
+	return &SecretKey{Value: s}
+}
+
+// GenPublicKey builds (−a·s + e, a) over Q.
+func (g *KeyGenerator) GenPublicKey(sk *SecretKey) *PublicKey {
+	rq := g.params.RingQ()
+	limbs := rq.K()
+	a := rq.UniformPoly(limbs, g.rng)
+	a.IsNTT = true // uniform in NTT domain is uniform
+	e := rq.GaussianPoly(limbs, g.params.Sigma, g.rng)
+	rq.NTT(e)
+
+	sQ := restrictToQ(g.params, sk.Value, limbs)
+	b := rq.NewPoly(limbs)
+	rq.MulHadamard(b, a, sQ)
+	rq.Neg(b, b)
+	rq.Add(b, b, e)
+	return &PublicKey{B: b, A: a}
+}
+
+// GenRelinKey produces the switching key for s² → s (the HMult evk).
+func (g *KeyGenerator) GenRelinKey(sk *SecretKey) *SwitchingKey {
+	rqp := g.params.RingQP()
+	s2 := rqp.NewPoly(rqp.K())
+	rqp.MulHadamard(s2, sk.Value, sk.Value)
+	return g.genSwitchingKey(sk, s2)
+}
+
+// GenRotationKey produces the switching key for σ_g(s) → s where g rotates
+// slots by r.
+func (g *KeyGenerator) GenRotationKey(sk *SecretKey, r int) *SwitchingKey {
+	return g.genAutomorphismKey(sk, g.params.RingQ().GaloisElement(r))
+}
+
+// GenConjugationKey produces the key for the conjugation automorphism.
+func (g *KeyGenerator) GenConjugationKey(sk *SecretKey) *SwitchingKey {
+	return g.genAutomorphismKey(sk, g.params.RingQ().GaloisElementConjugate())
+}
+
+func (g *KeyGenerator) genAutomorphismKey(sk *SecretKey, galois uint64) *SwitchingKey {
+	rqp := g.params.RingQP()
+	sCoeff := sk.Value.Copy()
+	rqp.INTT(sCoeff)
+	sAuto := rqp.NewPoly(rqp.K())
+	rqp.Automorphism(sAuto, sCoeff, galois)
+	rqp.NTT(sAuto)
+	return g.genSwitchingKey(sk, sAuto)
+}
+
+// GenEvaluationKeySet generates the relinearisation key, rotation keys for
+// the listed amounts, and the conjugation key.
+func (g *KeyGenerator) GenEvaluationKeySet(sk *SecretKey, rotations []int) *EvaluationKeySet {
+	set := &EvaluationKeySet{
+		Relin:    g.GenRelinKey(sk),
+		Rot:      make(map[int]*SwitchingKey, len(rotations)),
+		Conj:     g.GenConjugationKey(sk),
+		galoisOf: make(map[int]uint64, len(rotations)),
+	}
+	for _, r := range rotations {
+		if _, dup := set.Rot[r]; dup {
+			continue
+		}
+		set.Rot[r] = g.GenRotationKey(sk, r)
+		set.galoisOf[r] = g.params.RingQ().GaloisElement(r)
+	}
+	return set
+}
+
+// genSwitchingKey encrypts P·q̃_d·sIn under s for every digit d, where
+// q̃_d ≡ 1 (mod q_i) for limbs i in digit d and ≡ 0 (mod q_i) elsewhere,
+// and P·q̃_d ≡ 0 (mod p_j). In RNS this constant is simply "P mod q_i on
+// the digit's limbs, zero everywhere else".
+func (g *KeyGenerator) genSwitchingKey(sk *SecretKey, sIn *poly.Poly) *SwitchingKey {
+	params := g.params
+	rqp := params.RingQP()
+	nQ := len(params.Q)
+	dnum := params.DNum()
+	key := &SwitchingKey{
+		B: make([]*poly.Poly, dnum),
+		A: make([]*poly.Poly, dnum),
+	}
+	for d := 0; d < dnum; d++ {
+		a := rqp.UniformPoly(rqp.K(), g.rng)
+		a.IsNTT = true
+		e := rqp.GaussianPoly(rqp.K(), params.Sigma, g.rng)
+		rqp.NTT(e)
+
+		b := rqp.NewPoly(rqp.K())
+		rqp.MulHadamard(b, a, sk.Value)
+		rqp.Neg(b, b)
+		rqp.Add(b, b, e)
+
+		// Add P·q̃_d·sIn limb-wise.
+		lo := d * params.Alpha
+		hi := lo + params.Alpha
+		if hi > nQ {
+			hi = nQ
+		}
+		for i := lo; i < hi; i++ {
+			m := rqp.Mod(i)
+			pModQi := params.PModQ()[i]
+			bi, si := b.Coeffs[i], sIn.Coeffs[i]
+			for j := range bi {
+				bi[j] = m.Add(bi[j], m.Mul(pModQi, si[j]))
+			}
+		}
+		key.B[d], key.A[d] = b, a
+	}
+	return key
+}
+
+// restrictToQ views the first limbs limbs of a Q∪P polynomial as a ringQ
+// polynomial (sharing storage).
+func restrictToQ(params *Parameters, p *poly.Poly, limbs int) *poly.Poly {
+	if limbs > len(params.Q) {
+		panic("ckks: restrictToQ beyond Q limbs")
+	}
+	return &poly.Poly{Coeffs: p.Coeffs[:limbs], IsNTT: p.IsNTT}
+}

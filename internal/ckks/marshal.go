@@ -1,0 +1,185 @@
+package ckks
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"crophe/internal/poly"
+)
+
+// Binary serialisation for key material and ciphertexts, so a deployment
+// can persist keys and ship ciphertexts between parties. The format is a
+// little-endian stream with explicit dimensions; parameters travel
+// separately (both sides of a protocol share them by agreement).
+
+const marshalMagic = uint32(0xC_0FE_01)
+
+func writePoly(buf *bytes.Buffer, p *poly.Poly) {
+	var ntt uint8
+	if p.IsNTT {
+		ntt = 1
+	}
+	binary.Write(buf, binary.LittleEndian, ntt)
+	binary.Write(buf, binary.LittleEndian, uint32(p.Limbs()))
+	binary.Write(buf, binary.LittleEndian, uint32(len(p.Coeffs[0])))
+	for _, limb := range p.Coeffs {
+		binary.Write(buf, binary.LittleEndian, limb)
+	}
+}
+
+func readPoly(r *bytes.Reader) (*poly.Poly, error) {
+	var ntt uint8
+	if err := binary.Read(r, binary.LittleEndian, &ntt); err != nil {
+		return nil, fmt.Errorf("ckks: poly header: %w", err)
+	}
+	var limbs, n uint32
+	if err := binary.Read(r, binary.LittleEndian, &limbs); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if limbs == 0 || limbs > 1024 || n == 0 || n > (1<<20) {
+		return nil, fmt.Errorf("ckks: implausible poly dimensions %d×%d", limbs, n)
+	}
+	p := &poly.Poly{IsNTT: ntt == 1, Coeffs: make([][]uint64, limbs)}
+	for i := range p.Coeffs {
+		p.Coeffs[i] = make([]uint64, n)
+		if err := binary.Read(r, binary.LittleEndian, p.Coeffs[i]); err != nil {
+			return nil, fmt.Errorf("ckks: poly limb %d: %w", i, err)
+		}
+	}
+	return p, nil
+}
+
+// MarshalCiphertext serialises a ciphertext (including a pending D2 part).
+func MarshalCiphertext(ct *Ciphertext) []byte {
+	buf := new(bytes.Buffer)
+	binary.Write(buf, binary.LittleEndian, marshalMagic)
+	binary.Write(buf, binary.LittleEndian, uint32(ct.Level))
+	binary.Write(buf, binary.LittleEndian, math.Float64bits(ct.Scale))
+	var deg uint8 = 1
+	if ct.D2 != nil {
+		deg = 2
+	}
+	binary.Write(buf, binary.LittleEndian, deg)
+	writePoly(buf, ct.B)
+	writePoly(buf, ct.A)
+	if ct.D2 != nil {
+		writePoly(buf, ct.D2)
+	}
+	return buf.Bytes()
+}
+
+// UnmarshalCiphertext reverses MarshalCiphertext.
+func UnmarshalCiphertext(data []byte) (*Ciphertext, error) {
+	r := bytes.NewReader(data)
+	var magic uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != marshalMagic {
+		return nil, fmt.Errorf("ckks: bad magic %#x", magic)
+	}
+	var level uint32
+	if err := binary.Read(r, binary.LittleEndian, &level); err != nil {
+		return nil, err
+	}
+	var scaleBits uint64
+	if err := binary.Read(r, binary.LittleEndian, &scaleBits); err != nil {
+		return nil, err
+	}
+	var deg uint8
+	if err := binary.Read(r, binary.LittleEndian, &deg); err != nil {
+		return nil, err
+	}
+	if deg != 1 && deg != 2 {
+		return nil, fmt.Errorf("ckks: bad ciphertext degree %d", deg)
+	}
+	ct := &Ciphertext{Level: int(level), Scale: math.Float64frombits(scaleBits)}
+	var err error
+	if ct.B, err = readPoly(r); err != nil {
+		return nil, err
+	}
+	if ct.A, err = readPoly(r); err != nil {
+		return nil, err
+	}
+	if deg == 2 {
+		if ct.D2, err = readPoly(r); err != nil {
+			return nil, err
+		}
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("ckks: %d trailing bytes", r.Len())
+	}
+	return ct, nil
+}
+
+// MarshalSecretKey serialises a secret key.
+func MarshalSecretKey(sk *SecretKey) []byte {
+	buf := new(bytes.Buffer)
+	binary.Write(buf, binary.LittleEndian, marshalMagic)
+	writePoly(buf, sk.Value)
+	return buf.Bytes()
+}
+
+// UnmarshalSecretKey reverses MarshalSecretKey.
+func UnmarshalSecretKey(data []byte) (*SecretKey, error) {
+	r := bytes.NewReader(data)
+	var magic uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != marshalMagic {
+		return nil, fmt.Errorf("ckks: bad magic %#x", magic)
+	}
+	v, err := readPoly(r)
+	if err != nil {
+		return nil, err
+	}
+	return &SecretKey{Value: v}, nil
+}
+
+// MarshalSwitchingKey serialises a switching key (all digit components).
+func MarshalSwitchingKey(k *SwitchingKey) []byte {
+	buf := new(bytes.Buffer)
+	binary.Write(buf, binary.LittleEndian, marshalMagic)
+	binary.Write(buf, binary.LittleEndian, uint32(k.Digits()))
+	for d := 0; d < k.Digits(); d++ {
+		writePoly(buf, k.B[d])
+		writePoly(buf, k.A[d])
+	}
+	return buf.Bytes()
+}
+
+// UnmarshalSwitchingKey reverses MarshalSwitchingKey.
+func UnmarshalSwitchingKey(data []byte) (*SwitchingKey, error) {
+	r := bytes.NewReader(data)
+	var magic uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != marshalMagic {
+		return nil, fmt.Errorf("ckks: bad magic %#x", magic)
+	}
+	var digits uint32
+	if err := binary.Read(r, binary.LittleEndian, &digits); err != nil {
+		return nil, err
+	}
+	if digits == 0 || digits > 256 {
+		return nil, fmt.Errorf("ckks: implausible digit count %d", digits)
+	}
+	k := &SwitchingKey{B: make([]*poly.Poly, digits), A: make([]*poly.Poly, digits)}
+	var err error
+	for d := 0; d < int(digits); d++ {
+		if k.B[d], err = readPoly(r); err != nil {
+			return nil, err
+		}
+		if k.A[d], err = readPoly(r); err != nil {
+			return nil, err
+		}
+	}
+	return k, nil
+}

@@ -1,0 +1,135 @@
+package ckks
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCiphertextMarshalRoundTrip(t *testing.T) {
+	tc := newTestContext(t, 6, 2, 1, nil)
+	v := randomValues(tc.rng, tc.params.Slots())
+	ct, _ := EncryptAtLevel(tc.enc, tc.encr, v, tc.params.MaxLevel())
+
+	data := MarshalCiphertext(ct)
+	back, err := UnmarshalCiphertext(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Level != ct.Level || back.Scale != ct.Scale || back.Degree() != 1 {
+		t.Fatal("metadata mismatch")
+	}
+	if !back.B.Equal(ct.B) || !back.A.Equal(ct.A) {
+		t.Fatal("polynomial mismatch")
+	}
+	// The deserialised ciphertext decrypts identically.
+	got := tc.enc.Decode(tc.decr.Decrypt(back))
+	if e := maxErr(got, v); e > 1e-4 {
+		t.Fatalf("decrypt after roundtrip error %g", e)
+	}
+}
+
+func TestDegree2CiphertextMarshal(t *testing.T) {
+	tc := newTestContext(t, 6, 2, 1, nil)
+	v := randomValues(tc.rng, 4)
+	ct, _ := EncryptAtLevel(tc.enc, tc.encr, v, tc.params.MaxLevel())
+	deg2, err := tc.eval.MulNoRelin(ct, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalCiphertext(MarshalCiphertext(deg2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Degree() != 2 || !back.D2.Equal(deg2.D2) {
+		t.Fatal("degree-2 part lost")
+	}
+}
+
+func TestSecretKeyMarshalRoundTrip(t *testing.T) {
+	tc := newTestContext(t, 6, 1, 1, nil)
+	data := MarshalSecretKey(tc.sk)
+	back, err := UnmarshalSecretKey(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Value.Equal(tc.sk.Value) {
+		t.Fatal("secret key mismatch")
+	}
+	// Decryption with the deserialised key works.
+	v := randomValues(tc.rng, 4)
+	ct, _ := EncryptAtLevel(tc.enc, tc.encr, v, 0)
+	dec := NewDecryptor(tc.params, back)
+	got := tc.enc.Decode(dec.Decrypt(ct))
+	if e := maxErr(got[:4], v); e > 1e-4 {
+		t.Fatalf("decrypt with restored key error %g", e)
+	}
+}
+
+func TestSwitchingKeyMarshalRoundTrip(t *testing.T) {
+	tc := newTestContext(t, 6, 2, 1, nil)
+	data := MarshalSwitchingKey(tc.keys.Relin)
+	back, err := UnmarshalSwitchingKey(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Digits() != tc.keys.Relin.Digits() {
+		t.Fatal("digit count")
+	}
+	for d := 0; d < back.Digits(); d++ {
+		if !back.B[d].Equal(tc.keys.Relin.B[d]) || !back.A[d].Equal(tc.keys.Relin.A[d]) {
+			t.Fatalf("digit %d mismatch", d)
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorruptData(t *testing.T) {
+	tc := newTestContext(t, 6, 1, 1, nil)
+	v := randomValues(tc.rng, 4)
+	ct, _ := EncryptAtLevel(tc.enc, tc.encr, v, 0)
+	data := MarshalCiphertext(ct)
+
+	// Bad magic.
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xFF
+	if _, err := UnmarshalCiphertext(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated.
+	if _, err := UnmarshalCiphertext(data[:len(data)/2]); err == nil {
+		t.Error("truncated data accepted")
+	}
+	// Trailing garbage.
+	if _, err := UnmarshalCiphertext(append(data, 0x00)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// Empty.
+	if _, err := UnmarshalCiphertext(nil); err == nil {
+		t.Error("empty data accepted")
+	}
+	// Implausible dimensions: forge a huge limb count.
+	forged := new(bytes.Buffer)
+	forged.Write(data[:13]) // magic + level + scale + degree
+	forged.Write([]byte{0, 0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := UnmarshalCiphertext(forged.Bytes()); err == nil {
+		t.Error("implausible dimensions accepted")
+	}
+	if _, err := UnmarshalSecretKey([]byte{1, 2, 3}); err == nil {
+		t.Error("short secret key accepted")
+	}
+	if _, err := UnmarshalSwitchingKey([]byte{1, 2, 3}); err == nil {
+		t.Error("short switching key accepted")
+	}
+}
+
+func TestMarshalSizeMatchesExpectation(t *testing.T) {
+	tc := newTestContext(t, 6, 2, 1, nil)
+	v := randomValues(tc.rng, 4)
+	ct, _ := EncryptAtLevel(tc.enc, tc.encr, v, tc.params.MaxLevel())
+	data := MarshalCiphertext(ct)
+	// 2 polys × limbs × N × 8 bytes plus small headers.
+	limbs := tc.params.MaxLevel() + 1
+	payload := 2 * limbs * tc.params.N() * 8
+	if len(data) < payload || len(data) > payload+64 {
+		t.Fatalf("serialised size %d, payload %d", len(data), payload)
+	}
+}

@@ -1,0 +1,56 @@
+package ckks
+
+import (
+	"math"
+	"math/big"
+)
+
+// NoiseBits measures the actual noise of a ciphertext against the exact
+// plaintext it should contain: it decrypts, subtracts the reference
+// encoding, and returns log₂ of the largest residual coefficient. The
+// remaining noise budget is roughly log₂(q₀·…·q_ℓ·/2) − NoiseBits; when
+// the noise reaches the scale's magnitude the message is drowned.
+//
+// This is a debugging/validation utility — it requires the secret key and
+// the true message, so it lives on the Decryptor.
+func (d *Decryptor) NoiseBits(ct *Ciphertext, want *Plaintext) float64 {
+	rq := d.params.RingQ()
+	dec := d.Decrypt(ct)
+
+	limbs := ct.Level + 1
+	if want.Level+1 < limbs {
+		limbs = want.Level + 1
+	}
+	diff := rq.NewPoly(limbs)
+	dv := dec.Value.Copy()
+	dv.DropLevel(limbs)
+	wv := want.Value.Copy()
+	wv.DropLevel(limbs)
+	rq.Sub(diff, dv, wv)
+	rq.INTT(diff)
+
+	basis := d.params.QAtLevel(limbs - 1)
+	residues := make([]uint64, limbs)
+	maxBits := math.Inf(-1)
+	for j := 0; j < rq.N; j++ {
+		for i := 0; i < limbs; i++ {
+			residues[i] = diff.Coeffs[i][j]
+		}
+		c := basis.ReconstructCentered(residues)
+		bits := float64(new(big.Int).Abs(c).BitLen())
+		if bits > maxBits {
+			maxBits = bits
+		}
+	}
+	return maxBits
+}
+
+// LogQ returns log₂ of the ciphertext modulus at a level — the total
+// noise budget available there.
+func (p *Parameters) LogQ(level int) float64 {
+	var total float64
+	for i := 0; i <= level && i < len(p.Q); i++ {
+		total += math.Log2(float64(p.Q[i]))
+	}
+	return total
+}

@@ -1,0 +1,145 @@
+// Package ckks implements the RNS-CKKS fully homomorphic encryption scheme
+// that every CROPHE workload runs on: approximate fixed-point encoding via
+// the canonical embedding, encryption, and the homomorphic operator set of
+// the paper — HAdd, HMult (with digit-decomposed key-switching), CAdd,
+// CMult, PAdd, PMult, HRot (automorphism + key-switching) and HRescale.
+//
+// The implementation favours clarity and testability over raw speed (the
+// performance questions of the paper are answered by the cycle simulator,
+// not by this functional substrate), but all algorithms are the real RNS
+// algorithms: the same Decomp → ModUp → KSKInP → ModDown pipeline whose
+// dataflow the scheduler optimises.
+package ckks
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crophe/internal/modmath"
+	"crophe/internal/poly"
+	"crophe/internal/rns"
+)
+
+// Parameters fixes a CKKS instance: ring degree, moduli chain, special
+// primes, digit decomposition shape and encoding scale.
+type Parameters struct {
+	LogN  int      // ring degree N = 2^LogN
+	Q     []uint64 // ciphertext moduli q_0..q_L (level L = len(Q)-1)
+	P     []uint64 // special moduli p_0..p_{k-1}, k = Alpha
+	Alpha int      // limbs per key-switching digit
+	Scale float64  // encoding scale Δ
+	Sigma float64  // error standard deviation
+
+	ringQ  *poly.Ring // ring over Q
+	ringQP *poly.Ring // ring over Q ∪ P
+	pModQ  []uint64   // P mod q_i for each i
+	pInvQ  []uint64   // P^{-1} mod q_i
+}
+
+// N returns the ring degree.
+func (p *Parameters) N() int { return 1 << p.LogN }
+
+// Slots returns the number of plaintext slots N/2.
+func (p *Parameters) Slots() int { return p.N() / 2 }
+
+// MaxLevel returns L.
+func (p *Parameters) MaxLevel() int { return len(p.Q) - 1 }
+
+// DNum returns the maximum digit count ceil((L+1)/α).
+func (p *Parameters) DNum() int {
+	return (len(p.Q) + p.Alpha - 1) / p.Alpha
+}
+
+// RingQ returns the ciphertext-modulus ring.
+func (p *Parameters) RingQ() *poly.Ring { return p.ringQ }
+
+// RingQP returns the extended ring over Q ∪ P used during key-switching.
+func (p *Parameters) RingQP() *poly.Ring { return p.ringQP }
+
+// PModQ returns P mod q_i.
+func (p *Parameters) PModQ() []uint64 { return p.pModQ }
+
+// PInvModQ returns P^{-1} mod q_i.
+func (p *Parameters) PInvModQ() []uint64 { return p.pInvQ }
+
+// NewParameters validates and precomputes a parameter set.
+func NewParameters(logN int, q, pSpecial []uint64, alpha int, scale, sigma float64) (*Parameters, error) {
+	if logN < 3 || logN > 18 {
+		return nil, fmt.Errorf("ckks: logN %d out of range [3,18]", logN)
+	}
+	if len(q) == 0 {
+		return nil, fmt.Errorf("ckks: empty modulus chain")
+	}
+	if alpha < 1 || alpha > len(q) {
+		return nil, fmt.Errorf("ckks: alpha %d out of range [1,%d]", alpha, len(q))
+	}
+	if len(pSpecial) != alpha {
+		return nil, fmt.Errorf("ckks: need %d special primes (= alpha), got %d", alpha, len(pSpecial))
+	}
+	if scale < 2 {
+		return nil, fmt.Errorf("ckks: scale %f too small", scale)
+	}
+	n := 1 << logN
+	params := &Parameters{
+		LogN: logN, Q: append([]uint64(nil), q...), P: append([]uint64(nil), pSpecial...),
+		Alpha: alpha, Scale: scale, Sigma: sigma,
+	}
+	var err error
+	params.ringQ, err = poly.NewRing(n, params.Q)
+	if err != nil {
+		return nil, fmt.Errorf("ckks: ring Q: %w", err)
+	}
+	all := append(append([]uint64(nil), params.Q...), params.P...)
+	params.ringQP, err = poly.NewRing(n, all)
+	if err != nil {
+		return nil, fmt.Errorf("ckks: ring QP: %w", err)
+	}
+	params.pModQ = make([]uint64, len(q))
+	params.pInvQ = make([]uint64, len(q))
+	for i := range q {
+		m := modmath.MustModulus(q[i])
+		acc := uint64(1)
+		for _, pj := range pSpecial {
+			acc = m.Mul(acc, m.Reduce(pj))
+		}
+		params.pModQ[i] = acc
+		params.pInvQ[i] = m.Inv(acc)
+	}
+	return params, nil
+}
+
+// TestParameters builds a small but fully functional parameter set for
+// unit tests: logN, level count L (so L+1 ciphertext moduli), alpha.
+// The rescaling primes sit just below the scale Δ = 2^40 so that scales
+// stay aligned across levels (standard CKKS practice); q_0 is wider to
+// carry the integer part, and the special primes are wider still so P
+// dominates every digit.
+func TestParameters(logN, levels, alpha int) (*Parameters, error) {
+	n := uint64(1) << logN
+	q0, err := modmath.GeneratePrimes(45, n, 1)
+	if err != nil {
+		return nil, err
+	}
+	qs := q0
+	if levels > 0 {
+		rescale, err := modmath.GeneratePrimes(40, n, levels)
+		if err != nil {
+			return nil, err
+		}
+		qs = append(qs, rescale...)
+	}
+	ps, err := modmath.GeneratePrimes(46, n, alpha)
+	if err != nil {
+		return nil, err
+	}
+	return NewParameters(logN, qs, ps, alpha, float64(1<<40), 3.2)
+}
+
+// QAtLevel returns the sub-basis q_0..q_level.
+func (p *Parameters) QAtLevel(level int) *rns.Basis {
+	return p.ringQ.Basis.Sub(0, level+1)
+}
+
+// NewTestRand returns a deterministic RNG for reproducible key material in
+// tests and examples.
+func NewTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

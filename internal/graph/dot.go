@@ -1,0 +1,51 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format for inspection of
+// workload structure and scheduler decisions. Intermediate edges are
+// solid, auxiliary edges dashed and labelled with their aux id; operator
+// kinds select node shapes (NTT-family boxes, data movement ellipses,
+// constants/IO diamonds).
+func (g *Graph) WriteDOT(w io.Writer, title string) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n  node [fontsize=10];\n", title); err != nil {
+		return err
+	}
+	for _, n := range g.Nodes {
+		shape := "box"
+		switch n.Kind {
+		case OpAutomorph, OpTranspose:
+			shape = "ellipse"
+		case OpConst, OpInput, OpOutput:
+			shape = "diamond"
+		}
+		label := fmt.Sprintf("%s\\n%s", n.Kind, n.Name)
+		if _, err := fmt.Fprintf(w, "  n%d [label=%q shape=%s];\n", n.ID, label, shape); err != nil {
+			return err
+		}
+	}
+	for _, n := range g.Nodes {
+		for _, e := range n.OutEdges {
+			attrs := ""
+			if e.Class == Auxiliary {
+				attrs = fmt.Sprintf(" [style=dashed label=%q]", shorten(e.AuxID))
+			}
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d%s;\n", e.From.ID, e.To.ID, attrs); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func shorten(s string) string {
+	if len(s) > 24 {
+		return s[:21] + "..."
+	}
+	return strings.ReplaceAll(s, "\"", "'")
+}

@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+)
+
+// Fingerprint returns a structural hash of the graph: operator kinds,
+// shapes, attributes and the edge pattern, with node identity abstracted
+// to topological positions and auxiliary identities to their shapes and
+// sharing pattern. Two graphs with equal fingerprints describe the same
+// computation up to renaming — the redundancy the paper's pre-partitioning
+// merges to "search only once" (§V-D). The scheduler memoises segment
+// schedules by (fingerprint, hardware, options).
+func (g *Graph) Fingerprint() string {
+	topo := g.Topological()
+	pos := make(map[*Node]int, len(topo))
+	for i, n := range topo {
+		pos[n] = i
+	}
+	// Canonical aux numbering: order of first appearance in topo order.
+	auxNum := map[string]int{}
+	h := sha256.New()
+	buf := make([]byte, 8)
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf, uint64(int64(v)))
+		h.Write(buf)
+	}
+	for _, n := range topo {
+		writeInt(int(n.Kind))
+		writeInt(n.Out.Digits)
+		writeInt(n.Out.Limbs)
+		writeInt(n.Out.N)
+		writeInt(n.SubNTTLen)
+		writeInt(n.BConvWidth)
+		// Edges sorted by (consumer position, class) for determinism.
+		edges := append([]*Edge(nil), n.OutEdges...)
+		sort.Slice(edges, func(i, j int) bool {
+			pi, pj := pos[edges[i].To], pos[edges[j].To]
+			if pi != pj {
+				return pi < pj
+			}
+			return edges[i].Class < edges[j].Class
+		})
+		writeInt(len(edges))
+		for _, e := range edges {
+			writeInt(pos[e.To])
+			writeInt(int(e.Class))
+			writeInt(e.Shape.Digits)
+			writeInt(e.Shape.Limbs)
+			writeInt(e.Shape.N)
+			if e.Class == Auxiliary {
+				id, ok := auxNum[e.AuxID]
+				if !ok {
+					id = len(auxNum)
+					auxNum[e.AuxID] = id
+				}
+				writeInt(id)
+				// Distinguish evk-class aux (PRNG-halved) from others.
+				if isEvkID(e.AuxID) {
+					writeInt(1)
+				} else {
+					writeInt(0)
+				}
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+func isEvkID(id string) bool {
+	return len(id) >= 4 && id[:4] == "evk:"
+}

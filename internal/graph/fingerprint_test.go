@@ -1,0 +1,94 @@
+package graph
+
+import "testing"
+
+func simpleChain(names [3]string, auxID string) *Graph {
+	g := New()
+	shape := Tensor{Digits: 1, Limbs: 3, N: 256}
+	a := g.AddNode(OpEWMul, names[0], shape)
+	b := g.AddNode(OpNTT, names[1], shape)
+	b.SubNTTLen = 256
+	c := g.AddNode(OpEWAdd, names[2], shape)
+	evk := g.AddNode(OpConst, "k", Tensor{Digits: 2, Limbs: 5, N: 256})
+	g.Connect(a, b)
+	g.Connect(b, c)
+	g.ConnectAux(evk, c, auxID)
+	return g
+}
+
+func TestFingerprintIgnoresNames(t *testing.T) {
+	g1 := simpleChain([3]string{"x", "y", "z"}, "evk:rot1:l3")
+	g2 := simpleChain([3]string{"p", "q", "r"}, "evk:rot7:l9")
+	if g1.Fingerprint() != g2.Fingerprint() {
+		t.Fatal("fingerprint should abstract names and aux identities")
+	}
+}
+
+func TestFingerprintDetectsStructure(t *testing.T) {
+	base := simpleChain([3]string{"a", "b", "c"}, "evk:r:l")
+
+	// Different kind.
+	g2 := New()
+	shape := Tensor{Digits: 1, Limbs: 3, N: 256}
+	a := g2.AddNode(OpEWAdd, "a", shape) // was EWMul
+	b := g2.AddNode(OpNTT, "b", shape)
+	b.SubNTTLen = 256
+	c := g2.AddNode(OpEWAdd, "c", shape)
+	evk := g2.AddNode(OpConst, "k", Tensor{Digits: 2, Limbs: 5, N: 256})
+	g2.Connect(a, b)
+	g2.Connect(b, c)
+	g2.ConnectAux(evk, c, "evk:r:l")
+	if base.Fingerprint() == g2.Fingerprint() {
+		t.Fatal("different op kinds must change the fingerprint")
+	}
+
+	// Different shape.
+	g3 := simpleChain([3]string{"a", "b", "c"}, "evk:r:l")
+	g3.Nodes[0].Out.Limbs = 4
+	if base.Fingerprint() == g3.Fingerprint() {
+		t.Fatal("different shapes must change the fingerprint")
+	}
+}
+
+func TestFingerprintDistinguishesAuxSharing(t *testing.T) {
+	// Two consumers of the SAME aux vs two DIFFERENT auxes.
+	build := func(sameAux bool) *Graph {
+		g := New()
+		shape := Tensor{Digits: 1, Limbs: 2, N: 64}
+		evk := g.AddNode(OpConst, "k", shape)
+		a := g.AddNode(OpInP, "a", shape)
+		b := g.AddNode(OpInP, "b", shape)
+		g.Connect(a, b)
+		g.ConnectAux(evk, a, "evk:x")
+		id := "evk:x"
+		if !sameAux {
+			id = "evk:y"
+		}
+		g.ConnectAux(evk, b, id)
+		return g
+	}
+	if build(true).Fingerprint() == build(false).Fingerprint() {
+		t.Fatal("aux sharing pattern must be part of the fingerprint")
+	}
+}
+
+func TestFingerprintDistinguishesEvkFromPlaintext(t *testing.T) {
+	build := func(id string) *Graph {
+		g := New()
+		shape := Tensor{Digits: 1, Limbs: 2, N: 64}
+		cst := g.AddNode(OpConst, "k", shape)
+		a := g.AddNode(OpEWMul, "a", shape)
+		g.ConnectAux(cst, a, id)
+		return g
+	}
+	if build("evk:r1").Fingerprint() == build("pt:diag1").Fingerprint() {
+		t.Fatal("evk and plaintext aux classes must differ")
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	g := simpleChain([3]string{"a", "b", "c"}, "evk:r:l")
+	if g.Fingerprint() != g.Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+}

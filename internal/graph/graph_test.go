@@ -1,0 +1,185 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTensorElemsAndBytes(t *testing.T) {
+	cases := []struct {
+		ten  Tensor
+		want int64
+	}{
+		{Tensor{Digits: 1, Limbs: 3, N: 64}, 192},
+		{Tensor{Digits: 0, Limbs: 2, N: 16}, 32}, // zero digits treated as 1
+		{Tensor{Digits: 4, Limbs: 5, N: 8}, 160},
+	}
+	for _, c := range cases {
+		if got := c.ten.Elems(); got != c.want {
+			t.Errorf("Elems(%+v) = %d want %d", c.ten, got, c.want)
+		}
+	}
+	if b := (Tensor{Digits: 1, Limbs: 2, N: 4}).Bytes(8); b != 64 {
+		t.Errorf("Bytes = %g", b)
+	}
+	if b := (Tensor{Digits: 1, Limbs: 2, N: 4}).Bytes(4.5); b != 36 {
+		t.Errorf("Bytes(36-bit) = %g", b)
+	}
+}
+
+func TestModMulCosts(t *testing.T) {
+	g := New()
+	shape := Tensor{Digits: 1, Limbs: 2, N: 1024}
+
+	ew := g.AddNode(OpEWMul, "mul", shape)
+	if ew.ModMuls() != 2048 {
+		t.Errorf("ew-mul load %d", ew.ModMuls())
+	}
+
+	ntt := g.AddNode(OpNTT, "ntt", shape)
+	ntt.SubNTTLen = 1024
+	if want := int64(2 * 1024 / 2 * 10); ntt.ModMuls() != want {
+		t.Errorf("ntt load %d want %d", ntt.ModMuls(), want)
+	}
+
+	col := g.AddNode(OpNTTCol, "col", shape)
+	col.SubNTTLen = 32 // N1×N2 = 32×32
+	if want := int64(2 * 1024 / 2 * 5); col.ModMuls() != want {
+		t.Errorf("col-ntt load %d want %d", col.ModMuls(), want)
+	}
+
+	bc := g.AddNode(OpBConv, "bconv", Tensor{Digits: 1, Limbs: 5, N: 1024})
+	bc.BConvWidth = 2
+	if want := int64(5 * 1024 * 2); bc.ModMuls() != want {
+		t.Errorf("bconv load %d want %d", bc.ModMuls(), want)
+	}
+
+	auto := g.AddNode(OpAutomorph, "auto", shape)
+	if auto.ModMuls() != 0 || auto.MoveElems() != 2048 {
+		t.Errorf("automorph load %d move %d", auto.ModMuls(), auto.MoveElems())
+	}
+}
+
+func TestOrientationBreakers(t *testing.T) {
+	breaking := []OpKind{OpNTT, OpINTT, OpAutomorph, OpTranspose}
+	streaming := []OpKind{OpEWAdd, OpEWMul, OpBConv, OpInP, OpNTTCol, OpNTTRow, OpTwiddle}
+	for _, k := range breaking {
+		if !k.BreaksOrientation() {
+			t.Errorf("%v should break orientation", k)
+		}
+	}
+	for _, k := range streaming {
+		if k.BreaksOrientation() {
+			t.Errorf("%v should stream", k)
+		}
+	}
+}
+
+func TestTopologicalOrder(t *testing.T) {
+	g := New()
+	shape := Tensor{Digits: 1, Limbs: 1, N: 8}
+	a := g.AddNode(OpInput, "in", shape)
+	b := g.AddNode(OpEWMul, "m1", shape)
+	c := g.AddNode(OpEWAdd, "a1", shape)
+	d := g.AddNode(OpOutput, "out", shape)
+	// Deliberately connect out of creation order: a → c → b → d.
+	g.Connect(a, c)
+	g.Connect(c, b)
+	g.Connect(b, d)
+
+	topo := g.Topological()
+	pos := map[*Node]int{}
+	for i, n := range topo {
+		pos[n] = i
+	}
+	for _, n := range g.Nodes {
+		for _, e := range n.OutEdges {
+			if pos[e.From] >= pos[e.To] {
+				t.Fatalf("topological violation %s -> %s", e.From.Name, e.To.Name)
+			}
+		}
+	}
+	if len(topo) != 4 {
+		t.Fatalf("topo length %d", len(topo))
+	}
+}
+
+func TestTopologicalPanicsOnCycle(t *testing.T) {
+	g := New()
+	shape := Tensor{Digits: 1, Limbs: 1, N: 8}
+	a := g.AddNode(OpEWMul, "a", shape)
+	b := g.AddNode(OpEWMul, "b", shape)
+	g.Connect(a, b)
+	g.Connect(b, a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on cycle")
+		}
+	}()
+	g.Topological()
+}
+
+func TestSummariseDeduplicatesAux(t *testing.T) {
+	g := New()
+	shape := Tensor{Digits: 1, Limbs: 2, N: 16}
+	evk := g.AddNode(OpConst, "evk", Tensor{Digits: 2, Limbs: 4, N: 16})
+	in := g.AddNode(OpInput, "in", shape)
+	m1 := g.AddNode(OpInP, "inp1", shape)
+	m2 := g.AddNode(OpInP, "inp2", shape)
+	out := g.AddNode(OpOutput, "out", shape)
+	g.Connect(in, m1)
+	g.Connect(m1, m2)
+	g.Connect(m2, out)
+	g.ConnectAux(evk, m1, "evk:r1")
+	g.ConnectAux(evk, m2, "evk:r1") // same aux consumed twice
+
+	s := g.Summarise(8)
+	if s.UniqueAuxes != 1 {
+		t.Fatalf("unique auxes %d, want 1", s.UniqueAuxes)
+	}
+	wantAux := float64(2*4*16) * 8
+	if s.AuxBytes != wantAux {
+		t.Fatalf("aux bytes %g want %g", s.AuxBytes, wantAux)
+	}
+	// Intermediate bytes: only compute→compute edges count (m1→m2).
+	if want := float64(2*16) * 8; s.InterBytes != want {
+		t.Fatalf("intermediate bytes %g want %g", s.InterBytes, want)
+	}
+	if s.ComputeOps != 2 {
+		t.Fatalf("compute ops %d", s.ComputeOps)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if OpNTT.String() != "ntt" || OpBConv.String() != "bconv" {
+		t.Fatal("kind names")
+	}
+	if OpKind(99).String() != "op(99)" {
+		t.Fatal("unknown kind fallback")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := New()
+	shape := Tensor{Digits: 1, Limbs: 2, N: 16}
+	a := g.AddNode(OpEWMul, "mul\"quoted", shape)
+	b := g.AddNode(OpNTT, "ntt", shape)
+	evk := g.AddNode(OpConst, "evk", shape)
+	g.Connect(a, b)
+	g.ConnectAux(evk, a, "evk:with-a-really-long-identifier-here")
+
+	var buf strings.Builder
+	if err := g.WriteDOT(&buf, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "n0 -> n1", "style=dashed", "shape=diamond", "rankdir=LR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	// Long aux ids are shortened.
+	if strings.Contains(out, "really-long-identifier-here") {
+		t.Error("aux id not shortened")
+	}
+}

@@ -1,0 +1,72 @@
+package graph
+
+// DecomposeNTTs returns a copy of the graph in which every whole NTT/iNTT
+// node is replaced by its four-step decomposition (§V-B / Figure 7):
+//
+//	col-(i)NTT → twiddle ⊗ → transpose → row-(i)NTT
+//
+// The column and row parts have N1 (resp. N2) independent sub-transforms
+// and therefore stream — they no longer break orientation — while the
+// transpose runs on the dedicated transpose unit. split chooses N = N1×N2
+// for a given N; a nil split uses the balanced power-of-two split.
+func DecomposeNTTs(src *Graph, split func(n int) (n1, n2 int)) *Graph {
+	if split == nil {
+		split = BalancedSplit
+	}
+	dst := New()
+	// head/tail map an original node to its replacement chain ends.
+	head := make(map[*Node]*Node, len(src.Nodes))
+	tail := make(map[*Node]*Node, len(src.Nodes))
+
+	for _, n := range src.Topological() {
+		switch n.Kind {
+		case OpNTT, OpINTT:
+			n1, n2 := split(n.Out.N)
+			colKind, rowKind := OpNTTCol, OpNTTRow
+			col := dst.AddNode(colKind, n.Name+"/col", n.Out)
+			col.SubNTTLen = n2
+			col.Tag = n.Tag
+			tw := dst.AddNode(OpTwiddle, n.Name+"/twiddle", n.Out)
+			tw.Tag = n.Tag
+			tr := dst.AddNode(OpTranspose, n.Name+"/transpose", n.Out)
+			tr.Tag = n.Tag
+			row := dst.AddNode(rowKind, n.Name+"/row", n.Out)
+			row.SubNTTLen = n1
+			row.Tag = n.Tag
+			dst.Connect(col, tw)
+			dst.Connect(tw, tr)
+			dst.Connect(tr, row)
+			head[n], tail[n] = col, row
+		default:
+			c := dst.AddNode(n.Kind, n.Name, n.Out)
+			c.SubNTTLen = n.SubNTTLen
+			c.BConvWidth = n.BConvWidth
+			c.Tag = n.Tag
+			head[n], tail[n] = c, c
+		}
+		for _, e := range n.InEdges {
+			from := tail[e.From]
+			to := head[n]
+			var ne *Edge
+			if e.Class == Auxiliary {
+				ne = dst.ConnectAux(from, to, e.AuxID)
+			} else {
+				ne = dst.Connect(from, to)
+			}
+			ne.Shape = e.Shape
+		}
+	}
+	return dst
+}
+
+// BalancedSplit returns the near-square power-of-two factorisation of n.
+func BalancedSplit(n int) (int, int) {
+	n1 := 1
+	for n1*n1 < n {
+		n1 <<= 1
+	}
+	if n1 > n {
+		n1 = n
+	}
+	return n1, n / n1
+}

@@ -1,0 +1,207 @@
+// Package mapper places scheduled operator groups onto the PE mesh
+// following §IV-B: consecutive operators occupy PE columns left-to-right,
+// operators after an on-chip transpose are placed right-to-left from the
+// transpose unit, and multiple transposes split the array into horizontal
+// bands sized by compute demand (Figure 4). The output placement drives
+// the NoC model in the cycle simulator.
+package mapper
+
+import (
+	"fmt"
+
+	"crophe/internal/graph"
+	"crophe/internal/noc"
+	"crophe/internal/sched"
+)
+
+// Placement maps each operator of a group to its PEs.
+type Placement struct {
+	PEsOf map[int][]noc.Coord // node ID → coordinates
+	// Bands records the horizontal band split (row ranges), one entry
+	// per transpose-separated segment.
+	Bands []Band
+}
+
+// Band is a horizontal slice of the mesh serving one transpose-separated
+// segment of the pipeline.
+type Band struct {
+	Row0, Rows int
+	// LeftToRight is false for segments placed after a transpose.
+	LeftToRight bool
+}
+
+// Map places a group on a W×H mesh. alloc gives the PE count per node
+// (from the scheduler); nodes with zero allocation receive one PE.
+func Map(group *sched.GroupSchedule, w, h int) (*Placement, error) {
+	if w < 1 || h < 1 {
+		return nil, fmt.Errorf("mapper: invalid mesh %dx%d", w, h)
+	}
+	nodes := group.Nodes
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("mapper: empty group")
+	}
+
+	// Split the pipeline at transpose operators into segments; each
+	// segment alternates direction (Figure 4).
+	var segments [][]*graph.Node
+	cur := []*graph.Node{}
+	for _, n := range nodes {
+		if n.Kind == graph.OpTranspose {
+			if len(cur) > 0 {
+				segments = append(segments, cur)
+			}
+			cur = []*graph.Node{}
+			continue // the transpose itself runs on the transpose unit
+		}
+		cur = append(cur, n)
+	}
+	if len(cur) > 0 {
+		segments = append(segments, cur)
+	}
+	if len(segments) == 0 {
+		// Group of only transposes: nothing to place on PEs.
+		return &Placement{PEsOf: map[int][]noc.Coord{}}, nil
+	}
+
+	// Band heights proportional to segment loads.
+	loads := make([]float64, len(segments))
+	var total float64
+	for i, seg := range segments {
+		for _, n := range seg {
+			loads[i] += float64(n.ModMuls()) + float64(n.MoveElems())*0.25
+		}
+		if loads[i] == 0 {
+			loads[i] = 1
+		}
+		total += loads[i]
+	}
+	p := &Placement{PEsOf: map[int][]noc.Coord{}}
+	row := 0
+	for i, seg := range segments {
+		rows := int(float64(h) * loads[i] / total)
+		if rows < 1 {
+			rows = 1
+		}
+		if i == len(segments)-1 || row+rows > h {
+			rows = h - row
+		}
+		if rows < 1 {
+			// Out of rows: stack remaining segments on the last band.
+			rows = 1
+			row = h - 1
+		}
+		band := Band{Row0: row, Rows: rows, LeftToRight: i%2 == 0}
+		p.Bands = append(p.Bands, band)
+		placeSegment(p, seg, group.PEAlloc, band, w)
+		row += rows
+		if row >= h {
+			row = h - 1
+		}
+	}
+	return p, nil
+}
+
+// placeSegment assigns columns of a band to the segment's operators in
+// order, walking left→right or right→left.
+func placeSegment(p *Placement, seg []*graph.Node, alloc map[int]int, band Band, w int) {
+	// Total PEs available in the band.
+	avail := band.Rows * w
+	// Requested PEs, clamped into the band.
+	want := 0
+	req := make([]int, len(seg))
+	for i, n := range seg {
+		a := alloc[n.ID]
+		if a < 1 {
+			a = 1
+		}
+		req[i] = a
+		want += a
+	}
+	if want > avail {
+		// Scale down proportionally, keeping ≥1 each.
+		scale := float64(avail) / float64(want)
+		for i := range req {
+			req[i] = int(float64(req[i]) * scale)
+			if req[i] < 1 {
+				req[i] = 1
+			}
+		}
+	}
+
+	// Walk cells column-major in the band, in the band's direction.
+	cells := make([]noc.Coord, 0, avail)
+	if band.LeftToRight {
+		for x := 0; x < w; x++ {
+			for y := band.Row0; y < band.Row0+band.Rows; y++ {
+				cells = append(cells, noc.Coord{X: x, Y: y})
+			}
+		}
+	} else {
+		for x := w - 1; x >= 0; x-- {
+			for y := band.Row0; y < band.Row0+band.Rows; y++ {
+				cells = append(cells, noc.Coord{X: x, Y: y})
+			}
+		}
+	}
+	idx := 0
+	for i, n := range seg {
+		pes := make([]noc.Coord, 0, req[i])
+		for k := 0; k < req[i]; k++ {
+			pes = append(pes, cells[idx%len(cells)])
+			idx++
+		}
+		p.PEsOf[n.ID] = pes
+	}
+}
+
+// Trace is the execution record the simulator consumes: per-group
+// placements plus the data transfers between operators.
+type Trace struct {
+	Groups []TraceGroup
+}
+
+// TraceGroup couples one scheduled group with its placement and edges.
+type TraceGroup struct {
+	Group     *sched.GroupSchedule
+	Placement *Placement
+	// Transfers lists intra-group producer→consumer transfers.
+	Transfers []Transfer
+}
+
+// Transfer is one logical data movement between placed operators.
+type Transfer struct {
+	FromID, ToID int
+	Bytes        float64
+	Multicast    bool
+}
+
+// BuildTrace maps every group of a segment schedule and extracts its
+// transfers.
+func BuildTrace(seg *sched.SegmentSchedule, wordBytes float64, w, h int) (*Trace, error) {
+	t := &Trace{}
+	for gi := range seg.Groups {
+		g := &seg.Groups[gi]
+		pl, err := Map(g, w, h)
+		if err != nil {
+			return nil, fmt.Errorf("mapper: group %d: %w", gi, err)
+		}
+		tg := TraceGroup{Group: g, Placement: pl}
+		inGroup := map[int]bool{}
+		for _, n := range g.Nodes {
+			inGroup[n.ID] = true
+		}
+		for _, n := range g.Nodes {
+			for _, e := range n.OutEdges {
+				if e.Class != graph.Intermediate || !inGroup[e.To.ID] {
+					continue
+				}
+				tg.Transfers = append(tg.Transfers, Transfer{
+					FromID: n.ID, ToID: e.To.ID,
+					Bytes: e.Shape.Bytes(wordBytes),
+				})
+			}
+		}
+		t.Groups = append(t.Groups, tg)
+	}
+	return t, nil
+}

@@ -1,0 +1,163 @@
+// Package mem models the memory system of the accelerator: the HBM
+// off-chip memory with banked row-buffer timing (standing in for the
+// paper's Ramulator 2 simulation) and the multi-bank global SRAM buffer.
+// Both expose a simple contract to the simulator: given an access stream
+// (bytes and locality), return the cycles to service it.
+package mem
+
+import "fmt"
+
+// HBM models a stack of HBM channels at a total bandwidth ceiling, with
+// row-buffer effects: sequential (streaming) accesses run at full
+// bandwidth, while scattered accesses pay an activation penalty per row
+// miss.
+type HBM struct {
+	// BandwidthBytesPerCycle is the aggregate peak bandwidth per clock of
+	// the consuming accelerator.
+	BandwidthBytesPerCycle float64
+	// RowBytes is the row-buffer size per bank (page size).
+	RowBytes float64
+	// RowMissPenalty is the extra cycles per row activation (tRCD+tRP
+	// scaled to accelerator cycles).
+	RowMissPenalty float64
+	// Channels is the number of independent channels.
+	Channels int
+
+	totalBytes  float64
+	totalCycles float64
+}
+
+// NewHBM builds an HBM model. bwTBs is the bandwidth in TB/s and freqGHz
+// the consumer clock, so cycles and bytes share a time base.
+func NewHBM(bwTBs, freqGHz float64) (*HBM, error) {
+	if bwTBs <= 0 || freqGHz <= 0 {
+		return nil, fmt.Errorf("mem: bandwidth and frequency must be positive")
+	}
+	return &HBM{
+		BandwidthBytesPerCycle: bwTBs * 1e12 / (freqGHz * 1e9),
+		RowBytes:               1024, // 1 KB rows (HBM3 pseudo-channel)
+		RowMissPenalty:         30,   // ≈ tRCD+tRP at ~1 GHz
+		Channels:               16,
+	}, nil
+}
+
+// AccessPattern describes the locality of a transfer.
+type AccessPattern int
+
+// Access patterns.
+const (
+	// Streaming transfers touch each row once, sequentially.
+	Streaming AccessPattern = iota
+	// Strided transfers hit each row a few times before moving on
+	// (e.g. limb-major walks of an N-major layout).
+	Strided
+	// Scattered transfers miss the row buffer on almost every burst.
+	Scattered
+)
+
+// Transfer services a request of the given size and returns its cycles.
+func (h *HBM) Transfer(bytes float64, pattern AccessPattern) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	streamCycles := bytes / h.BandwidthBytesPerCycle
+	// Row activations overlap with transfers of already-open rows; the
+	// overlap degree depends on locality. banksPerChannel banks hide
+	// activations of sequential streams almost entirely.
+	const banksPerChannel = 4
+	var rowMisses, overlap float64
+	switch pattern {
+	case Streaming:
+		rowMisses = bytes / h.RowBytes
+		overlap = float64(h.Channels * banksPerChannel)
+	case Strided:
+		rowMisses = bytes / h.RowBytes * 4
+		overlap = float64(h.Channels)
+	case Scattered:
+		rowMisses = bytes / 64 // one miss per burst
+		overlap = float64(h.Channels)
+	}
+	actCycles := rowMisses * h.RowMissPenalty / overlap
+	cycles := streamCycles
+	if actCycles > cycles {
+		cycles = actCycles
+	}
+	h.totalBytes += bytes
+	h.totalCycles += cycles
+	return cycles
+}
+
+// EffectiveBandwidthFrac reports delivered/peak bandwidth so far.
+func (h *HBM) EffectiveBandwidthFrac() float64 {
+	if h.totalCycles == 0 {
+		return 0
+	}
+	return (h.totalBytes / h.totalCycles) / h.BandwidthBytesPerCycle
+}
+
+// Reset clears counters.
+func (h *HBM) Reset() { h.totalBytes, h.totalCycles = 0, 0 }
+
+// SRAM models the banked global buffer: single-ported banks at double
+// frequency (§VI), so conflict-free access achieves the full bandwidth
+// and bank conflicts serialise.
+type SRAM struct {
+	Banks int
+	// BytesPerBankPerCycle at the accelerator clock (×2 for the doubled
+	// SRAM clock).
+	BytesPerBankPerCycle float64
+	CapacityBytes        float64
+
+	used float64
+}
+
+// NewSRAM sizes the buffer from the Table I numbers.
+func NewSRAM(capacityMB, bwTBs, freqGHz float64, banks int) (*SRAM, error) {
+	if banks < 1 {
+		return nil, fmt.Errorf("mem: need at least one bank")
+	}
+	if capacityMB < 0 || bwTBs <= 0 || freqGHz <= 0 {
+		return nil, fmt.Errorf("mem: invalid SRAM parameters")
+	}
+	total := bwTBs * 1e12 / (freqGHz * 1e9)
+	return &SRAM{
+		Banks:                banks,
+		BytesPerBankPerCycle: total / float64(banks),
+		CapacityBytes:        capacityMB * 1e6,
+	}, nil
+}
+
+// Access returns the cycles to move bytes with the given number of
+// concurrently addressed banks (conflicts reduce effective width).
+func (s *SRAM) Access(bytes float64, activeBanks int) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	if activeBanks < 1 {
+		activeBanks = 1
+	}
+	if activeBanks > s.Banks {
+		activeBanks = s.Banks
+	}
+	return bytes / (s.BytesPerBankPerCycle * float64(activeBanks))
+}
+
+// Alloc reserves capacity, reporting whether it fit.
+func (s *SRAM) Alloc(bytes float64) bool {
+	if s.used+bytes > s.CapacityBytes {
+		return false
+	}
+	s.used += bytes
+	return true
+}
+
+// Free releases capacity.
+func (s *SRAM) Free(bytes float64) {
+	s.used -= bytes
+	if s.used < 0 {
+		s.used = 0
+	}
+}
+
+// Available returns the free capacity in bytes.
+func (s *SRAM) Available() float64 { return s.CapacityBytes - s.used }

@@ -1,0 +1,100 @@
+package mem
+
+import "testing"
+
+func TestNewHBMValidation(t *testing.T) {
+	if _, err := NewHBM(0, 1); err == nil {
+		t.Error("zero bandwidth should fail")
+	}
+	if _, err := NewHBM(1, 0); err == nil {
+		t.Error("zero frequency should fail")
+	}
+}
+
+func TestHBMStreamingAtPeak(t *testing.T) {
+	h, err := NewHBM(1, 1) // 1 TB/s at 1 GHz → 1000 B/cycle
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := h.Transfer(1e6, Streaming)
+	if c < 1000 || c > 1100 {
+		t.Fatalf("streaming 1 MB took %f cycles, want ≈1000", c)
+	}
+	if f := h.EffectiveBandwidthFrac(); f < 0.9 {
+		t.Fatalf("streaming efficiency %f", f)
+	}
+}
+
+func TestHBMScatteredSlower(t *testing.T) {
+	h, _ := NewHBM(1, 1)
+	stream := h.Transfer(1e6, Streaming)
+	h.Reset()
+	scattered := h.Transfer(1e6, Scattered)
+	if scattered <= stream {
+		t.Fatalf("scattered %f not slower than streaming %f", scattered, stream)
+	}
+	h.Reset()
+	strided := h.Transfer(1e6, Strided)
+	if strided > scattered {
+		t.Fatalf("strided %f slower than scattered %f", strided, scattered)
+	}
+}
+
+func TestHBMZeroTransfer(t *testing.T) {
+	h, _ := NewHBM(1, 1)
+	if h.Transfer(0, Streaming) != 0 {
+		t.Fatal("zero transfer should be free")
+	}
+	if h.EffectiveBandwidthFrac() != 0 {
+		t.Fatal("no transfers yet")
+	}
+}
+
+func TestSRAMValidationAndAccess(t *testing.T) {
+	if _, err := NewSRAM(180, 36, 1, 0); err == nil {
+		t.Error("zero banks should fail")
+	}
+	if _, err := NewSRAM(180, 0, 1, 8); err == nil {
+		t.Error("zero bandwidth should fail")
+	}
+	s, err := NewSRAM(180, 36, 1, 64) // 36 TB/s at 1 GHz = 36000 B/cycle
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := s.Access(36000, 64)
+	if full != 1 {
+		t.Fatalf("full-width access %f cycles, want 1", full)
+	}
+	// One bank only: 64× slower.
+	if c := s.Access(36000, 1); c != 64 {
+		t.Fatalf("single-bank access %f want 64", c)
+	}
+	// Bank clamp.
+	if c := s.Access(36000, 1000); c != 1 {
+		t.Fatalf("clamped banks %f want 1", c)
+	}
+	if s.Access(0, 64) != 0 {
+		t.Fatal("zero access")
+	}
+}
+
+func TestSRAMAllocFree(t *testing.T) {
+	s, _ := NewSRAM(1, 36, 1, 8) // 1 MB
+	if !s.Alloc(6e5) {
+		t.Fatal("alloc within capacity failed")
+	}
+	if s.Alloc(6e5) {
+		t.Fatal("overallocation succeeded")
+	}
+	if s.Available() != 4e5 {
+		t.Fatalf("available %f", s.Available())
+	}
+	s.Free(6e5)
+	if s.Available() != 1e6 {
+		t.Fatal("free did not restore")
+	}
+	s.Free(1e9) // over-free clamps
+	if s.Available() != 1e6 {
+		t.Fatal("over-free mishandled")
+	}
+}

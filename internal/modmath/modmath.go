@@ -1,0 +1,348 @@
+// Package modmath provides the modular-arithmetic substrate used by the
+// whole CROPHE stack: word-sized prime moduli suitable for negacyclic
+// number-theoretic transforms, Barrett and Shoup reduction (the same
+// reduction families the CROPHE hardware lanes implement), modular
+// exponentiation and inverses, and primitive-root discovery.
+//
+// All arithmetic is on uint64 residues with moduli below 2^62 so that a
+// single addition never overflows and products fit in the 128-bit
+// intermediates provided by math/bits.
+package modmath
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxModulusBits is the largest supported modulus width. Keeping two slack
+// bits lets lazy add/sub chains stay in uint64 without per-op reduction.
+const MaxModulusBits = 62
+
+// Modulus bundles a prime q with the precomputed constants needed for fast
+// Barrett reduction. It is immutable after creation and safe for concurrent
+// use.
+type Modulus struct {
+	Q uint64 // the prime modulus
+	// Barrett constant: floor(2^128 / q) represented as 128 bits
+	// (hi, lo). Used to reduce 128-bit products.
+	brHi, brLo uint64
+	bitLen     uint
+}
+
+// NewModulus validates q and precomputes the Barrett constant.
+// q must be an odd prime in (2, 2^62). Primality is the caller's concern
+// for speed; use IsPrime to check when constructing parameter sets.
+func NewModulus(q uint64) (Modulus, error) {
+	if q < 3 || q%2 == 0 {
+		return Modulus{}, fmt.Errorf("modmath: modulus %d must be an odd integer ≥ 3", q)
+	}
+	if bits.Len64(q) > MaxModulusBits {
+		return Modulus{}, fmt.Errorf("modmath: modulus %d exceeds %d bits", q, MaxModulusBits)
+	}
+	hi, lo := barrettConstant(q)
+	return Modulus{Q: q, brHi: hi, brLo: lo, bitLen: uint(bits.Len64(q))}, nil
+}
+
+// MustModulus is NewModulus that panics on error; for package-level tables
+// and tests with known-good constants.
+func MustModulus(q uint64) Modulus {
+	m, err := NewModulus(q)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// barrettConstant computes floor(2^128 / q) as a 128-bit value (hi, lo).
+func barrettConstant(q uint64) (hi, lo uint64) {
+	// Divide 2^128 - 1 by q then adjust: floor((2^128-1)/q) equals
+	// floor(2^128/q) unless q divides 2^128, impossible for odd q > 1.
+	hi, r := bits.Div64(0, ^uint64(0), q) // hi = floor((2^64-1)*2^64 + ...)? do it in two steps
+	// Standard long division of the 128-bit value (2^128 - 1) by q:
+	// first digit: floor((2^64-1)/q) with remainder r0.
+	// second digit: floor((r0*2^64 + (2^64-1)) / q).
+	lo, _ = bits.Div64(r, ^uint64(0), q)
+	return hi, lo
+}
+
+// BitLen returns the bit length of the modulus.
+func (m Modulus) BitLen() uint { return m.bitLen }
+
+// Add returns (a + b) mod q. Inputs must already be < q.
+func (m Modulus) Add(a, b uint64) uint64 {
+	s := a + b
+	if s >= m.Q {
+		s -= m.Q
+	}
+	return s
+}
+
+// Sub returns (a - b) mod q. Inputs must already be < q.
+func (m Modulus) Sub(a, b uint64) uint64 {
+	d := a - b
+	if d > a { // borrow
+		d += m.Q
+	}
+	return d
+}
+
+// Neg returns (-a) mod q. Input must be < q.
+func (m Modulus) Neg(a uint64) uint64 {
+	if a == 0 {
+		return 0
+	}
+	return m.Q - a
+}
+
+// Mul returns (a * b) mod q using Barrett reduction on the 128-bit product.
+func (m Modulus) Mul(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return m.reduce128(hi, lo)
+}
+
+// reduce128 reduces a 128-bit value x = hi·2^64 + lo modulo q via Barrett:
+// t = floor(x * floor(2^128/q) / 2^128); r = x - t*q; r -= q while r ≥ q.
+func (m Modulus) reduce128(hi, lo uint64) uint64 {
+	// q < 2^62 so hi < q < 2^62 whenever x is a product of reduced
+	// operands; the generic path below also handles arbitrary hi < q.
+	// t = high 128 bits of (x * br) where br ≈ 2^128/q.
+	// x*br is a 256-bit product; we only need bits [128, 192).
+	// Decompose: x*br = hi*brHi*2^128 + (hi*brLo + lo*brHi)*2^64 + lo*brLo.
+	c1h, _ := bits.Mul64(lo, m.brLo) // low product contributes carries only
+	c2h, c2l := bits.Mul64(lo, m.brHi)
+	c3h, c3l := bits.Mul64(hi, m.brLo)
+	c4h, c4l := bits.Mul64(hi, m.brHi)
+
+	// The 2^64 digit c1h + c2l + c3l carries into the 2^128 digit.
+	mid, carry1 := bits.Add64(c1h, c2l, 0)
+	_, carry2 := bits.Add64(mid, c3l, 0)
+
+	// 2^128 digit = c2h + c3h + c4l + carries → low word of t.
+	tLo, carryA := bits.Add64(c2h, c3h, carry1)
+	tLo, carryB := bits.Add64(tLo, c4l, carry2)
+	// 2^192 digit → high word of t.
+	tHi := c4h + carryA + carryB
+
+	// r = x - t*q (mod 2^128); result fits in 64 bits after at most two
+	// conditional subtractions.
+	pHi, pLo := bits.Mul64(tLo, m.Q)
+	pHi += tHi * m.Q
+	rLo, borrow := bits.Sub64(lo, pLo, 0)
+	_, _ = bits.Sub64(hi, pHi, borrow)
+	r := rLo
+	for r >= m.Q {
+		r -= m.Q
+	}
+	return r
+}
+
+// MulAdd returns (a*b + c) mod q.
+func (m Modulus) MulAdd(a, b, c uint64) uint64 {
+	return m.Add(m.Mul(a, b), c)
+}
+
+// Reduce returns x mod q for arbitrary x.
+func (m Modulus) Reduce(x uint64) uint64 {
+	if x < m.Q {
+		return x
+	}
+	return x % m.Q
+}
+
+// Pow returns a^e mod q by square-and-multiply.
+func (m Modulus) Pow(a, e uint64) uint64 {
+	a = m.Reduce(a)
+	result := uint64(1)
+	for e > 0 {
+		if e&1 == 1 {
+			result = m.Mul(result, a)
+		}
+		a = m.Mul(a, a)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse of a modulo the prime q.
+// It panics if a ≡ 0 (mod q): zero has no inverse, and hitting this means a
+// parameter-set bug rather than a data-dependent condition.
+func (m Modulus) Inv(a uint64) uint64 {
+	a = m.Reduce(a)
+	if a == 0 {
+		panic("modmath: inverse of zero")
+	}
+	// Fermat: a^(q-2) mod q, valid because q is prime.
+	return m.Pow(a, m.Q-2)
+}
+
+// ShoupPrecomp returns the Shoup precomputed factor w' = floor(w·2^64/q)
+// enabling the cheaper MulShoup for a fixed multiplicand w (twiddles,
+// constants). Mirrors the constant-multiplier datapath in the PE lanes.
+func (m Modulus) ShoupPrecomp(w uint64) uint64 {
+	hi, _ := bits.Div64(w, 0, m.Q) // floor(w*2^64 / q)
+	return hi
+}
+
+// MulShoup returns (a*w) mod q given wShoup = ShoupPrecomp(w).
+// The result is fully reduced.
+func (m Modulus) MulShoup(a, w, wShoup uint64) uint64 {
+	qHat, _ := bits.Mul64(a, wShoup)
+	r := a*w - qHat*m.Q
+	if r >= m.Q {
+		r -= m.Q
+	}
+	return r
+}
+
+// IsPrime reports whether n is prime, using a deterministic Miller–Rabin
+// witness set valid for all 64-bit integers.
+func IsPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n%p == 0 {
+			return n == p
+		}
+	}
+	d := n - 1
+	r := 0
+	for d%2 == 0 {
+		d /= 2
+		r++
+	}
+	m := MustModulus(n)
+	// Deterministic witnesses for n < 2^64 (Sinclair's set).
+	for _, a := range []uint64{2, 325, 9375, 28178, 450775, 9780504, 1795265022} {
+		a %= n
+		if a == 0 {
+			continue
+		}
+		x := m.Pow(a, d)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		composite := true
+		for i := 0; i < r-1; i++ {
+			x = m.Mul(x, x)
+			if x == n-1 {
+				composite = false
+				break
+			}
+		}
+		if composite {
+			return false
+		}
+	}
+	return true
+}
+
+// GeneratePrimes returns count distinct primes p ≡ 1 (mod 2n), each close
+// to 2^bitLen, suitable as negacyclic-NTT RNS bases for ring degree n.
+// Primes are returned in decreasing order starting just below 2^bitLen.
+func GeneratePrimes(bitLen uint, n uint64, count int) ([]uint64, error) {
+	if bitLen > MaxModulusBits || bitLen < 4 {
+		return nil, fmt.Errorf("modmath: prime bit length %d out of range [4, %d]", bitLen, MaxModulusBits)
+	}
+	step := 2 * n
+	if step == 0 {
+		return nil, fmt.Errorf("modmath: ring degree must be positive")
+	}
+	// Start at the largest value ≡ 1 (mod 2n) below 2^bitLen.
+	top := uint64(1) << bitLen
+	cand := top - (top-1)%step // ≡ 1 mod step
+	if cand >= top {
+		cand -= step
+	}
+	primes := make([]uint64, 0, count)
+	for cand > top/2 {
+		if IsPrime(cand) {
+			primes = append(primes, cand)
+			if len(primes) == count {
+				return primes, nil
+			}
+		}
+		if cand < step {
+			break
+		}
+		cand -= step
+	}
+	return nil, fmt.Errorf("modmath: found only %d of %d primes ≡ 1 mod %d near 2^%d", len(primes), count, step, bitLen)
+}
+
+// PrimitiveRoot returns a generator of the multiplicative group (Z/qZ)*.
+// q must be prime. factors must be the distinct prime factors of q-1; if
+// nil they are computed by trial division (fine for the ≤62-bit moduli
+// used here, whose q-1 is smooth by construction).
+func PrimitiveRoot(m Modulus) (uint64, error) {
+	factors := distinctPrimeFactors(m.Q - 1)
+	order := m.Q - 1
+	for g := uint64(2); g < m.Q; g++ {
+		ok := true
+		for _, f := range factors {
+			if m.Pow(g, order/f) == 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return g, nil
+		}
+	}
+	return 0, fmt.Errorf("modmath: no primitive root found for %d", m.Q)
+}
+
+// RootOfUnity returns a primitive 2n-th root of unity modulo q, which must
+// satisfy q ≡ 1 (mod 2n). The returned ψ generates the negacyclic NTT.
+func RootOfUnity(m Modulus, n uint64) (uint64, error) {
+	order := 2 * n
+	if (m.Q-1)%order != 0 {
+		return 0, fmt.Errorf("modmath: modulus %d is not ≡ 1 mod %d", m.Q, order)
+	}
+	g, err := PrimitiveRoot(m)
+	if err != nil {
+		return 0, err
+	}
+	psi := m.Pow(g, (m.Q-1)/order)
+	// ψ has order dividing 2n; verify it is exactly 2n.
+	if m.Pow(psi, n) != m.Q-1 {
+		return 0, fmt.Errorf("modmath: derived root has wrong order for modulus %d", m.Q)
+	}
+	return psi, nil
+}
+
+// distinctPrimeFactors factors n by trial division, returning each prime
+// once. The RNS moduli here have q-1 = 2n·k with small k, so this is fast.
+func distinctPrimeFactors(n uint64) []uint64 {
+	var fs []uint64
+	for p := uint64(2); p*p <= n; p++ {
+		if n%p == 0 {
+			fs = append(fs, p)
+			for n%p == 0 {
+				n /= p
+			}
+		}
+	}
+	if n > 1 {
+		fs = append(fs, n)
+	}
+	return fs
+}
+
+// CenteredLift maps a residue x ∈ [0, q) to its centered representative in
+// (-q/2, q/2] as a signed integer.
+func CenteredLift(x, q uint64) int64 {
+	if x > q/2 {
+		return int64(x) - int64(q)
+	}
+	return int64(x)
+}
+
+// FromCentered maps a signed value back into [0, q).
+func FromCentered(v int64, q uint64) uint64 {
+	r := v % int64(q)
+	if r < 0 {
+		r += int64(q)
+	}
+	return uint64(r)
+}

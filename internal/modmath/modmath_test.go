@@ -1,0 +1,298 @@
+package modmath
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// testModuli covers a small prime, a mid-size prime, a 36-bit NTT prime
+// (the SHARP/CROPHE-36 word size) and a ~60-bit prime near the top of the
+// supported range.
+var testModuli = []uint64{
+	97,
+	12289,               // 2^12·3 + 1, classic NTT prime
+	0x0000000FFFFEE001,  // 36-bit-ish prime 68719403009 = 1 + 2^13·...
+	1152921504606830593, // < 2^60, ≡ 1 mod 2^15
+}
+
+func init() {
+	for _, q := range testModuli {
+		if !IsPrime(q) {
+			panic("test modulus not prime")
+		}
+	}
+}
+
+func TestNewModulusRejectsBad(t *testing.T) {
+	for _, q := range []uint64{0, 1, 2, 4, 100} {
+		if _, err := NewModulus(q); err == nil {
+			t.Errorf("NewModulus(%d) should fail", q)
+		}
+	}
+	if _, err := NewModulus(1 << 63); err == nil {
+		t.Errorf("NewModulus(2^63) should fail: too wide")
+	}
+}
+
+func TestAddSubNeg(t *testing.T) {
+	for _, q := range testModuli {
+		m := MustModulus(q)
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 1000; i++ {
+			a := rng.Uint64() % q
+			b := rng.Uint64() % q
+			if got, want := m.Add(a, b), (a+b)%q; got != want && q < (1<<32) {
+				t.Fatalf("q=%d Add(%d,%d)=%d want %d", q, a, b, got, want)
+			}
+			// Algebraic checks valid for any width.
+			if m.Sub(m.Add(a, b), b) != a {
+				t.Fatalf("q=%d (a+b)-b != a", q)
+			}
+			if m.Add(a, m.Neg(a)) != 0 {
+				t.Fatalf("q=%d a + (-a) != 0", q)
+			}
+		}
+	}
+}
+
+func TestMulMatchesBigInt(t *testing.T) {
+	for _, q := range testModuli {
+		m := MustModulus(q)
+		qBig := new(big.Int).SetUint64(q)
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < 2000; i++ {
+			a := rng.Uint64() % q
+			b := rng.Uint64() % q
+			got := m.Mul(a, b)
+			want := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+			want.Mod(want, qBig)
+			if got != want.Uint64() {
+				t.Fatalf("q=%d Mul(%d,%d)=%d want %s", q, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMulEdgeCases(t *testing.T) {
+	for _, q := range testModuli {
+		m := MustModulus(q)
+		cases := [][2]uint64{{0, 0}, {0, q - 1}, {q - 1, q - 1}, {1, q - 1}, {q / 2, 2}}
+		for _, c := range cases {
+			want := new(big.Int).Mul(new(big.Int).SetUint64(c[0]), new(big.Int).SetUint64(c[1]))
+			want.Mod(want, new(big.Int).SetUint64(q))
+			if got := m.Mul(c[0], c[1]); got != want.Uint64() {
+				t.Fatalf("q=%d Mul(%d,%d)=%d want %s", q, c[0], c[1], got, want)
+			}
+		}
+	}
+}
+
+func TestMulProperties(t *testing.T) {
+	m := MustModulus(testModuli[3])
+	q := m.Q
+	commutes := func(a, b uint64) bool {
+		a, b = a%q, b%q
+		return m.Mul(a, b) == m.Mul(b, a)
+	}
+	if err := quick.Check(commutes, nil); err != nil {
+		t.Error(err)
+	}
+	distributes := func(a, b, c uint64) bool {
+		a, b, c = a%q, b%q, c%q
+		return m.Mul(a, m.Add(b, c)) == m.Add(m.Mul(a, b), m.Mul(a, c))
+	}
+	if err := quick.Check(distributes, nil); err != nil {
+		t.Error(err)
+	}
+	associates := func(a, b, c uint64) bool {
+		a, b, c = a%q, b%q, c%q
+		return m.Mul(a, m.Mul(b, c)) == m.Mul(m.Mul(a, b), c)
+	}
+	if err := quick.Check(associates, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPow(t *testing.T) {
+	for _, q := range testModuli {
+		m := MustModulus(q)
+		if m.Pow(0, 0) != 1 {
+			t.Errorf("q=%d 0^0 != 1", q)
+		}
+		if m.Pow(5%q, 1) != 5%q {
+			t.Errorf("q=%d a^1 != a", q)
+		}
+		// Fermat's little theorem: a^(q-1) = 1 for a != 0.
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 50; i++ {
+			a := rng.Uint64()%(q-1) + 1
+			if m.Pow(a, q-1) != 1 {
+				t.Fatalf("q=%d Fermat fails for a=%d", q, a)
+			}
+		}
+	}
+}
+
+func TestInv(t *testing.T) {
+	for _, q := range testModuli {
+		m := MustModulus(q)
+		rng := rand.New(rand.NewSource(4))
+		for i := 0; i < 200; i++ {
+			a := rng.Uint64()%(q-1) + 1
+			if m.Mul(a, m.Inv(a)) != 1 {
+				t.Fatalf("q=%d a·a⁻¹ != 1 for a=%d", q, a)
+			}
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) should panic")
+		}
+	}()
+	MustModulus(97).Inv(0)
+}
+
+func TestShoupMul(t *testing.T) {
+	for _, q := range testModuli {
+		m := MustModulus(q)
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 500; i++ {
+			a := rng.Uint64() % q
+			w := rng.Uint64() % q
+			ws := m.ShoupPrecomp(w)
+			if got, want := m.MulShoup(a, w, ws), m.Mul(a, w); got != want {
+				t.Fatalf("q=%d MulShoup(%d,%d)=%d want %d", q, a, w, got, want)
+			}
+		}
+	}
+}
+
+func TestIsPrimeKnownValues(t *testing.T) {
+	primes := []uint64{2, 3, 5, 7, 11, 97, 12289, 786433, 4294967291}
+	composites := []uint64{0, 1, 4, 6, 9, 561, 1105, 4294967295, 12289 * 12289}
+	for _, p := range primes {
+		if !IsPrime(p) {
+			t.Errorf("IsPrime(%d) = false, want true", p)
+		}
+	}
+	for _, c := range composites {
+		if IsPrime(c) {
+			t.Errorf("IsPrime(%d) = true, want false", c)
+		}
+	}
+}
+
+func TestGeneratePrimes(t *testing.T) {
+	for _, n := range []uint64{1 << 10, 1 << 12, 1 << 14} {
+		ps, err := GeneratePrimes(45, n, 8)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(ps) != 8 {
+			t.Fatalf("n=%d: got %d primes", n, len(ps))
+		}
+		seen := map[uint64]bool{}
+		for _, p := range ps {
+			if seen[p] {
+				t.Fatalf("duplicate prime %d", p)
+			}
+			seen[p] = true
+			if !IsPrime(p) {
+				t.Fatalf("%d not prime", p)
+			}
+			if (p-1)%(2*n) != 0 {
+				t.Fatalf("%d not ≡ 1 mod %d", p, 2*n)
+			}
+		}
+	}
+}
+
+func TestGeneratePrimesErrors(t *testing.T) {
+	if _, err := GeneratePrimes(2, 1024, 1); err == nil {
+		t.Error("bitLen 2 should fail")
+	}
+	if _, err := GeneratePrimes(63, 1024, 1); err == nil {
+		t.Error("bitLen 63 should fail")
+	}
+	if _, err := GeneratePrimes(45, 0, 1); err == nil {
+		t.Error("n=0 should fail")
+	}
+	// Requesting far more primes than exist in the range should fail.
+	if _, err := GeneratePrimes(10, 256, 100); err == nil {
+		t.Error("overfull request should fail")
+	}
+}
+
+func TestRootOfUnity(t *testing.T) {
+	for _, n := range []uint64{1 << 8, 1 << 10} {
+		ps, err := GeneratePrimes(40, n, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range ps {
+			m := MustModulus(p)
+			psi, err := RootOfUnity(m, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// ψ^(2n) = 1, ψ^n = -1, and no smaller power hits 1.
+			if m.Pow(psi, 2*n) != 1 {
+				t.Fatalf("ψ^2n != 1 for q=%d", p)
+			}
+			if m.Pow(psi, n) != p-1 {
+				t.Fatalf("ψ^n != -1 for q=%d", p)
+			}
+		}
+	}
+}
+
+func TestRootOfUnityWrongOrder(t *testing.T) {
+	m := MustModulus(97) // 96 = 2^5·3, so no 2·256-th root
+	if _, err := RootOfUnity(m, 256); err == nil {
+		t.Error("expected error for modulus lacking the root order")
+	}
+}
+
+func TestCenteredLiftRoundTrip(t *testing.T) {
+	q := uint64(12289)
+	roundTrip := func(x uint64) bool {
+		x %= q
+		v := CenteredLift(x, q)
+		if v > int64(q)/2 || v <= -int64(q)/2 {
+			return false
+		}
+		return FromCentered(v, q) == x
+	}
+	if err := quick.Check(roundTrip, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMulBarrett(b *testing.B) {
+	m := MustModulus(testModuli[3])
+	x, y := m.Q-12345, m.Q-98765
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = m.Mul(x, y)
+	}
+	sink = x
+}
+
+func BenchmarkMulShoup(b *testing.B) {
+	m := MustModulus(testModuli[3])
+	w := m.Q - 98765
+	ws := m.ShoupPrecomp(w)
+	x := m.Q - 12345
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = m.MulShoup(x, w, ws)
+	}
+	sink = x
+}
+
+var sink uint64

@@ -1,0 +1,189 @@
+// Package noc models the 2D mesh network-on-chip of the CROPHE
+// accelerator (§IV-A): dimension-ordered (X-Y) routing of hop-by-hop
+// packets between PEs, tree multicast for shared data, and per-link
+// contention accounting. The simulator uses it to turn the mapper's data
+// transfers into cycle counts; it replaces the paper's Orion-3-based
+// model (see DESIGN.md).
+package noc
+
+import "fmt"
+
+// Coord is a PE position in the mesh.
+type Coord struct{ X, Y int }
+
+// Mesh is a W×H array of routers with bidirectional links.
+type Mesh struct {
+	W, H int
+	// LinkBytesPerCycle is the payload capacity of one link per cycle.
+	LinkBytesPerCycle float64
+	// HopLatency is the per-hop router+wire latency in cycles.
+	HopLatency int
+
+	// linkLoad accumulates bytes per directed link, keyed by the link's
+	// source coordinate and direction.
+	linkLoad map[linkKey]float64
+}
+
+type linkKey struct {
+	from Coord
+	dir  byte // 'E','W','N','S'
+}
+
+// NewMesh creates a mesh with the given dimensions and link capacity.
+func NewMesh(w, h int, linkBytesPerCycle float64, hopLatency int) (*Mesh, error) {
+	if w < 1 || h < 1 {
+		return nil, fmt.Errorf("noc: mesh dimensions %dx%d invalid", w, h)
+	}
+	if linkBytesPerCycle <= 0 {
+		return nil, fmt.Errorf("noc: link capacity must be positive")
+	}
+	if hopLatency < 1 {
+		hopLatency = 1
+	}
+	return &Mesh{
+		W: w, H: h,
+		LinkBytesPerCycle: linkBytesPerCycle,
+		HopLatency:        hopLatency,
+		linkLoad:          make(map[linkKey]float64),
+	}, nil
+}
+
+// PEIndex maps a linear PE id (row-major) to its coordinate.
+func (m *Mesh) PEIndex(id int) Coord {
+	return Coord{X: id % m.W, Y: id / m.W}
+}
+
+// Contains reports whether c is inside the mesh.
+func (m *Mesh) Contains(c Coord) bool {
+	return c.X >= 0 && c.X < m.W && c.Y >= 0 && c.Y < m.H
+}
+
+// Route returns the X-Y (dimension-ordered) path from src to dst,
+// excluding src, including dst.
+func (m *Mesh) Route(src, dst Coord) []Coord {
+	if !m.Contains(src) || !m.Contains(dst) {
+		panic(fmt.Sprintf("noc: route endpoints out of mesh: %v -> %v", src, dst))
+	}
+	var path []Coord
+	cur := src
+	for cur.X != dst.X {
+		if dst.X > cur.X {
+			cur.X++
+		} else {
+			cur.X--
+		}
+		path = append(path, cur)
+	}
+	for cur.Y != dst.Y {
+		if dst.Y > cur.Y {
+			cur.Y++
+		} else {
+			cur.Y--
+		}
+		path = append(path, cur)
+	}
+	return path
+}
+
+// Hops returns the Manhattan distance between two PEs.
+func (m *Mesh) Hops(src, dst Coord) int {
+	dx := src.X - dst.X
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := src.Y - dst.Y
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Send accumulates a unicast transfer of the given bytes along the X-Y
+// route and returns the head latency in cycles.
+func (m *Mesh) Send(src, dst Coord, bytes float64) int {
+	prev := src
+	for _, next := range m.Route(src, dst) {
+		m.linkLoad[linkOf(prev, next)] += bytes
+		prev = next
+	}
+	return m.Hops(src, dst) * m.HopLatency
+}
+
+// Multicast accumulates a tree multicast from src to all dsts: shared
+// prefixes of the X-Y routes carry the payload once (§IV-A's multicast
+// support). Returns the worst-case head latency.
+func (m *Mesh) Multicast(src Coord, dsts []Coord, bytes float64) int {
+	charged := make(map[linkKey]bool)
+	worst := 0
+	for _, dst := range dsts {
+		prev := src
+		for _, next := range m.Route(src, dst) {
+			k := linkOf(prev, next)
+			if !charged[k] {
+				charged[k] = true
+				m.linkLoad[k] += bytes
+			}
+			prev = next
+		}
+		if h := m.Hops(src, dst) * m.HopLatency; h > worst {
+			worst = h
+		}
+	}
+	return worst
+}
+
+func linkOf(from, to Coord) linkKey {
+	switch {
+	case to.X == from.X+1:
+		return linkKey{from, 'E'}
+	case to.X == from.X-1:
+		return linkKey{from, 'W'}
+	case to.Y == from.Y+1:
+		return linkKey{from, 'S'}
+	case to.Y == from.Y-1:
+		return linkKey{from, 'N'}
+	}
+	panic("noc: non-adjacent hop")
+}
+
+// DrainCycles returns the cycles needed to drain the accumulated traffic:
+// the busiest link bounds throughput (serialisation), which is how
+// contention manifests in a wormhole mesh.
+func (m *Mesh) DrainCycles() float64 {
+	var worst float64
+	for _, load := range m.linkLoad {
+		if load > worst {
+			worst = load
+		}
+	}
+	return worst / m.LinkBytesPerCycle
+}
+
+// TotalBytesHops returns Σ bytes×links-traversed, the energy/utilisation
+// proxy.
+func (m *Mesh) TotalBytesHops() float64 {
+	var total float64
+	for _, load := range m.linkLoad {
+		total += load
+	}
+	return total
+}
+
+// Utilization returns the mean link utilisation over the given cycle span.
+func (m *Mesh) Utilization(cycles float64) float64 {
+	if cycles <= 0 {
+		return 0
+	}
+	links := float64(m.numLinks())
+	return m.TotalBytesHops() / (links * m.LinkBytesPerCycle * cycles)
+}
+
+func (m *Mesh) numLinks() int {
+	// Directed links: horizontal 2·(W-1)·H, vertical 2·W·(H-1).
+	return 2*(m.W-1)*m.H + 2*m.W*(m.H-1)
+}
+
+// Reset clears accumulated loads.
+func (m *Mesh) Reset() {
+	m.linkLoad = make(map[linkKey]float64)
+}

@@ -1,0 +1,135 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustMesh(t *testing.T, w, h int) *Mesh {
+	t.Helper()
+	m, err := NewMesh(w, h, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMeshValidation(t *testing.T) {
+	if _, err := NewMesh(0, 4, 64, 1); err == nil {
+		t.Error("zero width should fail")
+	}
+	if _, err := NewMesh(4, 4, 0, 1); err == nil {
+		t.Error("zero link capacity should fail")
+	}
+	m, err := NewMesh(4, 4, 64, 0)
+	if err != nil || m.HopLatency != 1 {
+		t.Error("hop latency should clamp to 1")
+	}
+}
+
+func TestPEIndexRowMajor(t *testing.T) {
+	m := mustMesh(t, 8, 4)
+	if c := m.PEIndex(0); c != (Coord{0, 0}) {
+		t.Errorf("PE 0 at %v", c)
+	}
+	if c := m.PEIndex(7); c != (Coord{7, 0}) {
+		t.Errorf("PE 7 at %v", c)
+	}
+	if c := m.PEIndex(8); c != (Coord{0, 1}) {
+		t.Errorf("PE 8 at %v", c)
+	}
+	if c := m.PEIndex(31); c != (Coord{7, 3}) {
+		t.Errorf("PE 31 at %v", c)
+	}
+}
+
+func TestRouteXY(t *testing.T) {
+	m := mustMesh(t, 8, 8)
+	path := m.Route(Coord{1, 1}, Coord{4, 3})
+	want := []Coord{{2, 1}, {3, 1}, {4, 1}, {4, 2}, {4, 3}}
+	if len(path) != len(want) {
+		t.Fatalf("path %v want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path[%d] = %v want %v", i, path[i], want[i])
+		}
+	}
+	// Self-route is empty.
+	if p := m.Route(Coord{2, 2}, Coord{2, 2}); len(p) != 0 {
+		t.Fatalf("self route %v", p)
+	}
+}
+
+func TestRoutePropertyLengthIsManhattan(t *testing.T) {
+	m := mustMesh(t, 8, 8)
+	prop := func(a, b uint8) bool {
+		src := m.PEIndex(int(a) % 64)
+		dst := m.PEIndex(int(b) % 64)
+		return len(m.Route(src, dst)) == m.Hops(src, dst)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSendAccumulatesAndDrains(t *testing.T) {
+	m := mustMesh(t, 4, 1)
+	lat := m.Send(Coord{0, 0}, Coord{3, 0}, 640)
+	if lat != 3 {
+		t.Fatalf("latency %d want 3", lat)
+	}
+	// 640 bytes over each of three links at 64 B/cycle → 10 cycles drain.
+	if d := m.DrainCycles(); d != 10 {
+		t.Fatalf("drain %f want 10", d)
+	}
+	// Two flows sharing the middle link contend.
+	m.Reset()
+	m.Send(Coord{0, 0}, Coord{2, 0}, 640)
+	m.Send(Coord{1, 0}, Coord{3, 0}, 640)
+	if d := m.DrainCycles(); d != 20 {
+		t.Fatalf("contended drain %f want 20 (shared link)", d)
+	}
+}
+
+func TestMulticastSharesPrefix(t *testing.T) {
+	m := mustMesh(t, 4, 4)
+	// Unicast to two destinations down the same column duplicates the
+	// shared prefix...
+	m.Send(Coord{0, 0}, Coord{0, 2}, 100)
+	m.Send(Coord{0, 0}, Coord{0, 3}, 100)
+	unicast := m.TotalBytesHops()
+	m.Reset()
+	// ...multicast pays it once.
+	m.Multicast(Coord{0, 0}, []Coord{{0, 2}, {0, 3}}, 100)
+	multicast := m.TotalBytesHops()
+	if multicast >= unicast {
+		t.Fatalf("multicast %.0f not cheaper than unicast %.0f", multicast, unicast)
+	}
+	if multicast != 300 { // 3 links × 100 bytes
+		t.Fatalf("multicast bytes-hops %.0f want 300", multicast)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	m := mustMesh(t, 2, 2)
+	m.Send(Coord{0, 0}, Coord{1, 1}, 64)
+	// Perfect utilisation would move 8 links × 64 B per cycle.
+	u := m.Utilization(1)
+	if u <= 0 || u > 1 {
+		t.Fatalf("utilisation %f", u)
+	}
+	if m.Utilization(0) != 0 {
+		t.Fatal("zero-cycle utilisation")
+	}
+}
+
+func TestRoutePanicsOutsideMesh(t *testing.T) {
+	m := mustMesh(t, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Route(Coord{0, 0}, Coord{5, 5})
+}

@@ -1,0 +1,254 @@
+package ntt
+
+import (
+	"fmt"
+
+	"crophe/internal/modmath"
+)
+
+// FourStep evaluates the length-N negacyclic NTT through the four-step
+// (a.k.a. six-step / decomposed) algorithm with N = N1·N2:
+//
+//	pre-twist by ψ^j → N2 column transforms of length N1 →
+//	element-wise twiddle ω^{j2·k1} → transpose → N1 row transforms of
+//	length N2.
+//
+// This mirrors the operator sequence the CROPHE scheduler materialises
+// (col-(i)NTT, ⊗twiddle, transpose, row-(i)NTT) so the functional kernel
+// and the scheduled dataflow share one source of truth. Results are in
+// standard (natural) order: out[k] = a(ψ^{2k+1}).
+type FourStep struct {
+	T      *Table
+	N1, N2 int
+
+	sub1, sub2 *cyclicTable // cyclic DFT tables of sizes N1, N2
+
+	twist      []uint64 // ψ^j, j = 0..N-1 (negacyclic pre-twist)
+	twistInv   []uint64 // ψ^{-j}/N merged inverse twist
+	twiddle    []uint64 // ω^{j2·k1} laid out [k1][j2] (N1×N2)
+	twiddleInv []uint64
+}
+
+// NewFourStep builds a decomposed transform for t.N = n1·n2, both powers
+// of two ≥ 2.
+func NewFourStep(t *Table, n1, n2 int) (*FourStep, error) {
+	if n1 < 2 || n2 < 2 || n1&(n1-1) != 0 || n2&(n2-1) != 0 {
+		return nil, fmt.Errorf("ntt: four-step factors %d×%d must be powers of two ≥ 2", n1, n2)
+	}
+	if n1*n2 != t.N {
+		return nil, fmt.Errorf("ntt: four-step factors %d×%d do not multiply to N=%d", n1, n2, t.N)
+	}
+	m := t.M
+	n := t.N
+	psi, err := modmath.RootOfUnity(m, uint64(n))
+	if err != nil {
+		return nil, err
+	}
+	omega := m.Mul(psi, psi) // primitive N-th root
+	psiInv := m.Inv(psi)
+
+	fs := &FourStep{T: t, N1: n1, N2: n2}
+	fs.sub1 = newCyclicTable(m, n1, m.Pow(omega, uint64(n2)))
+	fs.sub2 = newCyclicTable(m, n2, m.Pow(omega, uint64(n1)))
+
+	// The two sub-inverses already contribute 1/N1·1/N2 = 1/N, so the
+	// inverse twist is plain ψ^{-j} with no extra scaling.
+	fs.twist = make([]uint64, n)
+	fs.twistInv = make([]uint64, n)
+	w, wi := uint64(1), uint64(1)
+	for j := 0; j < n; j++ {
+		fs.twist[j] = w
+		fs.twistInv[j] = wi
+		w = m.Mul(w, psi)
+		wi = m.Mul(wi, psiInv)
+	}
+
+	fs.twiddle = make([]uint64, n)
+	fs.twiddleInv = make([]uint64, n)
+	omegaInv := m.Inv(omega)
+	for k1 := 0; k1 < n1; k1++ {
+		for j2 := 0; j2 < n2; j2++ {
+			e := uint64(k1) * uint64(j2)
+			fs.twiddle[k1*n2+j2] = m.Pow(omega, e)
+			fs.twiddleInv[k1*n2+j2] = m.Pow(omegaInv, e)
+		}
+	}
+	return fs, nil
+}
+
+// Forward computes the standard-order negacyclic NTT of a into dst
+// (dst[k] = a(ψ^{2k+1})). dst and a must have length N and may alias.
+func (fs *FourStep) Forward(dst, a []uint64) {
+	m := fs.T.M
+	n1, n2 := fs.N1, fs.N2
+	n := n1 * n2
+	if len(a) != n || len(dst) != n {
+		panic("ntt: FourStep.Forward length mismatch")
+	}
+	// Step 0: negacyclic pre-twist b[j] = a[j]·ψ^j, viewed as N1×N2
+	// row-major (rows j1, columns j2).
+	buf := make([]uint64, n)
+	for j := 0; j < n; j++ {
+		buf[j] = m.Mul(a[j], fs.twist[j])
+	}
+	// Step 1: column transforms — for each column j2, length-N1 cyclic
+	// DFT over j1. Result X[k1][j2].
+	col := make([]uint64, n1)
+	for j2 := 0; j2 < n2; j2++ {
+		for j1 := 0; j1 < n1; j1++ {
+			col[j1] = buf[j1*n2+j2]
+		}
+		fs.sub1.forward(col)
+		for k1 := 0; k1 < n1; k1++ {
+			buf[k1*n2+j2] = col[k1]
+		}
+	}
+	// Step 2: element-wise twiddle X[k1][j2] *= ω^{k1·j2}.
+	for i := 0; i < n; i++ {
+		buf[i] = m.Mul(buf[i], fs.twiddle[i])
+	}
+	// Step 3+4: row transforms over j2 for each k1; output index is
+	// k2·N1 + k1 (the transpose the hardware realises in the transpose
+	// unit).
+	row := make([]uint64, n2)
+	for k1 := 0; k1 < n1; k1++ {
+		copy(row, buf[k1*n2:(k1+1)*n2])
+		fs.sub2.forward(row)
+		for k2 := 0; k2 < n2; k2++ {
+			dst[k2*n1+k1] = row[k2]
+		}
+	}
+}
+
+// Inverse undoes Forward: given standard-order NTT values it reconstructs
+// the coefficients, running the four steps mirrored.
+func (fs *FourStep) Inverse(dst, a []uint64) {
+	m := fs.T.M
+	n1, n2 := fs.N1, fs.N2
+	n := n1 * n2
+	if len(a) != n || len(dst) != n {
+		panic("ntt: FourStep.Inverse length mismatch")
+	}
+	buf := make([]uint64, n)
+	// Undo the final transpose and the row transforms.
+	row := make([]uint64, n2)
+	for k1 := 0; k1 < n1; k1++ {
+		for k2 := 0; k2 < n2; k2++ {
+			row[k2] = a[k2*n1+k1]
+		}
+		fs.sub2.inverse(row)
+		copy(buf[k1*n2:(k1+1)*n2], row)
+	}
+	// Undo the twiddle.
+	for i := 0; i < n; i++ {
+		buf[i] = m.Mul(buf[i], fs.twiddleInv[i])
+	}
+	// Undo the column transforms.
+	col := make([]uint64, n1)
+	for j2 := 0; j2 < n2; j2++ {
+		for k1 := 0; k1 < n1; k1++ {
+			col[k1] = buf[k1*n2+j2]
+		}
+		fs.sub1.inverse(col)
+		for j1 := 0; j1 < n1; j1++ {
+			buf[j1*n2+j2] = col[j1]
+		}
+	}
+	// Undo the negacyclic pre-twist.
+	for j := 0; j < n; j++ {
+		dst[j] = m.Mul(buf[j], fs.twistInv[j])
+	}
+}
+
+// ForwardStandard runs the radix-2 transform and permutes the output into
+// standard order, the reference FourStep.Forward must match.
+func (t *Table) ForwardStandard(dst, a []uint64) {
+	tmp := append([]uint64(nil), a...)
+	t.Forward(tmp)
+	logN := log2(t.N)
+	for k := range dst {
+		dst[k] = tmp[int(bitReverse(uint(k), logN))]
+	}
+}
+
+// InverseStandard is the inverse of ForwardStandard.
+func (t *Table) InverseStandard(dst, a []uint64) {
+	tmp := make([]uint64, t.N)
+	logN := log2(t.N)
+	for k := range a {
+		tmp[int(bitReverse(uint(k), logN))] = a[k]
+	}
+	t.Inverse(tmp)
+	copy(dst, tmp)
+}
+
+func log2(n int) uint {
+	var l uint
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// cyclicTable is a plain (non-negacyclic) radix-2 DFT over Z_q with a given
+// primitive n-th root, used for the four-step sub-transforms.
+type cyclicTable struct {
+	m     modmath.Modulus
+	n     int
+	wPow  []uint64 // ω^i
+	wiPow []uint64 // ω^{-i}
+	nInv  uint64
+}
+
+func newCyclicTable(m modmath.Modulus, n int, omega uint64) *cyclicTable {
+	c := &cyclicTable{m: m, n: n, nInv: m.Inv(uint64(n))}
+	c.wPow = make([]uint64, n)
+	c.wiPow = make([]uint64, n)
+	oi := m.Inv(omega)
+	w, wi := uint64(1), uint64(1)
+	for i := 0; i < n; i++ {
+		c.wPow[i], c.wiPow[i] = w, wi
+		w = m.Mul(w, omega)
+		wi = m.Mul(wi, oi)
+	}
+	return c
+}
+
+// forward computes the in-order cyclic DFT X[k] = Σ a[j]·ω^{jk} using an
+// iterative radix-2 algorithm with an initial bit-reversal permutation.
+func (c *cyclicTable) forward(a []uint64) { c.transform(a, c.wPow, false) }
+
+// inverse computes a[j] = (1/n)·Σ X[k]·ω^{-jk}.
+func (c *cyclicTable) inverse(a []uint64) { c.transform(a, c.wiPow, true) }
+
+func (c *cyclicTable) transform(a []uint64, pow []uint64, scale bool) {
+	n := c.n
+	m := c.m
+	logN := log2(n)
+	// Bit-reversal permutation to natural DIT order.
+	for i := 0; i < n; i++ {
+		j := int(bitReverse(uint(i), logN))
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			for i := 0; i < half; i++ {
+				w := pow[i*step]
+				u := a[start+i]
+				v := m.Mul(a[start+i+half], w)
+				a[start+i] = m.Add(u, v)
+				a[start+i+half] = m.Sub(u, v)
+			}
+		}
+	}
+	if scale {
+		for i := range a {
+			a[i] = m.Mul(a[i], c.nInv)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package ntt implements negacyclic number-theoretic transforms over
+// NTT-friendly prime fields, the central compute kernel of RNS-CKKS.
+//
+// Two evaluation strategies are provided:
+//
+//   - the classic in-place radix-2 transform (Cooley–Tukey butterflies for
+//     the forward direction, Gentleman–Sande for the inverse), matching the
+//     paired-lane butterfly datapath of the CROPHE PEs; and
+//   - the four-step (decomposed) transform that reshapes length-N data into
+//     an N1×N2 matrix and runs column transforms, a twiddle-factor
+//     element-wise multiply, a transpose, and row transforms. This is the
+//     decomposition the CROPHE scheduler exploits (paper §V-B) to pipeline
+//     NTTs with neighbouring operators at N1/N2 granularity.
+//
+// A Table is immutable after construction and safe for concurrent use.
+package ntt
+
+import (
+	"fmt"
+	"math/bits"
+
+	"crophe/internal/modmath"
+)
+
+// Table holds the precomputed twiddle factors for a (modulus, ring degree)
+// pair. The negacyclic transform of a(X) in Z_q[X]/(X^N+1) evaluates the
+// polynomial at odd powers of the 2N-th root of unity ψ.
+type Table struct {
+	M modmath.Modulus
+	N int
+
+	// ψ^brv(i) in bit-reversed order with Shoup companions, for the
+	// forward Cooley–Tukey pass (merged negacyclic twist).
+	psiBR      []uint64
+	psiBRShoup []uint64
+	// ψ^{-brv(i)} likewise for the inverse Gentleman–Sande pass.
+	psiInvBR      []uint64
+	psiInvBRShoup []uint64
+
+	nInv      uint64 // N^{-1} mod q
+	nInvShoup uint64
+}
+
+// NewTable precomputes twiddles for ring degree n (a power of two ≥ 2)
+// under modulus m, which must satisfy q ≡ 1 (mod 2n).
+func NewTable(m modmath.Modulus, n int) (*Table, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("ntt: ring degree %d must be a power of two ≥ 2", n)
+	}
+	psi, err := modmath.RootOfUnity(m, uint64(n))
+	if err != nil {
+		return nil, fmt.Errorf("ntt: %w", err)
+	}
+	psiInv := m.Inv(psi)
+
+	t := &Table{
+		M: m, N: n,
+		psiBR:         make([]uint64, n),
+		psiBRShoup:    make([]uint64, n),
+		psiInvBR:      make([]uint64, n),
+		psiInvBRShoup: make([]uint64, n),
+		nInv:          m.Inv(uint64(n)),
+	}
+	t.nInvShoup = m.ShoupPrecomp(t.nInv)
+
+	logN := uint(bits.TrailingZeros(uint(n)))
+	fwd, inv := uint64(1), uint64(1)
+	powers := make([]uint64, n)
+	powersInv := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		powers[i], powersInv[i] = fwd, inv
+		fwd = m.Mul(fwd, psi)
+		inv = m.Mul(inv, psiInv)
+	}
+	for i := 0; i < n; i++ {
+		j := int(bitReverse(uint(i), logN))
+		t.psiBR[i] = powers[j]
+		t.psiBRShoup[i] = m.ShoupPrecomp(powers[j])
+		t.psiInvBR[i] = powersInv[j]
+		t.psiInvBRShoup[i] = m.ShoupPrecomp(powersInv[j])
+	}
+	return t, nil
+}
+
+func bitReverse(x, width uint) uint {
+	return uint(bits.Reverse64(uint64(x)) >> (64 - width))
+}
+
+// Forward transforms a (coefficient form, length N) into the negacyclic
+// NTT domain in place. The output ordering is the standard bit-reversed
+// "NTT representation"; Inverse undoes it exactly.
+func (t *Table) Forward(a []uint64) {
+	if len(a) != t.N {
+		panic(fmt.Sprintf("ntt: Forward on length %d, table degree %d", len(a), t.N))
+	}
+	m := t.M
+	n := t.N
+	k := 1
+	for span := n >> 1; span >= 1; span >>= 1 {
+		for start := 0; start < n; start += span << 1 {
+			w := t.psiBR[k]
+			ws := t.psiBRShoup[k]
+			k++
+			for i := start; i < start+span; i++ {
+				// Cooley–Tukey butterfly: (u, v) -> (u + w·v, u - w·v).
+				u := a[i]
+				v := m.MulShoup(a[i+span], w, ws)
+				a[i] = m.Add(u, v)
+				a[i+span] = m.Sub(u, v)
+			}
+		}
+	}
+}
+
+// Inverse transforms a from the NTT domain back to coefficient form in
+// place, including the 1/N scaling.
+func (t *Table) Inverse(a []uint64) {
+	if len(a) != t.N {
+		panic(fmt.Sprintf("ntt: Inverse on length %d, table degree %d", len(a), t.N))
+	}
+	m := t.M
+	n := t.N
+	// Gentleman–Sande: walk spans from 1 back up to n/2. With h groups in
+	// a stage, group g uses the inverse twiddle at bit-reversed index h+g.
+	for span := 1; span < n; span <<= 1 {
+		h := n / (span << 1)
+		for g := 0; g < h; g++ {
+			start := g * (span << 1)
+			w := t.psiInvBR[h+g]
+			ws := t.psiInvBRShoup[h+g]
+			for i := start; i < start+span; i++ {
+				// GS butterfly: (u, v) -> (u + v, (u - v)·w).
+				u := a[i]
+				v := a[i+span]
+				a[i] = m.Add(u, v)
+				a[i+span] = m.MulShoup(m.Sub(u, v), w, ws)
+			}
+		}
+	}
+	for i := range a {
+		a[i] = m.MulShoup(a[i], t.nInv, t.nInvShoup)
+	}
+}
+
+// MulPoly multiplies two coefficient-form polynomials negacyclically
+// (mod X^N + 1) by transform – pointwise multiply – inverse transform.
+// dst, a and b must all have length N; dst may alias a or b.
+func (t *Table) MulPoly(dst, a, b []uint64) {
+	ta := append([]uint64(nil), a...)
+	tb := append([]uint64(nil), b...)
+	t.Forward(ta)
+	t.Forward(tb)
+	for i := range ta {
+		ta[i] = t.M.Mul(ta[i], tb[i])
+	}
+	t.Inverse(ta)
+	copy(dst, ta)
+}
+
+// NegacyclicConvolveNaive is the O(N²) schoolbook reference used by tests:
+// c_k = Σ_{i+j=k} a_i·b_j − Σ_{i+j=k+N} a_i·b_j (mod q).
+func NegacyclicConvolveNaive(m modmath.Modulus, a, b []uint64) []uint64 {
+	n := len(a)
+	c := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		if a[i] == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			p := m.Mul(a[i], b[j])
+			k := i + j
+			if k < n {
+				c[k] = m.Add(c[k], p)
+			} else {
+				c[k-n] = m.Sub(c[k-n], p)
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,305 @@
+package ntt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"crophe/internal/modmath"
+)
+
+func testTable(t *testing.T, n int) *Table {
+	t.Helper()
+	ps, err := modmath.GeneratePrimes(45, uint64(n), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := NewTable(modmath.MustModulus(ps[0]), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func randomPoly(rng *rand.Rand, q uint64, n int) []uint64 {
+	a := make([]uint64, n)
+	for i := range a {
+		a[i] = rng.Uint64() % q
+	}
+	return a
+}
+
+func TestNewTableRejectsBadDegree(t *testing.T) {
+	m := modmath.MustModulus(12289)
+	for _, n := range []int{0, 1, 3, 12, 1000} {
+		if _, err := NewTable(m, n); err == nil {
+			t.Errorf("NewTable(n=%d) should fail", n)
+		}
+	}
+	// 97 ≡ 1 mod 32 fails for n=64 (needs q ≡ 1 mod 128).
+	if _, err := NewTable(modmath.MustModulus(97), 64); err == nil {
+		t.Error("modulus without required root order should fail")
+	}
+}
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	for _, n := range []int{4, 16, 64, 256, 1024} {
+		tbl := testTable(t, n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for trial := 0; trial < 5; trial++ {
+			a := randomPoly(rng, tbl.M.Q, n)
+			got := append([]uint64(nil), a...)
+			tbl.Forward(got)
+			tbl.Inverse(got)
+			for i := range a {
+				if got[i] != a[i] {
+					t.Fatalf("n=%d roundtrip mismatch at %d: %d != %d", n, i, got[i], a[i])
+				}
+			}
+		}
+	}
+}
+
+func TestForwardIsLinear(t *testing.T) {
+	tbl := testTable(t, 64)
+	m := tbl.M
+	rng := rand.New(rand.NewSource(7))
+	a := randomPoly(rng, m.Q, 64)
+	b := randomPoly(rng, m.Q, 64)
+	c := rng.Uint64() % m.Q
+
+	// NTT(a + c·b) == NTT(a) + c·NTT(b)
+	sum := make([]uint64, 64)
+	for i := range sum {
+		sum[i] = m.Add(a[i], m.Mul(c, b[i]))
+	}
+	tbl.Forward(sum)
+	ta := append([]uint64(nil), a...)
+	tb := append([]uint64(nil), b...)
+	tbl.Forward(ta)
+	tbl.Forward(tb)
+	for i := range sum {
+		if want := m.Add(ta[i], m.Mul(c, tb[i])); sum[i] != want {
+			t.Fatalf("linearity fails at %d", i)
+		}
+	}
+}
+
+func TestMulPolyMatchesNaive(t *testing.T) {
+	for _, n := range []int{4, 8, 32, 128} {
+		tbl := testTable(t, n)
+		rng := rand.New(rand.NewSource(int64(n) + 1))
+		a := randomPoly(rng, tbl.M.Q, n)
+		b := randomPoly(rng, tbl.M.Q, n)
+		got := make([]uint64, n)
+		tbl.MulPoly(got, a, b)
+		want := NegacyclicConvolveNaive(tbl.M, a, b)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d mismatch at %d: got %d want %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMulPolyNegacyclicWraparound(t *testing.T) {
+	// X^(N-1) · X = X^N ≡ -1 (mod X^N + 1).
+	n := 16
+	tbl := testTable(t, n)
+	a := make([]uint64, n)
+	b := make([]uint64, n)
+	a[n-1] = 1
+	b[1] = 1
+	c := make([]uint64, n)
+	tbl.MulPoly(c, a, b)
+	if c[0] != tbl.M.Q-1 {
+		t.Fatalf("X^(N-1)·X: c[0] = %d, want q-1", c[0])
+	}
+	for i := 1; i < n; i++ {
+		if c[i] != 0 {
+			t.Fatalf("X^(N-1)·X: c[%d] = %d, want 0", i, c[i])
+		}
+	}
+}
+
+func TestMulPolyIdentity(t *testing.T) {
+	n := 32
+	tbl := testTable(t, n)
+	rng := rand.New(rand.NewSource(9))
+	a := randomPoly(rng, tbl.M.Q, n)
+	one := make([]uint64, n)
+	one[0] = 1
+	got := make([]uint64, n)
+	tbl.MulPoly(got, a, one)
+	for i := range a {
+		if got[i] != a[i] {
+			t.Fatalf("a·1 != a at %d", i)
+		}
+	}
+}
+
+func TestForwardStandardMatchesDirectEvaluation(t *testing.T) {
+	// out[k] must equal a(ψ^{2k+1}).
+	n := 32
+	tbl := testTable(t, n)
+	m := tbl.M
+	psi, err := modmath.RootOfUnity(m, uint64(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	a := randomPoly(rng, m.Q, n)
+	got := make([]uint64, n)
+	tbl.ForwardStandard(got, a)
+	for k := 0; k < n; k++ {
+		x := m.Pow(psi, uint64(2*k+1))
+		var want uint64
+		for j := n - 1; j >= 0; j-- { // Horner
+			want = m.Add(m.Mul(want, x), a[j])
+		}
+		if got[k] != want {
+			t.Fatalf("standard-order NTT mismatch at k=%d: got %d want %d", k, got[k], want)
+		}
+	}
+}
+
+func TestInverseStandardRoundTrip(t *testing.T) {
+	n := 128
+	tbl := testTable(t, n)
+	rng := rand.New(rand.NewSource(13))
+	a := randomPoly(rng, tbl.M.Q, n)
+	f := make([]uint64, n)
+	back := make([]uint64, n)
+	tbl.ForwardStandard(f, a)
+	tbl.InverseStandard(back, f)
+	for i := range a {
+		if back[i] != a[i] {
+			t.Fatalf("standard roundtrip mismatch at %d", i)
+		}
+	}
+}
+
+func TestFourStepMatchesRadix2(t *testing.T) {
+	cases := []struct{ n, n1, n2 int }{
+		{16, 4, 4}, {64, 8, 8}, {64, 4, 16}, {64, 16, 4},
+		{256, 16, 16}, {1024, 32, 32}, {1024, 8, 128},
+	}
+	for _, c := range cases {
+		tbl := testTable(t, c.n)
+		fs, err := NewFourStep(tbl, c.n1, c.n2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(c.n*c.n1 + c.n2)))
+		a := randomPoly(rng, tbl.M.Q, c.n)
+		want := make([]uint64, c.n)
+		tbl.ForwardStandard(want, a)
+		got := make([]uint64, c.n)
+		fs.Forward(got, a)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("N=%d %dx%d four-step forward mismatch at %d: got %d want %d",
+					c.n, c.n1, c.n2, i, got[i], want[i])
+			}
+		}
+		back := make([]uint64, c.n)
+		fs.Inverse(back, got)
+		for i := range a {
+			if back[i] != a[i] {
+				t.Fatalf("N=%d %dx%d four-step inverse mismatch at %d", c.n, c.n1, c.n2, i)
+			}
+		}
+	}
+}
+
+func TestFourStepRejectsBadFactors(t *testing.T) {
+	tbl := testTable(t, 64)
+	bad := []struct{ n1, n2 int }{{1, 64}, {64, 1}, {3, 21}, {8, 16}, {2, 16}}
+	for _, c := range bad {
+		if _, err := NewFourStep(tbl, c.n1, c.n2); err == nil {
+			t.Errorf("NewFourStep(%d,%d) should fail", c.n1, c.n2)
+		}
+	}
+}
+
+func TestForwardPanicsOnWrongLength(t *testing.T) {
+	tbl := testTable(t, 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tbl.Forward(make([]uint64, 8))
+}
+
+func TestConvolutionTheoremProperty(t *testing.T) {
+	// Property: for random sparse polynomials, NTT(a⊛b) == NTT(a)·NTT(b)
+	// pointwise, where ⊛ is the naive negacyclic convolution.
+	n := 16
+	tbl := testTable(t, n)
+	m := tbl.M
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomPoly(rng, m.Q, n)
+		b := randomPoly(rng, m.Q, n)
+		conv := NegacyclicConvolveNaive(m, a, b)
+		tbl.Forward(conv)
+		tbl.Forward(a)
+		tbl.Forward(b)
+		for i := range conv {
+			if conv[i] != m.Mul(a[i], b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkForward1024(b *testing.B)  { benchForward(b, 1024) }
+func BenchmarkForward4096(b *testing.B)  { benchForward(b, 4096) }
+func BenchmarkForward16384(b *testing.B) { benchForward(b, 16384) }
+
+func benchForward(b *testing.B, n int) {
+	ps, err := modmath.GeneratePrimes(45, uint64(n), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := NewTable(modmath.MustModulus(ps[0]), n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	a := randomPoly(rng, tbl.M.Q, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Forward(a)
+	}
+}
+
+func BenchmarkFourStep4096(b *testing.B) {
+	n := 4096
+	ps, err := modmath.GeneratePrimes(45, uint64(n), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := NewTable(modmath.MustModulus(ps[0]), n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs, err := NewFourStep(tbl, 64, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	a := randomPoly(rng, tbl.M.Q, n)
+	dst := make([]uint64, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs.Forward(dst, a)
+	}
+}

@@ -1,0 +1,349 @@
+package poly
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"crophe/internal/modmath"
+)
+
+func testRing(t testing.TB, n, limbs int) *Ring {
+	t.Helper()
+	ps, err := modmath.GeneratePrimes(45, uint64(n), limbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRing(n, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRingErrors(t *testing.T) {
+	// 97 does not support n=64 negacyclic NTT.
+	if _, err := NewRing(64, []uint64{97}); err == nil {
+		t.Error("expected error for non-NTT-friendly prime")
+	}
+	if _, err := NewRing(64, nil); err == nil {
+		t.Error("expected error for empty basis")
+	}
+}
+
+func TestNewPolyBounds(t *testing.T) {
+	r := testRing(t, 32, 3)
+	for _, bad := range []int{0, 4, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPoly(%d) should panic", bad)
+				}
+			}()
+			r.NewPoly(bad)
+		}()
+	}
+	p := r.NewPoly(2)
+	if p.Limbs() != 2 || p.Level() != 1 {
+		t.Fatalf("limbs=%d level=%d", p.Limbs(), p.Level())
+	}
+}
+
+func TestAddSubNegRoundTrip(t *testing.T) {
+	r := testRing(t, 64, 3)
+	rng := rand.New(rand.NewSource(1))
+	a := r.UniformPoly(3, rng)
+	b := r.UniformPoly(3, rng)
+	sum := r.NewPoly(3)
+	r.Add(sum, a, b)
+	back := r.NewPoly(3)
+	r.Sub(back, sum, b)
+	if !back.Equal(a) {
+		t.Fatal("(a+b)-b != a")
+	}
+	neg := r.NewPoly(3)
+	r.Neg(neg, a)
+	r.Add(neg, neg, a)
+	zero := r.NewPoly(3)
+	if !neg.Equal(zero) {
+		t.Fatal("a + (-a) != 0")
+	}
+}
+
+func TestNTTRoundTripAndMulMatchesConvolution(t *testing.T) {
+	r := testRing(t, 32, 2)
+	rng := rand.New(rand.NewSource(2))
+	a := r.UniformPoly(2, rng)
+	b := r.UniformPoly(2, rng)
+	orig := a.Copy()
+
+	r.NTT(a)
+	if !a.IsNTT {
+		t.Fatal("IsNTT not set")
+	}
+	r.INTT(a)
+	if !a.Equal(orig) {
+		t.Fatal("NTT/INTT roundtrip failed")
+	}
+
+	// Hadamard in NTT form == negacyclic convolution in coeff form.
+	an, bn := a.Copy(), b.Copy()
+	r.NTT(an)
+	r.NTT(bn)
+	prod := r.NewPoly(2)
+	r.MulHadamard(prod, an, bn)
+	r.INTT(prod)
+	for i := 0; i < 2; i++ {
+		want := make([]uint64, r.N)
+		r.Tables[i].MulPoly(want, a.Coeffs[i], b.Coeffs[i])
+		for j := range want {
+			if prod.Coeffs[i][j] != want[j] {
+				t.Fatalf("limb %d coeff %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestMulHadamardRequiresNTT(t *testing.T) {
+	r := testRing(t, 32, 1)
+	a := r.NewPoly(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for coefficient-form Hadamard")
+		}
+	}()
+	r.MulHadamard(a, a, a)
+}
+
+func TestMulAddHadamard(t *testing.T) {
+	r := testRing(t, 32, 2)
+	rng := rand.New(rand.NewSource(3))
+	a := r.UniformPoly(2, rng)
+	b := r.UniformPoly(2, rng)
+	r.NTT(a)
+	r.NTT(b)
+	acc := r.NewPoly(2)
+	acc.IsNTT = true
+	r.MulAddHadamard(acc, a, b)
+	r.MulAddHadamard(acc, a, b)
+	want := r.NewPoly(2)
+	r.MulHadamard(want, a, b)
+	r.Add(want, want, want)
+	if !acc.Equal(want) {
+		t.Fatal("acc += a⊙b twice != 2(a⊙b)")
+	}
+}
+
+func TestMulScalar(t *testing.T) {
+	r := testRing(t, 32, 2)
+	rng := rand.New(rand.NewSource(4))
+	a := r.UniformPoly(2, rng)
+	dst := r.NewPoly(2)
+	r.MulScalar(dst, a, 3)
+	want := r.NewPoly(2)
+	r.Add(want, a, a)
+	r.Add(want, want, a)
+	if !dst.Equal(want) {
+		t.Fatal("3·a != a+a+a")
+	}
+}
+
+func TestMulScalarRNS(t *testing.T) {
+	r := testRing(t, 32, 3)
+	rng := rand.New(rand.NewSource(5))
+	a := r.UniformPoly(3, rng)
+	s := []uint64{2, 3, 4}
+	dst := r.NewPoly(3)
+	r.MulScalarRNS(dst, a, s)
+	for i := 0; i < 3; i++ {
+		m := r.Mod(i)
+		for j := 0; j < r.N; j++ {
+			if dst.Coeffs[i][j] != m.Mul(a.Coeffs[i][j], s[i]) {
+				t.Fatalf("limb %d coeff %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestAutomorphismComposition(t *testing.T) {
+	// σ_g1 ∘ σ_g2 = σ_{g1·g2 mod 2N}
+	r := testRing(t, 64, 2)
+	rng := rand.New(rand.NewSource(6))
+	a := r.UniformPoly(2, rng)
+	g1, g2 := uint64(5), uint64(25)
+	t1 := r.NewPoly(2)
+	t2 := r.NewPoly(2)
+	r.Automorphism(t1, a, g2)
+	r.Automorphism(t2, t1, g1)
+	direct := r.NewPoly(2)
+	r.Automorphism(direct, a, g1*g2%(2*64))
+	if !t2.Equal(direct) {
+		t.Fatal("automorphism composition law fails")
+	}
+}
+
+func TestAutomorphismIdentityAndInverse(t *testing.T) {
+	r := testRing(t, 64, 1)
+	rng := rand.New(rand.NewSource(7))
+	a := r.UniformPoly(1, rng)
+	id := r.NewPoly(1)
+	r.Automorphism(id, a, 1)
+	if !id.Equal(a) {
+		t.Fatal("σ_1 is not identity")
+	}
+	// g = 5, inverse exponent g' with g·g' ≡ 1 mod 2N.
+	twoN := uint64(128)
+	g := uint64(5)
+	var gInv uint64
+	for cand := uint64(1); cand < twoN; cand += 2 {
+		if g*cand%twoN == 1 {
+			gInv = cand
+			break
+		}
+	}
+	fwd := r.NewPoly(1)
+	back := r.NewPoly(1)
+	r.Automorphism(fwd, a, g)
+	r.Automorphism(back, fwd, gInv)
+	if !back.Equal(a) {
+		t.Fatal("σ_g ∘ σ_g⁻¹ is not identity")
+	}
+}
+
+func TestAutomorphismOnMonomial(t *testing.T) {
+	// a = X: σ_g(X) = X^g, with negacyclic wrap for g ≥ N.
+	r := testRing(t, 16, 1)
+	a := r.NewPoly(1)
+	a.Coeffs[0][1] = 1
+	out := r.NewPoly(1)
+	r.Automorphism(out, a, 5)
+	if out.Coeffs[0][5] != 1 {
+		t.Fatal("X -> X^5 failed")
+	}
+	// g = 17: X^17 = X^(16+1) = -X.
+	r.Automorphism(out, a, 17)
+	if out.Coeffs[0][1] != r.Mod(0).Q-1 {
+		t.Fatalf("X -> X^17 expected -X, got coeff %d", out.Coeffs[0][1])
+	}
+}
+
+func TestAutomorphismRejectsEvenExponent(t *testing.T) {
+	r := testRing(t, 16, 1)
+	a := r.NewPoly(1)
+	b := r.NewPoly(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for even exponent")
+		}
+	}()
+	r.Automorphism(b, a, 4)
+}
+
+func TestGaloisElement(t *testing.T) {
+	r := testRing(t, 64, 1)
+	if g := r.GaloisElement(0); g != 1 {
+		t.Fatalf("GaloisElement(0) = %d", g)
+	}
+	if g := r.GaloisElement(1); g != 5 {
+		t.Fatalf("GaloisElement(1) = %d", g)
+	}
+	// Rotation by slot count is the identity.
+	if g := r.GaloisElement(32); g != 1 {
+		t.Fatalf("GaloisElement(N/2) = %d, want 1", g)
+	}
+	// Negative rotation composes with positive to the identity exponent.
+	gp := r.GaloisElement(3)
+	gm := r.GaloisElement(-3)
+	if gp*gm%(2*64) != 1 {
+		t.Fatalf("g(3)·g(-3) = %d mod 2N, want 1", gp*gm%(2*64))
+	}
+	if r.GaloisElementConjugate() != 127 {
+		t.Fatal("conjugate exponent")
+	}
+}
+
+func TestTernaryAndGaussianSampling(t *testing.T) {
+	r := testRing(t, 256, 2)
+	rng := rand.New(rand.NewSource(8))
+	s := r.TernaryPoly(2, rng)
+	for j := 0; j < r.N; j++ {
+		v := modmath.CenteredLift(s.Coeffs[0][j], r.Mod(0).Q)
+		if v < -1 || v > 1 {
+			t.Fatalf("ternary coefficient %d out of range", v)
+		}
+		// Limbs must agree as centered values.
+		v2 := modmath.CenteredLift(s.Coeffs[1][j], r.Mod(1).Q)
+		if v != v2 {
+			t.Fatal("ternary limbs disagree")
+		}
+	}
+	e := r.GaussianPoly(2, 3.2, rng)
+	for j := 0; j < r.N; j++ {
+		v := modmath.CenteredLift(e.Coeffs[0][j], r.Mod(0).Q)
+		if v < -40 || v > 40 {
+			t.Fatalf("gaussian coefficient %d implausibly large", v)
+		}
+	}
+}
+
+func TestSetInt64Coeffs(t *testing.T) {
+	r := testRing(t, 16, 2)
+	p := r.NewPoly(2)
+	coeffs := make([]int64, 16)
+	coeffs[0], coeffs[1], coeffs[15] = 7, -3, -1
+	r.SetInt64Coeffs(p, coeffs)
+	if p.Coeffs[0][0] != 7 || p.Coeffs[1][0] != 7 {
+		t.Fatal("positive coefficient")
+	}
+	if p.Coeffs[0][1] != r.Mod(0).Q-3 {
+		t.Fatal("negative coefficient limb 0")
+	}
+	if p.Coeffs[1][15] != r.Mod(1).Q-1 {
+		t.Fatal("negative coefficient limb 1")
+	}
+}
+
+func TestDropLevel(t *testing.T) {
+	r := testRing(t, 16, 3)
+	p := r.NewPoly(3)
+	p.DropLevel(2)
+	if p.Limbs() != 2 {
+		t.Fatal("DropLevel did not shrink")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic growing via DropLevel")
+		}
+	}()
+	p.DropLevel(3)
+}
+
+func TestCopyIsDeep(t *testing.T) {
+	r := testRing(t, 16, 2)
+	rng := rand.New(rand.NewSource(9))
+	a := r.UniformPoly(2, rng)
+	b := a.Copy()
+	b.Coeffs[0][0] = a.Coeffs[0][0] + 1
+	if a.Coeffs[0][0] == b.Coeffs[0][0] {
+		t.Fatal("Copy aliases storage")
+	}
+}
+
+func TestRingConcurrentAutomorphism(t *testing.T) {
+	// The lazy galois cache must be safe under concurrent first access.
+	r := testRing(t, 64, 2)
+	rng := rand.New(rand.NewSource(99))
+	a := r.UniformPoly(2, rng)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			out := r.NewPoly(2)
+			for i := 0; i < 20; i++ {
+				r.Automorphism(out, a, uint64(2*((seed+i)%31)+1))
+			}
+		}(g)
+	}
+	wg.Wait()
+}

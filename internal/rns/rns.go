@@ -1,0 +1,221 @@
+// Package rns implements the Residue Number System layer of RNS-CKKS:
+// bases of word-sized primes standing in for the wide ciphertext modulus
+// Q = q0·q1·…·qℓ, digit decomposition into dnum digits of α limbs each,
+// exact CRT reconstruction, and the fast (approximate) basis conversion —
+// the BConv operator of the paper — used by ModUp and ModDown in
+// key-switching.
+package rns
+
+import (
+	"fmt"
+	"math/big"
+
+	"crophe/internal/modmath"
+)
+
+// Basis is an ordered set of pairwise-distinct prime moduli.
+type Basis struct {
+	Mods []modmath.Modulus
+}
+
+// NewBasis wraps primes into a Basis, validating distinctness and primality.
+func NewBasis(primes []uint64) (*Basis, error) {
+	if len(primes) == 0 {
+		return nil, fmt.Errorf("rns: empty basis")
+	}
+	seen := make(map[uint64]bool, len(primes))
+	b := &Basis{Mods: make([]modmath.Modulus, len(primes))}
+	for i, p := range primes {
+		if seen[p] {
+			return nil, fmt.Errorf("rns: duplicate modulus %d", p)
+		}
+		seen[p] = true
+		if !modmath.IsPrime(p) {
+			return nil, fmt.Errorf("rns: modulus %d is not prime", p)
+		}
+		m, err := modmath.NewModulus(p)
+		if err != nil {
+			return nil, err
+		}
+		b.Mods[i] = m
+	}
+	return b, nil
+}
+
+// K returns the number of limbs in the basis.
+func (b *Basis) K() int { return len(b.Mods) }
+
+// Product returns Q = Π q_i as a big integer.
+func (b *Basis) Product() *big.Int {
+	q := big.NewInt(1)
+	for _, m := range b.Mods {
+		q.Mul(q, new(big.Int).SetUint64(m.Q))
+	}
+	return q
+}
+
+// Sub returns the sub-basis covering limb indices [lo, hi).
+func (b *Basis) Sub(lo, hi int) *Basis {
+	return &Basis{Mods: b.Mods[lo:hi]}
+}
+
+// Decompose maps a non-negative big integer x (reduced mod Q) to its RNS
+// residues.
+func (b *Basis) Decompose(x *big.Int) []uint64 {
+	res := make([]uint64, b.K())
+	tmp := new(big.Int)
+	for i, m := range b.Mods {
+		tmp.Mod(x, new(big.Int).SetUint64(m.Q))
+		res[i] = tmp.Uint64()
+	}
+	return res
+}
+
+// Reconstruct performs exact CRT reconstruction of residues into the
+// canonical representative in [0, Q).
+func (b *Basis) Reconstruct(residues []uint64) *big.Int {
+	if len(residues) != b.K() {
+		panic("rns: residue count mismatch")
+	}
+	q := b.Product()
+	acc := new(big.Int)
+	tmp := new(big.Int)
+	for i, m := range b.Mods {
+		qi := new(big.Int).SetUint64(m.Q)
+		qHat := new(big.Int).Div(q, qi) // Q / q_i
+		// (Q/q_i)^{-1} mod q_i
+		qHatModQi := new(big.Int).Mod(qHat, qi).Uint64()
+		inv := m.Inv(qHatModQi)
+		// term = x_i · inv mod q_i, then · Q/q_i
+		xi := m.Mul(residues[i], inv)
+		tmp.SetUint64(xi)
+		tmp.Mul(tmp, qHat)
+		acc.Add(acc, tmp)
+	}
+	return acc.Mod(acc, q)
+}
+
+// ReconstructCentered reconstructs into the centered interval (-Q/2, Q/2].
+func (b *Basis) ReconstructCentered(residues []uint64) *big.Int {
+	x := b.Reconstruct(residues)
+	q := b.Product()
+	half := new(big.Int).Rsh(q, 1)
+	if x.Cmp(half) > 0 {
+		x.Sub(x, q)
+	}
+	return x
+}
+
+// Conv holds precomputations for the fast basis conversion from a source
+// basis C = {c_i} to a target basis D = {d_j}:
+//
+//	y_j = Σ_i [ x_i · (Ĉ_i)^{-1} mod c_i ] · Ĉ_i  (mod d_j),
+//
+// where Ĉ_i = C/c_i. The result equals x + e·C for some small integer
+// e ∈ [0, |C|) — the well-known approximate conversion whose error CKKS
+// absorbs into the noise budget. This is exactly the BConv matrix multiply
+// of the paper: an |D|×|C| constant matrix applied to each column of the
+// limb matrix.
+type Conv struct {
+	Src, Dst *Basis
+	// cHatInv[i] = (C/c_i)^{-1} mod c_i, with Shoup companion.
+	cHatInv, cHatInvShoup []uint64
+	// cHatModD[j][i] = (C/c_i) mod d_j — the BConv constant matrix.
+	cHatModD [][]uint64
+}
+
+// NewConv precomputes the conversion tables.
+func NewConv(src, dst *Basis) *Conv {
+	c := &Conv{Src: src, Dst: dst}
+	prod := src.Product()
+	k := src.K()
+	c.cHatInv = make([]uint64, k)
+	c.cHatInvShoup = make([]uint64, k)
+	cHat := make([]*big.Int, k)
+	for i, m := range src.Mods {
+		qi := new(big.Int).SetUint64(m.Q)
+		cHat[i] = new(big.Int).Div(prod, qi)
+		red := new(big.Int).Mod(cHat[i], qi).Uint64()
+		c.cHatInv[i] = m.Inv(red)
+		c.cHatInvShoup[i] = m.ShoupPrecomp(c.cHatInv[i])
+	}
+	c.cHatModD = make([][]uint64, dst.K())
+	for j, md := range dst.Mods {
+		row := make([]uint64, k)
+		dj := new(big.Int).SetUint64(md.Q)
+		for i := range src.Mods {
+			row[i] = new(big.Int).Mod(cHat[i], dj).Uint64()
+		}
+		c.cHatModD[j] = row
+	}
+	return c
+}
+
+// Convert maps one RNS value (len = |C| residues) into the target basis
+// (len = |D| residues). The output may differ from the exact value by a
+// multiple e·C with 0 ≤ e < |C|.
+func (c *Conv) Convert(dst, src []uint64) {
+	if len(src) != c.Src.K() || len(dst) != c.Dst.K() {
+		panic("rns: Convert length mismatch")
+	}
+	k := c.Src.K()
+	// v_i = x_i · (Ĉ_i)^{-1} mod c_i
+	v := make([]uint64, k)
+	for i, m := range c.Src.Mods {
+		v[i] = m.MulShoup(src[i], c.cHatInv[i], c.cHatInvShoup[i])
+	}
+	for j, md := range c.Dst.Mods {
+		row := c.cHatModD[j]
+		var acc uint64
+		for i := 0; i < k; i++ {
+			acc = md.Add(acc, md.Mul(md.Reduce(v[i]), row[i]))
+		}
+		dst[j] = acc
+	}
+}
+
+// ConvertColumns applies the conversion to every column of a limb matrix:
+// src is |C| rows of n coefficients, dst is |D| rows of n coefficients.
+// This is the polynomial-level BConv.
+func (c *Conv) ConvertColumns(dst, src [][]uint64) {
+	if len(src) != c.Src.K() || len(dst) != c.Dst.K() {
+		panic("rns: ConvertColumns limb mismatch")
+	}
+	n := len(src[0])
+	k := c.Src.K()
+	v := make([]uint64, k)
+	for col := 0; col < n; col++ {
+		for i, m := range c.Src.Mods {
+			v[i] = m.MulShoup(src[i][col], c.cHatInv[i], c.cHatInvShoup[i])
+		}
+		for j, md := range c.Dst.Mods {
+			row := c.cHatModD[j]
+			var acc uint64
+			for i := 0; i < k; i++ {
+				acc = md.Add(acc, md.Mul(md.Reduce(v[i]), row[i]))
+			}
+			dst[j][col] = acc
+		}
+	}
+}
+
+// DigitBounds returns the limb ranges of the β = ceil((level+1)/α) digits
+// used by key-switching digit decomposition: digit d covers limbs
+// [d·α, min((d+1)·α, level+1)).
+func DigitBounds(level, alpha int) [][2]int {
+	if alpha <= 0 {
+		panic("rns: alpha must be positive")
+	}
+	limbs := level + 1
+	beta := (limbs + alpha - 1) / alpha
+	out := make([][2]int, beta)
+	for d := 0; d < beta; d++ {
+		lo := d * alpha
+		hi := lo + alpha
+		if hi > limbs {
+			hi = limbs
+		}
+		out[d] = [2]int{lo, hi}
+	}
+	return out
+}

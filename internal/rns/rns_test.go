@@ -1,0 +1,226 @@
+package rns
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"crophe/internal/modmath"
+)
+
+func testBasis(t testing.TB, bitLen uint, n uint64, count int) *Basis {
+	t.Helper()
+	ps, err := modmath.GeneratePrimes(bitLen, n, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBasis(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewBasisValidation(t *testing.T) {
+	if _, err := NewBasis(nil); err == nil {
+		t.Error("empty basis should fail")
+	}
+	if _, err := NewBasis([]uint64{12289, 12289}); err == nil {
+		t.Error("duplicate modulus should fail")
+	}
+	if _, err := NewBasis([]uint64{12289, 12290}); err == nil {
+		t.Error("composite modulus should fail")
+	}
+}
+
+func TestDecomposeReconstructRoundTrip(t *testing.T) {
+	b := testBasis(t, 40, 1<<10, 5)
+	q := b.Product()
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		x := new(big.Int).Rand(rng, q)
+		res := b.Decompose(x)
+		back := b.Reconstruct(res)
+		if back.Cmp(x) != 0 {
+			t.Fatalf("roundtrip mismatch: %s != %s", back, x)
+		}
+	}
+}
+
+func TestReconstructCentered(t *testing.T) {
+	b := testBasis(t, 40, 1<<10, 3)
+	q := b.Product()
+	// A value just above Q/2 should come back negative.
+	x := new(big.Int).Rsh(q, 1)
+	x.Add(x, big.NewInt(5))
+	res := b.Decompose(x)
+	c := b.ReconstructCentered(res)
+	if c.Sign() >= 0 {
+		t.Fatalf("expected negative centered value, got %s", c)
+	}
+	want := new(big.Int).Sub(x, q)
+	if c.Cmp(want) != 0 {
+		t.Fatalf("centered value %s, want %s", c, want)
+	}
+}
+
+func TestRNSArithmeticHomomorphism(t *testing.T) {
+	// (x+y) and (x·y) computed limb-wise must match big-int results mod Q.
+	b := testBasis(t, 40, 1<<10, 4)
+	q := b.Product()
+	rng := rand.New(rand.NewSource(2))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := new(big.Int).Rand(r, q)
+		y := new(big.Int).Rand(r, q)
+		xr, yr := b.Decompose(x), b.Decompose(y)
+		sum := make([]uint64, b.K())
+		prod := make([]uint64, b.K())
+		for i, m := range b.Mods {
+			sum[i] = m.Add(xr[i], yr[i])
+			prod[i] = m.Mul(xr[i], yr[i])
+		}
+		wantSum := new(big.Int).Add(x, y)
+		wantSum.Mod(wantSum, q)
+		wantProd := new(big.Int).Mul(x, y)
+		wantProd.Mod(wantProd, q)
+		return b.Reconstruct(sum).Cmp(wantSum) == 0 &&
+			b.Reconstruct(prod).Cmp(wantProd) == 0
+	}
+	_ = rng
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvertExactForSmallValues(t *testing.T) {
+	// For x < C the approximate conversion error e·C pushes the value out
+	// of [0, C) only when the rounding term overflows; for x well below C
+	// the result must be either exact or off by a known multiple of C.
+	src := testBasis(t, 40, 1<<10, 3)
+	dst := testBasis(t, 41, 1<<10, 4)
+	conv := NewConv(src, dst)
+	cProd := src.Product()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		x := new(big.Int).Rand(rng, cProd)
+		in := src.Decompose(x)
+		out := make([]uint64, dst.K())
+		conv.Convert(out, in)
+		got := dst.Reconstruct(out)
+		// got ≡ x + e·C (mod D) with 0 ≤ e < K.
+		diff := new(big.Int).Sub(got, x)
+		diff.Mod(diff, dst.Product())
+		e := new(big.Int)
+		rem := new(big.Int)
+		e.DivMod(diff, cProd, rem)
+		if rem.Sign() != 0 {
+			t.Fatalf("conversion error is not a multiple of C: x=%s got=%s", x, got)
+		}
+		if e.Cmp(big.NewInt(int64(src.K()))) >= 0 {
+			t.Fatalf("conversion overshoot e=%s ≥ K=%d", e, src.K())
+		}
+	}
+}
+
+func TestConvertZeroAndBoundary(t *testing.T) {
+	src := testBasis(t, 40, 1<<10, 2)
+	dst := testBasis(t, 41, 1<<10, 3)
+	conv := NewConv(src, dst)
+	out := make([]uint64, dst.K())
+	conv.Convert(out, make([]uint64, src.K()))
+	for j, v := range out {
+		if v != 0 {
+			t.Fatalf("Convert(0) limb %d = %d, want 0", j, v)
+		}
+	}
+	// x = 1 converts to 1 + e·C for some 0 ≤ e < K (approximate BConv).
+	one := src.Decompose(big.NewInt(1))
+	conv.Convert(out, one)
+	got := dst.Reconstruct(out)
+	diff := new(big.Int).Sub(got, big.NewInt(1))
+	if new(big.Int).Mod(diff, src.Product()).Sign() != 0 {
+		t.Fatalf("Convert(1) = %s is not 1 + e·C", got)
+	}
+}
+
+func TestConvertColumnsMatchesScalar(t *testing.T) {
+	src := testBasis(t, 40, 1<<10, 3)
+	dst := testBasis(t, 41, 1<<10, 5)
+	conv := NewConv(src, dst)
+	n := 64
+	rng := rand.New(rand.NewSource(4))
+	in := make([][]uint64, src.K())
+	for i := range in {
+		in[i] = make([]uint64, n)
+		for c := range in[i] {
+			in[i][c] = rng.Uint64() % src.Mods[i].Q
+		}
+	}
+	out := make([][]uint64, dst.K())
+	for j := range out {
+		out[j] = make([]uint64, n)
+	}
+	conv.ConvertColumns(out, in)
+
+	col := make([]uint64, src.K())
+	want := make([]uint64, dst.K())
+	for c := 0; c < n; c++ {
+		for i := range col {
+			col[i] = in[i][c]
+		}
+		conv.Convert(want, col)
+		for j := range want {
+			if out[j][c] != want[j] {
+				t.Fatalf("column %d limb %d: %d != %d", c, j, out[j][c], want[j])
+			}
+		}
+	}
+}
+
+func TestDigitBounds(t *testing.T) {
+	cases := []struct {
+		level, alpha int
+		want         [][2]int
+	}{
+		{0, 1, [][2]int{{0, 1}}},
+		{3, 2, [][2]int{{0, 2}, {2, 4}}},
+		{4, 2, [][2]int{{0, 2}, {2, 4}, {4, 5}}},
+		{5, 6, [][2]int{{0, 6}}},
+		{11, 4, [][2]int{{0, 4}, {4, 8}, {8, 12}}},
+	}
+	for _, c := range cases {
+		got := DigitBounds(c.level, c.alpha)
+		if len(got) != len(c.want) {
+			t.Fatalf("level=%d α=%d: %v want %v", c.level, c.alpha, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("level=%d α=%d digit %d: %v want %v", c.level, c.alpha, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestDigitBoundsPanicsOnBadAlpha(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for alpha=0")
+		}
+	}()
+	DigitBounds(3, 0)
+}
+
+func TestSubBasis(t *testing.T) {
+	b := testBasis(t, 40, 1<<10, 6)
+	s := b.Sub(2, 5)
+	if s.K() != 3 {
+		t.Fatalf("sub-basis size %d", s.K())
+	}
+	for i := 0; i < 3; i++ {
+		if s.Mods[i].Q != b.Mods[i+2].Q {
+			t.Fatal("sub-basis moduli mismatch")
+		}
+	}
+}

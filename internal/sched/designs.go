@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"crophe/internal/arch"
+	"crophe/internal/workload"
+)
+
+// Design is one evaluated design point of the paper: a hardware
+// configuration plus a scheduling policy and the feature flags of the
+// Figure 11 ablation.
+type Design struct {
+	Name      string
+	HW        *arch.HWConfig
+	Dataflow  Dataflow
+	NTTDec    bool // §V-B NTT decomposition
+	HybridRot bool // §V-C hybrid rotation
+	Clusters  int  // >1 enables CROPHE-p partitioning
+}
+
+// WorkloadFactory builds a workload for a given rotation structure — the
+// graph-level transform the scheduler enumerates for hybrid rotation
+// (§V-D: "we enumerate it at the very beginning and generate one
+// computational graph for each r_Hyb").
+type WorkloadFactory func(mode workload.RotMode, rHyb int) *workload.Workload
+
+// rHybCandidates is the stride sweep for hybrid rotation.
+var rHybCandidates = []int{2, 4, 8}
+
+// Evaluate schedules the design over the best rotation structure it is
+// allowed to use and returns the winning schedule:
+//
+//   - MAD and Base pick the better of Min-KS and Hoisting (the paper notes
+//     Min-KS wins with large SRAM, Hoisting with small).
+//   - HybridRot additionally sweeps r_Hyb.
+//   - NTTDec applies the four-step rewrite before scheduling.
+func (d Design) Evaluate(factory WorkloadFactory) *Schedule {
+	opt := DefaultOptions(d.Dataflow)
+	if d.Clusters > 1 {
+		opt.Clusters = d.Clusters
+	}
+	sch := New(d.HW, opt)
+
+	type cand struct {
+		mode workload.RotMode
+		r    int
+	}
+	cands := []cand{{workload.RotMinKS, 0}, {workload.RotHoisted, 0}}
+	if d.HybridRot {
+		for _, r := range rHybCandidates {
+			cands = append(cands, cand{workload.RotHybrid, r})
+		}
+	}
+
+	var best *Schedule
+	for _, c := range cands {
+		w := factory(c.mode, c.r)
+		if d.NTTDec {
+			w = w.DecomposeNTTs()
+		}
+		res := sch.Run(w)
+		if best == nil || res.TimeSec < best.TimeSec {
+			best = res
+		}
+	}
+	best.Workload = factory(workload.RotMinKS, 0).Name
+	return best
+}
+
+// PaperDesigns returns the four Figure 9 design points for a CROPHE
+// variant paired against a baseline accelerator.
+func PaperDesigns(croHW, baseHW *arch.HWConfig) []Design {
+	return []Design{
+		{Name: baseHW.Name + "+MAD", HW: baseHW, Dataflow: DataflowMAD},
+		{Name: croHW.Name + "+MAD", HW: croHW, Dataflow: DataflowMAD},
+		{Name: croHW.Name, HW: croHW, Dataflow: DataflowCROPHE, NTTDec: true, HybridRot: true},
+		{Name: croHW.Name + "-p", HW: croHW, Dataflow: DataflowCROPHE, NTTDec: true, HybridRot: true, Clusters: 4},
+	}
+}
+
+// AblationDesigns returns the Figure 11 ladder on a CROPHE variant:
+// MAD → Base → +NTTDec → +HybRot → all.
+func AblationDesigns(croHW *arch.HWConfig) []Design {
+	return []Design{
+		{Name: "MAD", HW: croHW, Dataflow: DataflowMAD},
+		{Name: "Base", HW: croHW, Dataflow: DataflowCROPHE},
+		{Name: "NTTDec", HW: croHW, Dataflow: DataflowCROPHE, NTTDec: true},
+		{Name: "HybRot", HW: croHW, Dataflow: DataflowCROPHE, HybridRot: true},
+		{Name: "CROPHE", HW: croHW, Dataflow: DataflowCROPHE, NTTDec: true, HybridRot: true},
+	}
+}

@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"sort"
+
+	"crophe/internal/graph"
+)
+
+// auxAffinityOrder returns the compute nodes of a graph in a topological
+// order that greedily keeps consumers of the same auxiliary data adjacent.
+// Any topological order is a legal schedule; this one maximises the
+// spatial-sharing opportunities the group-formation DP can exploit: when
+// several ready operators consume the same evk, they are emitted
+// back-to-back and land in one group, so the evk is streamed once.
+func auxAffinityOrder(g *graph.Graph) []*graph.Node {
+	indeg := make(map[*graph.Node]int, len(g.Nodes))
+	for _, n := range g.Nodes {
+		indeg[n] = len(n.InEdges)
+	}
+	var ready []*graph.Node
+	for _, n := range g.Nodes {
+		if indeg[n] == 0 {
+			ready = append(ready, n)
+		}
+	}
+	sortByID(ready)
+
+	out := make([]*graph.Node, 0, len(g.Nodes))
+	lastAux := ""
+	// recent holds the last few emitted nodes; consuming their outputs
+	// keeps intermediate live ranges short (the loop-interleaving freedom
+	// of the paper's scheduler: a baby-step ciphertext's PMults run
+	// back-to-back instead of once per giant step).
+	var recent []*graph.Node
+	for len(ready) > 0 {
+		idx, bestScore := 0, -1
+		for i, n := range ready {
+			score := 0
+			for _, e := range n.InEdges {
+				if e.Class != graph.Intermediate {
+					continue
+				}
+				for _, r := range recent {
+					if e.From == r {
+						score += 2
+					}
+				}
+			}
+			if lastAux != "" && primaryAux(n) == lastAux {
+				score++
+			}
+			if score > bestScore {
+				bestScore, idx = score, i
+			}
+		}
+		n := ready[idx]
+		ready = append(ready[:idx], ready[idx+1:]...)
+		if n.Kind.IsCompute() {
+			out = append(out, n)
+			lastAux = primaryAux(n)
+			recent = append(recent, n)
+			if len(recent) > 6 {
+				recent = recent[1:]
+			}
+		}
+		inserted := false
+		for _, e := range n.OutEdges {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				ready = append(ready, e.To)
+				inserted = true
+			}
+		}
+		if inserted {
+			sortByID(ready)
+		}
+	}
+	return out
+}
+
+// primaryAux returns the dominant auxiliary input of a node (the largest
+// aux edge, preferring evks — the expensive streams worth co-scheduling).
+func primaryAux(n *graph.Node) string {
+	best := ""
+	var bestBytes float64
+	for _, e := range n.InEdges {
+		if e.Class != graph.Auxiliary {
+			continue
+		}
+		b := e.Shape.Bytes(8)
+		if isEvk(e.AuxID) {
+			b *= 1000 // always prefer the evk stream
+		}
+		if b > bestBytes {
+			bestBytes = b
+			best = e.AuxID
+		}
+	}
+	return best
+}
+
+func sortByID(ns []*graph.Node) {
+	sort.Slice(ns, func(i, j int) bool { return ns[i].ID < ns[j].ID })
+}

@@ -1,0 +1,912 @@
+// Package sched implements the CROPHE scheduling framework (§V): it
+// searches the hierarchical cross-operator dataflow design space —
+// sequential execution → temporal pipelining/sharing → spatial
+// pipelining/sharing — for a workload graph on a hardware configuration,
+// using an analytical cost model, and also implements the MAD baseline
+// scheduling policy the paper compares against.
+//
+// The search follows the paper's bottom-up composition: operators (in a
+// deterministic topological order) are grouped into spatial
+// pipelining/sharing groups of bounded size, groups are costed with the
+// analytical model, and dynamic programming concatenates the best groups
+// over the whole graph (§V-D). Redundant subgraphs are costed once via the
+// workload's segment × count representation.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"crophe/internal/arch"
+	"crophe/internal/graph"
+	"crophe/internal/workload"
+)
+
+// Dataflow selects the scheduling policy.
+type Dataflow int
+
+// Scheduling policies.
+const (
+	// DataflowMAD is the prior-work policy [2]: limited pairwise operator
+	// fusion, O(1)/O(β) caching of intermediates, no auxiliary-data
+	// sharing, and whole-tensor spills at orientation switches.
+	DataflowMAD Dataflow = iota
+	// DataflowCROPHE is the full framework of §V-A: fine-grained spatial/
+	// temporal pipelining of intermediates and sharing of auxiliaries.
+	DataflowCROPHE
+)
+
+// String implements fmt.Stringer.
+func (d Dataflow) String() string {
+	if d == DataflowMAD {
+		return "mad"
+	}
+	return "crophe"
+}
+
+// Options tunes a scheduling run.
+type Options struct {
+	Dataflow     Dataflow
+	MaxGroupSize int // spatial group size bound (paper: 7–10)
+	Clusters     int // CROPHE-p data-parallel clusters (1 = off)
+	// UniformAlloc replaces the load-proportional PE allocation of §IV-B
+	// with an equal split — an ablation knob showing why proportional
+	// allocation matters for pipeline balance.
+	UniformAlloc bool
+}
+
+// DefaultOptions returns the configuration used throughout the evaluation.
+func DefaultOptions(d Dataflow) Options {
+	return Options{Dataflow: d, MaxGroupSize: 8, Clusters: 1}
+}
+
+// Model calibration constants. These stand in for the microarchitectural
+// detail of the paper's RTL + trace simulation; they are fixed across all
+// designs so comparisons remain apples-to-apples.
+const (
+	// effPipelined is the PE efficiency inside a fine-grained spatial
+	// pipeline (NoC forwarding and allocation rounding overheads).
+	effPipelined = 0.85
+	// effSoloHomogeneous is the efficiency of mapping a single operator
+	// across the whole homogeneous PE array without pipelining — the
+	// utilisation problem §VII-D attributes to MAD-on-CROPHE-hardware:
+	// MAD's per-operator mapping was designed for few-cluster baselines
+	// and leaves most of the large PE array idle.
+	effSoloHomogeneous = 0.25
+	// effSpecialized is the efficiency of a dedicated functional unit on
+	// the baseline accelerators.
+	effSpecialized = 0.9
+	// prngEvkFactor halves evk DRAM traffic (PRNG regeneration of the
+	// random half, applied to all designs, §VI).
+	prngEvkFactor = 0.5
+	// spillRoundTrip: write + read for materialised tensors.
+	spillRoundTrip = 2.0
+	// perOpPECap bounds how many PEs one operator's multi-dimensional
+	// decomposition can use efficiently (intra-PE lanes × inter-PE NoC ×
+	// temporal iteration, §IV-B).
+	perOpPECap = 10
+	// interSpillFrac bounds how much of the global buffer a single
+	// materialised intermediate may claim: several tensors plus streamed
+	// auxiliaries are live at once, so a tensor larger than this fraction
+	// of the capacity spills to DRAM. This is what breaks coarse-grained
+	// dataflow at the small capacities of Figure 10.
+	interSpillFrac = 0.33
+)
+
+// Traffic accumulates bytes by memory level.
+type Traffic struct {
+	DRAM      float64
+	SRAM      float64
+	NoC       float64
+	Transpose float64
+}
+
+// Add accumulates.
+func (t *Traffic) Add(o Traffic) {
+	t.DRAM += o.DRAM
+	t.SRAM += o.SRAM
+	t.NoC += o.NoC
+	t.Transpose += o.Transpose
+}
+
+// Scale multiplies all levels.
+func (t Traffic) Scale(f float64) Traffic {
+	return Traffic{DRAM: t.DRAM * f, SRAM: t.SRAM * f, NoC: t.NoC * f, Transpose: t.Transpose * f}
+}
+
+// Utilization summarises resource usage over a schedule (Table IV).
+type Utilization struct {
+	PE   float64
+	NoC  float64
+	SRAM float64
+	DRAM float64
+}
+
+// GroupSchedule is one spatial pipelining/sharing group: a contiguous run
+// of operators co-resident on the PE array.
+type GroupSchedule struct {
+	Nodes     []*graph.Node
+	TimeSec   float64
+	Compute   float64 // seconds bound by PE throughput
+	Traffic   Traffic
+	Pipelined int // intra-group fine-pipelined edges
+	AuxShared int // aux fetches saved by intra-group sharing
+	PEAlloc   map[int]int
+	// ResidentBytes is the SRAM working set the group occupies while it
+	// runs: materialised intermediates (whole tensors) for coarse
+	// dataflow, granule buffers for fine-grained pipelines. This crowds
+	// out resident auxiliaries (§VII-C).
+	ResidentBytes float64
+}
+
+// SegmentSchedule is the scheduled form of one workload segment.
+type SegmentSchedule struct {
+	Name    string
+	Count   int
+	TimeSec float64 // per execution
+	Groups  []GroupSchedule
+	Traffic Traffic // per execution
+	// Traffic provenance (per execution), for the Figure 11 breakdown.
+	AuxDRAM float64 // auxiliary (evk/pt) streaming + fills
+	MatDRAM float64 // spilled materialised intermediates
+}
+
+// Schedule is the result for a whole workload.
+type Schedule struct {
+	Workload string
+	HW       string
+	Opt      Options
+	TimeSec  float64
+	Traffic  Traffic
+	Util     Utilization
+	Segments []SegmentSchedule
+}
+
+// Scheduler binds a hardware configuration and options.
+type Scheduler struct {
+	HW  *arch.HWConfig
+	Opt Options
+
+	// segCache memoises segment schedules by structural fingerprint —
+	// the paper's redundancy merge ("searches only once", §V-D). Keyed
+	// per (fingerprint, hardware identity, cluster count); the Scheduler
+	// is bound to one hardware configuration and option set, so the
+	// fingerprint alone suffices within one instance.
+	segCache map[segKey]*SegmentSchedule
+}
+
+type segKey struct {
+	fp       string
+	sramMB   float64
+	clusters int
+	count    int // residency amortisation depends on the repetition count
+}
+
+// New creates a scheduler.
+func New(hw *arch.HWConfig, opt Options) *Scheduler {
+	if opt.MaxGroupSize < 1 {
+		opt.MaxGroupSize = 1
+	}
+	if opt.Clusters < 1 {
+		opt.Clusters = 1
+	}
+	return &Scheduler{HW: hw, Opt: opt, segCache: make(map[segKey]*SegmentSchedule)}
+}
+
+// Run schedules a workload and returns the full result. With Clusters > 1
+// (CROPHE-p), the PE array is statically partitioned; each cluster runs
+// independent data-parallel instances and the auxiliary constants are
+// multicast once to all clusters, so per-task time divides by the cluster
+// count (bounded by the workload's available data parallelism).
+func (s *Scheduler) Run(w *workload.Workload) *Schedule {
+	hw := s.HW
+	clusters := s.Opt.Clusters
+	if clusters > w.DataParallel {
+		clusters = w.DataParallel
+	}
+	if clusters > hw.NumPEs {
+		clusters = hw.NumPEs
+	}
+	if clusters < 1 {
+		clusters = 1
+	}
+	clusterHW := hw
+	if clusters > 1 {
+		clusterHW = hw.Clone()
+		clusterHW.NumPEs = hw.NumPEs / clusters
+		clusterHW.SRAMCapacityMB = hw.SRAMCapacityMB / float64(clusters)
+		clusterHW.SRAMBandwidthTBs = hw.SRAMBandwidthTBs / float64(clusters)
+		// DRAM bandwidth is chip-wide; each cluster sees its slice for
+		// private data, but shared aux is fetched once (handled below).
+		clusterHW.DRAMBandwidthTBs = hw.DRAMBandwidthTBs / float64(clusters)
+	}
+
+	out := &Schedule{Workload: w.Name, HW: hw.Name, Opt: s.Opt}
+	var busyPE, busyNoC, busySRAM, busyDRAM float64
+	for _, seg := range w.Segments {
+		ss := s.scheduleSegment(clusterHW, seg, clusters)
+		out.Segments = append(out.Segments, ss)
+		out.TimeSec += ss.TimeSec * float64(ss.Count)
+		out.Traffic.Add(ss.Traffic.Scale(float64(ss.Count)))
+		c := float64(ss.Count)
+		for _, g := range ss.Groups {
+			busyPE += g.Compute * c
+		}
+		busyNoC += ss.Traffic.NoC / nocBandwidth(clusterHW) * c
+		busySRAM += ss.Traffic.SRAM / (clusterHW.SRAMBandwidthTBs * 1e12) * c
+		busyDRAM += ss.Traffic.DRAM / (clusterHW.DRAMBandwidthTBs * 1e12) * c
+	}
+	// CROPHE-p: per-task time divides by the active clusters.
+	out.TimeSec /= float64(clusters)
+
+	if out.TimeSec > 0 {
+		wall := out.TimeSec * float64(clusters) // wall time per cluster batch
+		_ = busyPE
+		out.Util = Utilization{
+			// PE utilisation is useful work over chip peak — the metric
+			// under which Table IV's specialised baselines score low
+			// (their idle unit classes count as waste).
+			PE:   clampFrac(float64(w.TotalModMuls()) / (hw.PeakModMulsPerSec() * out.TimeSec)),
+			NoC:  clampFrac(busyNoC / wall),
+			SRAM: clampFrac(busySRAM / wall),
+			DRAM: clampFrac(busyDRAM / wall / float64(clusters)),
+		}
+	}
+	return out
+}
+
+func clampFrac(f float64) float64 {
+	if f > 1 {
+		return 1
+	}
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// scheduleSegment runs the DP group composition over one segment graph,
+// memoised by structural fingerprint.
+func (s *Scheduler) scheduleSegment(hw *arch.HWConfig, seg workload.Segment, clusters int) SegmentSchedule {
+	key := segKey{fp: seg.G.Fingerprint(), sramMB: hw.SRAMCapacityMB, clusters: clusters, count: seg.Count}
+	if cached, ok := s.segCache[key]; ok {
+		out := *cached
+		out.Name = seg.Name
+		out.Count = seg.Count
+		return out
+	}
+	out := s.scheduleSegmentUncached(hw, seg, clusters)
+	cached := out
+	s.segCache[key] = &cached
+	return out
+}
+
+func (s *Scheduler) scheduleSegmentUncached(hw *arch.HWConfig, seg workload.Segment, clusters int) SegmentSchedule {
+	var nodes []*graph.Node
+	if s.Opt.Dataflow == DataflowCROPHE {
+		// Aux-affinity order: place consumers of the same auxiliary data
+		// adjacently (when dependencies allow) so spatial sharing groups
+		// can stream one evk to all of them — the sharing opportunity
+		// hybrid rotation creates across coarse steps (§V-C).
+		nodes = auxAffinityOrder(seg.G)
+	} else {
+		nodes = seg.G.ComputeNodes()
+	}
+	n := len(nodes)
+	if n == 0 {
+		return SegmentSchedule{Name: seg.Name, Count: seg.Count}
+	}
+
+	maxK := s.Opt.MaxGroupSize
+	if s.Opt.Dataflow == DataflowMAD {
+		maxK = 2 // MAD: only pairwise fusion of adjacent operators
+	}
+
+	// DP over the topological order: best[i] = minimal time to schedule
+	// nodes[0..i).
+	type cell struct {
+		time   float64
+		prev   int
+		group  *GroupSchedule
+		hasVal bool
+	}
+	best := make([]cell, n+1)
+	best[0] = cell{hasVal: true}
+	for i := 0; i < n; i++ {
+		if !best[i].hasVal {
+			continue
+		}
+		for k := 1; k <= maxK && i+k <= n; k++ {
+			g := s.costGroup(hw, seg.G, nodes[i:i+k])
+			if g == nil {
+				continue
+			}
+			t := best[i].time + g.TimeSec
+			if !best[i+k].hasVal || t < best[i+k].time {
+				best[i+k] = cell{time: t, prev: i, group: g, hasVal: true}
+			}
+		}
+	}
+
+	// Reconstruct groups.
+	var groups []GroupSchedule
+	for i := n; i > 0; {
+		c := best[i]
+		groups = append([]GroupSchedule{*c.group}, groups...)
+		i = c.prev
+	}
+
+	ss := SegmentSchedule{Name: seg.Name, Count: seg.Count, Groups: groups}
+	var comp float64
+	for _, g := range groups {
+		ss.Traffic.Add(g.Traffic)
+		comp += g.Compute
+	}
+
+	// ---- Cross-group intermediates: temporal pipelining vs residency.
+	//
+	// A single-consumer, stream-compatible boundary edge is temporally
+	// pipelined through the global buffer at granule size (CROPHE's
+	// temporal pipelining; MAD's O(1)/O(β) caching is the same mechanism
+	// restricted to its own streamable pairs). Multi-consumer tensors —
+	// the BSGS baby ciphertexts reused across every giant step, hoisted
+	// digits, psum accumulators — must stay materialised over their whole
+	// live range; when their peak footprint exceeds the buffer, the
+	// overflow round-trips through DRAM. This capacity pressure dominates
+	// the Figure 10 sweep.
+	fine := s.Opt.Dataflow == DataflowCROPHE
+	groupOf := map[int]int{}
+	for gi, g := range groups {
+		for _, n := range g.Nodes {
+			groupOf[n.ID] = gi
+		}
+	}
+	wb := hw.WordBytes()
+	var tensors []matTensor
+	for _, n := range nodes {
+		var crossConsumers []*graph.Edge
+		for _, e := range n.OutEdges {
+			if e.Class != graph.Intermediate || !e.To.Kind.IsCompute() {
+				continue
+			}
+			if groupOf[e.To.ID] != groupOf[n.ID] {
+				crossConsumers = append(crossConsumers, e)
+			}
+		}
+		if len(crossConsumers) == 0 {
+			continue
+		}
+		bytes := n.Out.Bytes(wb)
+		if len(crossConsumers) == 1 && canPipeline(crossConsumers[0], hw) {
+			// Temporal pipelining: the consumer runs next on the same
+			// PEs, so chunks stay in the register files / local buffers
+			// (MAD's O(1)/O(β) caching is the restricted special case).
+			ss.Traffic.NoC += 2 * bytes
+			continue
+		}
+		if len(crossConsumers) == 1 &&
+			(n.Kind == graph.OpTranspose || crossConsumers[0].To.Kind == graph.OpTranspose) &&
+			hw.TransposeMB > 0 && perLimbBytes(n.Out, wb) <= hw.TransposeMB*1e6 {
+			// Edges into/out of a transpose run through the dedicated
+			// transpose unit regardless of group boundaries (§IV-B).
+			ss.Traffic.Transpose += 2 * bytes
+			continue
+		}
+		// Materialised for the span producer group → last consumer group.
+		first := groupOf[n.ID]
+		last := first
+		allStream := true
+		for _, e := range crossConsumers {
+			if gi := groupOf[e.To.ID]; gi > last {
+				last = gi
+			}
+			if !canPipeline(e, hw) {
+				allStream = false
+			}
+		}
+		if fine && allStream {
+			// Multicast streaming (Figure 6): every consumer streams at a
+			// matched loop order, so the producer's chunks are multicast
+			// over the NoC (tree multicast, §IV-A) at granule size and
+			// never materialised — the hoisted digits / baby-ciphertext
+			// case, and (with NTT decomposition) whole key-switch
+			// pipelines.
+			ss.Traffic.NoC += bytes * float64(1+len(crossConsumers))
+			continue
+		}
+		rangeFrac := float64(last-first+1) / float64(len(groups))
+		tensors = append(tensors, matTensor{
+			bytes:    bytes,
+			traffic:  bytes * float64(1+len(crossConsumers)),
+			weighted: bytes * rangeFrac,
+		})
+	}
+	// Greedy residency: keep the hottest tensors (traffic per occupied
+	// byte) in the buffer share reserved for intermediates; the rest
+	// round-trip through DRAM.
+	sortTensors(tensors)
+	capBytes := hw.SRAMCapacityMB * 1e6
+	interBudget := capBytes * interSpillFrac * 2
+	var sramShare float64
+	for _, t := range tensors {
+		if t.weighted <= interBudget {
+			interBudget -= t.weighted
+			sramShare += t.weighted
+			ss.Traffic.SRAM += t.traffic
+		} else {
+			ss.Traffic.DRAM += t.traffic
+			ss.MatDRAM += t.traffic
+		}
+	}
+
+	// ---- Auxiliary data: residency and sharing (the §V-A sharing axis).
+	//
+	// Every policy may keep auxiliaries resident in the global buffer —
+	// this is how the large-SRAM baselines hold their evk working sets.
+	// The policies differ in how many times an aux must be *delivered*:
+	// MAD delivers once per consuming operator; CROPHE's fine-grained
+	// spatial/temporal sharing delivers once per co-running group.
+	aux := s.collectAuxUses(hw, seg, groups)
+	// The aux residency budget is the capacity left after the resident
+	// intermediates and the largest granule working set any group pins —
+	// the §VII-C effect: fine-grained pipelining buffers only granules,
+	// so most of the buffer can hold evks; coarse dataflow pins tensors.
+	var maxWS float64
+	for _, g := range groups {
+		if g.ResidentBytes > maxWS {
+			maxWS = g.ResidentBytes
+		}
+	}
+	budget := capBytes - sramShare - maxWS
+	if budget < 0 {
+		budget = 0
+	}
+	auxT := Traffic{}
+	// Greedy residency by saved bytes (uses−1)·size, a knapsack heuristic.
+	order := make([]int, len(aux))
+	for i := range order {
+		order[i] = i
+	}
+	sortBySavings(aux, order, seg.Count)
+	for _, i := range order {
+		a := aux[i]
+		totalUses := float64(a.uses * seg.Count)
+		if a.bytes <= budget && totalUses > 1 {
+			// Resident: one DRAM fill, then on-chip reads per use. The
+			// per-execution share of the single fill is 1/Count.
+			budget -= a.bytes
+			auxT.DRAM += a.bytes / float64(seg.Count)
+			auxT.SRAM += a.bytes * float64(a.uses)
+			auxT.NoC += a.bytes * float64(a.uses)
+		} else {
+			// Streamed from DRAM on every use.
+			auxT.DRAM += a.bytes * float64(a.uses)
+			auxT.NoC += a.bytes * float64(a.uses)
+		}
+	}
+	// CROPHE-p: auxiliaries are fetched and multicast once to all
+	// clusters (tree multicast in the NoC, §IV-A), so the per-task DRAM,
+	// buffer-read and NoC shares all divide by the cluster count.
+	if clusters > 1 {
+		c := float64(clusters)
+		auxT.DRAM /= c
+		auxT.SRAM /= c
+		auxT.NoC /= c
+	}
+	ss.AuxDRAM = auxT.DRAM
+	ss.Traffic.Add(auxT)
+
+	// The segment is bound by the max of compute and each memory level.
+	ss.TimeSec = maxOf(
+		comp,
+		ss.Traffic.DRAM/(hw.DRAMBandwidthTBs*1e12),
+		ss.Traffic.SRAM/(hw.SRAMBandwidthTBs*1e12),
+		ss.Traffic.NoC/nocBandwidth(hw),
+		ss.Traffic.Transpose/(hw.SRAMBandwidthTBs*1e12*0.5),
+	)
+	return ss
+}
+
+type auxUse struct {
+	id    string
+	bytes float64
+	uses  int
+}
+
+// collectAuxUses gathers per-aux delivery counts under the active policy.
+func (s *Scheduler) collectAuxUses(hw *arch.HWConfig, seg workload.Segment, groups []GroupSchedule) []auxUse {
+	fine := s.Opt.Dataflow == DataflowCROPHE
+	groupOf := map[int]int{}
+	for gi, g := range groups {
+		for _, n := range g.Nodes {
+			groupOf[n.ID] = gi
+		}
+	}
+	type rec struct {
+		bytes  float64
+		ops    int
+		groups map[int]bool
+	}
+	recs := map[string]*rec{}
+	for _, n := range seg.G.Nodes {
+		for _, e := range n.OutEdges {
+			if e.Class != graph.Auxiliary {
+				continue
+			}
+			r := recs[e.AuxID]
+			if r == nil {
+				b := e.Shape.Bytes(hw.WordBytes())
+				if isEvk(e.AuxID) {
+					b *= prngEvkFactor // PRNG regeneration of the a-half
+				} else if isPlaintext(e.AuxID) && e.Shape.Limbs > 1 {
+					// OF-Limb [34]: plaintexts are stored at one limb
+					// and extended on-chip.
+					b /= float64(e.Shape.Limbs)
+				}
+				r = &rec{bytes: b, groups: map[int]bool{}}
+				recs[e.AuxID] = r
+			}
+			r.ops++
+			r.groups[groupOf[e.To.ID]] = true
+		}
+	}
+	out := make([]auxUse, 0, len(recs))
+	for id, r := range recs {
+		uses := r.ops
+		if fine {
+			uses = len(r.groups)
+		}
+		out = append(out, auxUse{id: id, bytes: r.bytes, uses: uses})
+	}
+	return out
+}
+
+// matTensor is a materialised cross-group intermediate: its size, total
+// traffic, and average buffer occupancy (size × live-range fraction).
+type matTensor struct {
+	bytes    float64
+	traffic  float64
+	weighted float64
+}
+
+// sortTensors orders materialised tensors by descending traffic per
+// occupied byte, so the residency greedy keeps the hottest data on-chip.
+func sortTensors(ts []matTensor) {
+	sort.Slice(ts, func(i, j int) bool {
+		wi, wj := ts[i].weighted, ts[j].weighted
+		if wi == 0 {
+			wi = 1
+		}
+		if wj == 0 {
+			wj = 1
+		}
+		return ts[i].traffic/wi > ts[j].traffic/wj
+	})
+}
+
+// sortBySavings orders aux indices by descending residency benefit.
+func sortBySavings(aux []auxUse, order []int, count int) {
+	saving := func(i int) float64 {
+		return float64(aux[i].uses*count-1) * aux[i].bytes
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && saving(order[j]) > saving(order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+}
+
+func isEvk(auxID string) bool {
+	return len(auxID) >= 4 && auxID[:4] == "evk:"
+}
+
+func isPlaintext(auxID string) bool {
+	return len(auxID) >= 3 && auxID[:3] == "pt:"
+}
+
+// costGroup evaluates one candidate spatial group. Returns nil if the
+// group is infeasible (never happens with the current constraints, but the
+// search contract allows rejection).
+func (s *Scheduler) costGroup(hw *arch.HWConfig, g *graph.Graph, nodes []*graph.Node) *GroupSchedule {
+	inGroup := make(map[*graph.Node]bool, len(nodes))
+	for _, n := range nodes {
+		inGroup[n] = true
+	}
+	fine := s.Opt.Dataflow == DataflowCROPHE
+
+	gs := &GroupSchedule{Nodes: nodes, PEAlloc: map[int]int{}}
+
+	// --- Compute time --------------------------------------------------
+	var totalLoad float64 // modmul-equivalents
+	classLoad := map[arch.OpClass]float64{}
+	for _, n := range nodes {
+		load := effLoad(n)
+		totalLoad += load
+		classLoad[opClassOf(n.Kind)] += load
+	}
+	freq := hw.FreqGHz * 1e9
+	lanesTotal := float64(hw.TotalLanes())
+	var computeSec float64
+	switch {
+	case !hw.Homogeneous:
+		// Specialised baseline: each class limited to its FU share; MAD
+		// fusion overlaps classes within the (small) group.
+		for c, load := range classLoad {
+			share := hw.FUShare[c]
+			if share <= 0 {
+				share = 0.05 // minimal fallback path
+			}
+			t := load / (lanesTotal * share * effSpecialized * freq)
+			if t > computeSec {
+				computeSec = t
+			}
+		}
+	case fine && len(nodes) > 1:
+		// Fine-grained pipeline: PEs allocated proportional to load
+		// (§IV-B); pipeline throughput set by the slowest stage after
+		// integer allocation. Each operator's multi-dimensional
+		// decomposition spreads over at most perOpPECap PEs, so small
+		// groups cannot fill a large array — the utilisation gap CROPHE-p
+		// closes by partitioning the chip into clusters.
+		usable := len(nodes) * perOpPECap
+		if usable > hw.NumPEs {
+			usable = hw.NumPEs
+		}
+		var allocs []int
+		if s.Opt.UniformAlloc {
+			allocs = make([]int, len(nodes))
+			for i := range allocs {
+				allocs[i] = usable / len(nodes)
+				if allocs[i] < 1 {
+					allocs[i] = 1
+				}
+			}
+		} else {
+			allocs = allocatePEs(nodes, usable)
+		}
+		for i, n := range nodes {
+			gs.PEAlloc[n.ID] = allocs[i]
+			load := effLoad(n)
+			if load == 0 {
+				continue
+			}
+			t := load / (float64(allocs[i]) * float64(hw.Lanes) * effPipelined * freq)
+			if t > computeSec {
+				computeSec = t
+			}
+		}
+	default:
+		// Solo operators on the homogeneous array execute sequentially
+		// at reduced efficiency.
+		computeSec = totalLoad / (lanesTotal * effSoloHomogeneous * freq)
+	}
+	gs.Compute = computeSec
+
+	// --- Traffic --------------------------------------------------------
+	// Auxiliary (evk/plaintext/BConv-matrix) traffic is accounted at the
+	// segment level (residency and sharing are cross-group decisions);
+	// costGroup handles intermediates, compute and on-chip movement.
+	wb := hw.WordBytes()
+	var tr Traffic
+	transCapBytes := hw.TransposeMB * 1e6
+
+	for _, n := range nodes {
+		for _, e := range n.InEdges {
+			bytes := e.Shape.Bytes(wb)
+			switch e.Class {
+			case graph.Auxiliary:
+				// Counted in scheduleSegment (residency & sharing).
+			case graph.Intermediate:
+				if !e.From.Kind.IsCompute() {
+					// Segment input: produced by the preceding segment,
+					// read from the global buffer (the segment split is a
+					// search artifact, not a spill).
+					tr.SRAM += bytes
+					continue
+				}
+				if !inGroup[e.From] {
+					// Cross-group edge: accounted in the segment-level
+					// boundary pass (live-range residency).
+					continue
+				}
+				if fine && canPipeline(e, hw) {
+					// Fine-grained forwarding over the NoC: only a
+					// granule is ever buffered.
+					tr.NoC += bytes
+					gs.Pipelined++
+					gs.ResidentBytes += perLimbBytes(e.Shape, wb)
+				} else if !hw.Homogeneous {
+					// Specialised baseline under MAD fusion: the fused
+					// pair forwards through the dedicated inter-unit
+					// datapath, buffering a tensor slice.
+					tr.NoC += bytes
+					gs.ResidentBytes += perLimbBytes(e.Shape, wb)
+				} else if e.From.Kind == graph.OpTranspose || e.To.Kind == graph.OpTranspose {
+					// Through the transpose unit when the working chunk
+					// fits; else the global buffer.
+					if perLimbBytes(e.Shape, wb) <= transCapBytes && transCapBytes > 0 {
+						tr.Transpose += bytes * spillRoundTrip
+					} else {
+						tr.SRAM += bytes * spillRoundTrip
+						gs.ResidentBytes += bytes
+					}
+				} else {
+					// Materialise in the global buffer (orientation
+					// switch or coarse-grained step within the group);
+					// tensors too large for their buffer share spill to
+					// DRAM — the §VII-D penalty of running MAD's
+					// per-operator mapping on the homogeneous array.
+					if bytes <= hw.SRAMCapacityMB*1e6*interSpillFrac {
+						tr.SRAM += bytes * spillRoundTrip
+						gs.ResidentBytes += bytes
+					} else {
+						tr.DRAM += bytes * spillRoundTrip
+					}
+				}
+			}
+		}
+		// Chip outputs are written back to the global buffer for the next
+		// segment.
+		for _, e := range n.OutEdges {
+			if e.Class == graph.Intermediate && !e.To.Kind.IsCompute() {
+				tr.SRAM += e.Shape.Bytes(wb)
+			}
+		}
+	}
+	gs.Traffic = tr
+
+	gs.TimeSec = maxOf(
+		computeSec,
+		tr.DRAM/(hw.DRAMBandwidthTBs*1e12),
+		tr.SRAM/(hw.SRAMBandwidthTBs*1e12),
+		tr.NoC/nocBandwidth(hw),
+		tr.Transpose/(hw.SRAMBandwidthTBs*1e12*0.5),
+	)
+	return gs
+}
+
+// canPipeline reports whether an intermediate edge supports fine-grained
+// forwarding: both endpoints stream (matched top-level loops, §V-A).
+// On the homogeneous CROPHE array, automorphisms run in the inter-lane
+// shift networks while data moves [19] (Figure 6 shows Auto inside a
+// spatial pipeline), so they do not break the stream there.
+func canPipeline(e *graph.Edge, hw *arch.HWConfig) bool {
+	breaks := func(k graph.OpKind) bool {
+		if hw.Homogeneous && k == graph.OpAutomorph {
+			return false
+		}
+		return k.BreaksOrientation()
+	}
+	return !breaks(e.From.Kind) && !breaks(e.To.Kind)
+}
+
+// perLimbBytes is the buffering requirement of one limb-chunk of a tensor
+// (what the transpose unit must hold at a time).
+func perLimbBytes(t graph.Tensor, wb float64) float64 {
+	return float64(t.N) * wb
+}
+
+// effLoad is the effective PE load of an operator in modmul-equivalents.
+// Four-step sub-NTTs that are too short to fill the lane butterflies run
+// at reduced efficiency (§V-D: "N1 and N2 should not be too small;
+// otherwise the decomposed small NTTs cannot fully utilize the multiple
+// lanes in the PE").
+func effLoad(n *graph.Node) float64 {
+	load := float64(n.ModMuls()) + float64(n.MoveElems())*0.25
+	if (n.Kind == graph.OpNTTCol || n.Kind == graph.OpNTTRow) && n.SubNTTLen > 0 && n.SubNTTLen < 32 {
+		load *= 2
+	}
+	return load
+}
+
+// allocatePEs distributes PEs to group operators proportionally to their
+// load with a minimum of one each (§IV-B).
+func allocatePEs(nodes []*graph.Node, pes int) []int {
+	loads := make([]float64, len(nodes))
+	var total float64
+	for i, n := range nodes {
+		loads[i] = effLoad(n)
+		total += loads[i]
+	}
+	alloc := make([]int, len(nodes))
+	remaining := pes
+	if total == 0 {
+		for i := range alloc {
+			alloc[i] = 1
+		}
+		return alloc
+	}
+	for i := range nodes {
+		a := int(math.Floor(loads[i] / total * float64(pes)))
+		if a < 1 {
+			a = 1
+		}
+		alloc[i] = a
+		remaining -= a
+	}
+	// Hand out leftovers (or reclaim overdraft) to the heaviest stages.
+	for remaining != 0 {
+		idx, bestRatio := -1, -1.0
+		for i := range nodes {
+			var ratio float64
+			if remaining > 0 {
+				ratio = loads[i] / float64(alloc[i])
+				if ratio > bestRatio {
+					bestRatio, idx = ratio, i
+				}
+			} else if alloc[i] > 1 {
+				ratio = float64(alloc[i]) / (loads[i] + 1)
+				if ratio > bestRatio {
+					bestRatio, idx = ratio, i
+				}
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		if remaining > 0 {
+			alloc[idx]++
+			remaining--
+		} else {
+			alloc[idx]--
+			remaining++
+		}
+	}
+	return alloc
+}
+
+// opClassOf maps an operator kind to the baseline functional-unit class.
+func opClassOf(k graph.OpKind) arch.OpClass {
+	switch k {
+	case graph.OpNTT, graph.OpINTT, graph.OpNTTCol, graph.OpNTTRow:
+		return arch.ClassNTT
+	case graph.OpBConv, graph.OpInP:
+		return arch.ClassBConv
+	case graph.OpAutomorph, graph.OpTranspose:
+		return arch.ClassAutomorph
+	default:
+		return arch.ClassEW
+	}
+}
+
+// nocBandwidth returns the effective aggregate on-chip forwarding
+// bandwidth in bytes/s. Baseline designs without a mesh use their local
+// buffer / register-file bandwidth (the second SRAM term of Table I); mesh
+// designs are bounded by both the aggregate link capacity and the lane
+// register-file bandwidth.
+func nocBandwidth(hw *arch.HWConfig) float64 {
+	local := hw.LocalBWTBs * 1e12
+	if local <= 0 {
+		local = hw.SRAMBandwidthTBs * 1e12
+	}
+	if hw.NoCLinkGBs <= 0 {
+		return local
+	}
+	links := float64(hw.NumPEs) // effective concurrently-usable links
+	if links < 1 {
+		links = 1
+	}
+	mesh := hw.NoCLinkGBs * 1e9 * links / 2
+	if mesh < local {
+		return mesh
+	}
+	return local
+}
+
+func maxOf(vs ...float64) float64 {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// String renders a one-line summary.
+func (s *Schedule) String() string {
+	return fmt.Sprintf("%s on %s [%s, groups≤%d, clusters=%d]: %.3f ms (DRAM %.1f MB, SRAM %.1f MB)",
+		s.Workload, s.HW, s.Opt.Dataflow, s.Opt.MaxGroupSize, s.Opt.Clusters,
+		s.TimeSec*1e3, s.Traffic.DRAM/1e6, s.Traffic.SRAM/1e6)
+}
