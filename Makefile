@@ -1,0 +1,36 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs the same steps.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build test lint vet race fuzz bench clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Domain-aware static analysis (modarith, levelcheck, panicpolicy, paramcopy).
+lint:
+	$(GO) run ./cmd/crophe-lint ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short smoke run of every fuzz target; raise FUZZTIME for longer campaigns.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzModMath -fuzztime=$(FUZZTIME) ./internal/modmath/
+	$(GO) test -run=^$$ -fuzz=FuzzNTTRoundTrip -fuzztime=$(FUZZTIME) ./internal/ntt/
+	$(GO) test -run=^$$ -fuzz=FuzzMarshalRoundTrip -fuzztime=$(FUZZTIME) ./internal/ckks/
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+clean:
+	$(GO) clean ./...

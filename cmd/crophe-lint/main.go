@@ -1,0 +1,95 @@
+// Command crophe-lint runs the CROPHE domain analyzers (modarith,
+// levelcheck, panicpolicy, paramcopy) over the repository. It is the
+// multichecker driver wired into CI:
+//
+//	go run ./cmd/crophe-lint ./...
+//
+// Exit status: 0 when clean, 1 when any analyzer reports a finding, 2 on
+// load or usage errors. Use -list to print the analyzer suite and
+// -only=name1,name2 to run a subset.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"crophe/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: crophe-lint [-list] [-only=names] packages...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "crophe-lint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crophe-lint: %v\n", err)
+		os.Exit(2)
+	}
+	dirs, err := loader.ExpandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crophe-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	findings := 0
+	for _, dir := range dirs {
+		importPath, err := loader.ImportPathFor(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crophe-lint: %v\n", err)
+			os.Exit(2)
+		}
+		pkg, err := loader.LoadDir(dir, importPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crophe-lint: %v\n", err)
+			os.Exit(2)
+		}
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crophe-lint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "crophe-lint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,126 @@
+// Package analysis is a self-contained static-analysis framework for the
+// CROPHE repository, modelled on golang.org/x/tools/go/analysis but built
+// entirely on the standard library (go/ast, go/parser, go/types) so the
+// module stays dependency-free. It powers cmd/crophe-lint.
+//
+// The framework enforces domain invariants the Go compiler cannot see:
+// residues must stay reduced modulo q, CKKS operand levels/scales must be
+// checked before ciphertexts combine, library panics must carry context,
+// and shared parameter structs must not be mutated in ways that silently
+// lose writes or race across goroutines. CiFlow and Taiyi both observe
+// that dataflow-optimisation bugs in FHE stacks manifest as silently
+// wrong ciphertexts rather than crashes; these analyzers are the early
+// tripwires for that failure class.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check. It mirrors the x/tools Analyzer
+// surface closely enough that migrating to the real framework later is a
+// mechanical change.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command line.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run executes the check against one loaded package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the given analyzers over a loaded package and returns the
+// findings sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+		out = append(out, pass.diags...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}
+
+// All returns the full CROPHE analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{ModArith, LevelCheck, PanicPolicy, ParamCopy}
+}
+
+// namedType unwraps pointers and returns the named type of an expression's
+// type, or nil when it is not (a pointer to) a named type.
+func namedType(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamed reports whether t is (a pointer to) a named type with the given
+// type name, optionally restricted to a defining package name. Matching by
+// package *name* rather than full path keeps analyzers testable against
+// fixture packages under testdata/.
+func isNamed(t types.Type, pkgName, typeName string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil || n.Obj().Name() != typeName {
+		return false
+	}
+	if pkgName == "" {
+		return true
+	}
+	return n.Obj().Pkg() != nil && n.Obj().Pkg().Name() == pkgName
+}

@@ -1,0 +1,153 @@
+// Package analysistest runs an analyzer over a fixture package under
+// testdata/src and checks its diagnostics against expectations embedded in
+// the fixture source as comments of the form
+//
+//	x := a + b // want "raw \\+ on a modmath residue"
+//
+// Each quoted string after `want` is a regular expression that must match
+// the message of a diagnostic reported on that line; diagnostics with no
+// matching expectation, and expectations with no matching diagnostic, both
+// fail the test. The layout and comment syntax mirror
+// golang.org/x/tools/go/analysis/analysistest so the corpora can migrate
+// unchanged if the repo ever vendors the real framework.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"crophe/internal/analysis"
+)
+
+// wantRE extracts the quoted expectation strings from a `// want` comment.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads testdata/src/<pkgRel> (relative to the caller's package
+// directory), applies the analyzer, and reports mismatches through t.
+func Run(t *testing.T, a *analysis.Analyzer, pkgRel string) {
+	t.Helper()
+	_, thisFile, _, ok := runtime.Caller(1)
+	if !ok {
+		t.Fatal("analysistest: cannot locate caller to resolve testdata path")
+	}
+	dir := filepath.Join(filepath.Dir(thisFile), "testdata", "src", filepath.FromSlash(pkgRel))
+	RunDir(t, a, dir)
+}
+
+// RunDir is Run with an explicit fixture directory.
+func RunDir(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	importPath, err := loader.ImportPathFor(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("analysistest: loading fixture %s: %v", dir, err)
+	}
+
+	expects, err := collectExpectations(pkg)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, e := range expects {
+			if e.hit || e.file != filepath.Base(d.Pos.Filename) || e.line != d.Pos.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// collectExpectations parses `// want "..."` comments out of the fixture
+// files.
+func collectExpectations(pkg *analysis.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, file := range pkg.Files {
+		filename := filepath.Base(pkg.Fset.Position(file.Pos()).Filename)
+		for _, cg := range allComments(file) {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				rest := strings.TrimSpace(m[1])
+				for len(rest) > 0 {
+					if rest[0] != '"' && rest[0] != '`' {
+						return nil, fmt.Errorf("%s:%d: malformed want expectation %q", filename, line, rest)
+					}
+					lit, remainder, err := cutQuoted(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: %v", filename, line, err)
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", filename, line, lit, err)
+					}
+					out = append(out, &expectation{file: filename, line: line, re: re, raw: lit})
+					rest = strings.TrimSpace(remainder)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// cutQuoted splits one leading Go string literal off s.
+func cutQuoted(s string) (string, string, error) {
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' && quote == '"' {
+			i++
+			continue
+		}
+		if s[i] == quote {
+			lit, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", fmt.Errorf("bad string literal %q: %v", s[:i+1], err)
+			}
+			return lit, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated want literal %q", s)
+}
+
+func allComments(f *ast.File) []*ast.CommentGroup { return f.Comments }

@@ -1,0 +1,48 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"crophe/internal/analysis"
+	"crophe/internal/analysis/analysistest"
+)
+
+func TestModArith(t *testing.T) {
+	analysistest.Run(t, analysis.ModArith, "modarith/a")
+}
+
+func TestLevelCheck(t *testing.T) {
+	analysistest.Run(t, analysis.LevelCheck, "levelcheck/ckks")
+}
+
+func TestPanicPolicyLibrary(t *testing.T) {
+	analysistest.Run(t, analysis.PanicPolicy, "panicpolicy/ckks")
+}
+
+func TestPanicPolicyNonLibrary(t *testing.T) {
+	// The tool fixture contains bare panics but is not a library package:
+	// the analyzer must stay silent.
+	analysistest.Run(t, analysis.PanicPolicy, "panicpolicy/tool")
+}
+
+func TestParamCopy(t *testing.T) {
+	analysistest.Run(t, analysis.ParamCopy, "paramcopy/a")
+}
+
+// TestSuiteRegistry pins the analyzer set cmd/crophe-lint runs, so adding
+// an analyzer without wiring it into All() fails loudly.
+func TestSuiteRegistry(t *testing.T) {
+	want := []string{"modarith", "levelcheck", "panicpolicy", "paramcopy"}
+	all := analysis.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing Doc or Run", a.Name)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LevelCheck flags Evaluator methods that combine two ciphertext operands
+// without a level/scale compatibility guard in the method body. The
+// paper's cross-operator pipelining makes it easy to hand an evaluator two
+// ciphertexts at different levels or drifted scales; combining them
+// without aligning first produces a structurally valid ciphertext that
+// decrypts to garbage. Every method with two or more *Ciphertext
+// parameters must either call a recognised guard (alignLevels,
+// checkScales, checkLevels, ...) or explicitly compare the operands'
+// .Level fields before use.
+var LevelCheck = &Analyzer{
+	Name: "levelcheck",
+	Doc: "flags Evaluator methods combining two *Ciphertext operands " +
+		"without a level/scale compatibility guard (alignLevels/checkScales " +
+		"or an explicit .Level comparison)",
+	Run: runLevelCheck,
+}
+
+// guardNames recognises compatibility-guard callees by lower-cased
+// substring, so alignLevels, AlignLevels, checkScales, CheckLevelScale,
+// sameLevel, and ensureCompatible all count.
+var guardNames = []string{"alignlevel", "checkscale", "checklevel", "samelevel", "compat"}
+
+func runLevelCheck(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			recv := pass.Info.TypeOf(fn.Recv.List[0].Type)
+			if recv == nil || !isNamed(recv, "", "Evaluator") {
+				continue
+			}
+			ctParams := ciphertextParams(pass, fn)
+			if len(ctParams) < 2 {
+				continue
+			}
+			if hasLevelGuard(pass, fn.Body, ctParams) {
+				continue
+			}
+			pass.Reportf(fn.Pos(),
+				"Evaluator method %s combines two *Ciphertext operands without a level/scale guard "+
+					"(call alignLevels/checkScales or compare .Level explicitly)", fn.Name.Name)
+		}
+	}
+	return nil
+}
+
+// ciphertextParams returns the objects of the method's *Ciphertext
+// parameters.
+func ciphertextParams(pass *Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, field := range fn.Type.Params.List {
+		t := pass.Info.TypeOf(field.Type)
+		if t == nil || !isNamed(t, "", "Ciphertext") {
+			continue
+		}
+		if _, isPtr := t.(*types.Pointer); !isPtr {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pass.Info.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// hasLevelGuard reports whether the body calls a recognised guard or
+// compares .Level selectors of two distinct ciphertext parameters.
+func hasLevelGuard(pass *Pass, body *ast.BlockStmt, ctParams map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			name := calleeName(x)
+			lower := strings.ToLower(name)
+			for _, g := range guardNames {
+				if strings.Contains(lower, g) {
+					found = true
+					return false
+				}
+			}
+		case *ast.BinaryExpr:
+			// ct0.Level <op> ct1.Level on two distinct parameters.
+			a, aok := levelSelectorBase(pass, x.X)
+			b, bok := levelSelectorBase(pass, x.Y)
+			if aok && bok && a != b && ctParams[a] && ctParams[b] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// calleeName extracts the bare name of a call's callee (the method or
+// function identifier, ignoring the receiver).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// levelSelectorBase matches expressions of the form ident.Level and
+// returns the object of ident.
+func levelSelectorBase(pass *Pass, e ast.Expr) (types.Object, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Level" {
+		return nil, false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return nil, false
+	}
+	return obj, true
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ModArith flags raw +, -, and * on uint64 values that flow from
+// modmath.Modulus — the modulus value m.Q itself or the result of a
+// residue-producing Modulus method — outside package modmath. Raw word
+// arithmetic on residues silently wraps modulo 2^64 instead of modulo q,
+// producing well-formed but wrong ciphertexts; all residue arithmetic must
+// go through the Barrett/Montgomery helpers (m.Add, m.Sub, m.Mul, ...).
+//
+// The check is an intra-procedural taint pass: locals assigned from a
+// tainted expression become tainted, and any flagged operator with a
+// tainted operand is reported. Division, shifts, comparisons, and the %
+// reduction idiom are deliberately exempt — they are how residues are
+// legitimately consumed outside the helpers.
+var ModArith = &Analyzer{
+	Name: "modarith",
+	Doc: "flags raw +/-/* on uint64 values flowing from modmath.Modulus " +
+		"outside internal/modmath; use the Barrett/Shoup helpers instead",
+	Run: runModArith,
+}
+
+// residueMethods are the Modulus methods whose uint64 results are reduced
+// residues (or the modulus itself) and must not meet raw word arithmetic.
+var residueMethods = map[string]bool{
+	"Add": true, "Sub": true, "Neg": true, "Mul": true, "MulAdd": true,
+	"MulShoup": true, "Reduce": true, "Pow": true, "Inv": true,
+	"ShoupPrecomp": true,
+}
+
+func runModArith(pass *Pass) error {
+	// The helpers themselves implement the reductions with raw word ops;
+	// that is the one place they belong.
+	if pass.Pkg.Name() == "modmath" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkModArithBody(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkModArithBody runs the taint pass over one function body. A single
+// forward pass in source order tracks assignments; Go's definite-assignment
+// rules mean a local is assigned before first use in straight-line code,
+// which is all this heuristic promises.
+func checkModArithBody(pass *Pass, body *ast.BlockStmt) {
+	tainted := make(map[types.Object]bool)
+
+	exprTainted := func(e ast.Expr) bool { return false }
+	exprTainted = func(e ast.Expr) bool {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := pass.Info.Uses[x]; obj != nil {
+				return tainted[obj]
+			}
+		case *ast.ParenExpr:
+			return exprTainted(x.X)
+		case *ast.SelectorExpr:
+			// m.Q on a modmath.Modulus value.
+			if x.Sel.Name == "Q" {
+				if t, ok := pass.Info.Types[x.X]; ok && isNamed(t.Type, "modmath", "Modulus") {
+					return true
+				}
+			}
+		case *ast.CallExpr:
+			// m.Mul(...), m.Reduce(...), etc.
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && residueMethods[sel.Sel.Name] {
+				if t, ok := pass.Info.Types[sel.X]; ok && isNamed(t.Type, "modmath", "Modulus") {
+					return true
+				}
+			}
+		case *ast.BinaryExpr:
+			return exprTainted(x.X) || exprTainted(x.Y)
+		}
+		return false
+	}
+
+	rawOp := func(op token.Token) bool {
+		return op == token.ADD || op == token.SUB || op == token.MUL
+	}
+	isUint64 := func(e ast.Expr) bool {
+		t, ok := pass.Info.Types[e]
+		if !ok || t.Type == nil {
+			return false
+		}
+		b, ok := t.Type.Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Uint64 || b.Kind() == types.UntypedInt)
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			// Flag compound ops first: r += m.Q, r *= residue, ...
+			compound := map[token.Token]token.Token{
+				token.ADD_ASSIGN: token.ADD,
+				token.SUB_ASSIGN: token.SUB,
+				token.MUL_ASSIGN: token.MUL,
+			}
+			if op, ok := compound[st.Tok]; ok && len(st.Lhs) == 1 {
+				if exprTainted(st.Lhs[0]) || exprTainted(st.Rhs[0]) {
+					pass.Reportf(st.Pos(),
+						"raw %s= on a modmath residue; use the Modulus helpers (m.Add/m.Sub/m.Mul)", op)
+				}
+				return true
+			}
+			// Propagate taint through := and = with matching arity.
+			if len(st.Lhs) == len(st.Rhs) {
+				for i, lhs := range st.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := pass.Info.Defs[id]
+					if obj == nil {
+						obj = pass.Info.Uses[id]
+					}
+					if obj == nil {
+						continue
+					}
+					tainted[obj] = exprTainted(st.Rhs[i])
+				}
+			}
+		case *ast.BinaryExpr:
+			if rawOp(st.Op) && isUint64(st) && (exprTainted(st.X) || exprTainted(st.Y)) {
+				pass.Reportf(st.OpPos,
+					"raw %s on a modmath residue; use the Modulus helpers (m.Add/m.Sub/m.Mul)", st.Op)
+			}
+		}
+		return true
+	})
+}

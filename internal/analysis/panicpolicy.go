@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PanicPolicy forbids bare panic(...) in library packages. A panic whose
+// message is a fixed string or a naked error value gives the operator of a
+// production service nothing to correlate the crash with (which level?
+// which limb? which parameter set?). Library panics must either become
+// returned errors or carry context built with fmt.Sprintf/fmt.Errorf.
+// Command, example, and simulator-driver packages are exempt: a CLI is
+// allowed to die loudly.
+var PanicPolicy = &Analyzer{
+	Name: "panicpolicy",
+	Doc: "forbids bare panic(...) in library packages (ckks, poly, sched, " +
+		"sim, boot); panics must carry context via fmt.Sprintf/fmt.Errorf " +
+		"or become returned errors",
+	Run: runPanicPolicy,
+}
+
+// panicLibraryPackages lists the package names in which the policy is
+// enforced — the functional substrate and scheduler packages whose callers
+// need actionable failure context. Matching by package name keeps the
+// analyzer testable against fixture packages.
+var panicLibraryPackages = map[string]bool{
+	"ckks": true, "poly": true, "sched": true, "sim": true, "boot": true,
+}
+
+func runPanicPolicy(pass *Pass) error {
+	if !panicLibraryPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			// Confirm it is the builtin, not a shadowing function.
+			if obj := pass.Info.Uses[id]; obj != nil {
+				if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+					return true
+				}
+			}
+			if len(call.Args) == 1 && isContextualPanicArg(call.Args[0]) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"bare panic in library package %s: build the message with fmt.Sprintf/fmt.Errorf "+
+					"(include the offending values) or return an error", pass.Pkg.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// isContextualPanicArg reports whether the panic argument is a
+// fmt.Sprintf/fmt.Errorf call — i.e. a message that interpolates context.
+func isContextualPanicArg(arg ast.Expr) bool {
+	call, ok := arg.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != "fmt" {
+		return false
+	}
+	return sel.Sel.Name == "Sprintf" || sel.Sel.Name == "Errorf"
+}

@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ParamCopy flags two classes of parameter-struct misuse:
+//
+//  1. Mutating a field of a configuration struct (ckks.Parameters,
+//     arch.HWConfig, arch.ParamSet, sched.Options) received *by value*
+//     with no later read of the parameter — the write vanishes at the
+//     caller, a classic silent-lost-update. The Go defaulting idiom
+//     (normalise the value param, then use it) reads the parameter after
+//     the write and is therefore allowed.
+//  2. Mutating such a struct *through a shared pointer from inside a
+//     goroutine* launched with `go func(){...}()` — concurrent schedule
+//     sweeps share one config object, so in-place tweaks race.
+//
+// The correct patterns are: take a pointer when mutation is intended, or
+// clone (HWConfig.Clone / WithSRAM) and mutate the copy.
+var ParamCopy = &Analyzer{
+	Name: "paramcopy",
+	Doc: "flags mutation of ckks.Parameters/arch.HWConfig/arch.ParamSet/" +
+		"sched.Options received by value (write is lost) or through a " +
+		"pointer shared with a goroutine (races)",
+	Run: runParamCopy,
+}
+
+// configTypeNames are the named struct types the analyzer protects,
+// matched by type name so fixture packages can declare look-alikes.
+var configTypeNames = map[string]bool{
+	"Parameters": true, "HWConfig": true, "ParamSet": true, "Options": true,
+}
+
+func isConfigType(t types.Type) bool {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil {
+		return false
+	}
+	if !configTypeNames[n.Obj().Name()] {
+		return false
+	}
+	_, isStruct := n.Underlying().(*types.Struct)
+	return isStruct
+}
+
+func runParamCopy(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkByValueMutation(pass, fn)
+			checkGoroutineMutation(pass, fn)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkByValueMutation reports field assignments to config-typed
+// parameters or receivers passed by value.
+func checkByValueMutation(pass *Pass, fn *ast.FuncDecl) {
+	byValue := make(map[types.Object]bool)
+	collect := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, field := range fields.List {
+			t := pass.Info.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.(*types.Pointer); isPtr {
+				continue // mutation through a pointer is intentional
+			}
+			if !isConfigType(t) {
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					byValue[obj] = true
+				}
+			}
+		}
+	}
+	collect(fn.Recv)
+	collect(fn.Type.Params)
+	if len(byValue) == 0 {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range st.Lhs {
+			obj, field, ok := fieldWriteBase(pass, lhs)
+			if !ok || !byValue[obj] {
+				continue
+			}
+			if readAfter(pass, fn.Body, obj, st.End()) {
+				continue // defaulting idiom: the normalised value is used
+			}
+			pass.Reportf(st.Pos(),
+				"assignment to %s.%s mutates a %s received by value and is never read again — "+
+					"the write is lost at the caller; take a pointer or mutate a clone",
+				obj.Name(), field, typeName(obj.Type()))
+		}
+		return true
+	})
+}
+
+// readAfter reports whether obj is used after pos anywhere in body, other
+// than as the base of another field write. Any such use means the mutated
+// value is consumed locally, so the write is not lost.
+func readAfter(pass *Pass, body *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if st, ok := n.(*ast.AssignStmt); ok {
+			// Field writes to obj are not reads; descend into the RHS only.
+			writeBases := make(map[ast.Expr]bool)
+			for _, lhs := range st.Lhs {
+				if o, _, ok := fieldWriteBase(pass, lhs); ok && o == obj {
+					writeBases[lhs] = true
+				}
+			}
+			if len(writeBases) > 0 {
+				for _, rhs := range st.Rhs {
+					if usesObjAfter(pass, rhs, obj, pos) {
+						found = true
+					}
+				}
+				return false
+			}
+			return true
+		}
+		if id, ok := n.(*ast.Ident); ok && id.End() > pos && pass.Info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// usesObjAfter reports whether e mentions obj at a position after pos.
+func usesObjAfter(pass *Pass, e ast.Expr, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.End() > pos && pass.Info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkGoroutineMutation reports field writes through config pointers
+// captured from the enclosing scope inside go-launched function literals.
+func checkGoroutineMutation(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		goStmt, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := goStmt.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			st, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range st.Lhs {
+				obj, field, ok := fieldWriteBase(pass, lhs)
+				if !ok || !isConfigType(obj.Type()) {
+					continue
+				}
+				if _, isPtr := obj.Type().(*types.Pointer); !isPtr {
+					continue // value copies inside the goroutine are private
+				}
+				// Captured from outside the literal ⇒ shared with other
+				// goroutines (including the spawner).
+				if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+					pass.Reportf(st.Pos(),
+						"goroutine mutates %s.%s through a shared *%s — races with other users of the "+
+							"config; clone it (e.g. Clone/WithSRAM) before the goroutine", obj.Name(), field,
+						typeName(obj.Type()))
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// fieldWriteBase matches an assignment target of the form ident.Field and
+// returns the identifier's object and the field name.
+func fieldWriteBase(pass *Pass, lhs ast.Expr) (types.Object, string, bool) {
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil, "", false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return nil, "", false
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return nil, "", false
+	}
+	return obj, sel.Sel.Name, true
+}
+
+// typeName renders the named type of t (unwrapping a pointer) for
+// diagnostics.
+func typeName(t types.Type) string {
+	if n := namedType(t); n != nil {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,73 @@
+// Package ckks is the levelcheck fixture: Evaluator methods that combine
+// two ciphertext operands must guard level/scale compatibility first.
+package ckks
+
+// Ciphertext mimics the real operand shape.
+type Ciphertext struct {
+	Level int
+	Scale float64
+}
+
+// Evaluator mimics the real evaluator.
+type Evaluator struct{}
+
+func (ev *Evaluator) alignLevels(a, b *Ciphertext) (*Ciphertext, *Ciphertext) {
+	if a.Level > b.Level {
+		return &Ciphertext{Level: b.Level, Scale: a.Scale}, b
+	}
+	return a, b
+}
+
+func checkScales(s0, s1 float64) bool { return s0 == s1 }
+
+// AddBad combines without any guard.
+func (ev *Evaluator) AddBad(ct0, ct1 *Ciphertext) *Ciphertext { // want `without a level/scale guard`
+	return &Ciphertext{Level: ct0.Level, Scale: ct0.Scale}
+}
+
+// MulBad reads both operands' payloads with no guard.
+func (ev *Evaluator) MulBad(ct0, ct1 *Ciphertext) *Ciphertext { // want `without a level/scale guard`
+	out := &Ciphertext{Level: ct0.Level, Scale: ct0.Scale * ct1.Scale}
+	return out
+}
+
+// SubBad compares a level against a constant, which is not a compatibility
+// check between the two operands.
+func (ev *Evaluator) SubBad(ct0, ct1 *Ciphertext) *Ciphertext { // want `without a level/scale guard`
+	if ct0.Level > 0 {
+		return ct0
+	}
+	return ct1
+}
+
+// AddGood guards by delegating to alignLevels.
+func (ev *Evaluator) AddGood(ct0, ct1 *Ciphertext) *Ciphertext {
+	ct0, ct1 = ev.alignLevels(ct0, ct1)
+	return &Ciphertext{Level: ct0.Level, Scale: ct0.Scale}
+}
+
+// MulGood guards with an explicit cross-operand level comparison.
+func (ev *Evaluator) MulGood(ct0, ct1 *Ciphertext) *Ciphertext {
+	if ct0.Level != ct1.Level {
+		return nil
+	}
+	return &Ciphertext{Level: ct0.Level, Scale: ct0.Scale * ct1.Scale}
+}
+
+// ScaleGood guards through checkScales.
+func (ev *Evaluator) ScaleGood(ct0, ct1 *Ciphertext) *Ciphertext {
+	if !checkScales(ct0.Scale, ct1.Scale) {
+		return nil
+	}
+	return ct0
+}
+
+// Rescale takes a single ciphertext: out of the analyzer's scope.
+func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
+	return &Ciphertext{Level: ct.Level - 1, Scale: ct.Scale}
+}
+
+// Combine is a plain function, not an Evaluator method: out of scope.
+func Combine(ct0, ct1 *Ciphertext) *Ciphertext {
+	return &Ciphertext{Level: ct0.Level, Scale: ct1.Scale}
+}

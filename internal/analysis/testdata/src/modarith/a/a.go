@@ -1,0 +1,60 @@
+// Package a is the modarith fixture: raw word arithmetic on values that
+// flow from modmath.Modulus must be flagged; helper calls and untainted
+// integer arithmetic must not.
+package a
+
+import "crophe/internal/modmath"
+
+// badDirect exercises the three flagged operators on directly tainted
+// operands.
+func badDirect(m modmath.Modulus, a, b uint64) uint64 {
+	s := a + m.Q // want `raw \+ on a modmath residue`
+	d := m.Q - b // want `raw - on a modmath residue`
+	p := a * m.Q // want `raw \* on a modmath residue`
+	_, _ = s, d
+	return p
+}
+
+// badPropagated exercises taint propagation through local assignments and
+// residue-producing helper results.
+func badPropagated(m modmath.Modulus, a, b uint64) uint64 {
+	q := m.Q
+	r := m.Mul(a, b)
+	s := a + q // want `raw \+ on a modmath residue`
+	t := r * 2 // want `raw \* on a modmath residue`
+	_ = s
+	return t
+}
+
+// badCompound exercises the compound assignment forms.
+func badCompound(m modmath.Modulus, a uint64) uint64 {
+	acc := m.Reduce(a)
+	acc += m.Q // want `raw \+= on a modmath residue`
+	acc *= 3   // want `raw \*= on a modmath residue`
+	return acc
+}
+
+// goodHelpers stays entirely inside the Modulus helper API: nothing to
+// report.
+func goodHelpers(m modmath.Modulus, a, b uint64) uint64 {
+	s := m.Add(a, b)
+	p := m.Mul(s, b)
+	return m.Sub(p, m.Neg(a))
+}
+
+// goodUntainted performs raw arithmetic on plain integers that never touch
+// a Modulus: loop bounds, indices, sizes. Nothing to report.
+func goodUntainted(n int, xs []uint64) uint64 {
+	total := uint64(0)
+	for i := 0; i < n*2; i++ {
+		total = xs[i%len(xs)] // raw index math is fine
+	}
+	half := n/2 + 1
+	return total + uint64(half)
+}
+
+// goodLaundered shows that comparisons and division on residues are
+// allowed (that is how residues are legitimately consumed).
+func goodLaundered(m modmath.Modulus, a uint64) bool {
+	return a > m.Q/2
+}

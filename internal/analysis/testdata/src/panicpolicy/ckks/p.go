@@ -1,0 +1,36 @@
+// Package ckks is the panicpolicy fixture for a library package: bare
+// panics are flagged, context-carrying panics are allowed.
+package ckks
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validate exercises the flagged and allowed panic forms.
+func Validate(level, max int) {
+	if level < 0 {
+		panic("ckks: negative level") // want `bare panic in library package`
+	}
+	if level > max {
+		panic(fmt.Sprintf("ckks: level %d exceeds max %d", level, max)) // allowed: interpolated context
+	}
+}
+
+// Check panics with a naked error value, which drops the call context.
+func Check(err error) {
+	if err != nil {
+		panic(err) // want `bare panic in library package`
+	}
+}
+
+// Build panics with a constructed error that still has no interpolated
+// context at the panic site.
+func Build(n int) {
+	if n == 0 {
+		panic(errors.New("ckks: empty")) // want `bare panic in library package`
+	}
+	if n < 0 {
+		panic(fmt.Errorf("ckks: bad size %d", n)) // allowed: fmt.Errorf carries context
+	}
+}

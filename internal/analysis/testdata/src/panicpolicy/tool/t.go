@@ -1,0 +1,13 @@
+// Package tool is the panicpolicy fixture for a non-library package:
+// commands and drivers may die loudly, so nothing here is flagged.
+package tool
+
+// Run is allowed to panic bare outside the library set.
+func Run(args []string) {
+	if len(args) == 0 {
+		panic("usage: tool <cmd>")
+	}
+	if args[0] == "boom" {
+		panic("tool: boom requested")
+	}
+}

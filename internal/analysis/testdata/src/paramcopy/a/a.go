@@ -1,0 +1,75 @@
+// Package a is the paramcopy fixture: by-value mutation of config structs
+// and goroutine mutation through shared config pointers are flagged;
+// pointer mutation and clone-then-mutate are not.
+package a
+
+// HWConfig mimics arch.HWConfig.
+type HWConfig struct {
+	Name           string
+	SRAMCapacityMB float64
+}
+
+// Parameters mimics ckks.Parameters.
+type Parameters struct {
+	Scale float64
+}
+
+// Options mimics sched.Options.
+type Options struct {
+	Clusters int
+}
+
+// badValueParam mutates a by-value config parameter and never reads it
+// again: the write is lost at the caller.
+func badValueParam(c HWConfig) {
+	c.SRAMCapacityMB = 64 // want `received by value`
+}
+
+// badValueReceiver mutates through a value receiver: same lost write.
+func (p Parameters) badValueReceiver() {
+	p.Scale = 1 << 40 // want `received by value`
+}
+
+// badOptions shows the third config type.
+func badOptions(o Options) {
+	o.Clusters = 4 // want `received by value`
+}
+
+// goodDefaulting normalises the value parameter and then uses it — the
+// standard Go defaulting idiom, which must not be flagged.
+func goodDefaulting(o Options) int {
+	if o.Clusters < 1 {
+		o.Clusters = 1
+	}
+	return o.Clusters
+}
+
+// badGoroutine mutates a shared config pointer from a goroutine.
+func badGoroutine(c *HWConfig, done chan struct{}) {
+	go func() {
+		c.Name = "sweep" // want `shared \*HWConfig`
+		close(done)
+	}()
+}
+
+// goodPointer mutates through a pointer parameter: intentional in-place
+// update, visible to the caller.
+func goodPointer(c *HWConfig) {
+	c.SRAMCapacityMB = 128
+}
+
+// goodClone mutates a private copy.
+func goodClone(c HWConfig) HWConfig {
+	d := c
+	d.SRAMCapacityMB = 128
+	return d
+}
+
+// goodGoroutineCopy dereferences into a private copy before the goroutine.
+func goodGoroutineCopy(c *HWConfig, done chan struct{}) {
+	d := *c
+	go func() {
+		d.Name = "sweep"
+		close(done)
+	}()
+}

@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentExperiments runs independent benchmark experiments in
+// parallel. They share the package-level arch configs and parameter sets,
+// so under -race this audits that the bench layer never mutates them.
+func TestConcurrentExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	var wg sync.WaitGroup
+	runs := []string{"table1", "table2", "table3", "fig9"}
+	errs := make([]error, len(runs))
+	outs := make([]string, len(runs))
+	for i, id := range runs {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			outs[i], errs[i] = Run(id, true)
+		}(i, id)
+	}
+	wg.Wait()
+	for i, id := range runs {
+		if errs[i] != nil {
+			t.Fatalf("%s: %v", id, errs[i])
+		}
+		if outs[i] == "" {
+			t.Fatalf("%s: empty output", id)
+		}
+	}
+}

@@ -70,15 +70,10 @@ func CoeffToSlotMatrices(params *ckks.Parameters) *CoeffToSlot {
 				m2[k][j] = cmplx.Conj(e) / complex(float64(n), 0)
 			}
 		}
-		lt1, err := NewLinearTransform(m1)
-		if err != nil {
-			panic(err)
+		return &DFTMatrices{
+			M1: mustLinearTransform(m1, "coeff-to-slot E"),
+			M2: mustLinearTransform(m2, "coeff-to-slot conj(E)"),
 		}
-		lt2, err := NewLinearTransform(m2)
-		if err != nil {
-			panic(err)
-		}
-		return &DFTMatrices{M1: lt1, M2: lt2}
 	}
 	return &CoeffToSlot{Lo: build(0), Hi: build(slots)}
 }
@@ -101,15 +96,10 @@ func SlotToCoeffMatrices(params *ckks.Parameters) *SlotToCoeff {
 			f2[j][k] = zeta[(uint64(k+slots)*rot[j])%uint64(2*n)]
 		}
 	}
-	lt1, err := NewLinearTransform(f1)
-	if err != nil {
-		panic(err)
+	return &SlotToCoeff{
+		F1: mustLinearTransform(f1, "slot-to-coeff F1"),
+		F2: mustLinearTransform(f2, "slot-to-coeff F2"),
 	}
-	lt2, err := NewLinearTransform(f2)
-	if err != nil {
-		panic(err)
-	}
-	return &SlotToCoeff{F1: lt1, F2: lt2}
 }
 
 // Rotations returns the rotation amounts both C2S maps need.

@@ -184,9 +184,17 @@ func Identity(n int) *LinearTransform {
 		m[i] = make([]complex128, n)
 		m[i][i] = 1
 	}
+	return mustLinearTransform(m, "identity")
+}
+
+// mustLinearTransform wraps NewLinearTransform for matrices that are
+// square by construction. A failure here is a builder bug, not a
+// data-dependent condition, so it panics with the matrix role and shape
+// for context.
+func mustLinearTransform(m [][]complex128, role string) *LinearTransform {
 	lt, err := NewLinearTransform(m)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("boot: %s transform (%d rows): %v", role, len(m), err))
 	}
 	return lt
 }

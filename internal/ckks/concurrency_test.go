@@ -1,0 +1,142 @@
+package ckks
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestEvaluatorConcurrentUse drives one shared Evaluator from many
+// goroutines at once. The rotate path exercises the lazily built
+// ModUp/ModDown conversion caches (guarded by convMu), so running this
+// under -race validates the documented concurrency contract.
+func TestEvaluatorConcurrentUse(t *testing.T) {
+	tc := newTestContext(t, 6, 3, 2, []int{1, 2, 3, 4})
+	slots := tc.params.Slots()
+	const workers = 8
+
+	// Encrypt the inputs serially: the Encryptor shares one rng and makes
+	// no concurrency promise; only the Evaluator does.
+	type job struct {
+		ct   *Ciphertext
+		vals []complex128
+		rot  int
+	}
+	jobs := make([]job, workers)
+	for i := range jobs {
+		vals := randomValues(tc.rng, slots)
+		ct, err := EncryptAtLevel(tc.enc, tc.encr, vals, tc.params.MaxLevel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = job{ct: ct, vals: vals, rot: 1 + i%4}
+	}
+
+	outs := make([]*Ciphertext, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sq, err := tc.eval.MulRelin(jobs[i].ct, jobs[i].ct)
+			if err == nil {
+				sq, err = tc.eval.Rescale(sq)
+			}
+			if err == nil {
+				sq, err = tc.eval.Rotate(sq, jobs[i].rot)
+			}
+			outs[i], errs[i] = sq, err
+		}(i)
+	}
+	wg.Wait()
+
+	for i, j := range jobs {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		want := make([]complex128, slots)
+		for k := range want {
+			src := ((k+j.rot)%slots + slots) % slots
+			want[k] = j.vals[src] * j.vals[src]
+		}
+		got := tc.enc.Decode(tc.decr.Decrypt(outs[i]))
+		if e := maxErr(got, want); e > 1e-2 {
+			t.Fatalf("worker %d (rot %d): error %g", i, j.rot, e)
+		}
+	}
+}
+
+// TestEvaluatorConcurrentHoisting hammers RotateHoisted — whose shared
+// ModUp hits the same conversion cache — from several goroutines.
+func TestEvaluatorConcurrentHoisting(t *testing.T) {
+	rots := []int{1, 2, 3}
+	tc := newTestContext(t, 6, 2, 2, rots)
+	slots := tc.params.Slots()
+	vals := randomValues(tc.rng, slots)
+	ct, err := EncryptAtLevel(tc.enc, tc.encr, vals, tc.params.MaxLevel())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	results := make([]map[int]*Ciphertext, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = tc.eval.RotateHoisted(ct, rots)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		for _, r := range rots {
+			want := make([]complex128, slots)
+			for k := range want {
+				want[k] = vals[(k+r)%slots]
+			}
+			got := tc.enc.Decode(tc.decr.Decrypt(results[i][r]))
+			if e := maxErr(got, want); e > 1e-3 {
+				t.Fatalf("worker %d rot %d: error %g", i, r, e)
+			}
+		}
+	}
+}
+
+// TestMarshalConcurrent round-trips distinct ciphertexts in parallel;
+// marshalling must not share hidden state.
+func TestMarshalConcurrent(t *testing.T) {
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ct := &Ciphertext{
+				B: fuzzPoly(2, 1<<5, true, uint64(i)), A: fuzzPoly(2, 1<<5, true, uint64(i)+100),
+				Scale: float64(1 << 40), Level: 1,
+			}
+			rt, err := UnmarshalCiphertext(MarshalCiphertext(ct))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !rt.B.Equal(ct.B) || !rt.A.Equal(ct.A) {
+				errs[i] = fmt.Errorf("round-trip drift for worker %d", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package ckks
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"crophe/internal/poly"
 	"crophe/internal/rns"
@@ -11,11 +12,15 @@ import (
 // Evaluator executes homomorphic operations. It caches the per-(level,
 // digit) base-conversion tables that ModUp and ModDown use, so the first
 // operation at a level pays the precomputation and subsequent ones do not.
-// An Evaluator is not safe for concurrent use (the caches mutate).
+// The caches are mutex-guarded and every operation writes only freshly
+// allocated outputs, so one Evaluator is safe for concurrent use across
+// goroutines (parameters, keys, and conversion tables are immutable once
+// built).
 type Evaluator struct {
 	params *Parameters
 	keys   *EvaluationKeySet
 
+	convMu      sync.Mutex           // guards the two conversion caches
 	modUpConv   map[[2]int]*rns.Conv // (level, digit) → digit → complement conversion
 	modDownConv map[int]*rns.Conv    // level → P → Q_level conversion
 }
@@ -395,7 +400,10 @@ func (ev *Evaluator) keySwitch(x *poly.Poly, level int, key *SwitchingKey) (*pol
 	ext := make([][]uint64, len(extQP))
 	for d, bounds := range digits {
 		lo, hi := bounds[0], bounds[1]
-		conv := ev.modUpConvFor(level, d, lo, hi)
+		conv, err := ev.modUpConvFor(level, d, lo, hi)
+		if err != nil {
+			return nil, nil, err
+		}
 
 		// ModUp: digit limbs copied, complement limbs base-converted.
 		src := xc.Coeffs[lo:hi]
@@ -432,14 +440,20 @@ func (ev *Evaluator) keySwitch(x *poly.Poly, level int, key *SwitchingKey) (*pol
 
 	// ModDown: divide by P. For each accumulator, convert the P-part back
 	// to Q, subtract, and multiply by P^{-1}.
-	c0 := ev.modDown(acc0, extQP, level)
-	c1 := ev.modDown(acc1, extQP, level)
+	c0, err := ev.modDown(acc0, extQP, level)
+	if err != nil {
+		return nil, nil, err
+	}
+	c1, err := ev.modDown(acc1, extQP, level)
+	if err != nil {
+		return nil, nil, err
+	}
 	return c0, c1, nil
 }
 
 // modDown maps an extended-basis accumulator (NTT form) back to Q_level,
 // dividing by P.
-func (ev *Evaluator) modDown(acc [][]uint64, extQP []int, level int) *poly.Poly {
+func (ev *Evaluator) modDown(acc [][]uint64, extQP []int, level int) (*poly.Poly, error) {
 	params := ev.params
 	rqp := params.RingQP()
 	rq := params.RingQ()
@@ -457,7 +471,10 @@ func (ev *Evaluator) modDown(acc [][]uint64, extQP []int, level int) *poly.Poly 
 	}
 
 	// Convert P-part into Q_level.
-	conv := ev.modDownConvFor(level)
+	conv, err := ev.modDownConvFor(level)
+	if err != nil {
+		return nil, err
+	}
 	corr := make([][]uint64, level+1)
 	for i := range corr {
 		corr[i] = make([]uint64, n)
@@ -475,15 +492,20 @@ func (ev *Evaluator) modDown(acc [][]uint64, extQP []int, level int) *poly.Poly 
 			oi[j] = m.Mul(m.Sub(ai[j], ci[j]), pInv)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // modUpConvFor returns (building and caching) the digit → complement
 // conversion for a digit spanning q-limbs [lo, hi) at the given level.
-func (ev *Evaluator) modUpConvFor(level, digit, lo, hi int) *rns.Conv {
+// Parameter sets are validated at construction, so a basis failure here
+// means the parameter set was corrupted after the fact; it is reported as
+// an error rather than a crash.
+func (ev *Evaluator) modUpConvFor(level, digit, lo, hi int) (*rns.Conv, error) {
 	ck := [2]int{level, digit}
+	ev.convMu.Lock()
+	defer ev.convMu.Unlock()
 	if c, ok := ev.modUpConv[ck]; ok {
-		return c
+		return c, nil
 	}
 	params := ev.params
 	srcPrimes := params.Q[lo:hi]
@@ -496,33 +518,35 @@ func (ev *Evaluator) modUpConvFor(level, digit, lo, hi int) *rns.Conv {
 	dstPrimes = append(dstPrimes, params.P...)
 	src, err := rns.NewBasis(srcPrimes)
 	if err != nil {
-		panic(err) // parameter sets are validated at construction
+		return nil, fmt.Errorf("ckks: modup digit %d basis at level %d (limbs [%d,%d)): %w", digit, level, lo, hi, err)
 	}
 	dst, err := rns.NewBasis(dstPrimes)
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("ckks: modup complement basis at level %d (digit %d): %w", level, digit, err)
 	}
 	c := rns.NewConv(src, dst)
 	ev.modUpConv[ck] = c
-	return c
+	return c, nil
 }
 
-func (ev *Evaluator) modDownConvFor(level int) *rns.Conv {
+func (ev *Evaluator) modDownConvFor(level int) (*rns.Conv, error) {
+	ev.convMu.Lock()
+	defer ev.convMu.Unlock()
 	if c, ok := ev.modDownConv[level]; ok {
-		return c
+		return c, nil
 	}
 	params := ev.params
 	src, err := rns.NewBasis(params.P)
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("ckks: moddown P basis (alpha=%d): %w", params.Alpha, err)
 	}
 	dst, err := rns.NewBasis(params.Q[:level+1])
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("ckks: moddown Q basis at level %d: %w", level, err)
 	}
 	c := rns.NewConv(src, dst)
 	ev.modDownConv[level] = c
-	return c
+	return c, nil
 }
 
 func copyLimbs(dst, src *poly.Poly, limbs int) {

@@ -1,0 +1,56 @@
+package ckks
+
+import (
+	"bytes"
+	"testing"
+
+	"crophe/internal/poly"
+)
+
+// fuzzPoly builds a small deterministic polynomial for seed corpora.
+func fuzzPoly(limbs, n int, ntt bool, salt uint64) *poly.Poly {
+	p := &poly.Poly{IsNTT: ntt, Coeffs: make([][]uint64, limbs)}
+	for i := range p.Coeffs {
+		p.Coeffs[i] = make([]uint64, n)
+		for j := range p.Coeffs[i] {
+			p.Coeffs[i][j] = salt + uint64(i*n+j)
+		}
+	}
+	return p
+}
+
+// FuzzMarshalRoundTrip feeds arbitrary bytes to UnmarshalCiphertext —
+// which must reject garbage with an error, never panic — and checks that
+// anything it accepts survives a marshal/unmarshal round trip bit-exactly.
+func FuzzMarshalRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0xFE, 0xC0, 0x00})
+	ct := &Ciphertext{
+		B: fuzzPoly(2, 8, true, 3), A: fuzzPoly(2, 8, true, 7),
+		Scale: float64(1 << 40), Level: 1,
+	}
+	f.Add(MarshalCiphertext(ct))
+	ct.D2 = fuzzPoly(2, 8, true, 11)
+	f.Add(MarshalCiphertext(ct))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, err := UnmarshalCiphertext(data)
+		if err != nil {
+			return // rejected cleanly
+		}
+		re := MarshalCiphertext(parsed)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("re-marshal differs: %d bytes in, %d bytes out", len(data), len(re))
+		}
+		again, err := UnmarshalCiphertext(re)
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if again.Level != parsed.Level || again.Scale != parsed.Scale {
+			t.Fatalf("round-trip header drift: level %d→%d scale %v→%v",
+				parsed.Level, again.Level, parsed.Scale, again.Scale)
+		}
+		if !again.B.Equal(parsed.B) || !again.A.Equal(parsed.A) {
+			t.Fatal("round-trip poly drift")
+		}
+	})
+}

@@ -54,7 +54,10 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rotations []int) (map[int]*Ci
 	moduped := make([][][]uint64, len(digits)) // [digit][extLimb][N]
 	for d, bounds := range digits {
 		lo, hi := bounds[0], bounds[1]
-		conv := ev.modUpConvFor(level, d, lo, hi)
+		conv, err := ev.modUpConvFor(level, d, lo, hi)
+		if err != nil {
+			return nil, err
+		}
 		ext := make([][]uint64, len(extQP))
 		compRows := make([][]uint64, 0, len(extQP)-(hi-lo))
 		for t, qp := range extQP {
@@ -112,8 +115,14 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rotations []int) (map[int]*Ci
 			}
 		}
 
-		c0 := ev.modDown(acc0, extQP, level)
-		c1 := ev.modDown(acc1, extQP, level)
+		c0, err := ev.modDown(acc0, extQP, level)
+		if err != nil {
+			return nil, err
+		}
+		c1, err := ev.modDown(acc1, extQP, level)
+		if err != nil {
+			return nil, err
+		}
 
 		// Add σ_g(b).
 		bAuto := rq.NewPoly(level + 1)

@@ -187,7 +187,7 @@ func (g *KeyGenerator) genSwitchingKey(sk *SecretKey, sIn *poly.Poly) *Switching
 // polynomial (sharing storage).
 func restrictToQ(params *Parameters, p *poly.Poly, limbs int) *poly.Poly {
 	if limbs > len(params.Q) {
-		panic("ckks: restrictToQ beyond Q limbs")
+		panic(fmt.Sprintf("ckks: restrictToQ: %d limbs exceeds the %d Q limbs", limbs, len(params.Q)))
 	}
 	return &poly.Poly{Coeffs: p.Coeffs[:limbs], IsNTT: p.IsNTT}
 }

@@ -34,6 +34,9 @@ func readPoly(r *bytes.Reader) (*poly.Poly, error) {
 	if err := binary.Read(r, binary.LittleEndian, &ntt); err != nil {
 		return nil, fmt.Errorf("ckks: poly header: %w", err)
 	}
+	if ntt > 1 {
+		return nil, fmt.Errorf("ckks: bad NTT flag %d", ntt)
+	}
 	var limbs, n uint32
 	if err := binary.Read(r, binary.LittleEndian, &limbs); err != nil {
 		return nil, err

@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// Edge cases of the NTT-decomposition rewrite: empty graphs, singleton
+// graphs, aux-edge preservation and cyclic inputs.
+
+func TestDecomposeEmptyGraph(t *testing.T) {
+	dst := DecomposeNTTs(New(), nil)
+	if len(dst.Nodes) != 0 {
+		t.Fatalf("empty graph decomposed into %d nodes", len(dst.Nodes))
+	}
+}
+
+func TestDecomposeSingleNonNTTNode(t *testing.T) {
+	src := New()
+	src.AddNode(OpEWAdd, "add", Tensor{Limbs: 2, N: 8})
+	dst := DecomposeNTTs(src, nil)
+	if len(dst.Nodes) != 1 {
+		t.Fatalf("got %d nodes, want 1", len(dst.Nodes))
+	}
+	if dst.Nodes[0].Kind != OpEWAdd || dst.Nodes[0].Name != "add" {
+		t.Fatalf("node mangled: %v %q", dst.Nodes[0].Kind, dst.Nodes[0].Name)
+	}
+}
+
+func TestDecomposeSingleNTTNode(t *testing.T) {
+	src := New()
+	src.AddNode(OpNTT, "ntt", Tensor{Limbs: 2, N: 16})
+	dst := DecomposeNTTs(src, nil)
+	if len(dst.Nodes) != 4 {
+		t.Fatalf("NTT decomposed into %d nodes, want 4", len(dst.Nodes))
+	}
+	wantKinds := []OpKind{OpNTTCol, OpTwiddle, OpTranspose, OpNTTRow}
+	for i, k := range wantKinds {
+		if dst.Nodes[i].Kind != k {
+			t.Fatalf("node %d kind %v, want %v", i, dst.Nodes[i].Kind, k)
+		}
+	}
+	// Balanced split of 16 is 4×4: the column part runs length-4
+	// sub-transforms (N2) and the row part length-4 (N1).
+	if dst.Nodes[0].SubNTTLen != 4 || dst.Nodes[3].SubNTTLen != 4 {
+		t.Fatalf("split lengths %d/%d, want 4/4",
+			dst.Nodes[0].SubNTTLen, dst.Nodes[3].SubNTTLen)
+	}
+	// Chain col→twiddle→transpose→row.
+	for i := 0; i < 3; i++ {
+		if len(dst.Nodes[i].OutEdges) != 1 || dst.Nodes[i].OutEdges[0].To != dst.Nodes[i+1] {
+			t.Fatalf("chain broken at node %d", i)
+		}
+	}
+}
+
+func TestDecomposePreservesAuxEdges(t *testing.T) {
+	src := New()
+	c := src.AddNode(OpConst, "twiddles", Tensor{Limbs: 1, N: 16})
+	n := src.AddNode(OpNTT, "ntt", Tensor{Limbs: 2, N: 16})
+	src.ConnectAux(c, n, "tw")
+	dst := DecomposeNTTs(src, nil)
+	var col *Node
+	for _, m := range dst.Nodes {
+		if m.Kind == OpNTTCol {
+			col = m
+		}
+	}
+	if col == nil {
+		t.Fatal("no column NTT in decomposition")
+	}
+	found := false
+	for _, e := range col.InEdges {
+		if e.Class == Auxiliary && e.AuxID == "tw" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("aux edge not rewired onto the decomposition head")
+	}
+}
+
+func TestDecomposeCyclicInputPanics(t *testing.T) {
+	src := New()
+	a := src.AddNode(OpEWAdd, "a", Tensor{Limbs: 1, N: 4})
+	b := src.AddNode(OpEWMul, "b", Tensor{Limbs: 1, N: 4})
+	src.Connect(a, b)
+	src.Connect(b, a)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("cyclic graph did not panic")
+		}
+		if !strings.Contains(r.(string), "cycle") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	DecomposeNTTs(src, nil)
+}
+
+func TestBalancedSplitEdgeCases(t *testing.T) {
+	cases := []struct{ n, n1, n2 int }{
+		{1, 1, 1},
+		{2, 2, 1},
+		{4, 2, 2},
+		{8, 4, 2},
+		{16, 4, 4},
+		{1 << 16, 1 << 8, 1 << 8},
+	}
+	for _, c := range cases {
+		n1, n2 := BalancedSplit(c.n)
+		if n1 != c.n1 || n2 != c.n2 {
+			t.Errorf("BalancedSplit(%d) = (%d,%d), want (%d,%d)", c.n, n1, n2, c.n1, c.n2)
+		}
+		if n1*n2 != c.n {
+			t.Errorf("BalancedSplit(%d): %d×%d ≠ %d", c.n, n1, n2, c.n)
+		}
+	}
+}

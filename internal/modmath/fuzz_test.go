@@ -1,0 +1,66 @@
+package modmath
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// FuzzModMath cross-checks the Barrett/Shoup fast paths against the
+// obvious math/bits reference on fuzzer-chosen moduli and operands, plus
+// the algebraic identities every modular field must satisfy.
+func FuzzModMath(f *testing.F) {
+	f.Add(uint64(0x1000000000b00001), uint64(12345), uint64(67890))
+	f.Add(uint64((1<<45)-55), uint64(1)<<44, uint64(3))
+	f.Add(uint64(97), uint64(96), uint64(95))
+	f.Add(uint64(3), uint64(0), uint64(1))
+	f.Fuzz(func(t *testing.T, q, a, b uint64) {
+		q |= 1 // odd
+		q &= (1 << MaxModulusBits) - 1
+		m, err := NewModulus(q)
+		if err != nil {
+			t.Skip()
+		}
+		a, b = m.Reduce(a), m.Reduce(b)
+
+		// Mul against the 128-bit division reference.
+		hi, lo := bits.Mul64(a, b)
+		_, want := bits.Div64(hi%q, lo, q)
+		if got := m.Mul(a, b); got != want {
+			t.Fatalf("Mul(%d,%d) mod %d = %d, want %d", a, b, q, got, want)
+		}
+
+		// Add/Sub/Neg identities.
+		if got := m.Sub(m.Add(a, b), b); got != a {
+			t.Fatalf("(a+b)-b = %d, want a=%d (q=%d)", got, a, q)
+		}
+		if got := m.Add(a, m.Neg(a)); got != 0 {
+			t.Fatalf("a + (-a) = %d, want 0 (a=%d, q=%d)", got, a, q)
+		}
+
+		// Shoup multiplication must agree with Barrett.
+		bShoup := m.ShoupPrecomp(b)
+		if got := m.MulShoup(a, b, bShoup); got != m.Mul(a, b) {
+			t.Fatalf("MulShoup(%d,%d) = %d, want %d (q=%d)", a, b, got, m.Mul(a, b), q)
+		}
+
+		// Pow consistency: a^2 == a·a, a^0 == 1.
+		if got := m.Pow(a, 2); got != m.Mul(a, a) {
+			t.Fatalf("Pow(a,2) = %d, want %d (a=%d, q=%d)", got, m.Mul(a, a), a, q)
+		}
+		if got := m.Pow(a, 0); got != 1 {
+			t.Fatalf("Pow(a,0) = %d, want 1 (q=%d)", got, q)
+		}
+
+		// Inverse (prime moduli only — Inv uses Fermat).
+		if a != 0 && IsPrime(q) {
+			if got := m.Mul(a, m.Inv(a)); got != 1 {
+				t.Fatalf("a·a^-1 = %d, want 1 (a=%d, q=%d)", got, a, q)
+			}
+		}
+
+		// Reduce always lands in range.
+		if x := m.Reduce(a + b); x >= q {
+			t.Fatalf("Reduce(%d) = %d escapes [0,%d)", a+b, x, q)
+		}
+	})
+}

@@ -1,0 +1,72 @@
+package ntt
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"crophe/internal/modmath"
+)
+
+// fuzzTable builds one small NTT table shared by all fuzz iterations
+// (table construction dominates the runtime otherwise).
+var fuzzTable = struct {
+	once sync.Once
+	t    *Table
+	err  error
+}{}
+
+const fuzzN = 64
+
+func getFuzzTable(t *testing.T) *Table {
+	fuzzTable.once.Do(func() {
+		primes, err := modmath.GeneratePrimes(45, fuzzN, 1)
+		if err != nil {
+			fuzzTable.err = err
+			return
+		}
+		fuzzTable.t, fuzzTable.err = NewTable(modmath.MustModulus(primes[0]), fuzzN)
+	})
+	if fuzzTable.err != nil {
+		t.Fatalf("fuzz table: %v", fuzzTable.err)
+	}
+	return fuzzTable.t
+}
+
+// FuzzNTTRoundTrip checks Inverse∘Forward = id on fuzzer-chosen
+// coefficient vectors, and that the transform output stays in [0, q).
+func FuzzNTTRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	seed := make([]byte, 8*fuzzN)
+	for i := range seed {
+		seed[i] = byte(i * 37)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tbl := getFuzzTable(t)
+		q := tbl.M.Q
+
+		coeffs := make([]uint64, fuzzN)
+		for i := range coeffs {
+			if len(data) >= 8 {
+				coeffs[i] = binary.LittleEndian.Uint64(data[:8]) % q
+				data = data[8:]
+			}
+		}
+		orig := append([]uint64(nil), coeffs...)
+
+		tbl.Forward(coeffs)
+		for i, v := range coeffs {
+			if v >= q {
+				t.Fatalf("Forward output[%d] = %d escapes [0,%d)", i, v, q)
+			}
+		}
+		tbl.Inverse(coeffs)
+		for i := range coeffs {
+			if coeffs[i] != orig[i] {
+				t.Fatalf("round-trip mismatch at %d: got %d, want %d", i, coeffs[i], orig[i])
+			}
+		}
+	})
+}

@@ -103,7 +103,7 @@ func (p *Poly) Copy() *Poly {
 // DropLevel removes the top limbs so the polynomial has newLimbs limbs.
 func (p *Poly) DropLevel(newLimbs int) {
 	if newLimbs < 1 || newLimbs > len(p.Coeffs) {
-		panic("poly: DropLevel out of range")
+		panic(fmt.Sprintf("poly: DropLevel to %d limbs out of range [1,%d]", newLimbs, len(p.Coeffs)))
 	}
 	p.Coeffs = p.Coeffs[:newLimbs]
 }
@@ -113,7 +113,7 @@ func (r *Ring) checkPair(a, b *Poly) int {
 		panic(fmt.Sprintf("poly: limb mismatch %d vs %d", a.Limbs(), b.Limbs()))
 	}
 	if a.IsNTT != b.IsNTT {
-		panic("poly: representation mismatch (NTT vs coefficient)")
+		panic(fmt.Sprintf("poly: representation mismatch (a.IsNTT=%v, b.IsNTT=%v)", a.IsNTT, b.IsNTT))
 	}
 	return a.Limbs()
 }
@@ -164,7 +164,7 @@ func (r *Ring) Neg(dst, a *Poly) {
 func (r *Ring) MulHadamard(dst, a, b *Poly) {
 	k := r.checkPair(a, b)
 	if !a.IsNTT {
-		panic("poly: MulHadamard requires NTT form")
+		panic(fmt.Sprintf("poly: MulHadamard requires NTT form (operand has %d coefficient-form limbs)", a.Limbs()))
 	}
 	ensureLike(dst, a)
 	for i := 0; i < k; i++ {
@@ -181,7 +181,7 @@ func (r *Ring) MulHadamard(dst, a, b *Poly) {
 func (r *Ring) MulAddHadamard(dst, a, b *Poly) {
 	k := r.checkPair(a, b)
 	if !a.IsNTT || !dst.IsNTT {
-		panic("poly: MulAddHadamard requires NTT form")
+		panic(fmt.Sprintf("poly: MulAddHadamard requires NTT form (a.IsNTT=%v, dst.IsNTT=%v)", a.IsNTT, dst.IsNTT))
 	}
 	for i := 0; i < k; i++ {
 		m := r.Mod(i)
@@ -212,7 +212,7 @@ func (r *Ring) MulScalar(dst, a *Poly, s uint64) {
 // rescaling constants like q_ℓ^{-1} mod q_i.
 func (r *Ring) MulScalarRNS(dst, a *Poly, s []uint64) {
 	if len(s) < a.Limbs() {
-		panic("poly: MulScalarRNS constant vector too short")
+		panic(fmt.Sprintf("poly: MulScalarRNS constant vector has %d entries, need %d", len(s), a.Limbs()))
 	}
 	ensureLike(dst, a)
 	for i := 0; i < a.Limbs(); i++ {
@@ -254,7 +254,7 @@ func (r *Ring) INTT(p *Poly) {
 // coefficient. g must be odd (an element of (Z/2NZ)*).
 func (r *Ring) AutomorphismIndex(g uint64) []autoEntry {
 	if g%2 == 0 {
-		panic("poly: automorphism exponent must be odd")
+		panic(fmt.Sprintf("poly: automorphism exponent %d must be odd", g))
 	}
 	twoN := uint64(2 * r.N)
 	g %= twoN
@@ -284,7 +284,7 @@ func (r *Ring) AutomorphismIndex(g uint64) []autoEntry {
 // with its inter-lane shift networks.
 func (r *Ring) Automorphism(dst, a *Poly, g uint64) {
 	if a.IsNTT {
-		panic("poly: Automorphism requires coefficient form")
+		panic(fmt.Sprintf("poly: Automorphism (g=%d) requires coefficient form, got NTT", g))
 	}
 	ensureLike(dst, a)
 	entries := r.AutomorphismIndex(g)
@@ -384,7 +384,7 @@ func (r *Ring) GaussianPoly(limbs int, sigma float64, rng *rand.Rand) *Poly {
 // into all limbs of p.
 func (r *Ring) SetInt64Coeffs(p *Poly, coeffs []int64) {
 	if len(coeffs) != r.N {
-		panic("poly: coefficient count mismatch")
+		panic(fmt.Sprintf("poly: got %d coefficients for ring degree %d", len(coeffs), r.N))
 	}
 	for i := 0; i < p.Limbs(); i++ {
 		q := r.Mod(i).Q
@@ -413,7 +413,7 @@ func (p *Poly) Equal(q *Poly) bool {
 
 func ensureLike(dst, src *Poly) {
 	if dst.Limbs() < src.Limbs() {
-		panic("poly: destination has fewer limbs than source")
+		panic(fmt.Sprintf("poly: destination has %d limbs, source has %d", dst.Limbs(), src.Limbs()))
 	}
 	if dst.Limbs() > src.Limbs() {
 		dst.Coeffs = dst.Coeffs[:src.Limbs()]

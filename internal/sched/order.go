@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"fmt"
 	"sort"
 
 	"crophe/internal/graph"
@@ -26,6 +27,7 @@ func auxAffinityOrder(g *graph.Graph) []*graph.Node {
 	sortByID(ready)
 
 	out := make([]*graph.Node, 0, len(g.Nodes))
+	visited := 0
 	lastAux := ""
 	// recent holds the last few emitted nodes; consuming their outputs
 	// keeps intermediate live ranges short (the loop-interleaving freedom
@@ -55,6 +57,7 @@ func auxAffinityOrder(g *graph.Graph) []*graph.Node {
 		}
 		n := ready[idx]
 		ready = append(ready[:idx], ready[idx+1:]...)
+		visited++
 		if n.Kind.IsCompute() {
 			out = append(out, n)
 			lastAux = primaryAux(n)
@@ -74,6 +77,12 @@ func auxAffinityOrder(g *graph.Graph) []*graph.Node {
 		if inserted {
 			sortByID(ready)
 		}
+	}
+	// A well-formed operator graph is a DAG; leftovers mean a dependency
+	// cycle, and silently scheduling only part of the workload would
+	// corrupt every downstream cost model.
+	if visited != len(g.Nodes) {
+		panic(fmt.Sprintf("sched: dependency cycle: ordered %d of %d nodes", visited, len(g.Nodes)))
 	}
 	return out
 }

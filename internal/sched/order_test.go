@@ -1,0 +1,76 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"crophe/internal/graph"
+)
+
+// Edge cases of the affinity ordering: degenerate graphs must come back
+// intact, and cyclic inputs must be rejected loudly instead of silently
+// scheduling a subset of the workload.
+
+func TestAffinityOrderEmptyGraph(t *testing.T) {
+	if out := auxAffinityOrder(graph.New()); len(out) != 0 {
+		t.Fatalf("empty graph ordered %d nodes", len(out))
+	}
+}
+
+func TestAffinityOrderSingleNode(t *testing.T) {
+	g := graph.New()
+	n := g.AddNode(graph.OpEWMul, "only", graph.Tensor{Limbs: 1, N: 4})
+	out := auxAffinityOrder(g)
+	if len(out) != 1 || out[0] != n {
+		t.Fatalf("single-node order wrong: %v", out)
+	}
+}
+
+func TestAffinityOrderSkipsStructuralNodes(t *testing.T) {
+	g := graph.New()
+	in := g.AddNode(graph.OpInput, "in", graph.Tensor{Limbs: 1, N: 4})
+	mul := g.AddNode(graph.OpEWMul, "mul", graph.Tensor{Limbs: 1, N: 4})
+	out := g.AddNode(graph.OpOutput, "out", graph.Tensor{Limbs: 1, N: 4})
+	g.Connect(in, mul)
+	g.Connect(mul, out)
+	order := auxAffinityOrder(g)
+	if len(order) != 1 || order[0] != mul {
+		t.Fatalf("want only the compute node, got %d nodes", len(order))
+	}
+}
+
+func TestAffinityOrderCyclicInputPanics(t *testing.T) {
+	g := graph.New()
+	a := g.AddNode(graph.OpEWAdd, "a", graph.Tensor{Limbs: 1, N: 4})
+	b := g.AddNode(graph.OpEWMul, "b", graph.Tensor{Limbs: 1, N: 4})
+	g.Connect(a, b)
+	g.Connect(b, a)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("cyclic graph did not panic")
+		}
+		if !strings.Contains(r.(string), "cycle") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	auxAffinityOrder(g)
+}
+
+func TestAffinityOrderPartialCyclePanics(t *testing.T) {
+	// A reachable prefix followed by a cycle: the order must not silently
+	// return just the prefix.
+	g := graph.New()
+	head := g.AddNode(graph.OpEWAdd, "head", graph.Tensor{Limbs: 1, N: 4})
+	a := g.AddNode(graph.OpEWMul, "a", graph.Tensor{Limbs: 1, N: 4})
+	b := g.AddNode(graph.OpEWMul, "b", graph.Tensor{Limbs: 1, N: 4})
+	g.Connect(head, a)
+	g.Connect(a, b)
+	g.Connect(b, a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("partial cycle did not panic")
+		}
+	}()
+	auxAffinityOrder(g)
+}
