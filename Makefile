@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test lint vet race fuzz bench clean
+.PHONY: all build test lint vet race fuzz bench bench-json bench-diff clean
 
 all: build lint test
 
@@ -31,6 +31,17 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Machine-readable benchmark report (fast mode) and regression diff
+# against the committed baseline.
+BASELINE ?= BENCH_2026-08-06.json
+BENCH_OUT ?= BENCH_$(shell date -u +%Y-%m-%d).json
+
+bench-json:
+	$(GO) run ./cmd/crophe-bench -fast -json -o $(BENCH_OUT)
+
+bench-diff: bench-json
+	$(GO) run ./cmd/crophe-bench diff $(BASELINE) $(BENCH_OUT)
 
 clean:
 	$(GO) clean ./...

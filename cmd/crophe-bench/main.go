@@ -2,7 +2,15 @@
 //
 // Usage:
 //
-//	crophe-bench [-fast] [-exp table1|table2|table3|table4|fig9|fig10|fig11|all]
+//	crophe-bench [-fast] [-exp table1|table2|table3|table4|fig9|fig10|fig11|ablations|all] [-json] [-o file]
+//	crophe-bench diff [-threshold 0.25] [-metric-tol 1e-6] OLD.json NEW.json
+//
+// With -json, a machine-readable report (per-experiment wall clock,
+// allocation deltas and headline model metrics) is written to
+// BENCH_<date>.json (override with -o) alongside the usual text output.
+// The diff subcommand compares two such reports and exits non-zero when
+// the new one regresses: cost fields (wall clock, allocations) beyond
+// -threshold, or deterministic model metrics drifting beyond -metric-tol.
 package main
 
 import (
@@ -15,22 +23,78 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		os.Exit(runDiff(os.Args[2:]))
+	}
 	exp := flag.String("exp", "all", "experiment id or 'all'")
 	fast := flag.Bool("fast", false, "reduced coverage for quick runs")
+	jsonOut := flag.Bool("json", false, "also write a machine-readable report")
+	outPath := flag.String("o", "", "report path (default BENCH_<date>.json)")
 	flag.Parse()
 
 	ids := bench.Experiments()
 	if *exp != "all" {
 		ids = []string{*exp}
 	}
-	for _, id := range ids {
-		start := time.Now()
-		out, err := bench.Run(id, *fast)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "crophe-bench: %v\n", err)
-			os.Exit(1)
-		}
+	emit := func(id, out string) {
 		fmt.Println(out)
-		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("[%s completed]\n\n", id)
 	}
+	if !*jsonOut {
+		// Plain mode: run and print, with per-experiment timing.
+		for _, id := range ids {
+			start := time.Now()
+			out, err := bench.Run(id, *fast)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "crophe-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(out)
+			fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+		return
+	}
+	rep, err := bench.Collect(ids, *fast, emit)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crophe-bench: %v\n", err)
+		os.Exit(1)
+	}
+	path := *outPath
+	if path == "" {
+		path = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+	}
+	if err := rep.Save(path); err != nil {
+		fmt.Fprintf(os.Stderr, "crophe-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("report written to %s\n", path)
+}
+
+func runDiff(args []string) int {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.5, "relative increase tolerated on wall clock / allocations")
+	metricTol := fs.Float64("metric-tol", 1e-6, "relative drift tolerated on deterministic model metrics")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: crophe-bench diff [-threshold f] [-metric-tol f] OLD.json NEW.json")
+		return 2
+	}
+	oldR, err := bench.LoadReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crophe-bench: %v\n", err)
+		return 2
+	}
+	newR, err := bench.LoadReport(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crophe-bench: %v\n", err)
+		return 2
+	}
+	regs := bench.Compare(oldR, newR, *threshold, *metricTol)
+	fmt.Printf("%s -> %s (cost threshold %.0f%%, metric tolerance %g)\n",
+		fs.Arg(0), fs.Arg(1), *threshold*100, *metricTol)
+	fmt.Print(bench.RenderComparison(regs))
+	if len(regs) > 0 {
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,18 @@
+package arch
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// ConfigHash returns a stable identity hash of a hardware configuration,
+// used to key schedule-memoization caches: two configs with equal fields
+// hash equally, so a Figure 10 sweep point at the default SRAM capacity
+// shares cache entries with the Figure 9 run of the same design. It
+// hashes the canonical %+v rendering of the struct — deterministic even
+// for the FUShare map, since Go prints map keys in sorted order.
+func ConfigHash(c *HWConfig) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", *c)
+	return h.Sum64()
+}

@@ -1,0 +1,18 @@
+package arch
+
+import "testing"
+
+func TestConfigHash(t *testing.T) {
+	if ConfigHash(CROPHE36) != ConfigHash(CROPHE36.Clone()) {
+		t.Error("clone should hash equal to the original")
+	}
+	if ConfigHash(CROPHE36) == ConfigHash(CROPHE64) {
+		t.Error("distinct configs should hash differently")
+	}
+	if ConfigHash(CROPHE36) == ConfigHash(CROPHE36.WithSRAM(45)) {
+		t.Error("an SRAM sweep point should hash differently from the default")
+	}
+	if ConfigHash(ARK) != ConfigHash(ARK.Clone()) {
+		t.Error("FUShare map rendering must be deterministic")
+	}
+}

@@ -6,11 +6,11 @@ package bench
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"crophe/internal/arch"
 	"crophe/internal/baseline"
+	"crophe/internal/parallel"
 	"crophe/internal/sched"
 	"crophe/internal/sim"
 	"crophe/internal/workload"
@@ -72,32 +72,54 @@ type Fig9Row struct {
 // Figure9 runs the overall comparison. With fast=true only the ARK and
 // SHARP pairings and the bootstrapping/ResNet-20 workloads run (for
 // tests); the full run covers all four pairings and workloads.
+//
+// The design×workload evaluations are independent, so they fan out
+// across the worker pool (each backed by the schedule cache); rows come
+// back in the same nested pairing→workload→design order as a serial run,
+// and speedups are computed afterwards against each group's first design
+// (the baseline+MAD reference), so results are deterministic.
 func Figure9(fast bool) []Fig9Row {
-	var rows []Fig9Row
 	pairings := baseline.Pairings()
 	names := baseline.WorkloadNames()
 	if fast {
 		pairings = pairings[1:3] // ARK, SHARP
 		names = []string{"bootstrapping", "resnet-20"}
 	}
+	type job struct {
+		pairing  string
+		workload string
+		wkey     string
+		design   sched.Design
+		factory  sched.WorkloadFactory
+		first    bool // baseline reference of its (pairing, workload) group
+	}
+	var jobs []job
 	for _, p := range pairings {
 		factories := p.WorkloadFactories()
+		pname := p.Baseline.Name + " vs " + p.CROPHE.Name
 		for _, wn := range names {
-			factory := factories[wn]
-			var baseTime float64
-			for _, d := range p.Designs() {
-				res := d.Evaluate(factory)
-				if baseTime == 0 {
-					baseTime = res.TimeSec
-				}
-				rows = append(rows, Fig9Row{
-					Pairing:  p.Baseline.Name + " vs " + p.CROPHE.Name,
-					Workload: wn,
-					Design:   d.Name,
-					TimeSec:  res.TimeSec,
-					Speedup:  baseTime / res.TimeSec,
+			for di, d := range p.Designs() {
+				jobs = append(jobs, job{
+					pairing: pname, workload: wn,
+					wkey:   p.Params.Name + "/" + wn,
+					design: d, factory: factories[wn], first: di == 0,
 				})
 			}
+		}
+	}
+	times := make([]float64, len(jobs))
+	parallel.For(len(jobs), func(i int) {
+		times[i] = evaluateMemo(jobs[i].design, jobs[i].wkey, jobs[i].factory).TimeSec
+	})
+	rows := make([]Fig9Row, len(jobs))
+	var baseTime float64
+	for i, j := range jobs {
+		if j.first {
+			baseTime = times[i]
+		}
+		rows[i] = Fig9Row{
+			Pairing: j.pairing, Workload: j.workload, Design: j.design.Name,
+			TimeSec: times[i], Speedup: baseTime / times[i],
 		}
 	}
 	return rows
@@ -141,8 +163,12 @@ func Table4() ([]Table4Row, error) {
 		{"CROPHE-36", arch.CROPHE36, sched.DataflowCROPHE, true, true, 1, arch.ParamsSHARP},
 		{"CROPHE-p-36", arch.CROPHE36, sched.DataflowCROPHE, true, true, 4, arch.ParamsSHARP},
 	}
-	var rows []Table4Row
-	for _, c := range cfgs {
+	// The six design points are independent simulator runs; fan out and
+	// collect by index so row order matches the config list.
+	rows := make([]Table4Row, len(cfgs))
+	errs := make([]error, len(cfgs))
+	parallel.For(len(cfgs), func(i int) {
+		c := cfgs[i]
 		d := sched.Design{
 			Name: c.name, HW: c.hw, Dataflow: c.dataflow,
 			NTTDec: c.nttDec, HybridRot: c.hybrid, Clusters: c.clusters,
@@ -151,15 +177,21 @@ func Table4() ([]Table4Row, error) {
 		factory := func(m workload.RotMode, r int) *workload.Workload {
 			return workload.ResNet(params, 20, m, r)
 		}
-		s := d.Evaluate(factory)
+		s := evaluateMemo(d, params.Name+"/resnet-20", factory)
 		// Validate the schedule on the cycle simulator (its refined time
 		// stays within the analytical envelope) but report the
 		// scheduler's utilisation, which knows the traffic provenance.
 		w := factory(workload.RotHoisted, 0)
 		if _, err := sim.New(c.hw).SimulateSchedule(w, s); err != nil {
+			errs[i] = err
+			return
+		}
+		rows[i] = Table4Row{Design: c.name, Util: s.Util}
+	})
+	for _, err := range errs {
+		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, Table4Row{Design: c.name, Util: s.Util})
 	}
 	return rows, nil
 }
@@ -207,38 +239,51 @@ func Figure10(fast bool) []Fig10Row {
 		sweeps = sweeps[1:]
 		names = []string{"bootstrapping"}
 	}
-	var rows []Fig10Row
+	// One job per sweep point; the three designs of a point run inside
+	// the job (nested parallel calls stay bounded by the shared pool).
+	type job struct {
+		pairing baseline.Pairing
+		wn      string
+		factory sched.WorkloadFactory
+		size    float64
+	}
+	var jobs []job
 	for _, sw := range sweeps {
 		factories := sw.pairing.WorkloadFactories()
 		for _, wn := range names {
-			factory := factories[wn]
 			for _, size := range sw.sizes {
-				base := sched.Design{
-					Name: sw.pairing.Baseline.Name + "+MAD",
-					HW:   sw.pairing.Baseline.WithSRAM(size), Dataflow: sched.DataflowMAD,
-				}.Evaluate(factory)
-				cro := sched.Design{
-					Name: sw.pairing.CROPHE.Name,
-					HW:   sw.pairing.CROPHE.WithSRAM(size), Dataflow: sched.DataflowCROPHE,
-					NTTDec: true, HybridRot: true,
-				}.Evaluate(factory)
-				crop := sched.Design{
-					Name: sw.pairing.CROPHE.Name + "-p",
-					HW:   sw.pairing.CROPHE.WithSRAM(size), Dataflow: sched.DataflowCROPHE,
-					NTTDec: true, HybridRot: true, Clusters: 4,
-				}.Evaluate(factory)
-				rows = append(rows, Fig10Row{
-					Pairing:  sw.pairing.Baseline.Name + " vs " + sw.pairing.CROPHE.Name,
-					Workload: wn,
-					SRAMMB:   size,
-					Baseline: base.TimeSec,
-					CROPHE:   cro.TimeSec,
-					CROPHEP:  crop.TimeSec,
-					Speedup:  base.TimeSec / cro.TimeSec,
-				})
+				jobs = append(jobs, job{sw.pairing, wn, factories[wn], size})
 			}
 		}
 	}
+	rows := make([]Fig10Row, len(jobs))
+	parallel.For(len(jobs), func(i int) {
+		j := jobs[i]
+		wkey := j.pairing.Params.Name + "/" + j.wn
+		base := evaluateMemo(sched.Design{
+			Name: j.pairing.Baseline.Name + "+MAD",
+			HW:   j.pairing.Baseline.WithSRAM(j.size), Dataflow: sched.DataflowMAD,
+		}, wkey, j.factory)
+		cro := evaluateMemo(sched.Design{
+			Name: j.pairing.CROPHE.Name,
+			HW:   j.pairing.CROPHE.WithSRAM(j.size), Dataflow: sched.DataflowCROPHE,
+			NTTDec: true, HybridRot: true,
+		}, wkey, j.factory)
+		crop := evaluateMemo(sched.Design{
+			Name: j.pairing.CROPHE.Name + "-p",
+			HW:   j.pairing.CROPHE.WithSRAM(j.size), Dataflow: sched.DataflowCROPHE,
+			NTTDec: true, HybridRot: true, Clusters: 4,
+		}, wkey, j.factory)
+		rows[i] = Fig10Row{
+			Pairing:  j.pairing.Baseline.Name + " vs " + j.pairing.CROPHE.Name,
+			Workload: j.wn,
+			SRAMMB:   j.size,
+			Baseline: base.TimeSec,
+			CROPHE:   cro.TimeSec,
+			CROPHEP:  crop.TimeSec,
+			Speedup:  base.TimeSec / cro.TimeSec,
+		}
+	})
 	return rows
 }
 
@@ -283,31 +328,40 @@ func Figure11(fast bool) []Fig11Row {
 	if fast {
 		variants = variants[1:]
 	}
-	var rows []Fig11Row
+	// Flatten the ladder into an indexed job list (reference + ablation
+	// rungs per variant) and fan out; indices keep the rendered ladder in
+	// paper order.
+	type job struct {
+		variant string
+		wkey    string
+		design  sched.Design
+		factory sched.WorkloadFactory
+	}
+	var jobs []job
 	for _, v := range variants {
 		params := v.params
 		factory := func(m workload.RotMode, r int) *workload.Workload {
 			return workload.Bootstrapping(params, m, r)
 		}
-		// Baseline reference.
-		ref := sched.Design{
+		wkey := params.Name + "/bootstrapping"
+		jobs = append(jobs, job{v.name, wkey, sched.Design{
 			Name: v.base.Name + "+MAD", HW: v.base.WithSRAM(v.smallMB),
 			Dataflow: sched.DataflowMAD,
-		}.Evaluate(factory)
-		rows = append(rows, Fig11Row{
-			Variant: v.name, Design: v.base.Name + "+MAD",
-			TimeSec: ref.TimeSec,
-			SRAMGB:  ref.Traffic.SRAM / 1e9, DRAMGB: ref.Traffic.DRAM / 1e9,
-		})
+		}, factory})
 		for _, d := range sched.AblationDesigns(v.hw.WithSRAM(v.smallMB)) {
-			res := d.Evaluate(factory)
-			rows = append(rows, Fig11Row{
-				Variant: v.name, Design: d.Name,
-				TimeSec: res.TimeSec,
-				SRAMGB:  res.Traffic.SRAM / 1e9, DRAMGB: res.Traffic.DRAM / 1e9,
-			})
+			jobs = append(jobs, job{v.name, wkey, d, factory})
 		}
 	}
+	rows := make([]Fig11Row, len(jobs))
+	parallel.For(len(jobs), func(i int) {
+		j := jobs[i]
+		res := evaluateMemo(j.design, j.wkey, j.factory)
+		rows[i] = Fig11Row{
+			Variant: j.variant, Design: j.design.Name,
+			TimeSec: res.TimeSec,
+			SRAMGB:  res.Traffic.SRAM / 1e9, DRAMGB: res.Traffic.DRAM / 1e9,
+		}
+	})
 	return rows
 }
 
@@ -355,32 +409,35 @@ func Run(id string, fast bool) (string, error) {
 	return "", fmt.Errorf("bench: unknown experiment %q (have %s)", id, strings.Join(Experiments(), ", "))
 }
 
+// PairingSummary is the headline CROPHE-vs-baseline speedup of one
+// Figure 9 pairing, with Workloads[i] naming the benchmark Speedups[i]
+// was measured on.
+type PairingSummary struct {
+	Pairing   string
+	Workloads []string
+	Speedups  []float64
+}
+
 // SpeedupSummary extracts the headline CROPHE-vs-baseline speedups from
-// Figure 9 rows, per pairing, in workload order.
-func SpeedupSummary(rows []Fig9Row) map[string][]float64 {
-	out := map[string][]float64{}
-	keys := map[string]map[string]float64{}
+// Figure 9 rows. Pairings and workloads appear in row order (the paper's
+// plotting order), so consumers that emit metrics or regression-diff
+// entries see a stable sequence run to run.
+func SpeedupSummary(rows []Fig9Row) []PairingSummary {
+	var out []PairingSummary
+	idx := map[string]int{}
 	for _, r := range rows {
-		if !strings.HasPrefix(r.Design, "CROPHE") || strings.HasSuffix(r.Design, "+MAD") {
+		if !strings.HasPrefix(r.Design, "CROPHE") ||
+			strings.HasSuffix(r.Design, "+MAD") || strings.HasSuffix(r.Design, "-p") {
 			continue
 		}
-		if strings.HasSuffix(r.Design, "-p") {
-			continue
+		i, ok := idx[r.Pairing]
+		if !ok {
+			i = len(out)
+			idx[r.Pairing] = i
+			out = append(out, PairingSummary{Pairing: r.Pairing})
 		}
-		if keys[r.Pairing] == nil {
-			keys[r.Pairing] = map[string]float64{}
-		}
-		keys[r.Pairing][r.Workload] = r.Speedup
-	}
-	for pairing, m := range keys {
-		var names []string
-		for wn := range m {
-			names = append(names, wn)
-		}
-		sort.Strings(names)
-		for _, wn := range names {
-			out[pairing] = append(out[pairing], m[wn])
-		}
+		out[i].Workloads = append(out[i].Workloads, r.Workload)
+		out[i].Speedups = append(out[i].Speedups, r.Speedup)
 	}
 	return out
 }

@@ -148,11 +148,55 @@ func TestSpeedupSummary(t *testing.T) {
 	if len(sum) == 0 {
 		t.Fatal("empty summary")
 	}
-	for pairing, sps := range sum {
-		for _, sp := range sps {
+	for _, ps := range sum {
+		if len(ps.Workloads) != len(ps.Speedups) {
+			t.Fatalf("%s: %d workloads vs %d speedups",
+				ps.Pairing, len(ps.Workloads), len(ps.Speedups))
+		}
+		for i, sp := range ps.Speedups {
 			if sp <= 0 {
-				t.Errorf("%s: non-positive speedup", pairing)
+				t.Errorf("%s/%s: non-positive speedup", ps.Pairing, ps.Workloads[i])
 			}
+		}
+	}
+	// Ordering must be stable: the summary of a second run is identical.
+	again := SpeedupSummary(Figure9(true))
+	if len(again) != len(sum) {
+		t.Fatalf("summary length changed between runs: %d vs %d", len(again), len(sum))
+	}
+	for i := range sum {
+		if again[i].Pairing != sum[i].Pairing {
+			t.Errorf("pairing order changed: %s vs %s", again[i].Pairing, sum[i].Pairing)
+		}
+		for j := range sum[i].Speedups {
+			if again[i].Workloads[j] != sum[i].Workloads[j] || again[i].Speedups[j] != sum[i].Speedups[j] {
+				t.Errorf("%s: entry %d changed between runs", sum[i].Pairing, j)
+			}
+		}
+	}
+}
+
+func TestScheduleMemoization(t *testing.T) {
+	ResetScheduleMemo()
+	cold := Figure9(true)
+	_, missesAfterCold := ScheduleMemoStats()
+	if missesAfterCold == 0 {
+		t.Fatal("cold run should populate the cache")
+	}
+	warm := Figure9(true)
+	hits, misses := ScheduleMemoStats()
+	if misses != missesAfterCold {
+		t.Errorf("warm run missed the cache: %d misses after cold, %d total", missesAfterCold, misses)
+	}
+	if hits == 0 {
+		t.Error("warm run produced no cache hits")
+	}
+	if len(warm) != len(cold) {
+		t.Fatalf("row count changed: %d vs %d", len(warm), len(cold))
+	}
+	for i := range cold {
+		if warm[i] != cold[i] {
+			t.Errorf("row %d: cached result differs: %+v vs %+v", i, warm[i], cold[i])
 		}
 	}
 }

@@ -1,0 +1,269 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"crophe/internal/arch"
+	"crophe/internal/parallel"
+)
+
+// ReportSchemaVersion identifies the BENCH_*.json layout. Bump it on any
+// incompatible change so the diff subcommand can refuse mixed versions.
+const ReportSchemaVersion = 1
+
+// ExperimentResult is the machine-readable record of one experiment run:
+// its cost (wall clock and allocation deltas over the run) and the
+// headline metrics of the model itself, keyed by stable slash-separated
+// names (encoding/json sorts map keys, so serialized output is
+// byte-stable for equal content).
+type ExperimentResult struct {
+	ID           string             `json:"id"`
+	WallMS       float64            `json:"wall_ms"`
+	AllocBytes   uint64             `json:"alloc_bytes"`
+	AllocObjects uint64             `json:"alloc_objects"`
+	Metrics      map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the top-level BENCH_*.json document.
+type Report struct {
+	SchemaVersion int                `json:"schema_version"`
+	CreatedAt     string             `json:"created_at"`
+	GoMaxProcs    int                `json:"gomaxprocs"`
+	Workers       int                `json:"workers"`
+	Fast          bool               `json:"fast"`
+	Experiments   []ExperimentResult `json:"experiments"`
+}
+
+// runWithMetrics runs one experiment and returns both its rendered text
+// and its headline metrics, from a single evaluation.
+func runWithMetrics(id string, fast bool) (string, map[string]float64, error) {
+	switch id {
+	case "table2":
+		chip := arch.ChipModel(arch.CROPHE36).Total()
+		return Table2(), map[string]float64{
+			"table2/area_mm2/total": chip.AreaMM2,
+			"table2/power_w/total":  chip.PowerW,
+		}, nil
+	case "table4":
+		rows, err := Table4()
+		if err != nil {
+			return "", nil, err
+		}
+		m := map[string]float64{}
+		for _, r := range rows {
+			m["table4/pe_util/"+r.Design] = r.Util.PE
+		}
+		return RenderTable4(rows), m, nil
+	case "fig9":
+		rows := Figure9(fast)
+		m := map[string]float64{}
+		for _, ps := range SpeedupSummary(rows) {
+			for j, sp := range ps.Speedups {
+				m["fig9/speedup/"+ps.Pairing+"/"+ps.Workloads[j]] = sp
+			}
+		}
+		return RenderFig9(rows), m, nil
+	case "fig10":
+		rows := Figure10(fast)
+		m := map[string]float64{}
+		for _, r := range rows {
+			m[fmt.Sprintf("fig10/speedup/%s/%s/%gMB", r.Pairing, r.Workload, r.SRAMMB)] = r.Speedup
+		}
+		return RenderFig10(rows), m, nil
+	case "fig11":
+		rows := Figure11(fast)
+		m := map[string]float64{}
+		ladder := map[string]map[string]float64{}
+		for _, r := range rows {
+			m[fmt.Sprintf("fig11/time_ms/%s/%s", r.Variant, r.Design)] = r.TimeSec * 1e3
+			if ladder[r.Variant] == nil {
+				ladder[r.Variant] = map[string]float64{}
+			}
+			ladder[r.Variant][r.Design] = r.TimeSec
+		}
+		for v, t := range ladder {
+			if t["MAD"] > 0 && t["CROPHE"] > 0 {
+				m["fig11/ladder_speedup/"+v] = t["MAD"] / t["CROPHE"]
+			}
+		}
+		return RenderFig11(rows), m, nil
+	case "ablations":
+		rows := Ablations()
+		m := map[string]float64{}
+		for _, r := range rows {
+			m[fmt.Sprintf("ablations/time_ms/%s/%s", r.Study, r.Setting)] = r.TimeSec * 1e3
+		}
+		return RenderAblations(rows), m, nil
+	default:
+		out, err := Run(id, fast)
+		return out, nil, err
+	}
+}
+
+// Collect runs the given experiments in order and assembles a Report.
+// emit, when non-nil, receives each experiment's rendered text as it
+// completes (so -json keeps the human-readable output). Allocation deltas
+// come from the runtime's monotonic TotalAlloc/Mallocs counters, so they
+// are unaffected by GC timing; wall clock is the only noisy field.
+func Collect(ids []string, fast bool, emit func(id, rendered string)) (*Report, error) {
+	rep := &Report{
+		SchemaVersion: ReportSchemaVersion,
+		CreatedAt:     time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Workers:       parallel.Workers(),
+		Fast:          fast,
+	}
+	var ms runtime.MemStats
+	for _, id := range ids {
+		runtime.ReadMemStats(&ms)
+		bytes0, objs0 := ms.TotalAlloc, ms.Mallocs
+		start := time.Now()
+		out, metrics, err := runWithMetrics(id, fast)
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		if emit != nil {
+			emit(id, out)
+		}
+		rep.Experiments = append(rep.Experiments, ExperimentResult{
+			ID:           id,
+			WallMS:       float64(wall.Nanoseconds()) / 1e6,
+			AllocBytes:   ms.TotalAlloc - bytes0,
+			AllocObjects: ms.Mallocs - objs0,
+			Metrics:      metrics,
+		})
+	}
+	return rep, nil
+}
+
+// Save writes the report as indented JSON.
+func (r *Report) Save(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadReport reads a BENCH_*.json file.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if r.SchemaVersion != ReportSchemaVersion {
+		return nil, fmt.Errorf("bench: %s has schema version %d, want %d",
+			path, r.SchemaVersion, ReportSchemaVersion)
+	}
+	return &r, nil
+}
+
+// Regression is one flagged difference between two reports.
+type Regression struct {
+	Experiment string
+	Metric     string // "wall_ms", "alloc_bytes", "alloc_objects", or a metrics key
+	Old, New   float64
+	Delta      float64 // relative change, (new-old)/old
+	Structural bool    // an experiment or metric disappeared
+}
+
+// Cost fields below these absolute deltas are never flagged, whatever
+// the relative change: micro-experiments (a table render taking tens of
+// microseconds) see large relative wall-clock noise on loaded machines,
+// and sync.Pool contents surviving or not surviving a GC shifts
+// allocation counts slightly.
+const (
+	minWallDeltaMS    = 10
+	minAllocDeltaB    = 1 << 20 // 1 MiB
+	minAllocDeltaObjs = 10000
+)
+
+// Compare diffs two reports. Cost fields (wall clock, allocations) are
+// noisy, so only increases beyond costThreshold that also clear an
+// absolute-significance floor are flagged. Model metrics are
+// deterministic — schedules are exhaustive sweeps with no randomness —
+// so any relative drift beyond metricTol is flagged, in either
+// direction. Experiments or metrics present in old but missing in new
+// are structural regressions. New entries are not flagged.
+func Compare(oldR, newR *Report, costThreshold, metricTol float64) []Regression {
+	var regs []Regression
+	newExp := map[string]ExperimentResult{}
+	for _, e := range newR.Experiments {
+		newExp[e.ID] = e
+	}
+	for _, oe := range oldR.Experiments {
+		ne, ok := newExp[oe.ID]
+		if !ok {
+			regs = append(regs, Regression{Experiment: oe.ID, Metric: "experiment", Structural: true})
+			continue
+		}
+		for _, c := range []struct {
+			name     string
+			old, new float64
+			floor    float64
+		}{
+			{"wall_ms", oe.WallMS, ne.WallMS, minWallDeltaMS},
+			{"alloc_bytes", float64(oe.AllocBytes), float64(ne.AllocBytes), minAllocDeltaB},
+			{"alloc_objects", float64(oe.AllocObjects), float64(ne.AllocObjects), minAllocDeltaObjs},
+		} {
+			if c.old > 0 && c.new > c.old*(1+costThreshold) && c.new-c.old > c.floor {
+				regs = append(regs, Regression{
+					Experiment: oe.ID, Metric: c.name,
+					Old: c.old, New: c.new, Delta: (c.new - c.old) / c.old,
+				})
+			}
+		}
+		keys := make([]string, 0, len(oe.Metrics))
+		for k := range oe.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			ov := oe.Metrics[k]
+			nv, ok := ne.Metrics[k]
+			if !ok {
+				regs = append(regs, Regression{Experiment: oe.ID, Metric: k, Old: ov, Structural: true})
+				continue
+			}
+			denom := math.Max(math.Abs(ov), 1e-12)
+			delta := (nv - ov) / denom
+			if math.Abs(delta) > metricTol {
+				regs = append(regs, Regression{
+					Experiment: oe.ID, Metric: k, Old: ov, New: nv, Delta: delta,
+				})
+			}
+		}
+	}
+	return regs
+}
+
+// RenderComparison formats a Compare result for the terminal.
+func RenderComparison(regs []Regression) string {
+	if len(regs) == 0 {
+		return "no regressions\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d regression(s):\n", len(regs))
+	for _, r := range regs {
+		if r.Structural {
+			fmt.Fprintf(&b, "  %-10s %-50s MISSING (was %g)\n", r.Experiment, r.Metric, r.Old)
+			continue
+		}
+		fmt.Fprintf(&b, "  %-10s %-50s %12.4g -> %-12.4g (%+.1f%%)\n",
+			r.Experiment, r.Metric, r.Old, r.New, r.Delta*100)
+	}
+	return b.String()
+}

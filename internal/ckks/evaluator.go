@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"crophe/internal/parallel"
 	"crophe/internal/poly"
 	"crophe/internal/rns"
 )
@@ -389,54 +390,91 @@ func (ev *Evaluator) keySwitch(x *poly.Poly, level int, key *SwitchingKey) (*pol
 	for j := 0; j < k; j++ {
 		extQP = append(extQP, nQ+j)
 	}
+	nExt := len(extQP)
 
-	acc0 := make([][]uint64, len(extQP))
-	acc1 := make([][]uint64, len(extQP))
-	for t := range extQP {
-		acc0[t] = make([]uint64, n)
-		acc1[t] = make([]uint64, n)
+	// Decomposition digits are independent until the KSKInP accumulation,
+	// so each digit runs as its own pool task producing partial
+	// accumulators; they are then reduced in digit order. Modular addition
+	// is exact, so the reduction is bit-identical to the serial
+	// interleaved accumulation.
+	type digitPartial struct {
+		arena      *ksArena
+		acc0, acc1 [][]uint64
 	}
-
-	ext := make([][]uint64, len(extQP))
-	for d, bounds := range digits {
-		lo, hi := bounds[0], bounds[1]
+	parts := make([]digitPartial, len(digits))
+	defer func() {
+		for _, p := range parts {
+			if p.arena != nil {
+				p.arena.release()
+			}
+		}
+	}()
+	errs := make([]error, len(digits))
+	parallel.For(len(digits), func(d int) {
+		lo, hi := digits[d][0], digits[d][1]
 		conv, err := ev.modUpConvFor(level, d, lo, hi)
 		if err != nil {
-			return nil, nil, err
+			errs[d] = err
+			return
+		}
+		arena := getArena()
+		ext := arena.rows(nExt, n, false)
+		// Each digit contributes exactly one product per extended limb, so
+		// the partials are written by assignment — no zeroing needed.
+		parts[d] = digitPartial{
+			arena: arena,
+			acc0:  arena.rows(nExt, n, false),
+			acc1:  arena.rows(nExt, n, false),
 		}
 
 		// ModUp: digit limbs copied, complement limbs base-converted.
-		src := xc.Coeffs[lo:hi]
-		compRows := make([][]uint64, 0, len(extQP)-(hi-lo))
+		compRows := make([][]uint64, 0, nExt-(hi-lo))
 		for t, qp := range extQP {
 			if qp >= lo && qp < hi {
-				ext[t] = append([]uint64(nil), xc.Coeffs[qp]...)
+				copy(ext[t], xc.Coeffs[qp])
 			} else {
-				row := make([]uint64, n)
-				ext[t] = row
-				compRows = append(compRows, row)
+				compRows = append(compRows, ext[t])
 			}
 		}
-		conv.ConvertColumns(compRows, src)
+		conv.ConvertColumns(compRows, xc.Coeffs[lo:hi])
 
-		// To NTT form, limb by limb with the right table.
-		for t, qp := range extQP {
-			rqp.Tables[qp].Forward(ext[t])
-		}
-
-		// KSKInP: acc += ext ⊙ evk_d (both components).
+		// Per extended limb: NTT, then the KSKInP partial products. Limb
+		// rows are disjoint, so this nests cleanly inside the digit task.
 		kb, ka := key.B[d], key.A[d]
-		for t, qp := range extQP {
+		acc0, acc1 := parts[d].acc0, parts[d].acc1
+		parallel.For(nExt, func(t int) {
+			qp := extQP[t]
 			m := rqp.Mod(qp)
 			eRow := ext[t]
+			rqp.Tables[qp].Forward(eRow)
 			bRow, aRow := kb.Coeffs[qp], ka.Coeffs[qp]
 			a0, a1 := acc0[t], acc1[t]
 			for j := 0; j < n; j++ {
-				a0[j] = m.Add(a0[j], m.Mul(eRow[j], bRow[j]))
-				a1[j] = m.Add(a1[j], m.Mul(eRow[j], aRow[j]))
+				a0[j] = m.Mul(eRow[j], bRow[j])
+				a1[j] = m.Mul(eRow[j], aRow[j])
 			}
+		})
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
 		}
 	}
+
+	// Reduce the per-digit partials into digit 0's accumulators, limb-
+	// parallel, in ascending digit order.
+	acc0, acc1 := parts[0].acc0, parts[0].acc1
+	parallel.For(nExt, func(t int) {
+		m := rqp.Mod(extQP[t])
+		a0, a1 := acc0[t], acc1[t]
+		for d := 1; d < len(parts); d++ {
+			p0, p1 := parts[d].acc0[t], parts[d].acc1[t]
+			for j := 0; j < n; j++ {
+				a0[j] = m.Add(a0[j], p0[j])
+				a1[j] = m.Add(a1[j], p1[j])
+			}
+		}
+	})
 
 	// ModDown: divide by P. For each accumulator, convert the P-part back
 	// to Q, subtract, and multiply by P^{-1}.
@@ -461,29 +499,28 @@ func (ev *Evaluator) modDown(acc [][]uint64, extQP []int, level int) (*poly.Poly
 	k := params.Alpha
 	n := rq.N
 
+	arena := getArena()
+	defer arena.release()
+
 	// P-part limbs to coefficient form.
-	pPart := make([][]uint64, k)
-	for j := 0; j < k; j++ {
+	pPart := arena.rows(k, n, false)
+	parallel.For(k, func(j int) {
 		t := level + 1 + j // position within ext limb list
-		row := append([]uint64(nil), acc[t]...)
-		rqp.Tables[nQ+j].Inverse(row)
-		pPart[j] = row
-	}
+		copy(pPart[j], acc[t])
+		rqp.Tables[nQ+j].Inverse(pPart[j])
+	})
 
 	// Convert P-part into Q_level.
 	conv, err := ev.modDownConvFor(level)
 	if err != nil {
 		return nil, err
 	}
-	corr := make([][]uint64, level+1)
-	for i := range corr {
-		corr[i] = make([]uint64, n)
-	}
+	corr := arena.rows(level+1, n, false)
 	conv.ConvertColumns(corr, pPart)
 
 	out := rq.NewPoly(level + 1)
 	out.IsNTT = true
-	for i := 0; i <= level; i++ {
+	parallel.For(level+1, func(i int) {
 		m := rq.Mod(i)
 		rq.Tables[i].Forward(corr[i])
 		pInv := params.PInvModQ()[i]
@@ -491,7 +528,7 @@ func (ev *Evaluator) modDown(acc [][]uint64, extQP []int, level int) (*poly.Poly
 		for j := 0; j < n; j++ {
 			oi[j] = m.Mul(m.Sub(ai[j], ci[j]), pInv)
 		}
-	}
+	})
 	return out, nil
 }
 

@@ -3,6 +3,7 @@ package ckks
 import (
 	"fmt"
 
+	"crophe/internal/parallel"
 	"crophe/internal/poly"
 	"crophe/internal/rns"
 )
@@ -50,13 +51,16 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rotations []int) (map[int]*Ci
 	}
 
 	// Shared ModUp: per digit, in COEFFICIENT form (so the automorphism
-	// can be applied per rotation before the NTT).
+	// can be applied per rotation before the NTT). Digits are independent
+	// and fan out across the worker pool.
 	moduped := make([][][]uint64, len(digits)) // [digit][extLimb][N]
-	for d, bounds := range digits {
-		lo, hi := bounds[0], bounds[1]
+	modUpErrs := make([]error, len(digits))
+	parallel.For(len(digits), func(d int) {
+		lo, hi := digits[d][0], digits[d][1]
 		conv, err := ev.modUpConvFor(level, d, lo, hi)
 		if err != nil {
-			return nil, err
+			modUpErrs[d] = err
+			return
 		}
 		ext := make([][]uint64, len(extQP))
 		compRows := make([][]uint64, 0, len(extQP)-(hi-lo))
@@ -71,57 +75,76 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rotations []int) (map[int]*Ci
 		}
 		conv.ConvertColumns(compRows, aCoeff.Coeffs[lo:hi])
 		moduped[d] = ext
-	}
-
-	for _, r := range rotations {
-		if r == 0 {
-			out[0] = ct.CopyCt()
-			continue
-		}
-		key, err := ev.keys.RotKey(r)
+	})
+	for _, err := range modUpErrs {
 		if err != nil {
 			return nil, err
 		}
+	}
+
+	// Every requested rotation reuses the shared ModUp digits read-only,
+	// so the rotations themselves are independent pool tasks. Results are
+	// collected by input position to keep assembly deterministic.
+	results := make([]*Ciphertext, len(rotations))
+	rotErrs := make([]error, len(rotations))
+	parallel.For(len(rotations), func(ri int) {
+		r := rotations[ri]
+		if r == 0 {
+			results[ri] = ct.CopyCt()
+			return
+		}
+		key, err := ev.keys.RotKey(r)
+		if err != nil {
+			rotErrs[ri] = err
+			return
+		}
 		if len(digits) > key.Digits() {
-			return nil, fmt.Errorf("ckks: rotation key for %d has %d digits, need %d",
+			rotErrs[ri] = fmt.Errorf("ckks: rotation key for %d has %d digits, need %d",
 				r, key.Digits(), len(digits))
+			return
 		}
 		galois := rq.GaloisElement(r)
 
-		acc0 := make([][]uint64, len(extQP))
-		acc1 := make([][]uint64, len(extQP))
-		for t := range extQP {
-			acc0[t] = make([]uint64, n)
-			acc1[t] = make([]uint64, n)
-		}
+		arena := getArena()
+		defer arena.release()
+		acc0 := arena.rows(len(extQP), n, true)
+		acc1 := arena.rows(len(extQP), n, true)
 
 		// Per digit: permute the shared ModUp result, NTT, inner-product.
-		entries := rqp.AutomorphismIndex(galois)
-		_ = entries
+		// Extended limbs write disjoint accumulator rows, so the t loop
+		// nests in the pool; each chunk reuses one permutation buffer.
 		for d := range digits {
 			kb, ka := key.B[d], key.A[d]
-			for t, qp := range extQP {
-				m := rqp.Mod(qp)
-				// σ_g of this limb in coefficient form.
-				permuted := make([]uint64, n)
-				applyAutoRow(rqp, permuted, moduped[d][t], galois, qp)
-				rqp.Tables[qp].Forward(permuted)
-				bRow, aRow := kb.Coeffs[qp], ka.Coeffs[qp]
-				a0, a1 := acc0[t], acc1[t]
-				for j := 0; j < n; j++ {
-					a0[j] = m.Add(a0[j], m.Mul(permuted[j], bRow[j]))
-					a1[j] = m.Add(a1[j], m.Mul(permuted[j], aRow[j]))
+			ext := moduped[d]
+			parallel.ForChunk(len(extQP), func(tlo, thi int) {
+				chunkArena := getArena()
+				permuted := chunkArena.alloc(n)
+				for t := tlo; t < thi; t++ {
+					qp := extQP[t]
+					m := rqp.Mod(qp)
+					// σ_g of this limb in coefficient form.
+					applyAutoRow(rqp, permuted, ext[t], galois, qp)
+					rqp.Tables[qp].Forward(permuted)
+					bRow, aRow := kb.Coeffs[qp], ka.Coeffs[qp]
+					a0, a1 := acc0[t], acc1[t]
+					for j := 0; j < n; j++ {
+						a0[j] = m.Add(a0[j], m.Mul(permuted[j], bRow[j]))
+						a1[j] = m.Add(a1[j], m.Mul(permuted[j], aRow[j]))
+					}
 				}
-			}
+				chunkArena.release()
+			})
 		}
 
 		c0, err := ev.modDown(acc0, extQP, level)
 		if err != nil {
-			return nil, err
+			rotErrs[ri] = err
+			return
 		}
 		c1, err := ev.modDown(acc1, extQP, level)
 		if err != nil {
-			return nil, err
+			rotErrs[ri] = err
+			return
 		}
 
 		// Add σ_g(b).
@@ -130,7 +153,15 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rotations []int) (map[int]*Ci
 		rq.NTT(bAuto)
 		rq.Add(c0, c0, bAuto)
 
-		out[r] = &Ciphertext{B: c0, A: c1, Scale: ct.Scale, Level: level}
+		results[ri] = &Ciphertext{B: c0, A: c1, Scale: ct.Scale, Level: level}
+	})
+	for _, err := range rotErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for ri, r := range rotations {
+		out[r] = results[ri]
 	}
 	return out, nil
 }

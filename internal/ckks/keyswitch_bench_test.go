@@ -1,0 +1,37 @@
+package ckks
+
+import "testing"
+
+func BenchmarkRotateKeySwitch(b *testing.B) {
+	tc := newTestContext(b, 11, 6, 2, []int{3})
+	v := randomValues(tc.rng, tc.params.Slots())
+	pt, err := tc.enc.Encode(v, tc.params.MaxLevel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct := tc.encr.Encrypt(pt)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tc.eval.Rotate(ct, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRotateHoisted(b *testing.B) {
+	tc := newTestContext(b, 11, 6, 2, []int{1, 2, 3, 4})
+	v := randomValues(tc.rng, tc.params.Slots())
+	pt, err := tc.enc.Encode(v, tc.params.MaxLevel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct := tc.encr.Encrypt(pt)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tc.eval.RotateHoisted(ct, []int{1, 2, 3, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

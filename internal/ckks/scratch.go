@@ -1,0 +1,67 @@
+package ckks
+
+import "sync"
+
+// ksArena is a grow-only scratch allocator for the limb-row matrices that
+// key-switching churns through (ModUp digit extensions, inner-product
+// accumulators, ModDown correction rows). Arenas are recycled through a
+// process-wide sync.Pool, so the steady state performs no heap allocation
+// for these temporaries no matter how many goroutines key-switch
+// concurrently — each worker task checks out its own arena.
+//
+// Rows carved from an arena stay valid until release(); the arena must not
+// be released while any carved row is still referenced.
+type ksArena struct {
+	backing []uint64
+	off     int
+}
+
+var ksArenaPool sync.Pool
+
+func getArena() *ksArena {
+	if a, ok := ksArenaPool.Get().(*ksArena); ok {
+		a.off = 0
+		return a
+	}
+	return &ksArena{}
+}
+
+// release returns the arena (and its grown backing) to the pool.
+func (a *ksArena) release() {
+	a.off = 0
+	ksArenaPool.Put(a)
+}
+
+// alloc carves one n-element row. The row holds stale data from previous
+// uses; callers must fully overwrite or zero it.
+func (a *ksArena) alloc(n int) []uint64 {
+	if a.off+n > len(a.backing) {
+		grow := 2 * len(a.backing)
+		if grow < n {
+			grow = n
+		}
+		// Earlier rows keep referencing the old backing array; only new
+		// carves come from the fresh one.
+		a.backing = make([]uint64, grow)
+		a.off = 0
+	}
+	row := a.backing[a.off : a.off+n : a.off+n]
+	a.off += n
+	return row
+}
+
+// rows carves a k×n row matrix. With zero set, every entry is cleared (for
+// accumulators); otherwise rows carry stale data the caller overwrites.
+func (a *ksArena) rows(k, n int, zero bool) [][]uint64 {
+	out := make([][]uint64, k)
+	for i := range out {
+		out[i] = a.alloc(n)
+		if zero {
+			row := out[i]
+			for j := range row {
+				row[j] = 0
+			}
+		}
+	}
+	return out
+}

@@ -2,8 +2,10 @@ package ntt
 
 import (
 	"fmt"
+	"sync"
 
 	"crophe/internal/modmath"
+	"crophe/internal/parallel"
 )
 
 // FourStep evaluates the length-N negacyclic NTT through the four-step
@@ -27,6 +29,33 @@ type FourStep struct {
 	twistInv   []uint64 // ψ^{-j}/N merged inverse twist
 	twiddle    []uint64 // ω^{j2·k1} laid out [k1][j2] (N1×N2)
 	twiddleInv []uint64
+
+	// Scratch pools for the transpose temporaries: the N-element working
+	// matrix and the per-worker column/row vectors. Reusing them keeps the
+	// steady state allocation-free even when columns and rows are
+	// transformed across the worker pool.
+	bufPool sync.Pool // *[]uint64, length N
+	vecPool sync.Pool // *[]uint64, length max(N1, N2)
+}
+
+func (fs *FourStep) getBuf() *[]uint64 {
+	if b, ok := fs.bufPool.Get().(*[]uint64); ok {
+		return b
+	}
+	b := make([]uint64, fs.N1*fs.N2)
+	return &b
+}
+
+func (fs *FourStep) getVec() *[]uint64 {
+	if v, ok := fs.vecPool.Get().(*[]uint64); ok {
+		return v
+	}
+	n := fs.N1
+	if fs.N2 > n {
+		n = fs.N2
+	}
+	v := make([]uint64, n)
+	return &v
 }
 
 // NewFourStep builds a decomposed transform for t.N = n1·n2, both powers
@@ -86,38 +115,54 @@ func (fs *FourStep) Forward(dst, a []uint64) {
 		panic("ntt: FourStep.Forward length mismatch")
 	}
 	// Step 0: negacyclic pre-twist b[j] = a[j]·ψ^j, viewed as N1×N2
-	// row-major (rows j1, columns j2).
-	buf := make([]uint64, n)
-	for j := 0; j < n; j++ {
-		buf[j] = m.Mul(a[j], fs.twist[j])
-	}
+	// row-major (rows j1, columns j2). Each parallel.ForChunk below is a
+	// barrier, mirroring the stage boundaries the scheduler pipelines at.
+	bufp := fs.getBuf()
+	buf := *bufp
+	parallel.ForChunk(n, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			buf[j] = m.Mul(a[j], fs.twist[j])
+		}
+	})
 	// Step 1: column transforms — for each column j2, length-N1 cyclic
-	// DFT over j1. Result X[k1][j2].
-	col := make([]uint64, n1)
-	for j2 := 0; j2 < n2; j2++ {
-		for j1 := 0; j1 < n1; j1++ {
-			col[j1] = buf[j1*n2+j2]
+	// DFT over j1. Result X[k1][j2]. Columns are independent; each worker
+	// chunk reuses one gather/scatter vector.
+	parallel.ForChunk(n2, func(lo, hi int) {
+		colp := fs.getVec()
+		col := (*colp)[:n1]
+		for j2 := lo; j2 < hi; j2++ {
+			for j1 := 0; j1 < n1; j1++ {
+				col[j1] = buf[j1*n2+j2]
+			}
+			fs.sub1.forward(col)
+			for k1 := 0; k1 < n1; k1++ {
+				buf[k1*n2+j2] = col[k1]
+			}
 		}
-		fs.sub1.forward(col)
-		for k1 := 0; k1 < n1; k1++ {
-			buf[k1*n2+j2] = col[k1]
-		}
-	}
+		fs.vecPool.Put(colp)
+	})
 	// Step 2: element-wise twiddle X[k1][j2] *= ω^{k1·j2}.
-	for i := 0; i < n; i++ {
-		buf[i] = m.Mul(buf[i], fs.twiddle[i])
-	}
+	parallel.ForChunk(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			buf[i] = m.Mul(buf[i], fs.twiddle[i])
+		}
+	})
 	// Step 3+4: row transforms over j2 for each k1; output index is
 	// k2·N1 + k1 (the transpose the hardware realises in the transpose
 	// unit).
-	row := make([]uint64, n2)
-	for k1 := 0; k1 < n1; k1++ {
-		copy(row, buf[k1*n2:(k1+1)*n2])
-		fs.sub2.forward(row)
-		for k2 := 0; k2 < n2; k2++ {
-			dst[k2*n1+k1] = row[k2]
+	parallel.ForChunk(n1, func(lo, hi int) {
+		rowp := fs.getVec()
+		row := (*rowp)[:n2]
+		for k1 := lo; k1 < hi; k1++ {
+			copy(row, buf[k1*n2:(k1+1)*n2])
+			fs.sub2.forward(row)
+			for k2 := 0; k2 < n2; k2++ {
+				dst[k2*n1+k1] = row[k2]
+			}
 		}
-	}
+		fs.vecPool.Put(rowp)
+	})
+	fs.bufPool.Put(bufp)
 }
 
 // Inverse undoes Forward: given standard-order NTT values it reconstructs
@@ -129,35 +174,49 @@ func (fs *FourStep) Inverse(dst, a []uint64) {
 	if len(a) != n || len(dst) != n {
 		panic("ntt: FourStep.Inverse length mismatch")
 	}
-	buf := make([]uint64, n)
+	bufp := fs.getBuf()
+	buf := *bufp
 	// Undo the final transpose and the row transforms.
-	row := make([]uint64, n2)
-	for k1 := 0; k1 < n1; k1++ {
-		for k2 := 0; k2 < n2; k2++ {
-			row[k2] = a[k2*n1+k1]
+	parallel.ForChunk(n1, func(lo, hi int) {
+		rowp := fs.getVec()
+		row := (*rowp)[:n2]
+		for k1 := lo; k1 < hi; k1++ {
+			for k2 := 0; k2 < n2; k2++ {
+				row[k2] = a[k2*n1+k1]
+			}
+			fs.sub2.inverse(row)
+			copy(buf[k1*n2:(k1+1)*n2], row)
 		}
-		fs.sub2.inverse(row)
-		copy(buf[k1*n2:(k1+1)*n2], row)
-	}
+		fs.vecPool.Put(rowp)
+	})
 	// Undo the twiddle.
-	for i := 0; i < n; i++ {
-		buf[i] = m.Mul(buf[i], fs.twiddleInv[i])
-	}
+	parallel.ForChunk(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			buf[i] = m.Mul(buf[i], fs.twiddleInv[i])
+		}
+	})
 	// Undo the column transforms.
-	col := make([]uint64, n1)
-	for j2 := 0; j2 < n2; j2++ {
-		for k1 := 0; k1 < n1; k1++ {
-			col[k1] = buf[k1*n2+j2]
+	parallel.ForChunk(n2, func(lo, hi int) {
+		colp := fs.getVec()
+		col := (*colp)[:n1]
+		for j2 := lo; j2 < hi; j2++ {
+			for k1 := 0; k1 < n1; k1++ {
+				col[k1] = buf[k1*n2+j2]
+			}
+			fs.sub1.inverse(col)
+			for j1 := 0; j1 < n1; j1++ {
+				buf[j1*n2+j2] = col[j1]
+			}
 		}
-		fs.sub1.inverse(col)
-		for j1 := 0; j1 < n1; j1++ {
-			buf[j1*n2+j2] = col[j1]
-		}
-	}
+		fs.vecPool.Put(colp)
+	})
 	// Undo the negacyclic pre-twist.
-	for j := 0; j < n; j++ {
-		dst[j] = m.Mul(buf[j], fs.twistInv[j])
-	}
+	parallel.ForChunk(n, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			dst[j] = m.Mul(buf[j], fs.twistInv[j])
+		}
+	})
+	fs.bufPool.Put(bufp)
 }
 
 // ForwardStandard runs the radix-2 transform and permutes the output into

@@ -1,0 +1,73 @@
+package ntt
+
+import (
+	"math/rand"
+	"testing"
+
+	"crophe/internal/modmath"
+	"crophe/internal/parallel"
+)
+
+// TestFourStepParallelBitExact runs the decomposed transform at pool size
+// 1 and at a large pool and requires bit-identical outputs, including when
+// dst aliases the input and when scratch buffers are recycled across
+// calls.
+func TestFourStepParallelBitExact(t *testing.T) {
+	const n, n1, n2 = 1024, 32, 32
+	ps, err := modmath.GeneratePrimes(45, uint64(n), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := NewTable(modmath.MustModulus(ps[0]), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := NewFourStep(tbl, n1, n2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	a := make([]uint64, n)
+	for i := range a {
+		a[i] = rng.Uint64() % tbl.M.Q
+	}
+
+	prev := parallel.Workers()
+	defer parallel.SetWorkers(prev)
+
+	parallel.SetWorkers(1)
+	serialFwd := make([]uint64, n)
+	fs.Forward(serialFwd, a)
+	serialInv := make([]uint64, n)
+	fs.Inverse(serialInv, serialFwd)
+
+	parallel.SetWorkers(16)
+	// Two rounds so the second one exercises pooled scratch.
+	for round := 0; round < 2; round++ {
+		parFwd := make([]uint64, n)
+		fs.Forward(parFwd, a)
+		for i := range parFwd {
+			if parFwd[i] != serialFwd[i] {
+				t.Fatalf("round %d: Forward diverges at %d", round, i)
+			}
+		}
+		// Aliased in-place call.
+		inPlace := append([]uint64(nil), a...)
+		fs.Forward(inPlace, inPlace)
+		for i := range inPlace {
+			if inPlace[i] != serialFwd[i] {
+				t.Fatalf("round %d: aliased Forward diverges at %d", round, i)
+			}
+		}
+		parInv := make([]uint64, n)
+		fs.Inverse(parInv, parFwd)
+		for i := range parInv {
+			if parInv[i] != serialInv[i] {
+				t.Fatalf("round %d: Inverse diverges at %d", round, i)
+			}
+		}
+		if parInv[0] != a[0] || parInv[n-1] != a[n-1] {
+			t.Fatalf("round %d: inverse is not a round trip", round)
+		}
+	}
+}

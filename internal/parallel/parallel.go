@@ -1,0 +1,150 @@
+// Package parallel is the shared bounded worker-pool execution engine
+// behind every data-parallel hot path in the repository: the limb-parallel
+// kernels of internal/poly and internal/ntt, the decomposition-digit and
+// rotation fan-out of internal/ckks, and the design×workload fan-out of
+// internal/bench.
+//
+// The pool exploits the same independence the CROPHE hardware does — RNS
+// limbs never interact inside element-wise, NTT, or automorphism kernels
+// (paper §V), so partitioning their index space across cores is exact, not
+// approximate. All helpers guarantee bit-identical results to a serial
+// loop whenever the body writes only index-disjoint state, which is the
+// contract every caller in this repository obeys.
+//
+// Design:
+//
+//   - One process-global token pool sized by GOMAXPROCS (override with the
+//     CROPHE_WORKERS environment variable, or SetWorkers). Size 1 is the
+//     serial fallback: every body runs inline on the caller's goroutine and
+//     no goroutines are spawned.
+//   - The caller always participates in the work, so a For call never
+//     blocks waiting for tokens; extra goroutines are used only when free
+//     tokens exist. Nested For calls therefore degrade gracefully to
+//     inline execution instead of oversubscribing — total concurrency is
+//     bounded by the pool size no matter how deeply kernels nest
+//     (evaluator → poly → ntt).
+//   - Panics inside bodies are captured and re-raised on the caller's
+//     goroutine, preserving the serial panic contract of the kernels.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// tokens is the global pool: acquiring a token licenses one extra worker
+// goroutine. Capacity is workers-1 (the caller is the implicit worker).
+// Swapped atomically by SetWorkers.
+var tokens atomic.Pointer[tokenPool]
+
+type tokenPool struct {
+	workers int
+	sem     chan struct{}
+}
+
+func init() {
+	n := runtime.GOMAXPROCS(0)
+	if v := os.Getenv("CROPHE_WORKERS"); v != "" {
+		if k, err := strconv.Atoi(v); err == nil && k >= 1 {
+			n = k
+		}
+	}
+	SetWorkers(n)
+}
+
+// SetWorkers resizes the pool to n workers (n < 1 is clamped to 1).
+// Calls already in flight keep the pool they started with; new calls see
+// the new size. Intended for startup configuration and for the
+// parallel-vs-serial equivalence tests.
+func SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p := &tokenPool{workers: n}
+	if n > 1 {
+		p.sem = make(chan struct{}, n-1)
+	}
+	tokens.Store(p)
+}
+
+// Workers returns the configured pool size.
+func Workers() int { return tokens.Load().workers }
+
+// For runs body(i) for every i in [0, n), partitioning the index space
+// into at most Workers() contiguous chunks. The caller's goroutine
+// participates; extra goroutines run only while pool tokens are free.
+// Equivalent to a plain loop when the pool size is 1 or n <= 1.
+func For(n int, body func(i int)) {
+	ForChunk(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunk is the chunked form of For: body receives half-open index
+// ranges [lo, hi) that exactly tile [0, n). Use it when per-worker scratch
+// should be acquired once per chunk rather than once per index.
+func ForChunk(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := tokens.Load()
+	if p.workers <= 1 || n == 1 {
+		body(0, n)
+		return
+	}
+	chunks := p.workers
+	if chunks > n {
+		chunks = n
+	}
+
+	var (
+		next     atomic.Int64
+		panicked atomic.Pointer[panicValue]
+		wg       sync.WaitGroup
+	)
+	run := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.CompareAndSwap(nil, &panicValue{r})
+			}
+		}()
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= chunks {
+				return
+			}
+			body(c*n/chunks, (c+1)*n/chunks)
+		}
+	}
+
+	// Spawn helpers while tokens are free; never block on the pool.
+spawn:
+	for i := 0; i < chunks-1; i++ {
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-p.sem }()
+				run()
+			}()
+		default:
+			break spawn
+		}
+	}
+	run()
+	wg.Wait()
+
+	if pv := panicked.Load(); pv != nil {
+		// Re-raise the original value so callers' recover logic sees the
+		// same panic a serial loop would have produced.
+		panic(pv.v)
+	}
+}
+
+type panicValue struct{ v any }

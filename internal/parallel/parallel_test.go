@@ -1,0 +1,122 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// withWorkers runs fn under a temporary pool size, restoring the previous
+// size afterwards.
+func withWorkers(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := Workers()
+	SetWorkers(n)
+	defer SetWorkers(prev)
+	fn()
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 16} {
+		withWorkers(t, w, func() {
+			for _, n := range []int{0, 1, 2, 3, 7, 64, 1000} {
+				hits := make([]int32, n)
+				For(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("workers=%d n=%d: index %d hit %d times", w, n, i, h)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestForChunkTilesExactly(t *testing.T) {
+	withWorkers(t, 4, func() {
+		n := 103
+		hits := make([]int32, n)
+		ForChunk(n, func(lo, hi int) {
+			if lo >= hi {
+				t.Errorf("empty chunk [%d,%d)", lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("index %d hit %d times", i, h)
+			}
+		}
+	})
+}
+
+func TestSerialFallbackRunsInline(t *testing.T) {
+	withWorkers(t, 1, func() {
+		// With pool size 1 the body must observe strictly increasing
+		// indices on the caller's goroutine (no interleaving possible).
+		last := -1
+		For(100, func(i int) {
+			if i != last+1 {
+				t.Fatalf("out-of-order index %d after %d in serial mode", i, last)
+			}
+			last = i
+		})
+		if last != 99 {
+			t.Fatalf("stopped at %d", last)
+		}
+	})
+}
+
+func TestNestedForStaysBounded(t *testing.T) {
+	withWorkers(t, 4, func() {
+		var inFlight, peak atomic.Int64
+		For(8, func(i int) {
+			For(8, func(j int) {
+				cur := inFlight.Add(1)
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				inFlight.Add(-1)
+			})
+		})
+		if p := peak.Load(); p > int64(Workers()) {
+			t.Fatalf("peak concurrency %d exceeds pool size %d", p, Workers())
+		}
+	})
+}
+
+func TestPanicPropagates(t *testing.T) {
+	withWorkers(t, 4, func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("panic did not propagate")
+			}
+			if s, ok := r.(string); !ok || s != "boom" {
+				t.Fatalf("panic value %v, want original string", r)
+			}
+		}()
+		For(64, func(i int) {
+			if i == 13 {
+				panic("boom")
+			}
+		})
+	})
+}
+
+func TestSetWorkersClamps(t *testing.T) {
+	prev := Workers()
+	defer SetWorkers(prev)
+	SetWorkers(0)
+	if Workers() != 1 {
+		t.Fatalf("Workers() = %d after SetWorkers(0)", Workers())
+	}
+	SetWorkers(-3)
+	if Workers() != 1 {
+		t.Fatalf("Workers() = %d after SetWorkers(-3)", Workers())
+	}
+}

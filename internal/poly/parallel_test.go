@@ -1,0 +1,148 @@
+package poly
+
+import (
+	"math/rand"
+	"testing"
+
+	"crophe/internal/modmath"
+	"crophe/internal/parallel"
+)
+
+// withWorkers runs fn under a temporary pool size.
+func withWorkers(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := parallel.Workers()
+	parallel.SetWorkers(n)
+	defer parallel.SetWorkers(prev)
+	fn()
+}
+
+func equivRing(t *testing.T, n, limbs int) *Ring {
+	t.Helper()
+	primes, err := modmath.GeneratePrimes(40, uint64(n), limbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRing(n, primes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestParallelKernelsBitExact asserts that every limb-parallel kernel
+// produces bit-identical results at pool size 1 (serial fallback) and at a
+// pool larger than the limb count.
+func TestParallelKernelsBitExact(t *testing.T) {
+	const n, limbs = 128, 6
+	type result struct {
+		add, sub, neg, mul, mulAdd, scalar, scalarRNS, auto, ntt *Poly
+	}
+	run := func(workers int) result {
+		var res result
+		withWorkers(t, workers, func() {
+			r := equivRing(t, n, limbs)
+			rng := rand.New(rand.NewSource(7))
+			a := r.UniformPoly(limbs, rng)
+			b := r.UniformPoly(limbs, rng)
+			sRNS := make([]uint64, limbs)
+			for i := range sRNS {
+				sRNS[i] = rng.Uint64()
+			}
+
+			res.add = r.NewPoly(limbs)
+			r.Add(res.add, a, b)
+			res.sub = r.NewPoly(limbs)
+			r.Sub(res.sub, a, b)
+			res.neg = r.NewPoly(limbs)
+			r.Neg(res.neg, a)
+			res.scalar = r.NewPoly(limbs)
+			r.MulScalar(res.scalar, a, 0x1234567)
+			res.scalarRNS = r.NewPoly(limbs)
+			r.MulScalarRNS(res.scalarRNS, a, sRNS)
+			res.auto = r.NewPoly(limbs)
+			r.Automorphism(res.auto, a, 5)
+
+			an, bn := a.Copy(), b.Copy()
+			r.NTT(an)
+			r.NTT(bn)
+			res.ntt = an.Copy()
+			res.mul = r.NewPoly(limbs)
+			r.MulHadamard(res.mul, an, bn)
+			res.mulAdd = res.mul.Copy()
+			r.MulAddHadamard(res.mulAdd, an, bn)
+		})
+		return res
+	}
+
+	serial := run(1)
+	par := run(2 * limbs)
+
+	for _, c := range []struct {
+		name string
+		s, p *Poly
+	}{
+		{"Add", serial.add, par.add},
+		{"Sub", serial.sub, par.sub},
+		{"Neg", serial.neg, par.neg},
+		{"MulHadamard", serial.mul, par.mul},
+		{"MulAddHadamard", serial.mulAdd, par.mulAdd},
+		{"MulScalar", serial.scalar, par.scalar},
+		{"MulScalarRNS", serial.scalarRNS, par.scalarRNS},
+		{"Automorphism", serial.auto, par.auto},
+		{"NTT", serial.ntt, par.ntt},
+	} {
+		if !c.s.Equal(c.p) {
+			t.Errorf("%s: parallel result differs from serial", c.name)
+		}
+	}
+}
+
+// TestParallelNTTRoundTrip asserts forward/inverse NTT round-trips are
+// exact under a parallel pool.
+func TestParallelNTTRoundTrip(t *testing.T) {
+	withWorkers(t, 8, func() {
+		r := equivRing(t, 256, 5)
+		rng := rand.New(rand.NewSource(11))
+		a := r.UniformPoly(5, rng)
+		want := a.Copy()
+		r.NTT(a)
+		r.INTT(a)
+		if !a.Equal(want) {
+			t.Error("NTT round-trip not exact under parallel pool")
+		}
+	})
+}
+
+// TestParallelNewRingMatchesSerial asserts parallel table construction
+// yields the same twiddles (spot-checked through a transform) as serial.
+func TestParallelNewRingMatchesSerial(t *testing.T) {
+	const n, limbs = 64, 4
+	primes, err := modmath.GeneratePrimes(40, uint64(n), limbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serial, par *Ring
+	withWorkers(t, 1, func() {
+		r, err := NewRing(n, primes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial = r
+	})
+	withWorkers(t, 8, func() {
+		r, err := NewRing(n, primes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par = r
+	})
+	rng := rand.New(rand.NewSource(3))
+	a := serial.UniformPoly(limbs, rng)
+	b := a.Copy()
+	serial.NTT(a)
+	par.NTT(b)
+	if !a.Equal(b) {
+		t.Error("rings built serially and in parallel disagree")
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"crophe/internal/modmath"
 	"crophe/internal/ntt"
+	"crophe/internal/parallel"
 	"crophe/internal/rns"
 )
 
@@ -49,12 +50,20 @@ func NewRing(n int, primes []uint64) (*Ring, error) {
 	}
 	r := &Ring{N: n, Basis: basis, galois: make(map[uint64][]autoEntry)}
 	r.Tables = make([]*ntt.Table, basis.K())
-	for i, m := range basis.Mods {
-		t, err := ntt.NewTable(m, n)
+	// Per-limb tables are independent; build them across the pool.
+	errs := make([]error, basis.K())
+	parallel.For(basis.K(), func(i int) {
+		t, err := ntt.NewTable(basis.Mods[i], n)
 		if err != nil {
-			return nil, fmt.Errorf("poly: limb %d: %w", i, err)
+			errs[i] = fmt.Errorf("poly: limb %d: %w", i, err)
+			return
 		}
 		r.Tables[i] = t
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return r, nil
 }
@@ -122,13 +131,13 @@ func (r *Ring) checkPair(a, b *Poly) int {
 func (r *Ring) Add(dst, a, b *Poly) {
 	k := r.checkPair(a, b)
 	ensureLike(dst, a)
-	for i := 0; i < k; i++ {
+	parallel.For(k, func(i int) {
 		m := r.Mod(i)
 		da, db, dd := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
 		for j := range dd {
 			dd[j] = m.Add(da[j], db[j])
 		}
-	}
+	})
 	dst.IsNTT = a.IsNTT
 }
 
@@ -136,26 +145,26 @@ func (r *Ring) Add(dst, a, b *Poly) {
 func (r *Ring) Sub(dst, a, b *Poly) {
 	k := r.checkPair(a, b)
 	ensureLike(dst, a)
-	for i := 0; i < k; i++ {
+	parallel.For(k, func(i int) {
 		m := r.Mod(i)
 		da, db, dd := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
 		for j := range dd {
 			dd[j] = m.Sub(da[j], db[j])
 		}
-	}
+	})
 	dst.IsNTT = a.IsNTT
 }
 
 // Neg sets dst = −a.
 func (r *Ring) Neg(dst, a *Poly) {
 	ensureLike(dst, a)
-	for i := 0; i < a.Limbs(); i++ {
+	parallel.For(a.Limbs(), func(i int) {
 		m := r.Mod(i)
 		da, dd := a.Coeffs[i], dst.Coeffs[i]
 		for j := range dd {
 			dd[j] = m.Neg(da[j])
 		}
-	}
+	})
 	dst.IsNTT = a.IsNTT
 }
 
@@ -167,13 +176,13 @@ func (r *Ring) MulHadamard(dst, a, b *Poly) {
 		panic(fmt.Sprintf("poly: MulHadamard requires NTT form (operand has %d coefficient-form limbs)", a.Limbs()))
 	}
 	ensureLike(dst, a)
-	for i := 0; i < k; i++ {
+	parallel.For(k, func(i int) {
 		m := r.Mod(i)
 		da, db, dd := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
 		for j := range dd {
 			dd[j] = m.Mul(da[j], db[j])
 		}
-	}
+	})
 	dst.IsNTT = true
 }
 
@@ -183,20 +192,20 @@ func (r *Ring) MulAddHadamard(dst, a, b *Poly) {
 	if !a.IsNTT || !dst.IsNTT {
 		panic(fmt.Sprintf("poly: MulAddHadamard requires NTT form (a.IsNTT=%v, dst.IsNTT=%v)", a.IsNTT, dst.IsNTT))
 	}
-	for i := 0; i < k; i++ {
+	parallel.For(k, func(i int) {
 		m := r.Mod(i)
 		da, db, dd := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
 		for j := range dd {
 			dd[j] = m.Add(dd[j], m.Mul(da[j], db[j]))
 		}
-	}
+	})
 }
 
 // MulScalar sets dst = a · s for a plain integer scalar s (reduced per
 // limb).
 func (r *Ring) MulScalar(dst, a *Poly, s uint64) {
 	ensureLike(dst, a)
-	for i := 0; i < a.Limbs(); i++ {
+	parallel.For(a.Limbs(), func(i int) {
 		m := r.Mod(i)
 		si := m.Reduce(s)
 		siShoup := m.ShoupPrecomp(si)
@@ -204,7 +213,7 @@ func (r *Ring) MulScalar(dst, a *Poly, s uint64) {
 		for j := range dd {
 			dd[j] = m.MulShoup(da[j], si, siShoup)
 		}
-	}
+	})
 	dst.IsNTT = a.IsNTT
 }
 
@@ -215,7 +224,7 @@ func (r *Ring) MulScalarRNS(dst, a *Poly, s []uint64) {
 		panic(fmt.Sprintf("poly: MulScalarRNS constant vector has %d entries, need %d", len(s), a.Limbs()))
 	}
 	ensureLike(dst, a)
-	for i := 0; i < a.Limbs(); i++ {
+	parallel.For(a.Limbs(), func(i int) {
 		m := r.Mod(i)
 		si := m.Reduce(s[i])
 		siShoup := m.ShoupPrecomp(si)
@@ -223,7 +232,7 @@ func (r *Ring) MulScalarRNS(dst, a *Poly, s []uint64) {
 		for j := range dd {
 			dd[j] = m.MulShoup(da[j], si, siShoup)
 		}
-	}
+	})
 	dst.IsNTT = a.IsNTT
 }
 
@@ -232,9 +241,9 @@ func (r *Ring) NTT(p *Poly) {
 	if p.IsNTT {
 		return
 	}
-	for i := 0; i < p.Limbs(); i++ {
+	parallel.For(p.Limbs(), func(i int) {
 		r.Tables[i].Forward(p.Coeffs[i])
-	}
+	})
 	p.IsNTT = true
 }
 
@@ -243,9 +252,9 @@ func (r *Ring) INTT(p *Poly) {
 	if !p.IsNTT {
 		return
 	}
-	for i := 0; i < p.Limbs(); i++ {
+	parallel.For(p.Limbs(), func(i int) {
 		r.Tables[i].Inverse(p.Coeffs[i])
-	}
+	})
 	p.IsNTT = false
 }
 
@@ -288,7 +297,7 @@ func (r *Ring) Automorphism(dst, a *Poly, g uint64) {
 	}
 	ensureLike(dst, a)
 	entries := r.AutomorphismIndex(g)
-	for i := 0; i < a.Limbs(); i++ {
+	parallel.For(a.Limbs(), func(i int) {
 		m := r.Mod(i)
 		da, dd := a.Coeffs[i], dst.Coeffs[i]
 		for out, e := range entries {
@@ -298,7 +307,7 @@ func (r *Ring) Automorphism(dst, a *Poly, g uint64) {
 			}
 			dd[out] = v
 		}
-	}
+	})
 	dst.IsNTT = false
 }
 

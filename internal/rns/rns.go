@@ -11,6 +11,7 @@ import (
 	"math/big"
 
 	"crophe/internal/modmath"
+	"crophe/internal/parallel"
 )
 
 // Basis is an ordered set of pairwise-distinct prime moduli.
@@ -176,27 +177,31 @@ func (c *Conv) Convert(dst, src []uint64) {
 
 // ConvertColumns applies the conversion to every column of a limb matrix:
 // src is |C| rows of n coefficients, dst is |D| rows of n coefficients.
-// This is the polynomial-level BConv.
+// This is the polynomial-level BConv. Columns are independent, so they are
+// partitioned across the worker pool; each chunk carries its own |C|-entry
+// scratch vector and writes a disjoint column range of every dst row.
 func (c *Conv) ConvertColumns(dst, src [][]uint64) {
 	if len(src) != c.Src.K() || len(dst) != c.Dst.K() {
 		panic("rns: ConvertColumns limb mismatch")
 	}
 	n := len(src[0])
 	k := c.Src.K()
-	v := make([]uint64, k)
-	for col := 0; col < n; col++ {
-		for i, m := range c.Src.Mods {
-			v[i] = m.MulShoup(src[i][col], c.cHatInv[i], c.cHatInvShoup[i])
-		}
-		for j, md := range c.Dst.Mods {
-			row := c.cHatModD[j]
-			var acc uint64
-			for i := 0; i < k; i++ {
-				acc = md.Add(acc, md.Mul(md.Reduce(v[i]), row[i]))
+	parallel.ForChunk(n, func(lo, hi int) {
+		v := make([]uint64, k)
+		for col := lo; col < hi; col++ {
+			for i, m := range c.Src.Mods {
+				v[i] = m.MulShoup(src[i][col], c.cHatInv[i], c.cHatInvShoup[i])
 			}
-			dst[j][col] = acc
+			for j, md := range c.Dst.Mods {
+				row := c.cHatModD[j]
+				var acc uint64
+				for i := 0; i < k; i++ {
+					acc = md.Add(acc, md.Mul(md.Reduce(v[i]), row[i]))
+				}
+				dst[j][col] = acc
+			}
 		}
-	}
+	})
 }
 
 // DigitBounds returns the limb ranges of the β = ceil((level+1)/α) digits
