@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test lint vet race fuzz bench bench-json bench-diff clean
+.PHONY: all build test lint vet race fuzz bench bench-json bench-diff trace-smoke clean
 
 all: build lint test
 
@@ -16,7 +16,8 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Domain-aware static analysis (modarith, levelcheck, panicpolicy, paramcopy).
+# Domain-aware static analysis (modarith, levelcheck, panicpolicy,
+# paramcopy, telemetryguard).
 lint:
 	$(GO) run ./cmd/crophe-lint ./...
 
@@ -42,6 +43,13 @@ bench-json:
 
 bench-diff: bench-json
 	$(GO) run ./cmd/crophe-bench diff $(BASELINE) $(BENCH_OUT)
+
+# Export a Chrome trace from a bootstrapping simulation and check it is
+# well-formed, non-trivial JSON (the golden-file test pins exact bytes;
+# this smoke-checks the CLI path end to end).
+trace-smoke:
+	$(GO) run ./cmd/crophe-sim -hw crophe36 -workload boot -trace /tmp/crophe-trace.json
+	$(GO) run ./cmd/crophe-sim -tracecheck /tmp/crophe-trace.json
 
 clean:
 	$(GO) clean ./...

@@ -2,15 +2,19 @@
 //
 // Usage:
 //
-//	crophe-bench [-fast] [-exp table1|table2|table3|table4|fig9|fig10|fig11|ablations|all] [-json] [-o file]
+//	crophe-bench [-fast] [-exp table1|table2|table3|table4|fig9|fig10|fig11|ablations|all] [-json] [-o file] [-trace out.json]
 //	crophe-bench diff [-threshold 0.25] [-metric-tol 1e-6] OLD.json NEW.json
 //
 // With -json, a machine-readable report (per-experiment wall clock,
-// allocation deltas and headline model metrics) is written to
-// BENCH_<date>.json (override with -o) alongside the usual text output.
-// The diff subcommand compares two such reports and exits non-zero when
-// the new one regresses: cost fields (wall clock, allocations) beyond
-// -threshold, or deterministic model metrics drifting beyond -metric-tol.
+// allocation deltas, headline model metrics, and search-telemetry
+// counters — schema v2) is written to BENCH_<date>.json (override with
+// -o) alongside the usual text output. With -trace, a Chrome trace-event
+// JSON with one wall-clock span per experiment plus the accumulated
+// search counters is written (loadable in chrome://tracing / Perfetto).
+// The diff subcommand compares two such reports — either schema version —
+// and exits non-zero when the new one regresses: cost fields (wall clock,
+// allocations) beyond -threshold, or deterministic model metrics drifting
+// beyond -metric-tol.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"time"
 
 	"crophe/internal/bench"
+	"crophe/internal/telemetry"
 )
 
 func main() {
@@ -30,6 +35,7 @@ func main() {
 	fast := flag.Bool("fast", false, "reduced coverage for quick runs")
 	jsonOut := flag.Bool("json", false, "also write a machine-readable report")
 	outPath := flag.String("o", "", "report path (default BENCH_<date>.json)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON to this path")
 	flag.Parse()
 
 	ids := bench.Experiments()
@@ -40,7 +46,7 @@ func main() {
 		fmt.Println(out)
 		fmt.Printf("[%s completed]\n\n", id)
 	}
-	if !*jsonOut {
+	if !*jsonOut && *tracePath == "" {
 		// Plain mode: run and print, with per-experiment timing.
 		for _, id := range ids {
 			start := time.Now()
@@ -54,10 +60,24 @@ func main() {
 		}
 		return
 	}
-	rep, err := bench.Collect(ids, *fast, emit)
+	var tel *telemetry.Collector
+	if *tracePath != "" {
+		tel = telemetry.New()
+	}
+	rep, err := bench.CollectWithTelemetry(ids, *fast, emit, tel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "crophe-bench: %v\n", err)
 		os.Exit(1)
+	}
+	if tel != nil {
+		if err := tel.WriteChromeTraceFile(*tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "crophe-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s\n", *tracePath)
+	}
+	if !*jsonOut {
+		return
 	}
 	path := *outPath
 	if path == "" {

@@ -7,9 +7,21 @@
 //	crophe-sim [-hw crophe64|crophe36|bts|ark|sharp|cl]
 //	           [-workload bootstrapping|helr|resnet20|resnet110]
 //	           [-dataflow crophe|mad] [-clusters N]
+//	           [-trace out.json] [-mesh WxH]
+//	crophe-sim -tracecheck trace.json
+//
+// With -trace, the run records cycle-level telemetry (one span per
+// segment, group, and transfer plus per-resource counters) and writes it
+// as Chrome trace-event JSON loadable in chrome://tracing or
+// https://ui.perfetto.dev. With -mesh, the simulator overrides the
+// configuration's PE mesh topology (a what-if knob). -tracecheck
+// validates a previously written trace file (well-formed JSON, events
+// present, all resource tracks named) and exits non-zero otherwise —
+// `make trace-smoke` uses it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,15 +29,77 @@ import (
 	"crophe/internal/arch"
 	"crophe/internal/sched"
 	"crophe/internal/sim"
+	"crophe/internal/telemetry"
 	"crophe/internal/workload"
 )
+
+// checkTrace validates a Chrome trace-event file written by -trace: it
+// must parse, carry a non-trivial number of duration events, and name
+// every resource track the simulator promises to emit.
+func checkTrace(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+			Args struct {
+				Name string `json:"name"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: not a trace-event JSON document: %v", path, err)
+	}
+	spans, counters := 0, 0
+	tracks := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			spans++
+		case "C":
+			counters++
+		case "M":
+			if ev.Name == "process_name" {
+				tracks[ev.Args.Name] = true
+			}
+		}
+	}
+	if spans == 0 {
+		return fmt.Errorf("%s: no duration events", path)
+	}
+	if counters == 0 {
+		return fmt.Errorf("%s: no counter events", path)
+	}
+	for _, want := range []string{"Schedule", "PE", "NoC", "SRAM", "HBM"} {
+		if !tracks[want] {
+			return fmt.Errorf("%s: missing track %q (have %d tracks)", path, want, len(tracks))
+		}
+	}
+	fmt.Printf("trace ok: %s (%d spans, %d counter samples, %d tracks)\n",
+		path, spans, counters, len(tracks))
+	return nil
+}
 
 func main() {
 	hwName := flag.String("hw", "crophe64", "hardware configuration")
 	wlName := flag.String("workload", "bootstrapping", "benchmark workload")
 	dfName := flag.String("dataflow", "crophe", "scheduling policy")
 	clusters := flag.Int("clusters", 1, "CROPHE-p cluster count")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON to this path")
+	meshSpec := flag.String("mesh", "", "override the PE mesh as WxH (e.g. 16x4)")
+	traceCheck := flag.String("tracecheck", "", "validate a trace file written by -trace, then exit")
 	flag.Parse()
+
+	if *traceCheck != "" {
+		if err := checkTrace(*traceCheck); err != nil {
+			fmt.Fprintf(os.Stderr, "crophe-sim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	hw := map[string]*arch.HWConfig{
 		"crophe64": arch.CROPHE64, "crophe36": arch.CROPHE36,
@@ -70,8 +144,23 @@ func main() {
 		w = w.DecomposeNTTs()
 	}
 
-	s := sched.New(hw, opt).Run(w)
-	r, err := sim.New(hw).SimulateSchedule(w, s)
+	var opts []sim.Option
+	var tel *telemetry.Collector
+	if *tracePath != "" {
+		tel = telemetry.New()
+		opts = append(opts, sim.WithTelemetry(tel))
+	}
+	if *meshSpec != "" {
+		var mw, mh int
+		if _, err := fmt.Sscanf(*meshSpec, "%dx%d", &mw, &mh); err != nil || mw < 1 || mh < 1 {
+			fmt.Fprintf(os.Stderr, "crophe-sim: invalid -mesh %q (want WxH)\n", *meshSpec)
+			os.Exit(1)
+		}
+		opts = append(opts, sim.WithMeshOverride(mw, mh))
+	}
+
+	s := sched.New(hw, opt).WithTelemetry(tel).Run(w)
+	r, err := sim.New(hw, opts...).SimulateSchedule(w, s)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "crophe-sim: %v\n", err)
 		os.Exit(1)
@@ -81,4 +170,12 @@ func main() {
 		s.TimeSec*1e3, r.TimeSec*1e3)
 	fmt.Printf("traffic: DRAM %.1f MB, SRAM %.1f MB, NoC %.1f MB\n",
 		r.Traffic.DRAM/1e6, r.Traffic.SRAM/1e6, r.Traffic.NoC/1e6)
+	if tel != nil {
+		if err := tel.WriteChromeTraceFile(*tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "crophe-sim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d spans, %d counters -> %s (open in chrome://tracing or ui.perfetto.dev)\n",
+			tel.SpanCount(), len(tel.Counters()), *tracePath)
+	}
 }

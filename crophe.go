@@ -10,13 +10,23 @@
 //   - Scheduler — the CROPHE cross-operator dataflow search plus the MAD
 //     baseline policy;
 //   - Simulator — the cycle-level accelerator model;
-//   - Experiments — generators for every table and figure of the paper.
+//   - Experiments — generators for every table and figure of the paper;
+//   - Telemetry — the cycle-level observability layer (span/counter
+//     collection and Chrome-trace export).
 //
-// Quick start (see examples/quickstart for a runnable version):
+// Quick start (compile-checked as Example in crophe's example tests):
 //
-//	params, _ := crophe.NewTestCKKSParameters(10, 3, 2)
 //	design := crophe.CROPHEDesign(crophe.HWCROPHE64)
-//	res := design.Evaluate(crophe.BootstrappingWorkload(crophe.ParamsARK))
+//	sched := design.Evaluate(crophe.BootstrappingWorkload(crophe.ParamsARK))
+//	fmt.Printf("bootstrapping: %.3f ms\n", sched.TimeSec*1e3)
+//
+// Cycle simulation with telemetry (see ExampleSimulateWorkload):
+//
+//	tel := crophe.NewTelemetry()
+//	w := crophe.BootstrappingWorkload(crophe.ParamsARK)(crophe.RotHoisted, 0)
+//	res, err := crophe.SimulateWorkload(crophe.HWCROPHE64, w, crophe.WithTelemetry(tel))
+//	// res.PerSegment is ordered; tel.WriteChromeTraceFile("out.json")
+//	// exports a Perfetto-loadable trace.
 package crophe
 
 import (
@@ -25,6 +35,7 @@ import (
 	"crophe/internal/ckks"
 	"crophe/internal/sched"
 	"crophe/internal/sim"
+	"crophe/internal/telemetry"
 	"crophe/internal/workload"
 )
 
@@ -82,7 +93,43 @@ type (
 	WorkloadFactory = sched.WorkloadFactory
 	// SimResult is a cycle-simulation result.
 	SimResult = sim.Result
+	// SegmentCycles is one ordered per-segment entry of SimResult.
+	SegmentCycles = sim.SegmentCycles
+	// SimOption configures the cycle simulator (telemetry, topology).
+	SimOption = sim.Option
+	// RotMode selects the rotation structure a workload is generated
+	// under.
+	RotMode = workload.RotMode
 )
+
+// Rotation structures (Table III / §V-B).
+const (
+	RotMinKS   = workload.RotMinKS
+	RotHoisted = workload.RotHoisted
+	RotHybrid  = workload.RotHybrid
+)
+
+// Telemetry types: a Telemetry collector gathers cycle-level spans and
+// counters during scheduling and simulation; a nil *Telemetry is valid
+// and disabled (zero-cost).
+type (
+	// Telemetry is the span/counter collector of the observability layer.
+	Telemetry = telemetry.Collector
+	// TelemetrySpan is one busy interval of a modeled resource.
+	TelemetrySpan = telemetry.Span
+	// TelemetryCounter is one aggregated named counter.
+	TelemetryCounter = telemetry.Counter
+)
+
+// NewTelemetry returns an enabled, empty collector.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// WithTelemetry attaches a collector to the cycle simulator.
+func WithTelemetry(c *Telemetry) SimOption { return sim.WithTelemetry(c) }
+
+// WithMeshOverride simulates on a w×h PE mesh regardless of the hardware
+// configuration's native topology.
+func WithMeshOverride(w, h int) SimOption { return sim.WithMeshOverride(w, h) }
 
 // CROPHEDesign returns the full CROPHE design point (fine-grained
 // dataflow + NTT decomposition + hybrid rotation) on the given hardware.
@@ -119,9 +166,17 @@ func ResNetWorkload(p ParamSet, layers int) WorkloadFactory {
 	}
 }
 
-// Simulate runs the cycle-level simulator on a schedule.
-func Simulate(hw *HWConfig, w *Workload, s *Schedule) (*SimResult, error) {
-	return sim.New(hw).SimulateSchedule(w, s)
+// Simulate runs the cycle-level simulator on a schedule. Options attach
+// telemetry or override the mesh topology.
+func Simulate(hw *HWConfig, w *Workload, s *Schedule, opts ...SimOption) (*SimResult, error) {
+	return sim.New(hw, opts...).SimulateSchedule(w, s)
+}
+
+// SimulateWorkload schedules w under the CROPHE dataflow policy and runs
+// the cycle-level simulator in one step — the shortest public path to an
+// ordered per-segment result and (with WithTelemetry) a Chrome trace.
+func SimulateWorkload(hw *HWConfig, w *Workload, opts ...SimOption) (*SimResult, error) {
+	return sim.Run(hw, sched.DefaultOptions(sched.DataflowCROPHE), w, opts...)
 }
 
 // RunExperiment regenerates a paper table or figure by id (table1..table4,

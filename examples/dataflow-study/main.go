@@ -12,6 +12,7 @@ import (
 	"crophe/internal/arch"
 	"crophe/internal/sched"
 	"crophe/internal/sim"
+	"crophe/internal/telemetry"
 	"crophe/internal/workload"
 )
 
@@ -39,15 +40,19 @@ func main() {
 		best = res
 	}
 
-	// Validate the full design on the cycle-level simulator.
+	// Validate the full design on the cycle-level simulator, with the
+	// observability layer attached (sim.New's functional options).
 	w := factory(workload.RotHybrid, 4).DecomposeNTTs()
-	r, err := sim.New(hw).SimulateSchedule(w, best)
+	tel := telemetry.New()
+	r, err := sim.New(hw, sim.WithTelemetry(tel)).SimulateSchedule(w, best)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\ncycle simulation of the full design: %.3f ms "+
 		"(PE %.0f%%, NoC %.0f%%, SRAM %.0f%%, DRAM %.0f%%)\n",
 		r.TimeSec*1e3, r.Util.PE*100, r.Util.NoC*100, r.Util.SRAM*100, r.Util.DRAM*100)
+	fmt.Printf("telemetry: %d spans, %.0f on-chip transfers, %.0f HBM bursts\n",
+		tel.SpanCount(), tel.Counter("sim/transfers"), tel.Counter("hbm/bursts"))
 
 	// And show the discovered structure of one segment.
 	fmt.Println("\ndiscovered dataflow of the first C2S segment:")

@@ -29,10 +29,14 @@ func TestParamCopy(t *testing.T) {
 	analysistest.Run(t, analysis.ParamCopy, "paramcopy/a")
 }
 
+func TestTelemetryGuard(t *testing.T) {
+	analysistest.Run(t, analysis.TelemetryGuard, "telemetryguard/sim")
+}
+
 // TestSuiteRegistry pins the analyzer set cmd/crophe-lint runs, so adding
 // an analyzer without wiring it into All() fails loudly.
 func TestSuiteRegistry(t *testing.T) {
-	want := []string{"modarith", "levelcheck", "panicpolicy", "paramcopy"}
+	want := []string{"modarith", "levelcheck", "panicpolicy", "paramcopy", "telemetryguard"}
 	all := analysis.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

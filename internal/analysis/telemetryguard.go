@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TelemetryGuard enforces the observability layer's zero-cost contract:
+// every telemetry.Collector.EmitSpan/EmitCounter call site must be
+// statically guarded by an Enabled() check on the same receiver — either
+// an enclosing `if c.Enabled() { ... }` or a preceding early return
+// `if !c.Enabled() { return }` in the same function. Emit methods are
+// nil-safe, so unguarded calls are *correct* — but they still pay
+// argument construction (fmt.Sprintf keys, span labels, Arg slices) on
+// the simulator's hot path when telemetry is off, which is exactly the
+// overhead the disabled path promises not to have.
+var TelemetryGuard = &Analyzer{
+	Name: "telemetryguard",
+	Doc: "requires telemetry.Collector Emit* calls to sit behind an " +
+		"Enabled() guard on the same receiver, so argument construction " +
+		"is never paid when telemetry is disabled",
+	Run: runTelemetryGuard,
+}
+
+func runTelemetryGuard(pass *Pass) error {
+	// The telemetry package itself (tests, the exporter) emits freely.
+	if pass.Pkg.Name() == "telemetry" {
+		return nil
+	}
+	g := &guardWalker{pass: pass}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			g.walkBlock(fd.Body, map[string]bool{})
+		}
+	}
+	return nil
+}
+
+// guardWalker tracks, per lexical position, the set of receiver
+// expressions (rendered with types.ExprString) whose Enabled() check
+// dominates that position. Collector enablement is immutable (nil or
+// not), so a lexical guard is sound even across closures.
+type guardWalker struct {
+	pass *Pass
+}
+
+// walkBlock walks statements in order, accumulating early-return guards:
+// after `if !c.Enabled() { return }`, the rest of the block is guarded
+// for c.
+func (g *guardWalker) walkBlock(b *ast.BlockStmt, guarded map[string]bool) {
+	cur := copySet(guarded)
+	for _, st := range b.List {
+		if ifs, ok := st.(*ast.IfStmt); ok {
+			if recv, ok := g.negatedGuard(ifs); ok && ifs.Else == nil && terminates(ifs.Body) {
+				g.walkBlock(ifs.Body, cur)
+				cur[recv] = true
+				continue
+			}
+		}
+		g.walkNode(st, cur)
+	}
+}
+
+// walkIf handles the positive form: the body of `if c.Enabled() { ... }`
+// (including `&&` conjunctions) is guarded for c; the else branch is not.
+func (g *guardWalker) walkIf(ifs *ast.IfStmt, guarded map[string]bool) {
+	if ifs.Init != nil {
+		g.walkNode(ifs.Init, guarded)
+	}
+	g.walkNode(ifs.Cond, guarded)
+	inner := guarded
+	if pos := g.positiveGuards(ifs.Cond); len(pos) > 0 {
+		inner = copySet(guarded)
+		for _, r := range pos {
+			inner[r] = true
+		}
+	}
+	g.walkBlock(ifs.Body, inner)
+	switch e := ifs.Else.(type) {
+	case *ast.IfStmt:
+		g.walkIf(e, guarded)
+	case *ast.BlockStmt:
+		g.walkBlock(e, guarded)
+	}
+}
+
+// walkNode descends generically, intercepting the constructs that change
+// guard state and the Emit calls under scrutiny.
+func (g *guardWalker) walkNode(n ast.Node, guarded map[string]bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch s := m.(type) {
+		case *ast.BlockStmt:
+			g.walkBlock(s, guarded)
+			return false
+		case *ast.IfStmt:
+			g.walkIf(s, guarded)
+			return false
+		case *ast.CallExpr:
+			g.checkCall(s, guarded)
+			return true
+		}
+		return true
+	})
+}
+
+// checkCall reports EmitSpan/EmitCounter calls on a telemetry.Collector
+// receiver that no dominating Enabled() guard covers.
+func (g *guardWalker) checkCall(call *ast.CallExpr, guarded map[string]bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	if name != "EmitSpan" && name != "EmitCounter" {
+		return
+	}
+	if !g.isCollector(sel.X) {
+		return
+	}
+	recv := types.ExprString(sel.X)
+	if guarded[recv] {
+		return
+	}
+	g.pass.Reportf(call.Pos(),
+		"unguarded telemetry emission: wrap %s.%s in `if %s.Enabled() { ... }` "+
+			"(or return early on `!%s.Enabled()`) so argument construction is "+
+			"free when telemetry is off", recv, name, recv, recv)
+}
+
+// positiveGuards collects receivers proven enabled when cond is true:
+// `c.Enabled()` terms of the top-level `&&` conjunction.
+func (g *guardWalker) positiveGuards(cond ast.Expr) []string {
+	switch e := stripParens(cond).(type) {
+	case *ast.BinaryExpr:
+		if e.Op.String() == "&&" {
+			return append(g.positiveGuards(e.X), g.positiveGuards(e.Y)...)
+		}
+	case *ast.CallExpr:
+		if recv, ok := g.enabledReceiver(e); ok {
+			return []string{recv}
+		}
+	}
+	return nil
+}
+
+// negatedGuard matches `if !c.Enabled() { ... }` and returns c.
+func (g *guardWalker) negatedGuard(ifs *ast.IfStmt) (string, bool) {
+	un, ok := stripParens(ifs.Cond).(*ast.UnaryExpr)
+	if !ok || un.Op.String() != "!" {
+		return "", false
+	}
+	call, ok := stripParens(un.X).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	return g.enabledReceiver(call)
+}
+
+// enabledReceiver returns the receiver expression of a
+// telemetry.Collector.Enabled() call.
+func (g *guardWalker) enabledReceiver(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Enabled" || len(call.Args) != 0 {
+		return "", false
+	}
+	if !g.isCollector(sel.X) {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+func (g *guardWalker) isCollector(x ast.Expr) bool {
+	tv, ok := g.pass.Info.Types[x]
+	return ok && isNamed(tv.Type, "telemetry", "Collector")
+}
+
+// terminates reports whether a block always leaves the enclosing scope
+// (return, branch, or panic as its last statement).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				return id.Name == "panic"
+			}
+		}
+	}
+	return false
+}
+
+func stripParens(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func copySet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}

@@ -12,11 +12,23 @@ import (
 
 	"crophe/internal/arch"
 	"crophe/internal/parallel"
+	"crophe/internal/sched"
+	"crophe/internal/telemetry"
 )
 
 // ReportSchemaVersion identifies the BENCH_*.json layout. Bump it on any
-// incompatible change so the diff subcommand can refuse mixed versions.
-const ReportSchemaVersion = 1
+// layout change; readers accept any version back to
+// minReadableSchemaVersion so diffs against older baselines keep working.
+//
+// History:
+//
+//	v1 — id/wall_ms/alloc_bytes/alloc_objects/metrics
+//	v2 — adds per-experiment "counters" (search/memo telemetry deltas)
+const ReportSchemaVersion = 2
+
+// minReadableSchemaVersion is the oldest layout LoadReport still parses:
+// every field added since v1 is optional, so a v1 report reads cleanly.
+const minReadableSchemaVersion = 1
 
 // ExperimentResult is the machine-readable record of one experiment run:
 // its cost (wall clock and allocation deltas over the run) and the
@@ -29,6 +41,12 @@ type ExperimentResult struct {
 	AllocBytes   uint64             `json:"alloc_bytes"`
 	AllocObjects uint64             `json:"alloc_objects"`
 	Metrics      map[string]float64 `json:"metrics,omitempty"`
+	// Counters (schema v2) are telemetry deltas over the experiment:
+	// dataflow-search activity (sched/*) and schedule-memo traffic
+	// (bench/*). They describe work done, not model output, and depend on
+	// experiment order (a warm memo skips search), so Compare ignores
+	// them.
+	Counters map[string]float64 `json:"counters,omitempty"`
 }
 
 // Report is the top-level BENCH_*.json document.
@@ -113,6 +131,15 @@ func runWithMetrics(id string, fast bool) (string, map[string]float64, error) {
 // come from the runtime's monotonic TotalAlloc/Mallocs counters, so they
 // are unaffected by GC timing; wall clock is the only noisy field.
 func Collect(ids []string, fast bool, emit func(id, rendered string)) (*Report, error) {
+	return CollectWithTelemetry(ids, fast, emit, nil)
+}
+
+// CollectWithTelemetry is Collect with an optional collector attached
+// (crophe-bench's -trace flag): each experiment becomes a wall-clock span
+// on the "Bench" track and the per-experiment counter deltas accumulate
+// into the collector. A nil collector behaves exactly like Collect.
+func CollectWithTelemetry(ids []string, fast bool, emit func(id, rendered string), tel *telemetry.Collector) (*Report, error) {
+	tel.SetTimeUnit("ms")
 	rep := &Report{
 		SchemaVersion: ReportSchemaVersion,
 		CreatedAt:     time.Now().UTC().Format(time.RFC3339),
@@ -121,9 +148,12 @@ func Collect(ids []string, fast bool, emit func(id, rendered string)) (*Report, 
 		Fast:          fast,
 	}
 	var ms runtime.MemStats
+	var elapsedMS float64
 	for _, id := range ids {
 		runtime.ReadMemStats(&ms)
 		bytes0, objs0 := ms.TotalAlloc, ms.Mallocs
+		search0 := sched.Stats()
+		memoHits0, memoMiss0 := ScheduleMemoStats()
 		start := time.Now()
 		out, metrics, err := runWithMetrics(id, fast)
 		if err != nil {
@@ -131,15 +161,36 @@ func Collect(ids []string, fast bool, emit func(id, rendered string)) (*Report, 
 		}
 		wall := time.Since(start)
 		runtime.ReadMemStats(&ms)
+		search1 := sched.Stats()
+		memoHits1, memoMiss1 := ScheduleMemoStats()
 		if emit != nil {
 			emit(id, out)
 		}
+		counters := map[string]float64{
+			"sched/candidates":       float64(search1.Candidates - search0.Candidates),
+			"sched/pruned":           float64(search1.Pruned - search0.Pruned),
+			"sched/seg_cache_hits":   float64(search1.CacheHits - search0.CacheHits),
+			"sched/seg_cache_misses": float64(search1.CacheMisses - search0.CacheMisses),
+			"bench/memo_hits":        float64(memoHits1 - memoHits0),
+			"bench/memo_misses":      float64(memoMiss1 - memoMiss0),
+		}
+		wallMS := float64(wall.Nanoseconds()) / 1e6
+		if tel.Enabled() {
+			tel.EmitSpan("Bench", "experiments", id, elapsedMS, wallMS,
+				telemetry.Arg{Key: "alloc_mb", Value: float64(ms.TotalAlloc-bytes0) / 1e6})
+			for name, v := range counters {
+				// EmitCounter accumulates, so map order does not matter.
+				tel.EmitCounter(name, v)
+			}
+		}
+		elapsedMS += wallMS
 		rep.Experiments = append(rep.Experiments, ExperimentResult{
 			ID:           id,
-			WallMS:       float64(wall.Nanoseconds()) / 1e6,
+			WallMS:       wallMS,
 			AllocBytes:   ms.TotalAlloc - bytes0,
 			AllocObjects: ms.Mallocs - objs0,
 			Metrics:      metrics,
+			Counters:     counters,
 		})
 	}
 	return rep, nil
@@ -164,9 +215,9 @@ func LoadReport(path string) (*Report, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
 	}
-	if r.SchemaVersion != ReportSchemaVersion {
-		return nil, fmt.Errorf("bench: %s has schema version %d, want %d",
-			path, r.SchemaVersion, ReportSchemaVersion)
+	if r.SchemaVersion < minReadableSchemaVersion || r.SchemaVersion > ReportSchemaVersion {
+		return nil, fmt.Errorf("bench: %s has schema version %d, want %d..%d",
+			path, r.SchemaVersion, minReadableSchemaVersion, ReportSchemaVersion)
 	}
 	return &r, nil
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"path/filepath"
 	"testing"
+
+	"crophe/internal/telemetry"
 )
 
 func syntheticReport() *Report {
@@ -143,4 +145,51 @@ func selectMetricsOnly(r *Report) *Report {
 		out.Experiments = append(out.Experiments, e)
 	}
 	return &out
+}
+
+func TestLoadReportAcceptsOlderSchema(t *testing.T) {
+	// A v1 baseline (pre-counters) must stay diffable against v2 runs.
+	rep := syntheticReport()
+	rep.SchemaVersion = minReadableSchemaVersion
+	path := filepath.Join(t.TempDir(), "v1.json")
+	if err := rep.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(path)
+	if err != nil {
+		t.Fatalf("v%d report rejected: %v", minReadableSchemaVersion, err)
+	}
+	if regs := Compare(got, syntheticReport(), 0.25, 1e-6); len(regs) != 0 {
+		t.Errorf("cross-version diff flagged equal content: %+v", regs)
+	}
+}
+
+func TestCollectRecordsCountersAndTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	tel := telemetry.New()
+	rep, err := CollectWithTelemetry([]string{"table4"}, true, nil, tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := rep.Experiments[0]
+	if e.Counters == nil {
+		t.Fatal("schema v2 experiment has no counters")
+	}
+	for _, key := range []string{"sched/candidates", "sched/seg_cache_misses", "bench/memo_hits"} {
+		if _, ok := e.Counters[key]; !ok {
+			t.Errorf("counter %s missing: %v", key, e.Counters)
+		}
+	}
+	// The collector mirrors the counters and spans each experiment.
+	if tel.SpanCount() != 1 {
+		t.Fatalf("span count %d want 1 (one per experiment)", tel.SpanCount())
+	}
+	if tel.TimeUnit() != "ms" {
+		t.Fatalf("bench trace time unit %q want ms", tel.TimeUnit())
+	}
+	if _, err := tel.ChromeTrace(); err != nil {
+		t.Fatal(err)
+	}
 }

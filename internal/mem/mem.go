@@ -5,7 +5,11 @@
 // (bytes and locality), return the cycles to service it.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"crophe/internal/telemetry"
+)
 
 // HBM models a stack of HBM channels at a total bandwidth ceiling, with
 // row-buffer effects: sequential (streaming) accesses run at full
@@ -25,6 +29,12 @@ type HBM struct {
 
 	totalBytes  float64
 	totalCycles float64
+	// Burst/row-buffer accounting for the observability layer: transfers
+	// move in 64 B bursts, and rowMisses counts modeled row activations
+	// (weighted by access pattern).
+	totalBursts    float64
+	totalRowMisses float64
+	transfers      int
 }
 
 // NewHBM builds an HBM model. bwTBs is the bandwidth in TB/s and freqGHz
@@ -84,7 +94,43 @@ func (h *HBM) Transfer(bytes float64, pattern AccessPattern) float64 {
 	}
 	h.totalBytes += bytes
 	h.totalCycles += cycles
+	h.totalBursts += bytes / 64
+	h.totalRowMisses += rowMisses
+	h.transfers++
 	return cycles
+}
+
+// HBMStats is the aggregate activity of one HBM model instance.
+type HBMStats struct {
+	Transfers int
+	Bytes     float64
+	Cycles    float64
+	Bursts    float64
+	RowMisses float64
+}
+
+// Stats returns the accumulated activity since the last Reset.
+func (h *HBM) Stats() HBMStats {
+	return HBMStats{
+		Transfers: h.transfers,
+		Bytes:     h.totalBytes,
+		Cycles:    h.totalCycles,
+		Bursts:    h.totalBursts,
+		RowMisses: h.totalRowMisses,
+	}
+}
+
+// EmitCounters adds the accumulated HBM activity to the collector. Call
+// once per model instance (counters are cumulative totals, not deltas).
+func (h *HBM) EmitCounters(c *telemetry.Collector) {
+	if !c.Enabled() {
+		return
+	}
+	c.EmitCounter("hbm/transfers", float64(h.transfers))
+	c.EmitCounter("hbm/bytes", h.totalBytes)
+	c.EmitCounter("hbm/bursts", h.totalBursts)
+	c.EmitCounter("hbm/row_misses", h.totalRowMisses)
+	c.EmitCounter("hbm/busy_cycles", h.totalCycles)
 }
 
 // EffectiveBandwidthFrac reports delivered/peak bandwidth so far.
@@ -96,7 +142,11 @@ func (h *HBM) EffectiveBandwidthFrac() float64 {
 }
 
 // Reset clears counters.
-func (h *HBM) Reset() { h.totalBytes, h.totalCycles = 0, 0 }
+func (h *HBM) Reset() {
+	h.totalBytes, h.totalCycles = 0, 0
+	h.totalBursts, h.totalRowMisses = 0, 0
+	h.transfers = 0
+}
 
 // SRAM models the banked global buffer: single-ported banks at double
 // frequency (§VI), so conflict-free access achieves the full bandwidth
@@ -109,6 +159,12 @@ type SRAM struct {
 	CapacityBytes        float64
 
 	used float64
+	// Bank-conflict accounting: accesses addressing fewer than Banks
+	// banks serialise, and the cycles lost versus a conflict-free access
+	// of the same size accumulate here.
+	accesses       int
+	totalBytes     float64
+	conflictCycles float64
 }
 
 // NewSRAM sizes the buffer from the Table I numbers.
@@ -139,7 +195,35 @@ func (s *SRAM) Access(bytes float64, activeBanks int) float64 {
 	if activeBanks > s.Banks {
 		activeBanks = s.Banks
 	}
-	return bytes / (s.BytesPerBankPerCycle * float64(activeBanks))
+	cycles := bytes / (s.BytesPerBankPerCycle * float64(activeBanks))
+	s.accesses++
+	s.totalBytes += bytes
+	// Conflict cost = serialisation beyond the conflict-free service time.
+	s.conflictCycles += cycles - bytes/(s.BytesPerBankPerCycle*float64(s.Banks))
+	return cycles
+}
+
+// SRAMStats is the aggregate activity of one SRAM model instance.
+type SRAMStats struct {
+	Accesses       int
+	Bytes          float64
+	ConflictCycles float64
+}
+
+// Stats returns the accumulated activity.
+func (s *SRAM) Stats() SRAMStats {
+	return SRAMStats{Accesses: s.accesses, Bytes: s.totalBytes, ConflictCycles: s.conflictCycles}
+}
+
+// EmitCounters adds the accumulated buffer activity to the collector.
+// Call once per model instance (counters are cumulative totals).
+func (s *SRAM) EmitCounters(c *telemetry.Collector) {
+	if !c.Enabled() {
+		return
+	}
+	c.EmitCounter("sram/accesses", float64(s.accesses))
+	c.EmitCounter("sram/bytes", s.totalBytes)
+	c.EmitCounter("sram/bank_conflict_cycles", s.conflictCycles)
 }
 
 // Alloc reserves capacity, reporting whether it fit.

@@ -1,6 +1,10 @@
 package mem
 
-import "testing"
+import (
+	"testing"
+
+	"crophe/internal/telemetry"
+)
 
 func TestNewHBMValidation(t *testing.T) {
 	if _, err := NewHBM(0, 1); err == nil {
@@ -97,4 +101,62 @@ func TestSRAMAllocFree(t *testing.T) {
 	if s.Available() != 1e6 {
 		t.Fatal("over-free mishandled")
 	}
+}
+
+func TestHBMStatsAndCounters(t *testing.T) {
+	h, err := NewHBM(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Transfer(64*100, Streaming)
+	h.Transfer(64*10, Scattered)
+	st := h.Stats()
+	if st.Transfers != 2 || st.Bytes != 64*110 || st.Bursts != 110 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.RowMisses <= 0 || st.Cycles <= 0 {
+		t.Fatalf("stats missing activity: %+v", st)
+	}
+
+	tel := telemetry.New()
+	h.EmitCounters(tel)
+	if tel.Counter("hbm/bursts") != 110 || tel.Counter("hbm/transfers") != 2 {
+		t.Fatalf("counters %+v", tel.CounterMap())
+	}
+	if tel.Counter("hbm/busy_cycles") != st.Cycles {
+		t.Fatal("busy cycles counter mismatch")
+	}
+	h.EmitCounters(nil) // disabled path is a no-op
+
+	h.Reset()
+	if s := h.Stats(); s.Transfers != 0 || s.Bursts != 0 || s.RowMisses != 0 {
+		t.Fatalf("reset left stats %+v", s)
+	}
+}
+
+func TestSRAMStatsAndCounters(t *testing.T) {
+	s, err := NewSRAM(1, 36, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Access(1024, 8) // conflict-free: full width
+	st := s.Stats()
+	if st.Accesses != 1 || st.Bytes != 1024 || st.ConflictCycles != 0 {
+		t.Fatalf("conflict-free stats %+v", st)
+	}
+	s.Access(1024, 1) // worst case: one bank serialises
+	st = s.Stats()
+	if st.ConflictCycles <= 0 {
+		t.Fatalf("bank conflict not recorded: %+v", st)
+	}
+
+	tel := telemetry.New()
+	s.EmitCounters(tel)
+	if tel.Counter("sram/accesses") != 2 || tel.Counter("sram/bytes") != 2048 {
+		t.Fatalf("counters %+v", tel.CounterMap())
+	}
+	if tel.Counter("sram/bank_conflict_cycles") != st.ConflictCycles {
+		t.Fatal("conflict cycles counter mismatch")
+	}
+	s.EmitCounters(nil) // disabled path is a no-op
 }

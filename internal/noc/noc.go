@@ -6,7 +6,12 @@
 // model (see DESIGN.md).
 package noc
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+
+	"crophe/internal/telemetry"
+)
 
 // Coord is a PE position in the mesh.
 type Coord struct{ X, Y int }
@@ -22,6 +27,9 @@ type Mesh struct {
 	// linkLoad accumulates bytes per directed link, keyed by the link's
 	// source coordinate and direction.
 	linkLoad map[linkKey]float64
+	// sends counts routed transfers (unicasts plus multicast legs) since
+	// the last Reset.
+	sends int
 }
 
 type linkKey struct {
@@ -101,6 +109,7 @@ func (m *Mesh) Hops(src, dst Coord) int {
 // Send accumulates a unicast transfer of the given bytes along the X-Y
 // route and returns the head latency in cycles.
 func (m *Mesh) Send(src, dst Coord, bytes float64) int {
+	m.sends++
 	prev := src
 	for _, next := range m.Route(src, dst) {
 		m.linkLoad[linkOf(prev, next)] += bytes
@@ -115,6 +124,7 @@ func (m *Mesh) Send(src, dst Coord, bytes float64) int {
 func (m *Mesh) Multicast(src Coord, dsts []Coord, bytes float64) int {
 	charged := make(map[linkKey]bool)
 	worst := 0
+	m.sends += len(dsts)
 	for _, dst := range dsts {
 		prev := src
 		for _, next := range m.Route(src, dst) {
@@ -186,4 +196,43 @@ func (m *Mesh) numLinks() int {
 // Reset clears accumulated loads.
 func (m *Mesh) Reset() {
 	m.linkLoad = make(map[linkKey]float64)
+	m.sends = 0
+}
+
+// Sends returns the number of routed transfers since the last Reset.
+func (m *Mesh) Sends() int { return m.sends }
+
+// EmitCounters adds the accumulated per-link occupancy (bytes routed over
+// each directed link since the last Reset) plus aggregate routing
+// counters to the collector. Links walk in a sorted (y, x, direction)
+// order so repeated emissions are deterministic. Call before Reset; loads
+// are deltas, so emitting once per drained window accumulates correctly.
+func (m *Mesh) EmitCounters(c *telemetry.Collector) {
+	if !c.Enabled() {
+		return
+	}
+	keys := make([]linkKey, 0, len(m.linkLoad))
+	for k := range m.linkLoad {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.from.Y != b.from.Y {
+			return a.from.Y < b.from.Y
+		}
+		if a.from.X != b.from.X {
+			return a.from.X < b.from.X
+		}
+		return a.dir < b.dir
+	})
+	// Sum bytes×hops over the sorted keys, not via TotalBytesHops: map
+	// iteration order would perturb the float sum's last bits and break
+	// the byte-identical trace guarantee.
+	var bytesHops float64
+	for _, k := range keys {
+		c.EmitCounter(fmt.Sprintf("noc/link/%d,%d/%c", k.from.X, k.from.Y, k.dir), m.linkLoad[k])
+		bytesHops += m.linkLoad[k]
+	}
+	c.EmitCounter("noc/bytes_hops", bytesHops)
+	c.EmitCounter("noc/sends", float64(m.sends))
 }

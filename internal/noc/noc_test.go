@@ -3,6 +3,8 @@ package noc
 import (
 	"testing"
 	"testing/quick"
+
+	"crophe/internal/telemetry"
 )
 
 func mustMesh(t *testing.T, w, h int) *Mesh {
@@ -132,4 +134,40 @@ func TestRoutePanicsOutsideMesh(t *testing.T) {
 		}
 	}()
 	m.Route(Coord{0, 0}, Coord{5, 5})
+}
+
+func TestEmitCountersPerLink(t *testing.T) {
+	m := mustMesh(t, 2, 2)
+	m.Send(Coord{0, 0}, Coord{1, 0}, 128) // one E hop
+	m.Multicast(Coord{0, 0}, []Coord{{0, 1}, {1, 1}}, 64)
+	if m.Sends() != 3 {
+		t.Fatalf("sends %d want 3", m.Sends())
+	}
+
+	tel := telemetry.New()
+	m.EmitCounters(tel)
+	// Unicast 128 B plus the multicast's E-leg toward (1,1): 64 B.
+	if got := tel.Counter("noc/link/0,0/E"); got != 192 {
+		t.Fatalf("E-link occupancy %v want 192", got)
+	}
+	if got := tel.Counter("noc/sends"); got != 3 {
+		t.Fatalf("noc/sends %v want 3", got)
+	}
+	if got, want := tel.Counter("noc/bytes_hops"), m.TotalBytesHops(); got != want {
+		t.Fatalf("noc/bytes_hops %v want %v", got, want)
+	}
+
+	// Nil collector: no-op, no panic (the disabled path).
+	m.EmitCounters(nil)
+
+	// Loads are deltas: reset then re-emit accumulates windows.
+	m.Reset()
+	m.Send(Coord{0, 0}, Coord{1, 0}, 72)
+	m.EmitCounters(tel)
+	if got := tel.Counter("noc/link/0,0/E"); got != 264 {
+		t.Fatalf("accumulated E-link occupancy %v want 264", got)
+	}
+	if m.Sends() != 1 {
+		t.Fatalf("sends after reset %d want 1", m.Sends())
+	}
 }

@@ -17,9 +17,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"crophe/internal/arch"
 	"crophe/internal/graph"
+	"crophe/internal/telemetry"
 	"crophe/internal/workload"
 )
 
@@ -163,10 +165,44 @@ type Schedule struct {
 	Segments []SegmentSchedule
 }
 
+// Search telemetry: cumulative, process-global counters of the dataflow
+// search (§V-D). They are always-on atomics updated once per scheduled
+// segment (not per candidate), so the cost is unmeasurable; crophe-bench
+// records per-experiment deltas and a per-run telemetry.Collector (see
+// Scheduler.WithTelemetry) mirrors them as counters.
+var (
+	statCandidates atomic.Uint64 // candidate groups costed by the DP
+	statPruned     atomic.Uint64 // candidates rejected as infeasible
+	statCacheHits  atomic.Uint64 // segment-schedule memo hits
+	statCacheMiss  atomic.Uint64 // segment-schedule memo misses
+)
+
+// SearchStats is a snapshot of the cumulative search counters.
+type SearchStats struct {
+	Candidates  uint64
+	Pruned      uint64
+	CacheHits   uint64
+	CacheMisses uint64
+}
+
+// Stats returns the cumulative process-wide search counters.
+func Stats() SearchStats {
+	return SearchStats{
+		Candidates:  statCandidates.Load(),
+		Pruned:      statPruned.Load(),
+		CacheHits:   statCacheHits.Load(),
+		CacheMisses: statCacheMiss.Load(),
+	}
+}
+
 // Scheduler binds a hardware configuration and options.
 type Scheduler struct {
 	HW  *arch.HWConfig
 	Opt Options
+
+	// tel, when enabled, receives per-run search counters (candidates
+	// explored, pruned, memo hits). Set with WithTelemetry.
+	tel *telemetry.Collector
 
 	// segCache memoises segment schedules by structural fingerprint —
 	// the paper's redundancy merge ("searches only once", §V-D). Keyed
@@ -192,6 +228,18 @@ func New(hw *arch.HWConfig, opt Options) *Scheduler {
 		opt.Clusters = 1
 	}
 	return &Scheduler{HW: hw, Opt: opt, segCache: make(map[segKey]*SegmentSchedule)}
+}
+
+// WithTelemetry attaches a collector that receives the run's search
+// counters (sched/candidates, sched/pruned, sched/seg_cache_hits,
+// sched/seg_cache_misses). Returns the scheduler for chaining:
+//
+//	sched.New(hw, opt).WithTelemetry(tel).Run(w)
+//
+// A nil collector leaves telemetry disabled.
+func (s *Scheduler) WithTelemetry(c *telemetry.Collector) *Scheduler {
+	s.tel = c
+	return s
 }
 
 // Run schedules a workload and returns the full result. With Clusters > 1
@@ -271,10 +319,18 @@ func clampFrac(f float64) float64 {
 func (s *Scheduler) scheduleSegment(hw *arch.HWConfig, seg workload.Segment, clusters int) SegmentSchedule {
 	key := segKey{fp: seg.G.Fingerprint(), sramMB: hw.SRAMCapacityMB, clusters: clusters, count: seg.Count}
 	if cached, ok := s.segCache[key]; ok {
+		statCacheHits.Add(1)
+		if s.tel.Enabled() {
+			s.tel.EmitCounter("sched/seg_cache_hits", 1)
+		}
 		out := *cached
 		out.Name = seg.Name
 		out.Count = seg.Count
 		return out
+	}
+	statCacheMiss.Add(1)
+	if s.tel.Enabled() {
+		s.tel.EmitCounter("sched/seg_cache_misses", 1)
 	}
 	out := s.scheduleSegmentUncached(hw, seg, clusters)
 	cached := out
@@ -313,13 +369,18 @@ func (s *Scheduler) scheduleSegmentUncached(hw *arch.HWConfig, seg workload.Segm
 	}
 	best := make([]cell, n+1)
 	best[0] = cell{hasVal: true}
+	// Search telemetry accumulates locally inside the DP loop (the hot
+	// path) and publishes once per segment below.
+	var candidates, pruned uint64
 	for i := 0; i < n; i++ {
 		if !best[i].hasVal {
 			continue
 		}
 		for k := 1; k <= maxK && i+k <= n; k++ {
+			candidates++
 			g := s.costGroup(hw, seg.G, nodes[i:i+k])
 			if g == nil {
+				pruned++
 				continue
 			}
 			t := best[i].time + g.TimeSec
@@ -327,6 +388,12 @@ func (s *Scheduler) scheduleSegmentUncached(hw *arch.HWConfig, seg workload.Segm
 				best[i+k] = cell{time: t, prev: i, group: g, hasVal: true}
 			}
 		}
+	}
+	statCandidates.Add(candidates)
+	statPruned.Add(pruned)
+	if s.tel.Enabled() {
+		s.tel.EmitCounter("sched/candidates", float64(candidates))
+		s.tel.EmitCounter("sched/pruned", float64(pruned))
 	}
 
 	// Reconstruct groups.

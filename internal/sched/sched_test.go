@@ -7,6 +7,7 @@ import (
 
 	"crophe/internal/arch"
 	"crophe/internal/graph"
+	"crophe/internal/telemetry"
 	"crophe/internal/workload"
 )
 
@@ -301,5 +302,41 @@ func TestAllocatePEsProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestSearchStatsAndTelemetryMirror(t *testing.T) {
+	w := bootFactory(workload.RotHoisted, 0)
+	before := Stats()
+	tel := telemetry.New()
+	New(arch.CROPHE64, DefaultOptions(DataflowCROPHE)).WithTelemetry(tel).Run(w)
+	after := Stats()
+
+	candidates := after.Candidates - before.Candidates
+	if candidates == 0 {
+		t.Fatal("DP explored no candidates")
+	}
+	if after.CacheMisses == before.CacheMisses {
+		t.Fatal("fresh scheduler recorded no segment-cache misses")
+	}
+	// The per-run collector mirrors the process-global deltas exactly.
+	if got := tel.Counter("sched/candidates"); got != float64(candidates) {
+		t.Fatalf("sched/candidates %v want %d", got, candidates)
+	}
+	if got := tel.Counter("sched/pruned"); got != float64(after.Pruned-before.Pruned) {
+		t.Fatalf("sched/pruned %v want %d", got, after.Pruned-before.Pruned)
+	}
+	misses := float64(after.CacheMisses - before.CacheMisses)
+	hits := float64(after.CacheHits - before.CacheHits)
+	if tel.Counter("sched/seg_cache_misses") != misses || tel.Counter("sched/seg_cache_hits") != hits {
+		t.Fatalf("cache counters %v/%v want %v/%v",
+			tel.Counter("sched/seg_cache_hits"), tel.Counter("sched/seg_cache_misses"), hits, misses)
+	}
+
+	// Telemetry is opt-in: a plain run updates globals but no collector.
+	mid := Stats()
+	New(arch.CROPHE64, DefaultOptions(DataflowCROPHE)).Run(w)
+	if Stats().Candidates == mid.Candidates {
+		t.Fatal("always-on atomics stopped counting without a collector")
 	}
 }

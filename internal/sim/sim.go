@@ -5,9 +5,21 @@
 // HBM — and reports cycles and per-resource utilisation. It refines the
 // scheduler's analytical estimates the same way the paper's simulator
 // validates its scheduler.
+//
+// Construction uses functional options:
+//
+//	eng := sim.New(hw,
+//	        sim.WithTelemetry(telemetry.New()),
+//	        sim.WithMeshOverride(16, 4))
+//
+// With a telemetry collector attached, the simulator records one span per
+// segment, group, and transfer (exportable as a Chrome trace via
+// telemetry.Collector.ChromeTrace) plus resource counters; without one,
+// every emission site is guarded by Collector.Enabled and costs nothing.
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"crophe/internal/arch"
@@ -15,8 +27,19 @@ import (
 	"crophe/internal/mem"
 	"crophe/internal/noc"
 	"crophe/internal/sched"
+	"crophe/internal/telemetry"
 	"crophe/internal/workload"
 )
+
+// SegmentCycles is the simulated cost of one unique workload segment.
+type SegmentCycles struct {
+	// Name is the segment name (unique within a workload).
+	Name string
+	// Cycles is the cost of one execution of the segment.
+	Cycles float64
+	// Count is how many times the segment executes per task.
+	Count int
+}
 
 // Result summarises one simulated workload execution.
 type Result struct {
@@ -30,17 +53,73 @@ type Result struct {
 	// component burns its modeled power while busy (leakage folded in at
 	// 10% of peak while idle), plus the HBM interface energy per bit.
 	EnergyJ float64
-	// PerSegment carries cycle counts per unique segment (one execution).
-	PerSegment map[string]float64
+	// PerSegment carries per-unique-segment cycle counts in workload
+	// (execution) order.
+	PerSegment []SegmentCycles
+	// Counters is the snapshot of telemetry counters accumulated during
+	// the run (nil when the engine has no collector attached).
+	Counters []telemetry.Counter
+}
+
+// SegmentCycles returns the per-execution cycles of the named segment and
+// whether it was simulated.
+func (r *Result) SegmentCycles(name string) (float64, bool) {
+	for _, s := range r.PerSegment {
+		if s.Name == name {
+			return s.Cycles, true
+		}
+	}
+	return 0, false
+}
+
+// Option configures an Engine at construction time.
+type Option func(*Engine)
+
+// WithTelemetry attaches a collector; the simulation emits span events
+// (per segment, group, and transfer) and resource counters into it. A nil
+// collector leaves telemetry disabled.
+func WithTelemetry(c *telemetry.Collector) Option {
+	return func(e *Engine) { e.tel = c }
+}
+
+// WithMeshOverride simulates the workload on a w×h PE mesh regardless of
+// the configuration's MeshW/MeshH (a what-if knob for topology studies).
+// Non-positive dimensions are ignored.
+func WithMeshOverride(w, h int) Option {
+	return func(e *Engine) {
+		if w > 0 && h > 0 {
+			e.meshW, e.meshH = w, h
+		}
+	}
 }
 
 // Engine binds a hardware configuration.
 type Engine struct {
+	// HW is the bound hardware configuration.
+	//
+	// Deprecated: HW is exported only so pre-options callers that did
+	// sim.Engine{HW: hw} or read e.HW keep compiling. Use New with
+	// Options and the Config accessor instead.
 	HW *arch.HWConfig
+
+	tel          *telemetry.Collector
+	meshW, meshH int
 }
 
 // New creates a simulator for a configuration.
-func New(hw *arch.HWConfig) *Engine { return &Engine{HW: hw} }
+func New(hw *arch.HWConfig, opts ...Option) *Engine {
+	e := &Engine{HW: hw}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Config returns the bound hardware configuration.
+func (e *Engine) Config() *arch.HWConfig { return e.HW }
+
+// Telemetry returns the attached collector (nil when disabled).
+func (e *Engine) Telemetry() *telemetry.Collector { return e.tel }
 
 // SimulateSchedule executes a scheduled workload cycle-by-cycle at chunk
 // granularity and returns refined timing. The schedule's traffic
@@ -49,7 +128,19 @@ func New(hw *arch.HWConfig) *Engine { return &Engine{HW: hw} }
 // SRAM bytes through the banked buffer; intra-group transfers through the
 // placed mesh.
 func (e *Engine) SimulateSchedule(w *workload.Workload, s *sched.Schedule) (*Result, error) {
+	var res *Result
+	var err error
+	// Host-side observability: the run shows up as a task in
+	// runtime/trace output and as a pprof label on its samples.
+	telemetry.WithHostSpan(context.Background(), "sim:"+w.Name, func(ctx context.Context) {
+		res, err = e.simulate(ctx, w, s)
+	})
+	return res, err
+}
+
+func (e *Engine) simulate(ctx context.Context, w *workload.Workload, s *sched.Schedule) (*Result, error) {
 	hw := e.HW
+	tel := e.tel
 	freq := hw.FreqGHz * 1e9
 
 	hbm, err := mem.NewHBM(hw.DRAMBandwidthTBs, hw.FreqGHz)
@@ -70,6 +161,9 @@ func (e *Engine) SimulateSchedule(w *workload.Workload, s *sched.Schedule) (*Res
 			meshW = 64
 		}
 	}
+	if e.meshW > 0 && e.meshH > 0 {
+		meshW, meshH = e.meshW, e.meshH
+	}
 	linkBytesPerCycle := hw.NoCLinkGBs * 1e9 / freq
 	if linkBytesPerCycle <= 0 {
 		linkBytesPerCycle = hw.LocalBWTBs * 1e12 / freq / float64(meshW)
@@ -79,11 +173,14 @@ func (e *Engine) SimulateSchedule(w *workload.Workload, s *sched.Schedule) (*Res
 	}
 
 	res := &Result{
-		Workload:   w.Name,
-		HW:         hw.Name,
-		PerSegment: make(map[string]float64),
+		Workload: w.Name,
+		HW:       hw.Name,
 	}
 	var busyPE, busyNoC, busySRAM, busyDRAM float64
+	// cursor is the model-time clock laying segments end to end on the
+	// trace timeline (one execution per unique segment).
+	var cursor float64
+	var nGroups, nTransfers int
 
 	for si, seg := range s.Segments {
 		if len(seg.Groups) == 0 {
@@ -97,11 +194,16 @@ func (e *Engine) SimulateSchedule(w *workload.Workload, s *sched.Schedule) (*Res
 		if err != nil {
 			return nil, err
 		}
+		endRegion := telemetry.HostRegion(ctx, "segment:"+seg.Name)
 
+		segStart := cursor
 		var segCycles float64
 		for gi := range trace.Groups {
 			tg := &trace.Groups[gi]
 			g := tg.Group
+			groupStart := segStart + segCycles
+			groupName := fmt.Sprintf("%s/g%d", seg.Name, gi)
+			nGroups++
 
 			// Compute cycles from the pre-characterised operator
 			// latencies (the scheduler's stage times at this allocation).
@@ -117,6 +219,7 @@ func (e *Engine) SimulateSchedule(w *workload.Workload, s *sched.Schedule) (*Res
 				if len(srcs) == 0 || len(dsts) == 0 {
 					continue
 				}
+				nTransfers++
 				// Spread the payload over producer PEs; each sends its
 				// share to its nearest consumer PE (distance-aware
 				// pairing — the mapping refinement §IV-B defers to
@@ -134,6 +237,13 @@ func (e *Engine) SimulateSchedule(w *workload.Workload, s *sched.Schedule) (*Res
 						headLatency = lat
 					}
 				}
+				if tel.Enabled() {
+					tel.EmitSpan("NoC", "transfers",
+						fmt.Sprintf("%d→%d", tr.FromID, tr.ToID),
+						groupStart, share/linkBytesPerCycle,
+						telemetry.Arg{Key: "bytes", Value: tr.Bytes},
+						telemetry.Arg{Key: "src_pes", Value: float64(len(srcs))})
+				}
 			}
 			nocCycles := mesh.DrainCycles() + float64(headLatency)
 
@@ -150,6 +260,33 @@ func (e *Engine) SimulateSchedule(w *workload.Workload, s *sched.Schedule) (*Res
 			busyNoC += nocCycles
 			busySRAM += sramCycles
 			busyDRAM += dramCycles
+
+			if tel.Enabled() {
+				// Aggregate lanes carry exactly the cycles added to the
+				// busy accumulators, so Σ span durations per track
+				// reconciles with Result.Util (see sim tests).
+				tel.EmitSpan("PE", "array", groupName, groupStart, computeCycles,
+					telemetry.Arg{Key: "ops", Value: float64(len(g.Nodes))})
+				for _, b := range tg.Placement.Bands {
+					for row := b.Row0; row < b.Row0+b.Rows; row++ {
+						tel.EmitSpan("PE", fmt.Sprintf("row %d", row),
+							groupName, groupStart, computeCycles)
+					}
+				}
+				if nocCycles > 0 {
+					tel.EmitSpan("NoC", "links", groupName, groupStart, nocCycles,
+						telemetry.Arg{Key: "sends", Value: float64(mesh.Sends())})
+				}
+				if sramCycles > 0 {
+					tel.EmitSpan("SRAM", "banks", groupName, groupStart, sramCycles,
+						telemetry.Arg{Key: "bytes", Value: g.Traffic.SRAM})
+				}
+				if dramCycles > 0 {
+					tel.EmitSpan("HBM", "channels", groupName, groupStart, dramCycles,
+						telemetry.Arg{Key: "bytes", Value: g.Traffic.DRAM})
+				}
+				mesh.EmitCounters(tel)
+			}
 		}
 
 		// Segment-level traffic (aux streams, boundary pipelining,
@@ -173,12 +310,32 @@ func (e *Engine) SimulateSchedule(w *workload.Workload, s *sched.Schedule) (*Res
 		if extraCycles > segCycles {
 			segCycles = extraCycles
 		}
-		busyDRAM += maxF(extra.DRAM, 0) / hbmBytesPerCycle(hw)
-		busySRAM += maxF(extra.SRAM, 0) / sramBytesPerCycle(hw)
+		extraDRAM := maxF(extra.DRAM, 0) / hbmBytesPerCycle(hw)
+		extraSRAM := maxF(extra.SRAM, 0) / sramBytesPerCycle(hw)
+		busyDRAM += extraDRAM
+		busySRAM += extraSRAM
 
-		res.PerSegment[seg.Name] = segCycles
+		if tel.Enabled() {
+			if extraDRAM > 0 {
+				tel.EmitSpan("HBM", "channels", seg.Name+"/aux", segStart, extraDRAM,
+					telemetry.Arg{Key: "bytes", Value: maxF(extra.DRAM, 0)})
+			}
+			if extraSRAM > 0 {
+				tel.EmitSpan("SRAM", "banks", seg.Name+"/aux", segStart, extraSRAM,
+					telemetry.Arg{Key: "bytes", Value: maxF(extra.SRAM, 0)})
+			}
+			tel.EmitSpan("Schedule", "segments", seg.Name, segStart, segCycles,
+				telemetry.Arg{Key: "count", Value: float64(seg.Count)},
+				telemetry.Arg{Key: "groups", Value: float64(len(seg.Groups))})
+		}
+		cursor += segCycles
+
+		res.PerSegment = append(res.PerSegment, SegmentCycles{
+			Name: seg.Name, Cycles: segCycles, Count: seg.Count,
+		})
 		res.Cycles += segCycles * float64(seg.Count)
 		res.Traffic.Add(seg.Traffic.Scale(float64(seg.Count)))
+		endRegion()
 	}
 
 	clusters := s.Opt.Clusters
@@ -199,6 +356,19 @@ func (e *Engine) SimulateSchedule(w *workload.Workload, s *sched.Schedule) (*Res
 			DRAM: clamp(busyDRAM / total),
 		}
 		res.EnergyJ = e.energy(res, busyPE/freq, busyNoC/freq, busySRAM/freq)
+	}
+
+	if tel.Enabled() {
+		hbm.EmitCounters(tel)
+		sram.EmitCounters(tel)
+		tel.EmitCounter("sim/segments", float64(len(res.PerSegment)))
+		tel.EmitCounter("sim/groups", float64(nGroups))
+		tel.EmitCounter("sim/transfers", float64(nTransfers))
+		tel.EmitCounter("sim/busy_cycles/pe", busyPE)
+		tel.EmitCounter("sim/busy_cycles/noc", busyNoC)
+		tel.EmitCounter("sim/busy_cycles/sram", busySRAM)
+		tel.EmitCounter("sim/busy_cycles/dram", busyDRAM)
+		res.Counters = tel.Counters()
 	}
 	return res, nil
 }
@@ -226,10 +396,11 @@ func (e *Engine) energy(res *Result, peBusy, nocBusy, sramBusy float64) float64 
 	return energy
 }
 
-// Run schedules and simulates in one step.
-func Run(hw *arch.HWConfig, opt sched.Options, w *workload.Workload) (*Result, error) {
-	s := sched.New(hw, opt).Run(w)
-	return New(hw).SimulateSchedule(w, s)
+// Run schedules and simulates in one step, forwarding any engine options.
+func Run(hw *arch.HWConfig, opt sched.Options, w *workload.Workload, opts ...Option) (*Result, error) {
+	e := New(hw, opts...)
+	s := sched.New(hw, opt).WithTelemetry(e.tel).Run(w)
+	return e.SimulateSchedule(w, s)
 }
 
 func hbmBytesPerCycle(hw *arch.HWConfig) float64 {

@@ -28,6 +28,18 @@ func TestSimulateBootstrapProducesPlausibleTiming(t *testing.T) {
 	if len(r.PerSegment) != len(w.Segments) {
 		t.Fatalf("per-segment results %d want %d", len(r.PerSegment), len(w.Segments))
 	}
+	// PerSegment is ordered: entries follow workload execution order.
+	for i, sc := range r.PerSegment {
+		if sc.Name != w.Segments[i].Name {
+			t.Fatalf("segment %d = %q want %q (order lost)", i, sc.Name, w.Segments[i].Name)
+		}
+		if sc.Cycles <= 0 || sc.Count < 1 {
+			t.Fatalf("segment %q has cycles %v count %d", sc.Name, sc.Cycles, sc.Count)
+		}
+		if got, ok := r.SegmentCycles(sc.Name); !ok || got != sc.Cycles {
+			t.Fatalf("SegmentCycles(%q) = %v,%v want %v,true", sc.Name, got, ok, sc.Cycles)
+		}
+	}
 }
 
 func TestSimulatedOrderingMatchesScheduler(t *testing.T) {

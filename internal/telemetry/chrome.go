@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The Chrome trace-event exporter maps the collector onto the JSON Object
+// Format consumed by chrome://tracing and Perfetto: each Track becomes a
+// process (named via "process_name" metadata), each Lane a thread within
+// it, spans become complete ("X") events and counters become counter
+// ("C") events on a dedicated pid. Timestamps are microseconds in the
+// format; we write model cycles directly, so the timeline reads in
+// cycles.
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level document.
+type chromeTrace struct {
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+}
+
+// counterPid is the process id reserved for counter tracks; real tracks
+// start at 1.
+const counterPid = 0
+
+// ChromeTrace renders the collector as Chrome trace-event JSON. The
+// output is deterministic: track/lane ids are assigned in first-emission
+// order, spans serialise in emission order, counters in name order.
+func (c *Collector) ChromeTrace() ([]byte, error) {
+	if c == nil {
+		return nil, fmt.Errorf("telemetry: cannot export a disabled (nil) collector")
+	}
+	spans := c.Spans()
+	counters := c.Counters()
+
+	// Assign pids/tids in first-seen order so repeated exports of the
+	// same collector are identical.
+	type laneKey struct {
+		pid  int
+		lane string
+	}
+	pidOf := map[string]int{}
+	var trackNames []string
+	tidOf := map[laneKey]int{}
+	type laneName struct {
+		pid, tid int
+		name     string
+	}
+	var laneNames []laneName
+	for _, s := range spans {
+		pid, ok := pidOf[s.Track]
+		if !ok {
+			pid = len(trackNames) + 1 // pid 0 is the counter track
+			pidOf[s.Track] = pid
+			trackNames = append(trackNames, s.Track)
+		}
+		lk := laneKey{pid, s.Lane}
+		if _, ok := tidOf[lk]; !ok {
+			tid := len(laneNames) + 1
+			tidOf[lk] = tid
+			laneNames = append(laneNames, laneName{pid: pid, tid: tid, name: s.Lane})
+		}
+	}
+
+	events := make([]chromeEvent, 0, 2*len(trackNames)+len(laneNames)+len(spans)+len(counters))
+	for i, name := range trackNames {
+		pid := i + 1
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+		events = append(events, chromeEvent{
+			Name: "process_sort_index", Ph: "M", Pid: pid,
+			Args: map[string]any{"sort_index": pid},
+		})
+	}
+	for _, ln := range laneNames {
+		name := ln.name
+		if name == "" {
+			name = "main"
+		}
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: ln.pid, Tid: ln.tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, s := range spans {
+		dur := s.Dur
+		ev := chromeEvent{
+			Name: s.Name, Ph: "X",
+			Pid: pidOf[s.Track], Tid: tidOf[laneKey{pidOf[s.Track], s.Lane}],
+			Ts: s.Start, Dur: &dur,
+		}
+		if len(s.Args) > 0 {
+			args := make(map[string]any, len(s.Args))
+			for _, a := range s.Args {
+				args[a.Key] = a.Value
+			}
+			ev.Args = args
+		}
+		events = append(events, ev)
+	}
+	// Counters() is name-sorted, so counter events are deterministic too.
+	for _, ct := range counters {
+		events = append(events, chromeEvent{
+			Name: ct.Name, Ph: "C", Pid: counterPid,
+			Args: map[string]any{"value": ct.Value},
+		})
+	}
+
+	other := map[string]any{"cycle_domain": "model", "time_unit": c.TimeUnit()}
+	doc := chromeTrace{
+		DisplayTimeUnit: "ms",
+		OtherData:       other,
+		TraceEvents:     events,
+	}
+	return json.MarshalIndent(&doc, "", " ")
+}
+
+// WriteChromeTrace writes the Chrome trace-event JSON to w.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	data, err := c.ChromeTrace()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// WriteChromeTraceFile writes the trace to a file path (the CLIs' -trace
+// flag).
+func (c *Collector) WriteChromeTraceFile(path string) error {
+	data, err := c.ChromeTrace()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenCollector builds a small fixed collector covering every event
+// kind the exporter emits: multiple tracks, multiple lanes, span args,
+// and counters.
+func goldenCollector() *Collector {
+	c := New()
+	c.EmitSpan("Schedule", "segments", "C2S", 0, 120, Arg{"count", 3})
+	c.EmitSpan("PE", "array", "group 0", 0, 80, Arg{"ops", 5})
+	c.EmitSpan("PE", "row 0", "group 0", 0, 80)
+	c.EmitSpan("PE", "row 1", "group 0", 0, 80)
+	c.EmitSpan("NoC", "links", "group 0", 0, 33.5)
+	c.EmitSpan("SRAM", "banks", "group 0", 0, 12.25)
+	c.EmitSpan("HBM", "channels", "group 0", 0, 64)
+	c.EmitCounter("noc/link/0,0/E", 4096)
+	c.EmitCounter("hbm/bursts", 64)
+	c.EmitCounter("sched/candidates", 17)
+	return c
+}
+
+// TestChromeTraceGolden pins the exact serialized schema. Regenerate the
+// golden after an intentional format change with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/telemetry -run ChromeTraceGolden
+func TestChromeTraceGolden(t *testing.T) {
+	got, err := goldenCollector().ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", "chrome_trace.golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("trace schema drifted from golden %s\n got: %s", path, got)
+	}
+}
+
+// TestChromeTraceSchemaShape validates the structural contract Perfetto
+// and chrome://tracing rely on, independent of exact bytes.
+func TestChromeTraceSchemaShape(t *testing.T) {
+	data, err := goldenCollector().ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Ts   float64        `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit == "" {
+		t.Fatal("missing displayTimeUnit")
+	}
+	tracks := map[string]bool{}
+	var xEvents, cEvents int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				tracks[ev.Args["name"].(string)] = true
+			}
+		case "X":
+			xEvents++
+			if ev.Dur == nil || *ev.Dur < 0 || ev.Ts < 0 {
+				t.Fatalf("complete event %q missing/negative ts or dur", ev.Name)
+			}
+		case "C":
+			cEvents++
+			if _, ok := ev.Args["value"]; !ok {
+				t.Fatalf("counter event %q missing value", ev.Name)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	for _, want := range []string{"PE", "NoC", "SRAM", "HBM"} {
+		if !tracks[want] {
+			t.Errorf("missing %s track", want)
+		}
+	}
+	if xEvents != 7 || cEvents != 3 {
+		t.Fatalf("event counts X=%d C=%d want 7/3", xEvents, cEvents)
+	}
+}

@@ -1,0 +1,33 @@
+package telemetry
+
+import (
+	"context"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Host-profile correlation: the modeled-cycle trace answers "where do
+// cycles go on the accelerator"; these hooks answer "where does the host
+// spend wall clock producing that model". Wrapping simulator and
+// experiment entry points in a runtime/trace task plus pprof labels means
+// a `go test -trace` / `go tool pprof` session can slice host samples by
+// the same workload/experiment names that appear in the Chrome trace.
+
+// WithHostSpan runs fn inside a runtime/trace task named name and with a
+// pprof label crophe=name. Both are no-ops costing a few allocations when
+// no host trace or CPU profile is active, so callers do not need to guard
+// this (it runs once per simulation or experiment, not per event).
+func WithHostSpan(ctx context.Context, name string, fn func(context.Context)) {
+	ctx, task := trace.NewTask(ctx, name)
+	defer task.End()
+	pprof.Do(ctx, pprof.Labels("crophe", name), fn)
+}
+
+// HostRegion marks a sub-phase inside a WithHostSpan scope. Returns the
+// function that ends the region:
+//
+//	defer telemetry.HostRegion(ctx, "simulate")()
+func HostRegion(ctx context.Context, name string) func() {
+	r := trace.StartRegion(ctx, name)
+	return r.End
+}
