@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test lint vet race fuzz bench bench-json bench-diff trace-smoke clean
+.PHONY: all build test lint vet race fuzz bench bench-json bench-diff trace-smoke chaos-smoke clean
 
 all: build lint test
 
@@ -17,7 +17,7 @@ vet:
 	$(GO) vet ./...
 
 # Domain-aware static analysis (modarith, levelcheck, panicpolicy,
-# paramcopy, telemetryguard).
+# paramcopy, telemetryguard, faultseed).
 lint:
 	$(GO) run ./cmd/crophe-lint ./...
 
@@ -50,6 +50,18 @@ bench-diff: bench-json
 trace-smoke:
 	$(GO) run ./cmd/crophe-sim -hw crophe36 -workload boot -trace /tmp/crophe-trace.json
 	$(GO) run ./cmd/crophe-sim -tracecheck /tmp/crophe-trace.json
+
+# Chaos smoke: the fault-injection tests under the race detector, a
+# seeded degraded run with a trace (validated incl. the Fault track), and
+# a deadline-bounded resilience sweep — the graceful-degradation paths
+# exercised end to end.
+CHAOS_SEED ?= 13
+
+chaos-smoke:
+	$(GO) test -race -run 'Fault|Degraded|Resilience|Anytime|Avoiding' ./internal/fault/ ./internal/sim/ ./internal/sched/ ./internal/mapper/ ./internal/noc/ .
+	$(GO) run ./cmd/crophe-sim -hw crophe64 -workload boot -faults rows:1,links:2,banks:8,hbm:0.8,stalls:2@150 -seed $(CHAOS_SEED) -deadline 500ms -trace /tmp/crophe-chaos-trace.json
+	$(GO) run ./cmd/crophe-sim -tracecheck /tmp/crophe-chaos-trace.json
+	$(GO) run ./cmd/crophe-sim -sweep 4 -seed $(CHAOS_SEED) -deadline 200ms
 
 clean:
 	$(GO) clean ./...

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	crophe-bench [-fast] [-exp table1|table2|table3|table4|fig9|fig10|fig11|ablations|all] [-json] [-o file] [-trace out.json]
+//	crophe-bench [-fast] [-exp table1|table2|table3|table4|fig9|fig10|fig11|ablations|all] [-json] [-o file] [-trace out.json] [-deadline D]
 //	crophe-bench diff [-threshold 0.25] [-metric-tol 1e-6] OLD.json NEW.json
 //
 // With -json, a machine-readable report (per-experiment wall clock,
@@ -14,7 +14,10 @@
 // The diff subcommand compares two such reports — either schema version —
 // and exits non-zero when the new one regresses: cost fields (wall clock,
 // allocations) beyond -threshold, or deterministic model metrics drifting
-// beyond -metric-tol.
+// beyond -metric-tol. With -deadline, the run stops launching further
+// experiments once the wall-clock budget is spent (plain mode only — a
+// truncated report would poison diff baselines). Malformed -deadline
+// values print usage and exit 2.
 package main
 
 import (
@@ -24,8 +27,18 @@ import (
 	"time"
 
 	"crophe/internal/bench"
+	"crophe/internal/cliutil"
 	"crophe/internal/telemetry"
 )
+
+// usageExit reports a malformed flag value, prints usage, and exits 2 —
+// the conventional "bad command line" status, distinct from runtime
+// failures (exit 1).
+func usageExit(format string, a ...any) {
+	fmt.Fprintf(os.Stderr, "crophe-bench: "+format+"\n", a...)
+	flag.Usage()
+	os.Exit(2)
+}
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "diff" {
@@ -36,7 +49,19 @@ func main() {
 	jsonOut := flag.Bool("json", false, "also write a machine-readable report")
 	outPath := flag.String("o", "", "report path (default BENCH_<date>.json)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON to this path")
+	deadlineSpec := flag.String("deadline", "", "total wall-clock budget; stop launching experiments once exceeded")
 	flag.Parse()
+
+	deadline, err := cliutil.ParseDeadline(*deadlineSpec)
+	if err != nil {
+		usageExit("%v", err)
+	}
+	if deadline > 0 && (*jsonOut || *tracePath != "") {
+		// A deadline-truncated run covers an unpredictable prefix of the
+		// experiments; saving it as a report would poison bench-diff
+		// baselines.
+		usageExit("-deadline cannot be combined with -json or -trace")
+	}
 
 	ids := bench.Experiments()
 	if *exp != "all" {
@@ -48,7 +73,12 @@ func main() {
 	}
 	if !*jsonOut && *tracePath == "" {
 		// Plain mode: run and print, with per-experiment timing.
-		for _, id := range ids {
+		begin := time.Now()
+		for i, id := range ids {
+			if deadline > 0 && time.Since(begin) > deadline {
+				fmt.Printf("[deadline %v reached: skipped %v]\n", deadline, ids[i:])
+				break
+			}
 			start := time.Now()
 			out, err := bench.Run(id, *fast)
 			if err != nil {

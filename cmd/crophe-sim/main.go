@@ -8,6 +8,8 @@
 //	           [-workload bootstrapping|helr|resnet20|resnet110]
 //	           [-dataflow crophe|mad] [-clusters N]
 //	           [-trace out.json] [-mesh WxH]
+//	           [-faults spec -seed N -deadline D]
+//	           [-sweep N -seed N -deadline D]
 //	crophe-sim -tracecheck trace.json
 //
 // With -trace, the run records cycle-level telemetry (one span per
@@ -18,15 +20,29 @@
 // validates a previously written trace file (well-formed JSON, events
 // present, all resource tracks named) and exits non-zero otherwise —
 // `make trace-smoke` uses it.
+//
+// With -faults, the chip is degraded by a deterministic, seed-driven
+// fault plan before scheduling (grammar:
+// rows:N,lanes:F,links:N,slow:N@F,banks:N,hbm:F,stalls:N@D,stallp:F) and
+// the run reports throughput retained versus the healthy machine. With
+// -sweep N, the tool instead runs an N-rung escalating resilience sweep
+// and prints the report. -deadline bounds each schedule search through
+// the deterministic anytime budget; the best-so-far schedule is used
+// when the budget runs out. Malformed -mesh, -faults, or -deadline
+// values print usage and exit 2.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"crophe/internal/arch"
+	"crophe/internal/cliutil"
+	"crophe/internal/fault"
 	"crophe/internal/sched"
 	"crophe/internal/sim"
 	"crophe/internal/telemetry"
@@ -54,6 +70,7 @@ func checkTrace(path string) error {
 		return fmt.Errorf("%s: not a trace-event JSON document: %v", path, err)
 	}
 	spans, counters := 0, 0
+	faulted := false
 	tracks := map[string]bool{}
 	for _, ev := range doc.TraceEvents {
 		switch ev.Ph {
@@ -61,6 +78,9 @@ func checkTrace(path string) error {
 			spans++
 		case "C":
 			counters++
+			if strings.HasPrefix(ev.Name, "fault/") {
+				faulted = true
+			}
 		case "M":
 			if ev.Name == "process_name" {
 				tracks[ev.Args.Name] = true
@@ -73,14 +93,29 @@ func checkTrace(path string) error {
 	if counters == 0 {
 		return fmt.Errorf("%s: no counter events", path)
 	}
-	for _, want := range []string{"Schedule", "PE", "NoC", "SRAM", "HBM"} {
-		if !tracks[want] {
-			return fmt.Errorf("%s: missing track %q (have %d tracks)", path, want, len(tracks))
+	want := []string{"Schedule", "PE", "NoC", "SRAM", "HBM"}
+	if faulted {
+		// A degraded run (fault/* counters present) must also surface its
+		// fault activity as a track.
+		want = append(want, "Fault")
+	}
+	for _, w := range want {
+		if !tracks[w] {
+			return fmt.Errorf("%s: missing track %q (have %d tracks)", path, w, len(tracks))
 		}
 	}
 	fmt.Printf("trace ok: %s (%d spans, %d counter samples, %d tracks)\n",
 		path, spans, counters, len(tracks))
 	return nil
+}
+
+// usageExit reports a malformed flag value, prints usage, and exits 2 —
+// the conventional "bad command line" status, distinct from runtime
+// failures (exit 1).
+func usageExit(format string, a ...any) {
+	fmt.Fprintf(os.Stderr, "crophe-sim: "+format+"\n", a...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func main() {
@@ -91,6 +126,10 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON to this path")
 	meshSpec := flag.String("mesh", "", "override the PE mesh as WxH (e.g. 16x4)")
 	traceCheck := flag.String("tracecheck", "", "validate a trace file written by -trace, then exit")
+	faultSpec := flag.String("faults", "", "degrade the chip by a fault spec (e.g. rows:1,links:2,hbm:0.8)")
+	seed := flag.Int64("seed", 1, "deterministic seed for fault placement")
+	deadlineSpec := flag.String("deadline", "", "bound each schedule search (duration, e.g. 200ms)")
+	sweepSteps := flag.Int("sweep", 0, "run an N-rung escalating resilience sweep")
 	flag.Parse()
 
 	if *traceCheck != "" {
@@ -99,6 +138,25 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+
+	deadline, err := cliutil.ParseDeadline(*deadlineSpec)
+	if err != nil {
+		usageExit("%v", err)
+	}
+	spec, err := fault.ParseSpec(*faultSpec)
+	if err != nil {
+		usageExit("invalid -faults: %v", err)
+	}
+	if *sweepSteps < 0 {
+		usageExit("invalid -sweep %d (want a positive rung count)", *sweepSteps)
+	}
+	if *sweepSteps > 0 && !spec.IsZero() {
+		usageExit("-sweep and -faults are mutually exclusive (the sweep escalates its own fault specs)")
+	}
+	degraded := *sweepSteps > 0 || !spec.IsZero()
+	if degraded && *meshSpec != "" {
+		usageExit("-mesh cannot be combined with -faults or -sweep (fault plans are drawn on the configuration's own mesh)")
 	}
 
 	hw := map[string]*arch.HWConfig{
@@ -143,6 +201,9 @@ func main() {
 	if df == sched.DataflowCROPHE {
 		w = w.DecomposeNTTs()
 	}
+	if deadline > 0 {
+		opt.SearchBudget = sched.BudgetForDeadline(deadline)
+	}
 
 	var opts []sim.Option
 	var tel *telemetry.Collector
@@ -151,12 +212,19 @@ func main() {
 		opts = append(opts, sim.WithTelemetry(tel))
 	}
 	if *meshSpec != "" {
-		var mw, mh int
-		if _, err := fmt.Sscanf(*meshSpec, "%dx%d", &mw, &mh); err != nil || mw < 1 || mh < 1 {
-			fmt.Fprintf(os.Stderr, "crophe-sim: invalid -mesh %q (want WxH)\n", *meshSpec)
-			os.Exit(1)
+		mw, mh, err := cliutil.ParseMesh(*meshSpec)
+		if err != nil {
+			usageExit("invalid -mesh: %v", err)
 		}
 		opts = append(opts, sim.WithMeshOverride(mw, mh))
+	}
+
+	if degraded {
+		if err := runDegraded(hw, w, opt, spec, *seed, *sweepSteps, opts, tel, *tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "crophe-sim: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	s := sched.New(hw, opt).WithTelemetry(tel).Run(w)
@@ -170,12 +238,78 @@ func main() {
 		s.TimeSec*1e3, r.TimeSec*1e3)
 	fmt.Printf("traffic: DRAM %.1f MB, SRAM %.1f MB, NoC %.1f MB\n",
 		r.Traffic.DRAM/1e6, r.Traffic.SRAM/1e6, r.Traffic.NoC/1e6)
-	if tel != nil {
-		if err := tel.WriteChromeTraceFile(*tracePath); err != nil {
-			fmt.Fprintf(os.Stderr, "crophe-sim: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("trace: %d spans, %d counters -> %s (open in chrome://tracing or ui.perfetto.dev)\n",
-			tel.SpanCount(), len(tel.Counters()), *tracePath)
+	if err := writeTrace(tel, *tracePath); err != nil {
+		fmt.Fprintf(os.Stderr, "crophe-sim: %v\n", err)
+		os.Exit(1)
 	}
+}
+
+// runDegraded drives the fault-injection modes: a single degraded run
+// under -faults, or an escalating resilience sweep under -sweep. An
+// invariant violation escaping the degraded stack is recovered into an
+// error carrying the fault seed — the one number needed to replay it.
+func runDegraded(hw *arch.HWConfig, w *workload.Workload, opt sched.Options, spec fault.Spec,
+	seed int64, sweepSteps int, opts []sim.Option, tel *telemetry.Collector, tracePath string) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("invariant violation under fault seed %d: %v", seed, r)
+		}
+	}()
+	ctx := context.Background()
+
+	if sweepSteps > 0 {
+		sw, err := fault.Sweep(hw, seed, sweepSteps, sim.DegradedRunner(ctx, opt, w))
+		if err != nil {
+			return err
+		}
+		fmt.Println(sw.String())
+		return nil
+	}
+
+	plan, err := fault.Generate(hw, spec, seed)
+	if err != nil {
+		return err
+	}
+	m, err := fault.NewMachine(hw, plan)
+	if err != nil {
+		return err
+	}
+	fmt.Println(m.Describe())
+	r, s, err := sim.SimulateDegraded(ctx, m, opt, w, opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Println(r.Describe())
+	fmt.Printf("degraded schedule: %.3f ms; cycle simulation: %.3f ms\n",
+		s.TimeSec*1e3, r.TimeSec*1e3)
+	if s.Partial {
+		fmt.Println("schedule search cut by deadline: best-so-far schedule used")
+	}
+
+	// Baseline the healthy machine with the same options so the report
+	// states throughput retained under this fault plan.
+	hs := sched.New(hw, opt).Run(w)
+	hr, err := sim.New(hw).SimulateSchedule(w, hs)
+	if err != nil {
+		return fmt.Errorf("healthy baseline: %w", err)
+	}
+	if r.TimeSec > 0 {
+		fmt.Printf("throughput retained vs healthy: %.1f%% (healthy %.3f ms)\n",
+			100*hr.TimeSec/r.TimeSec, hr.TimeSec*1e3)
+	}
+	return writeTrace(tel, tracePath)
+}
+
+// writeTrace flushes collected telemetry to tracePath; a nil collector
+// is a no-op.
+func writeTrace(tel *telemetry.Collector, tracePath string) error {
+	if tel == nil {
+		return nil
+	}
+	if err := tel.WriteChromeTraceFile(tracePath); err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d spans, %d counters -> %s (open in chrome://tracing or ui.perfetto.dev)\n",
+		tel.SpanCount(), len(tel.Counters()), tracePath)
+	return nil
 }

@@ -33,10 +33,18 @@ func TestTelemetryGuard(t *testing.T) {
 	analysistest.Run(t, analysis.TelemetryGuard, "telemetryguard/sim")
 }
 
+func TestFaultSeedFaultPackage(t *testing.T) {
+	analysistest.Run(t, analysis.FaultSeed, "faultseed/fault")
+}
+
+func TestFaultSeedDegradedFunctions(t *testing.T) {
+	analysistest.Run(t, analysis.FaultSeed, "faultseed/sim")
+}
+
 // TestSuiteRegistry pins the analyzer set cmd/crophe-lint runs, so adding
 // an analyzer without wiring it into All() fails loudly.
 func TestSuiteRegistry(t *testing.T) {
-	want := []string{"modarith", "levelcheck", "panicpolicy", "paramcopy", "telemetryguard"}
+	want := []string{"modarith", "levelcheck", "panicpolicy", "paramcopy", "telemetryguard", "faultseed"}
 	all := analysis.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

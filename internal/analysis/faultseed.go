@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// FaultSeed enforces replayability on fault paths: an error wrapped with
+// fmt.Errorf("...: %w", ...) inside the fault package, or inside any
+// function handling degraded machines, must reference the fault seed —
+// either interpolated into the message (the "(seed %d)" convention) or
+// passed as an argument. The seed is the one number that replays a
+// degraded failure deterministically; a wrap that drops it produces a
+// bug report nobody can reproduce. Command packages are exempt: their
+// recover boundary already stamps the seed.
+var FaultSeed = &Analyzer{
+	Name: "faultseed",
+	Doc: "requires fmt.Errorf %w wraps on fault paths (package fault, " +
+		"*Degraded*/*Fault* functions) to reference the fault seed so " +
+		"degraded failures stay deterministically replayable",
+	Run: runFaultSeed,
+}
+
+// faultSeedPackages lists package names where every error wrap is a fault
+// path. Matching by package name keeps the analyzer testable against
+// fixture packages.
+var faultSeedPackages = map[string]bool{"fault": true}
+
+func runFaultSeed(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	wholePkg := faultSeedPackages[pass.Pkg.Name()]
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if !wholePkg && !strings.Contains(name, "Degraded") && !strings.Contains(name, "Fault") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 || !isFmtErrorf(call) {
+					return true
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				format, err := strconv.Unquote(lit.Value)
+				if err != nil || !strings.Contains(format, "%w") {
+					return true
+				}
+				if strings.Contains(strings.ToLower(format), "seed") || mentionsSeed(call.Args[1:]) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"fault-path error wrap does not reference the fault seed; "+
+						`interpolate it (the "(seed %%d)" convention) so the failure can be replayed`)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isFmtErrorf reports whether the call is fmt.Errorf.
+func isFmtErrorf(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "fmt"
+}
+
+// mentionsSeed reports whether any argument expression names the seed —
+// a plain `seed` identifier or a `.Seed` field selection.
+func mentionsSeed(args []ast.Expr) bool {
+	found := false
+	for _, a := range args {
+		ast.Inspect(a, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.Ident:
+				if strings.EqualFold(x.Name, "seed") {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if x.Sel.Name == "Seed" {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,45 @@
+// Package fault is the faultseed fixture for the fault package itself:
+// every fmt.Errorf %w wrap must reference the seed, however the function
+// is named.
+package fault
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrMachineDead is the sentinel the wraps below carry.
+var ErrMachineDead = errors.New("fault: machine dead")
+
+// Plan is a minimal stand-in for the real fault plan.
+type Plan struct{ Seed int64 }
+
+// Validate exercises the flagged and allowed wrap forms.
+func Validate(p Plan, rows int) error {
+	if rows == 0 {
+		return fmt.Errorf("fault: no rows left: %w", ErrMachineDead) // want `does not reference the fault seed`
+	}
+	if rows < 0 {
+		return fmt.Errorf("fault: plan (seed %d) failed every row: %w", p.Seed, ErrMachineDead) // allowed: seed in message
+	}
+	return nil
+}
+
+// Wrap passes the seed as a plain argument without the word "seed" in the
+// format string; naming the value is enough.
+func Wrap(seed int64, err error) error {
+	return fmt.Errorf("fault: plan %d broke: %w", seed, err) // allowed: seed argument interpolated
+}
+
+// Describe builds a non-wrapping error; the policy only covers %w wraps.
+func Describe(n int) error {
+	return fmt.Errorf("fault: %d faults injected", n) // allowed: not a wrap
+}
+
+// Apply wraps through a struct field selection.
+func (p Plan) Apply(err error) error {
+	if err != nil {
+		return fmt.Errorf("fault: plan %d apply: %w", p.Seed, err) // allowed: .Seed selection
+	}
+	return nil
+}

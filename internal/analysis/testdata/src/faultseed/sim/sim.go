@@ -1,0 +1,24 @@
+// Package sim is the faultseed fixture for a non-fault package: only
+// functions on the degraded path (*Degraded*/*Fault* names) are covered;
+// healthy-path wraps stay unflagged.
+package sim
+
+import "fmt"
+
+// SimulateDegraded is on the fault path: its wraps must carry the seed.
+func SimulateDegraded(seed int64, err error) error {
+	if err != nil {
+		return fmt.Errorf("sim: degraded schedule: %w", err) // want `does not reference the fault seed`
+	}
+	return fmt.Errorf("sim: degraded schedule (fault seed %d): %w", seed, err) // allowed: seed in message
+}
+
+// applyFaults is covered by the *Fault* name rule even unexported.
+func applyFaults(err error) error {
+	return fmt.Errorf("sim: applying plan: %w", err) // want `does not reference the fault seed`
+}
+
+// Simulate is the healthy path: wraps without a seed are fine here.
+func Simulate(err error) error {
+	return fmt.Errorf("sim: transfer: %w", err) // allowed: not a fault path
+}

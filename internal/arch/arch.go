@@ -88,6 +88,58 @@ func (c *HWConfig) WithSRAM(capacityMB float64) *HWConfig {
 	return &out
 }
 
+// Derating is the effective-resource view of a configuration under a
+// fault plan: each field is the surviving fraction of the corresponding
+// resource (1 = healthy, 0 = fully failed). internal/fault computes one
+// from a seeded fault plan; the scheduler then searches on the derated
+// configuration so degraded-mode schedules fall out of the same cost
+// model as healthy ones.
+type Derating struct {
+	PEs  float64 // surviving PE fraction (failed rows)
+	Lane float64 // surviving per-PE lane throughput (degraded lanes)
+	NoC  float64 // surviving aggregate mesh link capacity
+	SRAM float64 // surviving global-buffer banks (bandwidth and capacity)
+	DRAM float64 // surviving HBM bandwidth (throttled channels)
+}
+
+// Healthy is the identity derating.
+func Healthy() Derating { return Derating{PEs: 1, Lane: 1, NoC: 1, SRAM: 1, DRAM: 1} }
+
+// Derate returns a copy of the configuration scaled by the surviving
+// resource fractions — the machine the scheduler and the analytical cost
+// model see under a fault plan. Fractions are clamped to [0, 1]; integer
+// resources floor but keep at least one unit whenever the fraction is
+// positive, so a plan that leaves any resource alive yields a schedulable
+// (if slow) machine and a plan that kills a resource class yields a
+// configuration the scheduler rejects as infeasible.
+func (c *HWConfig) Derate(d Derating) *HWConfig {
+	out := c.Clone()
+	frac := func(f float64) float64 {
+		if f < 0 {
+			return 0
+		}
+		if f > 1 {
+			return 1
+		}
+		return f
+	}
+	scaleInt := func(n int, f float64) int {
+		f = frac(f)
+		m := int(float64(n) * f)
+		if m < 1 && f > 0 && n > 0 {
+			m = 1
+		}
+		return m
+	}
+	out.NumPEs = scaleInt(c.NumPEs, d.PEs)
+	out.Lanes = scaleInt(c.Lanes, d.Lane)
+	out.NoCLinkGBs = c.NoCLinkGBs * frac(d.NoC)
+	out.SRAMBandwidthTBs = c.SRAMBandwidthTBs * frac(d.SRAM)
+	out.SRAMCapacityMB = c.SRAMCapacityMB * frac(d.SRAM)
+	out.DRAMBandwidthTBs = c.DRAMBandwidthTBs * frac(d.DRAM)
+	return out
+}
+
 // Clone returns a deep copy.
 func (c *HWConfig) Clone() *HWConfig {
 	out := *c

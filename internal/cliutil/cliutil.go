@@ -1,0 +1,54 @@
+// Package cliutil holds the flag-parsing helpers shared by the crophe
+// command-line tools. Each helper returns an error instead of exiting so
+// the commands own the exit policy (malformed flag values print usage
+// and exit 2) and the parsing rules stay table-testable.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseMesh parses a -mesh value of the form "WxH" (e.g. "16x4") into
+// positive dimensions.
+func ParseMesh(s string) (w, h int, err error) {
+	a, b, ok := strings.Cut(s, "x")
+	if !ok {
+		return 0, 0, fmt.Errorf("invalid mesh %q (want WxH, e.g. 16x4)", s)
+	}
+	w, err = strconv.Atoi(a)
+	if err == nil {
+		h, err = strconv.Atoi(b)
+	}
+	if err != nil || w < 1 || h < 1 {
+		return 0, 0, fmt.Errorf("invalid mesh %q (want WxH with positive dimensions)", s)
+	}
+	return w, h, nil
+}
+
+// ParseDeadline parses a -deadline value: a Go duration that must be
+// positive. The empty string means no deadline and parses to zero.
+func ParseDeadline(s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("invalid deadline %q (want a duration like 200ms or 2s)", s)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("invalid deadline %q (must be positive)", s)
+	}
+	return d, nil
+}
+
+// ParseSeed parses a -seed value as a decimal int64.
+func ParseSeed(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid seed %q (want a decimal integer)", s)
+	}
+	return v, nil
+}

@@ -1,0 +1,92 @@
+package cliutil
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseMesh(t *testing.T) {
+	cases := []struct {
+		in   string
+		w, h int
+		ok   bool
+	}{
+		{"16x4", 16, 4, true},
+		{"1x1", 1, 1, true},
+		{"8x8", 8, 8, true},
+		{"", 0, 0, false},
+		{"16", 0, 0, false},
+		{"x4", 0, 0, false},
+		{"16x", 0, 0, false},
+		{"0x4", 0, 0, false},
+		{"16x-2", 0, 0, false},
+		{"axb", 0, 0, false},
+		{"16x4x2", 0, 0, false},
+		{"16 x 4", 0, 0, false},
+	}
+	for _, c := range cases {
+		w, h, err := ParseMesh(c.in)
+		if c.ok {
+			if err != nil || w != c.w || h != c.h {
+				t.Errorf("ParseMesh(%q) = %d, %d, %v; want %d, %d", c.in, w, h, err, c.w, c.h)
+			}
+		} else if err == nil {
+			t.Errorf("ParseMesh(%q) accepted; want error", c.in)
+		}
+	}
+}
+
+func TestParseDeadline(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"", 0, true},
+		{"200ms", 200 * time.Millisecond, true},
+		{"2s", 2 * time.Second, true},
+		{"1m30s", 90 * time.Second, true},
+		{"0", 0, false},
+		{"0s", 0, false},
+		{"-1s", 0, false},
+		{"fast", 0, false},
+		{"200", 0, false},
+	}
+	for _, c := range cases {
+		d, err := ParseDeadline(c.in)
+		if c.ok {
+			if err != nil || d != c.want {
+				t.Errorf("ParseDeadline(%q) = %v, %v; want %v", c.in, d, err, c.want)
+			}
+		} else if err == nil {
+			t.Errorf("ParseDeadline(%q) accepted; want error", c.in)
+		}
+	}
+}
+
+func TestParseSeed(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"42", 42, true},
+		{"-7", -7, true},
+		{"9223372036854775807", 9223372036854775807, true},
+		{"", 0, false},
+		{"1.5", 0, false},
+		{"seed", 0, false},
+		{"9223372036854775808", 0, false},
+	}
+	for _, c := range cases {
+		v, err := ParseSeed(c.in)
+		if c.ok {
+			if err != nil || v != c.want {
+				t.Errorf("ParseSeed(%q) = %d, %v; want %d", c.in, v, err, c.want)
+			}
+		} else if err == nil {
+			t.Errorf("ParseSeed(%q) accepted; want error", c.in)
+		}
+	}
+}

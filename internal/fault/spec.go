@@ -1,0 +1,191 @@
+// Package fault is the deterministic fault-injection subsystem: it
+// degrades the modeled CROPHE chip — failed PE rows, downed or slowed
+// mesh links, disabled global-buffer banks, throttled HBM, transient
+// stall events — and threads the degradation through the whole stack.
+// A textual Spec says *how much* fails; a seeded Plan decides *which*
+// concrete resources fail; a Machine binds a plan to a hardware
+// configuration and hands each layer its view: the scheduler gets a
+// derated arch.HWConfig (degraded-mode scheduling falls out of the
+// normal search), the simulator gets structural faults applied to its
+// mesh/HBM/SRAM models plus a seeded stall sampler, and telemetry gets
+// fault counters and trace spans.
+//
+// Everything is deterministic per (spec, seed, hardware): the same
+// inputs always fail the same rows, links and banks, and fault sets are
+// nested — a spec asking for k+1 failures of a resource fails a strict
+// superset of the k-failure spec under the same seed. That nesting is
+// what makes resilience sweeps monotone and bit-reproducible.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Spec quantifies a fault load. The zero Spec is a healthy machine.
+//
+// The textual grammar is a comma-separated list of fields:
+//
+//	rows:N      N whole PE rows failed (compute dead; routers survive)
+//	lanes:F     fraction F of each surviving PE's lanes degraded
+//	links:N     N mesh links downed (both directions)
+//	slow:N@F    N further links running at factor F of their bandwidth
+//	banks:N     N global-buffer banks disabled
+//	hbm:F       HBM delivering only fraction F of peak (1 = healthy)
+//	stalls:N@D  N transient stall events of ~D cycles each
+//	stallp:F    additionally, each simulated group stalls with probability F
+//
+// e.g. "rows:2,links:3,slow:2@0.5,banks:8,hbm:0.75,stalls:4@200".
+type Spec struct {
+	FailedRows  int
+	LaneFrac    float64
+	DeadLinks   int
+	SlowLinks   int
+	SlowFactor  float64
+	DeadBanks   int
+	HBMFrac     float64 // surviving HBM bandwidth fraction; 0 means "unset" (healthy)
+	Stalls      int
+	StallCycles float64
+	StallProb   float64
+}
+
+// IsZero reports a healthy (fault-free) spec.
+func (s Spec) IsZero() bool {
+	return s.FailedRows == 0 && s.LaneFrac == 0 && s.DeadLinks == 0 &&
+		s.SlowLinks == 0 && s.DeadBanks == 0 && (s.HBMFrac == 0 || s.HBMFrac == 1) &&
+		s.Stalls == 0 && s.StallProb == 0
+}
+
+// String renders the spec in the ParseSpec grammar (round-trippable).
+func (s Spec) String() string {
+	var parts []string
+	if s.FailedRows > 0 {
+		parts = append(parts, fmt.Sprintf("rows:%d", s.FailedRows))
+	}
+	if s.LaneFrac > 0 {
+		parts = append(parts, fmt.Sprintf("lanes:%g", s.LaneFrac))
+	}
+	if s.DeadLinks > 0 {
+		parts = append(parts, fmt.Sprintf("links:%d", s.DeadLinks))
+	}
+	if s.SlowLinks > 0 {
+		parts = append(parts, fmt.Sprintf("slow:%d@%g", s.SlowLinks, s.SlowFactor))
+	}
+	if s.DeadBanks > 0 {
+		parts = append(parts, fmt.Sprintf("banks:%d", s.DeadBanks))
+	}
+	if s.HBMFrac > 0 && s.HBMFrac < 1 {
+		parts = append(parts, fmt.Sprintf("hbm:%g", s.HBMFrac))
+	}
+	if s.Stalls > 0 {
+		parts = append(parts, fmt.Sprintf("stalls:%d@%g", s.Stalls, s.StallCycles))
+	}
+	if s.StallProb > 0 {
+		parts = append(parts, fmt.Sprintf("stallp:%g", s.StallProb))
+	}
+	if len(parts) == 0 {
+		return "healthy"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSpec parses the fault grammar above. An empty string is the
+// healthy spec. Unknown fields, malformed values and out-of-range
+// fractions are errors.
+func ParseSpec(text string) (Spec, error) {
+	var s Spec
+	text = strings.TrimSpace(text)
+	if text == "" || text == "healthy" {
+		return s, nil
+	}
+	seen := map[string]bool{}
+	for _, field := range strings.Split(text, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			return s, fmt.Errorf("fault: empty field in spec %q", text)
+		}
+		key, val, ok := strings.Cut(field, ":")
+		if !ok {
+			return s, fmt.Errorf("fault: field %q is not key:value", field)
+		}
+		if seen[key] {
+			return s, fmt.Errorf("fault: duplicate field %q", key)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "rows":
+			s.FailedRows, err = parseCount(key, val)
+		case "lanes":
+			s.LaneFrac, err = parseFrac(key, val, false)
+		case "links":
+			s.DeadLinks, err = parseCount(key, val)
+		case "slow":
+			s.SlowLinks, s.SlowFactor, err = parseCountAt(key, val)
+			if err == nil && (s.SlowFactor <= 0 || s.SlowFactor >= 1) {
+				err = fmt.Errorf("fault: %s factor %g outside (0, 1)", key, s.SlowFactor)
+			}
+		case "banks":
+			s.DeadBanks, err = parseCount(key, val)
+		case "hbm":
+			s.HBMFrac, err = parseFrac(key, val, true)
+			if err == nil && s.HBMFrac == 0 {
+				err = fmt.Errorf("fault: hbm:0 would disconnect DRAM entirely; use a derated schedule instead")
+			}
+		case "stalls":
+			var d float64
+			s.Stalls, d, err = parseCountAt(key, val)
+			if err == nil && d <= 0 {
+				err = fmt.Errorf("fault: stall duration %g must be positive", d)
+			}
+			s.StallCycles = d
+		case "stallp":
+			s.StallProb, err = parseFrac(key, val, false)
+		default:
+			return s, fmt.Errorf("fault: unknown field %q (want rows/lanes/links/slow/banks/hbm/stalls/stallp)", key)
+		}
+		if err != nil {
+			return s, err
+		}
+	}
+	return s, nil
+}
+
+func parseCount(key, val string) (int, error) {
+	n, err := strconv.Atoi(val)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("fault: %s wants a non-negative count, got %q", key, val)
+	}
+	return n, nil
+}
+
+func parseFrac(key, val string, closedTop bool) (float64, error) {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil || f < 0 || f > 1 || (!closedTop && f == 1) {
+		return 0, fmt.Errorf("fault: %s wants a fraction in [0, 1), got %q", key, val)
+	}
+	return f, nil
+}
+
+// parseCountAt parses "N@F" values (slow:N@F, stalls:N@D).
+func parseCountAt(key, val string) (int, float64, error) {
+	cnt, at, ok := strings.Cut(val, "@")
+	if !ok {
+		return 0, 0, fmt.Errorf("fault: %s wants N@F, got %q", key, val)
+	}
+	n, err := strconv.Atoi(cnt)
+	if err != nil || n < 0 {
+		return 0, 0, fmt.Errorf("fault: %s wants a non-negative count, got %q", key, cnt)
+	}
+	f, err := strconv.ParseFloat(at, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("fault: %s factor %q is not a number", key, at)
+	}
+	return n, f, nil
+}
+
+// sortInts is a tiny local helper (keeps the package free of slices.Sort
+// so it builds on older toolchains too).
+func sortInts(xs []int) { sort.Ints(xs) }

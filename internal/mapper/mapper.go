@@ -7,6 +7,7 @@
 package mapper
 
 import (
+	"errors"
 	"fmt"
 
 	"crophe/internal/graph"
@@ -14,12 +15,30 @@ import (
 	"crophe/internal/sched"
 )
 
+// ErrNoRows reports that every mesh row is failed — there is nowhere to
+// place compute. Degraded-mode callers match it with errors.Is.
+var ErrNoRows = errors.New("mapper: no usable PE rows")
+
 // Placement maps each operator of a group to its PEs.
 type Placement struct {
 	PEsOf map[int][]noc.Coord // node ID → coordinates
 	// Bands records the horizontal band split (row ranges), one entry
-	// per transpose-separated segment.
+	// per transpose-separated segment. Band rows are logical: when
+	// RowMap is non-nil some physical rows are failed, and RowMap
+	// translates a logical row to the physical row serving it.
 	Bands []Band
+	// RowMap maps every logical mesh row to the physical row serving it:
+	// the identity on surviving rows, the nearest surviving row for
+	// failed ones (spare-row redundancy). nil means no failed rows.
+	RowMap []int
+}
+
+// PhysRow translates a logical row to the physical mesh row serving it.
+func (p *Placement) PhysRow(logical int) int {
+	if p.RowMap == nil || logical < 0 || logical >= len(p.RowMap) {
+		return logical
+	}
+	return p.RowMap[logical]
 }
 
 // Band is a horizontal slice of the mesh serving one transpose-separated
@@ -33,6 +52,67 @@ type Band struct {
 // Map places a group on a W×H mesh. alloc gives the PE count per node
 // (from the scheduler); nodes with zero allocation receive one PE.
 func Map(group *sched.GroupSchedule, w, h int) (*Placement, error) {
+	return MapAvoiding(group, w, h, nil)
+}
+
+// MapAvoiding places a group like Map but keeps work off failed mesh
+// rows (degraded-mode mapping). The logical placement — band split,
+// direction walk, cell assignment — is computed on the full mesh exactly
+// as for a healthy chip, then every cell on a failed row is remapped to
+// its nearest surviving row (spare-row redundancy). Keeping the logical
+// geometry fault-independent matters for graceful degradation: each
+// additional failed row only concentrates load onto the survivors,
+// instead of re-rolling the band split and rebalancing link hotspots by
+// luck. With every row failed it returns an error matching ErrNoRows.
+func MapAvoiding(group *sched.GroupSchedule, w, h int, badRows map[int]bool) (*Placement, error) {
+	if len(badRows) == 0 {
+		return mapOnMesh(group, w, h)
+	}
+	anyLive := false
+	for y := 0; y < h; y++ {
+		if !badRows[y] {
+			anyLive = true
+			break
+		}
+	}
+	if !anyLive {
+		return nil, fmt.Errorf("mapper: all %d mesh rows failed: %w", h, ErrNoRows)
+	}
+	p, err := mapOnMesh(group, w, h)
+	if err != nil {
+		return nil, err
+	}
+	remap := make([]int, h)
+	for y := 0; y < h; y++ {
+		remap[y] = nearestLiveRow(y, h, badRows)
+	}
+	for _, pes := range p.PEsOf {
+		for i := range pes {
+			pes[i].Y = remap[pes[i].Y]
+		}
+	}
+	p.RowMap = remap
+	return p, nil
+}
+
+// nearestLiveRow returns the surviving row closest to y (ties go up, the
+// fixed order that keeps degraded placements deterministic).
+func nearestLiveRow(y, h int, bad map[int]bool) int {
+	if !bad[y] {
+		return y
+	}
+	for d := 1; d < h; d++ {
+		if y-d >= 0 && !bad[y-d] {
+			return y - d
+		}
+		if y+d < h && !bad[y+d] {
+			return y + d
+		}
+	}
+	return y
+}
+
+func mapOnMesh(group *sched.GroupSchedule, w, h int) (*Placement, error) {
 	if w < 1 || h < 1 {
 		return nil, fmt.Errorf("mapper: invalid mesh %dx%d", w, h)
 	}
@@ -178,10 +258,16 @@ type Transfer struct {
 // BuildTrace maps every group of a segment schedule and extracts its
 // transfers.
 func BuildTrace(seg *sched.SegmentSchedule, wordBytes float64, w, h int) (*Trace, error) {
+	return BuildTraceAvoiding(seg, wordBytes, w, h, nil)
+}
+
+// BuildTraceAvoiding is BuildTrace with failed mesh rows excluded from
+// every group's placement (see MapAvoiding).
+func BuildTraceAvoiding(seg *sched.SegmentSchedule, wordBytes float64, w, h int, badRows map[int]bool) (*Trace, error) {
 	t := &Trace{}
 	for gi := range seg.Groups {
 		g := &seg.Groups[gi]
-		pl, err := Map(g, w, h)
+		pl, err := MapAvoiding(g, w, h, badRows)
 		if err != nil {
 			return nil, fmt.Errorf("mapper: group %d: %w", gi, err)
 		}

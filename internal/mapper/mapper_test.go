@@ -1,6 +1,7 @@
 package mapper
 
 import (
+	"errors"
 	"testing"
 
 	"crophe/internal/arch"
@@ -142,6 +143,73 @@ func TestMapOversubscribedGroupScalesDown(t *testing.T) {
 	for _, n := range nodes {
 		if len(pl.PEsOf[n.ID]) == 0 {
 			t.Fatal("scaled-down node lost all PEs")
+		}
+	}
+}
+
+func TestMapAvoidingSkipsFailedRows(t *testing.T) {
+	seg := scheduledSegment(t)
+	bad := map[int]bool{2: true, 5: true}
+	for gi := range seg.Groups {
+		g := &seg.Groups[gi]
+		pl, err := MapAvoiding(g, 8, 8, bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range g.Nodes {
+			for _, c := range pl.PEsOf[n.ID] {
+				if bad[c.Y] {
+					t.Fatalf("node %s placed on failed row %d", n.Name, c.Y)
+				}
+				if c.X < 0 || c.X >= 8 || c.Y < 0 || c.Y >= 8 {
+					t.Fatalf("node %s placed off-mesh at %v", n.Name, c)
+				}
+			}
+		}
+		if pl.RowMap == nil {
+			t.Fatal("avoiding placement has no row map")
+		}
+		// Virtual rows translate to surviving physical rows.
+		for v := 0; v < len(pl.RowMap); v++ {
+			if bad[pl.PhysRow(v)] {
+				t.Fatalf("virtual row %d maps to failed row %d", v, pl.PhysRow(v))
+			}
+		}
+	}
+}
+
+func TestMapAvoidingAllRowsFailedIsTypedError(t *testing.T) {
+	seg := scheduledSegment(t)
+	bad := map[int]bool{}
+	for y := 0; y < 8; y++ {
+		bad[y] = true
+	}
+	_, err := MapAvoiding(&seg.Groups[0], 8, 8, bad)
+	if !errors.Is(err, ErrNoRows) {
+		t.Fatalf("want ErrNoRows, got %v", err)
+	}
+	if _, err := BuildTraceAvoiding(seg, 8, 8, 8, bad); !errors.Is(err, ErrNoRows) {
+		t.Fatalf("BuildTraceAvoiding: want ErrNoRows, got %v", err)
+	}
+}
+
+func TestMapAvoidingNilBadRowsIsIdentity(t *testing.T) {
+	seg := scheduledSegment(t)
+	g := &seg.Groups[0]
+	a, err := Map(g, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MapAvoiding(g, 8, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RowMap != nil || b.RowMap != nil {
+		t.Fatal("healthy placements should have no row map")
+	}
+	for id, pes := range a.PEsOf {
+		if len(b.PEsOf[id]) != len(pes) {
+			t.Fatalf("node %d placement differs", id)
 		}
 	}
 }

@@ -27,6 +27,10 @@ type HBM struct {
 	// Channels is the number of independent channels.
 	Channels int
 
+	// throttle scales the delivered bandwidth in (0, 1] — the HBM-channel
+	// degradation knob of the fault-injection subsystem (1 = healthy).
+	throttle float64
+
 	totalBytes  float64
 	totalCycles float64
 	// Burst/row-buffer accounting for the observability layer: transfers
@@ -48,7 +52,27 @@ func NewHBM(bwTBs, freqGHz float64) (*HBM, error) {
 		RowBytes:               1024, // 1 KB rows (HBM3 pseudo-channel)
 		RowMissPenalty:         30,   // ≈ tRCD+tRP at ~1 GHz
 		Channels:               16,
+		throttle:               1,
 	}, nil
+}
+
+// Throttle derates the delivered bandwidth to factor (in (0, 1]) of peak —
+// a throttled or partially failed channel stack. Subsequent transfers take
+// proportionally longer.
+func (h *HBM) Throttle(factor float64) error {
+	if factor <= 0 || factor > 1 {
+		return fmt.Errorf("mem: HBM throttle factor %v outside (0, 1]", factor)
+	}
+	h.throttle = factor
+	return nil
+}
+
+// ThrottleFactor returns the active bandwidth derating (1 = healthy).
+func (h *HBM) ThrottleFactor() float64 {
+	if h.throttle == 0 {
+		return 1
+	}
+	return h.throttle
 }
 
 // AccessPattern describes the locality of a transfer.
@@ -70,7 +94,7 @@ func (h *HBM) Transfer(bytes float64, pattern AccessPattern) float64 {
 	if bytes <= 0 {
 		return 0
 	}
-	streamCycles := bytes / h.BandwidthBytesPerCycle
+	streamCycles := bytes / (h.BandwidthBytesPerCycle * h.ThrottleFactor())
 	// Row activations overlap with transfers of already-open rows; the
 	// overlap degree depends on locality. banksPerChannel banks hide
 	// activations of sequential streams almost entirely.
@@ -148,6 +172,11 @@ func (h *HBM) Reset() {
 	h.transfers = 0
 }
 
+// GlobalBufBanks is the bank count of the global buffer as simulated —
+// shared by the simulator (which builds the SRAM model) and the
+// fault-injection subsystem (which disables banks out of it).
+const GlobalBufBanks = 64
+
 // SRAM models the banked global buffer: single-ported banks at double
 // frequency (§VI), so conflict-free access achieves the full bandwidth
 // and bank conflicts serialise.
@@ -159,6 +188,9 @@ type SRAM struct {
 	CapacityBytes        float64
 
 	used float64
+	// disabledBanks removes banks from service (fault injection): both
+	// the usable capacity and the conflict-free access width shrink.
+	disabledBanks int
 	// Bank-conflict accounting: accesses addressing fewer than Banks
 	// banks serialise, and the cycles lost versus a conflict-free access
 	// of the same size accumulate here.
@@ -183,22 +215,46 @@ func NewSRAM(capacityMB, bwTBs, freqGHz float64, banks int) (*SRAM, error) {
 	}, nil
 }
 
+// DisableBanks takes n banks out of service (fault injection). At least
+// one bank must remain; n < 0 is rejected.
+func (s *SRAM) DisableBanks(n int) error {
+	if n < 0 {
+		return fmt.Errorf("mem: cannot disable %d banks", n)
+	}
+	if n >= s.Banks {
+		return fmt.Errorf("mem: disabling %d of %d banks leaves no usable bank", n, s.Banks)
+	}
+	s.disabledBanks = n
+	return nil
+}
+
+// EffectiveBanks returns the banks still in service.
+func (s *SRAM) EffectiveBanks() int { return s.Banks - s.disabledBanks }
+
+// EffectiveCapacity returns the usable capacity in bytes after bank
+// failures (capacity is striped uniformly across banks).
+func (s *SRAM) EffectiveCapacity() float64 {
+	return s.CapacityBytes * float64(s.EffectiveBanks()) / float64(s.Banks)
+}
+
 // Access returns the cycles to move bytes with the given number of
 // concurrently addressed banks (conflicts reduce effective width).
 func (s *SRAM) Access(bytes float64, activeBanks int) float64 {
 	if bytes <= 0 {
 		return 0
 	}
+	banks := s.EffectiveBanks()
 	if activeBanks < 1 {
 		activeBanks = 1
 	}
-	if activeBanks > s.Banks {
-		activeBanks = s.Banks
+	if activeBanks > banks {
+		activeBanks = banks
 	}
 	cycles := bytes / (s.BytesPerBankPerCycle * float64(activeBanks))
 	s.accesses++
 	s.totalBytes += bytes
-	// Conflict cost = serialisation beyond the conflict-free service time.
+	// Conflict cost = serialisation beyond the conflict-free service time
+	// of the healthy buffer (so disabled banks surface as conflicts).
 	s.conflictCycles += cycles - bytes/(s.BytesPerBankPerCycle*float64(s.Banks))
 	return cycles
 }
@@ -226,9 +282,10 @@ func (s *SRAM) EmitCounters(c *telemetry.Collector) {
 	c.EmitCounter("sram/bank_conflict_cycles", s.conflictCycles)
 }
 
-// Alloc reserves capacity, reporting whether it fit.
+// Alloc reserves capacity, reporting whether it fit. Disabled banks
+// shrink the allocatable pool.
 func (s *SRAM) Alloc(bytes float64) bool {
-	if s.used+bytes > s.CapacityBytes {
+	if s.used+bytes > s.EffectiveCapacity() {
 		return false
 	}
 	s.used += bytes
@@ -244,4 +301,4 @@ func (s *SRAM) Free(bytes float64) {
 }
 
 // Available returns the free capacity in bytes.
-func (s *SRAM) Available() float64 { return s.CapacityBytes - s.used }
+func (s *SRAM) Available() float64 { return s.EffectiveCapacity() - s.used }

@@ -103,6 +103,61 @@ func TestSRAMAllocFree(t *testing.T) {
 	}
 }
 
+func TestHBMThrottle(t *testing.T) {
+	h, _ := NewHBM(1, 1)
+	if err := h.Throttle(0); err == nil {
+		t.Error("zero throttle should fail")
+	}
+	if err := h.Throttle(1.5); err == nil {
+		t.Error("throttle above 1 should fail")
+	}
+	base := h.Transfer(1e6, Streaming)
+	if err := h.Throttle(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if f := h.ThrottleFactor(); f != 0.5 {
+		t.Fatalf("throttle factor %v want 0.5", f)
+	}
+	throttled := h.Transfer(1e6, Streaming)
+	if throttled < base*1.9 || throttled > base*2.1 {
+		t.Fatalf("half-bandwidth transfer %f cycles, want ≈2× %f", throttled, base)
+	}
+}
+
+func TestSRAMDisableBanks(t *testing.T) {
+	s, _ := NewSRAM(1, 36, 1, 8) // 1 MB, 8 banks
+	if err := s.DisableBanks(-1); err == nil {
+		t.Error("negative disable count should fail")
+	}
+	if err := s.DisableBanks(8); err == nil {
+		t.Error("disabling every bank should fail")
+	}
+	base := s.Access(36000, 8)
+	if err := s.DisableBanks(4); err != nil {
+		t.Fatal(err)
+	}
+	if s.EffectiveBanks() != 4 {
+		t.Fatalf("effective banks %d want 4", s.EffectiveBanks())
+	}
+	degraded := s.Access(36000, 8) // clamps to the 4 live banks
+	if degraded != base*2 {
+		t.Fatalf("half-banks access %f cycles want %f", degraded, base*2)
+	}
+	if st := s.Stats(); st.ConflictCycles <= 0 {
+		t.Fatalf("disabled banks should surface as conflict cycles: %+v", st)
+	}
+	// Capacity shrinks with the dead banks.
+	if got := s.EffectiveCapacity(); got != 5e5 {
+		t.Fatalf("effective capacity %f want 5e5", got)
+	}
+	if s.Alloc(6e5) {
+		t.Fatal("allocation over degraded capacity succeeded")
+	}
+	if !s.Alloc(4e5) {
+		t.Fatal("allocation within degraded capacity failed")
+	}
+}
+
 func TestHBMStatsAndCounters(t *testing.T) {
 	h, err := NewHBM(1, 1)
 	if err != nil {

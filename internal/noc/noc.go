@@ -4,14 +4,24 @@
 // contention accounting. The simulator uses it to turn the mapper's data
 // transfers into cycle counts; it replaces the paper's Orion-3-based
 // model (see DESIGN.md).
+//
+// The mesh also carries a degraded-mode view for the fault-injection
+// subsystem: individual links can be disabled (routing detours around
+// them, deterministically) or slowed (their drain capacity scales down),
+// so a simulated schedule reflects a partially failed interconnect.
 package noc
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"crophe/internal/telemetry"
 )
+
+// ErrUnreachable reports that no route exists between two PEs once dead
+// links are excluded. Callers match it with errors.Is.
+var ErrUnreachable = errors.New("noc: destination unreachable")
 
 // Coord is a PE position in the mesh.
 type Coord struct{ X, Y int }
@@ -30,6 +40,11 @@ type Mesh struct {
 	// sends counts routed transfers (unicasts plus multicast legs) since
 	// the last Reset.
 	sends int
+
+	// dead marks directed links that are down; routing detours around
+	// them. slow maps directed links to a capacity factor in (0, 1).
+	dead map[linkKey]bool
+	slow map[linkKey]float64
 }
 
 type linkKey struct {
@@ -66,12 +81,97 @@ func (m *Mesh) Contains(c Coord) bool {
 	return c.X >= 0 && c.X < m.W && c.Y >= 0 && c.Y < m.H
 }
 
-// Route returns the X-Y (dimension-ordered) path from src to dst,
-// excluding src, including dst.
-func (m *Mesh) Route(src, dst Coord) []Coord {
-	if !m.Contains(src) || !m.Contains(dst) {
-		panic(fmt.Sprintf("noc: route endpoints out of mesh: %v -> %v", src, dst))
+// step offsets in the deterministic neighbour order used by both the
+// fault-free X-Y router and the BFS detour router.
+var dirs = []struct {
+	dx, dy int
+	dir    byte
+}{
+	{1, 0, 'E'}, {-1, 0, 'W'}, {0, 1, 'S'}, {0, -1, 'N'},
+}
+
+// DisableLink marks the physical link leaving from in direction dir as
+// down, in both directions. Routing detours around disabled links; loads
+// already accumulated on them are kept (they were routed while the link
+// was up).
+func (m *Mesh) DisableLink(from Coord, dir byte) error {
+	k, rev, err := m.linkPair(from, dir)
+	if err != nil {
+		return err
 	}
+	if m.dead == nil {
+		m.dead = make(map[linkKey]bool)
+	}
+	m.dead[k] = true
+	m.dead[rev] = true
+	return nil
+}
+
+// SlowLink scales the capacity of the physical link leaving from in
+// direction dir (both directions) by factor in (0, 1].
+func (m *Mesh) SlowLink(from Coord, dir byte, factor float64) error {
+	if factor <= 0 || factor > 1 {
+		return fmt.Errorf("noc: slow-link factor %v outside (0, 1]", factor)
+	}
+	k, rev, err := m.linkPair(from, dir)
+	if err != nil {
+		return err
+	}
+	if m.slow == nil {
+		m.slow = make(map[linkKey]float64)
+	}
+	m.slow[k] = factor
+	m.slow[rev] = factor
+	return nil
+}
+
+// linkPair validates a (coord, direction) link reference and returns the
+// directed key plus its reverse.
+func (m *Mesh) linkPair(from Coord, dir byte) (linkKey, linkKey, error) {
+	if !m.Contains(from) {
+		return linkKey{}, linkKey{}, fmt.Errorf("noc: link source %v outside %dx%d mesh", from, m.W, m.H)
+	}
+	for _, d := range dirs {
+		if d.dir != dir {
+			continue
+		}
+		to := Coord{X: from.X + d.dx, Y: from.Y + d.dy}
+		if !m.Contains(to) {
+			return linkKey{}, linkKey{}, fmt.Errorf("noc: no %c link at %v (mesh edge)", dir, from)
+		}
+		rev, err := linkOf(to, from)
+		if err != nil {
+			return linkKey{}, linkKey{}, err
+		}
+		return linkKey{from, dir}, rev, nil
+	}
+	return linkKey{}, linkKey{}, fmt.Errorf("noc: unknown link direction %q", string(dir))
+}
+
+// DeadLinks returns the number of disabled physical links (undirected).
+func (m *Mesh) DeadLinks() int { return len(m.dead) / 2 }
+
+// SlowLinks returns the number of slowed physical links (undirected).
+func (m *Mesh) SlowLinks() int { return len(m.slow) / 2 }
+
+// Route returns a path from src to dst, excluding src, including dst.
+// With a healthy mesh this is the X-Y (dimension-ordered) route; with
+// disabled links it is the deterministic shortest detour (BFS in fixed
+// E,W,S,N neighbour order). It returns an error wrapping ErrUnreachable
+// when dead links partition src from dst, and a validation error when an
+// endpoint lies outside the mesh.
+func (m *Mesh) Route(src, dst Coord) ([]Coord, error) {
+	if !m.Contains(src) || !m.Contains(dst) {
+		return nil, fmt.Errorf("noc: route endpoints out of %dx%d mesh: %v -> %v", m.W, m.H, src, dst)
+	}
+	if len(m.dead) == 0 {
+		return m.routeXY(src, dst), nil
+	}
+	return m.routeAvoiding(src, dst)
+}
+
+// routeXY is the dimension-ordered route of the healthy mesh.
+func (m *Mesh) routeXY(src, dst Coord) []Coord {
 	var path []Coord
 	cur := src
 	for cur.X != dst.X {
@@ -93,7 +193,45 @@ func (m *Mesh) Route(src, dst Coord) []Coord {
 	return path
 }
 
-// Hops returns the Manhattan distance between two PEs.
+// routeAvoiding finds the shortest path that skips dead links. BFS with a
+// fixed neighbour order makes the detour deterministic, which the
+// bit-reproducible resilience sweeps rely on.
+func (m *Mesh) routeAvoiding(src, dst Coord) ([]Coord, error) {
+	if src == dst {
+		return nil, nil
+	}
+	prev := map[Coord]Coord{src: src}
+	queue := []Coord{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, d := range dirs {
+			next := Coord{X: cur.X + d.dx, Y: cur.Y + d.dy}
+			if !m.Contains(next) || m.dead[linkKey{cur, d.dir}] {
+				continue
+			}
+			if _, seen := prev[next]; seen {
+				continue
+			}
+			prev[next] = cur
+			if next == dst {
+				var path []Coord
+				for c := dst; c != src; c = prev[c] {
+					path = append(path, c)
+				}
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path, nil
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil, fmt.Errorf("noc: %v -> %v with %d dead links: %w", src, dst, m.DeadLinks(), ErrUnreachable)
+}
+
+// Hops returns the Manhattan distance between two PEs (the fault-free
+// path length; detours around dead links may be longer).
 func (m *Mesh) Hops(src, dst Coord) int {
 	dx := src.X - dst.X
 	if dx < 0 {
@@ -106,67 +244,98 @@ func (m *Mesh) Hops(src, dst Coord) int {
 	return dx + dy
 }
 
-// Send accumulates a unicast transfer of the given bytes along the X-Y
-// route and returns the head latency in cycles.
-func (m *Mesh) Send(src, dst Coord, bytes float64) int {
+// Send accumulates a unicast transfer of the given bytes along the routed
+// path and returns the head latency in cycles. A co-located transfer
+// (src == dst, operators time-sharing one PE) is not free: the handoff
+// serialises through the PE's local port at link bandwidth, modeled as a
+// loopback link — without this, packing more operators onto fewer
+// surviving PEs under row faults makes traffic evaporate.
+func (m *Mesh) Send(src, dst Coord, bytes float64) (int, error) {
+	path, err := m.Route(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	if src == dst {
+		m.sends++
+		m.linkLoad[linkKey{src, 'L'}] += bytes
+		return 0, nil
+	}
 	m.sends++
 	prev := src
-	for _, next := range m.Route(src, dst) {
-		m.linkLoad[linkOf(prev, next)] += bytes
+	for _, next := range path {
+		k, err := linkOf(prev, next)
+		if err != nil {
+			return 0, err
+		}
+		m.linkLoad[k] += bytes
 		prev = next
 	}
-	return m.Hops(src, dst) * m.HopLatency
+	return len(path) * m.HopLatency, nil
 }
 
 // Multicast accumulates a tree multicast from src to all dsts: shared
-// prefixes of the X-Y routes carry the payload once (§IV-A's multicast
+// prefixes of the routes carry the payload once (§IV-A's multicast
 // support). Returns the worst-case head latency.
-func (m *Mesh) Multicast(src Coord, dsts []Coord, bytes float64) int {
+func (m *Mesh) Multicast(src Coord, dsts []Coord, bytes float64) (int, error) {
 	charged := make(map[linkKey]bool)
 	worst := 0
 	m.sends += len(dsts)
 	for _, dst := range dsts {
+		path, err := m.Route(src, dst)
+		if err != nil {
+			return 0, err
+		}
 		prev := src
-		for _, next := range m.Route(src, dst) {
-			k := linkOf(prev, next)
+		for _, next := range path {
+			k, err := linkOf(prev, next)
+			if err != nil {
+				return 0, err
+			}
 			if !charged[k] {
 				charged[k] = true
 				m.linkLoad[k] += bytes
 			}
 			prev = next
 		}
-		if h := m.Hops(src, dst) * m.HopLatency; h > worst {
+		if h := len(path) * m.HopLatency; h > worst {
 			worst = h
 		}
 	}
-	return worst
+	return worst, nil
 }
 
-func linkOf(from, to Coord) linkKey {
+// linkOf returns the directed link key between two adjacent routers, or
+// an error for a non-adjacent pair (a malformed path).
+func linkOf(from, to Coord) (linkKey, error) {
 	switch {
-	case to.X == from.X+1:
-		return linkKey{from, 'E'}
-	case to.X == from.X-1:
-		return linkKey{from, 'W'}
-	case to.Y == from.Y+1:
-		return linkKey{from, 'S'}
-	case to.Y == from.Y-1:
-		return linkKey{from, 'N'}
+	case to.X == from.X+1 && to.Y == from.Y:
+		return linkKey{from, 'E'}, nil
+	case to.X == from.X-1 && to.Y == from.Y:
+		return linkKey{from, 'W'}, nil
+	case to.Y == from.Y+1 && to.X == from.X:
+		return linkKey{from, 'S'}, nil
+	case to.Y == from.Y-1 && to.X == from.X:
+		return linkKey{from, 'N'}, nil
 	}
-	panic("noc: non-adjacent hop")
+	return linkKey{}, fmt.Errorf("noc: non-adjacent hop %v -> %v", from, to)
 }
 
 // DrainCycles returns the cycles needed to drain the accumulated traffic:
 // the busiest link bounds throughput (serialisation), which is how
-// contention manifests in a wormhole mesh.
+// contention manifests in a wormhole mesh. Slowed links drain at their
+// reduced capacity.
 func (m *Mesh) DrainCycles() float64 {
 	var worst float64
-	for _, load := range m.linkLoad {
-		if load > worst {
-			worst = load
+	for k, load := range m.linkLoad {
+		cap := m.LinkBytesPerCycle
+		if f, ok := m.slow[k]; ok {
+			cap *= f
+		}
+		if c := load / cap; c > worst {
+			worst = c
 		}
 	}
-	return worst / m.LinkBytesPerCycle
+	return worst
 }
 
 // TotalBytesHops returns Σ bytes×links-traversed, the energy/utilisation
@@ -193,7 +362,7 @@ func (m *Mesh) numLinks() int {
 	return 2*(m.W-1)*m.H + 2*m.W*(m.H-1)
 }
 
-// Reset clears accumulated loads.
+// Reset clears accumulated loads, keeping any link-fault state.
 func (m *Mesh) Reset() {
 	m.linkLoad = make(map[linkKey]float64)
 	m.sends = 0

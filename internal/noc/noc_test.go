@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -14,6 +15,24 @@ func mustMesh(t *testing.T, w, h int) *Mesh {
 		t.Fatal(err)
 	}
 	return m
+}
+
+func mustRoute(t *testing.T, m *Mesh, src, dst Coord) []Coord {
+	t.Helper()
+	path, err := m.Route(src, dst)
+	if err != nil {
+		t.Fatalf("route %v -> %v: %v", src, dst, err)
+	}
+	return path
+}
+
+func mustSend(t *testing.T, m *Mesh, src, dst Coord, bytes float64) int {
+	t.Helper()
+	lat, err := m.Send(src, dst, bytes)
+	if err != nil {
+		t.Fatalf("send %v -> %v: %v", src, dst, err)
+	}
+	return lat
 }
 
 func TestNewMeshValidation(t *testing.T) {
@@ -47,7 +66,7 @@ func TestPEIndexRowMajor(t *testing.T) {
 
 func TestRouteXY(t *testing.T) {
 	m := mustMesh(t, 8, 8)
-	path := m.Route(Coord{1, 1}, Coord{4, 3})
+	path := mustRoute(t, m, Coord{1, 1}, Coord{4, 3})
 	want := []Coord{{2, 1}, {3, 1}, {4, 1}, {4, 2}, {4, 3}}
 	if len(path) != len(want) {
 		t.Fatalf("path %v want %v", path, want)
@@ -58,7 +77,7 @@ func TestRouteXY(t *testing.T) {
 		}
 	}
 	// Self-route is empty.
-	if p := m.Route(Coord{2, 2}, Coord{2, 2}); len(p) != 0 {
+	if p := mustRoute(t, m, Coord{2, 2}, Coord{2, 2}); len(p) != 0 {
 		t.Fatalf("self route %v", p)
 	}
 }
@@ -68,7 +87,8 @@ func TestRoutePropertyLengthIsManhattan(t *testing.T) {
 	prop := func(a, b uint8) bool {
 		src := m.PEIndex(int(a) % 64)
 		dst := m.PEIndex(int(b) % 64)
-		return len(m.Route(src, dst)) == m.Hops(src, dst)
+		path, err := m.Route(src, dst)
+		return err == nil && len(path) == m.Hops(src, dst)
 	}
 	if err := quick.Check(prop, nil); err != nil {
 		t.Error(err)
@@ -77,7 +97,7 @@ func TestRoutePropertyLengthIsManhattan(t *testing.T) {
 
 func TestSendAccumulatesAndDrains(t *testing.T) {
 	m := mustMesh(t, 4, 1)
-	lat := m.Send(Coord{0, 0}, Coord{3, 0}, 640)
+	lat := mustSend(t, m, Coord{0, 0}, Coord{3, 0}, 640)
 	if lat != 3 {
 		t.Fatalf("latency %d want 3", lat)
 	}
@@ -87,8 +107,8 @@ func TestSendAccumulatesAndDrains(t *testing.T) {
 	}
 	// Two flows sharing the middle link contend.
 	m.Reset()
-	m.Send(Coord{0, 0}, Coord{2, 0}, 640)
-	m.Send(Coord{1, 0}, Coord{3, 0}, 640)
+	mustSend(t, m, Coord{0, 0}, Coord{2, 0}, 640)
+	mustSend(t, m, Coord{1, 0}, Coord{3, 0}, 640)
 	if d := m.DrainCycles(); d != 20 {
 		t.Fatalf("contended drain %f want 20 (shared link)", d)
 	}
@@ -98,12 +118,14 @@ func TestMulticastSharesPrefix(t *testing.T) {
 	m := mustMesh(t, 4, 4)
 	// Unicast to two destinations down the same column duplicates the
 	// shared prefix...
-	m.Send(Coord{0, 0}, Coord{0, 2}, 100)
-	m.Send(Coord{0, 0}, Coord{0, 3}, 100)
+	mustSend(t, m, Coord{0, 0}, Coord{0, 2}, 100)
+	mustSend(t, m, Coord{0, 0}, Coord{0, 3}, 100)
 	unicast := m.TotalBytesHops()
 	m.Reset()
 	// ...multicast pays it once.
-	m.Multicast(Coord{0, 0}, []Coord{{0, 2}, {0, 3}}, 100)
+	if _, err := m.Multicast(Coord{0, 0}, []Coord{{0, 2}, {0, 3}}, 100); err != nil {
+		t.Fatal(err)
+	}
 	multicast := m.TotalBytesHops()
 	if multicast >= unicast {
 		t.Fatalf("multicast %.0f not cheaper than unicast %.0f", multicast, unicast)
@@ -115,7 +137,7 @@ func TestMulticastSharesPrefix(t *testing.T) {
 
 func TestUtilization(t *testing.T) {
 	m := mustMesh(t, 2, 2)
-	m.Send(Coord{0, 0}, Coord{1, 1}, 64)
+	mustSend(t, m, Coord{0, 0}, Coord{1, 1}, 64)
 	// Perfect utilisation would move 8 links × 64 B per cycle.
 	u := m.Utilization(1)
 	if u <= 0 || u > 1 {
@@ -126,20 +148,123 @@ func TestUtilization(t *testing.T) {
 	}
 }
 
-func TestRoutePanicsOutsideMesh(t *testing.T) {
+func TestRouteOutsideMeshIsError(t *testing.T) {
 	m := mustMesh(t, 2, 2)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+	if _, err := m.Route(Coord{0, 0}, Coord{5, 5}); err == nil {
+		t.Fatal("out-of-mesh destination should return an error")
+	}
+	if _, err := m.Route(Coord{-1, 0}, Coord{1, 1}); err == nil {
+		t.Fatal("out-of-mesh source should return an error")
+	}
+	if _, err := m.Send(Coord{0, 0}, Coord{9, 9}, 64); err == nil {
+		t.Fatal("out-of-mesh send should return an error")
+	}
+	if _, err := m.Multicast(Coord{0, 0}, []Coord{{0, 1}, {7, 7}}, 64); err == nil {
+		t.Fatal("out-of-mesh multicast leg should return an error")
+	}
+}
+
+func TestLinkOfNonAdjacentIsError(t *testing.T) {
+	if _, err := linkOf(Coord{0, 0}, Coord{2, 0}); err == nil {
+		t.Fatal("non-adjacent pair should return an error")
+	}
+	if _, err := linkOf(Coord{0, 0}, Coord{1, 1}); err == nil {
+		t.Fatal("diagonal pair should return an error")
+	}
+	if k, err := linkOf(Coord{0, 0}, Coord{1, 0}); err != nil || k.dir != 'E' {
+		t.Fatalf("adjacent pair: key %v err %v", k, err)
+	}
+}
+
+func TestDisableLinkValidation(t *testing.T) {
+	m := mustMesh(t, 4, 4)
+	if err := m.DisableLink(Coord{9, 9}, 'E'); err == nil {
+		t.Fatal("source outside mesh should fail")
+	}
+	if err := m.DisableLink(Coord{3, 0}, 'E'); err == nil {
+		t.Fatal("link off the mesh edge should fail")
+	}
+	if err := m.DisableLink(Coord{0, 0}, 'Q'); err == nil {
+		t.Fatal("unknown direction should fail")
+	}
+	if err := m.DisableLink(Coord{1, 1}, 'E'); err != nil {
+		t.Fatal(err)
+	}
+	if m.DeadLinks() != 1 {
+		t.Fatalf("dead links %d want 1", m.DeadLinks())
+	}
+}
+
+func TestRouteDetoursAroundDeadLink(t *testing.T) {
+	m := mustMesh(t, 4, 2)
+	// Kill the direct E link out of (1,0); the X-Y route (0,0)→(3,0)
+	// must detour through row 1.
+	if err := m.DisableLink(Coord{1, 0}, 'E'); err != nil {
+		t.Fatal(err)
+	}
+	path := mustRoute(t, m, Coord{0, 0}, Coord{3, 0})
+	if len(path) <= m.Hops(Coord{0, 0}, Coord{3, 0}) {
+		t.Fatalf("detour path %v not longer than Manhattan distance", path)
+	}
+	for i := 1; i < len(path); i++ {
+		if m.Hops(path[i-1], path[i]) != 1 {
+			t.Fatalf("non-adjacent hop in detour: %v", path)
 		}
-	}()
-	m.Route(Coord{0, 0}, Coord{5, 5})
+	}
+	// Determinism: the same query yields the identical path.
+	again := mustRoute(t, m, Coord{0, 0}, Coord{3, 0})
+	if len(again) != len(path) {
+		t.Fatalf("detour not deterministic: %v vs %v", path, again)
+	}
+	for i := range path {
+		if path[i] != again[i] {
+			t.Fatalf("detour not deterministic: %v vs %v", path, again)
+		}
+	}
+	// Send still works over the detour.
+	if _, err := m.Send(Coord{0, 0}, Coord{3, 0}, 64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteUnreachable(t *testing.T) {
+	m := mustMesh(t, 2, 1)
+	if err := m.DisableLink(Coord{0, 0}, 'E'); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.Route(Coord{0, 0}, Coord{1, 0})
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("want ErrUnreachable, got %v", err)
+	}
+	if _, err := m.Send(Coord{0, 0}, Coord{1, 0}, 64); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("send over partitioned mesh: want ErrUnreachable, got %v", err)
+	}
+}
+
+func TestSlowLinkStretchesDrain(t *testing.T) {
+	m := mustMesh(t, 2, 1)
+	if err := m.SlowLink(Coord{0, 0}, 'E', 0); err == nil {
+		t.Fatal("zero factor should fail")
+	}
+	if err := m.SlowLink(Coord{0, 0}, 'E', 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if m.SlowLinks() != 1 {
+		t.Fatalf("slow links %d want 1", m.SlowLinks())
+	}
+	mustSend(t, m, Coord{0, 0}, Coord{1, 0}, 640)
+	// 640 B at half of 64 B/cycle → 20 cycles instead of 10.
+	if d := m.DrainCycles(); d != 20 {
+		t.Fatalf("slowed drain %f want 20", d)
+	}
 }
 
 func TestEmitCountersPerLink(t *testing.T) {
 	m := mustMesh(t, 2, 2)
-	m.Send(Coord{0, 0}, Coord{1, 0}, 128) // one E hop
-	m.Multicast(Coord{0, 0}, []Coord{{0, 1}, {1, 1}}, 64)
+	mustSend(t, m, Coord{0, 0}, Coord{1, 0}, 128) // one E hop
+	if _, err := m.Multicast(Coord{0, 0}, []Coord{{0, 1}, {1, 1}}, 64); err != nil {
+		t.Fatal(err)
+	}
 	if m.Sends() != 3 {
 		t.Fatalf("sends %d want 3", m.Sends())
 	}
@@ -162,7 +287,7 @@ func TestEmitCountersPerLink(t *testing.T) {
 
 	// Loads are deltas: reset then re-emit accumulates windows.
 	m.Reset()
-	m.Send(Coord{0, 0}, Coord{1, 0}, 72)
+	mustSend(t, m, Coord{0, 0}, Coord{1, 0}, 72)
 	m.EmitCounters(tel)
 	if got := tel.Counter("noc/link/0,0/E"); got != 264 {
 		t.Fatalf("accumulated E-link occupancy %v want 264", got)

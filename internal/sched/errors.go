@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"crophe/internal/arch"
+)
+
+// ErrInfeasible is the sentinel matched (via errors.Is) by every
+// scheduling failure that means "this machine cannot run this workload" —
+// a fault plan that killed a whole resource class, a zero-lane
+// configuration, or a candidate composition with no feasible groups.
+var ErrInfeasible = errors.New("sched: infeasible")
+
+// InfeasibleError reports that a hardware configuration cannot host any
+// schedule for the requested workload, with the failing resource spelled
+// out so fault sweeps can attribute the rejection.
+type InfeasibleError struct {
+	HW     string // configuration name
+	Reason string // which resource check failed
+}
+
+// Error implements error.
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("sched: %s infeasible: %s", e.HW, e.Reason)
+}
+
+// Is matches ErrInfeasible.
+func (e *InfeasibleError) Is(target error) bool { return target == ErrInfeasible }
+
+// CycleError reports a dependency cycle in a workload graph: a
+// topological order visited only Ordered of Total nodes. Scheduling only
+// part of the workload would corrupt every downstream cost model, so the
+// whole segment is rejected.
+type CycleError struct {
+	Segment string
+	Ordered int
+	Total   int
+}
+
+// Error implements error.
+func (e *CycleError) Error() string {
+	return fmt.Sprintf("sched: dependency cycle in segment %q: ordered %d of %d nodes",
+		e.Segment, e.Ordered, e.Total)
+}
+
+// validateHW rejects configurations with a dead resource class before the
+// search runs — the typed front door for fault plans that derated a
+// resource to zero.
+func validateHW(hw *arch.HWConfig) error {
+	fail := func(reason string) error {
+		return &InfeasibleError{HW: hw.Name, Reason: reason}
+	}
+	switch {
+	case hw.NumPEs < 1:
+		return fail("no usable PEs (every row failed)")
+	case hw.Lanes < 1:
+		return fail("no usable lanes")
+	case hw.FreqGHz <= 0:
+		return fail(fmt.Sprintf("non-positive clock %v GHz", hw.FreqGHz))
+	case hw.DRAMBandwidthTBs <= 0:
+		return fail("no DRAM bandwidth (HBM fully throttled)")
+	case hw.SRAMBandwidthTBs <= 0:
+		return fail("no global-buffer bandwidth (every bank disabled)")
+	}
+	return nil
+}

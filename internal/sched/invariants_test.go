@@ -145,7 +145,10 @@ func TestInvariantMemoizationConsistent(t *testing.T) {
 func TestInvariantAffinityOrderIsTopological(t *testing.T) {
 	w := workload.Bootstrapping(testParams, workload.RotHybrid, 4)
 	for _, seg := range w.Segments {
-		order := auxAffinityOrder(seg.G)
+		order, err := auxAffinityOrder(seg.G)
+		if err != nil {
+			t.Fatalf("%s: %v", seg.Name, err)
+		}
 		pos := map[*graph.Node]int{}
 		for i, n := range order {
 			pos[n] = i

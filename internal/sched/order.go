@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"fmt"
 	"sort"
 
 	"crophe/internal/graph"
@@ -13,7 +12,8 @@ import (
 // spatial-sharing opportunities the group-formation DP can exploit: when
 // several ready operators consume the same evk, they are emitted
 // back-to-back and land in one group, so the evk is streamed once.
-func auxAffinityOrder(g *graph.Graph) []*graph.Node {
+// A graph with a dependency cycle yields a *CycleError.
+func auxAffinityOrder(g *graph.Graph) ([]*graph.Node, error) {
 	indeg := make(map[*graph.Node]int, len(g.Nodes))
 	for _, n := range g.Nodes {
 		indeg[n] = len(n.InEdges)
@@ -82,9 +82,9 @@ func auxAffinityOrder(g *graph.Graph) []*graph.Node {
 	// cycle, and silently scheduling only part of the workload would
 	// corrupt every downstream cost model.
 	if visited != len(g.Nodes) {
-		panic(fmt.Sprintf("sched: dependency cycle: ordered %d of %d nodes", visited, len(g.Nodes)))
+		return nil, &CycleError{Ordered: visited, Total: len(g.Nodes)}
 	}
-	return out
+	return out, nil
 }
 
 // primaryAux returns the dominant auxiliary input of a node (the largest

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -8,11 +9,20 @@ import (
 )
 
 // Edge cases of the affinity ordering: degenerate graphs must come back
-// intact, and cyclic inputs must be rejected loudly instead of silently
-// scheduling a subset of the workload.
+// intact, and cyclic inputs must be rejected with a typed error instead
+// of silently scheduling a subset of the workload.
+
+func mustOrder(t *testing.T, g *graph.Graph) []*graph.Node {
+	t.Helper()
+	out, err := auxAffinityOrder(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
 
 func TestAffinityOrderEmptyGraph(t *testing.T) {
-	if out := auxAffinityOrder(graph.New()); len(out) != 0 {
+	if out := mustOrder(t, graph.New()); len(out) != 0 {
 		t.Fatalf("empty graph ordered %d nodes", len(out))
 	}
 }
@@ -20,7 +30,7 @@ func TestAffinityOrderEmptyGraph(t *testing.T) {
 func TestAffinityOrderSingleNode(t *testing.T) {
 	g := graph.New()
 	n := g.AddNode(graph.OpEWMul, "only", graph.Tensor{Limbs: 1, N: 4})
-	out := auxAffinityOrder(g)
+	out := mustOrder(t, g)
 	if len(out) != 1 || out[0] != n {
 		t.Fatalf("single-node order wrong: %v", out)
 	}
@@ -33,31 +43,35 @@ func TestAffinityOrderSkipsStructuralNodes(t *testing.T) {
 	out := g.AddNode(graph.OpOutput, "out", graph.Tensor{Limbs: 1, N: 4})
 	g.Connect(in, mul)
 	g.Connect(mul, out)
-	order := auxAffinityOrder(g)
+	order := mustOrder(t, g)
 	if len(order) != 1 || order[0] != mul {
 		t.Fatalf("want only the compute node, got %d nodes", len(order))
 	}
 }
 
-func TestAffinityOrderCyclicInputPanics(t *testing.T) {
+func TestAffinityOrderCyclicInputIsError(t *testing.T) {
 	g := graph.New()
 	a := g.AddNode(graph.OpEWAdd, "a", graph.Tensor{Limbs: 1, N: 4})
 	b := g.AddNode(graph.OpEWMul, "b", graph.Tensor{Limbs: 1, N: 4})
 	g.Connect(a, b)
 	g.Connect(b, a)
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("cyclic graph did not panic")
-		}
-		if !strings.Contains(r.(string), "cycle") {
-			t.Fatalf("unexpected panic: %v", r)
-		}
-	}()
-	auxAffinityOrder(g)
+	_, err := auxAffinityOrder(g)
+	if err == nil {
+		t.Fatal("cyclic graph did not error")
+	}
+	var ce *CycleError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CycleError, got %T: %v", err, err)
+	}
+	if ce.Ordered != 0 || ce.Total != 2 {
+		t.Fatalf("cycle error counts wrong: %+v", ce)
+	}
+	if !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("unexpected error text: %v", err)
+	}
 }
 
-func TestAffinityOrderPartialCyclePanics(t *testing.T) {
+func TestAffinityOrderPartialCycleIsError(t *testing.T) {
 	// A reachable prefix followed by a cycle: the order must not silently
 	// return just the prefix.
 	g := graph.New()
@@ -67,10 +81,15 @@ func TestAffinityOrderPartialCyclePanics(t *testing.T) {
 	g.Connect(head, a)
 	g.Connect(a, b)
 	g.Connect(b, a)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("partial cycle did not panic")
-		}
-	}()
-	auxAffinityOrder(g)
+	out, err := auxAffinityOrder(g)
+	if err == nil {
+		t.Fatalf("partial cycle did not error (got %d nodes)", len(out))
+	}
+	var ce *CycleError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CycleError, got %T: %v", err, err)
+	}
+	if ce.Ordered != 1 || ce.Total != 3 {
+		t.Fatalf("cycle error counts wrong: %+v", ce)
+	}
 }

@@ -14,10 +14,12 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"crophe/internal/arch"
 	"crophe/internal/graph"
@@ -56,6 +58,15 @@ type Options struct {
 	// with an equal split — an ablation knob showing why proportional
 	// allocation matters for pipeline balance.
 	UniformAlloc bool
+	// SearchBudget bounds the anytime search: the DP may cost at most this
+	// many multi-operator candidate groups before the search is cut and the
+	// remaining workload is scheduled with solo groups (always feasible, so
+	// a valid best-so-far schedule is still returned, flagged Partial).
+	// Zero means unlimited. Solo (k=1) candidates never consume budget —
+	// they are the fallback, not the search. The budget is the
+	// deterministic twin of a wall-clock deadline: the same budget cuts at
+	// the same candidate on every run (see BudgetForDeadline).
+	SearchBudget int
 }
 
 // DefaultOptions returns the configuration used throughout the evaluation.
@@ -163,6 +174,87 @@ type Schedule struct {
 	Traffic  Traffic
 	Util     Utilization
 	Segments []SegmentSchedule
+	// Partial reports that the anytime search was cut — by an exhausted
+	// SearchBudget or an expired context — before exploring every
+	// candidate group. The schedule is still valid end to end (every
+	// operator is scheduled; the unexplored tail runs as solo groups),
+	// just not the best the full search would find.
+	Partial bool
+}
+
+// BudgetForDeadline converts a wall-clock deadline into a deterministic
+// candidate budget. Deadlines are quantised to power-of-two buckets so
+// that runs whose deadlines land in the same bucket explore exactly the
+// same candidates and return bit-identical schedules — wall-clock time
+// never decides where the search cuts, only which bucket it starts in.
+// The calibration (candidates per millisecond) is deliberately
+// conservative so the budget cut fires before the context backstop.
+func BudgetForDeadline(d time.Duration) int {
+	if d <= 0 {
+		return 1
+	}
+	const candidatesPerMs = 2000
+	b := int(d.Milliseconds()) * candidatesPerMs
+	if b < 1 {
+		b = 1
+	}
+	bucket := 1
+	for bucket <= b/2 {
+		bucket *= 2
+	}
+	return bucket
+}
+
+// searchState threads the anytime cut through one Schedule call: the
+// remaining multi-operator candidate budget and the context backstop.
+// Once cut, the DP stops proposing k>1 groups and finishes the workload
+// with solo groups, which are always feasible.
+type searchState struct {
+	done      <-chan struct{} // nil when the context cannot expire
+	budget    int             // remaining k>1 candidates; <0 = unlimited
+	cut       bool
+	cacheable bool // segment results computed before any cut may be memoised
+}
+
+func newSearchState(ctx context.Context, budget int) *searchState {
+	if budget <= 0 {
+		budget = -1 // unlimited
+	}
+	return &searchState{done: ctx.Done(), budget: budget, cacheable: true}
+}
+
+// charge consumes one unit of multi-operator budget, reporting whether
+// the candidate may be explored.
+func (st *searchState) charge() bool {
+	if st.cut {
+		return false
+	}
+	if st.budget == 0 {
+		st.markCut()
+		return false
+	}
+	if st.budget > 0 {
+		st.budget--
+	}
+	return true
+}
+
+// poll is the context backstop, checked once per DP row: an expired or
+// cancelled context cuts the search exactly like an exhausted budget.
+func (st *searchState) poll() {
+	if st.cut || st.done == nil {
+		return
+	}
+	select {
+	case <-st.done:
+		st.markCut()
+	default:
+	}
+}
+
+func (st *searchState) markCut() {
+	st.cut = true
+	st.cacheable = false
 }
 
 // Search telemetry: cumulative, process-global counters of the dataflow
@@ -204,6 +296,10 @@ type Scheduler struct {
 	// explored, pruned, memo hits). Set with WithTelemetry.
 	tel *telemetry.Collector
 
+	// priceHW, when set, re-prices the chosen group compositions on a
+	// second (typically derated) configuration. Set with WithPricing.
+	priceHW *arch.HWConfig
+
 	// segCache memoises segment schedules by structural fingerprint —
 	// the paper's redundancy merge ("searches only once", §V-D). Keyed
 	// per (fingerprint, hardware identity, cluster count); the Scheduler
@@ -242,12 +338,62 @@ func (s *Scheduler) WithTelemetry(c *telemetry.Collector) *Scheduler {
 	return s
 }
 
-// Run schedules a workload and returns the full result. With Clusters > 1
-// (CROPHE-p), the PE array is statically partitioned; each cluster runs
-// independent data-parallel instances and the auxiliary constants are
-// multicast once to all clusters, so per-task time divides by the cluster
-// count (bounded by the workload's available data parallelism).
+// WithPricing splits the schedule into a composition search and a cost
+// model: group compositions are searched on the scheduler's own (base)
+// configuration, then the chosen groups are re-priced on hw — the
+// degraded effective view of a faulted machine. The split is what makes
+// graceful degradation monotone: the DP optimises the sum of group
+// times, but the final segment cost adds composition-dependent
+// residency and spill terms, so letting a derated view steer the search
+// can land on a composition that happens to beat the healthy one.
+// Pricing a fault-independent composition on the derated view charges
+// every lost resource without that luck. Feasibility is checked against
+// the pricing view (a dead resource class is ErrInfeasible). A nil hw
+// restores single-configuration behaviour. Returns the scheduler for
+// chaining.
+func (s *Scheduler) WithPricing(hw *arch.HWConfig) *Scheduler {
+	s.priceHW = hw
+	return s
+}
+
+// Run schedules a workload and returns the full result, panicking on the
+// error paths of Schedule — a dead resource class or a cyclic workload
+// graph, both invariant violations for the healthy configurations and
+// well-formed workloads of the evaluation. Degraded-mode callers (fault
+// sweeps, anytime search) use Schedule directly.
 func (s *Scheduler) Run(w *workload.Workload) *Schedule {
+	out, err := s.Schedule(context.Background(), w)
+	if err != nil {
+		panic(fmt.Sprintf("sched: Run(%s on %s): %v", w.Name, s.HW.Name, err))
+	}
+	return out
+}
+
+// Schedule schedules a workload and returns the full result. With
+// Clusters > 1 (CROPHE-p), the PE array is statically partitioned; each
+// cluster runs independent data-parallel instances and the auxiliary
+// constants are multicast once to all clusters, so per-task time divides
+// by the cluster count (bounded by the workload's available data
+// parallelism).
+//
+// Schedule is the anytime entry point: an exhausted Opt.SearchBudget or
+// an expired/cancelled ctx cuts the candidate search, and the remaining
+// operators are scheduled as solo groups — still a valid end-to-end
+// schedule, returned with Partial set, never an error. Errors are
+// reserved for workloads this machine cannot run at all: a hardware
+// configuration with a dead resource class (errors.Is ErrInfeasible) or
+// a cyclic segment graph (*CycleError).
+func (s *Scheduler) Schedule(ctx context.Context, w *workload.Workload) (*Schedule, error) {
+	price := s.priceHW
+	if price == nil {
+		price = s.HW
+	}
+	// Feasibility is a property of the machine the schedule will run on
+	// — the pricing (effective) view when one is set.
+	if err := validateHW(price); err != nil {
+		return nil, err
+	}
+	st := newSearchState(ctx, s.Opt.SearchBudget)
 	hw := s.HW
 	clusters := s.Opt.Clusters
 	if clusters > w.DataParallel {
@@ -259,21 +405,19 @@ func (s *Scheduler) Run(w *workload.Workload) *Schedule {
 	if clusters < 1 {
 		clusters = 1
 	}
-	clusterHW := hw
-	if clusters > 1 {
-		clusterHW = hw.Clone()
-		clusterHW.NumPEs = hw.NumPEs / clusters
-		clusterHW.SRAMCapacityMB = hw.SRAMCapacityMB / float64(clusters)
-		clusterHW.SRAMBandwidthTBs = hw.SRAMBandwidthTBs / float64(clusters)
-		// DRAM bandwidth is chip-wide; each cluster sees its slice for
-		// private data, but shared aux is fetched once (handled below).
-		clusterHW.DRAMBandwidthTBs = hw.DRAMBandwidthTBs / float64(clusters)
+	clusterHW := clusterView(hw, clusters)
+	clusterPrice := clusterHW
+	if price != hw {
+		clusterPrice = clusterView(price, clusters)
 	}
 
 	out := &Schedule{Workload: w.Name, HW: hw.Name, Opt: s.Opt}
 	var busyPE, busyNoC, busySRAM, busyDRAM float64
 	for _, seg := range w.Segments {
-		ss := s.scheduleSegment(clusterHW, seg, clusters)
+		ss, err := s.scheduleSegment(clusterHW, clusterPrice, seg, clusters, st)
+		if err != nil {
+			return nil, err
+		}
 		out.Segments = append(out.Segments, ss)
 		out.TimeSec += ss.TimeSec * float64(ss.Count)
 		out.Traffic.Add(ss.Traffic.Scale(float64(ss.Count)))
@@ -281,9 +425,9 @@ func (s *Scheduler) Run(w *workload.Workload) *Schedule {
 		for _, g := range ss.Groups {
 			busyPE += g.Compute * c
 		}
-		busyNoC += ss.Traffic.NoC / nocBandwidth(clusterHW) * c
-		busySRAM += ss.Traffic.SRAM / (clusterHW.SRAMBandwidthTBs * 1e12) * c
-		busyDRAM += ss.Traffic.DRAM / (clusterHW.DRAMBandwidthTBs * 1e12) * c
+		busyNoC += ss.Traffic.NoC / nocBandwidth(clusterPrice) * c
+		busySRAM += ss.Traffic.SRAM / (clusterPrice.SRAMBandwidthTBs * 1e12) * c
+		busyDRAM += ss.Traffic.DRAM / (clusterPrice.DRAMBandwidthTBs * 1e12) * c
 	}
 	// CROPHE-p: per-task time divides by the active clusters.
 	out.TimeSec /= float64(clusters)
@@ -295,13 +439,34 @@ func (s *Scheduler) Run(w *workload.Workload) *Schedule {
 			// PE utilisation is useful work over chip peak — the metric
 			// under which Table IV's specialised baselines score low
 			// (their idle unit classes count as waste).
-			PE:   clampFrac(float64(w.TotalModMuls()) / (hw.PeakModMulsPerSec() * out.TimeSec)),
+			PE:   clampFrac(float64(w.TotalModMuls()) / (price.PeakModMulsPerSec() * out.TimeSec)),
 			NoC:  clampFrac(busyNoC / wall),
 			SRAM: clampFrac(busySRAM / wall),
 			DRAM: clampFrac(busyDRAM / wall / float64(clusters)),
 		}
 	}
-	return out
+	out.Partial = st.cut
+	if st.cut && s.tel.Enabled() {
+		s.tel.EmitCounter("sched/search_cut", 1)
+	}
+	return out, nil
+}
+
+// clusterView is the per-cluster slice of a configuration under static
+// partitioning (CROPHE-p): compute, buffer capacity and bandwidths all
+// divide by the cluster count. DRAM bandwidth is chip-wide; each cluster
+// sees its slice for private data, but shared aux is fetched once
+// (handled at the segment level).
+func clusterView(hw *arch.HWConfig, clusters int) *arch.HWConfig {
+	if clusters <= 1 {
+		return hw
+	}
+	c := hw.Clone()
+	c.NumPEs = hw.NumPEs / clusters
+	c.SRAMCapacityMB = hw.SRAMCapacityMB / float64(clusters)
+	c.SRAMBandwidthTBs = hw.SRAMBandwidthTBs / float64(clusters)
+	c.DRAMBandwidthTBs = hw.DRAMBandwidthTBs / float64(clusters)
+	return c
 }
 
 func clampFrac(f float64) float64 {
@@ -315,10 +480,14 @@ func clampFrac(f float64) float64 {
 }
 
 // scheduleSegment runs the DP group composition over one segment graph,
-// memoised by structural fingerprint.
-func (s *Scheduler) scheduleSegment(hw *arch.HWConfig, seg workload.Segment, clusters int) SegmentSchedule {
+// memoised by structural fingerprint. Once the anytime search is cut,
+// the memo is bypassed in both directions: degraded (solo-group)
+// schedules must not poison the cache, and cached full-search results
+// must not leak into a cut run — the cut point, not wall-clock luck,
+// decides what a budgeted run returns.
+func (s *Scheduler) scheduleSegment(hw, price *arch.HWConfig, seg workload.Segment, clusters int, st *searchState) (SegmentSchedule, error) {
 	key := segKey{fp: seg.G.Fingerprint(), sramMB: hw.SRAMCapacityMB, clusters: clusters, count: seg.Count}
-	if cached, ok := s.segCache[key]; ok {
+	if cached, ok := s.segCache[key]; ok && !st.cut {
 		statCacheHits.Add(1)
 		if s.tel.Enabled() {
 			s.tel.EmitCounter("sched/seg_cache_hits", 1)
@@ -326,32 +495,44 @@ func (s *Scheduler) scheduleSegment(hw *arch.HWConfig, seg workload.Segment, clu
 		out := *cached
 		out.Name = seg.Name
 		out.Count = seg.Count
-		return out
+		return out, nil
 	}
 	statCacheMiss.Add(1)
 	if s.tel.Enabled() {
 		s.tel.EmitCounter("sched/seg_cache_misses", 1)
 	}
-	out := s.scheduleSegmentUncached(hw, seg, clusters)
-	cached := out
-	s.segCache[key] = &cached
-	return out
+	out, err := s.scheduleSegmentUncached(hw, price, seg, clusters, st)
+	if err != nil {
+		return SegmentSchedule{}, err
+	}
+	if st.cacheable {
+		cached := out
+		s.segCache[key] = &cached
+	}
+	return out, nil
 }
 
-func (s *Scheduler) scheduleSegmentUncached(hw *arch.HWConfig, seg workload.Segment, clusters int) SegmentSchedule {
+func (s *Scheduler) scheduleSegmentUncached(hw, price *arch.HWConfig, seg workload.Segment, clusters int, st *searchState) (SegmentSchedule, error) {
 	var nodes []*graph.Node
 	if s.Opt.Dataflow == DataflowCROPHE {
 		// Aux-affinity order: place consumers of the same auxiliary data
 		// adjacently (when dependencies allow) so spatial sharing groups
 		// can stream one evk to all of them — the sharing opportunity
 		// hybrid rotation creates across coarse steps (§V-C).
-		nodes = auxAffinityOrder(seg.G)
+		ordered, err := auxAffinityOrder(seg.G)
+		if err != nil {
+			if ce, ok := err.(*CycleError); ok {
+				ce.Segment = seg.Name
+			}
+			return SegmentSchedule{}, err
+		}
+		nodes = ordered
 	} else {
 		nodes = seg.G.ComputeNodes()
 	}
 	n := len(nodes)
 	if n == 0 {
-		return SegmentSchedule{Name: seg.Name, Count: seg.Count}
+		return SegmentSchedule{Name: seg.Name, Count: seg.Count}, nil
 	}
 
 	maxK := s.Opt.MaxGroupSize
@@ -376,7 +557,14 @@ func (s *Scheduler) scheduleSegmentUncached(hw *arch.HWConfig, seg workload.Segm
 		if !best[i].hasVal {
 			continue
 		}
+		st.poll()
 		for k := 1; k <= maxK && i+k <= n; k++ {
+			// Solo groups are the always-feasible fallback and run even
+			// after the anytime cut; multi-operator candidates are the
+			// search proper and each costs one unit of budget.
+			if k > 1 && !st.charge() {
+				break
+			}
 			candidates++
 			g := s.costGroup(hw, seg.G, nodes[i:i+k])
 			if g == nil {
@@ -395,6 +583,15 @@ func (s *Scheduler) scheduleSegmentUncached(hw *arch.HWConfig, seg workload.Segm
 		s.tel.EmitCounter("sched/candidates", float64(candidates))
 		s.tel.EmitCounter("sched/pruned", float64(pruned))
 	}
+	if !best[n].hasVal {
+		// Cannot happen while solo groups are unprunable, but the search
+		// contract allows costGroup to reject, so fail loudly rather than
+		// dereference a hole in the DP table.
+		return SegmentSchedule{}, &InfeasibleError{
+			HW:     hw.Name,
+			Reason: fmt.Sprintf("no feasible group composition for segment %q", seg.Name),
+		}
+	}
 
 	// Reconstruct groups.
 	var groups []GroupSchedule
@@ -402,6 +599,22 @@ func (s *Scheduler) scheduleSegmentUncached(hw *arch.HWConfig, seg workload.Segm
 		c := best[i]
 		groups = append([]GroupSchedule{*c.group}, groups...)
 		i = c.prev
+	}
+
+	// Degraded pricing (see WithPricing): the composition above was
+	// searched on the base configuration; re-cost the chosen groups on
+	// the effective view so the schedule charges every lost resource.
+	// The PE allocation keeps the base layout — placement geometry is a
+	// logical-design decision that must not re-roll under faults (the
+	// mapper remaps failed rows onto survivors); the lost compute is
+	// charged through the re-priced stage times.
+	if price != hw {
+		for gi := range groups {
+			g := s.costGroup(price, seg.G, groups[gi].Nodes)
+			g.PEAlloc = groups[gi].PEAlloc
+			groups[gi] = *g
+		}
+		hw = price
 	}
 
 	ss := SegmentSchedule{Name: seg.Name, Count: seg.Count, Groups: groups}
@@ -572,7 +785,7 @@ func (s *Scheduler) scheduleSegmentUncached(hw *arch.HWConfig, seg workload.Segm
 		ss.Traffic.NoC/nocBandwidth(hw),
 		ss.Traffic.Transpose/(hw.SRAMBandwidthTBs*1e12*0.5),
 	)
-	return ss
+	return ss, nil
 }
 
 type auxUse struct {

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"crophe/internal/arch"
+	"crophe/internal/fault"
 	"crophe/internal/mapper"
 	"crophe/internal/mem"
 	"crophe/internal/noc"
@@ -93,6 +94,16 @@ func WithMeshOverride(w, h int) Option {
 	}
 }
 
+// WithFaults degrades the simulated chip per the machine's fault plan:
+// groups avoid failed PE rows, transfers detour dead links and crawl
+// over slowed ones, the buffer loses its dead banks, the HBM its
+// throttled bandwidth, and seeded transient stalls extend groups. Fault
+// activity lands on a "Fault" telemetry track plus fault/* counters. A
+// nil machine leaves the chip healthy.
+func WithFaults(m *fault.Machine) Option {
+	return func(e *Engine) { e.faults = m }
+}
+
 // Engine binds a hardware configuration.
 type Engine struct {
 	// HW is the bound hardware configuration.
@@ -104,6 +115,7 @@ type Engine struct {
 
 	tel          *telemetry.Collector
 	meshW, meshH int
+	faults       *fault.Machine
 }
 
 // New creates a simulator for a configuration.
@@ -143,13 +155,29 @@ func (e *Engine) simulate(ctx context.Context, w *workload.Workload, s *sched.Sc
 	tel := e.tel
 	freq := hw.FreqGHz * 1e9
 
+	// Models are built from the BASE configuration and then structurally
+	// faulted (banks disabled, channels throttled). The scheduler already
+	// planned on the derated effective view; deriving the models from the
+	// derated numbers too would charge every fault twice.
 	hbm, err := mem.NewHBM(hw.DRAMBandwidthTBs, hw.FreqGHz)
 	if err != nil {
 		return nil, err
 	}
-	sram, err := mem.NewSRAM(hw.SRAMCapacityMB, hw.SRAMBandwidthTBs, hw.FreqGHz, 64)
+	sram, err := mem.NewSRAM(hw.SRAMCapacityMB, hw.SRAMBandwidthTBs, hw.FreqGHz, mem.GlobalBufBanks)
 	if err != nil {
 		return nil, err
+	}
+	var failedRows map[int]bool
+	var stalls *fault.StallSampler
+	if e.faults != nil {
+		if err := e.faults.ApplyToHBM(hbm); err != nil {
+			return nil, err
+		}
+		if err := e.faults.ApplyToSRAM(sram); err != nil {
+			return nil, err
+		}
+		failedRows = e.faults.FailedRows()
+		stalls = e.faults.StallSampler()
 	}
 
 	meshW, meshH := hw.MeshW, hw.MeshH
@@ -190,7 +218,12 @@ func (e *Engine) simulate(ctx context.Context, w *workload.Workload, s *sched.Sc
 		if err != nil {
 			return nil, err
 		}
-		trace, err := mapper.BuildTrace(&s.Segments[si], hw.WordBytes(), meshW, meshH)
+		if e.faults != nil {
+			if err := e.faults.ApplyToMesh(mesh); err != nil {
+				return nil, err
+			}
+		}
+		trace, err := mapper.BuildTraceAvoiding(&s.Segments[si], hw.WordBytes(), meshW, meshH, failedRows)
 		if err != nil {
 			return nil, err
 		}
@@ -233,7 +266,12 @@ func (e *Engine) simulate(ctx context.Context, w *workload.Workload, s *sched.Sc
 							best, dst = h, cand
 						}
 					}
-					if lat := mesh.Send(src, dst, share); lat > headLatency {
+					lat, err := mesh.Send(src, dst, share)
+					if err != nil {
+						return nil, fmt.Errorf("sim: %s transfer %d→%d: %w",
+							groupName, tr.FromID, tr.ToID, err)
+					}
+					if lat > headLatency {
 						headLatency = lat
 					}
 				}
@@ -254,6 +292,13 @@ func (e *Engine) simulate(ctx context.Context, w *workload.Workload, s *sched.Sc
 			groupCycles := maxOf(computeCycles, nocCycles, dramCycles, sramCycles)
 			// Synchronous group switch (§IV-A): drain the pipeline.
 			groupCycles += float64(headLatency)
+			// Transient faults: a stall event freezes the whole group (a
+			// pipeline replay after an upset), extending it end to end.
+			var stallCycles float64
+			if stalls != nil {
+				stallCycles = stalls.Next()
+				groupCycles += stallCycles
+			}
 			segCycles += groupCycles
 
 			busyPE += computeCycles
@@ -269,9 +314,14 @@ func (e *Engine) simulate(ctx context.Context, w *workload.Workload, s *sched.Sc
 					telemetry.Arg{Key: "ops", Value: float64(len(g.Nodes))})
 				for _, b := range tg.Placement.Bands {
 					for row := b.Row0; row < b.Row0+b.Rows; row++ {
-						tel.EmitSpan("PE", fmt.Sprintf("row %d", row),
+						tel.EmitSpan("PE", fmt.Sprintf("row %d", tg.Placement.PhysRow(row)),
 							groupName, groupStart, computeCycles)
 					}
+				}
+				if stallCycles > 0 {
+					tel.EmitSpan("Fault", "stalls", groupName,
+						groupStart+groupCycles-stallCycles, stallCycles,
+						telemetry.Arg{Key: "cycles", Value: stallCycles})
 				}
 				if nocCycles > 0 {
 					tel.EmitSpan("NoC", "links", groupName, groupStart, nocCycles,
@@ -361,6 +411,19 @@ func (e *Engine) simulate(ctx context.Context, w *workload.Workload, s *sched.Sc
 	if tel.Enabled() {
 		hbm.EmitCounters(tel)
 		sram.EmitCounters(tel)
+		if e.faults != nil {
+			e.faults.EmitCounters(tel)
+			// Plan-summary span covering the whole run, so the Fault track
+			// exists in every degraded trace even when no stall fired.
+			tel.EmitSpan("Fault", "plan", e.faults.Plan.Spec.String(), 0, res.Cycles,
+				telemetry.Arg{Key: "seed", Value: float64(e.faults.Plan.Seed)},
+				telemetry.Arg{Key: "faults", Value: float64(e.faults.Plan.FaultCount())})
+			if stalls != nil {
+				n, cycles := stalls.Injected()
+				tel.EmitCounter("fault/stalls_injected", float64(n))
+				tel.EmitCounter("fault/stall_cycles", cycles)
+			}
+		}
 		tel.EmitCounter("sim/segments", float64(len(res.PerSegment)))
 		tel.EmitCounter("sim/groups", float64(nGroups))
 		tel.EmitCounter("sim/transfers", float64(nTransfers))
@@ -401,6 +464,40 @@ func Run(hw *arch.HWConfig, opt sched.Options, w *workload.Workload, opts ...Opt
 	e := New(hw, opts...)
 	s := sched.New(hw, opt).WithTelemetry(e.tel).Run(w)
 	return e.SimulateSchedule(w, s)
+}
+
+// SimulateDegraded schedules a workload for a degraded machine — the
+// composition search runs on the pristine configuration and the chosen
+// groups are priced on the machine's effective (derated) view, the
+// split that keeps degradation monotone in the fault load (see
+// sched.Scheduler.WithPricing) — and simulates the schedule on the
+// structurally faulted chip models. The context bounds the schedule
+// search, not the simulation: an expired deadline yields a best-so-far
+// schedule, never an error.
+func SimulateDegraded(ctx context.Context, m *fault.Machine, opt sched.Options, w *workload.Workload, opts ...Option) (*Result, *sched.Schedule, error) {
+	s, err := sched.New(m.Base, opt).WithPricing(m.EffectiveHW()).Schedule(ctx, w)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sim: degraded schedule (fault seed %d): %w", m.Plan.Seed, err)
+	}
+	opts = append(opts, WithFaults(m))
+	res, err := New(m.Base, opts...).SimulateSchedule(w, s)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sim: degraded run (fault seed %d): %w", m.Plan.Seed, err)
+	}
+	return res, s, nil
+}
+
+// DegradedRunner adapts SimulateDegraded to the fault.Sweep contract —
+// the injection point that keeps internal/fault free of any simulator
+// dependency.
+func DegradedRunner(ctx context.Context, opt sched.Options, w *workload.Workload) fault.Runner {
+	return func(m *fault.Machine) (fault.Outcome, error) {
+		res, s, err := SimulateDegraded(ctx, m, opt, w)
+		if err != nil {
+			return fault.Outcome{}, err
+		}
+		return fault.Outcome{TimeSec: res.TimeSec, Cycles: res.Cycles, Partial: s.Partial}, nil
+	}
 }
 
 func hbmBytesPerCycle(hw *arch.HWConfig) float64 {

@@ -1,0 +1,105 @@
+package crophe
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"crophe/internal/fault"
+	"crophe/internal/sched"
+	"crophe/internal/sim"
+)
+
+// Fault-injection and graceful-degradation surface: deterministic,
+// seed-driven hardware faults (failed PE rows, dead or slowed mesh
+// links, disabled SRAM banks, throttled HBM, transient stalls), degraded
+// scheduling and simulation, and resilience sweeps. See the "Fault model
+// & graceful degradation" section of DESIGN.md.
+
+// Fault types.
+type (
+	// FaultSpec declares how much of each resource class to fail; parse
+	// one from a string with ParseFaultSpec.
+	FaultSpec = fault.Spec
+	// FaultPlan is a spec instantiated under a seed: the concrete rows,
+	// links and banks that failed.
+	FaultPlan = fault.Plan
+	// FaultMachine couples a hardware configuration with a fault plan
+	// and serves its degraded effective view.
+	FaultMachine = fault.Machine
+	// ResilienceSweep is a full escalating-fault sweep result.
+	ResilienceSweep = fault.SweepResult
+	// ResiliencePoint is one rung of a resilience sweep.
+	ResiliencePoint = fault.SweepPoint
+)
+
+// Fault error sentinels, matched with errors.Is.
+var (
+	// ErrMachineDead reports a fault plan that leaves no schedulable
+	// machine (all rows failed, mesh partitioned, zero bandwidth).
+	ErrMachineDead = fault.ErrMachineDead
+	// ErrInfeasible reports a hardware view with a dead resource class.
+	ErrInfeasible = sched.ErrInfeasible
+)
+
+// ParseFaultSpec parses the -faults grammar:
+//
+//	rows:N,lanes:F,links:N,slow:N@F,banks:N,hbm:F,stalls:N@D,stallp:F
+//
+// "" and "healthy" parse to the zero (healthy) spec.
+func ParseFaultSpec(s string) (FaultSpec, error) { return fault.ParseSpec(s) }
+
+// NewFaultMachine instantiates a fault spec on hw under a deterministic
+// seed and validates that the degraded machine can still run (an
+// unschedulable machine is an error matching ErrMachineDead).
+func NewFaultMachine(hw *HWConfig, spec FaultSpec, seed int64) (*FaultMachine, error) {
+	plan, err := fault.Generate(hw, spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	return fault.NewMachine(hw, plan)
+}
+
+// WithFaults degrades the simulated chip per the machine's fault plan.
+func WithFaults(m *FaultMachine) SimOption { return sim.WithFaults(m) }
+
+// SearchBudgetForDeadline converts a scheduling deadline into the
+// deterministic candidate budget of the anytime search (power-of-two
+// buckets, so close deadlines map to identical schedules). Assign it to
+// nothing directly — pass it through SimulateDegraded's ctx instead, or
+// use it when driving internal schedulers by hand.
+func SearchBudgetForDeadline(d time.Duration) int { return sched.BudgetForDeadline(d) }
+
+// recoverFaultPanic converts an invariant violation escaping a degraded
+// run into a returned error carrying the fault seed — the one number
+// needed to replay the failure deterministically.
+func recoverFaultPanic(seed int64, err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("crophe: invariant violation under fault seed %d: %v", seed, r)
+	}
+}
+
+// SimulateDegraded schedules and simulates a workload on a degraded
+// machine. The context bounds the anytime schedule search: on deadline
+// or cancellation the best-so-far valid schedule is used (Partial set on
+// the returned Schedule), never an error. A panic escaping the degraded
+// stack — an invariant violation some fault combination exposed — is
+// recovered into an error carrying the fault seed.
+func SimulateDegraded(ctx context.Context, m *FaultMachine, w *Workload, opts ...SimOption) (res *SimResult, s *Schedule, err error) {
+	defer recoverFaultPanic(m.Plan.Seed, &err)
+	return sim.SimulateDegraded(ctx, m, sched.DefaultOptions(sched.DataflowCROPHE), w, opts...)
+}
+
+// RunResilienceSweep degrades hw over steps escalating fault rungs
+// (seeded, bit-deterministic) and reports throughput retained at each
+// rung. deadline bounds each rung's schedule search via the anytime
+// budget; 0 leaves the search unbounded. Panics escaping a rung are
+// recovered into the rung's error, tagged with the seed.
+func RunResilienceSweep(ctx context.Context, hw *HWConfig, w *Workload, seed int64, steps int, deadline time.Duration) (sw *ResilienceSweep, err error) {
+	defer recoverFaultPanic(seed, &err)
+	opt := sched.DefaultOptions(sched.DataflowCROPHE)
+	if deadline > 0 {
+		opt.SearchBudget = sched.BudgetForDeadline(deadline)
+	}
+	return fault.Sweep(hw, seed, steps, sim.DegradedRunner(ctx, opt, w))
+}
