@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test lint vet race fuzz bench bench-json bench-diff trace-smoke chaos-smoke clean
+.PHONY: all build test lint vet race fuzz bench bench-json bench-diff trace-smoke chaos-smoke serve-smoke clean
 
 all: build lint test
 
@@ -17,7 +17,7 @@ vet:
 	$(GO) vet ./...
 
 # Domain-aware static analysis (modarith, levelcheck, panicpolicy,
-# paramcopy, telemetryguard, faultseed).
+# paramcopy, telemetryguard, faultseed, ctxbudget).
 lint:
 	$(GO) run ./cmd/crophe-lint ./...
 
@@ -62,6 +62,16 @@ chaos-smoke:
 	$(GO) run ./cmd/crophe-sim -hw crophe64 -workload boot -faults rows:1,links:2,banks:8,hbm:0.8,stalls:2@150 -seed $(CHAOS_SEED) -deadline 500ms -trace /tmp/crophe-chaos-trace.json
 	$(GO) run ./cmd/crophe-sim -tracecheck /tmp/crophe-chaos-trace.json
 	$(GO) run ./cmd/crophe-sim -sweep 4 -seed $(CHAOS_SEED) -deadline 200ms
+
+# Serving smoke: build the real crophe-serve binary and drive it end to
+# end — health, memoized scheduling, a deadline-expiry partial, degraded
+# simulation, chaos panic isolation, a checkpointed sweep, SIGTERM
+# drain, and journal recovery across a restart. Pure Go driver, no curl.
+SERVE_BIN ?= /tmp/crophe-serve-smoke
+
+serve-smoke:
+	$(GO) build -o $(SERVE_BIN) ./cmd/crophe-serve
+	$(GO) run ./scripts/servesmoke -bin $(SERVE_BIN)
 
 clean:
 	$(GO) clean ./...

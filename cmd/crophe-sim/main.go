@@ -40,6 +40,7 @@ import (
 	"os"
 	"strings"
 
+	"crophe"
 	"crophe/internal/arch"
 	"crophe/internal/cliutil"
 	"crophe/internal/fault"
@@ -159,35 +160,15 @@ func main() {
 		usageExit("-mesh cannot be combined with -faults or -sweep (fault plans are drawn on the configuration's own mesh)")
 	}
 
-	hw := map[string]*arch.HWConfig{
-		"crophe64": arch.CROPHE64, "crophe36": arch.CROPHE36,
-		"bts": arch.BTS, "ark": arch.ARK, "sharp": arch.SHARP, "cl": arch.CLPlus,
-	}[*hwName]
-	if hw == nil {
+	hw, ok := crophe.LookupHW(*hwName)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "crophe-sim: unknown hardware %q\n", *hwName)
 		os.Exit(1)
 	}
-	params := arch.ParamsFor(hw)
-	if hw.Homogeneous {
-		if hw.WordBits == 64 {
-			params = arch.ParamsARK
-		} else {
-			params = arch.ParamsSHARP
-		}
-	}
+	params := crophe.DefaultParamsFor(hw)
 
-	var w *workload.Workload
-	mode := workload.RotHoisted
-	switch *wlName {
-	case "bootstrapping", "boot":
-		w = workload.Bootstrapping(params, mode, 0)
-	case "helr", "helr1024":
-		w = workload.HELR(params, mode, 0)
-	case "resnet20", "resnet-20":
-		w = workload.ResNet(params, 20, mode, 0)
-	case "resnet110", "resnet-110":
-		w = workload.ResNet(params, 110, mode, 0)
-	default:
+	w, ok := crophe.LookupWorkload(*wlName, params, workload.RotHoisted)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "crophe-sim: unknown workload %q\n", *wlName)
 		os.Exit(1)
 	}

@@ -30,6 +30,9 @@
 package crophe
 
 import (
+	"context"
+	"time"
+
 	"crophe/internal/arch"
 	"crophe/internal/bench"
 	"crophe/internal/ckks"
@@ -165,6 +168,99 @@ func ResNetWorkload(p ParamSet, layers int) WorkloadFactory {
 		return workload.ResNet(p, layers, m, r)
 	}
 }
+
+// LookupHW maps a hardware name ("crophe64", "crophe36", "bts", "ark",
+// "sharp", "cl") to its Table I configuration.
+func LookupHW(name string) (*HWConfig, bool) {
+	hw, ok := map[string]*arch.HWConfig{
+		"crophe64": arch.CROPHE64, "crophe36": arch.CROPHE36,
+		"bts": arch.BTS, "ark": arch.ARK, "sharp": arch.SHARP, "cl": arch.CLPlus,
+	}[name]
+	return hw, ok
+}
+
+// DefaultParamsFor returns the CKKS parameter set a hardware
+// configuration natively evaluates under (the Table III pairing; the
+// homogeneous CROPHE chips pick by word width).
+func DefaultParamsFor(hw *HWConfig) ParamSet {
+	if hw.Homogeneous {
+		if hw.WordBits == 64 {
+			return arch.ParamsARK
+		}
+		return arch.ParamsSHARP
+	}
+	return arch.ParamsFor(hw)
+}
+
+// LookupWorkload builds the named benchmark workload ("bootstrapping"/
+// "boot", "helr"/"helr1024", "resnet20", "resnet110") under parameter set
+// p and rotation mode m.
+func LookupWorkload(name string, p ParamSet, m RotMode) (*Workload, bool) {
+	switch name {
+	case "bootstrapping", "boot":
+		return workload.Bootstrapping(p, m, 0), true
+	case "helr", "helr1024":
+		return workload.HELR(p, m, 0), true
+	case "resnet20", "resnet-20":
+		return workload.ResNet(p, 20, m, 0), true
+	case "resnet110", "resnet-110":
+		return workload.ResNet(p, 110, m, 0), true
+	}
+	return nil, false
+}
+
+// designOptions translates a design point plus a deadline into scheduler
+// options: the deadline (when positive) becomes the deterministic anytime
+// candidate budget via BudgetForDeadline, so requests whose deadlines
+// land in the same power-of-two bucket get bit-identical schedules.
+func designOptions(d Design, deadline time.Duration) sched.Options {
+	opt := sched.DefaultOptions(d.Dataflow)
+	if d.Clusters > 1 {
+		opt.Clusters = d.Clusters
+	}
+	if deadline > 0 {
+		opt.SearchBudget = sched.BudgetForDeadline(deadline)
+	}
+	return opt
+}
+
+// ScheduleWorkload schedules w on the design point with the anytime
+// search bounded two ways: deadline (when positive) sets the
+// deterministic candidate budget, and ctx cancellation is the wall-clock
+// backstop. An expiring budget or context yields a valid best-so-far
+// schedule flagged Partial, never an error — the serving layer's
+// deadline-propagation contract. NTT decomposition is applied when the
+// design asks for it, mirroring Design.Evaluate.
+func ScheduleWorkload(ctx context.Context, d Design, w *Workload, deadline time.Duration) (*Schedule, error) {
+	if d.NTTDec {
+		w = w.DecomposeNTTs()
+	}
+	return sched.New(d.HW, designOptions(d, deadline)).Schedule(ctx, w)
+}
+
+// SimulateWorkloadContext schedules w under ctx/deadline (anytime, like
+// ScheduleWorkload) and runs the cycle-level simulator on the chosen
+// schedule, returning both so callers can surface the Partial marker.
+func SimulateWorkloadContext(ctx context.Context, d Design, w *Workload, deadline time.Duration, opts ...SimOption) (*SimResult, *Schedule, error) {
+	if d.NTTDec {
+		w = w.DecomposeNTTs()
+	}
+	return sim.RunContext(ctx, d.HW, designOptions(d, deadline), w, opts...)
+}
+
+// MemoizedSchedule evaluates the design on the named workload through the
+// process-global schedule cache: identical concurrent requests coalesce
+// (single-flight) and repeats are cache hits. Only full-fidelity
+// evaluations belong here — deadline-bounded partial schedules must go
+// through ScheduleWorkload, as their shape depends on the budget.
+// workloadKey must uniquely identify what factory builds.
+func MemoizedSchedule(d Design, workloadKey string, factory WorkloadFactory) *Schedule {
+	return bench.EvaluateMemoized(d, workloadKey, factory)
+}
+
+// ScheduleMemoStats re-exports the schedule-cache counters (hits, misses,
+// evictions, size, capacity) for observability endpoints.
+func ScheduleMemoStats() bench.MemoStats { return bench.ScheduleMemoStats() }
 
 // Simulate runs the cycle-level simulator on a schedule. Options attach
 // telemetry or override the mesh topology.

@@ -97,7 +97,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // All returns the full CROPHE analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{ModArith, LevelCheck, PanicPolicy, ParamCopy, TelemetryGuard, FaultSeed}
+	return []*Analyzer{ModArith, LevelCheck, PanicPolicy, ParamCopy, TelemetryGuard, FaultSeed, CtxBudget}
 }
 
 // namedType unwraps pointers and returns the named type of an expression's

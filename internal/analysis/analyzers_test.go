@@ -41,10 +41,14 @@ func TestFaultSeedDegradedFunctions(t *testing.T) {
 	analysistest.Run(t, analysis.FaultSeed, "faultseed/sim")
 }
 
+func TestCtxBudget(t *testing.T) {
+	analysistest.Run(t, analysis.CtxBudget, "ctxbudget/serve")
+}
+
 // TestSuiteRegistry pins the analyzer set cmd/crophe-lint runs, so adding
 // an analyzer without wiring it into All() fails loudly.
 func TestSuiteRegistry(t *testing.T) {
-	want := []string{"modarith", "levelcheck", "panicpolicy", "paramcopy", "telemetryguard", "faultseed"}
+	want := []string{"modarith", "levelcheck", "panicpolicy", "paramcopy", "telemetryguard", "faultseed", "ctxbudget"}
 	all := analysis.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

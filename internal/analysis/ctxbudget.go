@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxBudget enforces the serving layer's deadline-propagation contract:
+// inside an HTTP handler (any function or literal taking *http.Request),
+// a call into the scheduling stack — a callee whose name mentions
+// Schedule, Simulate or Sweep and whose first parameter is a
+// context.Context — must receive a context derived from the request.
+// context.Background() (or any context with no dataflow from r) silently
+// severs the deadline → SearchBudget path *and* the client-disconnect
+// path: the search runs unbounded for a caller that may already be gone,
+// which is precisely the failure mode admission control cannot see.
+// Contexts reach the scheduler legitimately either as r.Context() itself,
+// through context.With* chains rooted at it, or via helpers that take the
+// request (the requestBudget pattern).
+var CtxBudget = &Analyzer{
+	Name: "ctxbudget",
+	Doc: "requires scheduling calls inside HTTP handlers to thread a " +
+		"request-derived context, so per-request deadlines and client " +
+		"disconnects reach the anytime search budget",
+	Run: runCtxBudget,
+}
+
+func runCtxBudget(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ftype, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ftype, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			reqs := requestParams(pass, ftype)
+			if len(reqs) == 0 {
+				return true // not handler-shaped; Background is fine here
+			}
+			checkHandler(pass, body, reqs)
+			return true // nested literals get their own scan if handler-shaped
+		})
+	}
+	return nil
+}
+
+// requestParams collects the *http.Request parameter objects of a
+// function type.
+func requestParams(pass *Pass, ftype *ast.FuncType) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if ftype.Params == nil {
+		return out
+	}
+	for _, field := range ftype.Params.List {
+		for _, name := range field.Names {
+			obj := pass.Info.Defs[name]
+			if obj != nil && isNamed(obj.Type(), "http", "Request") {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// checkHandler flags scheduling calls in one handler body whose context
+// argument has no dataflow from the request.
+func checkHandler(pass *Pass, body *ast.BlockStmt, reqs map[types.Object]bool) {
+	tracked := map[types.Object]bool{}
+
+	// Propagate request-derivation through assignments to fixpoint: a
+	// context-typed variable assigned from any expression touching the
+	// request (r.Context(), context.With*(ctx, ...), requestBudget(r, ...))
+	// is itself request-derived. The loop handles out-of-order helper
+	// chains; it terminates because tracked only grows.
+	for {
+		grew := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			derived := false
+			for _, rhs := range as.Rhs {
+				if touchesRequest(pass, rhs, reqs, tracked) {
+					derived = true
+					break
+				}
+			}
+			if !derived {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					obj = pass.Info.Uses[id]
+				}
+				if obj != nil && !tracked[obj] && isContextType(obj.Type()) {
+					tracked[obj] = true
+					grew = true
+				}
+			}
+			return true
+		})
+		if !grew {
+			break
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		if !schedulingName(name) || len(call.Args) == 0 {
+			return true
+		}
+		arg := call.Args[0]
+		tv, ok := pass.Info.Types[arg]
+		if !ok || !isContextType(tv.Type) {
+			return true
+		}
+		if touchesRequest(pass, arg, reqs, tracked) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"handler calls %s with a non-request context: derive it from "+
+				"r.Context() so the client's deadline and disconnect reach the "+
+				"scheduler's anytime budget", name)
+		return true
+	})
+}
+
+// schedulingName reports whether a callee name belongs to the scheduling
+// stack's ctx-first surface. Matching is case-insensitive so unexported
+// helpers (scheduleOne, runSweep) are held to the same contract as the
+// façade's exported entry points.
+func schedulingName(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "schedule") ||
+		strings.Contains(lower, "simulate") ||
+		strings.Contains(lower, "sweep")
+}
+
+// touchesRequest reports whether expr has visible dataflow from the
+// request: it mentions a request parameter or an already-tracked
+// request-derived context.
+func touchesRequest(pass *Pass, expr ast.Expr, reqs, tracked map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return !found
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			obj = pass.Info.Defs[id]
+		}
+		if obj != nil && (reqs[obj] || tracked[obj]) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isContextType matches context.Context (the interface itself; concrete
+// implementations always flow through it in signatures).
+func isContextType(t types.Type) bool {
+	return isNamed(t, "context", "Context")
+}

@@ -1,0 +1,89 @@
+// Package serve is the ctxbudget fixture: scheduling calls inside HTTP
+// handlers must receive a request-derived context. It imports the real
+// net/http so parameter-type matching runs against the production type.
+package serve
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// The scheduling stack's shape: ctx-first callables whose names mention
+// Schedule, Simulate, or Sweep.
+func scheduleWorkload(ctx context.Context, name string) float64 { _ = ctx; _ = name; return 0 }
+func simulateDegraded(ctx context.Context, seed int64) float64  { _ = ctx; _ = seed; return 0 }
+func resumeSweep(ctx context.Context, steps int) float64        { _ = ctx; _ = steps; return 0 }
+
+// scheduleMemoStats takes no context: out of the analyzer's scope.
+func scheduleMemoStats() int { return 0 }
+
+// requestBudget mimics the serving layer's helper: it takes the request,
+// so its returned context counts as request-derived.
+func requestBudget(r *http.Request, ms int) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
+}
+
+// GoodDirect threads r.Context() straight through.
+func GoodDirect(w http.ResponseWriter, r *http.Request) {
+	scheduleWorkload(r.Context(), "helr")
+}
+
+// GoodDerived chains context.With* off the request.
+func GoodDerived(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), time.Second)
+	defer cancel()
+	simulateDegraded(ctx, 1)
+}
+
+// GoodHelper derives through a helper that takes the request.
+func GoodHelper(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := requestBudget(r, 10)
+	defer cancel()
+	resumeSweep(ctx, 4)
+}
+
+// GoodChained re-derives from an already request-derived context.
+func GoodChained(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	inner, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	scheduleWorkload(inner, "helr")
+}
+
+// GoodNoCtx: scheduling-named calls without a context argument are out
+// of scope (the memo path is deliberately deadline-free).
+func GoodNoCtx(w http.ResponseWriter, r *http.Request) {
+	_ = scheduleMemoStats()
+}
+
+// BadBackground severs the deadline path entirely.
+func BadBackground(w http.ResponseWriter, r *http.Request) {
+	scheduleWorkload(context.Background(), "helr") // want `non-request context`
+}
+
+// BadTODO is Background with a fig leaf.
+func BadTODO(w http.ResponseWriter, r *http.Request) {
+	simulateDegraded(context.TODO(), 1) // want `non-request context`
+}
+
+// BadFreshChain derives a context — but roots it at Background, not the
+// request, so the client's deadline still never arrives.
+func BadFreshChain(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	resumeSweep(ctx, 4) // want `non-request context`
+}
+
+// BadLiteralHandler: http.HandlerFunc literals are handlers too.
+func BadLiteralHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		scheduleWorkload(context.Background(), "helr") // want `non-request context`
+	})
+}
+
+// jobRunner is not a handler: background jobs legitimately run under the
+// manager's own lifetime, not a request's.
+func jobRunner(steps int) {
+	resumeSweep(context.Background(), steps)
+}

@@ -179,12 +179,13 @@ func TestSpeedupSummary(t *testing.T) {
 func TestScheduleMemoization(t *testing.T) {
 	ResetScheduleMemo()
 	cold := Figure9(true)
-	_, missesAfterCold := ScheduleMemoStats()
+	missesAfterCold := ScheduleMemoStats().Misses
 	if missesAfterCold == 0 {
 		t.Fatal("cold run should populate the cache")
 	}
 	warm := Figure9(true)
-	hits, misses := ScheduleMemoStats()
+	stats := ScheduleMemoStats()
+	hits, misses := stats.Hits, stats.Misses
 	if misses != missesAfterCold {
 		t.Errorf("warm run missed the cache: %d misses after cold, %d total", missesAfterCold, misses)
 	}

@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"crophe/internal/arch"
 	"crophe/internal/sched"
@@ -22,10 +21,32 @@ type memoKey struct {
 	workload string
 }
 
+// memoEntry is one cache slot. ready is closed once the evaluation
+// finishes; until then concurrent misses on the same key block on it
+// (single-flight) instead of duplicating the multi-hundred-millisecond
+// schedule search. lastUse is a coarse logical clock driving LRU
+// eviction; it is only read and written under memoMu.
+type memoEntry struct {
+	ready   chan struct{}
+	s       *sched.Schedule // nil until ready is closed; nil after close means the evaluation panicked
+	lastUse uint64
+}
+
+// DefaultScheduleMemoCapacity bounds the schedule cache. The full paper
+// reproduction needs well under a hundred distinct (design, hw, workload)
+// points, so the default is generous for batch runs while keeping a
+// long-running server's footprint flat.
+const DefaultScheduleMemoCapacity = 256
+
 var (
-	scheduleMemo sync.Map // memoKey -> *sched.Schedule
-	memoHits     atomic.Uint64
-	memoMisses   atomic.Uint64
+	memoMu    sync.Mutex
+	memoMap   = make(map[memoKey]*memoEntry)
+	memoClock uint64
+	memoCap   = DefaultScheduleMemoCapacity
+
+	memoHits      uint64
+	memoMisses    uint64
+	memoEvictions uint64
 )
 
 func designKey(d sched.Design) string {
@@ -41,32 +62,148 @@ func designKey(d sched.Design) string {
 // read-only, which every consumer in this package does (they read
 // TimeSec, Traffic and Util, and the cycle simulator only reads the
 // schedule it validates).
+//
+// Concurrent misses on the same key single-flight: the first caller
+// evaluates, later callers block on the entry's ready channel and share
+// the result. If the evaluating caller panics, waiters observe a nil
+// schedule and evaluate for themselves (the panic propagates on the
+// original goroutine only).
 func evaluateMemo(d sched.Design, workloadKey string, factory sched.WorkloadFactory) *sched.Schedule {
 	key := memoKey{design: designKey(d), hw: arch.ConfigHash(d.HW), workload: workloadKey}
-	if v, ok := scheduleMemo.Load(key); ok {
-		memoHits.Add(1)
-		return v.(*sched.Schedule)
+	for {
+		memoMu.Lock()
+		if e, ok := memoMap[key]; ok {
+			memoClock++
+			e.lastUse = memoClock
+			memoMu.Unlock()
+			<-e.ready
+			if e.s != nil {
+				memoMu.Lock()
+				memoHits++
+				memoMu.Unlock()
+				return e.s
+			}
+			// The flight that owned this entry panicked and removed it;
+			// retry, becoming the owner ourselves if nobody beat us to it.
+			continue
+		}
+		e := &memoEntry{ready: make(chan struct{})}
+		memoClock++
+		e.lastUse = memoClock
+		memoMap[key] = e
+		memoMisses++
+		memoMu.Unlock()
+
+		ok := false
+		defer func() {
+			// On panic: drop the placeholder so the key stays evaluable and
+			// wake waiters (they see a nil schedule and re-evaluate).
+			if !ok {
+				memoMu.Lock()
+				delete(memoMap, key)
+				memoMu.Unlock()
+				close(e.ready)
+			}
+		}()
+		s := d.Evaluate(factory)
+		ok = true
+
+		memoMu.Lock()
+		e.s = s
+		evictOverCapLocked(key)
+		memoMu.Unlock()
+		close(e.ready)
+		return s
 	}
-	// Concurrent misses on the same key may both evaluate; both produce
-	// the same schedule, so the duplicate work is bounded and harmless.
-	s := d.Evaluate(factory)
-	scheduleMemo.Store(key, s)
-	memoMisses.Add(1)
-	return s
 }
 
-// ScheduleMemoStats returns the cumulative cache hit/miss counts.
-func ScheduleMemoStats() (hits, misses uint64) {
-	return memoHits.Load(), memoMisses.Load()
+// evictOverCapLocked evicts least-recently-used ready entries until the
+// cache fits its capacity, never evicting keep (the entry just inserted)
+// or entries still in flight. Called with memoMu held. The scan is linear
+// — coarse, but the cache is small and eviction only fires on inserts
+// past capacity, never on the hit path.
+func evictOverCapLocked(keep memoKey) {
+	for len(memoMap) > memoCap {
+		var victim memoKey
+		var victimUse uint64
+		found := false
+		for k, e := range memoMap {
+			if k == keep || e.s == nil {
+				continue
+			}
+			if !found || e.lastUse < victimUse {
+				victim, victimUse, found = k, e.lastUse, true
+			}
+		}
+		if !found {
+			return
+		}
+		delete(memoMap, victim)
+		memoEvictions++
+	}
+}
+
+// EvaluateMemoized is the exported entry to the schedule cache, used by
+// the serving layer for full-fidelity (no deadline) schedule requests:
+// identical concurrent requests coalesce into one evaluation and repeat
+// requests are cache hits. workloadKey must uniquely identify the
+// workload the factory builds (benchmark name + parameter set).
+func EvaluateMemoized(d sched.Design, workloadKey string, factory sched.WorkloadFactory) *sched.Schedule {
+	return evaluateMemo(d, workloadKey, factory)
+}
+
+// MemoStats is a snapshot of the schedule cache: cumulative hit, miss and
+// eviction counts plus the current size and configured capacity.
+type MemoStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Size      int
+	Capacity  int
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (m MemoStats) HitRate() float64 {
+	total := m.Hits + m.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(m.Hits) / float64(total)
+}
+
+// ScheduleMemoStats returns a snapshot of the schedule-cache counters.
+func ScheduleMemoStats() MemoStats {
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	return MemoStats{
+		Hits:      memoHits,
+		Misses:    memoMisses,
+		Evictions: memoEvictions,
+		Size:      len(memoMap),
+		Capacity:  memoCap,
+	}
+}
+
+// SetScheduleMemoCapacity bounds the cache to n entries (n < 1 clamps to
+// 1) and evicts immediately if the cache is already over the new bound.
+// Returns the previous capacity.
+func SetScheduleMemoCapacity(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	prev := memoCap
+	memoCap = n
+	evictOverCapLocked(memoKey{})
+	return prev
 }
 
 // ResetScheduleMemo clears the schedule cache and its counters. Intended
 // for tests and for benchmarks that want to measure cold-start cost.
 func ResetScheduleMemo() {
-	scheduleMemo.Range(func(k, _ any) bool {
-		scheduleMemo.Delete(k)
-		return true
-	})
-	memoHits.Store(0)
-	memoMisses.Store(0)
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	memoMap = make(map[memoKey]*memoEntry)
+	memoHits, memoMisses, memoEvictions = 0, 0, 0
 }

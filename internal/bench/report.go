@@ -153,7 +153,7 @@ func CollectWithTelemetry(ids []string, fast bool, emit func(id, rendered string
 		runtime.ReadMemStats(&ms)
 		bytes0, objs0 := ms.TotalAlloc, ms.Mallocs
 		search0 := sched.Stats()
-		memoHits0, memoMiss0 := ScheduleMemoStats()
+		memo0 := ScheduleMemoStats()
 		start := time.Now()
 		out, metrics, err := runWithMetrics(id, fast)
 		if err != nil {
@@ -162,7 +162,7 @@ func CollectWithTelemetry(ids []string, fast bool, emit func(id, rendered string
 		wall := time.Since(start)
 		runtime.ReadMemStats(&ms)
 		search1 := sched.Stats()
-		memoHits1, memoMiss1 := ScheduleMemoStats()
+		memo1 := ScheduleMemoStats()
 		if emit != nil {
 			emit(id, out)
 		}
@@ -171,8 +171,8 @@ func CollectWithTelemetry(ids []string, fast bool, emit func(id, rendered string
 			"sched/pruned":           float64(search1.Pruned - search0.Pruned),
 			"sched/seg_cache_hits":   float64(search1.CacheHits - search0.CacheHits),
 			"sched/seg_cache_misses": float64(search1.CacheMisses - search0.CacheMisses),
-			"bench/memo_hits":        float64(memoHits1 - memoHits0),
-			"bench/memo_misses":      float64(memoMiss1 - memoMiss0),
+			"bench/memo_hits":        float64(memo1.Hits - memo0.Hits),
+			"bench/memo_misses":      float64(memo1.Misses - memo0.Misses),
 		}
 		wallMS := float64(wall.Nanoseconds()) / 1e6
 		if tel.Enabled() {

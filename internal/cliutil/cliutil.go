@@ -6,6 +6,7 @@ package cliutil
 
 import (
 	"fmt"
+	"net"
 	"strconv"
 	"strings"
 	"time"
@@ -49,6 +50,31 @@ func ParseSeed(s string) (int64, error) {
 	v, err := strconv.ParseInt(s, 10, 64)
 	if err != nil {
 		return 0, fmt.Errorf("invalid seed %q (want a decimal integer)", s)
+	}
+	return v, nil
+}
+
+// ParseAddr parses a -addr value as a listen address: host:port with an
+// empty host meaning all interfaces and a numeric port in [0, 65535]
+// (0 asks the kernel for an ephemeral port).
+func ParseAddr(s string) (string, error) {
+	_, port, err := net.SplitHostPort(s)
+	if err != nil {
+		return "", fmt.Errorf("invalid addr %q (want host:port, e.g. :8080 or 127.0.0.1:0)", s)
+	}
+	n, err := strconv.Atoi(port)
+	if err != nil || n < 0 || n > 65535 {
+		return "", fmt.Errorf("invalid addr %q (port must be a number in [0, 65535])", s)
+	}
+	return s, nil
+}
+
+// ParsePositiveInt parses a flag value that must be a positive decimal
+// integer; name labels the flag in the error.
+func ParsePositiveInt(name, s string) (int, error) {
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 1 {
+		return 0, fmt.Errorf("invalid %s %q (want a positive integer)", name, s)
 	}
 	return v, nil
 }

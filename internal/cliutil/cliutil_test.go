@@ -90,3 +90,58 @@ func TestParseSeed(t *testing.T) {
 		}
 	}
 }
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in string
+		ok bool
+	}{
+		{":8080", true},
+		{"127.0.0.1:0", true},
+		{"localhost:9999", true},
+		{"[::1]:8080", true},
+		{"", false},
+		{"8080", false},
+		{"localhost", false},
+		{":http", false},
+		{":-1", false},
+		{":65536", false},
+		{"host:port:extra", false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if c.ok {
+			if err != nil || got != c.in {
+				t.Errorf("ParseAddr(%q) = %q, %v; want %q", c.in, got, err, c.in)
+			}
+		} else if err == nil {
+			t.Errorf("ParseAddr(%q) accepted; want error", c.in)
+		}
+	}
+}
+
+func TestParsePositiveInt(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+		ok   bool
+	}{
+		{"1", 1, true},
+		{"64", 64, true},
+		{"0", 0, false},
+		{"-3", 0, false},
+		{"", 0, false},
+		{"4.5", 0, false},
+		{"many", 0, false},
+	}
+	for _, c := range cases {
+		v, err := ParsePositiveInt("queue", c.in)
+		if c.ok {
+			if err != nil || v != c.want {
+				t.Errorf("ParsePositiveInt(%q) = %d, %v; want %d", c.in, v, err, c.want)
+			}
+		} else if err == nil {
+			t.Errorf("ParsePositiveInt(%q) accepted; want error", c.in)
+		}
+	}
+}

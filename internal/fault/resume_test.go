@@ -1,0 +1,113 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"crophe/internal/arch"
+)
+
+// fakeRunner is a deterministic stand-in for the simulator: time grows
+// with the fault count, so the sweep shape is stable across runs.
+func fakeRunner(m *Machine) (Outcome, error) {
+	return Outcome{TimeSec: 1e-3 * float64(1+m.Plan.FaultCount())}, nil
+}
+
+// TestResumeSweepMatchesSweep: the sequential resumable form must produce
+// exactly the result of the parallel one-shot form.
+func TestResumeSweepMatchesSweep(t *testing.T) {
+	const seed, steps = 17, 5
+	want, err := Sweep(arch.CROPHE64, seed, steps, fakeRunner)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	got, err := ResumeSweep(context.Background(), arch.CROPHE64, seed, steps, fakeRunner, nil, nil)
+	if err != nil {
+		t.Fatalf("ResumeSweep: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("ResumeSweep differs from Sweep:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestResumeSweepSkipsDoneSteps: journaled points are spliced in verbatim
+// and their rungs are not re-run; the overall result is identical to an
+// uninterrupted sweep.
+func TestResumeSweepSkipsDoneSteps(t *testing.T) {
+	const seed, steps = 23, 6
+	full, err := ResumeSweep(context.Background(), arch.CROPHE64, seed, steps, fakeRunner, nil, nil)
+	if err != nil {
+		t.Fatalf("uninterrupted sweep: %v", err)
+	}
+
+	done := map[int]SweepPoint{
+		0: full.Points[0],
+		1: full.Points[1],
+		2: full.Points[2],
+	}
+	ran := map[int]bool{}
+	counting := func(m *Machine) (Outcome, error) {
+		ran[m.Plan.FaultCount()] = true
+		return fakeRunner(m)
+	}
+	var observed []int
+	resumed, err := ResumeSweep(context.Background(), arch.CROPHE64, seed, steps, counting, done,
+		func(pt SweepPoint) { observed = append(observed, pt.Step) })
+	if err != nil {
+		t.Fatalf("resumed sweep: %v", err)
+	}
+	if !reflect.DeepEqual(full, resumed) {
+		t.Errorf("resumed sweep differs from uninterrupted run:\n got %+v\nwant %+v", resumed, full)
+	}
+	if len(ran) != steps-len(done) {
+		t.Errorf("runner executed %d rungs, want %d (done steps must be skipped)", len(ran), steps-len(done))
+	}
+	if want := []int{3, 4, 5}; !reflect.DeepEqual(observed, want) {
+		t.Errorf("observe saw steps %v, want %v", observed, want)
+	}
+}
+
+// TestResumeSweepStopsBetweenRungs: a cancelled context aborts the sweep
+// before the next rung starts, never mid-rung, and already-observed
+// points stay intact.
+func TestResumeSweepStopsBetweenRungs(t *testing.T) {
+	const seed, steps = 29, 6
+	ctx, cancel := context.WithCancel(context.Background())
+	var observed []SweepPoint
+	cancelAfter := 2
+	runner := func(m *Machine) (Outcome, error) {
+		return fakeRunner(m)
+	}
+	_, err := ResumeSweep(ctx, arch.CROPHE64, seed, steps, runner, nil, func(pt SweepPoint) {
+		observed = append(observed, pt)
+		if len(observed) == cancelAfter {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted sweep error = %v, want context.Canceled", err)
+	}
+	if len(observed) != cancelAfter {
+		t.Fatalf("observed %d points after cancellation, want exactly %d", len(observed), cancelAfter)
+	}
+
+	// Resuming from the observed points completes identically to an
+	// uninterrupted sweep — the crash-safety contract.
+	done := map[int]SweepPoint{}
+	for _, pt := range observed {
+		done[pt.Step] = pt
+	}
+	resumed, err := ResumeSweep(context.Background(), arch.CROPHE64, seed, steps, runner, done, nil)
+	if err != nil {
+		t.Fatalf("resume after cancel: %v", err)
+	}
+	full, err := ResumeSweep(context.Background(), arch.CROPHE64, seed, steps, runner, nil, nil)
+	if err != nil {
+		t.Fatalf("uninterrupted sweep: %v", err)
+	}
+	if !reflect.DeepEqual(full, resumed) {
+		t.Errorf("resumed-after-cancel sweep differs from uninterrupted run")
+	}
+}

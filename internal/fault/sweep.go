@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -103,30 +104,7 @@ func Sweep(hw *arch.HWConfig, seed int64, steps int, run Runner) (*SweepResult, 
 	res := &SweepResult{HW: hw.Name, Seed: seed, Points: make([]SweepPoint, steps)}
 	errs := make([]error, steps)
 	parallel.For(steps, func(i int) {
-		frac := maxSweepFrac * float64(i) / float64(steps-1)
-		spec := sweepSpec(hw, frac)
-		pt := SweepPoint{Step: i, FracFailed: frac, Spec: spec}
-		plan, err := Generate(hw, spec, seed)
-		if err != nil {
-			errs[i] = err
-			res.Points[i] = pt
-			return
-		}
-		pt.FaultCount = plan.FaultCount()
-		m, err := NewMachine(hw, plan)
-		if err != nil {
-			pt.Err = err.Error()
-			res.Points[i] = pt
-			return
-		}
-		out, err := run(m)
-		if err != nil {
-			pt.Err = err.Error()
-			res.Points[i] = pt
-			return
-		}
-		pt.Outcome = out
-		res.Points[i] = pt
+		res.Points[i], errs[i] = runStep(hw, seed, steps, i, run)
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -137,6 +115,79 @@ func Sweep(hw *arch.HWConfig, seed int64, steps int, run Runner) (*SweepResult, 
 		res.Baseline = res.Points[0].Outcome.TimeSec
 	}
 	return res, nil
+}
+
+// ResumeSweep is the sequential, checkpointable form of Sweep used by
+// long-running servers: rungs run one at a time in step order, each
+// completed rung is handed to observe before the next begins (the hook
+// for append-only checkpoint journaling), and rungs whose step index is
+// present in done are not re-run — their recorded points are spliced into
+// the result verbatim.
+//
+// Determinism is the whole point of the contract: every rung is
+// independently deterministic per (hw, seed, step), the runner is never
+// handed a cancellable context mid-rung by this function, and ctx is
+// consulted only *between* rungs. A sweep interrupted by cancellation or
+// a crash therefore loses at most the in-flight rung, and resuming from
+// the journaled points produces remaining rungs byte-identical to an
+// uninterrupted run (same seed ⇒ same plans ⇒ same outcomes).
+//
+// On cancellation ResumeSweep returns (nil, ctx.Err()); points already
+// observed remain journaled by the caller. Sweep itself still fails only
+// on plan-generation bugs, recorded per point otherwise.
+func ResumeSweep(ctx context.Context, hw *arch.HWConfig, seed int64, steps int, run Runner,
+	done map[int]SweepPoint, observe func(SweepPoint)) (*SweepResult, error) {
+	if steps < 2 {
+		steps = 2
+	}
+	res := &SweepResult{HW: hw.Name, Seed: seed, Points: make([]SweepPoint, steps)}
+	for i := 0; i < steps; i++ {
+		if pt, ok := done[i]; ok {
+			res.Points[i] = pt
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("fault: sweep interrupted before step %d (seed %d): %w", i, seed, err)
+		}
+		pt, err := runStep(hw, seed, steps, i, run)
+		if err != nil {
+			return nil, err
+		}
+		res.Points[i] = pt
+		if observe != nil {
+			observe(pt)
+		}
+	}
+	if len(res.Points) > 0 && res.Points[0].Err == "" {
+		res.Baseline = res.Points[0].Outcome.TimeSec
+	}
+	return res, nil
+}
+
+// runStep generates, instantiates and runs one sweep rung. Infeasible
+// machines and runner failures are recorded in the point; only
+// plan-generation bugs surface as errors.
+func runStep(hw *arch.HWConfig, seed int64, steps, i int, run Runner) (SweepPoint, error) {
+	frac := maxSweepFrac * float64(i) / float64(steps-1)
+	spec := sweepSpec(hw, frac)
+	pt := SweepPoint{Step: i, FracFailed: frac, Spec: spec}
+	plan, err := Generate(hw, spec, seed)
+	if err != nil {
+		return pt, err
+	}
+	pt.FaultCount = plan.FaultCount()
+	m, err := NewMachine(hw, plan)
+	if err != nil {
+		pt.Err = err.Error()
+		return pt, nil
+	}
+	out, err := run(m)
+	if err != nil {
+		pt.Err = err.Error()
+		return pt, nil
+	}
+	pt.Outcome = out
+	return pt, nil
 }
 
 // String renders the resilience report: throughput retained versus

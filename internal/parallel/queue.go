@@ -1,0 +1,113 @@
+package parallel
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Queue is a bounded, context-aware admission semaphore. It is the
+// serving layer's counterpart to the worker pool: where For hands out
+// helper goroutines to one data-parallel kernel, a Queue bounds how many
+// independent callers (HTTP requests, sweep rungs) may be in flight at
+// once, with blocking acquisition that respects cancellation.
+//
+// A Queue built with NewSharedQueue additionally shares the process-wide
+// token budget with the worker pool: its concurrency is clamped to
+// Workers(), and each admitted slot borrows one pool token while held
+// (when one is free), so the kernels running inside admitted work find
+// correspondingly fewer helper tokens and degrade toward inline execution
+// instead of oversubscribing GOMAXPROCS. The borrow is opportunistic —
+// admission never blocks waiting for a kernel to release its helpers —
+// so oversubscription is bounded to the transient window in which an
+// already-running For call finishes its chunk.
+type Queue struct {
+	sem    chan struct{}
+	shared bool
+	inUse  atomic.Int64
+}
+
+// NewQueue returns an independent bounded semaphore admitting at most n
+// concurrent holders (n < 1 is clamped to 1).
+func NewQueue(n int) *Queue {
+	if n < 1 {
+		n = 1
+	}
+	return &Queue{sem: make(chan struct{}, n)}
+}
+
+// NewSharedQueue returns a queue whose admission budget is the worker
+// pool's: capacity is min(n, Workers()), and held slots borrow pool
+// tokens so nested kernel fan-out and admission draw on one budget.
+func NewSharedQueue(n int) *Queue {
+	w := Workers()
+	if n < 1 || n > w {
+		n = w
+	}
+	q := NewQueue(n)
+	q.shared = true
+	return q
+}
+
+// Acquire blocks until a slot is free or ctx is done, returning a release
+// function for the slot (call it exactly once) or the context's error.
+func (q *Queue) Acquire(ctx context.Context) (func(), error) {
+	// Fast path first so acquisition succeeds even under an
+	// already-expired context when a slot is free — admission should shed
+	// on saturation, not on a deadline that scheduling itself will honour.
+	select {
+	case q.sem <- struct{}{}:
+		return q.admitted(), nil
+	default:
+	}
+	select {
+	case q.sem <- struct{}{}:
+		return q.admitted(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// TryAcquire takes a slot only if one is immediately free.
+func (q *Queue) TryAcquire() (func(), bool) {
+	select {
+	case q.sem <- struct{}{}:
+		return q.admitted(), true
+	default:
+		return nil, false
+	}
+}
+
+// admitted finalises a successful slot acquisition: it borrows a pool
+// token for shared queues and returns the matching release function.
+func (q *Queue) admitted() func() {
+	q.inUse.Add(1)
+	var returnToken func()
+	if q.shared {
+		if p := tokens.Load(); p.sem != nil {
+			select {
+			case p.sem <- struct{}{}:
+				// Return to the pool the token came from, even if
+				// SetWorkers swaps the global pool meanwhile.
+				returnToken = func() { <-p.sem }
+			default:
+			}
+		}
+	}
+	var released atomic.Bool
+	return func() {
+		if !released.CompareAndSwap(false, true) {
+			return
+		}
+		if returnToken != nil {
+			returnToken()
+		}
+		q.inUse.Add(-1)
+		<-q.sem
+	}
+}
+
+// Cap returns the queue's admission capacity.
+func (q *Queue) Cap() int { return cap(q.sem) }
+
+// InUse returns the number of currently held slots.
+func (q *Queue) InUse() int { return int(q.inUse.Load()) }

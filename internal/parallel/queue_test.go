@@ -1,0 +1,180 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestQueueBoundsConcurrency(t *testing.T) {
+	q := NewQueue(3)
+	var (
+		cur, peak atomic.Int64
+		wg        sync.WaitGroup
+	)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := q.Acquire(context.Background())
+			if err != nil {
+				t.Errorf("Acquire: %v", err)
+				return
+			}
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			release()
+		}()
+	}
+	wg.Wait()
+	if peak.Load() > 3 {
+		t.Errorf("peak concurrency %d exceeded capacity 3", peak.Load())
+	}
+	if q.InUse() != 0 {
+		t.Errorf("InUse = %d after all releases, want 0", q.InUse())
+	}
+}
+
+func TestQueueAcquireHonoursContext(t *testing.T) {
+	q := NewQueue(1)
+	release, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := q.Acquire(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Acquire on full queue = %v, want DeadlineExceeded", err)
+	}
+	release()
+	// After release the slot is free again even under a short deadline.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	release2, err := q.Acquire(ctx2)
+	if err != nil {
+		t.Fatalf("Acquire after release: %v", err)
+	}
+	release2()
+}
+
+// TestQueueExpiredContextFastPath: a free slot is granted even when the
+// context is already done — shedding is about saturation, not deadlines.
+func TestQueueExpiredContextFastPath(t *testing.T) {
+	q := NewQueue(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	release, err := q.Acquire(ctx)
+	if err != nil {
+		t.Fatalf("Acquire with free slot under cancelled ctx = %v, want success", err)
+	}
+	release()
+}
+
+func TestQueueTryAcquire(t *testing.T) {
+	q := NewQueue(1)
+	r1, ok := q.TryAcquire()
+	if !ok {
+		t.Fatal("TryAcquire on empty queue failed")
+	}
+	if _, ok := q.TryAcquire(); ok {
+		t.Fatal("TryAcquire on full queue succeeded")
+	}
+	r1()
+	r2, ok := q.TryAcquire()
+	if !ok {
+		t.Fatal("TryAcquire after release failed")
+	}
+	r2()
+}
+
+func TestQueueReleaseIdempotent(t *testing.T) {
+	q := NewQueue(2)
+	release, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	release()
+	release() // second call must be a no-op, not free a phantom slot
+	if got := q.InUse(); got != 0 {
+		t.Errorf("InUse = %d, want 0", got)
+	}
+	// Both slots must still be acquirable exactly twice.
+	if _, ok := q.TryAcquire(); !ok {
+		t.Fatal("slot 1 unavailable")
+	}
+	if _, ok := q.TryAcquire(); !ok {
+		t.Fatal("slot 2 unavailable")
+	}
+	if _, ok := q.TryAcquire(); ok {
+		t.Fatal("phantom third slot: double release freed a slot twice")
+	}
+}
+
+// TestSharedQueueClampsToWorkers: the shared queue may never admit more
+// concurrent holders than the worker pool has workers.
+func TestSharedQueueClampsToWorkers(t *testing.T) {
+	defer SetWorkers(Workers())
+	SetWorkers(4)
+	if got := NewSharedQueue(64).Cap(); got != 4 {
+		t.Errorf("shared queue cap = %d, want 4 (clamped to Workers)", got)
+	}
+	if got := NewSharedQueue(2).Cap(); got != 2 {
+		t.Errorf("shared queue cap = %d, want 2 (explicit bound below Workers)", got)
+	}
+	if got := NewSharedQueue(0).Cap(); got != 4 {
+		t.Errorf("shared queue cap = %d, want 4 (zero means pool-sized)", got)
+	}
+}
+
+// TestSharedQueueBorrowsPoolTokens: while shared-queue slots are held,
+// the worker pool's helper tokens are borrowed (so kernels inside
+// admitted work degrade toward inline execution); releases return them.
+func TestSharedQueueBorrowsPoolTokens(t *testing.T) {
+	defer SetWorkers(Workers())
+	SetWorkers(4) // pool sem capacity 3
+	q := NewSharedQueue(4)
+	pool := tokens.Load()
+
+	var releases []func()
+	for i := 0; i < 3; i++ {
+		r, err := q.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("Acquire %d: %v", i, err)
+		}
+		releases = append(releases, r)
+	}
+	if got := len(pool.sem); got != cap(pool.sem) {
+		t.Errorf("pool tokens borrowed = %d, want all %d while 3 shared slots are held", got, cap(pool.sem))
+	}
+	// A 4th admission still succeeds (capacity 4) even with no pool token
+	// left to borrow — the request's own goroutine is its worker.
+	r4, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire 4: %v", err)
+	}
+	// With every token borrowed, For still completes (inline).
+	sum := 0
+	For(8, func(i int) { sum += i })
+	if sum != 28 {
+		t.Errorf("inline For sum = %d, want 28", sum)
+	}
+	r4()
+	for _, r := range releases {
+		r()
+	}
+	if got := len(pool.sem); got != 0 {
+		t.Errorf("pool tokens still held after release: %d, want 0", got)
+	}
+	if q.InUse() != 0 {
+		t.Errorf("InUse = %d after releases, want 0", q.InUse())
+	}
+}

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+)
+
+// admit is the admission-control middleware: a bounded wait queue in
+// front of the shared worker slots, load shedding once the queue fills,
+// and hysteresis so shedding does not flap.
+//
+// The mechanics: waiting counts requests that have arrived but not yet
+// acquired a worker slot. When waiting exceeds QueueDepth the server
+// latches into shedding and answers 429 with Retry-After; it stays
+// latched until waiting falls to half the depth (the low-water mark).
+// Between high and low water, requests queue with a wait bounded by
+// QueueWait — a slot freeing admits the longest waiter; a timeout sheds.
+//
+// Two deliberate choices:
+//
+//   - An already-expired *client* deadline does not shed the request if a
+//     slot is free: deadline handling belongs to the scheduler's anytime
+//     search, which turns it into a partial schedule, not an error.
+//   - Drain rejections are 503 (the instance is going away), shedding is
+//     429 (the instance is overloaded; retry here later). Load balancers
+//     treat the two differently.
+func (s *Server) admit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.isDraining() {
+			s.metrics.rejected.Add(1)
+			writeError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+
+		n := s.waiting.Add(1)
+		defer func() {
+			if s.waiting.Add(-1) <= int64(s.cfg.QueueDepth/2) {
+				// Low water: the backlog has genuinely cleared; stop
+				// shedding. Latching until here (rather than the instant
+				// waiting < depth) keeps the 429/accept boundary from
+				// flapping under a steady near-saturating arrival rate.
+				s.shedding.Store(false)
+			}
+		}()
+
+		if n > int64(s.cfg.QueueDepth) {
+			s.shedding.Store(true)
+		}
+		if s.shedding.Load() {
+			s.shed(w)
+			return
+		}
+
+		waitCtx, cancel := context.WithTimeout(r.Context(), s.cfg.QueueWait)
+		defer cancel()
+		release, fast, err := s.acquireSlot(waitCtx)
+		if err != nil {
+			if r.Context().Err() != nil {
+				// The client went away while queued; nothing useful to
+				// write.
+				return
+			}
+			s.shed(w)
+			return
+		}
+		defer release()
+		if !fast {
+			s.metrics.queueWait.Add(1)
+		}
+		s.metrics.requests.Add(1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// acquireSlot takes a worker slot, reporting whether the fast
+// (uncontended) path succeeded.
+func (s *Server) acquireSlot(ctx context.Context) (func(), bool, error) {
+	if release, ok := s.queue.TryAcquire(); ok {
+		return release, true, nil
+	}
+	release, err := s.queue.Acquire(ctx)
+	return release, false, err
+}
+
+// shed writes the load-shedding response: 429 with a Retry-After hint
+// sized to the queue-wait budget, so well-behaved clients back off for
+// about as long as a queued request would have waited anyway.
+func (s *Server) shed(w http.ResponseWriter) {
+	s.metrics.shed.Add(1)
+	retry := int(s.cfg.QueueWait.Seconds())
+	if retry < 1 {
+		retry = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	writeError(w, http.StatusTooManyRequests, "overloaded: admission queue is full, retry after %d s", retry)
+}

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"crophe"
+)
+
+// Sweep checkpoint journal: one append-only JSONL file per sweep job,
+// <dir>/<id>.sweep.jsonl. The first line is the header (the job's full
+// parameter set, so a journal is self-describing); each subsequent line
+// records one completed rung; a {"done":true} terminator marks a
+// finished sweep. Every line is written in a single write and fsynced
+// before the next rung starts, so after a crash the journal holds
+// exactly the completed rungs — at worst plus one torn trailing line,
+// which recovery truncates away. Because rung outcomes are deterministic
+// per (hw, seed, step, deadline bucket) — see ResumeResilienceSweep — a
+// resumed journal's remaining lines are byte-identical to the ones an
+// uninterrupted run would have written.
+
+const journalSuffix = ".sweep.jsonl"
+
+// sweepParams is a sweep job's identity — the journal header and the
+// input to the deterministic job ID.
+type sweepParams struct {
+	V          int    `json:"v"`
+	ID         string `json:"id"`
+	HW         string `json:"hw"`
+	Workload   string `json:"workload"`
+	Seed       int64  `json:"seed"`
+	Steps      int    `json:"steps"`
+	DeadlineMS int    `json:"deadline_ms"`
+}
+
+// sweepID derives the job ID from the parameters (FNV-1a over a
+// canonical encoding), so POSTing the same sweep twice addresses the
+// same job instead of running it twice.
+func sweepID(p sweepParams) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d|%d|%d", p.HW, p.Workload, p.Seed, p.Steps, p.DeadlineMS)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func journalPath(dir, id string) string {
+	return filepath.Join(dir, id+journalSuffix)
+}
+
+// journalEntry is one post-header line: a completed rung or the
+// terminator.
+type journalEntry struct {
+	Step  *int                    `json:"step,omitempty"`
+	Point *crophe.ResiliencePoint `json:"point,omitempty"`
+	Done  bool                    `json:"done,omitempty"`
+}
+
+// appendLine writes one journal line and forces it to stable storage;
+// the rung is not considered checkpointed until the Sync returns.
+func appendLine(f *os.File, v any) error {
+	if f == nil {
+		return nil
+	}
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("encoding journal line: %w", err)
+	}
+	if _, err := f.Write(append(body, '\n')); err != nil {
+		return fmt.Errorf("appending journal line: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("syncing journal: %w", err)
+	}
+	return nil
+}
+
+// readJournal parses a checkpoint file: the header, every fully written
+// rung, and whether the terminator is present. keep is the byte offset
+// past the last intact line — a crash can tear at most the final line,
+// and recovery truncates the file to keep before appending resumes.
+func readJournal(path string) (params sweepParams, points map[int]crophe.ResiliencePoint, done bool, keep int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return params, nil, false, 0, err
+	}
+	defer f.Close()
+
+	points = make(map[int]crophe.ResiliencePoint)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	first := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		if first {
+			if err := json.Unmarshal(line, &params); err != nil || params.V != 1 {
+				return params, nil, false, 0, fmt.Errorf("bad journal header in %s: %v", path, err)
+			}
+			first = false
+			keep += int64(len(line)) + 1
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			// A torn tail from a crash mid-write; everything before it is
+			// intact. Stop here and let the caller truncate.
+			break
+		}
+		switch {
+		case e.Done:
+			done = true
+		case e.Step != nil && e.Point != nil:
+			points[*e.Step] = *e.Point
+		}
+		keep += int64(len(line)) + 1
+	}
+	if first {
+		return params, nil, false, 0, fmt.Errorf("empty journal %s", path)
+	}
+	return params, points, done, keep, nil
+}
+
+// openJournal opens (creating if needed) a job's journal for appending,
+// truncating any torn tail first and writing the header when the file is
+// new. A "" dir disables journaling: the returned file is nil and
+// appendLine ignores it.
+func openJournal(dir string, params sweepParams, keep int64, isNew bool) (*os.File, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	path := journalPath(dir, params.ID)
+	if !isNew {
+		if err := os.Truncate(path, keep); err != nil {
+			return nil, fmt.Errorf("truncating torn journal tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if isNew {
+		if err := appendLine(f, params); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// listJournals returns the checkpoint files in dir (no recursion; the
+// directory belongs to crophe-serve).
+func listJournals(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), journalSuffix) {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	return out, nil
+}

@@ -103,3 +103,27 @@ func RunResilienceSweep(ctx context.Context, hw *HWConfig, w *Workload, seed int
 	}
 	return fault.Sweep(hw, seed, steps, sim.DegradedRunner(ctx, opt, w))
 }
+
+// ResumeResilienceSweep is the crash-safe, sequential form of
+// RunResilienceSweep behind the serving layer's sweep jobs: rungs run one
+// at a time in step order, each completed rung is handed to observe
+// before the next begins (the checkpoint-journaling hook), and rungs
+// listed in done are spliced in verbatim instead of re-running.
+//
+// ctx is consulted only *between* rungs, and each rung schedules under an
+// uncancellable context (the deadline budget alone bounds its search), so
+// every completed rung is deterministic per (hw, seed, step, deadline
+// bucket): a sweep interrupted by cancellation or a crash and resumed
+// from its journaled points produces remaining rungs byte-identical to an
+// uninterrupted run. On cancellation the error wraps ctx.Err() and
+// carries the seed.
+func ResumeResilienceSweep(ctx context.Context, hw *HWConfig, w *Workload, seed int64, steps int, deadline time.Duration,
+	done map[int]ResiliencePoint, observe func(ResiliencePoint)) (sw *ResilienceSweep, err error) {
+	defer recoverFaultPanic(seed, &err)
+	opt := sched.DefaultOptions(sched.DataflowCROPHE)
+	if deadline > 0 {
+		opt.SearchBudget = sched.BudgetForDeadline(deadline)
+	}
+	runner := sim.DegradedRunner(context.Background(), opt, w)
+	return fault.ResumeSweep(ctx, hw, seed, steps, runner, done, observe)
+}

@@ -1,0 +1,284 @@
+// Command servesmoke is the serve-smoke driver: it exercises a real
+// crophe-serve binary end to end — health, scheduling, the memo path,
+// deadline-expiry partials, degraded simulation, chaos panic isolation,
+// a checkpointed sweep job, SIGTERM drain, and checkpoint recovery
+// across a restart. It is a plain Go program (no curl, no shell) so
+// `make serve-smoke` and CI run the identical drill.
+//
+// Usage:
+//
+//	servesmoke -bin path/to/crophe-serve
+//
+// Exits 0 when every probe passes, 1 with a diagnostic otherwise.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// server wraps one child crophe-serve process.
+type server struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// cleanup kills any still-running child on failure paths; registered
+// processes that already exited are no-ops.
+var running []*server
+
+func fatalf(format string, a ...any) {
+	for _, s := range running {
+		if s.cmd.Process != nil {
+			_ = s.cmd.Process.Kill()
+			_, _ = s.cmd.Process.Wait()
+		}
+	}
+	fmt.Fprintf(os.Stderr, "servesmoke: FAIL: "+format+"\n", a...)
+	os.Exit(1)
+}
+
+// start launches the binary and parses the listen address off its
+// "crophe-serve: listening on ..." startup line.
+func start(bin, checkpointDir string, chaos bool) *server {
+	args := []string{"-addr", "127.0.0.1:0", "-checkpoint-dir", checkpointDir, "-queue-wait", "5s"}
+	if chaos {
+		args = append(args, "-chaos")
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		fatalf("stdout pipe: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		fatalf("starting %s: %v", bin, err)
+	}
+	s := &server{cmd: cmd}
+	running = append(running, s)
+
+	lines := bufio.NewScanner(stdout)
+	for lines.Scan() {
+		line := lines.Text()
+		if rest, ok := strings.CutPrefix(line, "crophe-serve: listening on "); ok {
+			s.addr = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if s.addr == "" {
+		fatalf("server exited without announcing a listen address")
+	}
+	// Drain the rest of stdout so the child never blocks on a full pipe.
+	go func() {
+		for lines.Scan() {
+		}
+	}()
+	return s
+}
+
+// drain sends SIGTERM and requires a clean exit.
+func (s *server) drain() {
+	if err := s.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		fatalf("SIGTERM: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			fatalf("server exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		fatalf("server did not drain within 30s of SIGTERM")
+	}
+}
+
+// call performs one JSON round trip and decodes the body.
+func (s *server) call(method, path string, body any) (int, map[string]any) {
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			fatalf("marshal %s body: %v", path, err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, "http://"+s.addr+path, rd)
+	if err != nil {
+		fatalf("%s %s: %v", method, path, err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		fatalf("%s %s: decoding %d response: %v", method, path, resp.StatusCode, err)
+	}
+	return resp.StatusCode, out
+}
+
+func step(format string, a ...any) { fmt.Printf("servesmoke: "+format+"\n", a...) }
+
+func main() {
+	bin := flag.String("bin", "", "path to a built crophe-serve binary")
+	flag.Parse()
+	if *bin == "" {
+		fmt.Fprintln(os.Stderr, "servesmoke: -bin is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	checkpoints, err := os.MkdirTemp("", "servesmoke-*")
+	if err != nil {
+		fatalf("temp dir: %v", err)
+	}
+	defer os.RemoveAll(checkpoints)
+
+	s := start(*bin, checkpoints, true)
+	step("server up on %s", s.addr)
+
+	if code, _ := s.call("GET", "/healthz", nil); code != 200 {
+		fatalf("/healthz = %d; want 200", code)
+	}
+	if code, _ := s.call("GET", "/readyz", nil); code != 200 {
+		fatalf("/readyz = %d; want 200", code)
+	}
+
+	// Full-budget schedule, then the memo hit.
+	sched := map[string]any{"hw": "crophe64", "workload": "helr"}
+	code, body := s.call("POST", "/v1/schedule", sched)
+	if code != 200 || body["partial"] != false {
+		fatalf("schedule = %d %v; want 200, partial=false", code, body)
+	}
+	if ms, _ := body["time_ms"].(float64); ms <= 0 {
+		fatalf("schedule time_ms = %v; want > 0", body["time_ms"])
+	}
+	code, body = s.call("POST", "/v1/schedule", sched)
+	if code != 200 || body["cached"] != true {
+		fatalf("repeat schedule = %d %v; want cached=true", code, body)
+	}
+	step("schedule ok (memo hit on repeat)")
+
+	// A 1 ms deadline cannot cover the helr search space: the anytime
+	// search must return its best-so-far schedule marked partial.
+	code, body = s.call("POST", "/v1/schedule",
+		map[string]any{"hw": "crophe64", "workload": "helr", "deadline_ms": 1})
+	if code != 200 || body["partial"] != true {
+		fatalf("deadline schedule = %d %v; want 200, partial=true", code, body)
+	}
+	step("deadline expiry returned a partial schedule")
+
+	code, body = s.call("POST", "/v1/simulate-degraded",
+		map[string]any{"hw": "crophe64", "workload": "helr", "faults": "rows:1,links:2", "seed": 13})
+	if code != 200 {
+		fatalf("simulate-degraded = %d %v; want 200", code, body)
+	}
+	if n, _ := body["fault_count"].(float64); n < 1 {
+		fatalf("degraded run injected %v faults; want >= 1", body["fault_count"])
+	}
+	step("degraded simulation ok (%v faults)", body["fault_count"])
+
+	// Chaos: an injected panic must come back as a structured 500
+	// carrying the fault seed — and the server must keep serving.
+	code, body = s.call("POST", "/v1/schedule",
+		map[string]any{"hw": "crophe64", "workload": "helr", "chaos_panic": true, "seed": 99})
+	if code != 500 {
+		fatalf("chaos request = %d %v; want 500", code, body)
+	}
+	if seed, _ := body["fault_seed"].(float64); seed != 99 {
+		fatalf("chaos 500 fault_seed = %v; want 99", body["fault_seed"])
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "invariant violation under fault seed 99") {
+		fatalf("chaos 500 error %q missing the seed convention", body["error"])
+	}
+	if code, _ := s.call("GET", "/healthz", nil); code != 200 {
+		fatalf("/healthz after chaos panic = %d; want 200", code)
+	}
+	step("chaos panic isolated as a structured 500")
+
+	// A checkpointed sweep job: idempotent start, poll to done.
+	sweep := map[string]any{"hw": "crophe64", "workload": "helr", "seed": 5, "steps": 4, "deadline_ms": 3}
+	code, body = s.call("POST", "/v1/sweeps", sweep)
+	if code != 202 || body["created"] != true {
+		fatalf("start sweep = %d %v; want 202, created=true", code, body)
+	}
+	id, _ := body["id"].(string)
+	code, body = s.call("POST", "/v1/sweeps", sweep)
+	if code != 202 || body["id"] != id || body["created"] != false {
+		fatalf("repeat sweep POST = %d %v; want same id, created=false", code, body)
+	}
+	pollDeadline := time.Now().Add(30 * time.Second)
+	for {
+		code, body = s.call("GET", "/v1/sweeps/"+id, nil)
+		if code != 200 {
+			fatalf("sweep poll = %d %v", code, body)
+		}
+		if body["state"] == "done" {
+			break
+		}
+		if body["state"] == "failed" {
+			fatalf("sweep failed: %v", body["error"])
+		}
+		if time.Now().After(pollDeadline) {
+			fatalf("sweep did not finish: %v", body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if points, _ := body["points"].([]any); len(points) != 4 {
+		fatalf("done sweep has %d points; want 4", len(points))
+	}
+	step("sweep %s done (4 rungs journaled)", id)
+
+	code, body = s.call("GET", "/debug/vars", nil)
+	if code != 200 {
+		fatalf("/debug/vars = %d", code)
+	}
+	reqVars, _ := body["requests"].(map[string]any)
+	if n, _ := reqVars["panics"].(float64); n != 1 {
+		fatalf("vars requests.panics = %v; want 1 (the chaos drill)", reqVars["panics"])
+	}
+
+	s.drain()
+	step("SIGTERM drain clean")
+
+	// The journal survived the drain and carries the done terminator.
+	journals, err := filepath.Glob(filepath.Join(checkpoints, "*.sweep.jsonl"))
+	if err != nil || len(journals) != 1 {
+		fatalf("checkpoint dir holds %d journals (err %v); want 1", len(journals), err)
+	}
+	raw, err := os.ReadFile(journals[0])
+	if err != nil {
+		fatalf("reading journal: %v", err)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(raw, []byte("\n")), []byte("\n"))
+	if !bytes.Contains(lines[len(lines)-1], []byte(`"done":true`)) {
+		fatalf("journal tail %q is not the done terminator", lines[len(lines)-1])
+	}
+
+	// A restarted server recovers the finished job from its journal.
+	s2 := start(*bin, checkpoints, false)
+	code, body = s2.call("GET", "/v1/sweeps/"+id, nil)
+	if code != 200 || body["state"] != "done" {
+		fatalf("recovered sweep = %d %v; want done", code, body)
+	}
+	if points, _ := body["points"].([]any); len(points) != 4 {
+		fatalf("recovered sweep has %d points; want 4", len(points))
+	}
+	s2.drain()
+	step("restart recovered the finished sweep from its journal")
+
+	fmt.Println("servesmoke: PASS")
+}
