@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test lint vet race fuzz bench bench-json bench-diff trace-smoke chaos-smoke serve-smoke clean
+.PHONY: all build test lint lint-json vet race fuzz bench bench-json bench-diff trace-smoke chaos-smoke serve-smoke clean
 
 all: build lint test
 
@@ -17,9 +17,17 @@ vet:
 	$(GO) vet ./...
 
 # Domain-aware static analysis (modarith, levelcheck, panicpolicy,
-# paramcopy, telemetryguard, faultseed, ctxbudget).
+# paramcopy, telemetryguard, faultseed, ctxbudget, maporder, locksafe,
+# releasecheck). ./... includes internal/analysis itself, so the analyzer
+# suite is held to its own rules. lint-json additionally writes the
+# machine-readable report CI uploads as an artifact.
 lint:
 	$(GO) run ./cmd/crophe-lint ./...
+
+LINT_REPORT ?= crophe-lint-report.json
+
+lint-json:
+	$(GO) run ./cmd/crophe-lint -json -o $(LINT_REPORT) ./...
 
 race:
 	$(GO) test -race ./...

@@ -1,28 +1,53 @@
 // Command crophe-lint runs the CROPHE domain analyzers (modarith,
-// levelcheck, panicpolicy, paramcopy) over the repository. It is the
-// multichecker driver wired into CI:
+// levelcheck, panicpolicy, paramcopy, telemetryguard, faultseed,
+// ctxbudget, maporder, locksafe, releasecheck) over the repository. It is
+// the multichecker driver wired into CI:
 //
 //	go run ./cmd/crophe-lint ./...
 //
 // Exit status: 0 when clean, 1 when any analyzer reports a finding, 2 on
 // load or usage errors. Use -list to print the analyzer suite and
-// -only=name1,name2 to run a subset.
+// -only=name1,name2 to run a subset. -json emits a machine-readable
+// report: to stdout by default, or to the -o path (in which case the
+// human-readable findings still print to stdout, so CI problem matchers
+// and the report artifact come from one run).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"crophe/internal/analysis"
 )
 
+// jsonFinding is one finding in the -json report. File paths are
+// module-relative so the report is stable across checkouts.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the -json document.
+type jsonReport struct {
+	Analyzers []string      `json:"analyzers"`
+	Findings  []jsonFinding `json:"findings"`
+	Count     int           `json:"count"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report")
+	outPath := flag.String("o", "", "write the JSON report to this file (with -json)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: crophe-lint [-list] [-only=names] packages...\n")
+		fmt.Fprintf(os.Stderr, "usage: crophe-lint [-list] [-only=names] [-json [-o report.json]] packages...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -30,7 +55,7 @@ func main() {
 	analyzers := analysis.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -66,7 +91,20 @@ func main() {
 		os.Exit(2)
 	}
 
-	findings := 0
+	// relPath maps absolute diagnostic paths to module-relative ones for
+	// both the console lines (GitHub problem-matcher friendly) and the
+	// JSON report.
+	relPath := func(path string) string {
+		if rel, err := filepath.Rel(loader.ModDir, path); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+		return path
+	}
+
+	var findings []jsonFinding
+	// Human-readable lines print unless the JSON report itself goes to
+	// stdout.
+	console := !*jsonOut || *outPath != ""
 	for _, dir := range dirs {
 		importPath, err := loader.ImportPathFor(dir)
 		if err != nil {
@@ -84,12 +122,47 @@ func main() {
 			os.Exit(2)
 		}
 		for _, d := range diags {
-			fmt.Println(d)
-			findings++
+			file := relPath(d.Pos.Filename)
+			if console {
+				fmt.Printf("%s:%d:%d: %s: %s\n", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+			}
+			findings = append(findings, jsonFinding{
+				File: file, Line: d.Pos.Line, Col: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "crophe-lint: %d finding(s)\n", findings)
+
+	if *jsonOut {
+		names := make([]string, len(analyzers))
+		for i, a := range analyzers {
+			names[i] = a.Name
+		}
+		report := jsonReport{Analyzers: names, Findings: findings, Count: len(findings)}
+		if report.Findings == nil {
+			report.Findings = []jsonFinding{} // stable shape: [] rather than null
+		}
+		data, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crophe-lint: %v\n", err)
+			os.Exit(2)
+		}
+		data = append(data, '\n')
+		if *outPath != "" {
+			if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "crophe-lint: %v\n", err)
+				os.Exit(2)
+			}
+		} else {
+			os.Stdout.Write(data)
+		}
+	} else if *outPath != "" {
+		fmt.Fprintf(os.Stderr, "crophe-lint: -o requires -json\n")
+		os.Exit(2)
+	}
+
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "crophe-lint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"log"
 	"math"
 	"math/rand"
+	"sort"
 
 	"crophe/internal/boot"
 	"crophe/internal/ckks"
@@ -64,6 +65,9 @@ func main() {
 	for r := range rotSet {
 		rotations = append(rotations, r)
 	}
+	// Key-generation order feeds the deterministic test PRNG; sort so
+	// repeated runs produce identical keys and ciphertexts.
+	sort.Ints(rotations)
 
 	crand := ckks.NewTestRand(4242)
 	kg := ckks.NewKeyGenerator(params, crand)

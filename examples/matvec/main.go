@@ -9,6 +9,7 @@ import (
 	"log"
 	"math/cmplx"
 	"math/rand"
+	"sort"
 
 	"crophe/internal/boot"
 	"crophe/internal/ckks"
@@ -54,6 +55,9 @@ func main() {
 	for r := range rotSet {
 		rotations = append(rotations, r)
 	}
+	// Key-generation order feeds the deterministic test PRNG; sort so
+	// repeated runs produce identical keys and ciphertexts.
+	sort.Ints(rotations)
 
 	crand := ckks.NewTestRand(99)
 	kg := ckks.NewKeyGenerator(params, crand)

@@ -41,6 +41,11 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	// facts is the shared per-package fact set (call graph + function
+	// summaries); Run computes it once and hands the same instance to
+	// every analyzer of the package. Access through Facts().
+	facts *Facts
+
 	diags []Diagnostic
 }
 
@@ -69,6 +74,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 // findings sorted by position.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var out []Diagnostic
+	// One fact set per package, shared by every analyzer: the call graph
+	// and function summaries are analyzer-independent, so computing them
+	// once amortises the walk across the suite.
+	var shared *Facts
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer: a,
@@ -76,10 +85,12 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			facts:    shared,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 		}
+		shared = pass.facts // keep a lazily-computed fact set for the next analyzer
 		out = append(out, pass.diags...)
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -97,7 +108,10 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // All returns the full CROPHE analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{ModArith, LevelCheck, PanicPolicy, ParamCopy, TelemetryGuard, FaultSeed, CtxBudget}
+	return []*Analyzer{
+		ModArith, LevelCheck, PanicPolicy, ParamCopy, TelemetryGuard,
+		FaultSeed, CtxBudget, MapOrder, LockSafe, ReleaseCheck,
+	}
 }
 
 // namedType unwraps pointers and returns the named type of an expression's

@@ -45,10 +45,25 @@ func TestCtxBudget(t *testing.T) {
 	analysistest.Run(t, analysis.CtxBudget, "ctxbudget/serve")
 }
 
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, analysis.MapOrder, "maporder/a")
+}
+
+func TestLockSafe(t *testing.T) {
+	analysistest.Run(t, analysis.LockSafe, "locksafe/a")
+}
+
+func TestReleaseCheck(t *testing.T) {
+	analysistest.Run(t, analysis.ReleaseCheck, "releasecheck/a")
+}
+
 // TestSuiteRegistry pins the analyzer set cmd/crophe-lint runs, so adding
 // an analyzer without wiring it into All() fails loudly.
 func TestSuiteRegistry(t *testing.T) {
-	want := []string{"modarith", "levelcheck", "panicpolicy", "paramcopy", "telemetryguard", "faultseed", "ctxbudget"}
+	want := []string{
+		"modarith", "levelcheck", "panicpolicy", "paramcopy", "telemetryguard",
+		"faultseed", "ctxbudget", "maporder", "locksafe", "releasecheck",
+	}
 	all := analysis.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

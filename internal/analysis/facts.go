@@ -1,0 +1,541 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// The facts layer is the interprocedural substrate shared by every
+// analyzer in the suite: a cheap package-level call graph plus
+// per-function summaries, computed once per package and attached to each
+// Pass. Analyzers that reason about dynamic behaviour — does this call
+// block, does it acquire a pool token, does it write to an
+// order-sensitive sink — consult the facts instead of pattern-matching
+// literal call sites, so a check sees through helper functions
+// (acquireSlot wrapping Queue.Acquire, an emit helper wrapping
+// fmt.Fprintf) rather than only the raw operation.
+//
+// Facts are package-local by design: edges into other packages are not
+// followed, which keeps the computation a single AST walk per package and
+// keeps analyzers honest about what they can actually prove. Transitive
+// queries (Blocks, EmitsOrdered) close over the package call graph with a
+// cycle-safe depth-first search, so recursion and mutual recursion
+// terminate and a cycle contributes exactly its members' direct facts.
+
+// FuncFact is the direct (non-transitive) summary of one function or
+// method declared in the package. Positions are token.NoPos when the
+// corresponding behaviour is absent.
+type FuncFact struct {
+	// Decl is the declaration the summary was computed from.
+	Decl *ast.FuncDecl
+	// Fn is the types object of the declaration.
+	Fn *types.Func
+
+	// BlockPos/BlockDesc record the first operation in the body that can
+	// block the calling goroutine: a channel send or receive, a select
+	// with no default, a range over a channel, sync.WaitGroup.Wait,
+	// sync.Cond.Wait, parallel.Queue.Acquire, a worker-pool submission
+	// (parallel.For/ForChunk), or time.Sleep. Operations inside `go` and
+	// `defer` statements are excluded — they do not block this frame at
+	// this point.
+	BlockPos  token.Pos
+	BlockDesc string
+
+	// AcquirePos/AcquireDesc record the first lease acquisition in the
+	// body: parallel.Queue.Acquire/TryAcquire (which hand out release
+	// closures borrowing the shared token budget) or a call returning an
+	// arena/scratch lease (a pointer to a type with a release/Release
+	// method).
+	AcquirePos  token.Pos
+	AcquireDesc string
+
+	// ReturnsLease reports that the function acquires a lease and hands
+	// it to its caller through a return value — the acquireSlot pattern.
+	// Callers of such a function hold the release obligation themselves.
+	ReturnsLease bool
+
+	// OrderedSinkPos/OrderedSinkDesc record the first write the body
+	// makes to an order-sensitive sink: an io.Writer-style Write*
+	// method, fmt.Fprint*/Print*, or telemetry span emission (spans
+	// serialise in emission order). Feeding such a function from a map
+	// iteration makes the output depend on map order.
+	OrderedSinkPos  token.Pos
+	OrderedSinkDesc string
+
+	// Callees lists the package-local functions this body references
+	// (calls, method values, function values — any use of the object),
+	// deduplicated, in source order.
+	Callees []*types.Func
+}
+
+// Facts is the per-package fact set. Compute it with ComputeFacts or
+// retrieve it from a Pass via Facts().
+type Facts struct {
+	funcs map[*types.Func]*FuncFact
+
+	blocksMemo  map[*types.Func]*transResult
+	orderedMemo map[*types.Func]*transResult
+}
+
+// transResult caches a positive transitive query answer.
+type transResult struct {
+	pos   token.Pos
+	desc  string
+	chain []string // call path from the queried function to the operation
+}
+
+// Facts returns the package facts for this pass, computing them on first
+// use. Run() shares one Facts across all analyzers of a package.
+func (p *Pass) Facts() *Facts {
+	if p.facts == nil {
+		p.facts = ComputeFacts(p.Fset, p.Files, p.Pkg, p.Info)
+	}
+	return p.facts
+}
+
+// Fact returns the direct summary for fn, or nil when fn is not declared
+// in this package.
+func (f *Facts) Fact(fn *types.Func) *FuncFact {
+	if f == nil || fn == nil {
+		return nil
+	}
+	return f.funcs[fn]
+}
+
+// Funcs returns the summarised functions in deterministic (position)
+// order — primarily for tests and debugging.
+func (f *Facts) Funcs() []*FuncFact {
+	out := make([]*FuncFact, 0, len(f.funcs))
+	for _, ff := range f.funcs {
+		out = append(out, ff)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Decl.Pos() < out[j].Decl.Pos() })
+	return out
+}
+
+// Blocks reports whether calling fn can block, either directly or through
+// package-local callees. chain names the call path down to the blocking
+// operation (starting at fn's own name for a direct block).
+func (f *Facts) Blocks(fn *types.Func) (pos token.Pos, desc string, chain []string, ok bool) {
+	r := f.transitive(fn, f.blocksMemo, func(ff *FuncFact) (token.Pos, string, bool) {
+		return ff.BlockPos, ff.BlockDesc, ff.BlockPos.IsValid()
+	})
+	if r == nil {
+		return token.NoPos, "", nil, false
+	}
+	return r.pos, r.desc, r.chain, true
+}
+
+// EmitsOrdered reports whether calling fn writes to an order-sensitive
+// sink, directly or through package-local callees.
+func (f *Facts) EmitsOrdered(fn *types.Func) (pos token.Pos, desc string, chain []string, ok bool) {
+	r := f.transitive(fn, f.orderedMemo, func(ff *FuncFact) (token.Pos, string, bool) {
+		return ff.OrderedSinkPos, ff.OrderedSinkDesc, ff.OrderedSinkPos.IsValid()
+	})
+	if r == nil {
+		return token.NoPos, "", nil, false
+	}
+	return r.pos, r.desc, r.chain, true
+}
+
+// ReturnsLease reports whether fn hands a lease it acquired to its
+// caller (directly, or by forwarding another lease-returning function's
+// result — the fixpoint in ComputeFacts already folded that in).
+func (f *Facts) ReturnsLease(fn *types.Func) bool {
+	ff := f.Fact(fn)
+	return ff != nil && ff.ReturnsLease
+}
+
+// transitive runs a cycle-safe DFS over the package call graph rooted at
+// fn, returning the first reachable function whose direct fact matches.
+// Positive answers are memoised; members of a cycle are simply not
+// revisited within one root's search, so recursion terminates.
+func (f *Facts) transitive(fn *types.Func, memo map[*types.Func]*transResult,
+	direct func(*FuncFact) (token.Pos, string, bool)) *transResult {
+	if f == nil || fn == nil {
+		return nil
+	}
+	if r, ok := memo[fn]; ok {
+		return r
+	}
+	visited := map[*types.Func]bool{}
+	var dfs func(cur *types.Func) *transResult
+	dfs = func(cur *types.Func) *transResult {
+		if visited[cur] {
+			return nil
+		}
+		visited[cur] = true
+		ff := f.funcs[cur]
+		if ff == nil {
+			return nil
+		}
+		if pos, desc, ok := direct(ff); ok {
+			return &transResult{pos: pos, desc: desc, chain: []string{cur.Name()}}
+		}
+		for _, callee := range ff.Callees {
+			if r := dfs(callee); r != nil {
+				return &transResult{pos: r.pos, desc: r.desc,
+					chain: append([]string{cur.Name()}, r.chain...)}
+			}
+		}
+		return nil
+	}
+	r := dfs(fn)
+	if r != nil {
+		memo[fn] = r
+	}
+	return r
+}
+
+// ComputeFacts builds the fact set for one type-checked package.
+func ComputeFacts(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Facts {
+	f := &Facts{
+		funcs:       map[*types.Func]*FuncFact{},
+		blocksMemo:  map[*types.Func]*transResult{},
+		orderedMemo: map[*types.Func]*transResult{},
+	}
+
+	// Pass 1: register declarations, so callee resolution can restrict to
+	// package-local functions that actually have bodies here.
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			f.funcs[fn] = &FuncFact{Decl: fd, Fn: fn}
+		}
+	}
+
+	// Pass 2: scan bodies for direct facts and call edges.
+	for _, ff := range f.funcs {
+		scanFunc(info, pkg, ff, f.funcs)
+	}
+
+	// Pass 3: ReturnsLease fixpoint — a function forwarding the result of
+	// another lease-returning function (acquireSlot calling Acquire, a
+	// wrapper calling acquireSlot) is itself lease-returning. The loop
+	// terminates because the flag only ever flips false → true.
+	for changed := true; changed; {
+		changed = false
+		for _, ff := range f.funcs {
+			if ff.ReturnsLease {
+				continue
+			}
+			if returnsLease(info, ff, f.funcs) {
+				ff.ReturnsLease = true
+				changed = true
+			}
+		}
+	}
+	return f
+}
+
+// scanFunc fills one FuncFact's direct facts and call edges.
+func scanFunc(info *types.Info, pkg *types.Package, ff *FuncFact, local map[*types.Func]*FuncFact) {
+	seen := map[*types.Func]bool{}
+
+	// Call edges: every use of a package-local declared function counts —
+	// direct calls, method calls, and method/function values (a method
+	// value stored in a variable is called somewhere; the conservative
+	// edge keeps transitive facts sound). References inside go/defer
+	// statements are excluded: that work runs on another goroutine or at
+	// frame exit, so charging its behaviour to this frame's call sites
+	// would make the transitive queries wildly over-approximate.
+	ast.Inspect(ff.Decl.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.GoStmt, *ast.DeferStmt:
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[id].(*types.Func)
+		if !ok || fn.Pkg() != pkg || local[fn] == nil || seen[fn] {
+			return true
+		}
+		seen[fn] = true
+		ff.Callees = append(ff.Callees, fn)
+		return true
+	})
+
+	scanBlocking(info, ff.Decl.Body, func(pos token.Pos, desc string) {
+		if !ff.BlockPos.IsValid() {
+			ff.BlockPos, ff.BlockDesc = pos, desc
+		}
+	})
+
+	ast.Inspect(ff.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if desc, ok := leaseSource(info, call, nil); ok && !ff.AcquirePos.IsValid() {
+			ff.AcquirePos, ff.AcquireDesc = call.Pos(), desc
+		}
+		if desc, ok := orderedSinkCall(info, call); ok && !ff.OrderedSinkPos.IsValid() {
+			ff.OrderedSinkPos, ff.OrderedSinkDesc = call.Pos(), desc
+		}
+		return true
+	})
+}
+
+// scanBlocking walks n reporting operations that can block the current
+// goroutine. Bodies of `go` and `defer` statements are skipped (they run
+// on another goroutine or at frame exit), and the communication clauses
+// of a select with a default case are non-blocking by construction.
+func scanBlocking(info *types.Info, n ast.Node, emit func(token.Pos, string)) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch s := m.(type) {
+		case *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.FuncLit:
+			// A closure body runs in its own frame at some other time (or
+			// never); charging its operations to the enclosing function
+			// would make Blocks wildly over-approximate.
+			return false
+		case *ast.SendStmt:
+			emit(s.Pos(), "channel send")
+			return true
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW {
+				emit(s.Pos(), "channel receive")
+			}
+			return true
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[s.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					emit(s.Pos(), "range over channel")
+				}
+			}
+			return true
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				emit(s.Pos(), "select with no default case")
+			}
+			// Clause headers are non-blocking either way (a select
+			// commits to at most one ready case); only the bodies can
+			// block.
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					for _, st := range cc.Body {
+						scanBlocking(info, st, emit)
+					}
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if desc, ok := blockingCall(info, s); ok {
+				emit(s.Pos(), desc)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// blockingCall classifies calls that can block the calling goroutine.
+func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	pkgName, name := fn.Pkg().Name(), fn.Name()
+	recv := recvNamedType(fn)
+	switch {
+	case pkgName == "sync" && name == "Wait" && recv == "WaitGroup":
+		return "sync.WaitGroup.Wait", true
+	case pkgName == "sync" && name == "Wait" && recv == "Cond":
+		return "sync.Cond.Wait", true
+	case pkgName == "parallel" && name == "Acquire" && recv == "Queue":
+		return "parallel.Queue.Acquire", true
+	case pkgName == "parallel" && (name == "For" || name == "ForChunk") && recv == "":
+		return "worker-pool submission (parallel." + name + ")", true
+	case pkgName == "time" && name == "Sleep" && recv == "":
+		return "time.Sleep", true
+	}
+	return "", false
+}
+
+// leaseSource classifies calls that hand out a lease the caller must
+// release: Queue.Acquire/TryAcquire release closures, arena/scratch
+// leases (any call whose first result is a pointer to a type with a
+// niladic release/Release method), and package-local helpers whose
+// ReturnsLease fact is set (pass facts == nil to restrict to direct
+// sources, as the facts builder itself must).
+func leaseSource(info *types.Info, call *ast.CallExpr, facts *Facts) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return "", false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Name() == "parallel" && recvNamedType(fn) == "Queue" {
+		switch fn.Name() {
+		case "Acquire":
+			return "parallel.Queue.Acquire", true
+		case "TryAcquire":
+			return "parallel.Queue.TryAcquire", true
+		}
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Results().Len() > 0 {
+		if name, ok := leaseTypeName(sig.Results().At(0).Type()); ok {
+			return name + " lease from " + fn.Name(), true
+		}
+	}
+	if facts != nil && facts.ReturnsLease(fn) {
+		return "lease returned by " + fn.Name(), true
+	}
+	return "", false
+}
+
+// leaseTypeName reports whether t is a pointer to a named type exposing a
+// niladic release/Release method — the arena/scratch lease shape.
+func leaseTypeName(t types.Type) (string, bool) {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return "", false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return "", false
+	}
+	ms := types.NewMethodSet(ptr)
+	for i := 0; i < ms.Len(); i++ {
+		fn, ok := ms.At(i).Obj().(*types.Func)
+		if !ok {
+			continue
+		}
+		if fn.Name() != "release" && fn.Name() != "Release" {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Params().Len() == 0 && sig.Results().Len() == 0 {
+			return named.Obj().Name(), true
+		}
+	}
+	return "", false
+}
+
+// orderedSinkCall classifies calls that write their arguments to an
+// order-sensitive sink: stream writers (Write*/Fprint*/Print*), span
+// emission (trace events serialise in emission order), and hash input.
+// Counter emission (EmitCounter) is deliberately excluded — counters
+// accumulate commutatively and export name-sorted.
+func orderedSinkCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return "", false
+	}
+	name := fn.Name()
+	if fn.Pkg() != nil && fn.Pkg().Name() == "fmt" {
+		switch name {
+		case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+			return "fmt." + name, true
+		}
+	}
+	if recv := recvNamedType(fn); recv != "" {
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return recv + "." + name, true
+		case "EmitSpan":
+			if isNamed(recvType(fn), "telemetry", "Collector") {
+				return "telemetry span emission", true
+			}
+		}
+	}
+	return "", false
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for calls
+// through function-typed values and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := stripParens(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// recvType returns the receiver type of a method, or nil for functions.
+func recvType(fn *types.Func) types.Type {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}
+
+// recvNamedType returns the name of a method's receiver named type
+// (pointers unwrapped), or "" for plain functions.
+func recvNamedType(fn *types.Func) string {
+	n := namedType(recvType(fn))
+	if n == nil || n.Obj() == nil {
+		return ""
+	}
+	return n.Obj().Name()
+}
+
+// returnsLease reports whether ff returns a lease it acquired: a lease
+// source's result either returned directly or bound to a variable that
+// reaches a return statement.
+func returnsLease(info *types.Info, ff *FuncFact, local map[*types.Func]*FuncFact) bool {
+	// Variables bound from lease sources.
+	leaseVars := map[types.Object]bool{}
+	directReturn := false
+	facts := &Facts{funcs: local} // ReturnsLease lookups against the current fixpoint state
+	ast.Inspect(ff.Decl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				if call, ok := stripParens(s.Rhs[0]).(*ast.CallExpr); ok {
+					if _, ok := leaseSource(info, call, facts); ok {
+						if id, ok := s.Lhs[0].(*ast.Ident); ok {
+							if obj := info.Defs[id]; obj != nil {
+								leaseVars[obj] = true
+							} else if obj := info.Uses[id]; obj != nil {
+								leaseVars[obj] = true
+							}
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if call, ok := stripParens(res).(*ast.CallExpr); ok {
+					if _, ok := leaseSource(info, call, facts); ok {
+						directReturn = true
+					}
+				}
+				ast.Inspect(res, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						if obj := info.Uses[id]; obj != nil && leaseVars[obj] {
+							directReturn = true
+						}
+					}
+					return !directReturn
+				})
+			}
+		}
+		return !directReturn
+	})
+	return directReturn
+}

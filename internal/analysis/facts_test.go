@@ -1,0 +1,150 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"crophe/internal/analysis"
+)
+
+// loadFactsFixture computes the fact set for testdata/src/facts/a.
+func loadFactsFixture(t *testing.T) *analysis.Facts {
+	t.Helper()
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate test file")
+	}
+	dir := filepath.Join(filepath.Dir(thisFile), "testdata", "src", "facts", "a")
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	importPath, err := loader.ImportPathFor(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analysis.ComputeFacts(pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+}
+
+// factByName finds a summarised function by name.
+func factByName(t *testing.T, facts *analysis.Facts, name string) *analysis.FuncFact {
+	t.Helper()
+	for _, ff := range facts.Funcs() {
+		if ff.Fn.Name() == name {
+			return ff
+		}
+	}
+	t.Fatalf("no fact for function %q", name)
+	return nil
+}
+
+func TestFactsBlockingChain(t *testing.T) {
+	facts := loadFactsFixture(t)
+
+	// Direct fact on the leaf.
+	leaf := factByName(t, facts, "blockDirect")
+	if !leaf.BlockPos.IsValid() || leaf.BlockDesc != "channel receive" {
+		t.Errorf("blockDirect: got direct block %q (valid=%v), want channel receive",
+			leaf.BlockDesc, leaf.BlockPos.IsValid())
+	}
+
+	// Transitive: two helpers deep, with the full call path reported.
+	top := factByName(t, facts, "blockTop")
+	_, desc, chain, ok := facts.Blocks(top.Fn)
+	if !ok || desc != "channel receive" {
+		t.Fatalf("Blocks(blockTop) = %q, %v; want channel receive, true", desc, ok)
+	}
+	if got := strings.Join(chain, "→"); got != "blockTop→blockMiddle→blockDirect" {
+		t.Errorf("Blocks(blockTop) chain = %s", got)
+	}
+}
+
+func TestFactsMutualRecursion(t *testing.T) {
+	facts := loadFactsFixture(t)
+
+	// A cycle containing a send: both members block, and the query
+	// terminates.
+	for _, name := range []string{"pingPongA", "pingPongB"} {
+		ff := factByName(t, facts, name)
+		if _, desc, _, ok := facts.Blocks(ff.Fn); !ok || desc != "channel send" {
+			t.Errorf("Blocks(%s) = %q, %v; want channel send, true", name, desc, ok)
+		}
+	}
+
+	// A fact-free cycle and direct self-recursion: no block, no hang.
+	for _, name := range []string{"cycleA", "cycleB", "selfLoop", "quiet"} {
+		ff := factByName(t, facts, name)
+		if _, _, _, ok := facts.Blocks(ff.Fn); ok {
+			t.Errorf("Blocks(%s) reported a block in a fact-free cycle", name)
+		}
+	}
+}
+
+func TestFactsMethodValue(t *testing.T) {
+	facts := loadFactsFixture(t)
+	mv := factByName(t, facts, "methodValue")
+	_, desc, chain, ok := facts.EmitsOrdered(mv.Fn)
+	if !ok || !strings.HasPrefix(desc, "fmt.Print") {
+		t.Fatalf("EmitsOrdered(methodValue) = %q, %v; want fmt.Println via method value", desc, ok)
+	}
+	if got := strings.Join(chain, "→"); got != "methodValue→emit" {
+		t.Errorf("EmitsOrdered(methodValue) chain = %s", got)
+	}
+}
+
+func TestFactsOrderedSinkChain(t *testing.T) {
+	facts := loadFactsFixture(t)
+	top := factByName(t, facts, "sinkTop")
+	_, desc, chain, ok := facts.EmitsOrdered(top.Fn)
+	if !ok || desc != "fmt.Print" {
+		t.Fatalf("EmitsOrdered(sinkTop) = %q, %v; want fmt.Print, true", desc, ok)
+	}
+	if got := strings.Join(chain, "→"); got != "sinkTop→sinkHelper" {
+		t.Errorf("EmitsOrdered(sinkTop) chain = %s", got)
+	}
+}
+
+func TestFactsReturnsLease(t *testing.T) {
+	facts := loadFactsFixture(t)
+	for name, want := range map[string]bool{
+		"forward":      true,
+		"forwardTwice": true,
+		"consume":      false,
+		"quiet":        false,
+	} {
+		ff := factByName(t, facts, name)
+		if got := facts.ReturnsLease(ff.Fn); got != want {
+			t.Errorf("ReturnsLease(%s) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestFactsGoDeferExcluded(t *testing.T) {
+	facts := loadFactsFixture(t)
+	ff := factByName(t, facts, "deferredOps")
+	if ff.BlockPos.IsValid() {
+		t.Errorf("deferredOps: direct block %q inside go/defer should be excluded", ff.BlockDesc)
+	}
+	if _, desc, _, ok := facts.Blocks(ff.Fn); ok {
+		t.Errorf("Blocks(deferredOps) = %q via a go-statement edge; goroutine work must not charge the caller", desc)
+	}
+}
+
+func TestFactsFuncsDeterministic(t *testing.T) {
+	facts := loadFactsFixture(t)
+	funcs := facts.Funcs()
+	if len(funcs) == 0 {
+		t.Fatal("no functions summarised")
+	}
+	for i := 1; i < len(funcs); i++ {
+		if funcs[i-1].Decl.Pos() >= funcs[i].Decl.Pos() {
+			t.Fatalf("Funcs() not in position order at index %d", i)
+		}
+	}
+}

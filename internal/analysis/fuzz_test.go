@@ -1,0 +1,112 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"crophe/internal/analysis"
+)
+
+// FuzzAnalyzersNoPanic feeds synthesized Go source through the full
+// ten-analyzer suite (which also forces the facts layer to compute). The
+// invariant under test is narrow: malformed, partial, or adversarial
+// source may fail to load or produce diagnostics, but must never panic
+// the framework. The seed corpus covers each analyzer's trigger syntax
+// plus parse- and type-error shapes.
+func FuzzAnalyzersNoPanic(f *testing.F) {
+	seeds := []string{
+		// Empty-ish and malformed inputs.
+		"package a\n",
+		"package a\nfunc (",
+		"package a\nfunc f() { undeclared() }\n",
+		// maporder shapes: unsorted append, stream write, accumulation.
+		`package a
+import ("fmt";"os";"sort")
+func f(m map[string]int) []string {
+	var out []string
+	for k := range m { out = append(out, k); fmt.Fprintln(os.Stdout, k) }
+	sort.Strings(out)
+	return out
+}
+func g(m map[string]float64) (t float64) { for _, v := range m { t += v }; return }
+`,
+		// locksafe shapes: mutex held across channel ops and select.
+		`package a
+import "sync"
+type s struct{ mu sync.Mutex; ch chan int }
+func (x *s) f() { x.mu.Lock(); <-x.ch; x.mu.Unlock() }
+func (x *s) g() { x.mu.Lock(); defer x.mu.Unlock(); select { case <-x.ch: default: } }
+func (x *s) h(wg *sync.WaitGroup) { x.mu.Lock(); wg.Wait(); x.mu.Unlock() }
+`,
+		// releasecheck shapes: lease types, defer, early return.
+		`package a
+type arena struct{}
+func (a *arena) release() {}
+func get() *arena { return &arena{} }
+func f(bad bool) {
+	a := get()
+	defer a.release()
+	b := get()
+	if bad { return }
+	b.release()
+}
+`,
+		// Recursion, method values, closures, go/defer.
+		`package a
+import "fmt"
+func a1(n int) { if n > 0 { a2(n-1) } }
+func a2(n int) { a1(n) }
+type e struct{}
+func (e) emit() { fmt.Print("x") }
+func f(x e, ch chan int) {
+	g := x.emit
+	defer g()
+	go func() { ch <- 1 }()
+}
+`,
+		// Generics and odd-but-legal syntax.
+		`package a
+func Map[K comparable, V any](m map[K]V) []V {
+	var out []V
+	for _, v := range m { out = append(out, v) }
+	return out
+}
+`,
+		// Shadowing and blank identifiers.
+		`package a
+func f(m map[int]int) {
+	append := func(a []int, b ...int) []int { return a }
+	var out []int
+	for k := range m { out = append(out, k) }
+	_ = out
+}
+`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fuzzpkg\n\ngo 1.21\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		loader, err := analysis.NewLoader(dir)
+		if err != nil {
+			return
+		}
+		pkg, err := loader.LoadDir(dir, "fuzzpkg")
+		if err != nil {
+			return // parse/type errors are expected for mutated inputs
+		}
+		// Any panic here fails the fuzz target; diagnostics and analyzer
+		// errors are acceptable outcomes.
+		if _, err := analysis.Run(pkg, analysis.All()); err != nil {
+			t.Logf("analyzer error (acceptable): %v", err)
+		}
+	})
+}

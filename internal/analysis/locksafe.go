@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockSafe flags blocking operations executed while a sync.Mutex or
+// RWMutex is held: channel sends/receives, selects with no default,
+// sync.WaitGroup.Wait, parallel.Queue.Acquire, worker-pool submission
+// (parallel.For/ForChunk) and time.Sleep. Blocking under a lock couples
+// the lock's critical section to progress elsewhere — the exact deadlock
+// shape of a single-flight cache waiting on its ready channel while still
+// holding the cache mutex, or an admission handler acquiring a pool token
+// under its bookkeeping lock. The interprocedural facts layer lets the
+// check see blocking buried one or more package-local helper calls deep.
+// Taking another mutex while holding one is deliberately NOT flagged:
+// ordered nested locking is a legitimate pattern the analyzer cannot
+// distinguish cheaply.
+var LockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc: "flags blocking operations (channel ops, WaitGroup.Wait, pool " +
+		"token acquisition, pool submission) executed while a sync.Mutex/" +
+		"RWMutex is held",
+	Run: runLockSafe,
+}
+
+func runLockSafe(pass *Pass) error {
+	w := &lockWalker{pass: pass, facts: pass.Facts(), reported: map[token.Pos]bool{}}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					w.walkStmts(fn.Body.List, map[string]token.Pos{})
+				}
+			case *ast.FuncLit:
+				// A closure is its own frame: whether a lock is held when it
+				// runs is not lexically knowable, so it starts lock-free.
+				w.walkStmts(fn.Body.List, map[string]token.Pos{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockWalker tracks the set of held mutexes (keyed by the rendered
+// receiver expression) through a lexical walk. Branch bodies are walked
+// with copies of the entry state and the post-branch state conservatively
+// reverts to the entry state, so only definitely-held locks ever flag.
+type lockWalker struct {
+	pass     *Pass
+	facts    *Facts
+	reported map[token.Pos]bool
+}
+
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, st := range stmts {
+		w.walkStmt(st, held)
+	}
+}
+
+func (w *lockWalker) walkStmt(st ast.Stmt, held map[string]token.Pos) {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if recv, op, ok := w.lockOp(call); ok {
+				switch op {
+				case "Lock", "RLock":
+					held[recv] = call.Pos()
+				case "Unlock", "RUnlock":
+					delete(held, recv)
+				}
+				return
+			}
+		}
+		w.checkOps(s, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held for the rest of the body —
+		// that is the point: blocking below it is still blocking under the
+		// lock. Other deferred work runs at frame exit; skip it.
+	case *ast.GoStmt:
+		// Runs on another goroutine that does not hold our locks.
+	case *ast.BlockStmt:
+		w.walkStmts(s.List, held)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		w.checkOps(s.Cond, held)
+		w.walkStmt(s.Body, copyHeld(held))
+		if s.Else != nil {
+			w.walkStmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		w.checkOps(s.Cond, held)
+		inner := copyHeld(held)
+		w.walkStmts(s.Body.List, inner)
+		if s.Post != nil {
+			w.walkStmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		w.checkOps(s.X, held)
+		w.walkStmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		w.checkOps(s.Tag, held)
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		if len(held) > 0 && !selectHasDefault(s) {
+			w.report(s.Pos(), "select with no default case", nil, held)
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				w.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	default:
+		// AssignStmt, SendStmt, ReturnStmt, IncDecStmt, ...: scan for
+		// blocking operations in the contained expressions.
+		w.checkOps(st, held)
+	}
+}
+
+// checkOps scans one statement or expression (no nested blocks) for
+// blocking operations and reports each while any lock is held.
+func (w *lockWalker) checkOps(n ast.Node, held map[string]token.Pos) {
+	if n == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch s := m.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.SendStmt:
+			w.report(s.Pos(), "channel send", nil, held)
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW {
+				w.report(s.Pos(), "channel receive", nil, held)
+			}
+		case *ast.CallExpr:
+			if desc, ok := blockingCall(w.pass.Info, s); ok {
+				w.report(s.Pos(), desc, nil, held)
+				return true
+			}
+			if fn := calleeFunc(w.pass.Info, s); fn != nil {
+				if _, desc, chain, ok := w.facts.Blocks(fn); ok {
+					w.report(s.Pos(), desc, chain, held)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// report emits one diagnostic per operation position, naming a held lock
+// and where it was taken.
+func (w *lockWalker) report(pos token.Pos, desc string, chain []string, held map[string]token.Pos) {
+	if w.reported[pos] {
+		return
+	}
+	w.reported[pos] = true
+	recv, lockPos := oneHeld(held)
+	via := ""
+	if len(chain) > 0 {
+		via = " via " + strings.Join(chain, " → ")
+	}
+	w.pass.Reportf(pos,
+		"blocking operation (%s%s) while %s is locked (Lock at line %d): "+
+			"release the mutex before blocking, or the critical section "+
+			"couples lock holders to external progress",
+		desc, via, recv, w.pass.Fset.Position(lockPos).Line)
+}
+
+// oneHeld picks the deterministically-first held lock for the message.
+func oneHeld(held map[string]token.Pos) (string, token.Pos) {
+	best := ""
+	var bestPos token.Pos
+	for recv, pos := range held {
+		if best == "" || pos < bestPos {
+			best, bestPos = recv, pos
+		}
+	}
+	return best, bestPos
+}
+
+// lockOp classifies mu.Lock/RLock/Unlock/RUnlock calls on sync mutexes
+// and returns the rendered receiver expression.
+func (w *lockWalker) lockOp(call *ast.CallExpr) (recv, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn := calleeFunc(w.pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "sync" {
+		return "", "", false
+	}
+	switch recvNamedType(fn) {
+	case "Mutex", "RWMutex":
+		return exprKey(sel.X), sel.Sel.Name, true
+	}
+	return "", "", false
+}
+
+// exprKey renders a receiver expression for use as a held-lock key; two
+// syntactically identical expressions denote the same mutex within one
+// function body.
+func exprKey(e ast.Expr) string { return types.ExprString(e) }
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func copyHeld(m map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,419 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ReleaseCheck enforces the lease discipline around the shared resources
+// the stack hands out through release closures and arena objects: a
+// parallel.Queue.Acquire/TryAcquire token (one of the bounded worker-slot
+// budget — leaking one permanently shrinks serving capacity) and
+// arena/scratch leases (*ksArena-style objects with a release method).
+// Every acquisition must be released on every path: the canonical form is
+// `defer release()` right after the validity check. The analyzer flags
+// leases that are never released, leases leaked by an early return, and
+// manual (non-deferred) releases separated from the acquisition by
+// panic-capable calls — a panic there leaks the lease even though the
+// happy path looks balanced. Handing the lease to someone else (returning
+// it, storing it in a struct, passing it to a call, capturing it in a
+// closure) transfers the obligation and is accepted.
+//
+// The facts layer makes the check interprocedural: package-local helpers
+// that forward a lease to their caller (the acquireSlot pattern) are
+// themselves lease sources, so their callers are held to the same
+// discipline.
+var ReleaseCheck = &Analyzer{
+	Name: "releasecheck",
+	Doc: "requires pool-token release closures and arena/scratch leases " +
+		"to be released on every path (defer, or proven hand-off), since a " +
+		"leaked token permanently shrinks the worker budget",
+	Run: runReleaseCheck,
+}
+
+func runReleaseCheck(pass *Pass) error {
+	c := &releaseChecker{pass: pass, facts: pass.Facts()}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					c.checkFrame(fn.Body)
+				}
+			case *ast.FuncLit:
+				// Closures are audited as their own frames (a per-chunk
+				// worker body acquires and must release its own arena).
+				c.checkFrame(fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type releaseChecker struct {
+	pass  *Pass
+	facts *Facts
+}
+
+// acquisition is one audited lease-acquiring assignment.
+type acquisition struct {
+	call     *ast.CallExpr
+	desc     string
+	leaseObj types.Object
+	guardObj types.Object // err/ok validity result, nil when none
+	guardErr bool         // guard is an error (valid when nil) vs bool (valid when true)
+}
+
+// checkFrame audits every acquisition in one function frame. Nested
+// function literals are separate frames and are skipped here (the
+// file-level walk visits them on its own).
+func (c *releaseChecker) checkFrame(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			if s.Body != body {
+				return false
+			}
+		case *ast.BlockStmt:
+			list = s.List
+		case *ast.CaseClause:
+			list = s.Body
+		case *ast.CommClause:
+			list = s.Body
+		default:
+			return true
+		}
+		for i, st := range list {
+			switch s := st.(type) {
+			case *ast.AssignStmt:
+				if acq := c.acquisition(s); acq != nil {
+					c.audit(acq, list[i+1:])
+				}
+			case *ast.IfStmt:
+				// if release, ok := q.TryAcquire(); ok { ... } — the lease
+				// is scoped to the if statement; the valid branch carries
+				// the whole obligation.
+				init, ok := s.Init.(*ast.AssignStmt)
+				if !ok {
+					continue
+				}
+				acq := c.acquisition(init)
+				if acq == nil || acq.leaseObj == nil {
+					continue
+				}
+				switch c.guardForm(s.Cond, acq) {
+				case guardValid:
+					c.audit(acq, s.Body.List)
+				case guardInvalid:
+					if els, ok := s.Else.(*ast.BlockStmt); ok {
+						c.audit(acq, els.List)
+					} else {
+						c.pass.Reportf(acq.call.Pos(),
+							"%s goes out of scope without a release path: the "+
+								"valid-lease branch never releases it", acq.desc)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// acquisition recognises `lease[, guards...] := <lease source>(...)`. The
+// lease is the source's first result by convention (release closures and
+// arena pointers lead the result list everywhere in the tree).
+func (c *releaseChecker) acquisition(as *ast.AssignStmt) *acquisition {
+	if as.Tok != token.DEFINE && as.Tok != token.ASSIGN {
+		return nil
+	}
+	if len(as.Rhs) != 1 {
+		return nil
+	}
+	call, ok := stripParens(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	desc, ok := leaseSource(c.pass.Info, call, c.facts)
+	if !ok {
+		return nil
+	}
+	leaseID, ok := stripParens(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	acq := &acquisition{call: call, desc: desc}
+	if leaseID.Name == "_" {
+		c.pass.Reportf(as.Pos(),
+			"%s assigned to the blank identifier: the lease can never be "+
+				"released, permanently consuming the token/arena", desc)
+		return nil
+	}
+	acq.leaseObj = lhsObject(c.pass, leaseID)
+	if acq.leaseObj == nil {
+		return nil
+	}
+
+	// Validity guard: an error result (valid when nil) wins over a bool
+	// (valid when true) when both are present (the acquireSlot shape).
+	fn := calleeFunc(c.pass.Info, call)
+	if fn == nil {
+		return acq
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != len(as.Lhs) {
+		return acq
+	}
+	for i := 1; i < len(as.Lhs); i++ {
+		id, ok := stripParens(as.Lhs[i]).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		rt := sig.Results().At(i).Type()
+		switch {
+		case isErrorType(rt):
+			acq.guardObj, acq.guardErr = lhsObject(c.pass, id), true
+		case isBoolType(rt) && acq.guardObj == nil:
+			acq.guardObj, acq.guardErr = lhsObject(c.pass, id), false
+		}
+	}
+	return acq
+}
+
+// audit scans the statements following an acquisition for a release on
+// the valid-lease path, reporting the first violation found.
+func (c *releaseChecker) audit(acq *acquisition, rest []ast.Stmt) {
+	sawCall := false
+	for _, st := range rest {
+		if d, ok := st.(*ast.DeferStmt); ok {
+			if mentionsObj(c.pass, d, acq.leaseObj) {
+				return // defer release() (or a deferred closure owning it)
+			}
+			sawCall = true
+			continue
+		}
+		if acq.guardObj != nil {
+			if ifs, ok := st.(*ast.IfStmt); ok && mentionsObj(c.pass, ifs.Cond, acq.guardObj) {
+				switch c.guardForm(ifs.Cond, acq) {
+				case guardInvalid:
+					// Failure branch: the lease is nil/absent there.
+					continue
+				case guardValid:
+					c.audit(acq, ifs.Body.List)
+					return
+				default:
+					return // unrecognised guard dataflow — assume handled
+				}
+			}
+		}
+		if mentionsObj(c.pass, st, acq.leaseObj) {
+			kind, pos := c.classifyLeaseUse(st, acq.leaseObj)
+			switch kind {
+			case useEscape:
+				return // returned/stored/passed on: obligation transferred
+			case useRelease:
+				if sawCall {
+					c.pass.Reportf(pos,
+						"%s released without defer: a panic in the calls between "+
+							"acquisition and this release leaks the lease — release "+
+							"with defer immediately after the validity check", acq.desc)
+				}
+				return
+			case useReceiver:
+				sawCall = true
+				continue
+			}
+		}
+		if ret := findReturn(st); ret != nil {
+			c.pass.Reportf(ret.Pos(),
+				"%s leaks on this return path: release it (or defer the "+
+					"release immediately after acquiring)", acq.desc)
+			return
+		}
+		if containsCall(st) {
+			sawCall = true
+		}
+	}
+	c.pass.Reportf(acq.call.Pos(),
+		"%s is never released on this path: defer the release immediately "+
+			"after the validity check", acq.desc)
+}
+
+type leaseUse int
+
+const (
+	useReceiver leaseUse = iota // method call on the lease (arena.alloc)
+	useRelease                  // release()/x.release()/x.Release()
+	useEscape                   // returned, stored, passed, or captured
+)
+
+// classifyLeaseUse decides what one statement does with the lease. Escape
+// dominates (the obligation moved), then release, then plain receiver
+// use.
+func (c *releaseChecker) classifyLeaseUse(st ast.Stmt, lease types.Object) (leaseUse, token.Pos) {
+	accounted := map[*ast.Ident]bool{}
+	releasePos := token.NoPos
+	escaped := false
+
+	isLease := func(e ast.Expr) *ast.Ident {
+		id, ok := stripParens(e).(*ast.Ident)
+		if ok && c.pass.Info.Uses[id] == lease {
+			return id
+		}
+		return nil
+	}
+	ast.Inspect(st, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id := isLease(call.Fun); id != nil {
+			// release() — calling the closure itself.
+			accounted[id] = true
+			if !releasePos.IsValid() {
+				releasePos = call.Pos()
+			}
+			return true
+		}
+		if sel, ok := stripParens(call.Fun).(*ast.SelectorExpr); ok {
+			if id := isLease(sel.X); id != nil {
+				accounted[id] = true
+				if sel.Sel.Name == "release" || sel.Sel.Name == "Release" {
+					if !releasePos.IsValid() {
+						releasePos = call.Pos()
+					}
+				}
+				// Any other method is a plain use of the lease, not an
+				// escape: the callee borrows the receiver for the call.
+			}
+		}
+		return true
+	})
+	ast.Inspect(st, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && !accounted[id] && c.pass.Info.Uses[id] == lease {
+			escaped = true
+		}
+		return !escaped
+	})
+	switch {
+	case escaped:
+		return useEscape, token.NoPos
+	case releasePos.IsValid():
+		return useRelease, releasePos
+	default:
+		return useReceiver, token.NoPos
+	}
+}
+
+type guardKind int
+
+const (
+	guardUnknown guardKind = iota
+	guardValid             // condition true ⇒ the lease is valid
+	guardInvalid           // condition true ⇒ acquisition failed
+)
+
+// guardForm classifies a condition mentioning the validity guard:
+// `err != nil` / `!ok` gate the failure path, `err == nil` / `ok` the
+// valid path.
+func (c *releaseChecker) guardForm(cond ast.Expr, acq *acquisition) guardKind {
+	if acq.guardObj == nil || !mentionsObj(c.pass, cond, acq.guardObj) {
+		return guardUnknown
+	}
+	isGuard := func(e ast.Expr) bool {
+		id, ok := stripParens(e).(*ast.Ident)
+		return ok && c.pass.Info.Uses[id] == acq.guardObj
+	}
+	switch e := stripParens(cond).(type) {
+	case *ast.BinaryExpr:
+		nilSided := func(a, b ast.Expr) bool {
+			return isGuard(a) && isNilIdent(c.pass, b) || isGuard(b) && isNilIdent(c.pass, a)
+		}
+		if acq.guardErr && nilSided(e.X, e.Y) {
+			switch e.Op {
+			case token.NEQ:
+				return guardInvalid
+			case token.EQL:
+				return guardValid
+			}
+		}
+	case *ast.UnaryExpr:
+		if !acq.guardErr && e.Op == token.NOT && isGuard(e.X) {
+			return guardInvalid
+		}
+	case *ast.Ident:
+		if !acq.guardErr && isGuard(e) {
+			return guardValid
+		}
+	}
+	return guardUnknown
+}
+
+// mentionsObj reports whether the subtree uses obj.
+func mentionsObj(pass *Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// findReturn locates a return inside st without descending into nested
+// function literals.
+func findReturn(st ast.Stmt) *ast.ReturnStmt {
+	var ret *ast.ReturnStmt
+	ast.Inspect(st, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			if ret == nil {
+				ret = s
+			}
+			return false
+		}
+		return ret == nil
+	})
+	return ret
+}
+
+// containsCall reports whether st contains any call (a potential panic
+// site), ignoring nested function literals.
+func containsCall(st ast.Stmt) bool {
+	found := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj() != nil && n.Obj().Name() == "error" && n.Obj().Pkg() == nil
+}
+
+func isBoolType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+// isNilIdent matches the predeclared nil.
+func isNilIdent(pass *Pass, e ast.Expr) bool {
+	id, ok := stripParens(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.Info.Uses[id].(*types.Nil)
+	return isNil
+}

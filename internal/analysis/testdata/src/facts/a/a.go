@@ -1,0 +1,94 @@
+// Package a exercises the facts layer: call-graph construction through
+// direct calls, mutual recursion, cycles and method values, plus the
+// blocking/ordered-sink/lease summaries the transitive queries close
+// over. It carries no want comments — facts_test.go asserts against the
+// computed fact set directly.
+package a
+
+import "fmt"
+
+// --- blocking, three helpers deep ---
+
+func blockDirect(ch chan int) { <-ch }
+
+func blockMiddle(ch chan int) { blockDirect(ch) }
+
+func blockTop(ch chan int) { blockMiddle(ch) }
+
+// --- mutual recursion with a block inside the cycle ---
+
+func pingPongA(n int, ch chan int) {
+	if n > 0 {
+		pingPongB(n-1, ch)
+	}
+}
+
+func pingPongB(n int, ch chan int) {
+	ch <- n
+	pingPongA(n, ch)
+}
+
+// --- a pure cycle with no facts anywhere: queries must terminate ---
+
+func cycleA(n int) {
+	if n > 0 {
+		cycleB(n - 1)
+	}
+}
+
+func cycleB(n int) { cycleA(n) }
+
+// selfLoop recurses directly and never blocks.
+func selfLoop(n int) {
+	if n > 0 {
+		selfLoop(n - 1)
+	}
+}
+
+// --- method values: using a method as a value still adds the edge ---
+
+type emitter struct{}
+
+func (emitter) emit() { fmt.Println("row") }
+
+func methodValue(e emitter) {
+	f := e.emit
+	f()
+}
+
+// --- ordered sink through a helper ---
+
+func sinkHelper() { fmt.Print("x") }
+
+func sinkTop() { sinkHelper() }
+
+// quiet has no facts at all.
+func quiet(a, b int) int { return a + b }
+
+// --- leases ---
+
+type lease struct{}
+
+func (l *lease) release() {}
+
+func takeLease() *lease { return &lease{} }
+
+// forward hands the lease to its caller (ReturnsLease fixpoint, depth 2).
+func forward() *lease { return takeLease() }
+
+func forwardTwice() *lease {
+	l := forward()
+	return l
+}
+
+// consume acquires and releases locally: not lease-returning.
+func consume() {
+	l := takeLease()
+	l.release()
+}
+
+// deferredOps: operations inside go/defer do not block this frame.
+func deferredOps(ch chan int) {
+	defer func() { <-ch }()
+	go blockDirect(ch)
+}

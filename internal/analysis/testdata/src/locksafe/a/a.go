@@ -1,0 +1,121 @@
+// Package a is the locksafe fixture: blocking operations (channel ops,
+// WaitGroup.Wait, pool token acquisition, pool submission, defaultless
+// select) executed while a sync mutex is held must be flagged; blocking
+// after release, in goroutines, or with no lock held must not. Taking a
+// second mutex is deliberately not a finding.
+package a
+
+import (
+	"context"
+	"sync"
+
+	"crophe/internal/analysis/testdata/src/locksafe/parallel"
+)
+
+type cache struct {
+	mu    sync.Mutex
+	ready chan struct{}
+	items map[string]int
+}
+
+// waitHeld is the single-flight deadlock shape: the receive blocks while
+// the lock the filler needs is still held.
+func (c *cache) waitHeld() {
+	c.mu.Lock()
+	<-c.ready // want `blocking operation \(channel receive\) while c.mu is locked`
+	c.mu.Unlock()
+}
+
+// waitReleased is the fixed single-flight shape: unlock before waiting.
+func (c *cache) waitReleased() {
+	c.mu.Lock()
+	c.mu.Unlock()
+	<-c.ready
+}
+
+// acquireUnderLock takes a pool token while holding bookkeeping state.
+func (c *cache) acquireUnderLock(ctx context.Context, q *parallel.Queue) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	release, err := q.Acquire(ctx) // want `blocking operation \(parallel.Queue.Acquire\) while c.mu is locked`
+	if err != nil {
+		return err
+	}
+	defer release()
+	return nil
+}
+
+func (c *cache) waitGroupHeld(wg *sync.WaitGroup) {
+	c.mu.Lock()
+	wg.Wait() // want `blocking operation \(sync.WaitGroup.Wait\) while c.mu is locked`
+	c.mu.Unlock()
+}
+
+// fill blocks; helperHeld must see that through the call.
+func fill(ch chan int) { ch <- 1 }
+
+func (c *cache) helperHeld(ch chan int) {
+	c.mu.Lock()
+	fill(ch) // want `blocking operation \(channel send via fill\) while c.mu is locked`
+	c.mu.Unlock()
+}
+
+func (c *cache) selectHeld(a, b chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select { // want `blocking operation \(select with no default case\) while c.mu is locked`
+	case <-a:
+	case <-b:
+	}
+}
+
+// selectDefault cannot block: no finding.
+func (c *cache) selectDefault(a chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case <-a:
+	default:
+	}
+}
+
+func (c *cache) submitHeld(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	parallel.For(n, func(i int) {}) // want `worker-pool submission \(parallel.For\)\) while c.mu is locked`
+}
+
+// goroutineSend: the goroutine does not hold our lock — no finding.
+func (c *cache) goroutineSend(ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() { ch <- 1 }()
+	c.items["x"] = 1
+}
+
+// nested lock acquisition is not a blocking op for this analyzer.
+type pair struct{ a, b sync.Mutex }
+
+func (p *pair) nested() {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// branchLocked: the lock is not definitely held at the receive — the
+// conservative branch merge must stay silent.
+func (c *cache) branchLocked(cond bool, ch chan int) {
+	if cond {
+		c.mu.Lock()
+		c.items["x"] = 1
+		c.mu.Unlock()
+	}
+	<-ch
+}
+
+// noLock blocks freely.
+func noLock(ch chan int) {
+	<-ch
+	ch <- 2
+}

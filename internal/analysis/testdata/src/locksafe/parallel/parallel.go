@@ -1,0 +1,25 @@
+// Package parallel mirrors the production pool's blocking surface for
+// the locksafe fixture: names and shapes match crophe/internal/parallel,
+// which is all the analyzer's package-name matching needs.
+package parallel
+
+import "context"
+
+// Queue is the bounded admission semaphore stand-in.
+type Queue struct{ ch chan struct{} }
+
+// Acquire blocks for a token and returns its release closure.
+func (q *Queue) Acquire(ctx context.Context) (func(), error) { return func() {}, nil }
+
+// TryAcquire takes a token only if one is free.
+func (q *Queue) TryAcquire() (func(), bool) { return func() {}, true }
+
+// For submits n iterations to the pool and waits for them.
+func For(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// ForChunk submits contiguous chunks to the pool and waits for them.
+func ForChunk(n int, fn func(int, int)) { fn(0, n) }

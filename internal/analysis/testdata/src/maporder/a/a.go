@@ -1,0 +1,129 @@
+// Package a is the maporder fixture: range-over-map bodies feeding
+// order-sensitive sinks (unsorted collection, stream writes, span
+// emission, non-associative accumulation) must be flagged; sorted
+// collection, commutative accumulation, and loop-local targets must not.
+package a
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+
+	"crophe/internal/telemetry"
+)
+
+// collectUnsorted is the pre-fix shape of the scheduler's aux-tensor
+// collection: element order follows map order.
+func collectUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside map iteration without a deterministic sort`
+	}
+	return out
+}
+
+// collectSorted is the collect-then-sort idiom: deterministic.
+func collectSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// printDirect streams rows in map order.
+func printDirect(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `map iteration feeds fmt.Fprintf`
+	}
+}
+
+// emitRow is a helper the facts layer must see through.
+func emitRow(w io.Writer, k string) {
+	fmt.Fprintf(w, "row %s\n", k)
+}
+
+func printViaHelper(w io.Writer, m map[string]int) {
+	for k := range m {
+		emitRow(w, k) // want `feeds fmt.Fprintf via emitRow`
+	}
+}
+
+// buffered accumulates bytes in map order — same hazard, method form.
+func buffered(m map[string]int) string {
+	var b bytes.Buffer
+	for k := range m {
+		b.WriteString(k) // want `map iteration feeds Buffer.WriteString`
+	}
+	return b.String()
+}
+
+// spans serialise in emission order, so emitting from a map range makes
+// the trace differ run to run.
+func spans(tel *telemetry.Collector, m map[string]float64) {
+	if !tel.Enabled() {
+		return
+	}
+	for k, v := range m {
+		tel.EmitSpan("PE", "lane", k, v, 1) // want `map iteration feeds telemetry span emission`
+	}
+}
+
+// counters accumulate commutatively and export name-sorted: no finding.
+func counters(tel *telemetry.Collector, m map[string]float64) {
+	if !tel.Enabled() {
+		return
+	}
+	for k, v := range m {
+		tel.EmitCounter(k, v)
+	}
+}
+
+// sumFloat rounds differently per iteration order.
+func sumFloat(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `floating-point accumulation into total`
+	}
+	return total
+}
+
+// sumInt is exact and commutative: no finding.
+func sumInt(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// scaleInPlace writes through the loop's own value variable — each map
+// entry is independent, so order cannot matter: no finding.
+func scaleInPlace(m map[string][]complex128, s complex128) {
+	for _, row := range m {
+		for j := range row {
+			row[j] *= s
+		}
+	}
+}
+
+// accumulateComplex sums diagonals into an outer vector (the boot
+// LinearTransform.Apply pre-fix shape).
+func accumulateComplex(m map[int][]complex128, out []complex128) {
+	for _, row := range m {
+		for j := range out {
+			out[j] += row[j] // want `complex accumulation into out`
+		}
+	}
+}
+
+// concat's result depends on concatenation order.
+func concat(m map[string]string) string {
+	s := ""
+	for _, v := range m {
+		s += v // want `string accumulation into s`
+	}
+	return s
+}

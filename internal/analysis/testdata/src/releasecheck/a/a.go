@@ -1,0 +1,147 @@
+// Package a is the releasecheck fixture: pool-token release closures and
+// arena leases must be released on every path. Deferred release after the
+// validity check, hand-off (return/store/pass), and tight manual release
+// are accepted; early-return leaks, never-released leases, blank-discarded
+// leases, and manual releases separated from the acquisition by
+// panic-capable calls are flagged.
+package a
+
+import (
+	"context"
+	"errors"
+
+	"crophe/internal/analysis/testdata/src/releasecheck/parallel"
+)
+
+// arena is the scratch-lease shape: a pointer type with a niladic
+// release method.
+type arena struct{ buf []byte }
+
+func (a *arena) alloc(n int) []byte { return make([]byte, n) }
+func (a *arena) release()           {}
+
+func getArena() *arena { return &arena{} }
+
+func work()        {}
+func use(b []byte) {}
+
+// deferred is the canonical form: validity check, then defer.
+func deferred(ctx context.Context, q *parallel.Queue) error {
+	release, err := q.Acquire(ctx)
+	if err != nil {
+		return err
+	}
+	defer release()
+	work()
+	return nil
+}
+
+// earlyReturn leaks the token on the bail-out path.
+func earlyReturn(ctx context.Context, q *parallel.Queue, fail bool) error {
+	release, err := q.Acquire(ctx)
+	if err != nil {
+		return err
+	}
+	if fail {
+		return errors.New("bail") // want `leaks on this return path`
+	}
+	release()
+	return nil
+}
+
+// manualLate is the hoisting pre-fix shape: the trailing release leaks if
+// anything in between panics.
+func manualLate(n int) {
+	a := getArena()
+	buf := a.alloc(n)
+	use(buf)
+	a.release() // want `released without defer`
+}
+
+// manualTight releases immediately — nothing can panic in between.
+func manualTight() {
+	a := getArena()
+	a.release()
+}
+
+// arenaLost is never released at all.
+func arenaLost(n int) {
+	a := getArena() // want `never released on this path`
+	a.alloc(n)
+	work()
+}
+
+// discard throws the release closure away: the token is gone for good.
+func discard(ctx context.Context, q *parallel.Queue) {
+	_, err := q.Acquire(ctx) // want `blank identifier`
+	_ = err
+}
+
+// tryDeferred is the if-scoped form of the canonical pattern.
+func tryDeferred(q *parallel.Queue) bool {
+	if release, ok := q.TryAcquire(); ok {
+		defer release()
+		work()
+		return true
+	}
+	return false
+}
+
+// tryManualLate repeats the panic-window hazard inside the valid branch.
+func tryManualLate(q *parallel.Queue) {
+	if release, ok := q.TryAcquire(); ok {
+		work()
+		release() // want `released without defer`
+	}
+}
+
+// tryInverted guards the failure branch and lets the valid lease fall
+// out of scope.
+func tryInverted(q *parallel.Queue) {
+	if release, ok := q.TryAcquire(); !ok { // want `goes out of scope without a release path`
+		_ = release
+		return
+	}
+}
+
+// acquireSlot forwards the token to its caller — the facts layer marks it
+// lease-returning, so callers inherit the obligation.
+func acquireSlot(ctx context.Context, q *parallel.Queue) (func(), error) {
+	if release, ok := q.TryAcquire(); ok {
+		return release, nil
+	}
+	return q.Acquire(ctx)
+}
+
+// callerDeferred discharges the inherited obligation with defer.
+func callerDeferred(ctx context.Context, q *parallel.Queue) error {
+	release, err := acquireSlot(ctx, q)
+	if err != nil {
+		return err
+	}
+	defer release()
+	work()
+	return nil
+}
+
+// callerLeaks inherits the obligation through acquireSlot and drops it on
+// the bail-out path.
+func callerLeaks(ctx context.Context, q *parallel.Queue, fail bool) error {
+	release, err := acquireSlot(ctx, q)
+	if err != nil {
+		return err
+	}
+	if fail {
+		return errors.New("bail") // want `leaks on this return path`
+	}
+	release()
+	return nil
+}
+
+// holder takes ownership of the arena; escape transfers the obligation.
+type holder struct{ a *arena }
+
+func escapes() *holder {
+	a := getArena()
+	return &holder{a: a}
+}

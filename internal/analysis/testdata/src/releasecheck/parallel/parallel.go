@@ -1,0 +1,15 @@
+// Package parallel mirrors the production pool's lease surface for the
+// releasecheck fixture: names and shapes match crophe/internal/parallel,
+// which is all the analyzer's package-name matching needs.
+package parallel
+
+import "context"
+
+// Queue is the bounded admission semaphore stand-in.
+type Queue struct{ ch chan struct{} }
+
+// Acquire blocks for a token and returns its release closure.
+func (q *Queue) Acquire(ctx context.Context) (func(), error) { return func() {}, nil }
+
+// TryAcquire takes a token only if one is free.
+func (q *Queue) TryAcquire() (func(), bool) { return func() {}, true }

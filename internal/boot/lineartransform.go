@@ -9,6 +9,7 @@ package boot
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"crophe/internal/ckks"
 )
@@ -80,6 +81,18 @@ func (lt *LinearTransform) Rotations() []int {
 	return rots
 }
 
+// Diagonals returns the stored non-zero diagonal indices in ascending
+// order — the deterministic iteration order for anything that accumulates
+// across diagonals.
+func (lt *LinearTransform) Diagonals() []int {
+	out := make([]int, 0, len(lt.diags))
+	for d := range lt.diags {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
 // rotateSlice circularly rotates v left by r.
 func rotateSlice(v []complex128, r int) []complex128 {
 	n := len(v)
@@ -95,7 +108,11 @@ func rotateSlice(v []complex128, r int) []complex128 {
 // homomorphic evaluation is tested against.
 func (lt *LinearTransform) Apply(v []complex128) []complex128 {
 	out := make([]complex128, lt.n)
-	for d, diag := range lt.diags {
+	// Accumulate diagonals in index order: complex addition rounds
+	// non-associatively, so summing in map order would make the reference
+	// vector (and every tolerance comparison against it) run-dependent.
+	for _, d := range lt.Diagonals() {
+		diag := lt.diags[d]
 		rot := rotateSlice(v, d)
 		for j := range out {
 			out[j] += diag[j] * rot[j]

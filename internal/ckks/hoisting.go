@@ -118,6 +118,10 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rotations []int) (map[int]*Ci
 			ext := moduped[d]
 			parallel.ForChunk(len(extQP), func(tlo, thi int) {
 				chunkArena := getArena()
+				// Deferred, not trailing: the pool re-raises worker panics,
+				// and a panic between here and a trailing release would
+				// leak the arena for the process lifetime.
+				defer chunkArena.release()
 				permuted := chunkArena.alloc(n)
 				for t := tlo; t < thi; t++ {
 					qp := extQP[t]
@@ -132,7 +136,6 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rotations []int) (map[int]*Ci
 						a1[j] = m.Add(a1[j], m.Mul(permuted[j], aRow[j]))
 					}
 				}
-				chunkArena.release()
 			})
 		}
 

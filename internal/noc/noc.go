@@ -37,6 +37,11 @@ type Mesh struct {
 	// linkLoad accumulates bytes per directed link, keyed by the link's
 	// source coordinate and direction.
 	linkLoad map[linkKey]float64
+	// totalLoad is the running Σ over linkLoad, maintained at the update
+	// sites so TotalBytesHops never sums the map in iteration order
+	// (float addition is non-associative, so a map-order sum differs
+	// run to run).
+	totalLoad float64
 	// sends counts routed transfers (unicasts plus multicast legs) since
 	// the last Reset.
 	sends int
@@ -258,6 +263,7 @@ func (m *Mesh) Send(src, dst Coord, bytes float64) (int, error) {
 	if src == dst {
 		m.sends++
 		m.linkLoad[linkKey{src, 'L'}] += bytes
+		m.totalLoad += bytes
 		return 0, nil
 	}
 	m.sends++
@@ -268,6 +274,7 @@ func (m *Mesh) Send(src, dst Coord, bytes float64) (int, error) {
 			return 0, err
 		}
 		m.linkLoad[k] += bytes
+		m.totalLoad += bytes
 		prev = next
 	}
 	return len(path) * m.HopLatency, nil
@@ -294,6 +301,7 @@ func (m *Mesh) Multicast(src Coord, dsts []Coord, bytes float64) (int, error) {
 			if !charged[k] {
 				charged[k] = true
 				m.linkLoad[k] += bytes
+				m.totalLoad += bytes
 			}
 			prev = next
 		}
@@ -341,11 +349,7 @@ func (m *Mesh) DrainCycles() float64 {
 // TotalBytesHops returns Σ bytes×links-traversed, the energy/utilisation
 // proxy.
 func (m *Mesh) TotalBytesHops() float64 {
-	var total float64
-	for _, load := range m.linkLoad {
-		total += load
-	}
-	return total
+	return m.totalLoad
 }
 
 // Utilization returns the mean link utilisation over the given cycle span.
@@ -365,6 +369,7 @@ func (m *Mesh) numLinks() int {
 // Reset clears accumulated loads, keeping any link-fault state.
 func (m *Mesh) Reset() {
 	m.linkLoad = make(map[linkKey]float64)
+	m.totalLoad = 0
 	m.sends = 0
 }
 

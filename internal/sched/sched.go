@@ -839,6 +839,11 @@ func (s *Scheduler) collectAuxUses(hw *arch.HWConfig, seg workload.Segment, grou
 		}
 		out = append(out, auxUse{id: id, bytes: r.bytes, uses: uses})
 	}
+	// The residency greedy sorts by savings with a stable tie order, so
+	// the collection order must itself be deterministic or ties resolve
+	// by map iteration order and the chosen residency set flaps run to
+	// run.
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
 	return out
 }
 
