@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test lint lint-json vet race fuzz bench bench-json bench-diff trace-smoke chaos-smoke serve-smoke clean
+.PHONY: all build test lint lint-json vet race fuzz bench bench-json bench-diff bench-kernels trace-smoke chaos-smoke serve-smoke clean
 
 all: build lint test
 
@@ -41,9 +41,16 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# One iteration of every batch-NTT kernel benchmark under the race
+# detector: catches data races in the parallel limb dispatch and keeps
+# the benchmark code itself compiling and running in CI without paying
+# for a real measurement.
+bench-kernels:
+	$(GO) test -race -run='^$$' -bench BenchmarkBatchNTT -benchtime=1x ./internal/ntt/
+
 # Machine-readable benchmark report (fast mode) and regression diff
 # against the committed baseline.
-BASELINE ?= BENCH_2026-08-06.json
+BASELINE ?= BENCH_2026-08-08.json
 BENCH_OUT ?= BENCH_$(shell date -u +%Y-%m-%d).json
 
 bench-json:

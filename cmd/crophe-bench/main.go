@@ -2,12 +2,12 @@
 //
 // Usage:
 //
-//	crophe-bench [-fast] [-exp table1|table2|table3|table4|fig9|fig10|fig11|ablations|all] [-json] [-o file] [-trace out.json] [-deadline D]
+//	crophe-bench [-fast] [-exp table1|table2|table3|table4|fig9|fig10|fig11|ablations|kernels|all] [-json] [-o file] [-trace out.json] [-deadline D]
 //	crophe-bench diff [-threshold 0.25] [-metric-tol 1e-6] OLD.json NEW.json
 //
 // With -json, a machine-readable report (per-experiment wall clock,
-// allocation deltas, headline model metrics, and search-telemetry
-// counters — schema v2) is written to BENCH_<date>.json (override with
+// allocation deltas, headline model metrics, measured kernel ns/op, and
+// search-telemetry counters — schema v3) is written to BENCH_<date>.json (override with
 // -o) alongside the usual text output. With -trace, a Chrome trace-event
 // JSON with one wall-clock span per experiment plus the accumulated
 // search counters is written (loadable in chrome://tracing / Perfetto).

@@ -60,7 +60,7 @@ func TestFacadeSimulate(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 8 {
+	if len(ids) != 9 {
 		t.Fatalf("experiment count %d", len(ids))
 	}
 	out, err := RunExperiment("table3", true)

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // ModArith flags raw +, -, and * on uint64 values that flow from
@@ -18,10 +19,18 @@ import (
 // tainted operand is reported. Division, shifts, comparisons, and the %
 // reduction idiom are deliberately exempt — they are how residues are
 // legitimately consumed outside the helpers.
+//
+// A second taint class tracks LAZY (redundant) residues — the [0, 2q) and
+// [0, 4q) values produced by the *Lazy methods and the butterfly helpers.
+// Returning one from an exported function not itself named *Lazy is
+// flagged: the redundant-range contract must not silently cross an API
+// boundary.
 var ModArith = &Analyzer{
 	Name: "modarith",
 	Doc: "flags raw +/-/* on uint64 values flowing from modmath.Modulus " +
-		"outside internal/modmath; use the Barrett/Shoup helpers instead",
+		"outside internal/modmath, and lazy 2q-residues escaping exported " +
+		"non-Lazy functions; use the Barrett/Shoup helpers and correct " +
+		"redundant residues at API boundaries",
 	Run: runModArith,
 }
 
@@ -31,6 +40,25 @@ var residueMethods = map[string]bool{
 	"Add": true, "Sub": true, "Neg": true, "Mul": true, "MulAdd": true,
 	"MulShoup": true, "Reduce": true, "Pow": true, "Inv": true,
 	"ShoupPrecomp": true,
+	// Lazy producers: their redundant results are residues too — raw word
+	// arithmetic on them is just as wrong.
+	"MulShoupLazy": true, "AddLazy": true, "SubLazy": true,
+	"ReduceTwoQ": true, "ReduceFourQ": true, "CorrectLazy": true,
+}
+
+// lazyMethods are the Modulus methods whose results are REDUNDANT
+// residues — in [0, 2q) rather than canonical [0, q). The kernel layer
+// carries them freely across butterfly stages, but they must be corrected
+// (CorrectLazy / ReduceFourQ / a reducing Vec kernel) before crossing an
+// exported API boundary: a caller treating a 2q-residue as canonical
+// silently computes with the wrong representative.
+var lazyMethods = map[string]bool{
+	"MulShoupLazy": true, "AddLazy": true, "SubLazy": true, "ReduceTwoQ": true,
+}
+
+// lazyTupleMethods return a pair of redundant residues.
+var lazyTupleMethods = map[string]bool{
+	"CTButterflyLazy": true, "GSButterflyLazy": true,
 }
 
 func runModArith(pass *Pass) error {
@@ -42,16 +70,18 @@ func runModArith(pass *Pass) error {
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			var body *ast.BlockStmt
+			var name string
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				body = fn.Body
+				name = fn.Name.Name
 			case *ast.FuncLit:
 				body = fn.Body
 			default:
 				return true
 			}
 			if body != nil {
-				checkModArithBody(pass, body)
+				checkModArithBody(pass, name, body)
 			}
 			return true
 		})
@@ -62,9 +92,19 @@ func runModArith(pass *Pass) error {
 // checkModArithBody runs the taint pass over one function body. A single
 // forward pass in source order tracks assignments; Go's definite-assignment
 // rules mean a local is assigned before first use in straight-line code,
-// which is all this heuristic promises.
-func checkModArithBody(pass *Pass, body *ast.BlockStmt) {
+// which is all this heuristic promises. fnName is the enclosing FuncDecl
+// name ("" for function literals); exported non-"Lazy" functions are
+// additionally checked for lazy residues escaping through their returns.
+func checkModArithBody(pass *Pass, fnName string, body *ast.BlockStmt) {
 	tainted := make(map[types.Object]bool)
+	lazy := make(map[types.Object]bool)
+
+	// Escape checking applies to exported API: an unexported helper may
+	// hand redundant residues to its callers within the package, and a
+	// "Lazy" suffix (the modmath convention) advertises the
+	// redundant-range contract.
+	checkEscape := fnName != "" && ast.IsExported(fnName) &&
+		!strings.HasSuffix(fnName, "Lazy")
 
 	exprTainted := func(e ast.Expr) bool { return false }
 	exprTainted = func(e ast.Expr) bool {
@@ -93,6 +133,44 @@ func checkModArithBody(pass *Pass, body *ast.BlockStmt) {
 			return exprTainted(x.X) || exprTainted(x.Y)
 		}
 		return false
+	}
+
+	// lazyExpr reports whether e carries a redundant (2q/4q) residue:
+	// a direct lazy-producer call or a local previously assigned one.
+	// Correction calls (CorrectLazy, ReduceFourQ, the reducing helpers)
+	// are residue-producing but not lazy, so they clear the property.
+	var lazyExpr func(e ast.Expr) bool
+	lazyExpr = func(e ast.Expr) bool {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := pass.Info.Uses[x]; obj != nil {
+				return lazy[obj]
+			}
+		case *ast.ParenExpr:
+			return lazyExpr(x.X)
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && lazyMethods[sel.Sel.Name] {
+				if t, ok := pass.Info.Types[sel.X]; ok && isNamed(t.Type, "modmath", "Modulus") {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	// lazyTupleCall reports whether e is a butterfly call returning a pair
+	// of redundant residues.
+	lazyTupleCall := func(e ast.Expr) bool {
+		x, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := x.Fun.(*ast.SelectorExpr)
+		if !ok || !lazyTupleMethods[sel.Sel.Name] {
+			return false
+		}
+		t, ok := pass.Info.Types[sel.X]
+		return ok && isNamed(t.Type, "modmath", "Modulus")
 	}
 
 	rawOp := func(op token.Token) bool {
@@ -138,6 +216,24 @@ func checkModArithBody(pass *Pass, body *ast.BlockStmt) {
 						continue
 					}
 					tainted[obj] = exprTainted(st.Rhs[i])
+					lazy[obj] = lazyExpr(st.Rhs[i])
+				}
+			}
+			// u, v := m.CTButterflyLazy(...): both results are redundant.
+			if len(st.Rhs) == 1 && len(st.Lhs) == 2 && lazyTupleCall(st.Rhs[0]) {
+				for _, lhs := range st.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := pass.Info.Defs[id]
+					if obj == nil {
+						obj = pass.Info.Uses[id]
+					}
+					if obj != nil {
+						tainted[obj] = true
+						lazy[obj] = true
+					}
 				}
 			}
 		case *ast.BinaryExpr:
@@ -145,6 +241,22 @@ func checkModArithBody(pass *Pass, body *ast.BlockStmt) {
 				pass.Reportf(st.OpPos,
 					"raw %s on a modmath residue; use the Modulus helpers (m.Add/m.Sub/m.Mul)", st.Op)
 			}
+		case *ast.ReturnStmt:
+			if !checkEscape {
+				return true
+			}
+			for _, res := range st.Results {
+				if lazyExpr(res) || lazyTupleCall(res) {
+					pass.Reportf(st.Pos(),
+						"lazy 2q-residue escapes exported function %s; correct with m.CorrectLazy or m.ReduceFourQ (or name the function *Lazy)", fnName)
+					break
+				}
+			}
+		case *ast.FuncLit:
+			// Literals get their own pass (with escape checking off);
+			// descending here would double-report their findings and
+			// mis-attribute their returns to the enclosing function.
+			return false
 		}
 		return true
 	})

@@ -58,3 +58,57 @@ func goodUntainted(n int, xs []uint64) uint64 {
 func goodLaundered(m modmath.Modulus, a uint64) bool {
 	return a > m.Q/2
 }
+
+// BadLazyEscape returns an uncorrected 2q-residue from an exported
+// function: the positive case for the lazy-escape check.
+func BadLazyEscape(m modmath.Modulus, a, w, ws uint64) uint64 {
+	t := m.MulShoupLazy(a, w, ws)
+	return t // want `lazy 2q-residue escapes exported function BadLazyEscape`
+}
+
+// BadLazyEscapeDirect returns the lazy producer call directly, with no
+// intermediate local to taint.
+func BadLazyEscapeDirect(m modmath.Modulus, a, b uint64) uint64 {
+	return m.AddLazy(a, b) // want `lazy 2q-residue escapes exported function BadLazyEscapeDirect`
+}
+
+// BadButterflyEscape leaks both halves of a butterfly result; one report
+// per return statement.
+func BadButterflyEscape(m modmath.Modulus, u, v, w, ws uint64) (uint64, uint64) {
+	x, y := m.CTButterflyLazy(u, v, w, ws)
+	return x, y // want `lazy 2q-residue escapes exported function BadButterflyEscape`
+}
+
+// GoodLazyCorrected brings the redundant residue back to canonical range
+// before it crosses the API boundary: nothing to report.
+func GoodLazyCorrected(m modmath.Modulus, a, w, ws uint64) uint64 {
+	t := m.MulShoupLazy(a, w, ws)
+	return m.CorrectLazy(t)
+}
+
+// GoodButterflyReduced corrects a 4q butterfly output with ReduceFourQ.
+func GoodButterflyReduced(m modmath.Modulus, u, v, w, ws uint64) uint64 {
+	x, _ := m.CTButterflyLazy(u, v, w, ws)
+	return m.ReduceFourQ(x)
+}
+
+// MulRowLazy is exported but advertises the redundant-range contract in
+// its name, so lazy results may flow out.
+func MulRowLazy(m modmath.Modulus, a, w, ws uint64) uint64 {
+	return m.MulShoupLazy(a, w, ws)
+}
+
+// accumulateLazy is unexported: intra-package helpers may hand redundant
+// residues to their callers.
+func accumulateLazy(m modmath.Modulus, a, b uint64) uint64 {
+	return m.AddLazy(a, b)
+}
+
+// badLazyRawOp shows the lazy producers joining the ordinary residue
+// taint: raw word arithmetic on their results is flagged like any other
+// residue.
+func badLazyRawOp(m modmath.Modulus, a, w, ws uint64) uint64 {
+	t := m.MulShoupLazy(a, w, ws)
+	u := t + 1 // want `raw \+ on a modmath residue`
+	return u % m.Q
+}

@@ -379,7 +379,7 @@ func RenderFig11(rows []Fig11Row) string {
 
 // Experiments lists the available experiment ids.
 func Experiments() []string {
-	return []string{"table1", "table2", "table3", "table4", "fig9", "fig10", "fig11", "ablations"}
+	return []string{"table1", "table2", "table3", "table4", "fig9", "fig10", "fig11", "ablations", "kernels"}
 }
 
 // Run executes an experiment by id and returns its rendered output.
@@ -405,6 +405,12 @@ func Run(id string, fast bool) (string, error) {
 		return RenderFig11(Figure11(fast)), nil
 	case "ablations":
 		return RenderAblations(Ablations()), nil
+	case "kernels":
+		rows, err := Kernels(fast)
+		if err != nil {
+			return "", err
+		}
+		return RenderKernels(rows), nil
 	}
 	return "", fmt.Errorf("bench: unknown experiment %q (have %s)", id, strings.Join(Experiments(), ", "))
 }

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"crophe/internal/modmath"
+	"crophe/internal/ntt"
+)
+
+// KernelRow is one measured shape of the batch NTT kernel layer: a
+// direction over a limbs×N limb-major batch, with the headline per-op
+// cost and the implied memory throughput.
+type KernelRow struct {
+	Direction string // "forward" or "inverse"
+	N         int
+	Limbs     int
+	NsOp      float64 // wall clock per whole-batch transform
+	GBps      float64 // 8·N·limbs bytes per op at NsOp
+}
+
+// kernelShapes are the (N, limbs) points measured, mirroring the
+// BenchmarkBatchNTT family in internal/ntt. Fast mode keeps the two
+// cheapest shapes for CI smoke runs.
+func kernelShapes(fast bool) [][2]int {
+	if fast {
+		return [][2]int{{4096, 1}, {4096, 8}}
+	}
+	return [][2]int{
+		{4096, 1}, {4096, 8}, {4096, 32},
+		{16384, 8}, {65536, 8},
+	}
+}
+
+// Kernels measures BatchForward/BatchInverse wall clock per op over the
+// kernel shapes. Unlike the model experiments, these ARE machine
+// measurements: the numbers are noisy, so each shape takes the minimum
+// of three adaptively-sized samples, and Compare applies cost semantics
+// (increase-only, threshold-gated) to the resulting ns_op metrics.
+func Kernels(fast bool) ([]KernelRow, error) {
+	var rows []KernelRow
+	for _, shape := range kernelShapes(fast) {
+		n, limbs := shape[0], shape[1]
+		primes, err := modmath.GeneratePrimes(45, uint64(n), limbs)
+		if err != nil {
+			return nil, fmt.Errorf("bench: kernels N=%d limbs=%d: %w", n, limbs, err)
+		}
+		tables := make([]*ntt.Table, limbs)
+		batch := make([][]uint64, limbs)
+		backing := make([]uint64, n*limbs) // contiguous limb-major, as in poly
+		rng := rand.New(rand.NewSource(int64(n + limbs)))
+		for k := range tables {
+			tbl, err := ntt.NewTable(modmath.MustModulus(primes[k]), n)
+			if err != nil {
+				return nil, err
+			}
+			tables[k] = tbl
+			batch[k] = backing[k*n : (k+1)*n]
+			for i := range batch[k] {
+				batch[k][i] = rng.Uint64() % tbl.M.Q
+			}
+		}
+		for _, dir := range []struct {
+			name string
+			op   func()
+		}{
+			{"forward", func() { ntt.BatchForward(tables, batch) }},
+			{"inverse", func() { ntt.BatchInverse(tables, batch) }},
+		} {
+			nsOp := measureNsOp(dir.op)
+			rows = append(rows, KernelRow{
+				Direction: dir.name, N: n, Limbs: limbs,
+				NsOp: nsOp, GBps: float64(8*n*limbs) / nsOp,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// measureNsOp times op: one warm-up call, then reps doubled until a
+// sample clears minSample, and the minimum of three such samples wins —
+// the standard defence against scheduler noise on a loaded machine.
+func measureNsOp(op func()) float64 {
+	const minSample = 2 * time.Millisecond
+	op() // warm pools and caches
+	reps := 1
+	best := time.Duration(1<<63 - 1)
+	for sample := 0; sample < 3; {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			op()
+		}
+		elapsed := time.Since(start)
+		if elapsed < minSample && reps < 1<<20 {
+			reps <<= 1
+			continue
+		}
+		if per := elapsed / time.Duration(reps); per < best {
+			best = per
+		}
+		sample++
+	}
+	return float64(best.Nanoseconds())
+}
+
+// RenderKernels formats the kernel measurements.
+func RenderKernels(rows []KernelRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "KERNELS — BATCH NTT LAYER (measured, this machine)\n")
+	fmt.Fprintf(&b, "%-8s %8s %6s %12s %8s\n", "Dir", "N", "Limbs", "ns/op", "GB/s")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %8d %6d %12.0f %8.2f\n",
+			r.Direction, r.N, r.Limbs, r.NsOp, r.GBps)
+	}
+	return b.String()
+}
+
+// kernelMetrics flattens rows into the report's metric map. The ns_op
+// infix marks these as cost metrics for Compare.
+func kernelMetrics(rows []KernelRow) map[string]float64 {
+	m := map[string]float64{}
+	for _, r := range rows {
+		m[fmt.Sprintf("kernels/ns_op/%s/N=%d/limbs=%d", r.Direction, r.N, r.Limbs)] = r.NsOp
+	}
+	return m
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKernelsFast(t *testing.T) {
+	rows, err := Kernels(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(kernelShapes(true)) {
+		t.Fatalf("got %d rows, want %d", len(rows), 2*len(kernelShapes(true)))
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if r.NsOp <= 0 || r.GBps <= 0 {
+			t.Errorf("%s N=%d limbs=%d: non-positive measurement %+v", r.Direction, r.N, r.Limbs, r)
+		}
+		seen[r.Direction] = true
+	}
+	if !seen["forward"] || !seen["inverse"] {
+		t.Errorf("missing a direction: %v", seen)
+	}
+
+	rendered := RenderKernels(rows)
+	if !strings.Contains(rendered, "BATCH NTT") || !strings.Contains(rendered, "forward") {
+		t.Errorf("render missing expected content:\n%s", rendered)
+	}
+
+	m := kernelMetrics(rows)
+	if len(m) != len(rows) {
+		t.Fatalf("metrics: got %d keys, want %d", len(m), len(rows))
+	}
+	for k := range m {
+		if !isCostMetric(k) {
+			t.Errorf("kernel metric %q not classified as cost metric", k)
+		}
+	}
+}
+
+// TestCompareNsOpCostSemantics pins the schema-v3 rule: ns_op metric
+// keys flag only thresholded increases, never improvements, while
+// ordinary model metrics keep the tight bidirectional tolerance.
+func TestCompareNsOpCostSemantics(t *testing.T) {
+	mk := func(nsOp, util float64) *Report {
+		return &Report{
+			SchemaVersion: ReportSchemaVersion,
+			Experiments: []ExperimentResult{
+				{ID: "kernels", WallMS: 10, Metrics: map[string]float64{
+					"kernels/ns_op/forward/N=4096/limbs=8": nsOp,
+					"table4/pe_util/X":                     util,
+				}},
+			},
+		}
+	}
+	base := mk(100000, 0.8)
+
+	// A big speedup and sub-threshold noise are both clean.
+	if regs := Compare(base, mk(40000, 0.8), 0.25, 1e-6); len(regs) != 0 {
+		t.Errorf("ns_op improvement flagged: %+v", regs)
+	}
+	if regs := Compare(base, mk(110000, 0.8), 0.25, 1e-6); len(regs) != 0 {
+		t.Errorf("sub-threshold ns_op increase flagged: %+v", regs)
+	}
+
+	// A thresholded slowdown is a regression.
+	regs := Compare(base, mk(150000, 0.8), 0.25, 1e-6)
+	if len(regs) != 1 || !isCostMetric(regs[0].Metric) {
+		t.Errorf("50%% ns_op increase: got %+v, want one ns_op regression", regs)
+	}
+
+	// Deterministic metrics in the same experiment keep strict
+	// bidirectional tolerance.
+	regs = Compare(base, mk(100000, 0.8001), 0.25, 1e-6)
+	if len(regs) != 1 || regs[0].Metric != "table4/pe_util/X" {
+		t.Errorf("model-metric drift: got %+v, want one pe_util regression", regs)
+	}
+}

@@ -24,7 +24,11 @@ import (
 //
 //	v1 — id/wall_ms/alloc_bytes/alloc_objects/metrics
 //	v2 — adds per-experiment "counters" (search/memo telemetry deltas)
-const ReportSchemaVersion = 2
+//	v3 — adds the "kernels" experiment; metric keys containing "/ns_op"
+//	     are machine measurements and carry cost semantics in Compare
+//	     (increase-only, gated by the cost threshold) instead of the
+//	     deterministic-metric tolerance
+const ReportSchemaVersion = 3
 
 // minReadableSchemaVersion is the oldest layout LoadReport still parses:
 // every field added since v1 is optional, so a v1 report reads cleanly.
@@ -119,6 +123,12 @@ func runWithMetrics(id string, fast bool) (string, map[string]float64, error) {
 			m[fmt.Sprintf("ablations/time_ms/%s/%s", r.Study, r.Setting)] = r.TimeSec * 1e3
 		}
 		return RenderAblations(rows), m, nil
+	case "kernels":
+		rows, err := Kernels(fast)
+		if err != nil {
+			return "", nil, err
+		}
+		return RenderKernels(rows), kernelMetrics(rows), nil
 	default:
 		out, err := Run(id, fast)
 		return out, nil, err
@@ -242,12 +252,22 @@ const (
 	minAllocDeltaObjs = 10000
 )
 
+// isCostMetric reports whether a metric key records a machine
+// measurement (per-op wall clock) rather than deterministic model
+// output. The "/ns_op" path component is the marker, introduced with the
+// kernels experiment in schema v3.
+func isCostMetric(k string) bool {
+	return strings.Contains(k, "/ns_op")
+}
+
 // Compare diffs two reports. Cost fields (wall clock, allocations) are
 // noisy, so only increases beyond costThreshold that also clear an
 // absolute-significance floor are flagged. Model metrics are
 // deterministic — schedules are exhaustive sweeps with no randomness —
 // so any relative drift beyond metricTol is flagged, in either
-// direction. Experiments or metrics present in old but missing in new
+// direction; the exception is ns_op metric keys (see isCostMetric),
+// which are measurements and get the cost treatment instead.
+// Experiments or metrics present in old but missing in new
 // are structural regressions. New entries are not flagged.
 func Compare(oldR, newR *Report, costThreshold, metricTol float64) []Regression {
 	var regs []Regression
@@ -287,6 +307,17 @@ func Compare(oldR, newR *Report, costThreshold, metricTol float64) []Regression 
 			nv, ok := ne.Metrics[k]
 			if !ok {
 				regs = append(regs, Regression{Experiment: oe.ID, Metric: k, Old: ov, Structural: true})
+				continue
+			}
+			if isCostMetric(k) {
+				// Machine measurement (schema v3): noisy like wall_ms,
+				// so only a thresholded increase counts; speedups never
+				// flag.
+				if ov > 0 && nv > ov*(1+costThreshold) {
+					regs = append(regs, Regression{
+						Experiment: oe.ID, Metric: k, Old: ov, New: nv, Delta: (nv - ov) / ov,
+					})
+				}
 				continue
 			}
 			denom := math.Max(math.Abs(ov), 1e-12)

@@ -157,9 +157,7 @@ func (ev *Evaluator) AddConst(ct *Ciphertext, c float64) *Ciphertext {
 			vm = m.Neg(m.Reduce(uint64(-v)))
 		}
 		bi := out.B.Coeffs[i]
-		for j := range bi {
-			bi[j] = m.Add(bi[j], vm)
-		}
+		m.AddScalarVec(bi, bi, vm)
 	}
 	return out
 }
@@ -283,7 +281,7 @@ func rescalePoly(params *Parameters, dst, src *poly.Poly, level int) {
 	rq.Tables[level].Inverse(last)
 
 	n := rq.N
-	for i := 0; i < level; i++ {
+	parallel.For(level, func(i int) {
 		m := rq.Mod(i)
 		qlInv := m.Inv(m.Reduce(qL.Q))
 		// Lift last-limb coefficients (centered) into q_i and NTT them
@@ -298,11 +296,8 @@ func rescalePoly(params *Parameters, dst, src *poly.Poly, level int) {
 			}
 		}
 		rq.Tables[i].Forward(lifted)
-		di, si := dst.Coeffs[i], src.Coeffs[i]
-		for j := 0; j < n; j++ {
-			di[j] = m.Mul(m.Sub(si[j], lifted[j]), qlInv)
-		}
-	}
+		m.SubMulShoupVec(dst.Coeffs[i], src.Coeffs[i], lifted, qlInv, m.ShoupPrecomp(qlInv))
+	})
 	dst.IsNTT = true
 }
 
@@ -448,11 +443,8 @@ func (ev *Evaluator) keySwitch(x *poly.Poly, level int, key *SwitchingKey) (*pol
 			eRow := ext[t]
 			rqp.Tables[qp].Forward(eRow)
 			bRow, aRow := kb.Coeffs[qp], ka.Coeffs[qp]
-			a0, a1 := acc0[t], acc1[t]
-			for j := 0; j < n; j++ {
-				a0[j] = m.Mul(eRow[j], bRow[j])
-				a1[j] = m.Mul(eRow[j], aRow[j])
-			}
+			m.MulVec(acc0[t], eRow, bRow)
+			m.MulVec(acc1[t], eRow, aRow)
 		})
 	})
 	for _, err := range errs {
@@ -468,11 +460,8 @@ func (ev *Evaluator) keySwitch(x *poly.Poly, level int, key *SwitchingKey) (*pol
 		m := rqp.Mod(extQP[t])
 		a0, a1 := acc0[t], acc1[t]
 		for d := 1; d < len(parts); d++ {
-			p0, p1 := parts[d].acc0[t], parts[d].acc1[t]
-			for j := 0; j < n; j++ {
-				a0[j] = m.Add(a0[j], p0[j])
-				a1[j] = m.Add(a1[j], p1[j])
-			}
+			m.AddVec(a0, a0, parts[d].acc0[t])
+			m.AddVec(a1, a1, parts[d].acc1[t])
 		}
 	})
 
@@ -524,10 +513,7 @@ func (ev *Evaluator) modDown(acc [][]uint64, extQP []int, level int) (*poly.Poly
 		m := rq.Mod(i)
 		rq.Tables[i].Forward(corr[i])
 		pInv := params.PInvModQ()[i]
-		ai, ci, oi := acc[i], corr[i], out.Coeffs[i]
-		for j := 0; j < n; j++ {
-			oi[j] = m.Mul(m.Sub(ai[j], ci[j]), pInv)
-		}
+		m.SubMulShoupVec(out.Coeffs[i], acc[i], corr[i], pInv, m.ShoupPrecomp(pInv))
 	})
 	return out, nil
 }
@@ -603,10 +589,7 @@ func mulSignedScalar(rq *poly.Ring, dst, src *poly.Poly, k int64) {
 			km = m.Neg(m.Reduce(uint64(-k)))
 		}
 		ks := m.ShoupPrecomp(km)
-		si, di := src.Coeffs[i], dst.Coeffs[i]
-		for j := range si {
-			di[j] = m.MulShoup(si[j], km, ks)
-		}
+		m.MulShoupVec(dst.Coeffs[i], src.Coeffs[i], km, ks)
 	}
 	dst.IsNTT = src.IsNTT
 }

@@ -130,11 +130,8 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rotations []int) (map[int]*Ci
 					applyAutoRow(rqp, permuted, ext[t], galois, qp)
 					rqp.Tables[qp].Forward(permuted)
 					bRow, aRow := kb.Coeffs[qp], ka.Coeffs[qp]
-					a0, a1 := acc0[t], acc1[t]
-					for j := 0; j < n; j++ {
-						a0[j] = m.Add(a0[j], m.Mul(permuted[j], bRow[j]))
-						a1[j] = m.Add(a1[j], m.Mul(permuted[j], aRow[j]))
-					}
+					m.MulAddVec(acc0[t], permuted, bRow)
+					m.MulAddVec(acc1[t], permuted, aRow)
 				}
 			})
 		}

@@ -43,6 +43,40 @@ func FuzzModMath(f *testing.F) {
 			t.Fatalf("MulShoup(%d,%d) = %d, want %d (q=%d)", a, b, got, m.Mul(a, b), q)
 		}
 
+		// Lazy Shoup path: result must be a 2q-residue and agree with
+		// Barrett after a single correction — including for redundant
+		// first operands up to 4q (the butterfly input range).
+		for _, lhs := range []uint64{a, a + q, a + 2*q, a + 3*q} {
+			if lhs < a { // wrapped past 2^64 for huge q; out of contract
+				continue
+			}
+			lz := m.MulShoupLazy(lhs, b, bShoup)
+			if lz >= 2*q {
+				t.Fatalf("MulShoupLazy(%d,%d) = %d escapes [0,2q) (q=%d)", lhs, b, lz, q)
+			}
+			if got := m.CorrectLazy(lz); got != m.Mul(a, b) {
+				t.Fatalf("MulShoupLazy(%d,%d) corrected = %d, want %d (q=%d)", lhs, b, got, m.Mul(a, b), q)
+			}
+		}
+
+		// Lazy butterflies preserve their range invariants and reduce to
+		// the strict butterfly values.
+		cu, cv := m.CTButterflyLazy(a, b, b, bShoup)
+		if cu >= 4*q || cv >= 4*q {
+			t.Fatalf("CTButterflyLazy escapes [0,4q): (%d,%d) q=%d", cu, cv, q)
+		}
+		wv := m.Mul(b, b)
+		if m.ReduceFourQ(cu) != m.Add(a, wv) || m.ReduceFourQ(cv) != m.Sub(a, wv) {
+			t.Fatalf("CTButterflyLazy value mismatch (a=%d b=%d q=%d)", a, b, q)
+		}
+		gu, gv := m.GSButterflyLazy(a, b, b, bShoup)
+		if gu >= 2*q || gv >= 2*q {
+			t.Fatalf("GSButterflyLazy escapes [0,2q): (%d,%d) q=%d", gu, gv, q)
+		}
+		if m.CorrectLazy(gu) != m.Add(a, b) || m.CorrectLazy(gv) != m.Mul(m.Sub(a, b), b) {
+			t.Fatalf("GSButterflyLazy value mismatch (a=%d b=%d q=%d)", a, b, q)
+		}
+
 		// Pow consistency: a^2 == a·a, a^0 == 1.
 		if got := m.Pow(a, 2); got != m.Mul(a, a) {
 			t.Fatalf("Pow(a,2) = %d, want %d (a=%d, q=%d)", got, m.Mul(a, a), a, q)

@@ -1,0 +1,113 @@
+package modmath
+
+import "math/bits"
+
+// Lazy (redundant-residue) arithmetic.
+//
+// The butterfly datapath of the CROPHE PEs — and the software kernels in
+// internal/ntt that model it — carry values in the *redundant* ranges
+// [0, 2q) and [0, 4q) across butterfly stages, deferring the final
+// conditional subtraction to stage or transform boundaries (Harvey,
+// "Faster arithmetic for number-theoretic transforms"). With q < 2^62
+// (MaxModulusBits), a sum of two [0, 2q) values never overflows uint64,
+// so whole stages run without a single data-dependent branch.
+//
+// Naming and range contract, enforced by the modarith analyzer:
+//
+//   - methods whose name ends in "Lazy" return 2q-residues in [0, 2q)
+//     (butterfly helpers return 4q-residues, documented per method);
+//   - CorrectLazy / ReduceTwoQ / ReduceFourQ bring redundant residues
+//     back toward the canonical range [0, q);
+//   - every *exported* function outside this package must correct lazy
+//     residues before returning them (the analyzer flags escapes).
+
+// MulShoupLazy returns a value ≡ a·w (mod q) in [0, 2q), given
+// wShoup = ShoupPrecomp(w). Unlike MulShoup it skips the final
+// conditional subtraction. The operand a may be ANY uint64 (in
+// particular a redundant 2q- or 4q-residue); w must be < q.
+func (m Modulus) MulShoupLazy(a, w, wShoup uint64) uint64 {
+	qHat, _ := bits.Mul64(a, wShoup)
+	return a*w - qHat*m.Q
+}
+
+// CorrectLazy maps a 2q-residue x ∈ [0, 2q) to the canonical [0, q).
+func (m Modulus) CorrectLazy(x uint64) uint64 {
+	if x >= m.Q {
+		x -= m.Q
+	}
+	return x
+}
+
+// ReduceTwoQ maps a 4q-residue x ∈ [0, 4q) to a 2q-residue in [0, 2q).
+func (m Modulus) ReduceTwoQ(x uint64) uint64 {
+	if twoQ := m.Q << 1; x >= twoQ {
+		x -= twoQ
+	}
+	return x
+}
+
+// ReduceFourQ maps a 4q-residue x ∈ [0, 4q) all the way down to the
+// canonical [0, q): two conditional subtractions.
+func (m Modulus) ReduceFourQ(x uint64) uint64 {
+	if twoQ := m.Q << 1; x >= twoQ {
+		x -= twoQ
+	}
+	if x >= m.Q {
+		x -= m.Q
+	}
+	return x
+}
+
+// AddLazy returns a + b with no reduction. The caller guarantees the
+// true sum fits in uint64 (e.g. two 2q-residues with q < 2^62). The
+// result is a 4q-residue when both inputs are 2q-residues.
+func (m Modulus) AddLazy(a, b uint64) uint64 {
+	_ = m
+	return a + b
+}
+
+// SubLazy returns a value ≡ a − b (mod q) in [0, 4q) for a, b ∈ [0, 2q),
+// by adding 2q before the subtraction instead of branching on borrow.
+func (m Modulus) SubLazy(a, b uint64) uint64 {
+	return a + (m.Q << 1) - b
+}
+
+// CTButterflyLazy is Harvey's lazy Cooley–Tukey butterfly
+// (u, v) → (u + w·v, u − w·v) with inputs and outputs in [0, 4q):
+// u is first conditionally brought into [0, 2q), the Shoup product
+// w·v lands in [0, 2q), and the two outputs stay below 4q without any
+// further correction. wShoup = ShoupPrecomp(w), w < q.
+func (m Modulus) CTButterflyLazy(u, v, w, wShoup uint64) (uint64, uint64) {
+	// Branchless masked correction: with u < 4q and 2q < 2^63 the sign
+	// bit of u−2q is exactly the borrow, so the mask re-adds 2q only on
+	// underflow. A data-dependent branch here mispredicts ~50% of the
+	// time on random residues.
+	twoQ := m.Q << 1
+	d := u - twoQ
+	u = d + (twoQ & uint64(int64(d)>>63))
+	t := m.MulShoupLazy(v, w, wShoup)
+	return u + t, u + twoQ - t
+}
+
+// GSButterflyLazy is Harvey's lazy Gentleman–Sande butterfly
+// (u, v) → (u + v, (u − v)·w) with inputs and outputs in [0, 2q):
+// the sum is reduced once past 2q, and the difference (lifted by 2q)
+// feeds the Shoup product, whose lazy result stays below 2q.
+func (m Modulus) GSButterflyLazy(u, v, w, wShoup uint64) (uint64, uint64) {
+	twoQ := m.Q << 1
+	d := u + v - twoQ
+	s := d + (twoQ & uint64(int64(d)>>63))
+	return s, m.MulShoupLazy(u+twoQ-v, w, wShoup)
+}
+
+// ShoupPrecompute fills dst[i] = ShoupPrecomp(w[i]) for every i; the
+// batch form used when building twiddle and constant tables. dst and w
+// must have equal length, and every w[i] must be < q.
+func (m Modulus) ShoupPrecompute(dst, w []uint64) {
+	if len(dst) != len(w) {
+		panic("modmath: ShoupPrecompute length mismatch")
+	}
+	for i, x := range w {
+		dst[i] = m.ShoupPrecomp(x)
+	}
+}

@@ -1,0 +1,238 @@
+package modmath
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// lazyTestModuli spans the supported range: tiny, mid, and near the
+// 62-bit ceiling, all NTT-friendly shapes used elsewhere in the repo.
+var lazyTestModuli = []uint64{
+	17, 97, 12289, 1<<45 - 55, // small → 45-bit production shape
+	0x3FFFFFFFFFFFFFF1 + 0xC, // 62-bit prime 4611686018427387847? validated below
+}
+
+func primeModuli(t testing.TB) []Modulus {
+	t.Helper()
+	var out []Modulus
+	for _, q := range lazyTestModuli {
+		if !IsPrime(q) {
+			// Walk down to the nearest odd prime so the table stays honest
+			// even if a literal above is edited.
+			for !IsPrime(q) {
+				q -= 2
+			}
+		}
+		out = append(out, MustModulus(q))
+	}
+	return out
+}
+
+// TestMulShoupLazyBound: for every valid input — a ANY uint64, w < q —
+// the lazy product lands in [0, 2q) and agrees with Barrett after one
+// correction.
+func TestMulShoupLazyBound(t *testing.T) {
+	for _, m := range primeModuli(t) {
+		q := m.Q
+		check := func(a, w uint64) bool {
+			w %= q
+			ws := m.ShoupPrecomp(w)
+			r := m.MulShoupLazy(a, w, ws)
+			if r >= 2*q {
+				t.Logf("q=%d a=%d w=%d: lazy result %d ≥ 2q", q, a, w, r)
+				return false
+			}
+			want := m.Mul(m.Reduce(a), w)
+			return m.CorrectLazy(r) == want
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("q=%d: %v", q, err)
+		}
+	}
+}
+
+// TestLazyButterflyInvariants pins the Harvey range contracts: CT maps
+// [0,4q)² → [0,4q)², GS maps [0,2q)² → [0,2q)², and both agree with the
+// strict butterfly after full correction.
+func TestLazyButterflyInvariants(t *testing.T) {
+	for _, m := range primeModuli(t) {
+		q := m.Q
+		rng := rand.New(rand.NewSource(int64(q)))
+		for trial := 0; trial < 2000; trial++ {
+			w := rng.Uint64() % q
+			ws := m.ShoupPrecomp(w)
+
+			u4 := rng.Uint64() % (4 * q)
+			v4 := rng.Uint64() % (4 * q)
+			x, y := m.CTButterflyLazy(u4, v4, w, ws)
+			if x >= 4*q || y >= 4*q {
+				t.Fatalf("q=%d CT output (%d,%d) escapes [0,4q)", q, x, y)
+			}
+			ur, vr := m.Reduce(u4), m.Reduce(v4)
+			wv := m.Mul(vr, w)
+			if m.ReduceFourQ(x) != m.Add(ur, wv) || m.ReduceFourQ(y) != m.Sub(ur, wv) {
+				t.Fatalf("q=%d CT butterfly value mismatch", q)
+			}
+
+			u2 := rng.Uint64() % (2 * q)
+			v2 := rng.Uint64() % (2 * q)
+			s, d := m.GSButterflyLazy(u2, v2, w, ws)
+			if s >= 2*q || d >= 2*q {
+				t.Fatalf("q=%d GS output (%d,%d) escapes [0,2q)", q, s, d)
+			}
+			ur, vr = m.Reduce(u2), m.Reduce(v2)
+			if m.CorrectLazy(s) != m.Add(ur, vr) || m.CorrectLazy(d) != m.Mul(m.Sub(ur, vr), w) {
+				t.Fatalf("q=%d GS butterfly value mismatch", q)
+			}
+		}
+	}
+}
+
+func TestLazyCorrections(t *testing.T) {
+	for _, m := range primeModuli(t) {
+		q := m.Q
+		rng := rand.New(rand.NewSource(int64(q) + 1))
+		for trial := 0; trial < 2000; trial++ {
+			x2 := rng.Uint64() % (2 * q)
+			if got := m.CorrectLazy(x2); got != m.Reduce(x2) {
+				t.Fatalf("q=%d CorrectLazy(%d) = %d, want %d", q, x2, got, m.Reduce(x2))
+			}
+			x4 := rng.Uint64() % (4 * q)
+			if got := m.ReduceFourQ(x4); got != m.Reduce(x4) {
+				t.Fatalf("q=%d ReduceFourQ(%d) = %d, want %d", q, x4, got, m.Reduce(x4))
+			}
+			if got := m.ReduceTwoQ(x4); got >= 2*q || got != x4 && got+2*q != x4 {
+				t.Fatalf("q=%d ReduceTwoQ(%d) = %d out of contract", q, x4, got)
+			}
+			a, b := rng.Uint64()%(2*q), rng.Uint64()%(2*q)
+			if got := m.SubLazy(a, b); got >= 4*q || m.ReduceFourQ(got) != m.Sub(m.Reduce(a), m.Reduce(b)) {
+				t.Fatalf("q=%d SubLazy(%d,%d) = %d out of contract", q, a, b, got)
+			}
+			if got := m.AddLazy(a, b); got != a+b {
+				t.Fatalf("q=%d AddLazy raw sum mismatch", q)
+			}
+		}
+	}
+}
+
+func TestShoupPrecomputeBatch(t *testing.T) {
+	m := MustModulus(1<<45 - 55)
+	rng := rand.New(rand.NewSource(3))
+	w := make([]uint64, 37)
+	for i := range w {
+		w[i] = rng.Uint64() % m.Q
+	}
+	ws := make([]uint64, len(w))
+	m.ShoupPrecompute(ws, w)
+	for i := range w {
+		if ws[i] != m.ShoupPrecomp(w[i]) {
+			t.Fatalf("batch ShoupPrecompute disagrees at %d", i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	m.ShoupPrecompute(ws[:3], w)
+}
+
+// TestVectorKernelsMatchScalar cross-checks every vector kernel against
+// the scalar helper loop it replaces, across odd lengths that exercise
+// both the unrolled body and the tails.
+func TestVectorKernelsMatchScalar(t *testing.T) {
+	for _, m := range primeModuli(t) {
+		q := m.Q
+		rng := rand.New(rand.NewSource(int64(q) + 7))
+		for _, n := range []int{1, 7, 8, 9, 64, 100} {
+			a := make([]uint64, n)
+			b := make([]uint64, n)
+			for i := range a {
+				a[i], b[i] = rng.Uint64()%q, rng.Uint64()%q
+			}
+			w := rng.Uint64() % q
+			ws := m.ShoupPrecomp(w)
+			wv := make([]uint64, n)
+			wvs := make([]uint64, n)
+			for i := range wv {
+				wv[i] = rng.Uint64() % q
+			}
+			m.ShoupPrecompute(wvs, wv)
+
+			got := make([]uint64, n)
+			check := func(name string, want func(i int) uint64) {
+				t.Helper()
+				for i := range got {
+					if w := want(i); got[i] != w {
+						t.Fatalf("q=%d n=%d %s mismatch at %d: got %d want %d", q, n, name, i, got[i], w)
+					}
+				}
+			}
+
+			m.AddVec(got, a, b)
+			check("AddVec", func(i int) uint64 { return m.Add(a[i], b[i]) })
+			m.SubVec(got, a, b)
+			check("SubVec", func(i int) uint64 { return m.Sub(a[i], b[i]) })
+			m.NegVec(got, a)
+			check("NegVec", func(i int) uint64 { return m.Neg(a[i]) })
+			m.MulVec(got, a, b)
+			check("MulVec", func(i int) uint64 { return m.Mul(a[i], b[i]) })
+
+			copy(got, b)
+			m.MulAddVec(got, a, b)
+			check("MulAddVec", func(i int) uint64 { return m.MulAdd(a[i], b[i], b[i]) })
+
+			m.MulShoupVec(got, a, w, ws)
+			check("MulShoupVec", func(i int) uint64 { return m.Mul(a[i], w) })
+			m.MulShoupLazyVec(got, a, w, ws)
+			for i := range got {
+				if got[i] >= 2*q {
+					t.Fatalf("MulShoupLazyVec escapes 2q at %d", i)
+				}
+			}
+			m.CorrectLazyVec(got)
+			check("MulShoupLazyVec+Correct", func(i int) uint64 { return m.Mul(a[i], w) })
+
+			m.MulShoupPairVec(got, a, wv, wvs)
+			check("MulShoupPairVec", func(i int) uint64 { return m.Mul(a[i], wv[i]) })
+			m.MulShoupPairLazyVec(got, a, wv, wvs)
+			m.CorrectLazyVec(got)
+			check("MulShoupPairLazyVec+Correct", func(i int) uint64 { return m.Mul(a[i], wv[i]) })
+
+			// Lazy accumulation: three rounds, then correct.
+			for i := range got {
+				got[i] = 0
+			}
+			m.MulShoupAccLazyVec(got, a, w, ws)
+			m.MulShoupAccLazyVec(got, b, w, ws)
+			m.MulShoupAccLazyVec(got, a, wv[0], wvs[0])
+			for i := range got {
+				if got[i] >= 2*q {
+					t.Fatalf("MulShoupAccLazyVec invariant broken at %d", i)
+				}
+			}
+			m.CorrectLazyVec(got)
+			check("MulShoupAccLazyVec", func(i int) uint64 {
+				s := m.Add(m.Mul(a[i], w), m.Mul(b[i], w))
+				return m.Add(s, m.Mul(a[i], wv[0]))
+			})
+
+			m.SubMulShoupVec(got, a, b, w, ws)
+			check("SubMulShoupVec", func(i int) uint64 { return m.Mul(m.Sub(a[i], b[i]), w) })
+
+			c := rng.Uint64() % q
+			m.AddScalarVec(got, a, c)
+			check("AddScalarVec", func(i int) uint64 { return m.Add(a[i], c) })
+
+			// 4q correction kernel.
+			four := make([]uint64, n)
+			for i := range four {
+				four[i] = rng.Uint64() % (4 * q)
+			}
+			copy(got, four)
+			m.ReduceFourQVec(got)
+			check("ReduceFourQVec", func(i int) uint64 { return m.Reduce(four[i]) })
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package ntt
+
+import "crophe/internal/parallel"
+
+// Batch transforms: apply per-limb NTTs to a whole batch of residue rows
+// with ONE dispatch over the worker pool instead of one parallel.For per
+// limb. Rows are the limb-major views of a contiguous RNS buffer (see
+// poly.NewPoly), so a worker chunk walks adjacent cache-resident limb
+// blocks. Each rows[i] is transformed under tables[i]; the two slices
+// must have equal length and every row must match its table's degree.
+
+// BatchForward runs tables[i].Forward(rows[i]) for every i across the
+// worker pool. Outputs are fully reduced, bit-identical to per-limb
+// Forward calls in any worker configuration.
+func BatchForward(tables []*Table, rows [][]uint64) {
+	if len(tables) != len(rows) {
+		panic("ntt: BatchForward limb count mismatch")
+	}
+	parallel.ForChunk(len(rows), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			tables[i].Forward(rows[i])
+		}
+	})
+}
+
+// BatchInverse runs tables[i].Inverse(rows[i]) for every i across the
+// worker pool.
+func BatchInverse(tables []*Table, rows [][]uint64) {
+	if len(tables) != len(rows) {
+		panic("ntt: BatchInverse limb count mismatch")
+	}
+	parallel.ForChunk(len(rows), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			tables[i].Inverse(rows[i])
+		}
+	})
+}

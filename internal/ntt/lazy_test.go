@@ -1,0 +1,274 @@
+package ntt
+
+import (
+	"math/rand"
+	"testing"
+
+	"crophe/internal/modmath"
+	"crophe/internal/parallel"
+)
+
+// smallTables builds tables over tiny NTT-friendly primes so exhaustive
+// sweeps stay cheap: q ≡ 1 (mod 2n) for each listed degree.
+func smallTables(t *testing.T) []*Table {
+	t.Helper()
+	cases := []struct {
+		q uint64
+		n int
+	}{
+		{97, 8}, {97, 16}, {193, 32}, {257, 64},
+	}
+	out := make([]*Table, 0, len(cases))
+	for _, c := range cases {
+		tbl, err := NewTable(modmath.MustModulus(c.q), c.n)
+		if err != nil {
+			t.Fatalf("q=%d n=%d: %v", c.q, c.n, err)
+		}
+		out = append(out, tbl)
+	}
+	return out
+}
+
+// TestLazyMatchesStrictExhaustive sweeps EVERY scaled basis polynomial
+// c·e_i (all i < n, all c < q) over small NTT-friendly primes and checks
+// that the lazy kernels are bit-identical to the strict reference in
+// both directions. The basis polynomials hit every twiddle path through
+// the transform, and with c exhausting the field, every input magnitude
+// the correction logic must handle.
+func TestLazyMatchesStrictExhaustive(t *testing.T) {
+	for _, tbl := range smallTables(t) {
+		q, n := tbl.M.Q, tbl.N
+		lazy := make([]uint64, n)
+		strict := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			for c := uint64(0); c < q; c++ {
+				for j := range lazy {
+					lazy[j], strict[j] = 0, 0
+				}
+				lazy[i], strict[i] = c, c
+				tbl.Forward(lazy)
+				tbl.forwardStrict(strict)
+				for j := range lazy {
+					if lazy[j] != strict[j] {
+						t.Fatalf("q=%d n=%d forward(c=%d·e_%d) differs at %d: lazy %d strict %d",
+							q, n, c, i, j, lazy[j], strict[j])
+					}
+				}
+				tbl.Inverse(lazy)
+				tbl.inverseStrict(strict)
+				for j := range lazy {
+					if lazy[j] != strict[j] {
+						t.Fatalf("q=%d n=%d inverse(c=%d·e_%d) differs at %d: lazy %d strict %d",
+							q, n, c, i, j, lazy[j], strict[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLazyMatchesNaiveConvolution closes the loop against the O(N²)
+// schoolbook reference: MulPoly (which now runs entirely on the lazy
+// kernels) must agree with NegacyclicConvolveNaive on small primes for
+// every basis product e_i ⊛ e_j plus random dense polynomials.
+func TestLazyMatchesNaiveConvolution(t *testing.T) {
+	for _, tbl := range smallTables(t) {
+		m, n := tbl.M, tbl.N
+		if n > 16 {
+			continue // basis-pair sweep is O(n²) transforms; keep it tight
+		}
+		a := make([]uint64, n)
+		b := make([]uint64, n)
+		got := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				for k := range a {
+					a[k], b[k] = 0, 0
+				}
+				a[i], b[j] = m.Q-1, 3%m.Q
+				tbl.MulPoly(got, a, b)
+				want := NegacyclicConvolveNaive(m, a, b)
+				for k := range want {
+					if got[k] != want[k] {
+						t.Fatalf("q=%d n=%d e_%d⊛e_%d mismatch at %d: got %d want %d",
+							m.Q, n, i, j, k, got[k], want[k])
+					}
+				}
+			}
+		}
+		rng := rand.New(rand.NewSource(int64(n)))
+		for trial := 0; trial < 25; trial++ {
+			for k := range a {
+				a[k], b[k] = rng.Uint64()%m.Q, rng.Uint64()%m.Q
+			}
+			tbl.MulPoly(got, a, b)
+			want := NegacyclicConvolveNaive(m, a, b)
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("q=%d n=%d random conv mismatch at %d", m.Q, n, k)
+				}
+			}
+		}
+	}
+}
+
+// TestCyclicLazyMatchesStrict drives the packed-stage bit-reversed lazy
+// DIT directly against the strict natural-order cyclic kernel kept as
+// reference, in both directions.
+func TestCyclicLazyMatchesStrict(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 64, 256} {
+		ps, err := modmath.GeneratePrimes(45, uint64(n), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := modmath.MustModulus(ps[0])
+		psi, err := modmath.RootOfUnity(m, uint64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		omega := m.Mul(psi, psi) // ψ has order 2n → ω = ψ² is a primitive n-th root
+		ct := newCyclicTable(m, n, omega)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for trial := 0; trial < 20; trial++ {
+			a := randomPoly(rng, m.Q, n)
+			strict := append([]uint64(nil), a...)
+			ct.transform(strict, ct.wPow, false)
+
+			lazyIn := make([]uint64, n)
+			for i := range a {
+				lazyIn[ct.brv[i]] = a[i]
+			}
+			ct.forwardLazyBR(lazyIn)
+			m.ReduceFourQVec(lazyIn)
+			for i := range strict {
+				if lazyIn[i] != strict[i] {
+					t.Fatalf("n=%d forward cyclic lazy/strict mismatch at %d", n, i)
+				}
+			}
+
+			strictInv := append([]uint64(nil), a...)
+			ct.transform(strictInv, ct.wiPow, true)
+			for i := range a {
+				lazyIn[ct.brv[i]] = a[i]
+			}
+			ct.inverseLazyBR(lazyIn)
+			m.CorrectLazyVec(lazyIn)
+			for i := range strictInv {
+				if lazyIn[i] != strictInv[i] {
+					t.Fatalf("n=%d inverse cyclic lazy/strict mismatch at %d", n, i)
+				}
+			}
+		}
+	}
+}
+
+// batchFixture builds limb tables over distinct primes plus matching
+// random rows, the shape poly hands to the batch API.
+func batchFixture(tb testing.TB, n, limbs int) ([]*Table, [][]uint64) {
+	tb.Helper()
+	ps, err := modmath.GeneratePrimes(45, uint64(n), limbs)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	backing := make([]uint64, n*limbs) // contiguous limb-major, as in poly
+	tables := make([]*Table, limbs)
+	rows := make([][]uint64, limbs)
+	rng := rand.New(rand.NewSource(int64(n + limbs)))
+	for k := range tables {
+		tbl, err := NewTable(modmath.MustModulus(ps[k]), n)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		tables[k] = tbl
+		rows[k] = backing[k*n : (k+1)*n]
+		for i := range rows[k] {
+			rows[k][i] = rng.Uint64() % tbl.M.Q
+		}
+	}
+	return tables, rows
+}
+
+// TestBatchMatchesPerLimb pins the bit-exactness of the batch dispatch
+// against limb-at-a-time transforms, across worker pool sizes.
+func TestBatchMatchesPerLimb(t *testing.T) {
+	prev := parallel.Workers()
+	defer parallel.SetWorkers(prev)
+	for _, workers := range []int{1, 4} {
+		parallel.SetWorkers(workers)
+		for _, limbs := range []int{1, 3, 8} {
+			tables, rows := batchFixture(t, 256, limbs)
+			want := make([][]uint64, limbs)
+			for k := range rows {
+				want[k] = append([]uint64(nil), rows[k]...)
+				tables[k].Forward(want[k])
+			}
+			BatchForward(tables, rows)
+			for k := range rows {
+				for i := range rows[k] {
+					if rows[k][i] != want[k][i] {
+						t.Fatalf("workers=%d limbs=%d forward limb %d differs at %d", workers, limbs, k, i)
+					}
+				}
+			}
+			for k := range rows {
+				tables[k].Inverse(want[k])
+			}
+			BatchInverse(tables, rows)
+			for k := range rows {
+				for i := range rows[k] {
+					if rows[k][i] != want[k][i] {
+						t.Fatalf("workers=%d limbs=%d inverse limb %d differs at %d", workers, limbs, k, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBatchPanicsOnLimbMismatch(t *testing.T) {
+	tables, rows := batchFixture(t, 64, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BatchForward(tables, rows[:1])
+}
+
+// TestFourStepAllocFree asserts the steady state of the pooled scratch:
+// with a single worker (the closure-free serial path) neither direction
+// allocates.
+func TestFourStepAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool is deliberately lossy under the race detector")
+	}
+	prev := parallel.Workers()
+	parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+
+	n := 4096
+	ps, err := modmath.GeneratePrimes(45, uint64(n), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := NewTable(modmath.MustModulus(ps[0]), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := NewFourStep(tbl, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	a := randomPoly(rng, tbl.M.Q, n)
+	dst := make([]uint64, n)
+	fs.Forward(dst, a) // warm the pools
+	fs.Inverse(dst, a)
+
+	if avg := testing.AllocsPerRun(50, func() { fs.Forward(dst, a) }); avg != 0 {
+		t.Errorf("FourStep.Forward allocates %.1f times per op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(50, func() { fs.Inverse(dst, a) }); avg != 0 {
+		t.Errorf("FourStep.Inverse allocates %.1f times per op, want 0", avg)
+	}
+}

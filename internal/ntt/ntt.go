@@ -89,10 +89,120 @@ func bitReverse(x, width uint) uint {
 // Forward transforms a (coefficient form, length N) into the negacyclic
 // NTT domain in place. The output ordering is the standard bit-reversed
 // "NTT representation"; Inverse undoes it exactly.
+//
+// Internally the transform runs the lazy-reduction kernel (residues
+// carried in [0, 4q) across stages) with a single correction sweep at
+// the end; the output is fully reduced and bit-identical to the strict
+// per-butterfly-reduced kernel.
 func (t *Table) Forward(a []uint64) {
 	if len(a) != t.N {
 		panic(fmt.Sprintf("ntt: Forward on length %d, table degree %d", len(a), t.N))
 	}
+	t.forwardLazy(a)
+	t.M.ReduceFourQVec(a)
+}
+
+// Inverse transforms a from the NTT domain back to coefficient form in
+// place, including the 1/N scaling. Like Forward it runs the lazy
+// kernel; the final scaling pass folds in the correction, so the output
+// is fully reduced.
+func (t *Table) Inverse(a []uint64) {
+	if len(a) != t.N {
+		panic(fmt.Sprintf("ntt: Inverse on length %d, table degree %d", len(a), t.N))
+	}
+	t.inverseLazyStages(a)
+	t.M.MulShoupVec(a, a, t.nInv, t.nInvShoup)
+}
+
+// forwardLazy is the Cooley–Tukey kernel with Harvey's lazy reduction:
+// inputs may be 2q-residues, every intermediate stays in [0, 4q), and
+// NO final correction is applied — outputs are 4q-residues. Spans ≥ 8
+// run an 8-way unrolled butterfly block with the twiddle pair hoisted
+// out of the loop and both half-slices re-sliced to the span length so
+// the compiler drops the bounds checks; the last three stages (spans 4,
+// 2, 1) use the generic loop.
+func (t *Table) forwardLazy(a []uint64) {
+	m := t.M
+	n := t.N
+	k := 1
+	span := n >> 1
+	for ; span >= 8; span >>= 1 {
+		for start := 0; start < n; start += span << 1 {
+			w := t.psiBR[k]
+			ws := t.psiBRShoup[k]
+			k++
+			x := a[start : start+span : start+span]
+			y := a[start+span : start+span+span : start+span+span]
+			for i := 0; i+7 < span; i += 8 {
+				x[i+0], y[i+0] = m.CTButterflyLazy(x[i+0], y[i+0], w, ws)
+				x[i+1], y[i+1] = m.CTButterflyLazy(x[i+1], y[i+1], w, ws)
+				x[i+2], y[i+2] = m.CTButterflyLazy(x[i+2], y[i+2], w, ws)
+				x[i+3], y[i+3] = m.CTButterflyLazy(x[i+3], y[i+3], w, ws)
+				x[i+4], y[i+4] = m.CTButterflyLazy(x[i+4], y[i+4], w, ws)
+				x[i+5], y[i+5] = m.CTButterflyLazy(x[i+5], y[i+5], w, ws)
+				x[i+6], y[i+6] = m.CTButterflyLazy(x[i+6], y[i+6], w, ws)
+				x[i+7], y[i+7] = m.CTButterflyLazy(x[i+7], y[i+7], w, ws)
+			}
+		}
+	}
+	for ; span >= 1; span >>= 1 {
+		for start := 0; start < n; start += span << 1 {
+			w := t.psiBR[k]
+			ws := t.psiBRShoup[k]
+			k++
+			for i := start; i < start+span; i++ {
+				a[i], a[i+span] = m.CTButterflyLazy(a[i], a[i+span], w, ws)
+			}
+		}
+	}
+}
+
+// inverseLazyStages is the Gentleman–Sande kernel with lazy reduction:
+// inputs must be 2q-residues (canonical residues qualify) and every
+// intermediate — including the outputs — stays in [0, 2q). The 1/N
+// scaling is NOT applied; callers fold it into their own final
+// multiply-and-correct pass.
+func (t *Table) inverseLazyStages(a []uint64) {
+	m := t.M
+	n := t.N
+	span := 1
+	for ; span < n && span < 8; span <<= 1 {
+		h := n / (span << 1)
+		for g := 0; g < h; g++ {
+			start := g * (span << 1)
+			w := t.psiInvBR[h+g]
+			ws := t.psiInvBRShoup[h+g]
+			for i := start; i < start+span; i++ {
+				a[i], a[i+span] = m.GSButterflyLazy(a[i], a[i+span], w, ws)
+			}
+		}
+	}
+	for ; span < n; span <<= 1 {
+		h := n / (span << 1)
+		for g := 0; g < h; g++ {
+			start := g * (span << 1)
+			w := t.psiInvBR[h+g]
+			ws := t.psiInvBRShoup[h+g]
+			x := a[start : start+span : start+span]
+			y := a[start+span : start+span+span : start+span+span]
+			for i := 0; i+7 < span; i += 8 {
+				x[i+0], y[i+0] = m.GSButterflyLazy(x[i+0], y[i+0], w, ws)
+				x[i+1], y[i+1] = m.GSButterflyLazy(x[i+1], y[i+1], w, ws)
+				x[i+2], y[i+2] = m.GSButterflyLazy(x[i+2], y[i+2], w, ws)
+				x[i+3], y[i+3] = m.GSButterflyLazy(x[i+3], y[i+3], w, ws)
+				x[i+4], y[i+4] = m.GSButterflyLazy(x[i+4], y[i+4], w, ws)
+				x[i+5], y[i+5] = m.GSButterflyLazy(x[i+5], y[i+5], w, ws)
+				x[i+6], y[i+6] = m.GSButterflyLazy(x[i+6], y[i+6], w, ws)
+				x[i+7], y[i+7] = m.GSButterflyLazy(x[i+7], y[i+7], w, ws)
+			}
+		}
+	}
+}
+
+// forwardStrict is the pre-lazy reference kernel: every butterfly fully
+// reduces through the Modulus helpers. Kept as the strict half of the
+// lazy-vs-strict equivalence tests; Forward must match it bit-exactly.
+func (t *Table) forwardStrict(a []uint64) {
 	m := t.M
 	n := t.N
 	k := 1
@@ -112,12 +222,9 @@ func (t *Table) Forward(a []uint64) {
 	}
 }
 
-// Inverse transforms a from the NTT domain back to coefficient form in
-// place, including the 1/N scaling.
-func (t *Table) Inverse(a []uint64) {
-	if len(a) != t.N {
-		panic(fmt.Sprintf("ntt: Inverse on length %d, table degree %d", len(a), t.N))
-	}
+// inverseStrict is the strict reference for Inverse, including the 1/N
+// scaling.
+func (t *Table) inverseStrict(a []uint64) {
 	m := t.M
 	n := t.N
 	// Gentleman–Sande: walk spans from 1 back up to n/2. With h groups in

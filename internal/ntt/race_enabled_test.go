@@ -1,0 +1,8 @@
+//go:build race
+
+package ntt
+
+// raceEnabled reports that the race detector is active; sync.Pool is
+// deliberately lossy in that mode, so allocation-count assertions on
+// pooled scratch do not hold.
+const raceEnabled = true

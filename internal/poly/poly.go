@@ -132,11 +132,7 @@ func (r *Ring) Add(dst, a, b *Poly) {
 	k := r.checkPair(a, b)
 	ensureLike(dst, a)
 	parallel.For(k, func(i int) {
-		m := r.Mod(i)
-		da, db, dd := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
-		for j := range dd {
-			dd[j] = m.Add(da[j], db[j])
-		}
+		r.Mod(i).AddVec(dst.Coeffs[i], a.Coeffs[i], b.Coeffs[i])
 	})
 	dst.IsNTT = a.IsNTT
 }
@@ -146,11 +142,7 @@ func (r *Ring) Sub(dst, a, b *Poly) {
 	k := r.checkPair(a, b)
 	ensureLike(dst, a)
 	parallel.For(k, func(i int) {
-		m := r.Mod(i)
-		da, db, dd := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
-		for j := range dd {
-			dd[j] = m.Sub(da[j], db[j])
-		}
+		r.Mod(i).SubVec(dst.Coeffs[i], a.Coeffs[i], b.Coeffs[i])
 	})
 	dst.IsNTT = a.IsNTT
 }
@@ -159,11 +151,7 @@ func (r *Ring) Sub(dst, a, b *Poly) {
 func (r *Ring) Neg(dst, a *Poly) {
 	ensureLike(dst, a)
 	parallel.For(a.Limbs(), func(i int) {
-		m := r.Mod(i)
-		da, dd := a.Coeffs[i], dst.Coeffs[i]
-		for j := range dd {
-			dd[j] = m.Neg(da[j])
-		}
+		r.Mod(i).NegVec(dst.Coeffs[i], a.Coeffs[i])
 	})
 	dst.IsNTT = a.IsNTT
 }
@@ -177,11 +165,7 @@ func (r *Ring) MulHadamard(dst, a, b *Poly) {
 	}
 	ensureLike(dst, a)
 	parallel.For(k, func(i int) {
-		m := r.Mod(i)
-		da, db, dd := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
-		for j := range dd {
-			dd[j] = m.Mul(da[j], db[j])
-		}
+		r.Mod(i).MulVec(dst.Coeffs[i], a.Coeffs[i], b.Coeffs[i])
 	})
 	dst.IsNTT = true
 }
@@ -193,11 +177,7 @@ func (r *Ring) MulAddHadamard(dst, a, b *Poly) {
 		panic(fmt.Sprintf("poly: MulAddHadamard requires NTT form (a.IsNTT=%v, dst.IsNTT=%v)", a.IsNTT, dst.IsNTT))
 	}
 	parallel.For(k, func(i int) {
-		m := r.Mod(i)
-		da, db, dd := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
-		for j := range dd {
-			dd[j] = m.Add(dd[j], m.Mul(da[j], db[j]))
-		}
+		r.Mod(i).MulAddVec(dst.Coeffs[i], a.Coeffs[i], b.Coeffs[i])
 	})
 }
 
@@ -208,11 +188,7 @@ func (r *Ring) MulScalar(dst, a *Poly, s uint64) {
 	parallel.For(a.Limbs(), func(i int) {
 		m := r.Mod(i)
 		si := m.Reduce(s)
-		siShoup := m.ShoupPrecomp(si)
-		da, dd := a.Coeffs[i], dst.Coeffs[i]
-		for j := range dd {
-			dd[j] = m.MulShoup(da[j], si, siShoup)
-		}
+		m.MulShoupVec(dst.Coeffs[i], a.Coeffs[i], si, m.ShoupPrecomp(si))
 	})
 	dst.IsNTT = a.IsNTT
 }
@@ -227,11 +203,7 @@ func (r *Ring) MulScalarRNS(dst, a *Poly, s []uint64) {
 	parallel.For(a.Limbs(), func(i int) {
 		m := r.Mod(i)
 		si := m.Reduce(s[i])
-		siShoup := m.ShoupPrecomp(si)
-		da, dd := a.Coeffs[i], dst.Coeffs[i]
-		for j := range dd {
-			dd[j] = m.MulShoup(da[j], si, siShoup)
-		}
+		m.MulShoupVec(dst.Coeffs[i], a.Coeffs[i], si, m.ShoupPrecomp(si))
 	})
 	dst.IsNTT = a.IsNTT
 }
@@ -241,9 +213,7 @@ func (r *Ring) NTT(p *Poly) {
 	if p.IsNTT {
 		return
 	}
-	parallel.For(p.Limbs(), func(i int) {
-		r.Tables[i].Forward(p.Coeffs[i])
-	})
+	ntt.BatchForward(r.Tables[:p.Limbs()], p.Coeffs)
 	p.IsNTT = true
 }
 
@@ -252,9 +222,7 @@ func (r *Ring) INTT(p *Poly) {
 	if !p.IsNTT {
 		return
 	}
-	parallel.For(p.Limbs(), func(i int) {
-		r.Tables[i].Inverse(p.Coeffs[i])
-	})
+	ntt.BatchInverse(r.Tables[:p.Limbs()], p.Coeffs)
 	p.IsNTT = false
 }
 

@@ -9,6 +9,7 @@ package rns
 import (
 	"fmt"
 	"math/big"
+	"sync"
 
 	"crophe/internal/modmath"
 	"crophe/internal/parallel"
@@ -121,9 +122,21 @@ type Conv struct {
 	Src, Dst *Basis
 	// cHatInv[i] = (C/c_i)^{-1} mod c_i, with Shoup companion.
 	cHatInv, cHatInvShoup []uint64
-	// cHatModD[j][i] = (C/c_i) mod d_j — the BConv constant matrix.
-	cHatModD [][]uint64
+	// cHatModD[j][i] = (C/c_i) mod d_j — the BConv constant matrix, with
+	// per-entry Shoup companions (w.r.t. d_j) for the vectorized
+	// accumulation.
+	cHatModD      [][]uint64
+	cHatModDShoup [][]uint64
+
+	// scratchPool holds the |C|·convBlock staging buffers for the
+	// v_i = x_i·(Ĉ_i)^{-1} rows of a column block.
+	scratchPool sync.Pool // *[]uint64
 }
+
+// convBlock is the column-block width of the vectorized ConvertColumns:
+// small enough that the |C| staging rows of a block stay cache-resident,
+// wide enough to amortise the per-row kernel calls.
+const convBlock = 256
 
 // NewConv precomputes the conversion tables.
 func NewConv(src, dst *Basis) *Conv {
@@ -141,6 +154,7 @@ func NewConv(src, dst *Basis) *Conv {
 		c.cHatInvShoup[i] = m.ShoupPrecomp(c.cHatInv[i])
 	}
 	c.cHatModD = make([][]uint64, dst.K())
+	c.cHatModDShoup = make([][]uint64, dst.K())
 	for j, md := range dst.Mods {
 		row := make([]uint64, k)
 		dj := new(big.Int).SetUint64(md.Q)
@@ -148,8 +162,19 @@ func NewConv(src, dst *Basis) *Conv {
 			row[i] = new(big.Int).Mod(cHat[i], dj).Uint64()
 		}
 		c.cHatModD[j] = row
+		rowShoup := make([]uint64, k)
+		md.ShoupPrecompute(rowShoup, row)
+		c.cHatModDShoup[j] = rowShoup
 	}
 	return c
+}
+
+func (c *Conv) getScratch() *[]uint64 {
+	if v, ok := c.scratchPool.Get().(*[]uint64); ok {
+		return v
+	}
+	v := make([]uint64, c.Src.K()*convBlock)
+	return &v
 }
 
 // Convert maps one RNS value (len = |C| residues) into the target basis
@@ -178,29 +203,43 @@ func (c *Conv) Convert(dst, src []uint64) {
 // ConvertColumns applies the conversion to every column of a limb matrix:
 // src is |C| rows of n coefficients, dst is |D| rows of n coefficients.
 // This is the polynomial-level BConv. Columns are independent, so they are
-// partitioned across the worker pool; each chunk carries its own |C|-entry
-// scratch vector and writes a disjoint column range of every dst row.
+// partitioned across the worker pool; each chunk walks convBlock-wide
+// column blocks, staging the fully-reduced v_i = x_i·(Ĉ_i)^{-1} rows in
+// pooled scratch (v MUST stay canonical — a redundant representative
+// would change the approximation multiple e) and accumulating each dst
+// row as lazy 2q-residues, corrected once per block. Bit-identical to
+// the per-column scalar loop.
 func (c *Conv) ConvertColumns(dst, src [][]uint64) {
 	if len(src) != c.Src.K() || len(dst) != c.Dst.K() {
 		panic("rns: ConvertColumns limb mismatch")
 	}
 	n := len(src[0])
-	k := c.Src.K()
 	parallel.ForChunk(n, func(lo, hi int) {
-		v := make([]uint64, k)
-		for col := lo; col < hi; col++ {
+		vp := c.getScratch()
+		v := *vp
+		for b := lo; b < hi; b += convBlock {
+			be := b + convBlock
+			if be > hi {
+				be = hi
+			}
+			w := be - b
 			for i, m := range c.Src.Mods {
-				v[i] = m.MulShoup(src[i][col], c.cHatInv[i], c.cHatInvShoup[i])
+				m.MulShoupVec(v[i*convBlock:i*convBlock+w], src[i][b:be], c.cHatInv[i], c.cHatInvShoup[i])
 			}
 			for j, md := range c.Dst.Mods {
 				row := c.cHatModD[j]
-				var acc uint64
-				for i := 0; i < k; i++ {
-					acc = md.Add(acc, md.Mul(md.Reduce(v[i]), row[i]))
+				rowShoup := c.cHatModDShoup[j]
+				d := dst[j][b:be]
+				for x := range d {
+					d[x] = 0
 				}
-				dst[j][col] = acc
+				for i := range c.Src.Mods {
+					md.MulShoupAccLazyVec(d, v[i*convBlock:i*convBlock+w], row[i], rowShoup[i])
+				}
+				md.CorrectLazyVec(d)
 			}
 		}
+		c.scratchPool.Put(vp)
 	})
 }
 
