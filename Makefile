@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test lint lint-json vet race fuzz bench bench-json bench-diff bench-kernels trace-smoke chaos-smoke serve-smoke clean
+.PHONY: all build test lint lint-json vet race fuzz bench bench-json bench-diff bench-kernels trace-smoke chaos-smoke serve-smoke cluster-smoke clean
 
 all: build lint test
 
@@ -87,6 +87,14 @@ SERVE_BIN ?= /tmp/crophe-serve-smoke
 serve-smoke:
 	$(GO) build -o $(SERVE_BIN) ./cmd/crophe-serve
 	$(GO) run ./scripts/servesmoke -bin $(SERVE_BIN)
+
+# Cluster smoke: a real three-process cluster (coordinator + two
+# workers), a sharded resilience sweep, one worker SIGKILLed mid-shard,
+# the orphaned shard reassigned, and the merged report required to be
+# byte-identical to a fresh single-process run of the same request.
+cluster-smoke:
+	$(GO) build -o $(SERVE_BIN) ./cmd/crophe-serve
+	$(GO) run ./scripts/clustersmoke -bin $(SERVE_BIN)
 
 clean:
 	$(GO) clean ./...

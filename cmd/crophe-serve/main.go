@@ -7,20 +7,30 @@
 //
 // Usage:
 //
-//	crophe-serve [-addr host:port] [-workers N] [-queue N]
+//	crophe-serve [-addr host:port] [-role single|coordinator]
+//	             [-workers N | -workers url,url,...] [-queue N]
 //	             [-queue-wait D] [-drain-timeout D]
+//	             [-heartbeat D] [-worker-timeout D] [-poll D]
 //	             [-checkpoint-dir DIR] [-chaos]
+//
+// The -workers flag is role-dependent: for the default single role it is
+// the numeric request-concurrency bound; for -role=coordinator it is the
+// comma-separated list of worker base URLs the coordinator shards sweep
+// jobs across (each worker being an ordinary single-role crophe-serve).
 //
 // Endpoints:
 //
 //	GET  /healthz               liveness
 //	GET  /readyz                readiness (503 while draining)
 //	GET  /debug/vars            admission, request, memo and sweep counters
+//	GET  /v1/cluster            role, worker liveness and shard lease state
 //	POST /v1/schedule           dataflow search for one workload
 //	POST /v1/simulate           schedule + cycle-level simulation
 //	POST /v1/simulate-degraded  seeded fault plan + degraded simulation
 //	POST /v1/sweeps             start (or re-address) a resilience sweep job
-//	GET  /v1/sweeps/{id}        poll a sweep job
+//	GET  /v1/sweeps/{id}        poll a sweep job (?raw=1: exact rungs)
+//	GET  /v1/memo/snapshot      export the schedule-memo warm-start snapshot
+//	POST /v1/memo/snapshot      import a snapshot into the warm memo tier
 //
 // A request carries its deadline in the X-Crophe-Deadline header (a Go
 // duration) or a deadline_ms body field; a request whose deadline
@@ -38,6 +48,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"crophe/internal/cliutil"
@@ -55,10 +66,14 @@ func usageExit(format string, a ...any) {
 
 func main() {
 	addrSpec := flag.String("addr", ":8080", "listen address (host:port)")
-	workersSpec := flag.String("workers", "", "max concurrently executing requests (default: worker pool size)")
+	roleSpec := flag.String("role", "single", `cluster role: "single" or "coordinator"`)
+	workersSpec := flag.String("workers", "", "single role: max concurrently executing requests (default: worker pool size); coordinator role: comma-separated worker base URLs")
 	queueSpec := flag.String("queue", "", "admission queue depth before load shedding (default 64)")
 	queueWaitSpec := flag.String("queue-wait", "", "max time a queued request waits for a slot (default 5s)")
 	drainSpec := flag.String("drain-timeout", "", "graceful shutdown drain budget (default 15s)")
+	heartbeatSpec := flag.String("heartbeat", "", "coordinator: worker liveness probe period (default 500ms)")
+	workerTimeoutSpec := flag.String("worker-timeout", "", "coordinator: silence after which a worker forfeits its shard leases (default 5s)")
+	pollSpec := flag.String("poll", "", "coordinator: shard progress poll period (default 100ms)")
 	checkpointDir := flag.String("checkpoint-dir", "", "journal sweep jobs here for crash-safe resume (empty: no persistence)")
 	chaos := flag.Bool("chaos", false, "honour the chaos_panic request field (smoke drills only)")
 	flag.Parse()
@@ -68,9 +83,39 @@ func main() {
 	if cfg.Addr, err = cliutil.ParseAddr(*addrSpec); err != nil {
 		usageExit("%v", err)
 	}
-	if *workersSpec != "" {
-		if cfg.Workers, err = cliutil.ParsePositiveInt("-workers", *workersSpec); err != nil {
-			usageExit("%v", err)
+	switch *roleSpec {
+	case serve.RoleSingle:
+		if *workersSpec != "" {
+			if cfg.Workers, err = cliutil.ParsePositiveInt("-workers", *workersSpec); err != nil {
+				usageExit("%v", err)
+			}
+		}
+	case serve.RoleCoordinator:
+		cfg.Role = serve.RoleCoordinator
+		for _, u := range strings.Split(*workersSpec, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				cfg.WorkerURLs = append(cfg.WorkerURLs, u)
+			}
+		}
+		if len(cfg.WorkerURLs) == 0 {
+			usageExit("-role=coordinator requires -workers with at least one worker URL")
+		}
+	default:
+		usageExit("invalid -role %q (want single or coordinator)", *roleSpec)
+	}
+	if *heartbeatSpec != "" {
+		if cfg.HeartbeatInterval, err = cliutil.ParseDeadline(*heartbeatSpec); err != nil {
+			usageExit("invalid -heartbeat: %v", err)
+		}
+	}
+	if *workerTimeoutSpec != "" {
+		if cfg.WorkerTimeout, err = cliutil.ParseDeadline(*workerTimeoutSpec); err != nil {
+			usageExit("invalid -worker-timeout: %v", err)
+		}
+	}
+	if *pollSpec != "" {
+		if cfg.PollInterval, err = cliutil.ParseDeadline(*pollSpec); err != nil {
+			usageExit("invalid -poll: %v", err)
 		}
 	}
 	if *queueSpec != "" {
@@ -89,6 +134,15 @@ func main() {
 		}
 	}
 
+	// Drain on SIGTERM (the orchestrator's stop signal) and SIGINT:
+	// readiness flips immediately, in-flight work and the active sweep
+	// rung finish under the drain budget, checkpoints stay intact. The
+	// handler is installed before the listener announces, so a supervisor
+	// that stops us the instant we come up still gets a clean drain
+	// instead of the default-disposition kill.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+
 	srv := serve.New(cfg)
 	if err := srv.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "crophe-serve: %v\n", err)
@@ -96,11 +150,6 @@ func main() {
 	}
 	fmt.Printf("crophe-serve: listening on %s\n", srv.Addr())
 
-	// Drain on SIGTERM (the orchestrator's stop signal) and SIGINT:
-	// readiness flips immediately, in-flight work and the active sweep
-	// rung finish under the drain budget, checkpoints stay intact.
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
 	<-sig
 	fmt.Fprintln(os.Stderr, "crophe-serve: draining")
 	if err := srv.Shutdown(); err != nil {

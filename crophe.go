@@ -262,6 +262,44 @@ func MemoizedSchedule(d Design, workloadKey string, factory WorkloadFactory) *Sc
 // evictions, size, capacity) for observability endpoints.
 func ScheduleMemoStats() bench.MemoStats { return bench.ScheduleMemoStats() }
 
+// ScheduleSummary is the serializable cost surface of a schedule — what
+// the serving layer's schedule responses and the memo warm-start
+// snapshot carry between processes.
+type ScheduleSummary = sched.ScheduleSummary
+
+// MemoSnapshot is the serializable warm-start state of the schedule
+// cache, shipped by the coordinator to newly joined workers.
+type MemoSnapshot = bench.MemoSnapshot
+
+// MemoSource reports which cache tier answered a summary lookup: "hit"
+// (full tier), "warm" (imported snapshot) or "miss" (the search ran).
+type MemoSource = bench.MemoSource
+
+// Memo lookup sources (see MemoSource).
+const (
+	MemoMiss = bench.MemoMiss
+	MemoHit  = bench.MemoHit
+	MemoWarm = bench.MemoWarm
+)
+
+// MemoizedScheduleSummary is the two-tier form of MemoizedSchedule for
+// callers that read only the summary fields: the full single-flight LRU
+// answers first, then warm-start summaries imported from another
+// process's snapshot, and only then does the schedule search run.
+func MemoizedScheduleSummary(d Design, workloadKey string, factory WorkloadFactory) (ScheduleSummary, MemoSource) {
+	return bench.EvaluateMemoizedSummary(d, workloadKey, factory)
+}
+
+// ExportScheduleMemo snapshots the schedule cache for shipment to
+// another process (deterministically ordered; in-flight evaluations are
+// skipped).
+func ExportScheduleMemo() MemoSnapshot { return bench.ExportScheduleMemo() }
+
+// ImportScheduleMemo merges a snapshot into the warm tier, returning how
+// many entries were installed. Locally evaluated schedules always win
+// over imported summaries.
+func ImportScheduleMemo(snap MemoSnapshot) (int, error) { return bench.ImportScheduleMemo(snap) }
+
 // Simulate runs the cycle-level simulator on a schedule. Options attach
 // telemetry or override the mesh topology.
 func Simulate(hw *HWConfig, w *Workload, s *Schedule, opts ...SimOption) (*SimResult, error) {

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"crophe/internal/arch"
+	"crophe/internal/sched"
+	"crophe/internal/workload"
+)
+
+// TestMemoSnapshotRoundTrip simulates the coordinator's warm-start path:
+// process A evaluates and exports; process B (a reset cache standing in
+// for a fresh worker) imports and answers the same summary lookup from
+// the warm tier without re-running the search.
+func TestMemoSnapshotRoundTrip(t *testing.T) {
+	ResetScheduleMemo()
+	d := madDesign(arch.CROPHE36)
+	factory := helrFactory(arch.ParamsSHARP)
+	const wkey = "snapshot/helr"
+
+	sum, src := EvaluateMemoizedSummary(d, wkey, factory)
+	if src != MemoMiss || src.Cached() {
+		t.Fatalf("cold lookup source = %q; want miss", src)
+	}
+	if sum.TimeSec <= 0 {
+		t.Fatalf("summary TimeSec = %g; want > 0", sum.TimeSec)
+	}
+	// Same process, second lookup: the full tier answers.
+	if _, src := EvaluateMemoizedSummary(d, wkey, factory); src != MemoHit {
+		t.Fatalf("warm-process lookup source = %q; want hit", src)
+	}
+
+	snap := ExportScheduleMemo()
+	if len(snap.Entries) != 1 || snap.V != MemoSnapshotV {
+		t.Fatalf("export = %d entries, v%d; want 1 entry, v%d", len(snap.Entries), snap.V, MemoSnapshotV)
+	}
+
+	// The snapshot survives the wire.
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wired MemoSnapshot
+	if err := json.Unmarshal(raw, &wired); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wired, snap) {
+		t.Fatalf("snapshot changed across JSON round trip:\n%+v\nvs\n%+v", wired, snap)
+	}
+
+	// "Process B": fresh cache, import, warm hit with the identical summary.
+	ResetScheduleMemo()
+	evals := 0
+	counting := func(m workload.RotMode, r int) *workload.Workload {
+		evals++
+		return factory(m, r)
+	}
+	added, err := ImportScheduleMemo(wired)
+	if err != nil || added != 1 {
+		t.Fatalf("import = %d, %v; want 1, nil", added, err)
+	}
+	got, src := EvaluateMemoizedSummary(d, wkey, counting)
+	if src != MemoWarm || !src.Cached() {
+		t.Fatalf("imported lookup source = %q; want warm", src)
+	}
+	if got != sum {
+		t.Fatalf("warm summary %+v differs from the exported one %+v", got, sum)
+	}
+	if evals != 0 {
+		t.Fatalf("warm hit ran the schedule search (%d factory calls)", evals)
+	}
+	st := ScheduleMemoStats()
+	if st.WarmHits != 1 || st.WarmEntries != 1 {
+		t.Fatalf("warm stats = %d hits / %d entries; want 1 / 1", st.WarmHits, st.WarmEntries)
+	}
+	ResetScheduleMemo()
+}
+
+// TestMemoImportRules: version gate, full-tier precedence, warm-tier
+// capacity bound, and full evaluation superseding a warm entry.
+func TestMemoImportRules(t *testing.T) {
+	ResetScheduleMemo()
+	defer ResetScheduleMemo()
+
+	if _, err := ImportScheduleMemo(MemoSnapshot{V: 99}); err == nil {
+		t.Fatal("wrong-version snapshot accepted")
+	}
+
+	d := madDesign(arch.CROPHE36)
+	factory := helrFactory(arch.ParamsSHARP)
+	const wkey = "import-rules/helr"
+	s := EvaluateMemoized(d, wkey, factory)
+	snap := ExportScheduleMemo()
+
+	// A full-tier entry blocks the matching import.
+	if added, err := ImportScheduleMemo(snap); err != nil || added != 0 {
+		t.Fatalf("import over full tier = %d, %v; want 0, nil", added, err)
+	}
+
+	// After a reset the import lands, and a subsequent full evaluation
+	// supersedes the warm entry (warm tier shrinks back to zero).
+	ResetScheduleMemo()
+	if added, _ := ImportScheduleMemo(snap); added != 1 {
+		t.Fatalf("import after reset added %d; want 1", added)
+	}
+	s2 := EvaluateMemoized(d, wkey, factory)
+	if st := ScheduleMemoStats(); st.WarmEntries != 0 {
+		t.Fatalf("full evaluation left %d warm entries; want 0 (superseded)", st.WarmEntries)
+	}
+	if s2.TimeSec != s.TimeSec {
+		t.Fatalf("re-evaluated TimeSec %g != original %g (determinism)", s2.TimeSec, s.TimeSec)
+	}
+
+	// Capacity bounds the warm tier: with capacity 1 and one entry
+	// already warm, a second synthetic entry is dropped.
+	ResetScheduleMemo()
+	prev := SetScheduleMemoCapacity(1)
+	defer SetScheduleMemoCapacity(prev)
+	over := snap
+	over.Entries = append([]MemoSnapshotEntry{}, snap.Entries...)
+	extra := snap.Entries[0]
+	extra.Workload = "import-rules/other"
+	over.Entries = append(over.Entries, extra)
+	if added, _ := ImportScheduleMemo(over); added != 1 {
+		t.Fatalf("capacity-bounded import added %d; want 1", added)
+	}
+}
+
+// TestSummarize pins that the summary carries exactly the serving-visible
+// fields of a schedule.
+func TestSummarize(t *testing.T) {
+	s := &sched.Schedule{
+		Workload: "w", HW: "h", TimeSec: 1.5,
+		Traffic: sched.Traffic{DRAM: 1, SRAM: 2, NoC: 3, Transpose: 4},
+		Util:    sched.Utilization{PE: 0.5, NoC: 0.25, SRAM: 0.75, DRAM: 0.125},
+		Partial: true,
+	}
+	sum := sched.Summarize(s)
+	want := sched.ScheduleSummary{
+		Workload: "w", HW: "h", TimeSec: 1.5,
+		Traffic: s.Traffic, Util: s.Util, Partial: true,
+	}
+	if sum != want {
+		t.Fatalf("Summarize = %+v; want %+v", sum, want)
+	}
+}

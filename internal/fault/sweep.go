@@ -89,79 +89,250 @@ func sweepSpec(hw *arch.HWConfig, frac float64) Spec {
 	return s
 }
 
-// Sweep runs a resilience sweep: steps rungs of escalating fault load
-// (rung 0 healthy, the last rung at maxSweepFrac of every resource
-// class), each instantiated under the same seed so rung k's fault set
-// nests inside rung k+1's. Rungs run in parallel (via
-// internal/parallel), each writing its index-addressed slot, so the
-// result is deterministic regardless of worker interleaving. Infeasible
-// rungs are recorded in their point, not returned as errors; Sweep
-// itself fails only on plan-generation bugs.
-func Sweep(hw *arch.HWConfig, seed int64, steps int, run Runner) (*SweepResult, error) {
+// SweepConfig is the resolved option set of one RunSweep call. Callers
+// normally never build one directly — they pass SweepOption values to
+// RunSweep — but BuildSweepConfig exposes the resolution so façades can
+// make mode-dependent choices (e.g. which context the runner captures).
+type SweepConfig struct {
+	// Observe, when set, receives each freshly computed rung before the
+	// next begins — the append-only checkpoint-journaling hook. Spliced
+	// (Done) rungs are not re-observed. Forces sequential execution.
+	Observe func(SweepPoint)
+	// Done holds rungs already computed by a previous run, keyed by step
+	// index; they are spliced into the result verbatim instead of
+	// re-running. Forces sequential execution.
+	Done map[int]SweepPoint
+	// ShardIndex/ShardCount restrict the sweep to the rungs whose step
+	// satisfies step % ShardCount == ShardIndex. ShardCount 0 disables
+	// sharding (every rung runs).
+	ShardIndex int
+	ShardCount int
+	// Parallel runs rungs concurrently via internal/parallel instead of
+	// sequentially in step order. Incompatible with Observe (the
+	// journaling contract is "each rung lands before the next begins").
+	Parallel bool
+}
+
+// Sequential reports whether the config forces in-order execution: any
+// journaling or resume state implies the sequential contract.
+func (c *SweepConfig) Sequential() bool { return !c.Parallel }
+
+func (c *SweepConfig) validate() error {
+	if c.ShardCount < 0 {
+		return fmt.Errorf("fault: negative shard count %d", c.ShardCount)
+	}
+	if c.ShardCount > 0 && (c.ShardIndex < 0 || c.ShardIndex >= c.ShardCount) {
+		return fmt.Errorf("fault: shard index %d out of range [0, %d)", c.ShardIndex, c.ShardCount)
+	}
+	if c.Parallel && c.Observe != nil {
+		return fmt.Errorf("fault: WithParallel is incompatible with WithJournal (observe order is the sequential contract)")
+	}
+	return nil
+}
+
+// SweepOption configures RunSweep.
+type SweepOption func(*SweepConfig)
+
+// WithJournal hands each freshly computed rung to observe before the next
+// begins — the checkpoint-journaling hook. Implies sequential execution.
+func WithJournal(observe func(SweepPoint)) SweepOption {
+	return func(c *SweepConfig) { c.Observe = observe }
+}
+
+// WithResume splices previously computed rungs (keyed by step) into the
+// result instead of re-running them. Implies sequential execution.
+func WithResume(done map[int]SweepPoint) SweepOption {
+	return func(c *SweepConfig) { c.Done = done }
+}
+
+// WithShard restricts the sweep to shard index of count: only rungs whose
+// step satisfies step % count == index run, and the result holds exactly
+// those points (in ascending step order). Shards of the same (hw, seed,
+// steps, runner) partition the full sweep; MergeShards reassembles them
+// into a result byte-identical to an unsharded run.
+func WithShard(index, count int) SweepOption {
+	return func(c *SweepConfig) { c.ShardIndex, c.ShardCount = index, count }
+}
+
+// WithParallel runs rungs concurrently (each writing its index-addressed
+// slot, so the result is still deterministic). Incompatible with
+// WithJournal.
+func WithParallel() SweepOption {
+	return func(c *SweepConfig) { c.Parallel = true }
+}
+
+// BuildSweepConfig resolves a SweepOption list the way RunSweep does.
+func BuildSweepConfig(opts ...SweepOption) SweepConfig {
+	var c SweepConfig
+	for _, o := range opts {
+		if o != nil {
+			o(&c)
+		}
+	}
+	return c
+}
+
+// ShardSteps returns the ascending step indices shard index-of-count owns
+// within a steps-rung sweep: the steps congruent to index mod count.
+// count < 1 means "no sharding" and returns every step.
+func ShardSteps(steps, index, count int) []int {
 	if steps < 2 {
 		steps = 2
 	}
-	res := &SweepResult{HW: hw.Name, Seed: seed, Points: make([]SweepPoint, steps)}
-	errs := make([]error, steps)
-	parallel.For(steps, func(i int) {
-		res.Points[i], errs[i] = runStep(hw, seed, steps, i, run)
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	if count < 1 {
+		count, index = 1, 0
+	}
+	var out []int
+	for s := index % count; s < steps; s += count {
+		out = append(out, s)
+	}
+	return out
+}
+
+// RunSweep is the single entry point for resilience sweeps: steps rungs
+// of escalating fault load (rung 0 healthy, the last rung at maxSweepFrac
+// of every resource class), each instantiated under the same seed so rung
+// k's fault set nests inside rung k+1's. Options select the execution
+// mode:
+//
+//   - Default (no options): sequential in step order, ctx consulted only
+//     *between* rungs — the deterministic, checkpointable contract. Every
+//     rung is independently deterministic per (hw, seed, step), and this
+//     function never hands the runner a cancellable context mid-rung, so
+//     a sweep interrupted by cancellation or a crash loses at most the
+//     in-flight rung and resuming (WithResume) produces remaining rungs
+//     byte-identical to an uninterrupted run.
+//   - WithJournal(observe) streams each completed rung out before the
+//     next begins; WithResume(done) splices journaled rungs in verbatim.
+//   - WithShard(i, n) runs only the rungs with step % n == i; shard
+//     results reassemble via MergeShards.
+//   - WithParallel runs rungs concurrently (batch/CLI use; ctx is checked
+//     once before launch).
+//
+// Infeasible rungs are recorded in their point, not returned as errors;
+// RunSweep itself fails only on plan-generation bugs, invalid option
+// combinations, or between-rung cancellation (wrapping ctx.Err(), seed
+// attached).
+func RunSweep(ctx context.Context, hw *arch.HWConfig, seed int64, steps int, run Runner, opts ...SweepOption) (*SweepResult, error) {
+	if steps < 2 {
+		steps = 2
+	}
+	cfg := BuildSweepConfig(opts...)
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sel := ShardSteps(steps, cfg.ShardIndex, cfg.ShardCount)
+	res := &SweepResult{HW: hw.Name, Seed: seed, Points: make([]SweepPoint, len(sel))}
+
+	if cfg.Parallel {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("fault: sweep interrupted before start (seed %d): %w", seed, err)
+		}
+		errs := make([]error, len(sel))
+		parallel.For(len(sel), func(i int) {
+			if pt, ok := cfg.Done[sel[i]]; ok {
+				res.Points[i] = pt
+				return
+			}
+			res.Points[i], errs[i] = runStep(hw, seed, steps, sel[i], run)
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for i, step := range sel {
+			if pt, ok := cfg.Done[step]; ok {
+				res.Points[i] = pt
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("fault: sweep interrupted before step %d (seed %d): %w", step, seed, err)
+			}
+			pt, err := runStep(hw, seed, steps, step, run)
+			if err != nil {
+				return nil, err
+			}
+			res.Points[i] = pt
+			if cfg.Observe != nil {
+				cfg.Observe(pt)
+			}
 		}
 	}
-	if len(res.Points) > 0 && res.Points[0].Err == "" {
+	if len(res.Points) > 0 && res.Points[0].Step == 0 && res.Points[0].Err == "" {
 		res.Baseline = res.Points[0].Outcome.TimeSec
 	}
 	return res, nil
 }
 
-// ResumeSweep is the sequential, checkpointable form of Sweep used by
-// long-running servers: rungs run one at a time in step order, each
-// completed rung is handed to observe before the next begins (the hook
-// for append-only checkpoint journaling), and rungs whose step index is
-// present in done are not re-run — their recorded points are spliced into
-// the result verbatim.
-//
-// Determinism is the whole point of the contract: every rung is
-// independently deterministic per (hw, seed, step), the runner is never
-// handed a cancellable context mid-rung by this function, and ctx is
-// consulted only *between* rungs. A sweep interrupted by cancellation or
-// a crash therefore loses at most the in-flight rung, and resuming from
-// the journaled points produces remaining rungs byte-identical to an
-// uninterrupted run (same seed ⇒ same plans ⇒ same outcomes).
-//
-// On cancellation ResumeSweep returns (nil, ctx.Err()); points already
-// observed remain journaled by the caller. Sweep itself still fails only
-// on plan-generation bugs, recorded per point otherwise.
-func ResumeSweep(ctx context.Context, hw *arch.HWConfig, seed int64, steps int, run Runner,
-	done map[int]SweepPoint, observe func(SweepPoint)) (*SweepResult, error) {
+// MergeShards reassembles shard results (produced with WithShard over the
+// same hw, seed, steps and runner) into the full steps-rung sweep,
+// byte-identical to an unsharded run: points are reordered by step, the
+// baseline is recomputed from rung 0, and overlapping points (a rung run
+// by two shards after a reassignment) must agree exactly — rung outcomes
+// are deterministic, so a disagreement means the shards did not share an
+// identity and is an error, as is a missing step.
+func MergeShards(steps int, shards ...*SweepResult) (*SweepResult, error) {
 	if steps < 2 {
 		steps = 2
 	}
-	res := &SweepResult{HW: hw.Name, Seed: seed, Points: make([]SweepPoint, steps)}
-	for i := 0; i < steps; i++ {
-		if pt, ok := done[i]; ok {
-			res.Points[i] = pt
+	var (
+		hwName string
+		seed   int64
+		first  = true
+	)
+	byStep := make(map[int]SweepPoint, steps)
+	for _, sh := range shards {
+		if sh == nil {
 			continue
 		}
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("fault: sweep interrupted before step %d (seed %d): %w", i, seed, err)
+		if first {
+			hwName, seed, first = sh.HW, sh.Seed, false
 		}
-		pt, err := runStep(hw, seed, steps, i, run)
-		if err != nil {
-			return nil, err
+		if sh.HW != hwName || sh.Seed != seed {
+			return nil, fmt.Errorf("fault: merging shards of different sweeps: %s seed %d vs %s seed %d",
+				hwName, seed, sh.HW, sh.Seed)
 		}
-		res.Points[i] = pt
-		if observe != nil {
-			observe(pt)
+		for _, pt := range sh.Points {
+			if prev, ok := byStep[pt.Step]; ok && prev != pt {
+				return nil, fmt.Errorf("fault: shard disagreement at step %d (seed %d): rung outcomes must be deterministic", pt.Step, seed)
+			}
+			byStep[pt.Step] = pt
 		}
 	}
-	if len(res.Points) > 0 && res.Points[0].Err == "" {
+	if first {
+		return nil, fmt.Errorf("fault: no shards to merge")
+	}
+	res := &SweepResult{HW: hwName, Seed: seed, Points: make([]SweepPoint, steps)}
+	for i := 0; i < steps; i++ {
+		pt, ok := byStep[i]
+		if !ok {
+			return nil, fmt.Errorf("fault: merged sweep is missing step %d (seed %d)", i, seed)
+		}
+		res.Points[i] = pt
+	}
+	if res.Points[0].Err == "" {
 		res.Baseline = res.Points[0].Outcome.TimeSec
 	}
 	return res, nil
+}
+
+// Sweep runs a full sweep with rungs in parallel.
+//
+// Deprecated: use RunSweep with WithParallel; Sweep remains as a thin
+// wrapper for existing callers.
+func Sweep(hw *arch.HWConfig, seed int64, steps int, run Runner) (*SweepResult, error) {
+	return RunSweep(context.Background(), hw, seed, steps, run, WithParallel())
+}
+
+// ResumeSweep is the sequential, checkpointable sweep form.
+//
+// Deprecated: use RunSweep with WithResume and WithJournal; ResumeSweep
+// remains as a thin wrapper for existing callers.
+func ResumeSweep(ctx context.Context, hw *arch.HWConfig, seed int64, steps int, run Runner,
+	done map[int]SweepPoint, observe func(SweepPoint)) (*SweepResult, error) {
+	return RunSweep(ctx, hw, seed, steps, run, WithResume(done), WithJournal(observe))
 }
 
 // runStep generates, instantiates and runs one sweep rung. Infeasible

@@ -1,0 +1,30 @@
+package sched
+
+// ScheduleSummary is the serializable cost surface of a Schedule: the
+// fields every read-only consumer (the serving layer's schedule
+// responses, the memo warm-start snapshot) actually uses, with none of
+// the graph-node pointers the full per-segment breakdown carries. Two
+// schedules of the same (design, hardware, workload) under the same
+// budget summarize identically — design evaluation is deterministic — so
+// a summary shipped between processes stands in exactly for re-running
+// the search.
+type ScheduleSummary struct {
+	Workload string      `json:"workload"`
+	HW       string      `json:"hw"`
+	TimeSec  float64     `json:"time_sec"`
+	Traffic  Traffic     `json:"traffic"`
+	Util     Utilization `json:"util"`
+	Partial  bool        `json:"partial"`
+}
+
+// Summarize extracts the serializable summary of a schedule.
+func Summarize(s *Schedule) ScheduleSummary {
+	return ScheduleSummary{
+		Workload: s.Workload,
+		HW:       s.HW,
+		TimeSec:  s.TimeSec,
+		Traffic:  s.Traffic,
+		Util:     s.Util,
+		Partial:  s.Partial,
+	}
+}

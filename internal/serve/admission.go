@@ -84,14 +84,28 @@ func (s *Server) acquireSlot(ctx context.Context) (func(), bool, error) {
 }
 
 // shed writes the load-shedding response: 429 with a Retry-After hint
-// sized to the queue-wait budget, so well-behaved clients back off for
-// about as long as a queued request would have waited anyway.
+// sized to the queue-wait budget plus deterministic jitter (seeded by
+// RetryJitterSeed), so well-behaved clients back off for about as long
+// as a queued request would have waited — and a burst of clients shed in
+// the same instant does not return as the same stampede one hint later.
 func (s *Server) shed(w http.ResponseWriter) {
 	s.metrics.shed.Add(1)
-	retry := int(s.cfg.QueueWait.Seconds())
-	if retry < 1 {
-		retry = 1
-	}
+	retry := s.retryAfterSeconds()
 	w.Header().Set("Retry-After", strconv.Itoa(retry))
 	writeError(w, http.StatusTooManyRequests, "overloaded: admission queue is full, retry after %d s", retry)
+}
+
+// retryAfterSeconds sizes the Retry-After hint: the queue-wait budget
+// (floor 1s) plus up to half that again in seeded jitter. Deterministic
+// per RetryJitterSeed — the same seed yields the same hint sequence,
+// which keeps robustness tests replayable.
+func (s *Server) retryAfterSeconds() int {
+	base := int(s.cfg.QueueWait.Seconds())
+	if base < 1 {
+		base = 1
+	}
+	s.jitterMu.Lock()
+	jitter := s.jitterRand.Intn(base/2 + 1)
+	s.jitterMu.Unlock()
+	return base + jitter
 }

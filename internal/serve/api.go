@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"crophe"
+)
+
+// Wire types of the crophe-serve HTTP/JSON API, shared by the server
+// handlers and the typed Client (and by the coordinator→worker RPC,
+// which is the same protocol). Field tags are the API; renaming a tag is
+// a breaking change.
+
+// ScheduleRequest is the body of POST /v1/schedule and POST /v1/simulate.
+type ScheduleRequest struct {
+	HW         string `json:"hw"`
+	Workload   string `json:"workload"`
+	Dataflow   string `json:"dataflow,omitempty"`    // "crophe" (default) or "mad"
+	DeadlineMS int    `json:"deadline_ms,omitempty"` // anytime search budget; header wins
+	ChaosPanic bool   `json:"chaos_panic,omitempty"` // AllowChaos only: panic on purpose
+	Seed       int64  `json:"seed,omitempty"`        // replay seed stamped into chaos 500s
+}
+
+// ScheduleResponse summarises a schedule (and optionally a simulation).
+type ScheduleResponse struct {
+	Workload   string   `json:"workload"`
+	HW         string   `json:"hw"`
+	TimeMS     float64  `json:"time_ms"`
+	Partial    bool     `json:"partial"`
+	Cached     bool     `json:"cached,omitempty"`
+	DRAMBytes  float64  `json:"dram_bytes"`
+	SRAMBytes  float64  `json:"sram_bytes"`
+	NoCBytes   float64  `json:"noc_bytes"`
+	SimTimeMS  *float64 `json:"sim_time_ms,omitempty"`
+	SimCycles  *float64 `json:"sim_cycles,omitempty"`
+	SimEnergyJ *float64 `json:"sim_energy_j,omitempty"`
+}
+
+// DegradedRequest is the body of POST /v1/simulate-degraded.
+type DegradedRequest struct {
+	HW         string `json:"hw"`
+	Workload   string `json:"workload"`
+	Faults     string `json:"faults"` // fault.Spec grammar
+	Seed       int64  `json:"seed"`
+	DeadlineMS int    `json:"deadline_ms,omitempty"`
+	ChaosPanic bool   `json:"chaos_panic,omitempty"`
+}
+
+// DegradedResponse reports a degraded run plus throughput retained.
+type DegradedResponse struct {
+	Workload   string  `json:"workload"`
+	HW         string  `json:"hw"`
+	Faults     string  `json:"faults"`
+	Seed       int64   `json:"seed"`
+	FaultCount int     `json:"fault_count"`
+	TimeMS     float64 `json:"time_ms"`
+	Cycles     float64 `json:"cycles"`
+	Partial    bool    `json:"partial"`
+}
+
+// SweepRequest is the body of POST /v1/sweeps. ShardIndex/ShardCount
+// restrict the job to the rungs with step % count == index — the
+// coordinator→worker sharding; both zero means the full sweep.
+type SweepRequest struct {
+	HW         string `json:"hw"`
+	Workload   string `json:"workload"`
+	Seed       int64  `json:"seed"`
+	Steps      int    `json:"steps"`
+	DeadlineMS int    `json:"deadline_ms,omitempty"` // per-rung anytime budget
+	ShardIndex int    `json:"shard_index,omitempty"`
+	ShardCount int    `json:"shard_count,omitempty"`
+}
+
+// SweepPointSummary is one journaled rung rendered for clients. TimeMS
+// is a display value (TimeSec × 1e3, a lossy float operation) — the
+// coordinator merges from the raw points instead, which round-trip
+// exactly.
+type SweepPointSummary struct {
+	Step       int     `json:"step"`
+	FracFailed float64 `json:"frac_failed"`
+	FaultCount int     `json:"fault_count"`
+	TimeMS     float64 `json:"time_ms"`
+	Retained   float64 `json:"retained"`
+	Partial    bool    `json:"partial"`
+	Err        string  `json:"error,omitempty"`
+}
+
+// SweepStatus is the GET /v1/sweeps/{id} response (and the POST
+// response, minus points while running). RawPoints — the exact
+// fault.SweepPoint values, populated only when the poll asks for
+// ?raw=1 — carry every rung journaled so far even while the job runs;
+// they are what the coordinator merges, because Go's JSON float
+// round-trip is exact where the TimeMS display conversion is not.
+type SweepStatus struct {
+	ID         string                   `json:"id"`
+	State      string                   `json:"state"`
+	HW         string                   `json:"hw"`
+	Workload   string                   `json:"workload"`
+	Seed       int64                    `json:"seed"`
+	Steps      int                      `json:"steps"`
+	DeadlineMS int                      `json:"deadline_ms,omitempty"`
+	ShardIndex int                      `json:"shard_index,omitempty"`
+	ShardCount int                      `json:"shard_count,omitempty"`
+	Completed  int                      `json:"completed_steps"`
+	Created    *bool                    `json:"created,omitempty"` // POST only
+	Error      string                   `json:"error,omitempty"`
+	BaselineMS float64                  `json:"baseline_ms,omitempty"`
+	Points     []SweepPointSummary      `json:"points,omitempty"`
+	RawPoints  []crophe.ResiliencePoint `json:"raw_points,omitempty"`
+}
+
+// MemoImportResponse is the body of a POST /v1/memo/snapshot reply.
+type MemoImportResponse struct {
+	Imported    int `json:"imported"`
+	WarmEntries int `json:"warm_entries"`
+}

@@ -27,7 +27,11 @@ import (
 const journalSuffix = ".sweep.jsonl"
 
 // sweepParams is a sweep job's identity — the journal header and the
-// input to the deterministic job ID.
+// input to the deterministic job ID. ShardIndex/ShardCount (0/0 for a
+// full sweep; the omitempty keeps unsharded headers byte-identical to
+// the pre-shard format) restrict the job to the rungs with
+// step % count == index. The struct must stay comparable — recovery and
+// the checkpoint tests compare headers with ==.
 type sweepParams struct {
 	V          int    `json:"v"`
 	ID         string `json:"id"`
@@ -36,14 +40,22 @@ type sweepParams struct {
 	Seed       int64  `json:"seed"`
 	Steps      int    `json:"steps"`
 	DeadlineMS int    `json:"deadline_ms"`
+	ShardIndex int    `json:"shard_index,omitempty"`
+	ShardCount int    `json:"shard_count,omitempty"`
 }
 
 // sweepID derives the job ID from the parameters (FNV-1a over a
 // canonical encoding), so POSTing the same sweep twice addresses the
-// same job instead of running it twice.
+// same job instead of running it twice. Shard identity folds in only
+// when the job is sharded, so full-sweep IDs are unchanged from the
+// pre-shard format — a coordinator's merged job and the equivalent
+// single-process job share an ID by construction.
 func sweepID(p sweepParams) string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s|%s|%d|%d|%d", p.HW, p.Workload, p.Seed, p.Steps, p.DeadlineMS)
+	if p.ShardCount > 0 {
+		fmt.Fprintf(h, "|shard %d/%d", p.ShardIndex, p.ShardCount)
+	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
@@ -51,11 +63,24 @@ func journalPath(dir, id string) string {
 	return filepath.Join(dir, id+journalSuffix)
 }
 
-// journalEntry is one post-header line: a completed rung or the
-// terminator.
+// leaseRecord is a coordinator journal line: shard index-of-count leased
+// to worker at epoch (epoch increments each time the shard is
+// reassigned after a worker death). Leases are bookkeeping, not rung
+// state — recovery re-leases from scratch and relies on the journaled
+// rungs alone for exactly-once accounting.
+type leaseRecord struct {
+	Shard  int    `json:"shard"`
+	Count  int    `json:"count"`
+	Worker string `json:"worker"`
+	Epoch  int    `json:"epoch"`
+}
+
+// journalEntry is one post-header line: a completed rung, a shard lease
+// (coordinator journals only), or the terminator.
 type journalEntry struct {
 	Step  *int                    `json:"step,omitempty"`
 	Point *crophe.ResiliencePoint `json:"point,omitempty"`
+	Lease *leaseRecord            `json:"lease,omitempty"`
 	Done  bool                    `json:"done,omitempty"`
 }
 

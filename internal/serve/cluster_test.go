@@ -1,0 +1,311 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"crophe"
+)
+
+// startCluster boots n single-role workers plus a coordinator wired to
+// them, all with their own checkpoint directories, and returns the
+// coordinator server and the worker servers.
+func startCluster(t *testing.T, n int, mod func(*Config)) (*Server, []*Server) {
+	t.Helper()
+	workers := make([]*Server, n)
+	urls := make([]string, n)
+	for i := range workers {
+		workers[i] = startServer(t, Config{CheckpointDir: t.TempDir()})
+		urls[i] = workers[i].Addr()
+	}
+	cfg := Config{
+		Role:          RoleCoordinator,
+		WorkerURLs:    urls,
+		CheckpointDir: t.TempDir(),
+		// Tight cluster timing so tests converge in milliseconds, not the
+		// production-scale defaults.
+		HeartbeatInterval: 25 * time.Millisecond,
+		WorkerTimeout:     150 * time.Millisecond,
+		PollInterval:      10 * time.Millisecond,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	return startServer(t, cfg), workers
+}
+
+// waitSweepDone polls the coordinator until the job reaches a terminal
+// state, failing the test on "failed" or timeout.
+func waitSweepDone(t *testing.T, c *Client, id string, timeout time.Duration) *SweepStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.SweepStatus(context.Background(), id, false)
+		if err != nil {
+			t.Fatalf("SweepStatus: %v", err)
+		}
+		switch st.State {
+		case jobDone:
+			return st
+		case jobFailed:
+			t.Fatalf("sweep failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep not done after %v: %+v", timeout, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// referenceSweep runs the same sweep single-process through the façade —
+// the byte-identity yardstick for every distributed result.
+func referenceSweep(t *testing.T, hwName, wlName string, seed int64, steps, deadlineMS int) *crophe.ResilienceSweep {
+	t.Helper()
+	hw, ok := crophe.LookupHW(hwName)
+	if !ok {
+		t.Fatalf("unknown hw %q", hwName)
+	}
+	wl, ok := crophe.LookupWorkload(wlName, crophe.DefaultParamsFor(hw), crophe.RotHoisted)
+	if !ok {
+		t.Fatalf("unknown workload %q", wlName)
+	}
+	ref, err := crophe.RunResilienceSweepWith(context.Background(), hw, wl, seed, steps,
+		time.Duration(deadlineMS)*time.Millisecond)
+	if err != nil {
+		t.Fatalf("reference sweep: %v", err)
+	}
+	return ref
+}
+
+// assertByteIdentical pins the acceptance criterion: the distributed
+// result renders byte-for-byte like the single-process one, in both the
+// JSON and the human report forms.
+func assertByteIdentical(t *testing.T, got, want *crophe.ResilienceSweep) {
+	t.Helper()
+	gotJSON, err := json.Marshal(got)
+	if err != nil {
+		t.Fatalf("marshal merged sweep: %v", err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatalf("marshal reference sweep: %v", err)
+	}
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatalf("merged sweep JSON differs from single-process run:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("merged sweep report differs from single-process run:\n got %s\nwant %s", got.String(), want.String())
+	}
+}
+
+// coordResult digs the assembled result out of the coordinator.
+func coordResult(t *testing.T, s *Server, id string) *crophe.ResilienceSweep {
+	t.Helper()
+	cj, ok := s.coord.get(id)
+	if !ok {
+		t.Fatalf("coordinator lost job %s", id)
+	}
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	if cj.result == nil {
+		t.Fatalf("job %s has no assembled result", id)
+	}
+	return cj.result
+}
+
+func TestShardedSweepByteIdenticalToSingleProcess(t *testing.T) {
+	coordSrv, _ := startCluster(t, 2, nil)
+	c := NewClient(coordSrv.Addr())
+
+	req := SweepRequest{HW: "crophe64", Workload: "helr", Seed: 5, Steps: 6, DeadlineMS: 3}
+	st, err := c.StartSweep(context.Background(), req)
+	if err != nil {
+		t.Fatalf("StartSweep: %v", err)
+	}
+	if st.Created == nil || !*st.Created {
+		t.Fatalf("first POST: created = %v; want true", st.Created)
+	}
+	// Idempotent re-POST addresses the same distributed job.
+	st2, err := c.StartSweep(context.Background(), req)
+	if err != nil {
+		t.Fatalf("repeat StartSweep: %v", err)
+	}
+	if st2.ID != st.ID || st2.Created == nil || *st2.Created {
+		t.Fatalf("repeat POST: id %s created %v; want %s, false", st2.ID, st2.Created, st.ID)
+	}
+
+	final := waitSweepDone(t, c, st.ID, 60*time.Second)
+	if len(final.Points) != 6 {
+		t.Fatalf("done sweep has %d points; want 6", len(final.Points))
+	}
+
+	ref := referenceSweep(t, "crophe64", "helr", 5, 6, 3)
+	assertByteIdentical(t, coordResult(t, coordSrv, st.ID), ref)
+
+	// The merged job ID is the single-process job ID: a client cannot
+	// tell which topology answered.
+	single := sweepParams{V: 1, HW: "crophe64", Workload: "helr", Seed: 5, Steps: 6, DeadlineMS: 3}
+	if want := sweepID(single); st.ID != want {
+		t.Fatalf("distributed job ID %s != single-process ID %s", st.ID, want)
+	}
+}
+
+func TestWorkerCrashReassignsShardByteIdentical(t *testing.T) {
+	coordSrv, workers := startCluster(t, 2, nil)
+	c := NewClient(coordSrv.Addr())
+
+	const steps, deadlineMS = 12, 15
+	req := SweepRequest{HW: "crophe64", Workload: "helr", Seed: 9, Steps: steps, DeadlineMS: deadlineMS}
+	st, err := c.StartSweep(context.Background(), req)
+	if err != nil {
+		t.Fatalf("StartSweep: %v", err)
+	}
+
+	// Kill worker 1 once its shard (the odd steps) has landed at least
+	// one rung but cannot have finished — mid-shard, the reassignment
+	// window the chaos drill exists to exercise.
+	killDeadline := time.Now().Add(60 * time.Second)
+	for {
+		raw, err := c.SweepStatus(context.Background(), st.ID, true)
+		if err != nil {
+			t.Fatalf("raw SweepStatus: %v", err)
+		}
+		odd := 0
+		for _, pt := range raw.RawPoints {
+			if pt.Step%2 == 1 {
+				odd++
+			}
+		}
+		if odd >= 1 {
+			if odd >= steps/2 {
+				t.Fatalf("worker 1 finished its whole shard (%d odd rungs) before the kill window", odd)
+			}
+			break
+		}
+		if time.Now().After(killDeadline) {
+			t.Fatalf("no odd-shard rung appeared to open the kill window")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	workers[1].Kill()
+
+	final := waitSweepDone(t, c, st.ID, 120*time.Second)
+	if len(final.Points) != steps {
+		t.Fatalf("done sweep has %d points; want %d", len(final.Points), steps)
+	}
+
+	// The kill must have forced at least one lease reassignment.
+	cj, ok := coordSrv.coord.get(st.ID)
+	if !ok {
+		t.Fatalf("coordinator lost job %s", st.ID)
+	}
+	cj.mu.Lock()
+	maxEpoch := 0
+	for _, sh := range cj.shards {
+		if sh.epoch > maxEpoch {
+			maxEpoch = sh.epoch
+		}
+	}
+	cj.mu.Unlock()
+	if maxEpoch < 1 {
+		t.Fatalf("no shard was reassigned (max epoch 0) despite the worker kill")
+	}
+
+	// The coordinator journal records the reassignment as lease lines:
+	// an epoch-0 lease and a later epoch for the same shard.
+	data, err := os.ReadFile(journalPath(coordSrv.cfg.CheckpointDir, st.ID))
+	if err != nil {
+		t.Fatalf("reading coordinator journal: %v", err)
+	}
+	leases := 0
+	reassigned := false
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var e journalEntry
+		if json.Unmarshal([]byte(line), &e) != nil || e.Lease == nil {
+			continue
+		}
+		leases++
+		if e.Lease.Epoch >= 1 {
+			reassigned = true
+		}
+	}
+	if leases < 3 || !reassigned {
+		t.Fatalf("journal holds %d lease lines (reassigned=%v); want >= 3 with an epoch >= 1", leases, reassigned)
+	}
+
+	ref := referenceSweep(t, "crophe64", "helr", 9, steps, deadlineMS)
+	assertByteIdentical(t, coordResult(t, coordSrv, st.ID), ref)
+}
+
+func TestCoordinatorEndpointsAndValidation(t *testing.T) {
+	coordSrv, _ := startCluster(t, 2, nil)
+	c := NewClient(coordSrv.Addr())
+
+	// A coordinator refuses pre-sharded requests: it owns the sharding.
+	_, err := c.StartSweep(context.Background(), SweepRequest{
+		HW: "crophe64", Workload: "helr", Seed: 1, Steps: 4, ShardCount: 2,
+	})
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.Status != 400 {
+		t.Fatalf("pre-sharded POST to coordinator: %T %v; want *APIError 400", err, err)
+	}
+
+	// /v1/cluster reports the topology.
+	code, body, _ := doJSON(t, http.DefaultClient, "GET", "http://"+coordSrv.Addr()+"/v1/cluster", nil, nil)
+	if code != 200 || body["role"] != RoleCoordinator {
+		t.Fatalf("/v1/cluster = %d %v; want 200 with role=coordinator", code, body)
+	}
+	ws, _ := body["workers"].([]any)
+	if len(ws) != 2 {
+		t.Fatalf("/v1/cluster workers = %v; want 2", body["workers"])
+	}
+}
+
+func TestWorkerShardValidation(t *testing.T) {
+	s := startServer(t, Config{})
+	c := NewClient(s.Addr(), WithRetry(0, 0, 0))
+
+	cases := []SweepRequest{
+		{HW: "crophe64", Workload: "helr", Steps: 4, ShardIndex: 2, ShardCount: 2}, // index out of range
+		{HW: "crophe64", Workload: "helr", Steps: 4, ShardIndex: -1, ShardCount: 2},
+		{HW: "crophe64", Workload: "helr", Steps: 4, ShardCount: 5}, // count > steps
+		{HW: "crophe64", Workload: "helr", Steps: 4, ShardCount: -1},
+	}
+	for _, req := range cases {
+		_, err := c.StartSweep(context.Background(), req)
+		apiErr, ok := err.(*APIError)
+		if !ok || apiErr.Status != 400 {
+			t.Fatalf("StartSweep(%+v): %T %v; want *APIError 400", req, err, err)
+		}
+	}
+
+	// A valid shard runs exactly its own steps and nothing else.
+	st, err := c.StartSweep(context.Background(), SweepRequest{
+		HW: "crophe64", Workload: "helr", Seed: 3, Steps: 4, DeadlineMS: 3,
+		ShardIndex: 1, ShardCount: 2,
+	})
+	if err != nil {
+		t.Fatalf("sharded StartSweep: %v", err)
+	}
+	final := waitSweepDone(t, c, st.ID, 60*time.Second)
+	if final.ShardIndex != 1 || final.ShardCount != 2 {
+		t.Fatalf("shard identity lost in status: %+v", final)
+	}
+	raw, err := c.SweepStatus(context.Background(), st.ID, true)
+	if err != nil {
+		t.Fatalf("raw SweepStatus: %v", err)
+	}
+	if len(raw.RawPoints) != 2 {
+		t.Fatalf("shard 1/2 of 4 steps ran %d rungs; want 2", len(raw.RawPoints))
+	}
+	for _, pt := range raw.RawPoints {
+		if pt.Step%2 != 1 {
+			t.Fatalf("shard 1/2 ran step %d; want odd steps only", pt.Step)
+		}
+	}
+}

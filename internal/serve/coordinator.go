@@ -1,0 +1,605 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"crophe"
+)
+
+// The coordinator runs the distributed side of sweep execution: it owns
+// the *merged* job (whose identity — ID and journal header — is exactly
+// the single-process job's, ShardCount 0), shards the rungs across the
+// configured workers with WithShard semantics (shard i owns the steps
+// congruent to i mod N), and folds the workers' journaled rungs back
+// into its own fsynced journal. Exactly-once accounting is the merged
+// point map: a rung is journaled the first time any worker reports it,
+// and duplicates from a reassignment-rerun must agree bit-exactly (rung
+// outcomes are deterministic), so the merged journal — and the report
+// assembled from it — is byte-identical to a single process running the
+// whole sweep.
+//
+// Failure handling is lease-based. Each shard assignment is journaled as
+// a lease line (worker URL, epoch); a worker that stops answering both
+// heartbeats and polls for WorkerTimeout forfeits its leases, the shard
+// epoch increments, and the shard is re-leased to a healthy worker. The
+// reassigned worker reruns the shard from its own journal state (or from
+// scratch — determinism makes rerun and resume indistinguishable in the
+// merged output). Leases are bookkeeping for observability and audit:
+// recovery ignores them and trusts only the journaled rungs.
+
+// workerHandle is the coordinator's view of one worker: a fail-fast
+// client (retries would blur the failure detector) plus the liveness
+// clock the heartbeat loop and successful polls both advance.
+type workerHandle struct {
+	url    string
+	client *Client
+
+	mu     sync.Mutex
+	lastOK time.Time
+	seen   bool
+}
+
+func (h *workerHandle) markOK() {
+	h.mu.Lock()
+	h.lastOK = time.Now()
+	h.seen = true
+	h.mu.Unlock()
+}
+
+// healthyWithin reports whether the worker answered anything within d.
+// A worker that has never answered is unhealthy — leasing a shard to a
+// peer that has not proven it exists just delays the reassignment.
+func (h *workerHandle) healthyWithin(d time.Duration) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.seen && time.Since(h.lastOK) <= d
+}
+
+func (h *workerHandle) lastOKTime() (time.Time, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.lastOK, h.seen
+}
+
+// shardState tracks one shard of one distributed job. Owned by the
+// job's orchestration goroutine; read by status rendering under the
+// job mutex.
+type shardState struct {
+	index  int
+	steps  []int         // the step indices this shard owns
+	worker *workerHandle // nil while unassigned
+	jobID  string        // the worker-side (sharded) job ID
+	epoch  int           // increments on every reassignment
+	done   bool
+}
+
+// coordJob is one distributed sweep: the merged identity, the merged
+// exactly-once point map, and the per-shard lease state.
+type coordJob struct {
+	params sweepParams // ShardCount == 0: the merged, single-process identity
+
+	mu        sync.Mutex
+	state     string
+	errText   string
+	result    *crophe.ResilienceSweep
+	points    map[int]crophe.ResiliencePoint
+	shards    []*shardState
+	completed int
+}
+
+// status renders the job in the same shape as a single-process job, so
+// clients cannot tell (and need not care) which role answered.
+func (j *coordJob) status(raw bool) SweepStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := SweepStatus{
+		ID:         j.params.ID,
+		State:      j.state,
+		HW:         j.params.HW,
+		Workload:   j.params.Workload,
+		Seed:       j.params.Seed,
+		Steps:      j.params.Steps,
+		DeadlineMS: j.params.DeadlineMS,
+		Completed:  j.completed,
+		Error:      j.errText,
+	}
+	if j.result != nil {
+		st.BaselineMS = j.result.Baseline * 1e3
+		for _, pt := range j.result.Points {
+			st.Points = append(st.Points, SweepPointSummary{
+				Step:       pt.Step,
+				FracFailed: pt.FracFailed,
+				FaultCount: pt.FaultCount,
+				TimeMS:     pt.Outcome.TimeSec * 1e3,
+				Retained:   pt.Retained(j.result.Baseline),
+				Partial:    pt.Outcome.Partial,
+				Err:        pt.Err,
+			})
+		}
+	}
+	if raw {
+		steps := make([]int, 0, len(j.points))
+		for s := range j.points {
+			steps = append(steps, s)
+		}
+		sort.Ints(steps)
+		for _, s := range steps {
+			st.RawPoints = append(st.RawPoints, j.points[s])
+		}
+	}
+	return st
+}
+
+func (j *coordJob) fail(msg string) {
+	j.mu.Lock()
+	j.state = jobFailed
+	j.errText = msg
+	j.mu.Unlock()
+}
+
+// coordinator owns the distributed jobs and the worker fleet state.
+type coordinator struct {
+	dir     string
+	workers []*workerHandle
+	hb      time.Duration // heartbeat period
+	timeout time.Duration // silence after which a worker forfeits leases
+	poll    time.Duration // shard progress poll period
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu   sync.Mutex
+	jobs map[string]*coordJob
+}
+
+func newCoordinator(dir string, urls []string, hb, timeout, poll time.Duration) *coordinator {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &coordinator{
+		dir: dir, hb: hb, timeout: timeout, poll: poll,
+		ctx: ctx, cancel: cancel,
+		jobs: make(map[string]*coordJob),
+	}
+	for _, u := range urls {
+		c.workers = append(c.workers, &workerHandle{
+			url: u,
+			// Fail fast: the orchestration loop is the retry policy, and a
+			// client that silently retries hides exactly the deaths the
+			// coordinator exists to detect.
+			client: NewClient(u, WithRetry(0, 0, 0)),
+		})
+	}
+	return c
+}
+
+// startHeartbeats launches one liveness prober per worker: an immediate
+// first probe (so a fresh cluster converges in one round-trip, not one
+// period), then one every hb.
+func (c *coordinator) startHeartbeats() {
+	for _, h := range c.workers {
+		h := h
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.probe(h)
+			t := time.NewTicker(c.hb)
+			defer t.Stop()
+			for {
+				select {
+				case <-c.ctx.Done():
+					return
+				case <-t.C:
+					c.probe(h)
+				}
+			}
+		}()
+	}
+}
+
+func (c *coordinator) probe(h *workerHandle) {
+	ctx, cancel := context.WithTimeout(c.ctx, c.timeout)
+	defer cancel()
+	if err := h.client.Ready(ctx); err == nil {
+		h.markOK()
+	}
+}
+
+// recover rescans the checkpoint directory the way jobManager.recover
+// does, but resumes unfinished journals as *distributed* jobs: the
+// merged rungs are seeded into the point map and orchestration re-leases
+// the unfinished shards from scratch (journaled leases are audit state,
+// not recovery state).
+func (c *coordinator) recover() error {
+	if c.dir == "" {
+		return nil
+	}
+	paths, err := listJournals(c.dir)
+	if err != nil {
+		return err
+	}
+	for _, path := range paths {
+		params, points, done, keep, err := readJournal(path)
+		if err != nil {
+			id := params.ID
+			if id == "" {
+				id = "corrupt:" + path
+			}
+			c.mu.Lock()
+			c.jobs[id] = &coordJob{params: params, state: jobFailed, errText: err.Error()}
+			c.mu.Unlock()
+			continue
+		}
+		if params.ShardCount > 0 {
+			// A worker-side shard journal (e.g. a worker restarted out of
+			// this directory once); not a coordinator job.
+			continue
+		}
+		j := &coordJob{params: params, points: points, completed: len(points)}
+		if done {
+			j.state = jobDone
+			j.result = assembleSweep(params, points)
+			c.mu.Lock()
+			c.jobs[params.ID] = j
+			c.mu.Unlock()
+			continue
+		}
+		j.state = jobRunning
+		c.mu.Lock()
+		c.jobs[params.ID] = j
+		c.mu.Unlock()
+		c.launch(j, keep, false)
+	}
+	return nil
+}
+
+// start returns the distributed job for params, creating and launching
+// it if new — the same dedup-by-deterministic-ID contract as jobManager.
+func (c *coordinator) start(params sweepParams) (*coordJob, bool, error) {
+	c.mu.Lock()
+	if existing, ok := c.jobs[params.ID]; ok {
+		c.mu.Unlock()
+		return existing, false, nil
+	}
+	if c.ctx.Err() != nil {
+		c.mu.Unlock()
+		return nil, false, fmt.Errorf("coordinator is draining")
+	}
+	j := &coordJob{params: params, state: jobRunning, points: make(map[int]crophe.ResiliencePoint)}
+	c.jobs[params.ID] = j
+	c.mu.Unlock()
+	c.launch(j, 0, true)
+	return j, true, nil
+}
+
+func (c *coordinator) get(id string) (*coordJob, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	return j, ok
+}
+
+func (c *coordinator) launch(j *coordJob, keep int64, isNew bool) {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		defer func() {
+			if rec := recover(); rec != nil {
+				j.fail(fmtInvariant(j.params.Seed, rec))
+			}
+		}()
+		c.run(j, keep, isNew)
+	}()
+}
+
+// effectiveSteps mirrors RunSweep's floor: a sweep always has at least a
+// healthy rung and one degraded rung.
+func effectiveSteps(steps int) int {
+	if steps < 2 {
+		return 2
+	}
+	return steps
+}
+
+// run is the orchestration loop for one distributed job. It owns the
+// journal file and the shard states; everything it learns from workers
+// lands in the journal before it lands in the in-memory map.
+func (c *coordinator) run(j *coordJob, keep int64, isNew bool) {
+	f, err := openJournal(c.dir, j.params, keep, isNew)
+	if err != nil {
+		j.fail(fmt.Sprintf("opening checkpoint journal: %v", err))
+		return
+	}
+	if f != nil {
+		defer f.Close()
+	}
+
+	eff := effectiveSteps(j.params.Steps)
+	n := len(c.workers)
+	shards := make([]*shardState, n)
+	for i := 0; i < n; i++ {
+		var steps []int
+		for s := i; s < eff; s += n {
+			steps = append(steps, s)
+		}
+		shards[i] = &shardState{index: i, steps: steps}
+	}
+	j.mu.Lock()
+	j.shards = shards
+	// A recovered job may already hold whole shards' worth of rungs.
+	for _, sh := range shards {
+		sh.done = shardComplete(sh, j.points)
+	}
+	j.mu.Unlock()
+
+	for {
+		if c.tick(j, f, shards) {
+			return
+		}
+		select {
+		case <-c.ctx.Done():
+			// Drain or kill: leave the job "running" with the journal
+			// intact; a restarted coordinator resumes from the merged rungs.
+			return
+		case <-time.After(c.poll):
+		}
+	}
+}
+
+func shardComplete(sh *shardState, points map[int]crophe.ResiliencePoint) bool {
+	for _, s := range sh.steps {
+		if _, ok := points[s]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// tick runs one orchestration round: lease unassigned shards, poll the
+// leased ones, reap dead workers, and finalize when every shard is done.
+// It returns true when the job reached a terminal state.
+func (c *coordinator) tick(j *coordJob, f *os.File, shards []*shardState) bool {
+	allDone := true
+	for _, sh := range shards {
+		if sh.done {
+			continue
+		}
+		allDone = false
+		if sh.worker == nil {
+			c.lease(j, f, sh)
+			continue
+		}
+		if terminal := c.pollShard(j, f, sh); terminal {
+			return true
+		}
+	}
+	if !allDone {
+		return false
+	}
+	return c.finalize(j, f)
+}
+
+// lease assigns sh to the least-loaded healthy worker (preferring its
+// home worker — shard i on worker i — so a fully healthy cluster gets
+// the canonical layout) and journals the lease.
+func (c *coordinator) lease(j *coordJob, f *os.File, sh *shardState) {
+	load := make(map[*workerHandle]int)
+	j.mu.Lock()
+	for _, other := range j.shards {
+		if other.worker != nil && !other.done {
+			load[other.worker]++
+		}
+	}
+	j.mu.Unlock()
+
+	var pick *workerHandle
+	if home := c.workers[sh.index%len(c.workers)]; home.healthyWithin(c.timeout) {
+		pick = home
+	}
+	if pick == nil {
+		for _, h := range c.workers {
+			if !h.healthyWithin(c.timeout) {
+				continue
+			}
+			if pick == nil || load[h] < load[pick] {
+				pick = h
+			}
+		}
+	}
+	if pick == nil {
+		return // no healthy worker this round; retry next tick
+	}
+
+	// Warm the worker's schedule memo with everything this process has
+	// learned (its own runs plus snapshots harvested from finished
+	// shards). Best-effort: a failed push costs recomputation, not
+	// correctness.
+	ctx, cancel := context.WithTimeout(c.ctx, c.timeout)
+	if snap := crophe.ExportScheduleMemo(); len(snap.Entries) > 0 {
+		_, _ = pick.client.PushMemoSnapshot(ctx, snap)
+	}
+	st, err := pick.client.StartSweep(ctx, SweepRequest{
+		HW: j.params.HW, Workload: j.params.Workload,
+		Seed: j.params.Seed, Steps: j.params.Steps, DeadlineMS: j.params.DeadlineMS,
+		ShardIndex: sh.index, ShardCount: len(c.workers),
+	})
+	cancel()
+	if err != nil {
+		if apiErr, ok := err.(*APIError); ok && apiErr.Status < 500 {
+			// The request itself is bad; every worker will refuse it.
+			j.fail(fmt.Sprintf("worker %s rejected shard %d: %v", pick.url, sh.index, err))
+			return
+		}
+		return // transient; the failure detector decides if pick is dead
+	}
+	pick.markOK()
+
+	j.mu.Lock()
+	sh.worker = pick
+	sh.jobID = st.ID
+	lease := leaseRecord{Shard: sh.index, Count: len(c.workers), Worker: pick.url, Epoch: sh.epoch}
+	j.mu.Unlock()
+	if err := appendLine(f, journalEntry{Lease: &lease}); err != nil {
+		j.fail(fmt.Sprintf("journaling shard lease: %v", err))
+	}
+}
+
+// pollShard pulls a leased shard's progress, merges fresh rungs
+// exactly-once into the journal, and reaps the lease if the worker has
+// been silent past the timeout. Returns true if the job reached a
+// terminal state.
+func (c *coordinator) pollShard(j *coordJob, f *os.File, sh *shardState) bool {
+	ctx, cancel := context.WithTimeout(c.ctx, c.timeout)
+	st, err := sh.worker.client.SweepStatus(ctx, sh.jobID, true)
+	cancel()
+	if err != nil {
+		if !sh.worker.healthyWithin(c.timeout) {
+			// The worker is gone (heartbeats and polls both silent past the
+			// timeout): forfeit the lease. The journaled rungs stay — the
+			// next assignee's rerun must agree with them bit-exactly.
+			j.mu.Lock()
+			sh.worker = nil
+			sh.jobID = ""
+			sh.epoch++
+			j.mu.Unlock()
+		}
+		return false
+	}
+	sh.worker.markOK()
+
+	if err := c.mergePoints(j, f, st.RawPoints); err != nil {
+		j.fail(err.Error())
+		return true
+	}
+
+	switch st.State {
+	case jobDone:
+		j.mu.Lock()
+		sh.done = shardComplete(sh, j.points)
+		incomplete := !sh.done
+		j.mu.Unlock()
+		if incomplete {
+			j.fail(fmt.Sprintf("shard %d reported done with rungs missing", sh.index))
+			return true
+		}
+		c.harvestMemo(sh.worker)
+	case jobFailed:
+		// Rung outcomes are deterministic, so a worker-side failure is not
+		// a worker fault to retry around — it is the sweep's failure.
+		j.fail(fmt.Sprintf("shard %d failed on %s: %s", sh.index, sh.worker.url, st.Error))
+		return true
+	}
+	return false
+}
+
+// mergePoints folds freshly reported rungs into the merged journal and
+// map: each new step is journaled (ascending, fsynced) exactly once;
+// an overlapping rung from a reassignment rerun must agree bit-exactly.
+func (c *coordinator) mergePoints(j *coordJob, f *os.File, pts []crophe.ResiliencePoint) error {
+	var fresh []crophe.ResiliencePoint
+	j.mu.Lock()
+	for _, pt := range pts {
+		if prev, ok := j.points[pt.Step]; ok {
+			if prev != pt {
+				j.mu.Unlock()
+				return fmt.Errorf("shard disagreement at step %d (seed %d): rung outcomes must be deterministic",
+					pt.Step, j.params.Seed)
+			}
+			continue
+		}
+		fresh = append(fresh, pt)
+	}
+	j.mu.Unlock()
+	if len(fresh) == 0 {
+		return nil
+	}
+	sort.Slice(fresh, func(a, b int) bool { return fresh[a].Step < fresh[b].Step })
+	for _, pt := range fresh {
+		pt := pt
+		if err := appendLine(f, journalEntry{Step: &pt.Step, Point: &pt}); err != nil {
+			return fmt.Errorf("checkpointing merged rung %d: %v", pt.Step, err)
+		}
+		j.mu.Lock()
+		j.points[pt.Step] = pt
+		j.completed = len(j.points)
+		j.mu.Unlock()
+	}
+	return nil
+}
+
+// harvestMemo pulls a finishing worker's schedule-memo snapshot into
+// this process, so the next lease ships it onward. Best-effort.
+func (c *coordinator) harvestMemo(h *workerHandle) {
+	ctx, cancel := context.WithTimeout(c.ctx, c.timeout)
+	defer cancel()
+	snap, err := h.client.MemoSnapshot(ctx)
+	if err != nil || snap == nil {
+		return
+	}
+	_, _ = crophe.ImportScheduleMemo(*snap)
+}
+
+// finalize verifies the merged rung set is complete, assembles the
+// report with the fault package's exact conventions, and writes the
+// terminator. Returns true (the job is terminal either way).
+func (c *coordinator) finalize(j *coordJob, f *os.File) bool {
+	eff := effectiveSteps(j.params.Steps)
+	j.mu.Lock()
+	points := make(map[int]crophe.ResiliencePoint, len(j.points))
+	for s, pt := range j.points {
+		points[s] = pt
+	}
+	j.mu.Unlock()
+	for s := 0; s < eff; s++ {
+		if _, ok := points[s]; !ok {
+			j.fail(fmt.Sprintf("merged sweep is missing step %d", s))
+			return true
+		}
+	}
+	if err := appendLine(f, journalEntry{Done: true}); err != nil {
+		j.fail(fmt.Sprintf("finalising checkpoint journal: %v", err))
+		return true
+	}
+	result := assembleSweep(j.params, points)
+	j.mu.Lock()
+	j.state = jobDone
+	j.result = result
+	j.mu.Unlock()
+	return true
+}
+
+// stop cancels orchestration (journals intact, jobs left resumable) and
+// returns a channel closed once every goroutine exited.
+func (c *coordinator) stop() <-chan struct{} {
+	c.cancel()
+	ch := make(chan struct{})
+	go func() {
+		c.wg.Wait()
+		close(ch)
+	}()
+	return ch
+}
+
+// kill cancels orchestration without waiting — the crash primitive.
+func (c *coordinator) kill() { c.cancel() }
+
+// counts reports running and finished distributed jobs.
+func (c *coordinator) counts() (running, finished int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, j := range c.jobs {
+		j.mu.Lock()
+		st := j.state
+		j.mu.Unlock()
+		if st == jobRunning {
+			running++
+		} else {
+			finished++
+		}
+	}
+	return running, finished
+}

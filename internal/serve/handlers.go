@@ -9,35 +9,10 @@ import (
 	"crophe/internal/workload"
 )
 
-// scheduleRequest is the body of POST /v1/schedule and POST /v1/simulate.
-type scheduleRequest struct {
-	HW         string `json:"hw"`
-	Workload   string `json:"workload"`
-	Dataflow   string `json:"dataflow,omitempty"`    // "crophe" (default) or "mad"
-	DeadlineMS int    `json:"deadline_ms,omitempty"` // anytime search budget; header wins
-	ChaosPanic bool   `json:"chaos_panic,omitempty"` // AllowChaos only: panic on purpose
-	Seed       int64  `json:"seed,omitempty"`        // replay seed stamped into chaos 500s
-}
-
-// scheduleResponse summarises a schedule (and optionally a simulation).
-type scheduleResponse struct {
-	Workload   string   `json:"workload"`
-	HW         string   `json:"hw"`
-	TimeMS     float64  `json:"time_ms"`
-	Partial    bool     `json:"partial"`
-	Cached     bool     `json:"cached,omitempty"`
-	DRAMBytes  float64  `json:"dram_bytes"`
-	SRAMBytes  float64  `json:"sram_bytes"`
-	NoCBytes   float64  `json:"noc_bytes"`
-	SimTimeMS  *float64 `json:"sim_time_ms,omitempty"`
-	SimCycles  *float64 `json:"sim_cycles,omitempty"`
-	SimEnergyJ *float64 `json:"sim_energy_j,omitempty"`
-}
-
 // resolve maps the request's symbolic fields onto a design point and a
 // workload, mirroring crophe-sim's conventions (hoisted rotations, NTT
 // decomposition under the CROPHE dataflow).
-func (req *scheduleRequest) resolve() (crophe.Design, *crophe.Workload, string, error) {
+func (req *ScheduleRequest) resolve() (crophe.Design, *crophe.Workload, string, error) {
 	hw, ok := crophe.LookupHW(req.HW)
 	if !ok {
 		return crophe.Design{}, nil, "", fmt.Errorf("unknown hw %q", req.HW)
@@ -63,7 +38,7 @@ func (req *scheduleRequest) resolve() (crophe.Design, *crophe.Workload, string, 
 
 // chaos honours an injected panic when the server allows it; the seed is
 // registered first so the 500 carries it.
-func (s *Server) chaos(r *http.Request, req *scheduleRequest) {
+func (s *Server) chaos(r *http.Request, req *ScheduleRequest) {
 	if s.cfg.AllowChaos && req.ChaosPanic {
 		registerSeed(r, req.Seed)
 		panic(fmt.Sprintf("chaos: injected request panic (seed %d)", req.Seed))
@@ -77,7 +52,7 @@ func (s *Server) chaos(r *http.Request, req *scheduleRequest) {
 // and an expiring request returns its best-so-far schedule with
 // "partial": true.
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
-	var req scheduleRequest
+	var req ScheduleRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.metrics.badInput.Add(1)
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -94,14 +69,16 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel, deadline := s.requestBudget(r, req.DeadlineMS)
 	defer cancel()
 
-	resp := scheduleResponse{Workload: wl.Name, HW: d.HW.Name}
+	resp := ScheduleResponse{Workload: wl.Name, HW: d.HW.Name}
 	if deadline <= 0 {
-		hitsBefore := crophe.ScheduleMemoStats().Hits
-		sched := crophe.MemoizedSchedule(d, wkey, func(m workload.RotMode, _ int) *crophe.Workload {
+		// The no-deadline path reads only summary fields, so it goes
+		// through both memo tiers: the single-flight LRU and the warm
+		// summaries a coordinator shipped to this process.
+		sum, src := crophe.MemoizedScheduleSummary(d, wkey, func(m workload.RotMode, _ int) *crophe.Workload {
 			return wl
 		})
-		resp.fillSchedule(sched)
-		resp.Cached = crophe.ScheduleMemoStats().Hits > hitsBefore
+		resp.fillSummary(sum)
+		resp.Cached = src.Cached()
 	} else {
 		sched, err := crophe.ScheduleWorkload(ctx, d, wl, deadline)
 		if err != nil {
@@ -116,7 +93,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (resp *scheduleResponse) fillSchedule(sched *crophe.Schedule) {
+func (resp *ScheduleResponse) fillSchedule(sched *crophe.Schedule) {
 	resp.TimeMS = sched.TimeSec * 1e3
 	resp.Partial = sched.Partial
 	resp.DRAMBytes = sched.Traffic.DRAM
@@ -124,11 +101,19 @@ func (resp *scheduleResponse) fillSchedule(sched *crophe.Schedule) {
 	resp.NoCBytes = sched.Traffic.NoC
 }
 
+func (resp *ScheduleResponse) fillSummary(sum crophe.ScheduleSummary) {
+	resp.TimeMS = sum.TimeSec * 1e3
+	resp.Partial = sum.Partial
+	resp.DRAMBytes = sum.Traffic.DRAM
+	resp.SRAMBytes = sum.Traffic.SRAM
+	resp.NoCBytes = sum.Traffic.NoC
+}
+
 // handleSimulate schedules and then runs the cycle-level simulator,
 // accumulating the run's model counters into the server's telemetry
 // collector (surfaced at /debug/vars).
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	var req scheduleRequest
+	var req ScheduleRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.metrics.badInput.Add(1)
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -150,7 +135,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "simulate: %v", err)
 		return
 	}
-	resp := scheduleResponse{Workload: wl.Name, HW: d.HW.Name}
+	resp := ScheduleResponse{Workload: wl.Name, HW: d.HW.Name}
 	resp.fillSchedule(sched)
 	simMS := res.TimeSec * 1e3
 	resp.SimTimeMS = &simMS
@@ -162,33 +147,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// degradedRequest is the body of POST /v1/simulate-degraded.
-type degradedRequest struct {
-	HW         string `json:"hw"`
-	Workload   string `json:"workload"`
-	Faults     string `json:"faults"` // fault.Spec grammar
-	Seed       int64  `json:"seed"`
-	DeadlineMS int    `json:"deadline_ms,omitempty"`
-	ChaosPanic bool   `json:"chaos_panic,omitempty"`
-}
-
-// degradedResponse reports a degraded run plus throughput retained.
-type degradedResponse struct {
-	Workload   string  `json:"workload"`
-	HW         string  `json:"hw"`
-	Faults     string  `json:"faults"`
-	Seed       int64   `json:"seed"`
-	FaultCount int     `json:"fault_count"`
-	TimeMS     float64 `json:"time_ms"`
-	Cycles     float64 `json:"cycles"`
-	Partial    bool    `json:"partial"`
-}
-
 // handleSimulateDegraded degrades the chip under a seeded fault plan and
 // simulates. The seed is registered before the degraded stack runs, so
 // an invariant violation escaping it becomes a 500 carrying the seed.
 func (s *Server) handleSimulateDegraded(w http.ResponseWriter, r *http.Request) {
-	var req degradedRequest
+	var req DegradedRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.metrics.badInput.Add(1)
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -234,7 +197,7 @@ func (s *Server) handleSimulateDegraded(w http.ResponseWriter, r *http.Request) 
 	if sched.Partial {
 		s.metrics.partials.Add(1)
 	}
-	writeJSON(w, http.StatusOK, degradedResponse{
+	writeJSON(w, http.StatusOK, DegradedResponse{
 		Workload: wl.Name, HW: hw.Name,
 		Faults: spec.String(), Seed: req.Seed, FaultCount: m.Plan.FaultCount(),
 		TimeMS: res.TimeSec * 1e3, Cycles: res.Cycles, Partial: sched.Partial,

@@ -28,12 +28,43 @@ type job struct {
 	completed int // rungs finished (journaled when persistence is on)
 	errText   string
 	result    *crophe.ResilienceSweep
+	// points accumulates journaled rungs while the job runs, so status
+	// polls (the coordinator's merge feed) see progress before the job
+	// finishes. Spliced-in resumed rungs are seeded at launch; fresh
+	// rungs append from the observe hook.
+	points []crophe.ResiliencePoint
 }
 
 func (j *job) snapshot() (state string, completed int, errText string, result *crophe.ResilienceSweep) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.state, j.completed, j.errText, j.result
+}
+
+// rawPoints returns a copy of every rung journaled so far, sorted by
+// step. For a finished job this is exactly the result's point set; while
+// running it is the live progress feed the coordinator merges from.
+func (j *job) rawPoints() []crophe.ResiliencePoint {
+	j.mu.Lock()
+	out := append([]crophe.ResiliencePoint(nil), j.points...)
+	j.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].Step < out[b].Step })
+	return out
+}
+
+// seedPoints installs already-journaled rungs (recovery) into the live
+// point feed.
+func (j *job) seedPoints(points map[int]crophe.ResiliencePoint) {
+	steps := make([]int, 0, len(points))
+	for s := range points {
+		steps = append(steps, s)
+	}
+	sort.Ints(steps)
+	j.mu.Lock()
+	for _, s := range steps {
+		j.points = append(j.points, points[s])
+	}
+	j.mu.Unlock()
 }
 
 // jobManager owns the sweep jobs: dedup by deterministic ID, crash
@@ -85,6 +116,7 @@ func (m *jobManager) recover() error {
 			continue
 		}
 		j := &job{params: params, completed: len(points)}
+		j.seedPoints(points)
 		if done {
 			j.state = jobDone
 			j.result = assembleSweep(params, points)
@@ -176,12 +208,17 @@ func (m *jobManager) run(j *job, doneRungs map[int]crophe.ResiliencePoint, keep 
 		}
 		j.mu.Lock()
 		j.completed++
+		j.points = append(j.points, pt)
 		j.mu.Unlock()
 	}
 
 	deadline := time.Duration(j.params.DeadlineMS) * time.Millisecond
-	sw, err := crophe.ResumeResilienceSweep(m.ctx, hw, wl, j.params.Seed,
-		j.params.Steps, deadline, doneRungs, observe)
+	opts := []crophe.SweepOption{crophe.SweepWithResume(doneRungs), crophe.SweepWithJournal(observe)}
+	if j.params.ShardCount > 0 {
+		opts = append(opts, crophe.SweepWithShard(j.params.ShardIndex, j.params.ShardCount))
+	}
+	sw, err := crophe.RunResilienceSweepWith(m.ctx, hw, wl, j.params.Seed,
+		j.params.Steps, deadline, opts...)
 	switch {
 	case err != nil && m.ctx.Err() != nil:
 		// Drain interrupted the sweep between rungs. The journal holds
@@ -240,9 +277,16 @@ func (m *jobManager) stop() <-chan struct{} {
 }
 
 // assembleSweep rebuilds a finished sweep result from its journaled
-// rungs, for jobs recovered as already done.
+// rungs, for jobs recovered as already done — matching the fault
+// package's conventions exactly (canonical hardware name, baseline only
+// from a healthy rung 0), so an assembled result renders byte-identical
+// to a freshly run one.
 func assembleSweep(params sweepParams, points map[int]crophe.ResiliencePoint) *crophe.ResilienceSweep {
-	sw := &crophe.ResilienceSweep{HW: params.HW, Seed: params.Seed}
+	name := params.HW
+	if hw, ok := crophe.LookupHW(params.HW); ok {
+		name = hw.Name
+	}
+	sw := &crophe.ResilienceSweep{HW: name, Seed: params.Seed}
 	steps := make([]int, 0, len(points))
 	for s := range points {
 		steps = append(steps, s)
@@ -251,7 +295,7 @@ func assembleSweep(params sweepParams, points map[int]crophe.ResiliencePoint) *c
 	for _, s := range steps {
 		sw.Points = append(sw.Points, points[s])
 	}
-	if len(sw.Points) > 0 {
+	if len(sw.Points) > 0 && sw.Points[0].Step == 0 && sw.Points[0].Err == "" {
 		sw.Baseline = sw.Points[0].Outcome.TimeSec
 	}
 	return sw

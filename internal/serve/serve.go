@@ -38,6 +38,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"sync"
@@ -74,7 +75,36 @@ type Config struct {
 	// handler panic on purpose — the chaos-acceptance hook. Never enable
 	// outside tests and smoke drills.
 	AllowChaos bool
+	// Role selects the instance's cluster role: "single" (default; also
+	// what a worker runs — a worker is just a single instance a
+	// coordinator happens to talk to) or "coordinator", which shards
+	// sweep jobs across WorkerURLs instead of running rungs itself.
+	Role string
+	// WorkerURLs lists the worker base URLs ("host:port" or http:// URLs)
+	// a coordinator shards sweeps across. Required for Role
+	// "coordinator"; ignored otherwise.
+	WorkerURLs []string
+	// HeartbeatInterval is how often a coordinator probes each worker's
+	// /readyz. Default 500ms.
+	HeartbeatInterval time.Duration
+	// WorkerTimeout is how long a worker may stay silent (no successful
+	// heartbeat or poll) before it forfeits its shard leases and the
+	// coordinator reassigns them. Default 5s.
+	WorkerTimeout time.Duration
+	// PollInterval is the coordinator's shard-progress poll period.
+	// Default 100ms.
+	PollInterval time.Duration
+	// RetryJitterSeed seeds the deterministic jitter added to 429
+	// Retry-After hints, decorrelating the retry stampede of clients shed
+	// in the same instant. Default 1; same seed, same jitter sequence.
+	RetryJitterSeed int64
 }
+
+// Cluster roles.
+const (
+	RoleSingle      = "single"
+	RoleCoordinator = "coordinator"
+)
 
 func (c Config) withDefaults() Config {
 	if c.Addr == "" {
@@ -92,6 +122,21 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 15 * time.Second
 	}
+	if c.Role == "" {
+		c.Role = RoleSingle
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if c.WorkerTimeout <= 0 {
+		c.WorkerTimeout = 5 * time.Second
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 100 * time.Millisecond
+	}
+	if c.RetryJitterSeed == 0 {
+		c.RetryJitterSeed = 1
+	}
 	return c
 }
 
@@ -102,6 +147,12 @@ type Server struct {
 	metrics metrics
 	tel     *telemetry.Collector
 	jobs    *jobManager
+	coord   *coordinator // non-nil only for Role "coordinator"
+
+	// jitterRand drives the deterministic Retry-After jitter; guarded by
+	// jitterMu because rand.Rand is not concurrency-safe.
+	jitterMu   sync.Mutex
+	jitterRand *rand.Rand
 
 	// Admission state: waiting counts requests between arrival and slot
 	// acquisition; shedding latches once the wait queue fills and clears
@@ -120,21 +171,31 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		queue: parallel.NewSharedQueue(cfg.Workers),
-		tel:   telemetry.New(),
+		cfg:        cfg,
+		queue:      parallel.NewSharedQueue(cfg.Workers),
+		tel:        telemetry.New(),
+		jitterRand: rand.New(rand.NewSource(cfg.RetryJitterSeed)),
 	}
 	s.jobs = newJobManager(cfg.CheckpointDir)
+	if cfg.Role == RoleCoordinator {
+		s.coord = newCoordinator(cfg.CheckpointDir, cfg.WorkerURLs,
+			cfg.HeartbeatInterval, cfg.WorkerTimeout, cfg.PollInterval)
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	mux.Handle("POST /v1/schedule", s.pipeline(s.handleSchedule))
 	mux.Handle("POST /v1/simulate", s.pipeline(s.handleSimulate))
 	mux.Handle("POST /v1/simulate-degraded", s.pipeline(s.handleSimulateDegraded))
 	mux.Handle("POST /v1/sweeps", s.pipeline(s.handleStartSweep))
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetSweep)
+	// The memo-snapshot pair is cluster plumbing, deliberately outside
+	// the admission pipeline (see worker.go).
+	mux.HandleFunc("GET /v1/memo/snapshot", s.handleMemoExport)
+	mux.HandleFunc("POST /v1/memo/snapshot", s.handleMemoImport)
 
 	s.httpSrv = &http.Server{Handler: mux}
 	return s
@@ -153,7 +214,15 @@ func (s *Server) pipeline(h http.HandlerFunc) http.Handler {
 // before the listener opens, so /v1/sweeps/{id} is consistent from the
 // first request.
 func (s *Server) Start() error {
-	if err := s.jobs.recover(); err != nil {
+	if s.coord != nil {
+		if len(s.cfg.WorkerURLs) == 0 {
+			return fmt.Errorf("serve: coordinator role requires at least one worker URL")
+		}
+		s.coord.startHeartbeats()
+		if err := s.coord.recover(); err != nil {
+			return fmt.Errorf("serve: recovering checkpointed sweeps: %w", err)
+		}
+	} else if err := s.jobs.recover(); err != nil {
 		return fmt.Errorf("serve: recovering checkpointed sweeps: %w", err)
 	}
 	ln, err := net.Listen("tcp", s.cfg.Addr)
@@ -198,14 +267,28 @@ func (s *Server) Shutdown() error {
 	// Stop sweep jobs first: their journals make interruption safe, and
 	// the rung in flight checks for cancellation between rungs only, so
 	// it either completes (journaled) or the process exits at the drain
-	// deadline with the journal intact.
+	// deadline with the journal intact. A coordinator's orchestration
+	// loops stop the same way: leases lapse, journals stay resumable.
 	jobsDone := s.jobs.stop()
+	var coordDone <-chan struct{}
+	if s.coord != nil {
+		coordDone = s.coord.stop()
+	}
 	err := s.httpSrv.Shutdown(ctx)
 	select {
 	case <-jobsDone:
 	case <-ctx.Done():
 		if err == nil {
 			err = fmt.Errorf("serve: sweep jobs still draining at the deadline: %w", ctx.Err())
+		}
+	}
+	if coordDone != nil {
+		select {
+		case <-coordDone:
+		case <-ctx.Done():
+			if err == nil {
+				err = fmt.Errorf("serve: coordinator still draining at the deadline: %w", ctx.Err())
+			}
 		}
 	}
 	return err

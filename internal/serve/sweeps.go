@@ -6,46 +6,12 @@ import (
 	"crophe"
 )
 
-// sweepRequest is the body of POST /v1/sweeps.
-type sweepRequest struct {
-	HW         string `json:"hw"`
-	Workload   string `json:"workload"`
-	Seed       int64  `json:"seed"`
-	Steps      int    `json:"steps"`
-	DeadlineMS int    `json:"deadline_ms,omitempty"` // per-rung anytime budget
-}
-
-// sweepPointJSON is one journaled rung rendered for clients.
-type sweepPointJSON struct {
-	Step       int     `json:"step"`
-	FracFailed float64 `json:"frac_failed"`
-	FaultCount int     `json:"fault_count"`
-	TimeMS     float64 `json:"time_ms"`
-	Retained   float64 `json:"retained"`
-	Partial    bool    `json:"partial"`
-	Err        string  `json:"error,omitempty"`
-}
-
-// sweepStatus is the GET /v1/sweeps/{id} response (and the POST
-// response, minus points while running).
-type sweepStatus struct {
-	ID         string           `json:"id"`
-	State      string           `json:"state"`
-	HW         string           `json:"hw"`
-	Workload   string           `json:"workload"`
-	Seed       int64            `json:"seed"`
-	Steps      int              `json:"steps"`
-	DeadlineMS int              `json:"deadline_ms,omitempty"`
-	Completed  int              `json:"completed_steps"`
-	Created    *bool            `json:"created,omitempty"` // POST only
-	Error      string           `json:"error,omitempty"`
-	BaselineMS float64          `json:"baseline_ms,omitempty"`
-	Points     []sweepPointJSON `json:"points,omitempty"`
-}
-
-func statusOf(j *job) sweepStatus {
+// statusOf renders a job for clients. raw additionally attaches the
+// exact journaled points (the coordinator's merge feed — exact where
+// the TimeMS display conversion is lossy).
+func statusOf(j *job, raw bool) SweepStatus {
 	state, completed, errText, result := j.snapshot()
-	st := sweepStatus{
+	st := SweepStatus{
 		ID:         j.params.ID,
 		State:      state,
 		HW:         j.params.HW,
@@ -53,13 +19,15 @@ func statusOf(j *job) sweepStatus {
 		Seed:       j.params.Seed,
 		Steps:      j.params.Steps,
 		DeadlineMS: j.params.DeadlineMS,
+		ShardIndex: j.params.ShardIndex,
+		ShardCount: j.params.ShardCount,
 		Completed:  completed,
 		Error:      errText,
 	}
 	if result != nil {
 		st.BaselineMS = result.Baseline * 1e3
 		for _, pt := range result.Points {
-			st.Points = append(st.Points, sweepPointJSON{
+			st.Points = append(st.Points, SweepPointSummary{
 				Step:       pt.Step,
 				FracFailed: pt.FracFailed,
 				FaultCount: pt.FaultCount,
@@ -70,6 +38,9 @@ func statusOf(j *job) sweepStatus {
 			})
 		}
 	}
+	if raw {
+		st.RawPoints = j.rawPoints()
+	}
 	return st
 }
 
@@ -78,20 +49,22 @@ func statusOf(j *job) sweepStatus {
 // a client timeout, a load balancer replay — lands on the same job
 // instead of burning a second sweep. The job itself runs asynchronously
 // under the manager's lifetime, not the request's: the response is 202
-// with the ID to poll.
+// with the ID to poll. On a coordinator the job is a distributed one —
+// rungs shard across the configured workers — but the request and
+// response shapes are identical.
 func (s *Server) handleStartSweep(w http.ResponseWriter, r *http.Request) {
-	var req sweepRequest
+	var req SweepRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.metrics.badInput.Add(1)
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if _, ok := crophe.LookupHW(req.HW); !ok {
+	hw, ok := crophe.LookupHW(req.HW)
+	if !ok {
 		s.metrics.badInput.Add(1)
 		writeError(w, http.StatusBadRequest, "unknown hw %q", req.HW)
 		return
 	}
-	hw, _ := crophe.LookupHW(req.HW)
 	p := crophe.DefaultParamsFor(hw)
 	if _, ok := crophe.LookupWorkload(req.Workload, p, crophe.RotHoisted); !ok {
 		s.metrics.badInput.Add(1)
@@ -103,32 +76,72 @@ func (s *Server) handleStartSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "steps must be in [1, 256], got %d", req.Steps)
 		return
 	}
+	if req.ShardCount < 0 || req.ShardCount > req.Steps {
+		s.metrics.badInput.Add(1)
+		writeError(w, http.StatusBadRequest, "shard_count must be in [0, steps], got %d", req.ShardCount)
+		return
+	}
+	if req.ShardCount > 0 && (req.ShardIndex < 0 || req.ShardIndex >= req.ShardCount) {
+		s.metrics.badInput.Add(1)
+		writeError(w, http.StatusBadRequest, "shard_index must be in [0, %d), got %d", req.ShardCount, req.ShardIndex)
+		return
+	}
 
 	params := sweepParams{
 		V: 1, HW: req.HW, Workload: req.Workload,
 		Seed: req.Seed, Steps: req.Steps, DeadlineMS: req.DeadlineMS,
+		ShardIndex: req.ShardIndex, ShardCount: req.ShardCount,
 	}
 	params.ID = sweepID(params)
+
+	if s.coord != nil {
+		if req.ShardCount > 0 {
+			s.metrics.badInput.Add(1)
+			writeError(w, http.StatusBadRequest, "a coordinator shards sweeps itself; shard_count must be 0")
+			return
+		}
+		cj, created, err := s.coord.start(params)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		st := cj.status(false)
+		st.Created = &created
+		writeJSON(w, http.StatusAccepted, st)
+		return
+	}
+
 	j, created, err := s.jobs.start(params)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	st := statusOf(j)
+	st := statusOf(j, false)
 	st.Created = &created
 	writeJSON(w, http.StatusAccepted, st)
 }
 
 // handleGetSweep reports a sweep job: its state, how many rungs have
 // been checkpointed, and — once done — the full retained-throughput
-// curve. Deliberately outside the admission pipeline: polling a job must
-// stay cheap and must work while the server sheds compute load.
+// curve (plus the exact raw points when ?raw=1, even mid-run).
+// Deliberately outside the admission pipeline: polling a job must stay
+// cheap and must work while the server sheds compute load.
 func (s *Server) handleGetSweep(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	raw := r.URL.Query().Get("raw") == "1"
+	if s.coord != nil {
+		cj, ok := s.coord.get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "no sweep job %q", id)
+			return
+		}
+		writeJSON(w, http.StatusOK, cj.status(raw))
+		return
+	}
 	j, ok := s.jobs.get(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no sweep job %q", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, statusOf(j))
+	writeJSON(w, http.StatusOK, statusOf(j, raw))
 }

@@ -2,7 +2,9 @@ package serve
 
 import (
 	"net/http"
+	"sort"
 	"sync/atomic"
+	"time"
 
 	"crophe"
 )
@@ -26,11 +28,18 @@ type metrics struct {
 func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	memo := crophe.ScheduleMemoStats()
 	running, done := s.jobs.counts()
+	if s.coord != nil {
+		cr, cd := s.coord.counts()
+		running += cr
+		done += cd
+	}
 	out := map[string]any{
+		"role": s.cfg.Role,
 		"admission": map[string]any{
 			"workers":     s.queue.Cap(),
 			"in_use":      s.queue.InUse(),
 			"queue_depth": s.cfg.QueueDepth,
+			"queue_len":   s.waiting.Load(),
 			"waiting":     s.waiting.Load(),
 			"shedding":    s.shedding.Load(),
 		},
@@ -44,12 +53,14 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 			"queue_waits": s.metrics.queueWait.Load(),
 		},
 		"schedule_memo": map[string]any{
-			"hits":      memo.Hits,
-			"misses":    memo.Misses,
-			"evictions": memo.Evictions,
-			"size":      memo.Size,
-			"capacity":  memo.Capacity,
-			"hit_rate":  memo.HitRate(),
+			"hits":         memo.Hits,
+			"misses":       memo.Misses,
+			"evictions":    memo.Evictions,
+			"size":         memo.Size,
+			"capacity":     memo.Capacity,
+			"hit_rate":     memo.HitRate(),
+			"warm_hits":    memo.WarmHits,
+			"warm_entries": memo.WarmEntries,
 		},
 		"sweeps": map[string]any{
 			"running": running,
@@ -57,5 +68,75 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 		},
 		"telemetry": s.tel.CounterMap(),
 	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleCluster reports the cluster topology: the instance's role, and —
+// on a coordinator — per-worker liveness and per-job shard lease state.
+// This is the observability window the cluster smoke drill asserts
+// against.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	out := map[string]any{"role": s.cfg.Role}
+	if s.coord == nil {
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+
+	var workers []map[string]any
+	for _, h := range s.coord.workers {
+		lastOK, seen := h.lastOKTime()
+		wv := map[string]any{
+			"url":     h.url,
+			"healthy": h.healthyWithin(s.coord.timeout),
+		}
+		if seen {
+			wv["last_ok_age_ms"] = time.Since(lastOK).Milliseconds()
+		}
+		workers = append(workers, wv)
+	}
+	out["workers"] = workers
+
+	s.coord.mu.Lock()
+	ids := make([]string, 0, len(s.coord.jobs))
+	for id := range s.coord.jobs {
+		ids = append(ids, id)
+	}
+	jobsByID := make(map[string]*coordJob, len(s.coord.jobs))
+	for id, j := range s.coord.jobs {
+		jobsByID[id] = j
+	}
+	s.coord.mu.Unlock()
+	sort.Strings(ids)
+
+	var jobs []map[string]any
+	for _, id := range ids {
+		j := jobsByID[id]
+		j.mu.Lock()
+		jv := map[string]any{
+			"id":        j.params.ID,
+			"state":     j.state,
+			"steps":     j.params.Steps,
+			"completed": j.completed,
+		}
+		var shards []map[string]any
+		for _, sh := range j.shards {
+			sv := map[string]any{
+				"shard": sh.index,
+				"steps": len(sh.steps),
+				"epoch": sh.epoch,
+				"done":  sh.done,
+			}
+			if sh.worker != nil {
+				sv["worker"] = sh.worker.url
+			}
+			shards = append(shards, sv)
+		}
+		if shards != nil {
+			jv["shards"] = shards
+		}
+		j.mu.Unlock()
+		jobs = append(jobs, jv)
+	}
+	out["jobs"] = jobs
 	writeJSON(w, http.StatusOK, out)
 }

@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"net/http"
+
+	"crophe"
+)
+
+// Worker-facing endpoints of the cluster protocol. A worker is an
+// ordinary crophe-serve instance — same API, same middleware — plus the
+// memo-snapshot pair below, which the coordinator uses to ship schedule
+// warm-start state into newly joined (or restarted) workers and to
+// harvest what a worker learned when its shard finishes. Both live
+// outside the admission pipeline: snapshot traffic is cluster plumbing
+// and must work while the instance sheds compute load.
+
+// handleMemoExport serialises this process's schedule memo
+// (GET /v1/memo/snapshot): full-tier entries as summaries plus the
+// not-yet-promoted warm tier, deterministically ordered.
+func (s *Server) handleMemoExport(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, crophe.ExportScheduleMemo())
+}
+
+// handleMemoImport installs a snapshot into this process's warm memo
+// tier (POST /v1/memo/snapshot). Entries never shadow fully evaluated
+// schedules; an unknown snapshot version is a 422, not a crash.
+func (s *Server) handleMemoImport(w http.ResponseWriter, r *http.Request) {
+	var snap crophe.MemoSnapshot
+	if err := decodeJSON(r, &snap); err != nil {
+		s.metrics.badInput.Add(1)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	n, err := crophe.ImportScheduleMemo(snap)
+	if err != nil {
+		s.metrics.badInput.Add(1)
+		writeError(w, http.StatusUnprocessableEntity, "memo import: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, MemoImportResponse{
+		Imported:    n,
+		WarmEntries: crophe.ScheduleMemoStats().WarmEntries,
+	})
+}
+
+// Kill terminates the server abruptly — no drain, no readiness flip
+// grace, in-flight requests cut mid-connection and sweep rungs abandoned
+// wherever they are (their journals hold every completed rung, so a
+// restarted process resumes exactly). This is the chaos-testing crash
+// primitive; production shutdown is Shutdown.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	if s.coord != nil {
+		s.coord.kill()
+	}
+	s.jobs.cancel()
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	s.httpSrv.Close()
+}

@@ -90,40 +90,82 @@ func SimulateDegraded(ctx context.Context, m *FaultMachine, w *Workload, opts ..
 	return sim.SimulateDegraded(ctx, m, sched.DefaultOptions(sched.DataflowCROPHE), w, opts...)
 }
 
-// RunResilienceSweep degrades hw over steps escalating fault rungs
-// (seeded, bit-deterministic) and reports throughput retained at each
-// rung. deadline bounds each rung's schedule search via the anytime
-// budget; 0 leaves the search unbounded. Panics escaping a rung are
-// recovered into the rung's error, tagged with the seed.
-func RunResilienceSweep(ctx context.Context, hw *HWConfig, w *Workload, seed int64, steps int, deadline time.Duration) (sw *ResilienceSweep, err error) {
-	defer recoverFaultPanic(seed, &err)
-	opt := sched.DefaultOptions(sched.DataflowCROPHE)
-	if deadline > 0 {
-		opt.SearchBudget = sched.BudgetForDeadline(deadline)
-	}
-	return fault.Sweep(hw, seed, steps, sim.DegradedRunner(ctx, opt, w))
-}
+// SweepOption configures RunResilienceSweepWith; build them with the
+// SweepWith* constructors below (aliased from internal/fault).
+type SweepOption = fault.SweepOption
 
-// ResumeResilienceSweep is the crash-safe, sequential form of
-// RunResilienceSweep behind the serving layer's sweep jobs: rungs run one
-// at a time in step order, each completed rung is handed to observe
-// before the next begins (the checkpoint-journaling hook), and rungs
-// listed in done are spliced in verbatim instead of re-running.
+// SweepWithJournal hands each freshly computed rung to observe before
+// the next begins — the serving layer's checkpoint-journaling hook.
+func SweepWithJournal(observe func(ResiliencePoint)) SweepOption { return fault.WithJournal(observe) }
+
+// SweepWithResume splices previously journaled rungs (keyed by step)
+// into the result instead of re-running them.
+func SweepWithResume(done map[int]ResiliencePoint) SweepOption { return fault.WithResume(done) }
+
+// SweepWithShard restricts the sweep to shard index of count: only rungs
+// whose step satisfies step % count == index run. Shards reassemble with
+// MergeResilienceShards into a result byte-identical to an unsharded run.
+func SweepWithShard(index, count int) SweepOption { return fault.WithShard(index, count) }
+
+// SweepParallel runs rungs concurrently (batch/CLI use); incompatible
+// with SweepWithJournal.
+func SweepParallel() SweepOption { return fault.WithParallel() }
+
+// RunResilienceSweepWith is the single option-based resilience-sweep
+// entry point: it degrades hw over steps escalating fault rungs (seeded,
+// bit-deterministic) and reports throughput retained at each rung, with
+// options selecting journaling, resume, sharding and parallel execution
+// (see internal/fault.RunSweep for the mode contract).
 //
-// ctx is consulted only *between* rungs, and each rung schedules under an
-// uncancellable context (the deadline budget alone bounds its search), so
-// every completed rung is deterministic per (hw, seed, step, deadline
-// bucket): a sweep interrupted by cancellation or a crash and resumed
-// from its journaled points produces remaining rungs byte-identical to an
-// uninterrupted run. On cancellation the error wraps ctx.Err() and
-// carries the seed.
-func ResumeResilienceSweep(ctx context.Context, hw *HWConfig, w *Workload, seed int64, steps int, deadline time.Duration,
-	done map[int]ResiliencePoint, observe func(ResiliencePoint)) (sw *ResilienceSweep, err error) {
+// deadline bounds each rung's schedule search via the deterministic
+// anytime budget; 0 leaves the search unbounded. Each rung schedules
+// under an uncancellable context — ctx is consulted only between rungs
+// (or once, before a parallel launch) — so every completed rung is
+// deterministic per (hw, seed, step, steps, deadline bucket): sweeps
+// interrupted and resumed, or sharded across processes and merged,
+// produce reports byte-identical to one uninterrupted single-process
+// run. Panics escaping a rung are recovered into an error tagged with
+// the seed.
+func RunResilienceSweepWith(ctx context.Context, hw *HWConfig, w *Workload, seed int64, steps int, deadline time.Duration,
+	opts ...SweepOption) (sw *ResilienceSweep, err error) {
 	defer recoverFaultPanic(seed, &err)
 	opt := sched.DefaultOptions(sched.DataflowCROPHE)
 	if deadline > 0 {
 		opt.SearchBudget = sched.BudgetForDeadline(deadline)
 	}
 	runner := sim.DegradedRunner(context.Background(), opt, w)
-	return fault.ResumeSweep(ctx, hw, seed, steps, runner, done, observe)
+	return fault.RunSweep(ctx, hw, seed, steps, runner, opts...)
+}
+
+// MergeResilienceShards reassembles shard results produced with
+// SweepWithShard over the same (hw, seed, steps, deadline) into the full
+// sweep, byte-identical to an unsharded run. Overlapping rungs (rerun
+// after a shard reassignment) must agree exactly; a missing step is an
+// error.
+func MergeResilienceShards(steps int, shards ...*ResilienceSweep) (*ResilienceSweep, error) {
+	return fault.MergeShards(steps, shards...)
+}
+
+// RunResilienceSweep runs a full sweep with rungs in parallel, the
+// runner bounded by ctx.
+//
+// Deprecated: use RunResilienceSweepWith (with SweepParallel for the
+// concurrent-rungs behaviour this wrapper preserves).
+func RunResilienceSweep(ctx context.Context, hw *HWConfig, w *Workload, seed int64, steps int, deadline time.Duration) (sw *ResilienceSweep, err error) {
+	defer recoverFaultPanic(seed, &err)
+	opt := sched.DefaultOptions(sched.DataflowCROPHE)
+	if deadline > 0 {
+		opt.SearchBudget = sched.BudgetForDeadline(deadline)
+	}
+	return fault.RunSweep(ctx, hw, seed, steps, sim.DegradedRunner(ctx, opt, w), fault.WithParallel())
+}
+
+// ResumeResilienceSweep is the crash-safe, sequential sweep form.
+//
+// Deprecated: use RunResilienceSweepWith with SweepWithResume and
+// SweepWithJournal; this wrapper preserves the old signature.
+func ResumeResilienceSweep(ctx context.Context, hw *HWConfig, w *Workload, seed int64, steps int, deadline time.Duration,
+	done map[int]ResiliencePoint, observe func(ResiliencePoint)) (*ResilienceSweep, error) {
+	return RunResilienceSweepWith(ctx, hw, w, seed, steps, deadline,
+		SweepWithResume(done), SweepWithJournal(observe))
 }

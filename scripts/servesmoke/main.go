@@ -2,8 +2,9 @@
 // crophe-serve binary end to end — health, scheduling, the memo path,
 // deadline-expiry partials, degraded simulation, chaos panic isolation,
 // a checkpointed sweep job, SIGTERM drain, and checkpoint recovery
-// across a restart. It is a plain Go program (no curl, no shell) so
-// `make serve-smoke` and CI run the identical drill.
+// across a restart. It is a plain Go program (no curl, no shell) built
+// on the typed serve.Client, so `make serve-smoke` and CI run the
+// identical drill through the same client production callers use.
 //
 // Usage:
 //
@@ -15,7 +16,9 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -25,12 +28,16 @@ import (
 	"strings"
 	"syscall"
 	"time"
+
+	"crophe/internal/serve"
 )
 
-// server wraps one child crophe-serve process.
+// server wraps one child crophe-serve process and the typed client
+// pointed at it.
 type server struct {
-	cmd  *exec.Cmd
-	addr string
+	cmd    *exec.Cmd
+	addr   string
+	client *serve.Client
 }
 
 // cleanup kills any still-running child on failure paths; registered
@@ -50,11 +57,12 @@ func fatalf(format string, a ...any) {
 
 // start launches the binary and parses the listen address off its
 // "crophe-serve: listening on ..." startup line.
-func start(bin, checkpointDir string, chaos bool) *server {
+func start(bin, checkpointDir string, chaos bool, extraArgs ...string) *server {
 	args := []string{"-addr", "127.0.0.1:0", "-checkpoint-dir", checkpointDir, "-queue-wait", "5s"}
 	if chaos {
 		args = append(args, "-chaos")
 	}
+	args = append(args, extraArgs...)
 	cmd := exec.Command(bin, args...)
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
@@ -83,6 +91,7 @@ func start(bin, checkpointDir string, chaos bool) *server {
 		for lines.Scan() {
 		}
 	}()
+	s.client = serve.NewClient(s.addr)
 	return s
 }
 
@@ -103,32 +112,40 @@ func (s *server) drain() {
 	}
 }
 
-// call performs one JSON round trip and decodes the body.
-func (s *server) call(method, path string, body any) (int, map[string]any) {
-	var rd *bytes.Reader
-	if body != nil {
-		b, err := json.Marshal(body)
-		if err != nil {
-			fatalf("marshal %s body: %v", path, err)
-		}
-		rd = bytes.NewReader(b)
-	} else {
-		rd = bytes.NewReader(nil)
-	}
-	req, err := http.NewRequest(method, "http://"+s.addr+path, rd)
+// getJSON fetches a path that has no typed client method (the debug
+// endpoints) and decodes the body.
+func (s *server) getJSON(path string) (int, map[string]any) {
+	resp, err := http.Get("http://" + s.addr + path)
 	if err != nil {
-		fatalf("%s %s: %v", method, path, err)
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		fatalf("%s %s: %v", method, path, err)
+		fatalf("GET %s: %v", path, err)
 	}
 	defer resp.Body.Close()
 	var out map[string]any
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		fatalf("%s %s: decoding %d response: %v", method, path, resp.StatusCode, err)
+		fatalf("GET %s: decoding %d response: %v", path, resp.StatusCode, err)
 	}
 	return resp.StatusCode, out
+}
+
+// waitDone polls a sweep job through the client until it finishes.
+func (s *server) waitDone(id string, timeout time.Duration) *serve.SweepStatus {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := s.client.SweepStatus(context.Background(), id, false)
+		if err != nil {
+			fatalf("sweep poll: %v", err)
+		}
+		switch st.State {
+		case "done":
+			return st
+		case "failed":
+			fatalf("sweep failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			fatalf("sweep did not finish: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 func step(format string, a ...any) { fmt.Printf("servesmoke: "+format+"\n", a...) }
@@ -141,6 +158,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	ctx := context.Background()
 	checkpoints, err := os.MkdirTemp("", "servesmoke-*")
 	if err != nil {
 		fatalf("temp dir: %v", err)
@@ -150,99 +168,85 @@ func main() {
 	s := start(*bin, checkpoints, true)
 	step("server up on %s", s.addr)
 
-	if code, _ := s.call("GET", "/healthz", nil); code != 200 {
+	if code, _ := s.getJSON("/healthz"); code != 200 {
 		fatalf("/healthz = %d; want 200", code)
 	}
-	if code, _ := s.call("GET", "/readyz", nil); code != 200 {
-		fatalf("/readyz = %d; want 200", code)
+	if err := s.client.Ready(ctx); err != nil {
+		fatalf("Ready: %v", err)
 	}
 
 	// Full-budget schedule, then the memo hit.
-	sched := map[string]any{"hw": "crophe64", "workload": "helr"}
-	code, body := s.call("POST", "/v1/schedule", sched)
-	if code != 200 || body["partial"] != false {
-		fatalf("schedule = %d %v; want 200, partial=false", code, body)
+	sched := serve.ScheduleRequest{HW: "crophe64", Workload: "helr"}
+	resp, err := s.client.Schedule(ctx, sched)
+	if err != nil {
+		fatalf("schedule: %v", err)
 	}
-	if ms, _ := body["time_ms"].(float64); ms <= 0 {
-		fatalf("schedule time_ms = %v; want > 0", body["time_ms"])
+	if resp.Partial || resp.TimeMS <= 0 {
+		fatalf("schedule = %+v; want a full positive-time schedule", resp)
 	}
-	code, body = s.call("POST", "/v1/schedule", sched)
-	if code != 200 || body["cached"] != true {
-		fatalf("repeat schedule = %d %v; want cached=true", code, body)
+	resp, err = s.client.Schedule(ctx, sched)
+	if err != nil || !resp.Cached {
+		fatalf("repeat schedule = %+v (%v); want cached=true", resp, err)
 	}
 	step("schedule ok (memo hit on repeat)")
 
 	// A 1 ms deadline cannot cover the helr search space: the anytime
 	// search must return its best-so-far schedule marked partial.
-	code, body = s.call("POST", "/v1/schedule",
-		map[string]any{"hw": "crophe64", "workload": "helr", "deadline_ms": 1})
-	if code != 200 || body["partial"] != true {
-		fatalf("deadline schedule = %d %v; want 200, partial=true", code, body)
+	resp, err = s.client.Schedule(ctx, serve.ScheduleRequest{HW: "crophe64", Workload: "helr", DeadlineMS: 1})
+	if err != nil || !resp.Partial {
+		fatalf("deadline schedule = %+v (%v); want partial=true", resp, err)
 	}
 	step("deadline expiry returned a partial schedule")
 
-	code, body = s.call("POST", "/v1/simulate-degraded",
-		map[string]any{"hw": "crophe64", "workload": "helr", "faults": "rows:1,links:2", "seed": 13})
-	if code != 200 {
-		fatalf("simulate-degraded = %d %v; want 200", code, body)
+	deg, err := s.client.SimulateDegraded(ctx, serve.DegradedRequest{
+		HW: "crophe64", Workload: "helr", Faults: "rows:1,links:2", Seed: 13,
+	})
+	if err != nil {
+		fatalf("simulate-degraded: %v", err)
 	}
-	if n, _ := body["fault_count"].(float64); n < 1 {
-		fatalf("degraded run injected %v faults; want >= 1", body["fault_count"])
+	if deg.FaultCount < 1 {
+		fatalf("degraded run injected %d faults; want >= 1", deg.FaultCount)
 	}
-	step("degraded simulation ok (%v faults)", body["fault_count"])
+	step("degraded simulation ok (%d faults)", deg.FaultCount)
 
-	// Chaos: an injected panic must come back as a structured 500
-	// carrying the fault seed — and the server must keep serving.
-	code, body = s.call("POST", "/v1/schedule",
-		map[string]any{"hw": "crophe64", "workload": "helr", "chaos_panic": true, "seed": 99})
-	if code != 500 {
-		fatalf("chaos request = %d %v; want 500", code, body)
+	// Chaos: an injected panic must come back as a typed 500 carrying
+	// the fault seed — and the server must keep serving.
+	_, err = s.client.Schedule(ctx, serve.ScheduleRequest{
+		HW: "crophe64", Workload: "helr", ChaosPanic: true, Seed: 99,
+	})
+	var apiErr *serve.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 500 {
+		fatalf("chaos request: %T %v; want *serve.APIError 500", err, err)
 	}
-	if seed, _ := body["fault_seed"].(float64); seed != 99 {
-		fatalf("chaos 500 fault_seed = %v; want 99", body["fault_seed"])
+	if apiErr.FaultSeed == nil || *apiErr.FaultSeed != 99 {
+		fatalf("chaos 500 fault seed = %v; want 99", apiErr.FaultSeed)
 	}
-	if msg, _ := body["error"].(string); !strings.Contains(msg, "invariant violation under fault seed 99") {
-		fatalf("chaos 500 error %q missing the seed convention", body["error"])
+	if !strings.Contains(apiErr.Message, "invariant violation under fault seed 99") {
+		fatalf("chaos 500 error %q missing the seed convention", apiErr.Message)
 	}
-	if code, _ := s.call("GET", "/healthz", nil); code != 200 {
-		fatalf("/healthz after chaos panic = %d; want 200", code)
+	if err := s.client.Ready(ctx); err != nil {
+		fatalf("Ready after chaos panic: %v", err)
 	}
-	step("chaos panic isolated as a structured 500")
+	step("chaos panic isolated as a typed 500")
 
 	// A checkpointed sweep job: idempotent start, poll to done.
-	sweep := map[string]any{"hw": "crophe64", "workload": "helr", "seed": 5, "steps": 4, "deadline_ms": 3}
-	code, body = s.call("POST", "/v1/sweeps", sweep)
-	if code != 202 || body["created"] != true {
-		fatalf("start sweep = %d %v; want 202, created=true", code, body)
+	sweep := serve.SweepRequest{HW: "crophe64", Workload: "helr", Seed: 5, Steps: 4, DeadlineMS: 3}
+	st, err := s.client.StartSweep(ctx, sweep)
+	if err != nil || st.Created == nil || !*st.Created {
+		fatalf("start sweep = %+v (%v); want created=true", st, err)
 	}
-	id, _ := body["id"].(string)
-	code, body = s.call("POST", "/v1/sweeps", sweep)
-	if code != 202 || body["id"] != id || body["created"] != false {
-		fatalf("repeat sweep POST = %d %v; want same id, created=false", code, body)
+	id := st.ID
+	st, err = s.client.StartSweep(ctx, sweep)
+	if err != nil || st.ID != id || st.Created == nil || *st.Created {
+		fatalf("repeat sweep POST = %+v (%v); want same id, created=false", st, err)
 	}
-	pollDeadline := time.Now().Add(30 * time.Second)
-	for {
-		code, body = s.call("GET", "/v1/sweeps/"+id, nil)
-		if code != 200 {
-			fatalf("sweep poll = %d %v", code, body)
-		}
-		if body["state"] == "done" {
-			break
-		}
-		if body["state"] == "failed" {
-			fatalf("sweep failed: %v", body["error"])
-		}
-		if time.Now().After(pollDeadline) {
-			fatalf("sweep did not finish: %v", body)
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	if points, _ := body["points"].([]any); len(points) != 4 {
-		fatalf("done sweep has %d points; want 4", len(points))
+	final := s.waitDone(id, 30*time.Second)
+	if len(final.Points) != 4 {
+		fatalf("done sweep has %d points; want 4", len(final.Points))
 	}
 	step("sweep %s done (4 rungs journaled)", id)
 
-	code, body = s.call("GET", "/debug/vars", nil)
+	code, body := s.getJSON("/debug/vars")
 	if code != 200 {
 		fatalf("/debug/vars = %d", code)
 	}
@@ -270,12 +274,12 @@ func main() {
 
 	// A restarted server recovers the finished job from its journal.
 	s2 := start(*bin, checkpoints, false)
-	code, body = s2.call("GET", "/v1/sweeps/"+id, nil)
-	if code != 200 || body["state"] != "done" {
-		fatalf("recovered sweep = %d %v; want done", code, body)
+	st, err = s2.client.SweepStatus(ctx, id, false)
+	if err != nil || st.State != "done" {
+		fatalf("recovered sweep = %+v (%v); want done", st, err)
 	}
-	if points, _ := body["points"].([]any); len(points) != 4 {
-		fatalf("recovered sweep has %d points; want 4", len(points))
+	if len(st.Points) != 4 {
+		fatalf("recovered sweep has %d points; want 4", len(st.Points))
 	}
 	s2.drain()
 	step("restart recovered the finished sweep from its journal")
