@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test lint lint-json vet race fuzz bench bench-json bench-diff bench-kernels trace-smoke chaos-smoke serve-smoke cluster-smoke clean
+.PHONY: all build test lint lint-json vet race fuzz bench bench-json bench-diff bench-kernels trace-smoke chaos-smoke serve-smoke cluster-smoke failover-smoke clean
 
 all: build lint test
 
@@ -95,6 +95,15 @@ serve-smoke:
 cluster-smoke:
 	$(GO) build -o $(SERVE_BIN) ./cmd/crophe-serve
 	$(GO) run ./scripts/clustersmoke -bin $(SERVE_BIN)
+
+# Fail-over smoke: primary + standby coordinators sharing a checkpoint
+# directory under deterministic transport chaos; the primary is frozen
+# (SIGSTOP) mid-sweep, the standby promotes off the stale lease and
+# finishes byte-identical to a single-process run, and the thawed zombie
+# primary must fence itself instead of writing to the usurped journal.
+failover-smoke:
+	$(GO) build -o $(SERVE_BIN) ./cmd/crophe-serve
+	$(GO) run ./scripts/failoversmoke -bin $(SERVE_BIN)
 
 clean:
 	$(GO) clean ./...

@@ -7,21 +7,30 @@
 //
 // Usage:
 //
-//	crophe-serve [-addr host:port] [-role single|coordinator]
+//	crophe-serve [-addr host:port] [-role single|coordinator] [-standby]
 //	             [-workers N | -workers url,url,...] [-queue N]
 //	             [-queue-wait D] [-drain-timeout D]
 //	             [-heartbeat D] [-worker-timeout D] [-poll D]
-//	             [-checkpoint-dir DIR] [-chaos]
+//	             [-takeover D] [-checkpoint-dir DIR] [-chaos]
+//	             [-chaos-net SPEC] [-chaos-net-seed N]
 //
 // The -workers flag is role-dependent: for the default single role it is
 // the numeric request-concurrency bound; for -role=coordinator it is the
 // comma-separated list of worker base URLs the coordinator shards sweep
 // jobs across (each worker being an ordinary single-role crophe-serve).
 //
+// -standby (coordinator role only) starts the process passive: it
+// watches the primary's lease in the shared -checkpoint-dir and, when
+// the lease goes stale past -takeover, promotes itself — replaying the
+// sweep journals, bumping the persisted coordinator epoch, and fencing
+// the old primary out of workers and journal alike.
+//
 // Endpoints:
 //
 //	GET  /healthz               liveness
-//	GET  /readyz                readiness (503 while draining)
+//	GET  /readyz                readiness (503 while draining; on a
+//	                            coordinator also 503 when standby, fenced,
+//	                            or with zero healthy workers)
 //	GET  /debug/vars            admission, request, memo and sweep counters
 //	GET  /v1/cluster            role, worker liveness and shard lease state
 //	POST /v1/schedule           dataflow search for one workload
@@ -39,8 +48,11 @@
 // -checkpoint-dir, so a killed and restarted server resumes from the
 // last completed rung and produces a byte-identical journal. -chaos
 // honours the chaos_panic request field (handlers panic on purpose) and
-// exists for smoke drills only. Malformed flag values print usage and
-// exit 2.
+// exists for smoke drills only. -chaos-net wraps every
+// coordinator→worker link in a deterministic seeded fault injector
+// ("drop:0.1,reset:0.05,trunc:0.05,err500:0.1,lat:0.3@5"); with
+// -chaos-net-seed the whole run is replayable. Malformed flag values
+// print usage and exit 2.
 package main
 
 import (
@@ -53,6 +65,7 @@ import (
 
 	"crophe/internal/cliutil"
 	"crophe/internal/serve"
+	"crophe/internal/serve/chaos"
 )
 
 // usageExit reports a malformed flag value, prints usage, and exits 2 —
@@ -74,11 +87,15 @@ func main() {
 	heartbeatSpec := flag.String("heartbeat", "", "coordinator: worker liveness probe period (default 500ms)")
 	workerTimeoutSpec := flag.String("worker-timeout", "", "coordinator: silence after which a worker forfeits its shard leases (default 5s)")
 	pollSpec := flag.String("poll", "", "coordinator: shard progress poll period (default 100ms)")
+	standby := flag.Bool("standby", false, "coordinator: start passive, promote when the primary's lease goes stale")
+	takeoverSpec := flag.String("takeover", "", "standby: lease staleness before promotion (default 4x heartbeat)")
 	checkpointDir := flag.String("checkpoint-dir", "", "journal sweep jobs here for crash-safe resume (empty: no persistence)")
-	chaos := flag.Bool("chaos", false, "honour the chaos_panic request field (smoke drills only)")
+	chaosPanic := flag.Bool("chaos", false, "honour the chaos_panic request field (smoke drills only)")
+	chaosNetSpec := flag.String("chaos-net", "", `coordinator: seeded transport chaos on worker links, e.g. "drop:0.1,reset:0.05,lat:0.3@5" (drills only)`)
+	chaosNetSeed := flag.Int64("chaos-net-seed", 0, "seed for -chaos-net decision streams (default 1)")
 	flag.Parse()
 
-	cfg := serve.Config{CheckpointDir: *checkpointDir, AllowChaos: *chaos}
+	cfg := serve.Config{CheckpointDir: *checkpointDir, AllowChaos: *chaosPanic}
 	var err error
 	if cfg.Addr, err = cliutil.ParseAddr(*addrSpec); err != nil {
 		usageExit("%v", err)
@@ -92,6 +109,7 @@ func main() {
 		}
 	case serve.RoleCoordinator:
 		cfg.Role = serve.RoleCoordinator
+		cfg.Standby = *standby
 		for _, u := range strings.Split(*workersSpec, ",") {
 			if u = strings.TrimSpace(u); u != "" {
 				cfg.WorkerURLs = append(cfg.WorkerURLs, u)
@@ -100,9 +118,26 @@ func main() {
 		if len(cfg.WorkerURLs) == 0 {
 			usageExit("-role=coordinator requires -workers with at least one worker URL")
 		}
+		if cfg.Standby && cfg.CheckpointDir == "" {
+			usageExit("-standby requires -checkpoint-dir (the coordinator lease lives there)")
+		}
 	default:
 		usageExit("invalid -role %q (want single or coordinator)", *roleSpec)
 	}
+	if *standby && cfg.Role != serve.RoleCoordinator {
+		usageExit("-standby only applies to -role=coordinator")
+	}
+	if *takeoverSpec != "" {
+		if cfg.TakeoverTimeout, err = cliutil.ParseDeadline(*takeoverSpec); err != nil {
+			usageExit("invalid -takeover: %v", err)
+		}
+	}
+	if *chaosNetSpec != "" {
+		if cfg.NetChaos, err = chaos.ParseSpec(*chaosNetSpec); err != nil {
+			usageExit("invalid -chaos-net: %v", err)
+		}
+	}
+	cfg.NetChaosSeed = *chaosNetSeed
 	if *heartbeatSpec != "" {
 		if cfg.HeartbeatInterval, err = cliutil.ParseDeadline(*heartbeatSpec); err != nil {
 			usageExit("invalid -heartbeat: %v", err)

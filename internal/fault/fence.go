@@ -1,0 +1,45 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Epoch-fenced shard merging. A distributed sweep's shards are produced
+// under a coordinator epoch; when a standby coordinator takes over it
+// bumps the epoch, and results a superseded (zombie) coordinator is
+// still holding must never fold into the merge. MergeShardsFenced is
+// the library-level enforcement of that rule for callers assembling
+// shard results themselves — the serving layer additionally fences at
+// the RPC and journal layers.
+
+// ErrStaleShardEpoch marks a shard produced under a superseded
+// coordinator epoch. Test with errors.Is.
+var ErrStaleShardEpoch = errors.New("fault: shard carries a stale coordinator epoch")
+
+// FencedShard pairs a shard result with the coordinator epoch it was
+// produced under.
+type FencedShard struct {
+	Epoch  int64
+	Result *SweepResult
+}
+
+// MergeShardsFenced merges shard results exactly like MergeShards, but
+// first rejects any shard whose epoch differs from the merging
+// coordinator's — wrapping ErrStaleShardEpoch, so a zombie's late
+// output fails loudly instead of corrupting the merged report. Shards
+// with a nil Result are skipped, matching MergeShards.
+func MergeShardsFenced(steps int, epoch int64, shards ...FencedShard) (*SweepResult, error) {
+	results := make([]*SweepResult, 0, len(shards))
+	for i, sh := range shards {
+		if sh.Result == nil {
+			continue
+		}
+		if sh.Epoch != epoch {
+			return nil, fmt.Errorf("shard %d (seed %d) produced at epoch %d, merge is at epoch %d: %w",
+				i, sh.Result.Seed, sh.Epoch, epoch, ErrStaleShardEpoch)
+		}
+		results = append(results, sh.Result)
+	}
+	return MergeShards(steps, results...)
+}

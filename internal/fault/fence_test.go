@@ -1,0 +1,51 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"crophe/internal/arch"
+)
+
+// TestMergeShardsFenced: shards at the merging coordinator's epoch fold
+// exactly like MergeShards; a shard from a superseded (zombie) epoch
+// fails the merge with the typed sentinel; nil results are skipped.
+func TestMergeShardsFenced(t *testing.T) {
+	hw := arch.CROPHE36
+	const seed, steps = 19, 4
+	s0, err := RunSweep(context.Background(), hw, seed, steps, shardRunner, WithShard(0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := RunSweep(context.Background(), hw, seed, steps, shardRunner, WithShard(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const epoch = 2
+	want, err := MergeShards(steps, s0, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MergeShardsFenced(steps, epoch,
+		FencedShard{Epoch: epoch, Result: s0},
+		FencedShard{Epoch: epoch}, // nil result: a shard never produced
+		FencedShard{Epoch: epoch, Result: s1})
+	if err != nil {
+		t.Fatalf("fenced merge at matching epoch: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("fenced merge differs from plain MergeShards at the same epoch")
+	}
+
+	// A zombie's shard — produced under the pre-takeover epoch — must be
+	// rejected loudly, never folded in.
+	_, err = MergeShardsFenced(steps, epoch,
+		FencedShard{Epoch: epoch, Result: s0},
+		FencedShard{Epoch: epoch - 1, Result: s1})
+	if !errors.Is(err, ErrStaleShardEpoch) {
+		t.Fatalf("stale-epoch shard merged: err = %v; want ErrStaleShardEpoch", err)
+	}
+}

@@ -1,0 +1,327 @@
+// Package chaos is a deterministic, seeded transport-fault injector: an
+// http.RoundTripper wrapper that turns a healthy network path into the
+// lossy, slow, half-open one a real fleet sees. It injects five fault
+// dimensions — added latency, dropped requests, connection resets after
+// the peer processed the request, truncated response bodies, and
+// spurious gateway 500s — each driven by its own salted seed stream, the
+// same per-dimension-stream discipline internal/fault uses for hardware
+// fault plans. The same (Spec, seed) always yields the same decision
+// sequence, so a chaos run that exposes a bug is replayable from its
+// seed alone.
+//
+// The fault semantics are chosen to stress exactly-once behaviour:
+//
+//   - A drop fails the request before it reaches the peer (the classic
+//     lost packet / refused connection).
+//   - A reset forwards the request, lets the peer do the work, then
+//     fails the exchange — the caller cannot tell a processed request
+//     from a lost one, which is precisely the ambiguity idempotent
+//     job APIs exist to absorb.
+//   - A truncation returns headers and a prefix of the body, then
+//     io.ErrUnexpectedEOF — the half-open connection.
+//   - A 500 is synthesized without forwarding, the gateway error a load
+//     balancer emits when the backend is unreachable.
+//   - Latency sleeps before forwarding, honouring the request context.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Spec is the chaos grammar: which fault dimensions fire and how often.
+// Probabilities are in [0, 1]; the zero Spec injects nothing. The
+// textual form mirrors internal/fault's Spec grammar —
+// "drop:0.1,reset:0.05,trunc:0.05,err500:0.1,lat:0.3@5" — comma-joined
+// key:value terms, latency carrying its magnitude after '@'.
+type Spec struct {
+	Drop    float64 // drop:F — request never reaches the peer
+	Reset   float64 // reset:F — connection dies after the peer did the work
+	Trunc   float64 // trunc:F — response body cut mid-stream
+	Err500  float64 // err500:F — synthesized gateway 500, request not forwarded
+	LatProb float64 // lat:F@D — probability of added latency ...
+	LatMS   float64 // ... of ~D milliseconds (uniform in [D/2, 3D/2))
+}
+
+// IsZero reports whether the spec injects no faults at all.
+func (s Spec) IsZero() bool { return s == Spec{} }
+
+// String renders the spec in the canonical ParseSpec grammar (set
+// dimensions only, fixed order), so specs round-trip through flags and
+// logs.
+func (s Spec) String() string {
+	var terms []string
+	add := func(key string, p float64) {
+		if p > 0 {
+			terms = append(terms, fmt.Sprintf("%s:%g", key, p))
+		}
+	}
+	add("drop", s.Drop)
+	add("reset", s.Reset)
+	add("trunc", s.Trunc)
+	add("err500", s.Err500)
+	if s.LatProb > 0 {
+		terms = append(terms, fmt.Sprintf("lat:%g@%g", s.LatProb, s.LatMS))
+	}
+	if len(terms) == 0 {
+		return "none"
+	}
+	return strings.Join(terms, ",")
+}
+
+// ParseSpec parses the textual chaos grammar. "" and "none" mean no
+// chaos. Unknown keys, malformed values and probabilities outside [0, 1]
+// are errors — a typo in a chaos spec must not silently run a different
+// experiment.
+func ParseSpec(text string) (Spec, error) {
+	var s Spec
+	text = strings.TrimSpace(text)
+	if text == "" || text == "none" {
+		return s, nil
+	}
+	for _, term := range strings.Split(text, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(term), ":")
+		if !ok {
+			return Spec{}, fmt.Errorf("chaos: term %q is not key:value", term)
+		}
+		prob := func(v string) (float64, error) {
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return 0, fmt.Errorf("chaos: %s: bad probability %q: %v", key, v, err)
+			}
+			if p < 0 || p > 1 {
+				return 0, fmt.Errorf("chaos: %s: probability %g outside [0, 1]", key, p)
+			}
+			return p, nil
+		}
+		var err error
+		switch key {
+		case "drop":
+			s.Drop, err = prob(val)
+		case "reset":
+			s.Reset, err = prob(val)
+		case "trunc":
+			s.Trunc, err = prob(val)
+		case "err500":
+			s.Err500, err = prob(val)
+		case "lat":
+			p, ms, ok := strings.Cut(val, "@")
+			if !ok {
+				return Spec{}, fmt.Errorf("chaos: lat wants prob@millis, got %q", val)
+			}
+			if s.LatProb, err = prob(p); err != nil {
+				return Spec{}, err
+			}
+			if s.LatMS, err = strconv.ParseFloat(ms, 64); err != nil || s.LatMS < 0 {
+				return Spec{}, fmt.Errorf("chaos: lat: bad millis %q", ms)
+			}
+		default:
+			return Spec{}, fmt.Errorf("chaos: unknown dimension %q", key)
+		}
+		if err != nil {
+			return Spec{}, err
+		}
+	}
+	return s, nil
+}
+
+// Per-dimension stream salts (ASCII tags, the internal/fault idiom):
+// each dimension draws from its own rand stream, so adding a dimension
+// to a spec never perturbs the others' decision sequences.
+const (
+	saltDrop  = 0x64726f70 // "drop"
+	saltReset = 0x72657374 // "rest"
+	saltTrunc = 0x74727563 // "truc"
+	saltErr   = 0x65353030 // "e500"
+	saltLat   = 0x6c617463 // "latc"
+)
+
+func dimRand(seed, salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ salt))
+}
+
+// Counts tallies injected faults per dimension, for assertions and
+// observability.
+type Counts struct {
+	Requests    uint64
+	Drops       uint64
+	Resets      uint64
+	Truncations uint64
+	Err500s     uint64
+	Latencies   uint64
+}
+
+// Total returns the number of injected faults across all dimensions
+// (latency included — a slow request is a fault too).
+func (c Counts) Total() uint64 {
+	return c.Drops + c.Resets + c.Truncations + c.Err500s + c.Latencies
+}
+
+// Error is an injected transport fault, distinguishable from genuine
+// network failures by type.
+type Error struct {
+	Kind string // "drop" or "reset"
+	Seq  uint64 // 1-based request sequence number within the transport
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("chaos: injected %s (request %d)", e.Kind, e.Seq)
+}
+
+// Transport wraps a base http.RoundTripper with seeded fault injection.
+// Safe for concurrent use; the decision streams are drawn under a mutex
+// in arrival order, so a serialized request sequence is bit-reproducible
+// per (Spec, seed).
+type Transport struct {
+	spec Spec
+	base http.RoundTripper
+
+	mu     sync.Mutex
+	drop   *rand.Rand
+	reset  *rand.Rand
+	trunc  *rand.Rand
+	err500 *rand.Rand
+	lat    *rand.Rand
+	seq    uint64
+	counts Counts
+}
+
+// New builds a Transport injecting spec's faults from seed over base
+// (http.DefaultTransport when nil).
+func New(spec Spec, seed int64, base http.RoundTripper) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{
+		spec:   spec,
+		base:   base,
+		drop:   dimRand(seed, saltDrop),
+		reset:  dimRand(seed, saltReset),
+		trunc:  dimRand(seed, saltTrunc),
+		err500: dimRand(seed, saltErr),
+		lat:    dimRand(seed, saltLat),
+	}
+}
+
+// Counts returns a snapshot of the injection tallies.
+func (t *Transport) Counts() Counts {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counts
+}
+
+// decision is one request's fate, fully determined at arrival.
+type decision struct {
+	seq    uint64
+	drop   bool
+	reset  bool
+	trunc  bool
+	err500 bool
+	delay  time.Duration
+}
+
+// decide draws one value from every dimension's stream, in fixed order,
+// whether or not an earlier dimension already fired — the streams stay
+// aligned, so request k's fate depends only on (Spec, seed, k), never on
+// what earlier requests returned.
+func (t *Transport) decide() decision {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	d := decision{seq: t.seq}
+	d.drop = t.drop.Float64() < t.spec.Drop
+	d.reset = t.reset.Float64() < t.spec.Reset
+	d.trunc = t.trunc.Float64() < t.spec.Trunc
+	d.err500 = t.err500.Float64() < t.spec.Err500
+	if t.lat.Float64() < t.spec.LatProb {
+		d.delay = time.Duration((0.5 + t.lat.Float64()) * t.spec.LatMS * float64(time.Millisecond))
+		t.counts.Latencies++
+	}
+	t.counts.Requests++
+	switch {
+	case d.drop:
+		t.counts.Drops++
+	case d.err500:
+		t.counts.Err500s++
+	case d.reset:
+		t.counts.Resets++
+	case d.trunc:
+		t.counts.Truncations++
+	}
+	return d
+}
+
+// RoundTrip applies the request's decided fate. Fault precedence when
+// several dimensions fire at once: drop > err500 > reset > trunc (a
+// request that never left cannot also be reset).
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := t.decide()
+	if d.delay > 0 {
+		timer := time.NewTimer(d.delay)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+	if d.drop {
+		return nil, &Error{Kind: "drop", Seq: d.seq}
+	}
+	if d.err500 {
+		body := `{"error":"chaos: injected spurious 500"}` + "\n"
+		return &http.Response{
+			Status:        "500 Internal Server Error",
+			StatusCode:    http.StatusInternalServerError,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	if d.reset {
+		// The peer already processed the request; the caller just never
+		// hears about it. Drain so the connection is reusable.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		return nil, &Error{Kind: "reset", Seq: d.seq}
+	}
+	if d.trunc {
+		raw, rerr := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		resp.Body = io.NopCloser(&truncReader{data: raw[:len(raw)/2]})
+	}
+	return resp, nil
+}
+
+// truncReader yields a prefix of the body then fails the way a half-open
+// connection does.
+type truncReader struct {
+	data []byte
+	off  int
+}
+
+func (r *truncReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}

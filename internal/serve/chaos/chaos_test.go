@@ -1,0 +1,219 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"crophe/internal/leakcheck"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []string{
+		"none",
+		"drop:0.1",
+		"drop:0.1,reset:0.05,trunc:0.05,err500:0.1,lat:0.3@5",
+		"lat:1@25",
+	}
+	for _, text := range cases {
+		s, err := ParseSpec(text)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", text, err)
+		}
+		if got := s.String(); got != text {
+			t.Fatalf("ParseSpec(%q).String() = %q", text, got)
+		}
+	}
+	if s, err := ParseSpec(""); err != nil || !s.IsZero() {
+		t.Fatalf("ParseSpec(\"\") = %+v, %v; want zero spec", s, err)
+	}
+}
+
+func TestParseSpecRejectsGarbage(t *testing.T) {
+	for _, text := range []string{
+		"drop",           // no value
+		"drop:1.5",       // probability out of range
+		"drop:-0.1",      // negative
+		"warp:0.5",       // unknown dimension
+		"lat:0.5",        // latency without magnitude
+		"lat:0.5@-3",     // negative millis
+		"drop:zero",      // unparsable float
+		"drop:0.1,,",     // empty term
+		"reset:0.1;lat:", // wrong separator
+	} {
+		if _, err := ParseSpec(text); err == nil {
+			t.Errorf("ParseSpec(%q) accepted garbage", text)
+		}
+	}
+}
+
+// countingHandler returns 200 with a fixed body and counts arrivals.
+func countingHandler(hits *int) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		*hits++
+		io.WriteString(w, `{"status":"ok","padding":"0123456789012345678901234567890123456789"}`)
+	})
+}
+
+// drive sends n GETs through tr and records each request's outcome as a
+// compact rune: 'd' drop, '5' injected 500, 'r' reset, 't' truncated
+// body, '.' clean.
+func drive(t *testing.T, tr *Transport, base string, n int) string {
+	t.Helper()
+	hc := &http.Client{Transport: tr}
+	out := make([]rune, 0, n)
+	for i := 0; i < n; i++ {
+		resp, err := hc.Get(base)
+		if err != nil {
+			var ce *Error
+			if errors.As(err, &ce) {
+				if ce.Kind == "drop" {
+					out = append(out, 'd')
+				} else {
+					out = append(out, 'r')
+				}
+				continue
+			}
+			t.Fatalf("request %d: non-chaos error %v", i, err)
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == 500:
+			out = append(out, '5')
+		case errors.Is(rerr, io.ErrUnexpectedEOF):
+			out = append(out, 't')
+		case rerr != nil:
+			t.Fatalf("request %d: read error %v (%d bytes)", i, rerr, len(body))
+		default:
+			out = append(out, '.')
+		}
+	}
+	return string(out)
+}
+
+func TestTransportDeterministicPerSeed(t *testing.T) {
+	leakcheck.Check(t)
+	hits := 0
+	srv := httptest.NewServer(countingHandler(&hits))
+	defer srv.Close()
+
+	spec, err := ParseSpec("drop:0.2,reset:0.15,trunc:0.15,err500:0.15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	seqA := drive(t, New(spec, 42, nil), srv.URL, n)
+	seqB := drive(t, New(spec, 42, nil), srv.URL, n)
+	if seqA != seqB {
+		t.Fatalf("same (spec, seed) produced different fates:\n%s\n%s", seqA, seqB)
+	}
+	seqC := drive(t, New(spec, 43, nil), srv.URL, n)
+	if seqA == seqC {
+		t.Fatal("different seeds produced identical fate sequences")
+	}
+	// Every dimension actually fired at these rates over 200 draws.
+	for _, kind := range "d5rt." {
+		found := false
+		for _, c := range seqA {
+			if c == kind {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("fate %q never occurred in %s", string(kind), seqA)
+		}
+	}
+}
+
+func TestCountsMatchFates(t *testing.T) {
+	leakcheck.Check(t)
+	hits := 0
+	srv := httptest.NewServer(countingHandler(&hits))
+	defer srv.Close()
+
+	spec := Spec{Drop: 0.3, Err500: 0.3}
+	tr := New(spec, 7, nil)
+	seq := drive(t, tr, srv.URL, 100)
+	var drops, errs uint64
+	for _, c := range seq {
+		switch c {
+		case 'd':
+			drops++
+		case '5':
+			errs++
+		}
+	}
+	got := tr.Counts()
+	if got.Requests != 100 || got.Drops != drops || got.Err500s != errs {
+		t.Fatalf("counts %+v; observed drops=%d err500s=%d over 100", got, drops, errs)
+	}
+	// Drops and injected 500s never reach the peer.
+	if want := 100 - int(drops) - int(errs); hits != want {
+		t.Fatalf("server saw %d requests; want %d", hits, want)
+	}
+}
+
+func TestResetForwardsBeforeFailing(t *testing.T) {
+	leakcheck.Check(t)
+	hits := 0
+	srv := httptest.NewServer(countingHandler(&hits))
+	defer srv.Close()
+
+	tr := New(Spec{Reset: 1}, 1, nil)
+	hc := &http.Client{Transport: tr}
+	_, err := hc.Get(srv.URL)
+	var ce *Error
+	if !errors.As(err, &ce) || ce.Kind != "reset" {
+		t.Fatalf("err = %v; want injected reset", err)
+	}
+	if hits != 1 {
+		t.Fatalf("server saw %d requests; a reset must forward first", hits)
+	}
+}
+
+func TestLatencyHonoursContext(t *testing.T) {
+	leakcheck.Check(t)
+	srv := httptest.NewServer(countingHandler(new(int)))
+	defer srv.Close()
+
+	tr := New(Spec{LatProb: 1, LatMS: 60_000}, 1, nil)
+	hc := &http.Client{Transport: tr}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	_, err := hc.Do(req)
+	if err == nil {
+		t.Fatal("minute-scale injected latency returned without error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("context cancellation took %s to cut the injected sleep", elapsed)
+	}
+}
+
+func TestTruncationEndsInUnexpectedEOF(t *testing.T) {
+	leakcheck.Check(t)
+	srv := httptest.NewServer(countingHandler(new(int)))
+	defer srv.Close()
+
+	tr := New(Spec{Trunc: 1}, 1, nil)
+	hc := &http.Client{Transport: tr}
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, rerr := io.ReadAll(resp.Body)
+	if !errors.Is(rerr, io.ErrUnexpectedEOF) {
+		t.Fatalf("read = %q, %v; want io.ErrUnexpectedEOF", body, rerr)
+	}
+	if len(body) == 0 {
+		t.Fatal("truncation returned no prefix at all")
+	}
+}

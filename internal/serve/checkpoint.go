@@ -1,10 +1,13 @@
 package serve
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"hash/fnv"
+	"log"
 	"os"
 	"path/filepath"
 	"strings"
@@ -15,16 +18,29 @@ import (
 // Sweep checkpoint journal: one append-only JSONL file per sweep job,
 // <dir>/<id>.sweep.jsonl. The first line is the header (the job's full
 // parameter set, so a journal is self-describing); each subsequent line
-// records one completed rung; a {"done":true} terminator marks a
-// finished sweep. Every line is written in a single write and fsynced
-// before the next rung starts, so after a crash the journal holds
-// exactly the completed rungs — at worst plus one torn trailing line,
-// which recovery truncates away. Because rung outcomes are deterministic
-// per (hw, seed, step, deadline bucket) — see ResumeResilienceSweep — a
-// resumed journal's remaining lines are byte-identical to the ones an
-// uninterrupted run would have written.
+// records one completed rung or a shard lease; a {"done":true}
+// terminator marks a finished sweep. Every line is written in a single
+// write and fsynced before the next rung starts, so after a crash the
+// journal holds exactly the completed rungs — at worst plus one torn
+// trailing line, which recovery truncates away. Because rung outcomes
+// are deterministic per (hw, seed, step, deadline bucket) — see
+// ResumeResilienceSweep — a resumed journal's remaining lines are
+// byte-identical to the ones an uninterrupted run would have written.
+//
+// Each line is framed "CCCCCCCC <json>\n" — eight lowercase hex digits
+// of the IEEE CRC32 of the JSON payload, one space, the payload. The
+// CRC turns silent mid-file corruption (a flipped bit, a hole from a
+// bad sector) into a typed JournalCorruptionError instead of a quietly
+// wrong resume. Legacy lines that start directly with '{' are accepted
+// unverified so pre-CRC journals still recover; the framing is
+// unambiguous because JSON objects never start with a hex digit.
 
 const journalSuffix = ".sweep.jsonl"
+
+// quarantineSuffix is appended to a journal's path when corruption is
+// cut out of it: the bad suffix is preserved there for postmortem while
+// the journal itself is truncated to the last good prefix.
+const quarantineSuffix = ".quarantine"
 
 // sweepParams is a sweep job's identity — the journal header and the
 // input to the deterministic job ID. ShardIndex/ShardCount (0/0 for a
@@ -65,9 +81,11 @@ func journalPath(dir, id string) string {
 
 // leaseRecord is a coordinator journal line: shard index-of-count leased
 // to worker at epoch (epoch increments each time the shard is
-// reassigned after a worker death). Leases are bookkeeping, not rung
-// state — recovery re-leases from scratch and relies on the journaled
-// rungs alone for exactly-once accounting.
+// reassigned after a worker death or coordinator takeover). Leases are
+// bookkeeping for fencing and postmortem, not rung state — recovery
+// re-leases from scratch and relies on the journaled rungs alone for
+// exactly-once accounting, but a standby replays the lease lines to
+// start its own leases at an epoch every journaled one precedes.
 type leaseRecord struct {
 	Shard  int    `json:"shard"`
 	Count  int    `json:"count"`
@@ -84,8 +102,39 @@ type journalEntry struct {
 	Done  bool                    `json:"done,omitempty"`
 }
 
-// appendLine writes one journal line and forces it to stable storage;
-// the rung is not considered checkpointed until the Sync returns.
+// encodeJournalLine frames one JSON payload with its CRC32:
+// "CCCCCCCC <json>\n".
+func encodeJournalLine(body []byte) []byte {
+	out := make([]byte, 0, len(body)+10)
+	out = fmt.Appendf(out, "%08x ", crc32.ChecksumIEEE(body))
+	out = append(out, body...)
+	return append(out, '\n')
+}
+
+// decodeJournalLine strips and verifies a line's CRC frame, returning
+// the JSON payload. Lines that start with '{' are the legacy unframed
+// format and pass through unverified.
+func decodeJournalLine(line []byte) ([]byte, error) {
+	if len(line) > 0 && line[0] == '{' {
+		return line, nil
+	}
+	if len(line) < 10 || line[8] != ' ' {
+		return nil, fmt.Errorf("malformed frame (want 8-hex-digit CRC prefix)")
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
+		return nil, fmt.Errorf("malformed CRC prefix %q", line[:8])
+	}
+	body := line[9:]
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("CRC mismatch (stored %08x, computed %08x)", want, got)
+	}
+	return body, nil
+}
+
+// appendLine writes one journal line (CRC-framed) and forces it to
+// stable storage; the rung is not considered checkpointed until the
+// Sync returns.
 func appendLine(f *os.File, v any) error {
 	if f == nil {
 		return nil
@@ -94,7 +143,7 @@ func appendLine(f *os.File, v any) error {
 	if err != nil {
 		return fmt.Errorf("encoding journal line: %w", err)
 	}
-	if _, err := f.Write(append(body, '\n')); err != nil {
+	if _, err := f.Write(encodeJournalLine(body)); err != nil {
 		return fmt.Errorf("appending journal line: %w", err)
 	}
 	if err := f.Sync(); err != nil {
@@ -103,49 +152,142 @@ func appendLine(f *os.File, v any) error {
 	return nil
 }
 
-// readJournal parses a checkpoint file: the header, every fully written
-// rung, and whether the terminator is present. keep is the byte offset
-// past the last intact line — a crash can tear at most the final line,
-// and recovery truncates the file to keep before appending resumes.
-func readJournal(path string) (params sweepParams, points map[int]crophe.ResiliencePoint, done bool, keep int64, err error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return params, nil, false, 0, err
-	}
-	defer f.Close()
+// JournalCorruptionError reports a journal line that is present and
+// newline-terminated — so not a torn tail — but fails its CRC or does
+// not decode. Everything before Offset is intact and trustworthy;
+// recovery quarantines the suffix and resumes from the good prefix.
+type JournalCorruptionError struct {
+	Path   string // journal file
+	Line   int    // 1-based line number of the bad line
+	Offset int64  // byte offset where the bad line starts (= good-prefix length)
+	Reason string // what failed: CRC mismatch, malformed frame, undecodable JSON
+}
 
-	points = make(map[int]crophe.ResiliencePoint)
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 64*1024), 1<<20)
-	first := true
-	for sc.Scan() {
-		line := sc.Bytes()
-		if first {
-			if err := json.Unmarshal(line, &params); err != nil || params.V != 1 {
-				return params, nil, false, 0, fmt.Errorf("bad journal header in %s: %v", path, err)
+func (e *JournalCorruptionError) Error() string {
+	return fmt.Sprintf("journal %s corrupt at line %d (offset %d): %s", e.Path, e.Line, e.Offset, e.Reason)
+}
+
+// journalData is everything readJournal recovers from a checkpoint
+// file: the header, every intact rung, the journaled shard leases (for
+// coordinator-epoch replay on takeover), whether the terminator is
+// present, and keep — the byte offset past the last intact line, which
+// recovery truncates the file to before appending resumes.
+type journalData struct {
+	params sweepParams
+	points map[int]crophe.ResiliencePoint
+	leases []leaseRecord
+	done   bool
+	keep   int64
+}
+
+// readJournal parses a checkpoint file, distinguishing two failure
+// shapes. A torn tail — the final line missing its newline, whatever
+// its content — is the expected crash-mid-write artifact: it is
+// silently excluded from keep and no error is returned. A
+// newline-terminated line that fails its CRC, has a malformed frame, or
+// does not decode is corruption: readJournal still returns the good
+// prefix (so the caller can resume) alongside a *JournalCorruptionError
+// describing the first bad line. A bad header is unrecoverable and
+// returns only an error.
+func readJournal(path string) (journalData, error) {
+	d := journalData{points: make(map[int]crophe.ResiliencePoint)}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+
+	lineNo := 0
+	for off := int64(0); off < int64(len(raw)); {
+		nl := bytes.IndexByte(raw[off:], '\n')
+		if nl < 0 {
+			// Unterminated final line: a torn tail from a crash mid-write
+			// (even if its content happens to parse — a write that never
+			// completed is not checkpointed). Exclude it from keep.
+			break
+		}
+		line := raw[off : off+int64(nl)]
+		lineNo++
+		body, derr := decodeJournalLine(line)
+		if derr == nil && lineNo == 1 {
+			if err := json.Unmarshal(body, &d.params); err != nil || d.params.V != 1 {
+				return journalData{}, fmt.Errorf("bad journal header in %s: %v", path, err)
 			}
-			first = false
-			keep += int64(len(line)) + 1
+			off += int64(nl) + 1
+			d.keep = off
 			continue
 		}
 		var e journalEntry
-		if err := json.Unmarshal(line, &e); err != nil {
-			// A torn tail from a crash mid-write; everything before it is
-			// intact. Stop here and let the caller truncate.
-			break
+		if derr == nil {
+			if uerr := json.Unmarshal(body, &e); uerr != nil {
+				derr = fmt.Errorf("undecodable entry: %v", uerr)
+			}
+		}
+		if derr != nil {
+			if lineNo == 1 {
+				return journalData{}, fmt.Errorf("bad journal header in %s: %v", path, derr)
+			}
+			return d, &JournalCorruptionError{Path: path, Line: lineNo, Offset: d.keep, Reason: derr.Error()}
 		}
 		switch {
 		case e.Done:
-			done = true
+			d.done = true
 		case e.Step != nil && e.Point != nil:
-			points[*e.Step] = *e.Point
+			d.points[*e.Step] = *e.Point
+		case e.Lease != nil:
+			d.leases = append(d.leases, *e.Lease)
 		}
-		keep += int64(len(line)) + 1
+		off += int64(nl) + 1
+		d.keep = off
 	}
-	if first {
-		return params, nil, false, 0, fmt.Errorf("empty journal %s", path)
+	if lineNo == 0 {
+		return journalData{}, fmt.Errorf("empty journal %s", path)
 	}
-	return params, points, done, keep, nil
+	return d, nil
+}
+
+// quarantineJournal preserves a journal's corrupt suffix (everything
+// from keep on) beside the file as <path>.quarantine, then truncates
+// the journal to the good prefix so appends can resume.
+func quarantineJournal(path string, keep int64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Seek(keep, 0); err != nil {
+		return err
+	}
+	q, err := os.OpenFile(path+quarantineSuffix, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := q.ReadFrom(f); err != nil {
+		q.Close()
+		return err
+	}
+	if err := q.Close(); err != nil {
+		return err
+	}
+	return os.Truncate(path, keep)
+}
+
+// recoverJournal reads a journal and, when it finds mid-file
+// corruption, quarantines the bad suffix and resumes from the good
+// prefix — logging loudly, because a CRC mismatch means the storage
+// layer lied. Torn tails recover silently as before. Unrecoverable
+// errors (bad header, unreadable file) pass through to the caller.
+func recoverJournal(path string) (journalData, error) {
+	d, err := readJournal(path)
+	var corrupt *JournalCorruptionError
+	if errors.As(err, &corrupt) {
+		log.Printf("crophe-serve: %v; quarantining suffix to %s%s and resuming from last good prefix",
+			corrupt, path, quarantineSuffix)
+		if qerr := quarantineJournal(path, corrupt.Offset); qerr != nil {
+			return journalData{}, fmt.Errorf("quarantining corrupt journal %s: %w", path, qerr)
+		}
+		return d, nil
+	}
+	return d, err
 }
 
 // openJournal opens (creating if needed) a job's journal for appending,
@@ -176,7 +318,8 @@ func openJournal(dir string, params sweepParams, keep int64, isNew bool) (*os.Fi
 }
 
 // listJournals returns the checkpoint files in dir (no recursion; the
-// directory belongs to crophe-serve).
+// directory belongs to crophe-serve). Quarantine files don't match the
+// suffix and are naturally excluded.
 func listJournals(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {

@@ -195,22 +195,22 @@ func TestTornJournalTailRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	gotParams, points, done, keep, err := readJournal(path)
+	d, err := readJournal(path)
 	if err != nil {
 		t.Fatalf("reading torn journal: %v", err)
 	}
-	if done {
+	if d.done {
 		t.Fatal("torn journal read as done")
 	}
-	if gotParams != params {
-		t.Fatalf("torn journal header %+v; want %+v", gotParams, params)
+	if d.params != params {
+		t.Fatalf("torn journal header %+v; want %+v", d.params, params)
 	}
 	// Steps journaled: all but the torn one and the lost terminator.
-	if want := len(lines) - 3; len(points) != want {
-		t.Fatalf("torn journal yielded %d intact rungs; want %d", len(points), want)
+	if want := len(lines) - 3; len(d.points) != want {
+		t.Fatalf("torn journal yielded %d intact rungs; want %d", len(d.points), want)
 	}
-	if keep >= int64(len(torn)) {
-		t.Fatalf("keep offset %d does not exclude the torn tail (%d bytes)", keep, len(torn))
+	if d.keep >= int64(len(torn)) {
+		t.Fatalf("keep offset %d does not exclude the torn tail (%d bytes)", d.keep, len(torn))
 	}
 
 	// A restarted manager finishes the job and the final journal matches

@@ -225,8 +225,12 @@ func TestWorkerCrashReassignsShardByteIdentical(t *testing.T) {
 	leases := 0
 	reassigned := false
 	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		body, derr := decodeJournalLine([]byte(line))
+		if derr != nil {
+			t.Fatalf("journal line failed its CRC frame: %v (%q)", derr, line)
+		}
 		var e journalEntry
-		if json.Unmarshal([]byte(line), &e) != nil || e.Lease == nil {
+		if json.Unmarshal(body, &e) != nil || e.Lease == nil {
 			continue
 		}
 		leases++

@@ -2,13 +2,17 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"crophe"
+	"crophe/internal/serve/chaos"
 )
 
 // The coordinator runs the distributed side of sweep execution: it owns
@@ -144,11 +148,21 @@ func (j *coordJob) fail(msg string) {
 
 // coordinator owns the distributed jobs and the worker fleet state.
 type coordinator struct {
-	dir     string
-	workers []*workerHandle
-	hb      time.Duration // heartbeat period
-	timeout time.Duration // silence after which a worker forfeits leases
-	poll    time.Duration // shard progress poll period
+	dir      string
+	workers  []*workerHandle
+	hb       time.Duration // heartbeat period
+	timeout  time.Duration // silence after which a worker forfeits leases
+	poll     time.Duration // shard progress poll period
+	takeover time.Duration // standby: lease staleness before promotion
+
+	epoch        atomic.Int64 // persisted coordinator epoch; 0 until activated
+	active       atomic.Bool  // activated (or promoted) and leasing
+	fenced       atomic.Bool  // a higher epoch claimed the directory
+	fencedWrites atomic.Int64 // journal writes refused post-fence
+
+	// saltLink mixes the worker index into the per-link chaos seed, the
+	// same ASCII-tag idiom as the chaos package's dimension salts.
+	chaosTransports []*chaos.Transport // one per worker link, nil spec: empty
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -158,21 +172,34 @@ type coordinator struct {
 	jobs map[string]*coordJob
 }
 
-func newCoordinator(dir string, urls []string, hb, timeout, poll time.Duration) *coordinator {
+const saltLink = 0x6c696e6b // "link"
+
+func newCoordinator(cfg Config) *coordinator {
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &coordinator{
-		dir: dir, hb: hb, timeout: timeout, poll: poll,
-		ctx: ctx, cancel: cancel,
+		dir: cfg.CheckpointDir, hb: cfg.HeartbeatInterval,
+		timeout: cfg.WorkerTimeout, poll: cfg.PollInterval,
+		takeover: cfg.TakeoverTimeout,
+		ctx:      ctx, cancel: cancel,
 		jobs: make(map[string]*coordJob),
 	}
-	for _, u := range urls {
-		c.workers = append(c.workers, &workerHandle{
-			url: u,
-			// Fail fast: the orchestration loop is the retry policy, and a
-			// client that silently retries hides exactly the deaths the
-			// coordinator exists to detect.
-			client: NewClient(u, WithRetry(0, 0, 0)),
-		})
+	for i, u := range cfg.WorkerURLs {
+		// Fail fast: the orchestration loop is the retry policy, and a
+		// client that silently retries hides exactly the deaths the
+		// coordinator exists to detect.
+		opts := []ClientOption{WithRetry(0, 0, 0)}
+		if !cfg.NetChaos.IsZero() {
+			seed := cfg.NetChaosSeed
+			if seed == 0 {
+				seed = 1
+			}
+			// Each worker link gets its own decision streams, derived from
+			// the one configured seed, so a run is reproducible end to end.
+			tr := chaos.New(cfg.NetChaos, seed^int64(i+1)*saltLink, nil)
+			c.chaosTransports = append(c.chaosTransports, tr)
+			opts = append(opts, WithHTTPClient(&http.Client{Transport: tr}))
+		}
+		c.workers = append(c.workers, &workerHandle{url: u, client: NewClient(u, opts...)})
 	}
 	return c
 }
@@ -223,36 +250,36 @@ func (c *coordinator) recover() error {
 		return err
 	}
 	for _, path := range paths {
-		params, points, done, keep, err := readJournal(path)
+		d, err := recoverJournal(path)
 		if err != nil {
-			id := params.ID
+			id := d.params.ID
 			if id == "" {
 				id = "corrupt:" + path
 			}
 			c.mu.Lock()
-			c.jobs[id] = &coordJob{params: params, state: jobFailed, errText: err.Error()}
+			c.jobs[id] = &coordJob{params: d.params, state: jobFailed, errText: err.Error()}
 			c.mu.Unlock()
 			continue
 		}
-		if params.ShardCount > 0 {
+		if d.params.ShardCount > 0 {
 			// A worker-side shard journal (e.g. a worker restarted out of
 			// this directory once); not a coordinator job.
 			continue
 		}
-		j := &coordJob{params: params, points: points, completed: len(points)}
-		if done {
+		j := &coordJob{params: d.params, points: d.points, completed: len(d.points)}
+		if d.done {
 			j.state = jobDone
-			j.result = assembleSweep(params, points)
+			j.result = assembleSweep(d.params, d.points)
 			c.mu.Lock()
-			c.jobs[params.ID] = j
+			c.jobs[d.params.ID] = j
 			c.mu.Unlock()
 			continue
 		}
 		j.state = jobRunning
 		c.mu.Lock()
-		c.jobs[params.ID] = j
+		c.jobs[d.params.ID] = j
 		c.mu.Unlock()
-		c.launch(j, keep, false)
+		c.launch(j, d.keep, false, d.leases)
 	}
 	return nil
 }
@@ -272,7 +299,7 @@ func (c *coordinator) start(params sweepParams) (*coordJob, bool, error) {
 	j := &coordJob{params: params, state: jobRunning, points: make(map[int]crophe.ResiliencePoint)}
 	c.jobs[params.ID] = j
 	c.mu.Unlock()
-	c.launch(j, 0, true)
+	c.launch(j, 0, true, nil)
 	return j, true, nil
 }
 
@@ -283,7 +310,7 @@ func (c *coordinator) get(id string) (*coordJob, bool) {
 	return j, ok
 }
 
-func (c *coordinator) launch(j *coordJob, keep int64, isNew bool) {
+func (c *coordinator) launch(j *coordJob, keep int64, isNew bool, leases []leaseRecord) {
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
@@ -292,7 +319,7 @@ func (c *coordinator) launch(j *coordJob, keep int64, isNew bool) {
 				j.fail(fmtInvariant(j.params.Seed, rec))
 			}
 		}()
-		c.run(j, keep, isNew)
+		c.run(j, keep, isNew, leases)
 	}()
 }
 
@@ -308,7 +335,7 @@ func effectiveSteps(steps int) int {
 // run is the orchestration loop for one distributed job. It owns the
 // journal file and the shard states; everything it learns from workers
 // lands in the journal before it lands in the in-memory map.
-func (c *coordinator) run(j *coordJob, keep int64, isNew bool) {
+func (c *coordinator) run(j *coordJob, keep int64, isNew bool, leases []leaseRecord) {
 	f, err := openJournal(c.dir, j.params, keep, isNew)
 	if err != nil {
 		j.fail(fmt.Sprintf("opening checkpoint journal: %v", err))
@@ -320,13 +347,23 @@ func (c *coordinator) run(j *coordJob, keep int64, isNew bool) {
 
 	eff := effectiveSteps(j.params.Steps)
 	n := len(c.workers)
+	// Lease-journal replay: start every shard's epoch above every lease a
+	// previous coordinator incarnation journaled (for the current fleet
+	// shape), so post-takeover leases are monotonically distinguishable
+	// from the dead primary's in the journal and in /v1/cluster.
+	baseEpoch := 0
+	for _, lr := range leases {
+		if lr.Count == n && lr.Epoch+1 > baseEpoch {
+			baseEpoch = lr.Epoch + 1
+		}
+	}
 	shards := make([]*shardState, n)
 	for i := 0; i < n; i++ {
 		var steps []int
 		for s := i; s < eff; s += n {
 			steps = append(steps, s)
 		}
-		shards[i] = &shardState{index: i, steps: steps}
+		shards[i] = &shardState{index: i, steps: steps, epoch: baseEpoch}
 	}
 	j.mu.Lock()
 	j.shards = shards
@@ -429,7 +466,15 @@ func (c *coordinator) lease(j *coordJob, f *os.File, sh *shardState) {
 	})
 	cancel()
 	if err != nil {
-		if apiErr, ok := err.(*APIError); ok && apiErr.Status < 500 {
+		var stale *StaleEpochError
+		if errors.As(err, &stale) {
+			// The worker has seen a higher coordinator epoch: a standby took
+			// over and this process is the zombie. Stop leasing entirely.
+			c.fence(stale)
+			return
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.Status < 500 {
 			// The request itself is bad; every worker will refuse it.
 			j.fail(fmt.Sprintf("worker %s rejected shard %d: %v", pick.url, sh.index, err))
 			return
@@ -443,7 +488,7 @@ func (c *coordinator) lease(j *coordJob, f *os.File, sh *shardState) {
 	sh.jobID = st.ID
 	lease := leaseRecord{Shard: sh.index, Count: len(c.workers), Worker: pick.url, Epoch: sh.epoch}
 	j.mu.Unlock()
-	if err := appendLine(f, journalEntry{Lease: &lease}); err != nil {
+	if err := c.append(f, journalEntry{Lease: &lease}); err != nil {
 		j.fail(fmt.Sprintf("journaling shard lease: %v", err))
 	}
 }
@@ -520,7 +565,7 @@ func (c *coordinator) mergePoints(j *coordJob, f *os.File, pts []crophe.Resilien
 	sort.Slice(fresh, func(a, b int) bool { return fresh[a].Step < fresh[b].Step })
 	for _, pt := range fresh {
 		pt := pt
-		if err := appendLine(f, journalEntry{Step: &pt.Step, Point: &pt}); err != nil {
+		if err := c.append(f, journalEntry{Step: &pt.Step, Point: &pt}); err != nil {
 			return fmt.Errorf("checkpointing merged rung %d: %v", pt.Step, err)
 		}
 		j.mu.Lock()
@@ -560,7 +605,7 @@ func (c *coordinator) finalize(j *coordJob, f *os.File) bool {
 			return true
 		}
 	}
-	if err := appendLine(f, journalEntry{Done: true}); err != nil {
+	if err := c.append(f, journalEntry{Done: true}); err != nil {
 		j.fail(fmt.Sprintf("finalising checkpoint journal: %v", err))
 		return true
 	}
@@ -586,6 +631,36 @@ func (c *coordinator) stop() <-chan struct{} {
 
 // kill cancels orchestration without waiting — the crash primitive.
 func (c *coordinator) kill() { c.cancel() }
+
+// workerHealth reports how many of the fleet's workers answered within
+// the liveness timeout — the quorum /readyz advertises.
+func (c *coordinator) workerHealth() (healthy, total int) {
+	for _, h := range c.workers {
+		if h.healthyWithin(c.timeout) {
+			healthy++
+		}
+	}
+	return healthy, len(c.workers)
+}
+
+// chaosCounts sums injected-fault tallies across the worker links; nil
+// when no transport chaos is configured.
+func (c *coordinator) chaosCounts() *chaos.Counts {
+	if len(c.chaosTransports) == 0 {
+		return nil
+	}
+	var sum chaos.Counts
+	for _, tr := range c.chaosTransports {
+		ct := tr.Counts()
+		sum.Requests += ct.Requests
+		sum.Drops += ct.Drops
+		sum.Resets += ct.Resets
+		sum.Truncations += ct.Truncations
+		sum.Err500s += ct.Err500s
+		sum.Latencies += ct.Latencies
+	}
+	return &sum
+}
 
 // counts reports running and finished distributed jobs.
 func (c *coordinator) counts() (running, finished int) {

@@ -1,0 +1,271 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Coordinator fail-over. The shared checkpoint directory holds a single
+// coordinator lease file beside the sweep journals: {v, epoch, ts}. The
+// active coordinator heartbeat-refreshes ts; a standby watches the file
+// and, when ts goes stale past the takeover timeout (or the file never
+// appears), bumps the epoch, rewrites the lease, replays the sweep
+// journals and resumes leasing.
+//
+// The epoch is a fence, not just a tiebreak. Every mutating worker RPC
+// carries the coordinator's epoch; workers remember the highest epoch
+// they have seen and 409 anything older, so a zombie primary — one that
+// was merely partitioned, not dead — cannot lease shards once the
+// standby has taken over. On the journal side, every coordinator append
+// re-reads the lease file first and refuses to write once a higher
+// epoch holds it; there is a narrow check-then-write window, but a
+// zombie that loses it can only append rung lines that are bit-identical
+// to what the new primary would write (rung outcomes are deterministic
+// and the merge is exactly-once), never divergent state. See DESIGN.md
+// "Fail-over & fencing".
+
+// coordLeaseFile is the lease's name inside the checkpoint directory.
+const coordLeaseFile = "coordinator.lease"
+
+// coordLease is the persisted coordinator claim: who (by epoch) owns
+// leasing for this checkpoint directory, and when they last proved
+// they were alive.
+type coordLease struct {
+	V     int   `json:"v"`
+	Epoch int64 `json:"epoch"`
+	TS    int64 `json:"ts"` // unix nanoseconds of the last heartbeat refresh
+}
+
+// readCoordLease loads the lease; a missing file (or "" dir) is the
+// zero lease — nobody has ever claimed this directory.
+func readCoordLease(dir string) (coordLease, error) {
+	if dir == "" {
+		return coordLease{}, nil
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, coordLeaseFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return coordLease{}, nil
+	}
+	if err != nil {
+		return coordLease{}, err
+	}
+	var l coordLease
+	if err := json.Unmarshal(raw, &l); err != nil || l.V != 1 {
+		return coordLease{}, fmt.Errorf("bad coordinator lease in %s: %v", dir, err)
+	}
+	return l, nil
+}
+
+// writeCoordLease atomically (temp + rename) claims or refreshes the
+// lease at epoch with a fresh timestamp.
+func writeCoordLease(dir string, epoch int64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	body, err := json.Marshal(coordLease{V: 1, Epoch: epoch, TS: time.Now().UnixNano()})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, coordLeaseFile+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(body, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, coordLeaseFile))
+}
+
+// FencedError means another coordinator holds the checkpoint directory
+// at a higher epoch: this process is the zombie and must stop writing.
+type FencedError struct {
+	Epoch   int64 // the usurper's epoch, read from the lease file
+	Current int64 // this coordinator's epoch
+}
+
+func (e *FencedError) Error() string {
+	return fmt.Sprintf("coordinator fenced: lease epoch %d supersedes ours (%d)", e.Epoch, e.Current)
+}
+
+// fenceCheck re-reads the lease and reports whether a higher epoch has
+// claimed the directory. An unreadable lease fails open (nil): losing
+// the only coordinator to a transient read error is worse than the
+// residual risk, which worker-side epoch rejection and the journal CRCs
+// cover.
+func (c *coordinator) fenceCheck() error {
+	if c.dir == "" {
+		return nil
+	}
+	l, err := readCoordLease(c.dir)
+	if err != nil {
+		return nil
+	}
+	if cur := c.epoch.Load(); l.Epoch > cur {
+		return &FencedError{Epoch: l.Epoch, Current: cur}
+	}
+	return nil
+}
+
+// fence demotes this coordinator after a lost epoch race: leasing stops,
+// orchestration is cancelled (journals intact — they now belong to the
+// new primary), and /readyz flips to 503 so failover clients rotate.
+func (c *coordinator) fence(cause error) {
+	if c.fenced.CompareAndSwap(false, true) {
+		c.active.Store(false)
+		log.Printf("crophe-serve: coordinator fenced at epoch %d: %v", c.epoch.Load(), cause)
+		c.cancel()
+	}
+}
+
+// append is the coordinator's journal write path: it refuses to touch
+// the journal once fenced, counting and logging the refused write —
+// a zombie's late lease lines must never land in the merged journal.
+func (c *coordinator) append(f *os.File, v any) error {
+	if c.fenced.Load() {
+		c.fencedWrites.Add(1)
+		return &FencedError{Epoch: c.epoch.Load(), Current: c.epoch.Load()}
+	}
+	if err := c.fenceCheck(); err != nil {
+		c.fencedWrites.Add(1)
+		c.fence(err)
+		return err
+	}
+	return appendLine(f, v)
+}
+
+// activate claims the checkpoint directory as the primary: bump the
+// persisted epoch past whatever the lease held, start refreshing it,
+// stamp every worker client with the new epoch, and start the worker
+// heartbeats. Recovery of journaled jobs is the caller's next step.
+func (c *coordinator) activate() error {
+	prev, err := readCoordLease(c.dir)
+	if err != nil {
+		// A garbled lease cannot be allowed to brick the cluster; claim
+		// epoch 1 over it and say so.
+		log.Printf("crophe-serve: %v; claiming the directory anyway", err)
+		prev = coordLease{}
+	}
+	e := prev.Epoch + 1
+	c.epoch.Store(e)
+	if c.dir != "" {
+		if err := writeCoordLease(c.dir, e); err != nil {
+			return fmt.Errorf("claiming coordinator lease: %w", err)
+		}
+		c.startLeaseHeartbeat()
+	}
+	for _, h := range c.workers {
+		h.client.SetCoordinatorEpoch(e)
+	}
+	c.active.Store(true)
+	c.startHeartbeats()
+	return nil
+}
+
+// startLeaseHeartbeat refreshes the lease timestamp every heartbeat
+// period, checking first whether a higher epoch stole the directory —
+// the partitioned-primary detection path.
+func (c *coordinator) startLeaseHeartbeat() {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		t := time.NewTicker(c.hb)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.ctx.Done():
+				return
+			case <-t.C:
+			}
+			if err := c.fenceCheck(); err != nil {
+				c.fence(err)
+				return
+			}
+			if err := writeCoordLease(c.dir, c.epoch.Load()); err != nil {
+				log.Printf("crophe-serve: refreshing coordinator lease: %v", err)
+			}
+		}
+	}()
+}
+
+// startStandbyWatch polls the lease until the primary's timestamp goes
+// stale past the takeover timeout (or no primary ever appears), then
+// promotes. Until promotion the process answers health checks with 503
+// "standby" and refuses sweep traffic.
+func (c *coordinator) startStandbyWatch() {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		watchStart := time.Now()
+		t := time.NewTicker(c.hb)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.ctx.Done():
+				return
+			case <-t.C:
+			}
+			l, err := readCoordLease(c.dir)
+			if err != nil {
+				continue // cannot judge liveness this round; keep watching
+			}
+			last := watchStart // no lease yet: primary never came up
+			if l.TS != 0 {
+				last = time.Unix(0, l.TS)
+			}
+			if time.Since(last) < c.takeover {
+				continue
+			}
+			if err := c.promote(l.Epoch); err != nil {
+				log.Printf("crophe-serve: standby promotion failed: %v", err)
+				continue
+			}
+			return
+		}
+	}()
+}
+
+// promote turns the standby into the primary: claim the lease one epoch
+// above the dead primary's, fence it everywhere (lease file + worker
+// epoch stamps), replay the sweep journals, and open for leasing.
+func (c *coordinator) promote(prevEpoch int64) error {
+	e := prevEpoch + 1
+	c.epoch.Store(e)
+	if err := writeCoordLease(c.dir, e); err != nil {
+		return fmt.Errorf("claiming coordinator lease: %w", err)
+	}
+	log.Printf("crophe-serve: standby promoting to primary coordinator (epoch %d)", e)
+	for _, h := range c.workers {
+		h.client.SetCoordinatorEpoch(e)
+	}
+	c.startLeaseHeartbeat()
+	c.startHeartbeats()
+	if err := c.recover(); err != nil {
+		// Unreadable directory: the promoted coordinator can still serve
+		// new sweeps; the stranded journals stay for the next recovery.
+		log.Printf("crophe-serve: journal replay after takeover: %v", err)
+	}
+	c.active.Store(true)
+	return nil
+}
+
+// isActive reports whether this coordinator may lease and accept sweep
+// traffic: activated (or promoted) and not fenced.
+func (c *coordinator) isActive() bool {
+	return c.active.Load() && !c.fenced.Load()
+}

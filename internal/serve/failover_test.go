@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"crophe"
+	"crophe/internal/leakcheck"
+	"crophe/internal/serve/chaos"
+)
+
+// tightFailoverConfig is the coordinator config every failover test runs:
+// millisecond-scale heartbeats so a takeover converges in a test-sized
+// window instead of the production seconds.
+func tightFailoverConfig(dir string, urls []string) Config {
+	return Config{
+		Role:              RoleCoordinator,
+		WorkerURLs:        urls,
+		CheckpointDir:     dir,
+		HeartbeatInterval: 25 * time.Millisecond,
+		WorkerTimeout:     250 * time.Millisecond,
+		PollInterval:      10 * time.Millisecond,
+		TakeoverTimeout:   150 * time.Millisecond,
+	}
+}
+
+// TestStandbyTakesOverAfterPrimaryKill is the fail-over acceptance test:
+// SIGKILL-equivalent death of the primary coordinator mid-sweep, the
+// standby promotes off the stale lease, replays the shared journal, and
+// finishes the sweep byte-identical to a single process — at a bumped,
+// persisted epoch.
+func TestStandbyTakesOverAfterPrimaryKill(t *testing.T) {
+	leakcheck.Check(t)
+	dir := t.TempDir()
+	workers := make([]*Server, 2)
+	urls := make([]string, 2)
+	for i := range workers {
+		workers[i] = startServer(t, Config{CheckpointDir: t.TempDir()})
+		urls[i] = workers[i].Addr()
+	}
+	primary := startServer(t, tightFailoverConfig(dir, urls))
+	standbyCfg := tightFailoverConfig(dir, urls)
+	standbyCfg.Standby = true
+	standby := startServer(t, standbyCfg)
+
+	// A standby answers 503 "standby" until it promotes.
+	if err := NewClient(standby.Addr(), WithRetry(0, 0, 0)).Ready(context.Background()); err == nil {
+		t.Fatal("unpromoted standby reported ready")
+	}
+
+	fc, err := NewFailoverClient([]string{primary.Addr(), standby.Addr()})
+	if err != nil {
+		t.Fatalf("NewFailoverClient: %v", err)
+	}
+	req := SweepRequest{HW: "crophe64", Workload: "helr", Seed: 9, Steps: 8, DeadlineMS: 20}
+	st, err := fc.StartSweep(context.Background(), req)
+	if err != nil {
+		t.Fatalf("StartSweep: %v", err)
+	}
+
+	// Let the primary journal at least one merged rung so the takeover is
+	// a genuine mid-sweep resume, then crash it without drain.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		got, err := fc.SweepStatus(context.Background(), st.ID, false)
+		if err != nil {
+			t.Fatalf("pre-kill SweepStatus: %v", err)
+		}
+		if got.Completed >= 1 {
+			break
+		}
+		if got.State == jobDone {
+			t.Log("sweep outran the kill; takeover still validates recovery of a done journal")
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no merged rung before the kill: %+v", got)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	primary.Kill()
+
+	// Poll through the failover client. The window between the kill and
+	// the promotion yields connection errors and standby 503s — both
+	// retryable — so the loop tolerates errors until the takeover lands.
+	var final *SweepStatus
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		got, err := fc.SweepStatus(context.Background(), st.ID, false)
+		if err == nil {
+			if got.State == jobDone {
+				final = got
+				break
+			}
+			if got.State == jobFailed {
+				t.Fatalf("sweep failed across the takeover: %s", got.Error)
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep not done after takeover: status %+v, err %v", got, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The job kept its single-process identity across the takeover and the
+	// client rotated to the promoted standby.
+	if final.ID != st.ID {
+		t.Fatalf("job ID changed across takeover: %s -> %s", st.ID, final.ID)
+	}
+	if got := fc.Endpoint(); got != "http://"+standby.Addr() {
+		t.Fatalf("failover client targets %s; want the standby %s", got, standby.Addr())
+	}
+	if !standby.coord.isActive() {
+		t.Fatal("standby finished the sweep without reporting active")
+	}
+	if e := standby.coord.epoch.Load(); e != 2 {
+		t.Fatalf("promoted standby at epoch %d; want 2 (primary's 1 + 1)", e)
+	}
+	if l, err := readCoordLease(dir); err != nil || l.Epoch != 2 {
+		t.Fatalf("persisted lease = %+v, %v; want epoch 2", l, err)
+	}
+
+	// The acceptance criterion: the merged result is byte-identical to a
+	// fresh single-process run of the same sweep.
+	ref := referenceSweep(t, "crophe64", "helr", 9, 8, 20)
+	assertByteIdentical(t, coordResult(t, standby, st.ID), ref)
+}
+
+// TestClusterSweepByteIdenticalUnderTransportChaos: with every
+// coordinator→worker link injecting drops, resets, truncated bodies,
+// spurious 500s and latency, the orchestration loop's lease/poll/reap
+// machinery must still converge on a merged result byte-identical to a
+// clean single-process run — chaos may slow the sweep, never skew it.
+func TestClusterSweepByteIdenticalUnderTransportChaos(t *testing.T) {
+	leakcheck.Check(t)
+	spec, err := chaos.ParseSpec("drop:0.15,reset:0.1,trunc:0.1,err500:0.1,lat:0.2@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordSrv, _ := startCluster(t, 2, func(cfg *Config) {
+		cfg.NetChaos = spec
+		cfg.NetChaosSeed = 7
+	})
+	c := NewClient(coordSrv.Addr())
+
+	req := SweepRequest{HW: "crophe64", Workload: "helr", Seed: 5, Steps: 6, DeadlineMS: 3}
+	st, err := c.StartSweep(context.Background(), req)
+	if err != nil {
+		t.Fatalf("StartSweep: %v", err)
+	}
+	final := waitSweepDone(t, c, st.ID, 120*time.Second)
+	if len(final.Points) != 6 {
+		t.Fatalf("done sweep has %d points; want 6", len(final.Points))
+	}
+
+	ref := referenceSweep(t, "crophe64", "helr", 5, 6, 3)
+	assertByteIdentical(t, coordResult(t, coordSrv, st.ID), ref)
+
+	// The injector really fired: the run earned its "under chaos" name.
+	if ct := coordSrv.coord.chaosCounts(); ct == nil || ct.Total() == 0 {
+		t.Fatalf("chaos counts %+v; want injected faults on the worker links", ct)
+	}
+}
+
+// TestZombiePrimaryIsFenced: a primary that loses the lease race (here: a
+// usurper writes a higher epoch into the lease file) must demote itself —
+// refuse journal writes, count them, flip /readyz to "fenced", and reject
+// sweep traffic — rather than keep acting as coordinator.
+func TestZombiePrimaryIsFenced(t *testing.T) {
+	leakcheck.Check(t)
+	dir := t.TempDir()
+	worker := startServer(t, Config{CheckpointDir: t.TempDir()})
+	primary := startServer(t, tightFailoverConfig(dir, []string{worker.Addr()}))
+
+	if e := primary.coord.epoch.Load(); e != 1 {
+		t.Fatalf("fresh primary at epoch %d; want 1", e)
+	}
+
+	// The usurper: a higher epoch lands in the lease file. The primary's
+	// lease heartbeat notices within a few periods and self-fences.
+	if err := writeCoordLease(dir, primary.coord.epoch.Load()+5); err != nil {
+		t.Fatalf("usurping lease: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !primary.coord.fenced.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("primary never fenced after losing the lease")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if primary.coord.isActive() {
+		t.Fatal("fenced coordinator still reports active")
+	}
+
+	// Readiness advertises the fence so failover clients rotate away.
+	hc := &http.Client{}
+	defer hc.CloseIdleConnections()
+	code, body, _ := doJSON(t, hc, "GET", "http://"+primary.Addr()+"/readyz", nil, nil)
+	if code != http.StatusServiceUnavailable || body["status"] != "fenced" {
+		t.Fatalf("fenced readyz = %d %v; want 503 fenced", code, body)
+	}
+
+	// Sweep traffic is refused with a retryable 503, not accepted and not
+	// a final 4xx — the client's next stop is the new primary.
+	c := NewClient(primary.Addr(), WithRetry(0, 0, 0))
+	_, err := c.StartSweep(context.Background(),
+		SweepRequest{HW: "crophe64", Workload: "helr", Seed: 1, Steps: 2, DeadlineMS: 1})
+	var unavail *UnavailableError
+	if !errors.As(err, &unavail) {
+		t.Fatalf("StartSweep on fenced coordinator = %v; want *UnavailableError", err)
+	}
+
+	// The journal write path refuses too, and counts the refusal: a
+	// zombie's late lease lines must never land in the merged journal.
+	before := primary.coord.fencedWrites.Load()
+	step := 0
+	werr := primary.coord.append(nil, journalEntry{Step: &step, Point: &crophe.ResiliencePoint{Step: 0}})
+	var fe *FencedError
+	if !errors.As(werr, &fe) {
+		t.Fatalf("fenced append = %v; want *FencedError", werr)
+	}
+	if got := primary.coord.fencedWrites.Load(); got != before+1 {
+		t.Fatalf("fenced_writes %d -> %d; want an increment per refused write", before, got)
+	}
+}
+
+// TestWorkerRejectsStaleCoordinatorEpoch pins the worker side of the
+// fence: the highest epoch seen wins, anything lower is 409'd (a typed,
+// non-retryable *StaleEpochError) and counted, and a yet-higher epoch is
+// accepted — the monotonic handover contract.
+func TestWorkerRejectsStaleCoordinatorEpoch(t *testing.T) {
+	leakcheck.Check(t)
+	worker := startServer(t, Config{CheckpointDir: t.TempDir()})
+	c := NewClient(worker.Addr(), WithRetry(0, 0, 0))
+	req := SweepRequest{HW: "crophe64", Workload: "helr", Seed: 3, Steps: 2, DeadlineMS: 1}
+
+	c.SetCoordinatorEpoch(5)
+	if _, err := c.StartSweep(context.Background(), req); err != nil {
+		t.Fatalf("StartSweep at epoch 5: %v", err)
+	}
+
+	c.SetCoordinatorEpoch(3)
+	_, err := c.StartSweep(context.Background(), req)
+	var stale *StaleEpochError
+	if !errors.As(err, &stale) {
+		t.Fatalf("StartSweep at stale epoch 3 = %v; want *StaleEpochError", err)
+	}
+	if stale.Sent != 3 {
+		t.Fatalf("StaleEpochError.Sent = %d; want 3", stale.Sent)
+	}
+	if retryable(err) {
+		t.Fatal("a stale-epoch rejection must not be retryable: the sender is fenced")
+	}
+	// Memo pushes are fenced identically — a zombie must not warm workers.
+	if _, err := c.PushMemoSnapshot(context.Background(), crophe.MemoSnapshot{V: 1}); !errors.As(err, &stale) {
+		t.Fatalf("PushMemoSnapshot at stale epoch = %v; want *StaleEpochError", err)
+	}
+
+	// The new primary's higher epoch is accepted and becomes the floor.
+	c.SetCoordinatorEpoch(6)
+	if _, err := c.StartSweep(context.Background(), req); err != nil {
+		t.Fatalf("StartSweep at epoch 6: %v", err)
+	}
+
+	hc := &http.Client{}
+	defer hc.CloseIdleConnections()
+	_, vars, _ := doJSON(t, hc, "GET", "http://"+worker.Addr()+"/debug/vars", nil, nil)
+	reqs, _ := vars["requests"].(map[string]any)
+	if n, _ := reqs["stale_epoch_rejects"].(float64); n < 2 {
+		t.Fatalf("stale_epoch_rejects = %v; want >= 2", reqs["stale_epoch_rejects"])
+	}
+}

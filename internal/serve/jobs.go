@@ -102,34 +102,34 @@ func (m *jobManager) recover() error {
 		return err
 	}
 	for _, path := range paths {
-		params, points, done, keep, err := readJournal(path)
+		d, err := recoverJournal(path)
 		if err != nil {
 			m.mu.Lock()
 			// The path's base name is "<id>.sweep.jsonl"; fall back on it
 			// when even the header is gone.
-			id := params.ID
+			id := d.params.ID
 			if id == "" {
 				id = "corrupt:" + path
 			}
-			m.jobs[id] = &job{params: params, state: jobFailed, errText: err.Error()}
+			m.jobs[id] = &job{params: d.params, state: jobFailed, errText: err.Error()}
 			m.mu.Unlock()
 			continue
 		}
-		j := &job{params: params, completed: len(points)}
-		j.seedPoints(points)
-		if done {
+		j := &job{params: d.params, completed: len(d.points)}
+		j.seedPoints(d.points)
+		if d.done {
 			j.state = jobDone
-			j.result = assembleSweep(params, points)
+			j.result = assembleSweep(d.params, d.points)
 			m.mu.Lock()
-			m.jobs[params.ID] = j
+			m.jobs[d.params.ID] = j
 			m.mu.Unlock()
 			continue
 		}
 		j.state = jobRunning
 		m.mu.Lock()
-		m.jobs[params.ID] = j
+		m.jobs[d.params.ID] = j
 		m.mu.Unlock()
-		m.launch(j, points, keep, false)
+		m.launch(j, d.points, d.keep, false)
 	}
 	return nil
 }

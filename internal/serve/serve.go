@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"crophe/internal/parallel"
+	"crophe/internal/serve/chaos"
 	"crophe/internal/telemetry"
 )
 
@@ -94,6 +95,23 @@ type Config struct {
 	// PollInterval is the coordinator's shard-progress poll period.
 	// Default 100ms.
 	PollInterval time.Duration
+	// Standby makes a coordinator start passive: instead of claiming the
+	// checkpoint directory it watches the primary's lease and promotes
+	// itself — replaying the sweep journals, bumping the persisted
+	// coordinator epoch, fencing the old primary — only once the lease
+	// goes stale past TakeoverTimeout. Requires CheckpointDir (the lease
+	// lives there). Coordinator role only.
+	Standby bool
+	// TakeoverTimeout is how stale the primary's lease heartbeat must be
+	// before a standby promotes itself. Default 4×HeartbeatInterval.
+	TakeoverTimeout time.Duration
+	// NetChaos, when non-zero, wraps every coordinator→worker link in a
+	// seeded chaos.Transport injecting the spec'd faults (drops, resets,
+	// truncated bodies, spurious 500s, latency). Deterministic per
+	// (NetChaos, NetChaosSeed); for drills and tests.
+	NetChaos chaos.Spec
+	// NetChaosSeed seeds the chaos decision streams. Default 1.
+	NetChaosSeed int64
 	// RetryJitterSeed seeds the deterministic jitter added to 429
 	// Retry-After hints, decorrelating the retry stampede of clients shed
 	// in the same instant. Default 1; same seed, same jitter sequence.
@@ -134,6 +152,12 @@ func (c Config) withDefaults() Config {
 	if c.PollInterval <= 0 {
 		c.PollInterval = 100 * time.Millisecond
 	}
+	if c.TakeoverTimeout <= 0 {
+		c.TakeoverTimeout = 4 * c.HeartbeatInterval
+	}
+	if c.NetChaosSeed == 0 {
+		c.NetChaosSeed = 1
+	}
 	if c.RetryJitterSeed == 0 {
 		c.RetryJitterSeed = 1
 	}
@@ -160,6 +184,11 @@ type Server struct {
 	waiting  atomic.Int64
 	shedding atomic.Bool
 
+	// coordEpochSeen is the highest coordinator epoch any mutating RPC
+	// has carried (worker-side fencing state); requests with a lower
+	// epoch are rejected 409.
+	coordEpochSeen atomic.Int64
+
 	httpSrv  *http.Server
 	listener net.Listener
 
@@ -178,8 +207,7 @@ func New(cfg Config) *Server {
 	}
 	s.jobs = newJobManager(cfg.CheckpointDir)
 	if cfg.Role == RoleCoordinator {
-		s.coord = newCoordinator(cfg.CheckpointDir, cfg.WorkerURLs,
-			cfg.HeartbeatInterval, cfg.WorkerTimeout, cfg.PollInterval)
+		s.coord = newCoordinator(cfg)
 	}
 
 	mux := http.NewServeMux()
@@ -218,9 +246,18 @@ func (s *Server) Start() error {
 		if len(s.cfg.WorkerURLs) == 0 {
 			return fmt.Errorf("serve: coordinator role requires at least one worker URL")
 		}
-		s.coord.startHeartbeats()
-		if err := s.coord.recover(); err != nil {
-			return fmt.Errorf("serve: recovering checkpointed sweeps: %w", err)
+		if s.cfg.Standby {
+			if s.cfg.CheckpointDir == "" {
+				return fmt.Errorf("serve: a standby coordinator requires a checkpoint dir (the lease lives there)")
+			}
+			s.coord.startStandbyWatch()
+		} else {
+			if err := s.coord.activate(); err != nil {
+				return fmt.Errorf("serve: activating coordinator: %w", err)
+			}
+			if err := s.coord.recover(); err != nil {
+				return fmt.Errorf("serve: recovering checkpointed sweeps: %w", err)
+			}
 		}
 	} else if err := s.jobs.recover(); err != nil {
 		return fmt.Errorf("serve: recovering checkpointed sweeps: %w", err)
@@ -307,13 +344,40 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReadyz is readiness: 200 while accepting work, 503 during drain
-// so load balancers stop routing before in-flight work finishes.
+// so load balancers stop routing before in-flight work finishes. A
+// coordinator's readiness is aggregate, not local: a fenced zombie, an
+// unpromoted standby, and a coordinator with zero healthy workers all
+// answer 503 — an orchestrator must not route sweeps to a coordinator
+// that cannot place them, however healthy its own listener is.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.isDraining() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	if s.coord == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+		return
+	}
+	epoch := s.coord.epoch.Load()
+	if s.coord.fenced.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "fenced", "epoch": epoch})
+		return
+	}
+	if !s.coord.active.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "standby"})
+		return
+	}
+	healthy, total := s.coord.workerHealth()
+	body := map[string]any{
+		"status": "ready", "role": RoleCoordinator, "epoch": epoch,
+		"workers_healthy": healthy, "workers_total": total,
+	}
+	if healthy == 0 {
+		body["status"] = "no-worker-quorum"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // writeJSON encodes v in one shot after the handler finished computing,

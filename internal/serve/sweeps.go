@@ -53,6 +53,9 @@ func statusOf(j *job, raw bool) SweepStatus {
 // rungs shard across the configured workers — but the request and
 // response shapes are identical.
 func (s *Server) handleStartSweep(w http.ResponseWriter, r *http.Request) {
+	if s.fenceCoordinator(w, r) {
+		return
+	}
 	var req SweepRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.metrics.badInput.Add(1)
@@ -100,6 +103,12 @@ func (s *Server) handleStartSweep(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "a coordinator shards sweeps itself; shard_count must be 0")
 			return
 		}
+		// A standby that has not promoted (or a fenced zombie) must not
+		// accept sweeps — 503 makes failover clients rotate to the primary.
+		if !s.coord.isActive() {
+			writeError(w, http.StatusServiceUnavailable, "coordinator is not active (standby or fenced)")
+			return
+		}
 		cj, created, err := s.coord.start(params)
 		if err != nil {
 			writeError(w, http.StatusServiceUnavailable, "%v", err)
@@ -130,6 +139,12 @@ func (s *Server) handleGetSweep(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	raw := r.URL.Query().Get("raw") == "1"
 	if s.coord != nil {
+		// An unpromoted standby has no job state yet; answer 503 (a
+		// retryable, rotate-me signal) rather than a wrongly final 404.
+		if !s.coord.isActive() {
+			writeError(w, http.StatusServiceUnavailable, "coordinator is not active (standby or fenced)")
+			return
+		}
 		cj, ok := s.coord.get(id)
 		if !ok {
 			writeError(w, http.StatusNotFound, "no sweep job %q", id)

@@ -13,13 +13,14 @@ import (
 // request path (the telemetry collector is reserved for model-level
 // counters accumulated by simulations the server runs).
 type metrics struct {
-	requests  atomic.Uint64 // admitted and executed
-	shed      atomic.Uint64 // rejected with 429
-	rejected  atomic.Uint64 // rejected with 503 during drain
-	panics    atomic.Uint64 // recovered handler panics
-	partials  atomic.Uint64 // responses carrying partial: true
-	badInput  atomic.Uint64 // 4xx other than shedding
-	queueWait atomic.Uint64 // requests that waited for a slot (vs fast-path)
+	requests   atomic.Uint64 // admitted and executed
+	shed       atomic.Uint64 // rejected with 429
+	rejected   atomic.Uint64 // rejected with 503 during drain
+	panics     atomic.Uint64 // recovered handler panics
+	partials   atomic.Uint64 // responses carrying partial: true
+	badInput   atomic.Uint64 // 4xx other than shedding
+	queueWait  atomic.Uint64 // requests that waited for a slot (vs fast-path)
+	staleEpoch atomic.Uint64 // mutating RPCs 409'd for a stale coordinator epoch
 }
 
 // handleVars is the /debug/vars-style observability endpoint: admission
@@ -44,13 +45,14 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 			"shedding":    s.shedding.Load(),
 		},
 		"requests": map[string]any{
-			"served":      s.metrics.requests.Load(),
-			"shed":        s.metrics.shed.Load(),
-			"rejected":    s.metrics.rejected.Load(),
-			"panics":      s.metrics.panics.Load(),
-			"partial":     s.metrics.partials.Load(),
-			"bad_input":   s.metrics.badInput.Load(),
-			"queue_waits": s.metrics.queueWait.Load(),
+			"served":              s.metrics.requests.Load(),
+			"shed":                s.metrics.shed.Load(),
+			"rejected":            s.metrics.rejected.Load(),
+			"panics":              s.metrics.panics.Load(),
+			"partial":             s.metrics.partials.Load(),
+			"bad_input":           s.metrics.badInput.Load(),
+			"queue_waits":         s.metrics.queueWait.Load(),
+			"stale_epoch_rejects": s.metrics.staleEpoch.Load(),
 		},
 		"schedule_memo": map[string]any{
 			"hits":         memo.Hits,
@@ -68,7 +70,36 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 		},
 		"telemetry": s.tel.CounterMap(),
 	}
+	if s.coord != nil {
+		out["coordinator"] = s.coordVars()
+	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// coordVars renders the coordinator's fail-over and chaos state.
+func (s *Server) coordVars() map[string]any {
+	healthy, total := s.coord.workerHealth()
+	cv := map[string]any{
+		"epoch":           s.coord.epoch.Load(),
+		"active":          s.coord.active.Load(),
+		"fenced":          s.coord.fenced.Load(),
+		"standby":         s.cfg.Standby,
+		"fenced_writes":   s.coord.fencedWrites.Load(),
+		"workers_healthy": healthy,
+		"workers_total":   total,
+	}
+	if cc := s.coord.chaosCounts(); cc != nil {
+		cv["net_chaos"] = map[string]any{
+			"spec":        s.cfg.NetChaos.String(),
+			"requests":    cc.Requests,
+			"drops":       cc.Drops,
+			"resets":      cc.Resets,
+			"truncations": cc.Truncations,
+			"err500s":     cc.Err500s,
+			"latencies":   cc.Latencies,
+		}
+	}
+	return cv
 }
 
 // handleCluster reports the cluster topology: the instance's role, and —
@@ -81,6 +112,7 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, out)
 		return
 	}
+	out["coordinator"] = s.coordVars()
 
 	var workers []map[string]any
 	for _, h := range s.coord.workers {

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"log"
 	"net/http"
+	"strconv"
 
 	"crophe"
 )
@@ -21,10 +23,46 @@ func (s *Server) handleMemoExport(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, crophe.ExportScheduleMemo())
 }
 
+// fenceCoordinator enforces worker-side epoch fencing on mutating RPCs.
+// A request carrying X-Crophe-Coordinator-Epoch below the highest epoch
+// this worker has seen gets a 409 and the caller must stop — it is a
+// zombie coordinator a standby already superseded. Requests without the
+// header (plain API clients) pass untouched. Returns true when the
+// request was rejected and the response already written.
+func (s *Server) fenceCoordinator(w http.ResponseWriter, r *http.Request) bool {
+	h := r.Header.Get(CoordEpochHeader)
+	if h == "" {
+		return false
+	}
+	epoch, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || epoch < 1 {
+		s.metrics.badInput.Add(1)
+		writeError(w, http.StatusBadRequest, "invalid %s header %q", CoordEpochHeader, h)
+		return true
+	}
+	for {
+		seen := s.coordEpochSeen.Load()
+		if epoch < seen {
+			s.metrics.staleEpoch.Add(1)
+			log.Printf("crophe-serve: rejecting %s %s from stale coordinator epoch %d (highest seen %d)",
+				r.Method, r.URL.Path, epoch, seen)
+			writeError(w, http.StatusConflict,
+				"coordinator epoch %d is stale (highest seen %d)", epoch, seen)
+			return true
+		}
+		if epoch == seen || s.coordEpochSeen.CompareAndSwap(seen, epoch) {
+			return false
+		}
+	}
+}
+
 // handleMemoImport installs a snapshot into this process's warm memo
 // tier (POST /v1/memo/snapshot). Entries never shadow fully evaluated
 // schedules; an unknown snapshot version is a 422, not a crash.
 func (s *Server) handleMemoImport(w http.ResponseWriter, r *http.Request) {
+	if s.fenceCoordinator(w, r) {
+		return
+	}
 	var snap crophe.MemoSnapshot
 	if err := decodeJSON(r, &snap); err != nil {
 		s.metrics.badInput.Add(1)

@@ -146,6 +146,23 @@ func MergeResilienceShards(steps int, shards ...*ResilienceSweep) (*ResilienceSw
 	return fault.MergeShards(steps, shards...)
 }
 
+// FencedResilienceShard pairs a shard result with the coordinator epoch
+// it was produced under, for MergeResilienceShardsFenced.
+type FencedResilienceShard = fault.FencedShard
+
+// ErrStaleResilienceShardEpoch marks a shard produced under a
+// superseded coordinator epoch (test with errors.Is).
+var ErrStaleResilienceShardEpoch = fault.ErrStaleShardEpoch
+
+// MergeResilienceShardsFenced merges like MergeResilienceShards but
+// rejects — wrapping ErrStaleResilienceShardEpoch — any shard whose
+// epoch differs from the merging coordinator's, so results a zombie
+// coordinator was still holding when a standby took over can never
+// corrupt the merged report.
+func MergeResilienceShardsFenced(steps int, epoch int64, shards ...FencedResilienceShard) (*ResilienceSweep, error) {
+	return fault.MergeShardsFenced(steps, epoch, shards...)
+}
+
 // RunResilienceSweep runs a full sweep with rungs in parallel, the
 // runner bounded by ctx.
 //

@@ -1,0 +1,326 @@
+// Command failoversmoke is the coordinator fail-over smoke drill: it
+// boots a real four-process cluster — two single-role crophe-serve
+// workers, a primary coordinator, and a standby coordinator sharing the
+// primary's checkpoint directory — with deterministic transport chaos on
+// every coordinator→worker link, starts a resilience sweep, freezes the
+// primary mid-sweep (SIGSTOP: a partition, the worst case — the process
+// is alive and will come back), and requires:
+//
+//   - the standby to promote off the stale lease, replay the shared
+//     journal, and finish the sweep at a bumped persisted epoch;
+//   - the merged report to be byte-identical — same job ID, same bytes —
+//     to a fresh single-process server's answer for the same request;
+//   - the thawed primary (SIGCONT: now a zombie coordinator) to fence
+//     itself on the usurped lease rather than keep acting as primary,
+//     with its late journal writes refused, never merged.
+//
+// All API traffic goes through the typed serve.Client (the terminal
+// polls through its failover rotation) — a plain Go program, so
+// `make failover-smoke` and CI run the identical drill.
+//
+// Usage:
+//
+//	failoversmoke -bin path/to/crophe-serve
+//
+// Exits 0 when every probe passes, 1 with a diagnostic otherwise.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+
+	"crophe/internal/serve"
+)
+
+type server struct {
+	name   string
+	cmd    *exec.Cmd
+	addr   string
+	client *serve.Client
+}
+
+var running []*server
+
+func fatalf(format string, a ...any) {
+	for _, s := range running {
+		if s.cmd.Process != nil {
+			_ = s.cmd.Process.Kill()
+			_, _ = s.cmd.Process.Wait()
+		}
+	}
+	fmt.Fprintf(os.Stderr, "failoversmoke: FAIL: "+format+"\n", a...)
+	os.Exit(1)
+}
+
+func step(format string, a ...any) { fmt.Printf("failoversmoke: "+format+"\n", a...) }
+
+// start launches one crophe-serve process and parses its listen address.
+func start(bin, name string, args ...string) *server {
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		fatalf("%s: stdout pipe: %v", name, err)
+	}
+	if err := cmd.Start(); err != nil {
+		fatalf("%s: starting %s: %v", name, bin, err)
+	}
+	s := &server{name: name, cmd: cmd}
+	running = append(running, s)
+
+	lines := bufio.NewScanner(stdout)
+	for lines.Scan() {
+		if rest, ok := strings.CutPrefix(lines.Text(), "crophe-serve: listening on "); ok {
+			s.addr = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if s.addr == "" {
+		fatalf("%s exited without announcing a listen address", name)
+	}
+	go func() {
+		for lines.Scan() {
+		}
+	}()
+	s.client = serve.NewClient(s.addr)
+	return s
+}
+
+func (s *server) signal(sig syscall.Signal) {
+	if err := s.cmd.Process.Signal(sig); err != nil {
+		fatalf("%s: %v: %v", s.name, sig, err)
+	}
+}
+
+func (s *server) drain() {
+	s.signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- s.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			fatalf("%s exited non-zero after SIGTERM: %v", s.name, err)
+		}
+	case <-time.After(30 * time.Second):
+		fatalf("%s did not drain within 30s of SIGTERM", s.name)
+	}
+}
+
+// getRaw fetches a path and returns status plus the exact body bytes —
+// the byte-identity comparison works on these.
+func (s *server) getRaw(path string) (int, []byte) {
+	resp, err := http.Get("http://" + s.addr + path)
+	if err != nil {
+		fatalf("%s: GET %s: %v", s.name, path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatalf("%s: GET %s: reading body: %v", s.name, path, err)
+	}
+	return resp.StatusCode, body
+}
+
+// coordVars pulls the "coordinator" block out of /debug/vars.
+func (s *server) coordVars() map[string]any {
+	code, body := s.getRaw("/debug/vars")
+	if code != 200 {
+		fatalf("%s: /debug/vars = %d", s.name, code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal(body, &vars); err != nil {
+		fatalf("%s: /debug/vars: %v", s.name, err)
+	}
+	cv, _ := vars["coordinator"].(map[string]any)
+	if cv == nil {
+		fatalf("%s: /debug/vars has no coordinator block: %s", s.name, body)
+	}
+	return cv
+}
+
+func main() {
+	bin := flag.String("bin", "", "path to a built crophe-serve binary")
+	flag.Parse()
+	if *bin == "" {
+		fmt.Fprintln(os.Stderr, "failoversmoke: -bin is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	tmp, err := os.MkdirTemp("", "failoversmoke-*")
+	if err != nil {
+		fatalf("temp dir: %v", err)
+	}
+	defer os.RemoveAll(tmp)
+	mkdir := func(name string) string {
+		d := tmp + "/" + name
+		if err := os.Mkdir(d, 0o755); err != nil {
+			fatalf("mkdir %s: %v", d, err)
+		}
+		return d
+	}
+
+	const chaosSpec = "drop:0.1,reset:0.05,trunc:0.05,err500:0.05,lat:0.2@2"
+	w0 := start(*bin, "worker0", "-checkpoint-dir", mkdir("w0"))
+	w1 := start(*bin, "worker1", "-checkpoint-dir", mkdir("w1"))
+	shared := mkdir("coord") // primary and standby share it: journals + lease
+	coordArgs := []string{
+		"-role", "coordinator",
+		"-workers", w0.addr + "," + w1.addr,
+		"-checkpoint-dir", shared,
+		"-heartbeat", "25ms", "-worker-timeout", "250ms", "-poll", "10ms",
+		"-chaos-net", chaosSpec, "-chaos-net-seed", "11",
+	}
+	primary := start(*bin, "primary", coordArgs...)
+	standby := start(*bin, "standby", append(coordArgs, "-standby", "-takeover", "200ms")...)
+	step("cluster up: primary %s, standby %s, workers %s %s (chaos %s)",
+		primary.addr, standby.addr, w0.addr, w1.addr, chaosSpec)
+
+	// The unpromoted standby must refuse traffic.
+	if code, body := standby.getRaw("/readyz"); code != 503 || !bytes.Contains(body, []byte("standby")) {
+		fatalf("unpromoted standby /readyz = %d %s; want 503 standby", code, body)
+	}
+
+	const steps, deadlineMS = 12, 15
+	req := serve.SweepRequest{HW: "crophe64", Workload: "helr", Seed: 9, Steps: steps, DeadlineMS: deadlineMS}
+	ctx := context.Background()
+	st, err := primary.client.StartSweep(ctx, req)
+	if err != nil {
+		fatalf("StartSweep: %v", err)
+	}
+	id := st.ID
+	step("distributed sweep %s started under transport chaos", id)
+
+	// Freeze the primary once at least one merged rung is journaled: the
+	// takeover replays a genuinely mid-flight journal.
+	killDeadline := time.Now().Add(120 * time.Second)
+	for {
+		got, err := primary.client.SweepStatus(ctx, id, false)
+		if err != nil {
+			fatalf("pre-freeze poll: %v", err)
+		}
+		if got.Completed >= 1 {
+			break
+		}
+		if time.Now().After(killDeadline) {
+			fatalf("no merged rung before the freeze window closed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	primary.signal(syscall.SIGSTOP)
+	step("primary SIGSTOPped mid-sweep (partitioned, not dead)")
+
+	// Poll through the client's failover rotation. Until the standby
+	// promotes, polls hit a frozen primary (hangs cut by the per-poll
+	// deadline) and a 503 standby — both retryable — so the loop
+	// tolerates errors until the takeover lands.
+	// The transport timeout (not a per-poll context deadline) bounds each
+	// attempt against the frozen primary, so the client's failover
+	// rotation still gets to run after the hang is cut.
+	fc, err := serve.NewFailoverClient([]string{primary.addr, standby.addr},
+		serve.WithHTTPClient(&http.Client{Timeout: 2 * time.Second}))
+	if err != nil {
+		fatalf("NewFailoverClient: %v", err)
+	}
+	var final *serve.SweepStatus
+	doneDeadline := time.Now().Add(180 * time.Second)
+	for {
+		got, err := fc.SweepStatus(ctx, id, false)
+		if err == nil {
+			if got.State == "done" {
+				final = got
+				break
+			}
+			if got.State == "failed" {
+				fatalf("sweep failed across the takeover: %s", got.Error)
+			}
+		}
+		if time.Now().After(doneDeadline) {
+			fatalf("sweep not done after takeover: status %+v, err %v", got, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if final.ID != id || len(final.Points) != steps {
+		fatalf("post-takeover sweep = id %s, %d points; want %s, %d", final.ID, len(final.Points), id, steps)
+	}
+	cv := standby.coordVars()
+	if cv["active"] != true {
+		fatalf("standby finished the sweep without reporting active: %v", cv)
+	}
+	if epoch, _ := cv["epoch"].(float64); epoch < 2 {
+		fatalf("promoted standby at epoch %v; want >= 2", cv["epoch"])
+	}
+	step("standby promoted (epoch %v) and finished the sweep (%d rungs)", cv["epoch"], steps)
+
+	// Thaw the primary: now a zombie coordinator holding a usurped lease.
+	// Its lease heartbeat must fence it — /readyz flips to 503 "fenced" —
+	// and its late journal writes are refused, never merged.
+	primary.signal(syscall.SIGCONT)
+	fenceDeadline := time.Now().Add(30 * time.Second)
+	for {
+		code, body := primary.getRaw("/readyz")
+		if code == 503 && bytes.Contains(body, []byte("fenced")) {
+			break
+		}
+		if time.Now().After(fenceDeadline) {
+			fatalf("thawed primary never fenced: /readyz = %d %s", code, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	step("thawed zombie primary fenced itself (readyz 503 fenced)")
+
+	// Byte-identity: a fresh single-process server answering the same
+	// request produces the identical status document — same deterministic
+	// job ID, bit-exact raw points — as the standby's merged job.
+	single := start(*bin, "single", "-checkpoint-dir", mkdir("single"))
+	st2, err := single.client.StartSweep(ctx, req)
+	if err != nil {
+		fatalf("single-process StartSweep: %v", err)
+	}
+	if st2.ID != id {
+		fatalf("single-process job ID %s != distributed job ID %s", st2.ID, id)
+	}
+	singleDeadline := time.Now().Add(180 * time.Second)
+	for {
+		got, err := single.client.SweepStatus(ctx, id, false)
+		if err != nil {
+			fatalf("single-process poll: %v", err)
+		}
+		if got.State == "done" {
+			break
+		}
+		if got.State == "failed" {
+			fatalf("single-process sweep failed: %s", got.Error)
+		}
+		if time.Now().After(singleDeadline) {
+			fatalf("single-process sweep did not finish")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	_, mergedBody := standby.getRaw("/v1/sweeps/" + id + "?raw=1")
+	_, singleBody := single.getRaw("/v1/sweeps/" + id + "?raw=1")
+	if !bytes.Equal(mergedBody, singleBody) {
+		fatalf("merged status document differs from the single-process one:\nstandby: %s\n single: %s", mergedBody, singleBody)
+	}
+	step("merged report byte-identical to the single-process run (%d bytes)", len(mergedBody))
+
+	standby.drain()
+	primary.drain()
+	w0.drain()
+	w1.drain()
+	single.drain()
+	step("drain clean")
+
+	fmt.Println("failoversmoke: PASS")
+}
