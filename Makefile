@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test lint lint-json vet race fuzz bench bench-json bench-diff bench-kernels trace-smoke chaos-smoke serve-smoke cluster-smoke failover-smoke clean
+.PHONY: all build test lint lint-json vet race fuzz bench bench-json bench-diff bench-kernels trace-smoke chaos-smoke serve-smoke cluster-smoke failover-smoke sdc-smoke clean
 
 all: build lint test
 
@@ -37,6 +37,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzModMath -fuzztime=$(FUZZTIME) ./internal/modmath/
 	$(GO) test -run=^$$ -fuzz=FuzzNTTRoundTrip -fuzztime=$(FUZZTIME) ./internal/ntt/
 	$(GO) test -run=^$$ -fuzz=FuzzMarshalRoundTrip -fuzztime=$(FUZZTIME) ./internal/ckks/
+	$(GO) test -run=^$$ -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/fault/
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -104,6 +105,19 @@ cluster-smoke:
 failover-smoke:
 	$(GO) build -o $(SERVE_BIN) ./cmd/crophe-serve
 	$(GO) run ./scripts/failoversmoke -bin $(SERVE_BIN)
+
+# Silent-data-corruption drill: a degraded crophe-sim run pricing the
+# detect-recompute-escalate recovery (malformed flip/scrub specs must
+# exit 2), then a sharded sweep with every coordinator→worker link
+# flipping one bit of most response bodies — the merged report must stay
+# byte-identical to a single-process run, with the refused shard
+# payloads visible at /debug/vars.
+SIM_BIN ?= /tmp/crophe-sim-smoke
+
+sdc-smoke:
+	$(GO) build -o $(SERVE_BIN) ./cmd/crophe-serve
+	$(GO) build -o $(SIM_BIN) ./cmd/crophe-sim
+	$(GO) run ./scripts/sdcsmoke -bin $(SERVE_BIN) -sim $(SIM_BIN)
 
 clean:
 	$(GO) clean ./...

@@ -6,15 +6,18 @@
 //	crophe-bench diff [-threshold 0.25] [-metric-tol 1e-6] OLD.json NEW.json
 //
 // With -json, a machine-readable report (per-experiment wall clock,
-// allocation deltas, headline model metrics, measured kernel ns/op, and
-// search-telemetry counters — schema v3) is written to BENCH_<date>.json (override with
+// allocation deltas, headline model metrics, measured kernel ns/op and
+// ABFT integrity overhead, and search-telemetry counters — schema v4) is
+// written to BENCH_<date>.json (override with
 // -o) alongside the usual text output. With -trace, a Chrome trace-event
 // JSON with one wall-clock span per experiment plus the accumulated
 // search counters is written (loadable in chrome://tracing / Perfetto).
 // The diff subcommand compares two such reports — either schema version —
 // and exits non-zero when the new one regresses: cost fields (wall clock,
-// allocations) beyond -threshold, or deterministic model metrics drifting
-// beyond -metric-tol. With -deadline, the run stops launching further
+// allocations) beyond -threshold, deterministic model metrics drifting
+// beyond -metric-tol, or a measured integrity_overhead_frac above the
+// absolute 3% ceiling (gated against the NEW report regardless of
+// baseline). With -deadline, the run stops launching further
 // experiments once the wall-clock budget is spent (plain mode only — a
 // truncated report would poison diff baselines). Malformed -deadline
 // values print usage and exit 2.

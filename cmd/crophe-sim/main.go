@@ -23,8 +23,12 @@
 //
 // With -faults, the chip is degraded by a deterministic, seed-driven
 // fault plan before scheduling (grammar:
-// rows:N,lanes:F,links:N,slow:N@F,banks:N,hbm:F,stalls:N@D,stallp:F) and
-// the run reports throughput retained versus the healthy machine. With
+// rows:N,lanes:F,links:N,slow:N@F,banks:N,hbm:F,stalls:N@D,stallp:F,
+// flip:F,scrub:P — flip injects silent bit corruption at rate F per
+// checked kernel, scrub prices a background scrub pass every P cycles)
+// and the run reports throughput retained versus the healthy machine,
+// plus the priced detect-recompute-escalate integrity outcome when the
+// plan carries an SDC dimension. With
 // -sweep N, the tool instead runs an N-rung escalating resilience sweep
 // and prints the report. -deadline bounds each schedule search through
 // the deterministic anytime budget; the best-so-far schedule is used
@@ -127,7 +131,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON to this path")
 	meshSpec := flag.String("mesh", "", "override the PE mesh as WxH (e.g. 16x4)")
 	traceCheck := flag.String("tracecheck", "", "validate a trace file written by -trace, then exit")
-	faultSpec := flag.String("faults", "", "degrade the chip by a fault spec (e.g. rows:1,links:2,hbm:0.8)")
+	faultSpec := flag.String("faults", "", "degrade the chip by a fault spec (e.g. rows:1,links:2,hbm:0.8,flip:0.001,scrub:100000)")
 	seed := flag.Int64("seed", 1, "deterministic seed for fault placement")
 	deadlineSpec := flag.String("deadline", "", "bound each schedule search (duration, e.g. 200ms)")
 	sweepSteps := flag.Int("sweep", 0, "run an N-rung escalating resilience sweep")
@@ -261,6 +265,11 @@ func runDegraded(hw *arch.HWConfig, w *workload.Workload, opt sched.Options, spe
 		return err
 	}
 	fmt.Println(r.Describe())
+	if r.Integrity != nil {
+		fmt.Printf("sdc integrity: %.0f checks, %.0f detected, %.0f recomputed, %.0f escalated, penalty %.0f cycles\n",
+			r.Integrity.Checks, r.Integrity.Detected, r.Integrity.Recomputed,
+			r.Integrity.Escalated, r.Integrity.PenaltyCycles())
+	}
 	fmt.Printf("degraded schedule: %.3f ms; cycle simulation: %.3f ms\n",
 		s.TimeSec*1e3, r.TimeSec*1e3)
 	if s.Partial {

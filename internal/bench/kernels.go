@@ -2,10 +2,12 @@ package bench
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 	"time"
 
+	"crophe/internal/integrity"
 	"crophe/internal/modmath"
 	"crophe/internal/ntt"
 )
@@ -77,6 +79,113 @@ func Kernels(fast bool) ([]KernelRow, error) {
 		}
 	}
 	return rows, nil
+}
+
+// IntegrityRow is one measured plain-vs-checked pairing of the
+// four-step forward transform: the ABFT-verified kernel against the
+// unchecked one on the same table and input, and the implied relative
+// overhead of carrying the checksum.
+type IntegrityRow struct {
+	N            int
+	PlainNs      float64
+	CheckedNs    float64
+	OverheadFrac float64 // max(0, best checked/plain ratio - 1 over interleaved pairs)
+}
+
+// integrityShapes are the transform sizes measured for the ABFT
+// overhead gate; fast mode keeps the single CI-smoke shape.
+func integrityShapes(fast bool) []int {
+	if fast {
+		return []int{4096}
+	}
+	return []int{4096, 16384}
+}
+
+// KernelIntegrity measures the cost of the checked four-step forward
+// transform against the unchecked kernel. The overhead fraction is the
+// quantity the bench-diff gate pins: the fused-checksum design claims
+// the verification rides along nearly free, and a refactor that breaks
+// the fusion shows up here as overhead above the gate.
+func KernelIntegrity(fast bool) ([]IntegrityRow, error) {
+	var rows []IntegrityRow
+	for _, n := range integrityShapes(fast) {
+		primes, err := modmath.GeneratePrimes(45, uint64(n), 1)
+		if err != nil {
+			return nil, fmt.Errorf("bench: integrity N=%d: %w", n, err)
+		}
+		tbl, err := ntt.NewTable(modmath.MustModulus(primes[0]), n)
+		if err != nil {
+			return nil, err
+		}
+		n1 := 1
+		for n1*n1 < n {
+			n1 <<= 1
+		}
+		fs, err := ntt.NewFourStep(tbl, n1, n/n1)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(int64(n)))
+		a := make([]uint64, n)
+		for i := range a {
+			a[i] = rng.Uint64() % tbl.M.Q
+		}
+		dst := make([]uint64, n)
+		ck := integrity.NewChecker(1)
+		plainOp := func() { fs.Forward(dst, a) }
+		checkedOp := func() {
+			if _, err := fs.ForwardChecked(dst, a, ck); err != nil {
+				panic(err) // no injector: a mismatch here is a real kernel bug
+			}
+		}
+		// Interleaved pairs: a load spike hitting only one side of a
+		// single plain-then-checked measurement inflates the apparent
+		// overhead by far more than the check costs, so the gate takes
+		// the best checked/plain ratio across adjacent pairs — paired
+		// samples see the same machine, and noise only ever pushes the
+		// ratio up.
+		plain, checked := math.Inf(1), math.Inf(1)
+		overhead := math.Inf(1)
+		for pair := 0; pair < 5; pair++ {
+			p := measureNsOp(plainOp)
+			c := measureNsOp(checkedOp)
+			if r := c/p - 1; r < overhead {
+				overhead = r
+			}
+			plain = math.Min(plain, p)
+			checked = math.Min(checked, c)
+		}
+		if overhead < 0 {
+			overhead = 0 // the check cannot be negative work
+		}
+		rows = append(rows, IntegrityRow{N: n, PlainNs: plain, CheckedNs: checked, OverheadFrac: overhead})
+	}
+	return rows, nil
+}
+
+// RenderKernelIntegrity formats the overhead measurements.
+func RenderKernelIntegrity(rows []IntegrityRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "KERNELS — ABFT INTEGRITY OVERHEAD (measured, this machine; gate %.0f%%)\n",
+		maxIntegrityOverheadFrac*100)
+	fmt.Fprintf(&b, "%8s %12s %12s %10s\n", "N", "plain ns", "checked ns", "overhead")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d %12.0f %12.0f %9.2f%%\n", r.N, r.PlainNs, r.CheckedNs, r.OverheadFrac*100)
+	}
+	return b.String()
+}
+
+// integrityMetrics flattens the overhead rows. The ns_op keys get the
+// usual cost semantics in Compare; the integrity_overhead_frac keys get
+// the absolute gate.
+func integrityMetrics(rows []IntegrityRow) map[string]float64 {
+	m := map[string]float64{}
+	for _, r := range rows {
+		m[fmt.Sprintf("kernels/ns_op/fourstep_forward/N=%d", r.N)] = r.PlainNs
+		m[fmt.Sprintf("kernels/ns_op/fourstep_forward_integrity/N=%d", r.N)] = r.CheckedNs
+		m[fmt.Sprintf("kernels/integrity_overhead_frac/N=%d", r.N)] = r.OverheadFrac
+	}
+	return m
 }
 
 // measureNsOp times op: one warm-up call, then reps doubled until a

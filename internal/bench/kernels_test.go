@@ -40,6 +40,104 @@ func TestKernelsFast(t *testing.T) {
 	}
 }
 
+// TestKernelIntegrityFast is the live overhead measurement: the checked
+// four-step transform must clear the bench gate on this machine. It
+// doubles as the acceptance criterion for the fused-checksum design —
+// if the fusion regresses, this fails before the diff gate ever runs.
+func TestKernelIntegrityFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing measurement")
+	}
+	// Plain and checked samples are taken moments apart, so a scheduler
+	// blip during one side inflates the apparent overhead; noise is
+	// one-sided upward, making the best of a few attempts the honest
+	// estimate. The gate must clear on at least one attempt.
+	var rows []IntegrityRow
+	for attempt := 0; attempt < 5; attempt++ {
+		var err error
+		rows, err = KernelIntegrity(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := 0.0
+		for _, r := range rows {
+			if r.PlainNs <= 0 || r.CheckedNs <= 0 {
+				t.Fatalf("N=%d: non-positive measurement %+v", r.N, r)
+			}
+			if r.OverheadFrac > worst {
+				worst = r.OverheadFrac
+			}
+		}
+		if worst <= maxIntegrityOverheadFrac {
+			break
+		}
+		if attempt == 4 {
+			t.Errorf("ABFT overhead %.2f%% exceeds the %.0f%% gate on every attempt: %+v",
+				worst*100, maxIntegrityOverheadFrac*100, rows)
+		}
+	}
+	if len(rows) != len(integrityShapes(true)) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(integrityShapes(true)))
+	}
+	rendered := RenderKernelIntegrity(rows)
+	if !strings.Contains(rendered, "ABFT INTEGRITY OVERHEAD") {
+		t.Errorf("render missing header:\n%s", rendered)
+	}
+	m := integrityMetrics(rows)
+	if len(m) != 3*len(rows) {
+		t.Fatalf("metrics: got %d keys, want %d", len(m), 3*len(rows))
+	}
+	gates := 0
+	for k := range m {
+		if isIntegrityGate(k) {
+			gates++
+			if isCostMetric(k) {
+				t.Errorf("gate metric %q double-classified as ns_op cost", k)
+			}
+		}
+	}
+	if gates != len(rows) {
+		t.Fatalf("got %d gate keys, want %d", gates, len(rows))
+	}
+}
+
+// TestCompareIntegrityGateAbsolute pins the schema-v4 rule: an
+// integrity_overhead_frac above the ceiling flags against ANY baseline —
+// including one that predates the metric or that already breached — and
+// values under the ceiling never flag, whatever the baseline said.
+func TestCompareIntegrityGateAbsolute(t *testing.T) {
+	mk := func(metrics map[string]float64) *Report {
+		return &Report{
+			SchemaVersion: ReportSchemaVersion,
+			Experiments:   []ExperimentResult{{ID: "kernels", WallMS: 10, Metrics: metrics}},
+		}
+	}
+	key := "kernels/integrity_overhead_frac/N=4096"
+	nsKey := "kernels/ns_op/forward/N=4096/limbs=8"
+	noMetric := mk(map[string]float64{nsKey: 1000})
+	under := mk(map[string]float64{nsKey: 1000, key: 0.01})
+	over := mk(map[string]float64{nsKey: 1000, key: 0.05})
+
+	// Breach flags even when the baseline never had the metric.
+	regs := Compare(noMetric, over, 0.5, 1e-6)
+	if len(regs) != 1 || regs[0].Metric != key {
+		t.Fatalf("gate breach vs old baseline: got %+v, want one %s regression", regs, key)
+	}
+	// A baseline that already breached does not grandfather it.
+	if regs := Compare(over, over, 0.5, 1e-6); len(regs) != 1 {
+		t.Errorf("breached baseline grandfathered the breach: %+v", regs)
+	}
+	// Under the gate: clean, even with large relative drift vs baseline.
+	if regs := Compare(under, mk(map[string]float64{nsKey: 1000, key: 0.029}), 0.5, 1e-6); len(regs) != 0 {
+		t.Errorf("sub-gate drift flagged: %+v", regs)
+	}
+	// The metric disappearing entirely is still structural.
+	regs = Compare(under, noMetric, 0.5, 1e-6)
+	if len(regs) != 1 || !regs[0].Structural {
+		t.Errorf("vanished gate metric: got %+v, want one structural regression", regs)
+	}
+}
+
 // TestCompareNsOpCostSemantics pins the schema-v3 rule: ns_op metric
 // keys flag only thresholded increases, never improvements, while
 // ordinary model metrics keep the tight bidirectional tolerance.

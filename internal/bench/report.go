@@ -28,7 +28,12 @@ import (
 //	     are machine measurements and carry cost semantics in Compare
 //	     (increase-only, gated by the cost threshold) instead of the
 //	     deterministic-metric tolerance
-const ReportSchemaVersion = 3
+//	v4 — the "kernels" experiment additionally measures the ABFT-checked
+//	     four-step transform; metric keys containing
+//	     "/integrity_overhead_frac" carry an absolute gate in Compare
+//	     (flagged whenever the NEW value exceeds maxIntegrityOverheadFrac,
+//	     baseline or not) instead of either tolerance
+const ReportSchemaVersion = 4
 
 // minReadableSchemaVersion is the oldest layout LoadReport still parses:
 // every field added since v1 is optional, so a v1 report reads cleanly.
@@ -128,7 +133,15 @@ func runWithMetrics(id string, fast bool) (string, map[string]float64, error) {
 		if err != nil {
 			return "", nil, err
 		}
-		return RenderKernels(rows), kernelMetrics(rows), nil
+		irows, err := KernelIntegrity(fast)
+		if err != nil {
+			return "", nil, err
+		}
+		m := kernelMetrics(rows)
+		for k, v := range integrityMetrics(irows) {
+			m[k] = v
+		}
+		return RenderKernels(rows) + "\n" + RenderKernelIntegrity(irows), m, nil
 	default:
 		out, err := Run(id, fast)
 		return out, nil, err
@@ -252,12 +265,26 @@ const (
 	minAllocDeltaObjs = 10000
 )
 
+// maxIntegrityOverheadFrac is the absolute ceiling on the measured ABFT
+// overhead of the checked transforms (schema v4): the fused-checksum
+// design budgets the verification at 3% of the unchecked kernel, and
+// Compare flags any new report whose measured fraction exceeds it —
+// whether or not the baseline had the metric at all.
+const maxIntegrityOverheadFrac = 0.03
+
 // isCostMetric reports whether a metric key records a machine
 // measurement (per-op wall clock) rather than deterministic model
 // output. The "/ns_op" path component is the marker, introduced with the
 // kernels experiment in schema v3.
 func isCostMetric(k string) bool {
 	return strings.Contains(k, "/ns_op")
+}
+
+// isIntegrityGate reports whether a metric key is an ABFT overhead
+// fraction, gated absolutely (schema v4) rather than relative to the
+// baseline.
+func isIntegrityGate(k string) bool {
+	return strings.Contains(k, "/integrity_overhead_frac")
 }
 
 // Compare diffs two reports. Cost fields (wall clock, allocations) are
@@ -309,6 +336,9 @@ func Compare(oldR, newR *Report, costThreshold, metricTol float64) []Regression 
 				regs = append(regs, Regression{Experiment: oe.ID, Metric: k, Old: ov, Structural: true})
 				continue
 			}
+			if isIntegrityGate(k) {
+				continue // handled by the absolute scan over the new report below
+			}
 			if isCostMetric(k) {
 				// Machine measurement (schema v3): noisy like wall_ms,
 				// so only a thresholded increase counts; speedups never
@@ -325,6 +355,28 @@ func Compare(oldR, newR *Report, costThreshold, metricTol float64) []Regression 
 			if math.Abs(delta) > metricTol {
 				regs = append(regs, Regression{
 					Experiment: oe.ID, Metric: k, Old: ov, New: nv, Delta: delta,
+				})
+			}
+		}
+	}
+	// The integrity gate is absolute: scan the NEW report, so a breach is
+	// flagged even against a baseline predating the metric, and an old
+	// report that already breached does not grandfather the regression.
+	for _, ne := range newR.Experiments {
+		keys := make([]string, 0, len(ne.Metrics))
+		for k := range ne.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if !isIntegrityGate(k) {
+				continue
+			}
+			if nv := ne.Metrics[k]; nv > maxIntegrityOverheadFrac {
+				regs = append(regs, Regression{
+					Experiment: ne.ID, Metric: k,
+					Old: maxIntegrityOverheadFrac, New: nv,
+					Delta: (nv - maxIntegrityOverheadFrac) / maxIntegrityOverheadFrac,
 				})
 			}
 		}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"crophe/internal/arch"
+	"crophe/internal/leakcheck"
 	"crophe/internal/mem"
 	"crophe/internal/noc"
 	"crophe/internal/telemetry"
@@ -17,6 +18,9 @@ func TestParseSpecRoundTrip(t *testing.T) {
 		"rows:2",
 		"rows:2,links:3",
 		"rows:1,lanes:0.25,links:3,slow:2@0.5,banks:8,hbm:0.75,stalls:4@200,stallp:0.1",
+		"rows:1,lanes:0.25,links:3,slow:2@0.5,banks:8,hbm:0.75,stalls:4@200,stallp:0.1,flip:0.01,scrub:256",
+		"flip:0.5",
+		"scrub:1024",
 		"healthy",
 		"",
 	}
@@ -37,19 +41,25 @@ func TestParseSpecRoundTrip(t *testing.T) {
 
 func TestParseSpecRejectsMalformed(t *testing.T) {
 	bad := []string{
-		"rows",            // no value
-		"rows:x",          // not a number
-		"rows:-1",         // negative
-		"lanes:1.5",       // fraction out of range
-		"lanes:1",         // lanes:1 kills every lane — out of [0,1)
-		"slow:2",          // missing @factor
-		"slow:2@1.5",      // factor out of range
-		"slow:2@0",        // zero factor
-		"hbm:0",           // zero HBM
-		"stalls:3@0",      // zero duration
-		"warp:9",          // unknown field
-		"rows:1,rows:2",   // duplicate
-		"rows:1,,links:2", // empty field
+		"rows",              // no value
+		"rows:x",            // not a number
+		"rows:-1",           // negative
+		"lanes:1.5",         // fraction out of range
+		"lanes:1",           // lanes:1 kills every lane — out of [0,1)
+		"slow:2",            // missing @factor
+		"slow:2@1.5",        // factor out of range
+		"slow:2@0",          // zero factor
+		"hbm:0",             // zero HBM
+		"stalls:3@0",        // zero duration
+		"warp:9",            // unknown field
+		"rows:1,rows:2",     // duplicate
+		"rows:1,,links:2",   // empty field
+		"flip:1",            // flip rate out of [0,1)
+		"flip:-0.1",         // negative flip rate
+		"flip:x",            // not a number
+		"scrub:-1",          // negative scrub period
+		"scrub:1.5",         // non-integer period
+		"flip:0.1,flip:0.2", // duplicate flip
 	}
 	for _, text := range bad {
 		if _, err := ParseSpec(text); err == nil {
@@ -334,6 +344,7 @@ func TestMachineEmitCounters(t *testing.T) {
 }
 
 func TestSweepDeterministicAndMonotone(t *testing.T) {
+	leakcheck.Check(t)
 	// A runner that scores the machine analytically: effective compute ×
 	// bandwidth. Slower on every derated resource, so the sweep must be
 	// monotone non-increasing in retained throughput.

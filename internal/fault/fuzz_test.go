@@ -1,0 +1,68 @@
+package fault
+
+import (
+	"testing"
+
+	"crophe/internal/arch"
+)
+
+// FuzzParseSpec hammers the fault-spec grammar: anything that parses
+// must render back to a string that re-parses to the identical spec,
+// and any feasible parsed spec must generate deterministic plans whose
+// quarantine set is seed-stable.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("healthy")
+	f.Add("rows:2,links:3")
+	f.Add("rows:1,lanes:0.25,links:3,slow:2@0.5,banks:8,hbm:0.75,stalls:4@200,stallp:0.1,flip:0.01,scrub:256")
+	f.Add("flip:0.5")
+	f.Add("scrub:1024")
+	f.Add("flip:1")
+	f.Add("flip:0.1,flip:0.2")
+	f.Add("scrub:-1")
+	f.Add(",,")
+	f.Add("rows:9999999999999999999")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseSpec(text)
+		if err != nil {
+			return // malformed input is allowed to fail; it must not panic
+		}
+		// String() must be a re-parsable fixpoint. (Struct equality is too
+		// strong: a zero-count field keeps its parsed factor — "slow:0@0.1"
+		// — but renders to nothing, which is the intended normalization.)
+		rendered := s.String()
+		again, err := ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("%q rendered to %q which does not re-parse: %v", text, rendered, err)
+		}
+		if got := again.String(); got != rendered {
+			t.Fatalf("%q: String not a fixpoint: %q then %q", text, rendered, got)
+		}
+		if again.IsZero() != (rendered == "healthy") {
+			t.Fatalf("%q: IsZero=%v but renders %q", text, again.IsZero(), rendered)
+		}
+
+		// Feasible specs must plan deterministically.
+		p1, err1 := Generate(arch.CROPHE64, s, 17)
+		p2, err2 := Generate(arch.CROPHE64, s, 17)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%q: generation determinism broken: %v vs %v", text, err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if p1.FlipRate != s.FlipRate || p1.ScrubPeriod != s.ScrubPeriod {
+			t.Fatalf("%q: plan dropped flip/scrub: %+v", text, p1)
+		}
+		if len(p1.QuarantinedBanks) != len(p2.QuarantinedBanks) {
+			t.Fatalf("%q: quarantine not deterministic", text)
+		}
+		for i := range p1.QuarantinedBanks {
+			if p1.QuarantinedBanks[i] != p2.QuarantinedBanks[i] {
+				t.Fatalf("%q: quarantine not deterministic at %d", text, i)
+			}
+		}
+		if s.ScrubPeriod > 0 && len(p1.QuarantinedBanks) != 0 {
+			t.Fatalf("%q: scrubbed plan quarantined banks", text)
+		}
+	})
+}

@@ -51,8 +51,8 @@ func (m *Machine) Validate() error {
 		return fmt.Errorf("fault: plan (seed %d) failed every PE row (%d of %d): %w",
 			p.Seed, len(p.FailedRows), p.MeshH, ErrMachineDead)
 	}
-	if p.DeadBanks >= bufBanks {
-		return fmt.Errorf("fault: plan (seed %d) disabled every global-buffer bank: %w",
+	if p.DeadBanks+len(p.QuarantinedBanks) >= bufBanks {
+		return fmt.Errorf("fault: plan (seed %d) disabled or quarantined every global-buffer bank: %w",
 			p.Seed, ErrMachineDead)
 	}
 	if p.HBMFrac <= 0 {
@@ -145,12 +145,16 @@ func (m *Machine) ApplyToHBM(h *mem.HBM) error {
 	return nil
 }
 
-// ApplyToSRAM disables the plan's dead banks in a buffer model.
+// ApplyToSRAM disables the plan's dead banks in a buffer model, plus
+// the quarantined ones — once the integrity layer escalates a bank's
+// persistent corruption, the simulator stops scheduling traffic to it
+// exactly as if the bank were structurally disabled.
 func (m *Machine) ApplyToSRAM(s *mem.SRAM) error {
-	if m.Plan.DeadBanks == 0 {
+	down := m.Plan.DeadBanks + len(m.Plan.QuarantinedBanks)
+	if down == 0 {
 		return nil
 	}
-	if err := s.DisableBanks(m.Plan.DeadBanks); err != nil {
+	if err := s.DisableBanks(down); err != nil {
 		return fmt.Errorf("fault: plan (seed %d) buffer banks: %w", m.Plan.Seed, err)
 	}
 	return nil
@@ -220,14 +224,17 @@ func (m *Machine) EmitCounters(c *telemetry.Collector) {
 	c.EmitCounter("fault/hbm_frac", p.HBMFrac)
 	c.EmitCounter("fault/lane_frac", p.LaneFrac)
 	c.EmitCounter("fault/stall_events", float64(len(p.Stalls)))
+	c.EmitCounter("fault/flip_rate", p.FlipRate)
+	c.EmitCounter("fault/scrub_period", float64(p.ScrubPeriod))
+	c.EmitCounter("fault/quarantined_banks", float64(len(p.QuarantinedBanks)))
 }
 
 // Describe renders a one-line human summary of the degraded machine.
 func (m *Machine) Describe() string {
 	p := &m.Plan
-	return fmt.Sprintf("%s under %q (seed %d): %d/%d rows down, %d dead + %d slow links, %d/%d banks down, HBM %.0f%% — effective PEs %d, lanes %d",
+	return fmt.Sprintf("%s under %q (seed %d): %d/%d rows down, %d dead + %d slow links, %d/%d banks down (%d quarantined), HBM %.0f%% — effective PEs %d, lanes %d",
 		m.Base.Name, p.Spec.String(), p.Seed,
 		len(p.FailedRows), p.MeshH, len(p.DeadLinks), len(p.SlowLinks),
-		p.DeadBanks, bufBanks, p.HBMFrac*100,
+		p.DeadBanks+len(p.QuarantinedBanks), bufBanks, len(p.QuarantinedBanks), p.HBMFrac*100,
 		m.EffectiveHW().NumPEs, m.EffectiveHW().Lanes)
 }

@@ -38,6 +38,15 @@ type Plan struct {
 	LaneFrac   float64 // failed lane fraction per PE
 	Stalls     []Stall
 	StallProb  float64
+
+	// Silent-data-corruption dimensions. FlipRate is the per-access
+	// bit-flip rate the integrity layer must detect; ScrubPeriod > 0
+	// bounds how long a flipped cell persists. QuarantinedBanks are the
+	// buffer banks whose corruption is persistent (unscrubbed machines
+	// only): the recovery policy treats them like disabled banks.
+	FlipRate         float64
+	ScrubPeriod      int
+	QuarantinedBanks []int // sorted bank indices; empty when scrubbed or clean
 }
 
 // Per-dimension stream salts: each fault dimension draws from its own
@@ -49,6 +58,7 @@ const (
 	saltLinks  = 0x6c696e6b // "link"
 	saltSlow   = 0x736c6f77 // "slow"
 	saltStalls = 0x7374616c // "stal"
+	saltFlip   = 0x666c6970 // "flip"
 )
 
 func dimRand(seed int64, salt int64) *rand.Rand {
@@ -100,6 +110,17 @@ func Generate(hw *arch.HWConfig, spec Spec, seed int64) (Plan, error) {
 		return p, fmt.Errorf("fault: spec disables %d of %d global-buffer banks — none left (seed %d)",
 			spec.DeadBanks, bufBanks, seed)
 	}
+	if spec.FlipRate < 0 || spec.FlipRate >= 1 {
+		return p, fmt.Errorf("fault: flip rate %g outside [0, 1) (seed %d)", spec.FlipRate, seed)
+	}
+	if spec.ScrubPeriod < 0 {
+		return p, fmt.Errorf("fault: scrub period %d is negative (seed %d)", spec.ScrubPeriod, seed)
+	}
+	quarantine := quarantineCount(spec)
+	if spec.DeadBanks+quarantine >= bufBanks {
+		return p, fmt.Errorf("fault: %d dead + %d quarantined of %d global-buffer banks — none left (seed %d)",
+			spec.DeadBanks, quarantine, bufBanks, seed)
+	}
 
 	// Failed rows: a seeded permutation of row indices, prefix-selected.
 	rowPerm := dimRand(seed, saltRows).Perm(meshH)
@@ -134,6 +155,19 @@ func Generate(hw *arch.HWConfig, spec Spec, seed int64) (Plan, error) {
 	}
 	p.LaneFrac = spec.LaneFrac
 	p.StallProb = spec.StallProb
+	p.FlipRate = spec.FlipRate
+	p.ScrubPeriod = spec.ScrubPeriod
+
+	// Quarantined banks: on an unscrubbed machine a fraction of the
+	// flip-afflicted banks develop persistent (stuck) corruption; the
+	// recovery policy escalates those from recompute to quarantine, which
+	// the scheduler then prices exactly like disabled banks. Prefix of a
+	// seeded permutation, so quarantine sets nest as the rate escalates.
+	if quarantine > 0 {
+		bankPerm := dimRand(seed, saltFlip).Perm(bufBanks)
+		p.QuarantinedBanks = append(p.QuarantinedBanks, bankPerm[:quarantine]...)
+		sortInts(p.QuarantinedBanks)
+	}
 
 	// Stall events: seeded durations around the spec's nominal length
 	// (0.5×–1.5×), drawn one at a time so stall lists nest by count.
@@ -160,13 +194,25 @@ func (p *Plan) Derating() arch.Derating {
 		}
 		d.NoC = 1 - lost/total
 	}
-	d.SRAM = float64(bufBanks-p.DeadBanks) / float64(bufBanks)
+	d.SRAM = float64(bufBanks-p.DeadBanks-len(p.QuarantinedBanks)) / float64(bufBanks)
 	d.DRAM = p.HBMFrac
 	return d
 }
 
 // FaultCount is the total number of discrete injected faults — the
-// x-axis of a resilience sweep.
+// x-axis of a resilience sweep. Quarantined banks count: each is a
+// persistent corruption the recovery layer had to take out of service.
 func (p *Plan) FaultCount() int {
-	return len(p.FailedRows) + len(p.DeadLinks) + len(p.SlowLinks) + p.DeadBanks + len(p.Stalls)
+	return len(p.FailedRows) + len(p.DeadLinks) + len(p.SlowLinks) + p.DeadBanks +
+		len(p.Stalls) + len(p.QuarantinedBanks)
+}
+
+// quarantineCount is the number of buffer banks with persistent
+// corruption under a spec: scrubbing (scrub:P) clears latent flips
+// before they stick, so only unscrubbed machines quarantine banks.
+func quarantineCount(spec Spec) int {
+	if spec.FlipRate <= 0 || spec.ScrubPeriod > 0 {
+		return 0
+	}
+	return int(spec.FlipRate * float64(bufBanks) / 2)
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"crophe/internal/arch"
+	"crophe/internal/leakcheck"
 )
 
 // fakeRunner is a deterministic stand-in for the simulator: time grows
@@ -18,6 +19,7 @@ func fakeRunner(m *Machine) (Outcome, error) {
 // TestResumeSweepMatchesSweep: the sequential resumable form must produce
 // exactly the result of the parallel one-shot form.
 func TestResumeSweepMatchesSweep(t *testing.T) {
+	leakcheck.Check(t)
 	const seed, steps = 17, 5
 	want, err := Sweep(arch.CROPHE64, seed, steps, fakeRunner)
 	if err != nil {
@@ -36,6 +38,7 @@ func TestResumeSweepMatchesSweep(t *testing.T) {
 // and their rungs are not re-run; the overall result is identical to an
 // uninterrupted sweep.
 func TestResumeSweepSkipsDoneSteps(t *testing.T) {
+	leakcheck.Check(t)
 	const seed, steps = 23, 6
 	full, err := ResumeSweep(context.Background(), arch.CROPHE64, seed, steps, fakeRunner, nil, nil)
 	if err != nil {
@@ -73,6 +76,7 @@ func TestResumeSweepSkipsDoneSteps(t *testing.T) {
 // before the next rung starts, never mid-rung, and already-observed
 // points stay intact.
 func TestResumeSweepStopsBetweenRungs(t *testing.T) {
+	leakcheck.Check(t)
 	const seed, steps = 29, 6
 	ctx, cancel := context.WithCancel(context.Background())
 	var observed []SweepPoint

@@ -1,0 +1,76 @@
+package fault
+
+import (
+	"math"
+
+	"crophe/internal/telemetry"
+)
+
+// Modeled silent-data-corruption recovery. The real ABFT kernels in
+// internal/ntt and internal/rns detect and recompute corrupted limbs at
+// nanosecond scale; the simulator does not execute those kernels, so a
+// Machine with flip:R injected instead *prices* the recovery protocol
+// deterministically from the memory-traffic totals the simulation
+// already produces. The same (spec, seed, workload) always yields the
+// same detected/recomputed/escalated counts and the same cycle
+// penalty, which keeps resilience sweeps monotone and byte-identical.
+
+// Modeled recovery costs, in cycles. A recompute replays one checked
+// unit (a limb-sized NTT batch) from fresh scratch; a scrub pass walks
+// the global buffer once per scrub period.
+const (
+	sdcRecomputeCycles = 48
+	sdcScrubCycles     = 128
+)
+
+// SDCStats is the priced outcome of the detect → recompute → escalate
+// protocol over one simulation: how many checked memory accesses ran,
+// how many flips the checksums caught, how many recomputes cleared
+// them, and how many corruptions were persistent enough to escalate to
+// bank quarantine. Cycle fields are the time the recovery cost.
+type SDCStats struct {
+	Checks     float64
+	Detected   float64
+	Recomputed float64
+	Escalated  float64
+
+	RecomputeCycles float64
+	ScrubCycles     float64
+}
+
+// PenaltyCycles is the total simulated-cycle cost of recovery.
+func (s SDCStats) PenaltyCycles() float64 { return s.RecomputeCycles + s.ScrubCycles }
+
+// ModelSDC prices the integrity protocol for a simulation that issued
+// the given HBM burst and SRAM access totals over the given cycle
+// count. Every burst and bank access is a checked unit; the flip rate
+// determines how many checks detect corruption, each detection costs a
+// bounded recompute, and on an unscrubbed machine the quarantined
+// banks are the escalations. With flip:0 the stats are all zero.
+func (m *Machine) ModelSDC(hbmBursts, sramAccesses, cycles float64) SDCStats {
+	p := &m.Plan
+	var s SDCStats
+	if p.FlipRate <= 0 {
+		return s
+	}
+	s.Checks = hbmBursts + sramAccesses
+	s.Detected = math.Floor(p.FlipRate * s.Checks)
+	s.Recomputed = s.Detected
+	s.Escalated = float64(len(p.QuarantinedBanks))
+	s.RecomputeCycles = s.Detected * sdcRecomputeCycles
+	if p.ScrubPeriod > 0 && cycles > 0 {
+		s.ScrubCycles = math.Ceil(cycles/float64(p.ScrubPeriod)) * sdcScrubCycles
+	}
+	return s
+}
+
+// EmitCounters publishes the recovery outcome under integrity/*.
+func (s SDCStats) EmitCounters(c *telemetry.Collector) {
+	if !c.Enabled() {
+		return
+	}
+	c.EmitCounter("integrity/checks", s.Checks)
+	c.EmitCounter("integrity/detected", s.Detected)
+	c.EmitCounter("integrity/recomputed", s.Recomputed)
+	c.EmitCounter("integrity/escalated", s.Escalated)
+}

@@ -1,0 +1,182 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"crophe/internal/arch"
+	"crophe/internal/telemetry"
+)
+
+func TestQuarantineDeterministicAndNested(t *testing.T) {
+	// Unscrubbed flips quarantine a seeded prefix of banks: the same
+	// (spec, seed) always picks the same banks, and a higher flip rate
+	// quarantines a superset — the property that keeps escalating
+	// resilience sweeps monotone.
+	const seed = 31
+	specLo := Spec{FlipRate: 0.125}
+	specHi := Spec{FlipRate: 0.5}
+	a, err := Generate(arch.CROPHE64, specLo, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(arch.CROPHE64, specLo, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.QuarantinedBanks) == 0 {
+		t.Fatal("unscrubbed flip:0.125 quarantined no banks")
+	}
+	for i := range a.QuarantinedBanks {
+		if a.QuarantinedBanks[i] != b.QuarantinedBanks[i] {
+			t.Fatalf("same seed, different quarantine: %v vs %v", a.QuarantinedBanks, b.QuarantinedBanks)
+		}
+	}
+	hi, err := Generate(arch.CROPHE64, specHi, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hi.QuarantinedBanks) <= len(a.QuarantinedBanks) {
+		t.Fatalf("flip:0.5 quarantined %d banks, flip:0.125 quarantined %d", len(hi.QuarantinedBanks), len(a.QuarantinedBanks))
+	}
+	set := make(map[int]bool, len(hi.QuarantinedBanks))
+	for _, bank := range hi.QuarantinedBanks {
+		set[bank] = true
+	}
+	for _, bank := range a.QuarantinedBanks {
+		if !set[bank] {
+			t.Fatalf("bank %d quarantined at flip:0.125 but not at flip:0.5", bank)
+		}
+	}
+}
+
+func TestScrubbingPreventsQuarantine(t *testing.T) {
+	// With a scrub period set, flips are cleaned before they persist, so
+	// no bank is quarantined and the SRAM derating stays full.
+	p, err := Generate(arch.CROPHE64, Spec{FlipRate: 0.5, ScrubPeriod: 256}, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.QuarantinedBanks) != 0 {
+		t.Fatalf("scrubbed plan quarantined banks: %v", p.QuarantinedBanks)
+	}
+	if d := p.Derating(); d.SRAM != 1 {
+		t.Fatalf("scrubbed plan derated SRAM to %g", d.SRAM)
+	}
+}
+
+func TestQuarantineExhaustsBanks(t *testing.T) {
+	// Dead banks plus quarantined banks covering every bank is
+	// infeasible at plan time, and the error carries the fault seed.
+	spec := Spec{DeadBanks: bufBanks - 1, FlipRate: 0.9}
+	_, err := Generate(arch.CROPHE64, spec, 5)
+	if err == nil {
+		t.Fatal("plan with every bank down or quarantined generated")
+	}
+	if !strings.Contains(err.Error(), "seed 5") {
+		t.Fatalf("error misses the seed: %v", err)
+	}
+	// The same exhaustion assembled directly into a plan is a dead
+	// machine at validation time.
+	p, err := Generate(arch.CROPHE64, Spec{FlipRate: 0.9}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.DeadBanks = bufBanks - len(p.QuarantinedBanks)
+	if _, err := NewMachine(arch.CROPHE64, p); !errors.Is(err, ErrMachineDead) {
+		t.Fatalf("want ErrMachineDead, got %v", err)
+	}
+}
+
+func TestQuarantineDerating(t *testing.T) {
+	p, err := Generate(arch.CROPHE64, Spec{DeadBanks: 4, FlipRate: 0.25}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := len(p.QuarantinedBanks)
+	if q == 0 {
+		t.Fatal("no banks quarantined at flip:0.25")
+	}
+	want := float64(bufBanks-4-q) / float64(bufBanks)
+	if d := p.Derating(); d.SRAM != want {
+		t.Fatalf("SRAM derating %g, want %g", d.SRAM, want)
+	}
+	m, err := NewMachine(arch.CROPHE64, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m.Describe(), "quarantined") {
+		t.Fatalf("Describe misses quarantine: %s", m.Describe())
+	}
+	tel := telemetry.New()
+	m.EmitCounters(tel)
+	if tel.Counter("fault/quarantined_banks") != float64(q) {
+		t.Fatalf("fault/quarantined_banks = %g, want %d", tel.Counter("fault/quarantined_banks"), q)
+	}
+	if tel.Counter("fault/flip_rate") != 0.25 {
+		t.Fatalf("fault/flip_rate = %g", tel.Counter("fault/flip_rate"))
+	}
+}
+
+func TestModelSDCDeterministicAndMonotone(t *testing.T) {
+	mk := func(spec Spec) *Machine {
+		t.Helper()
+		p, err := Generate(arch.CROPHE64, spec, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewMachine(arch.CROPHE64, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	clean := mk(Spec{})
+	if s := clean.ModelSDC(1e6, 1e7, 1e5); s != (SDCStats{}) {
+		t.Fatalf("clean machine priced recovery: %+v", s)
+	}
+
+	lo := mk(Spec{FlipRate: 0.001})
+	hi := mk(Spec{FlipRate: 0.01})
+	sLo := lo.ModelSDC(1e6, 1e7, 1e5)
+	if sLo != lo.ModelSDC(1e6, 1e7, 1e5) {
+		t.Fatal("ModelSDC not deterministic")
+	}
+	sHi := hi.ModelSDC(1e6, 1e7, 1e5)
+	if sLo.Checks != 1e6+1e7 {
+		t.Fatalf("checks = %g, want every burst and access", sLo.Checks)
+	}
+	if sLo.Detected <= 0 || sHi.Detected <= sLo.Detected {
+		t.Fatalf("detections not monotone in flip rate: %g then %g", sLo.Detected, sHi.Detected)
+	}
+	if sLo.Recomputed != sLo.Detected {
+		t.Fatalf("recomputed %g != detected %g", sLo.Recomputed, sLo.Detected)
+	}
+	if sLo.Escalated != float64(len(lo.Plan.QuarantinedBanks)) {
+		t.Fatalf("escalated %g, want quarantined bank count %d", sLo.Escalated, len(lo.Plan.QuarantinedBanks))
+	}
+	if sLo.PenaltyCycles() != sLo.RecomputeCycles {
+		t.Fatalf("unscrubbed penalty %g includes scrub cycles", sLo.PenaltyCycles())
+	}
+
+	scrubbed := mk(Spec{FlipRate: 0.001, ScrubPeriod: 1000})
+	sScrub := scrubbed.ModelSDC(1e6, 1e7, 1e5)
+	if sScrub.ScrubCycles <= 0 {
+		t.Fatalf("scrubbed machine priced no scrub passes: %+v", sScrub)
+	}
+	if sScrub.Escalated != 0 {
+		t.Fatalf("scrubbed machine escalated: %+v", sScrub)
+	}
+	if sScrub.PenaltyCycles() != sScrub.RecomputeCycles+sScrub.ScrubCycles {
+		t.Fatal("penalty does not sum recompute and scrub cycles")
+	}
+
+	tel := telemetry.New()
+	sHi.EmitCounters(tel)
+	if tel.Counter("integrity/detected") != sHi.Detected || tel.Counter("integrity/checks") != sHi.Checks {
+		t.Fatalf("integrity counters %+v", tel.CounterMap())
+	}
+	SDCStats{}.EmitCounters(nil) // disabled path is a no-op
+}

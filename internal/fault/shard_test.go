@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"crophe/internal/arch"
+	"crophe/internal/leakcheck"
 )
 
 // shardRunner is a cheap deterministic runner: time scales with the
@@ -47,6 +48,7 @@ func TestShardStepsPartition(t *testing.T) {
 // merging must reproduce the unsharded sweep exactly, including the
 // rendered report.
 func TestShardedSweepMergesByteIdentical(t *testing.T) {
+	leakcheck.Check(t)
 	hw := arch.CROPHE36
 	const seed, steps = 19, 7
 	full, err := RunSweep(context.Background(), hw, seed, steps, shardRunner)
@@ -147,6 +149,7 @@ func TestRunSweepOptionValidation(t *testing.T) {
 // deprecated wrappers all produce the identical result — the determinism
 // the distributed merge rests on.
 func TestRunSweepModesAgree(t *testing.T) {
+	leakcheck.Check(t)
 	hw := arch.CROPHE36
 	const seed, steps = 23, 5
 	seq, err := RunSweep(context.Background(), hw, seed, steps, shardRunner)
@@ -169,6 +172,7 @@ func TestRunSweepModesAgree(t *testing.T) {
 // TestShardResumeSplicesDone: a shard resumed over journaled rungs must
 // not re-run them.
 func TestShardResumeSplicesDone(t *testing.T) {
+	leakcheck.Check(t)
 	hw := arch.CROPHE36
 	const seed, steps = 29, 8
 	shard, err := RunSweep(context.Background(), hw, seed, steps, shardRunner, WithShard(1, 2))

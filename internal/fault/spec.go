@@ -36,8 +36,10 @@ import (
 //	hbm:F       HBM delivering only fraction F of peak (1 = healthy)
 //	stalls:N@D  N transient stall events of ~D cycles each
 //	stallp:F    additionally, each simulated group stalls with probability F
+//	flip:R      silent data corruption: bit-flip rate R per SRAM-bank read / HBM burst
+//	scrub:P     periodic memory scrubbing every P cycles (bounds flip persistence)
 //
-// e.g. "rows:2,links:3,slow:2@0.5,banks:8,hbm:0.75,stalls:4@200".
+// e.g. "rows:2,links:3,slow:2@0.5,banks:8,hbm:0.75,stalls:4@200,flip:0.01".
 type Spec struct {
 	FailedRows  int
 	LaneFrac    float64
@@ -49,13 +51,15 @@ type Spec struct {
 	Stalls      int
 	StallCycles float64
 	StallProb   float64
+	FlipRate    float64 // SDC bit-flip rate per memory access; 0 = clean
+	ScrubPeriod int     // scrubbing period in cycles; 0 = no scrubbing
 }
 
 // IsZero reports a healthy (fault-free) spec.
 func (s Spec) IsZero() bool {
 	return s.FailedRows == 0 && s.LaneFrac == 0 && s.DeadLinks == 0 &&
 		s.SlowLinks == 0 && s.DeadBanks == 0 && (s.HBMFrac == 0 || s.HBMFrac == 1) &&
-		s.Stalls == 0 && s.StallProb == 0
+		s.Stalls == 0 && s.StallProb == 0 && s.FlipRate == 0 && s.ScrubPeriod == 0
 }
 
 // String renders the spec in the ParseSpec grammar (round-trippable).
@@ -84,6 +88,12 @@ func (s Spec) String() string {
 	}
 	if s.StallProb > 0 {
 		parts = append(parts, fmt.Sprintf("stallp:%g", s.StallProb))
+	}
+	if s.FlipRate > 0 {
+		parts = append(parts, fmt.Sprintf("flip:%g", s.FlipRate))
+	}
+	if s.ScrubPeriod > 0 {
+		parts = append(parts, fmt.Sprintf("scrub:%d", s.ScrubPeriod))
 	}
 	if len(parts) == 0 {
 		return "healthy"
@@ -143,8 +153,12 @@ func ParseSpec(text string) (Spec, error) {
 			s.StallCycles = d
 		case "stallp":
 			s.StallProb, err = parseFrac(key, val, false)
+		case "flip":
+			s.FlipRate, err = parseFrac(key, val, false)
+		case "scrub":
+			s.ScrubPeriod, err = parseCount(key, val)
 		default:
-			return s, fmt.Errorf("fault: unknown field %q (want rows/lanes/links/slow/banks/hbm/stalls/stallp)", key)
+			return s, fmt.Errorf("fault: unknown field %q (want rows/lanes/links/slow/banks/hbm/stalls/stallp/flip/scrub)", key)
 		}
 		if err != nil {
 			return s, err

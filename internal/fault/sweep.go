@@ -82,6 +82,7 @@ func sweepSpec(hw *arch.HWConfig, frac float64) Spec {
 		DeadBanks:  int(frac * float64(bufBanks-1)),
 		HBMFrac:    1 - frac/2,
 		LaneFrac:   frac / 2,
+		FlipRate:   frac / 4,
 	}
 	if s.SlowLinks == 0 {
 		s.SlowFactor = 0

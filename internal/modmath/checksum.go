@@ -1,0 +1,122 @@
+package modmath
+
+import "math/bits"
+
+// Lazy 128-bit checksum kernels — the arithmetic substrate of the ABFT
+// integrity layer. A residue checksum is the mod-q sum of a row's
+// words; to keep the fused cost near one add per element, these kernels
+// accumulate the raw sum in a 128-bit (hi, lo) pair with carry chains
+// and defer the single modular reduction to the caller (Reduce128).
+// Two independent accumulator pairs hide the carry latency in the
+// unrolled loops. Precondition everywhere: at most q summands (hi < q),
+// which every NTT-sized row satisfies since q ≡ 1 mod 2n implies q > 2n.
+
+// SumVec returns the raw 128-bit sum of a's words. Inputs may be any
+// uint64 (redundant residues included): the caller reduces the raw sum
+// once, and Σ xᵢ mod q is unchanged by per-element laziness.
+func SumVec(a []uint64) (hi, lo uint64) {
+	var h0, l0, h1, l1 uint64
+	var c uint64
+	i := 0
+	for ; i+7 < len(a); i += 8 {
+		l0, c = bits.Add64(l0, a[i+0], 0)
+		h0 += c
+		l1, c = bits.Add64(l1, a[i+1], 0)
+		h1 += c
+		l0, c = bits.Add64(l0, a[i+2], 0)
+		h0 += c
+		l1, c = bits.Add64(l1, a[i+3], 0)
+		h1 += c
+		l0, c = bits.Add64(l0, a[i+4], 0)
+		h0 += c
+		l1, c = bits.Add64(l1, a[i+5], 0)
+		h1 += c
+		l0, c = bits.Add64(l0, a[i+6], 0)
+		h0 += c
+		l1, c = bits.Add64(l1, a[i+7], 0)
+		h1 += c
+	}
+	for ; i < len(a); i++ {
+		l0, c = bits.Add64(l0, a[i], 0)
+		h0 += c
+	}
+	lo, c = bits.Add64(l0, l1, 0)
+	hi = h0 + h1 + c
+	return hi, lo
+}
+
+// SumModVec returns the mod-q sum of a's words — the residue checksum
+// carried alongside a limb row.
+func (m Modulus) SumModVec(a []uint64) uint64 {
+	return m.reduce128(SumVec(a))
+}
+
+// CopySumVec copies a into dst and returns the raw 128-bit sum of the
+// copied words — the fused save-input-and-checksum pass of the checked
+// in-place transforms (the copy is the recompute scratch).
+func CopySumVec(dst, a []uint64) (hi, lo uint64) {
+	n := len(dst)
+	a = a[:n:n]
+	var c uint64
+	for i := 0; i < n; i++ {
+		x := a[i]
+		dst[i] = x
+		lo, c = bits.Add64(lo, x, 0)
+		hi += c
+	}
+	return hi, lo
+}
+
+// ReduceFourQSumVec corrects 4q-residues in place to canonical [0, q)
+// and returns the raw 128-bit sum of the corrected words — the fused
+// output-checksum variant of ReduceFourQVec, used so the checked
+// forward transform's final correction pass also produces the residue
+// checksum for free.
+func (m Modulus) ReduceFourQSumVec(a []uint64) (hi, lo uint64) {
+	q := m.Q
+	twoQ := q << 1
+	var c uint64
+	for i, x := range a {
+		x = condSub(condSub(x, twoQ), q)
+		a[i] = x
+		lo, c = bits.Add64(lo, x, 0)
+		hi += c
+	}
+	return hi, lo
+}
+
+// MulShoupSumVec sets dst[i] = a[i]·w mod q for a fixed w (fully
+// reduced, like MulShoupVec) and returns the raw 128-bit sum of the
+// outputs — the fused variant of the inverse transform's 1/n scaling
+// pass, producing the coefficient-domain residue checksum for free.
+func (m Modulus) MulShoupSumVec(dst, a []uint64, w, wShoup uint64) (hi, lo uint64) {
+	n := len(dst)
+	a = a[:n:n]
+	q := m.Q
+	var c uint64
+	for i := 0; i < n; i++ {
+		x := condSub(m.MulShoupLazy(a[i], w, wShoup), q)
+		dst[i] = x
+		lo, c = bits.Add64(lo, x, 0)
+		hi += c
+	}
+	return hi, lo
+}
+
+// DotShoupVec returns Σ a[i]·w[i] mod q for a constant vector w with
+// per-entry Shoup companions — the weighted checksum of the
+// Jou-Abraham-style NTT verifier. Each product is fully reduced before
+// the 128-bit accumulation, so the precondition (at most q summands)
+// holds for any canonical weight table.
+func (m Modulus) DotShoupVec(a, w, wShoup []uint64) uint64 {
+	n := len(a)
+	w, wShoup = w[:n:n], wShoup[:n:n]
+	q := m.Q
+	var hi, lo, c uint64
+	for i := 0; i < n; i++ {
+		x := condSub(m.MulShoupLazy(a[i], w[i], wShoup[i]), q)
+		lo, c = bits.Add64(lo, x, 0)
+		hi += c
+	}
+	return m.reduce128(hi, lo)
+}

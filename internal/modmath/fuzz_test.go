@@ -96,5 +96,66 @@ func FuzzModMath(f *testing.F) {
 		if x := m.Reduce(a + b); x >= q {
 			t.Fatalf("Reduce(%d) = %d escapes [0,%d)", a+b, x, q)
 		}
+
+		// Checksum kernels against the obvious scalar loops. The vector
+		// mixes canonical and redundant (up to 4q) residues, which the
+		// lazy 128-bit accumulators must absorb.
+		// (a+3q < 4q < 2^64 since q < 2^62, so no entry wraps.)
+		vec := []uint64{a, b, m.Add(a, b), m.Mul(a, b), a + q, b + 2*q, m.Sub(a, b), a + 3*q, b, m.Neg(b)}
+		var refHi, refLo, cc uint64
+		refMod := uint64(0)
+		for _, x := range vec {
+			refLo, cc = bits.Add64(refLo, x, 0)
+			refHi += cc
+			refMod = m.Add(refMod, m.Reduce(x))
+		}
+		if hi, lo := SumVec(vec); hi != refHi || lo != refLo {
+			t.Fatalf("SumVec = (%d,%d), want (%d,%d) (q=%d)", hi, lo, refHi, refLo, q)
+		}
+		if got := m.SumModVec(vec); got != refMod {
+			t.Fatalf("SumModVec = %d, want %d (q=%d)", got, refMod, q)
+		}
+		if got := m.Reduce128(refHi%q, refLo); got != refMod {
+			t.Fatalf("Reduce128 of raw sum = %d, want %d (q=%d)", got, refMod, q)
+		}
+		dst := make([]uint64, len(vec))
+		if hi, lo := CopySumVec(dst, vec); hi != refHi || lo != refLo {
+			t.Fatalf("CopySumVec sum mismatch (q=%d)", q)
+		}
+		for i := range dst {
+			if dst[i] != vec[i] {
+				t.Fatalf("CopySumVec copy differs at %d (q=%d)", i, q)
+			}
+		}
+		if hi, lo := m.ReduceFourQSumVec(dst); m.Reduce128(hi%q, lo) != refMod {
+			t.Fatalf("ReduceFourQSumVec sum mismatch (q=%d)", q)
+		}
+		for i := range dst {
+			if dst[i] != m.Reduce(vec[i]) || dst[i] >= q {
+				t.Fatalf("ReduceFourQSumVec correction differs at %d (q=%d)", i, q)
+			}
+		}
+		if hi, lo := m.MulShoupSumVec(dst, dst, b, bShoup); true {
+			wantDot, wantSum := uint64(0), uint64(0)
+			for i := range dst {
+				if dst[i] >= q {
+					t.Fatalf("MulShoupSumVec output[%d] escapes [0,q) (q=%d)", i, q)
+				}
+				wantSum = m.Add(wantSum, dst[i])
+			}
+			if m.Reduce128(hi%q, lo) != wantSum {
+				t.Fatalf("MulShoupSumVec sum mismatch (q=%d)", q)
+			}
+			w := make([]uint64, len(dst))
+			ws := make([]uint64, len(dst))
+			for i := range w {
+				w[i] = m.Reduce(b + uint64(i))
+				ws[i] = m.ShoupPrecomp(w[i])
+				wantDot = m.Add(wantDot, m.Mul(dst[i], w[i]))
+			}
+			if got := m.DotShoupVec(dst, w, ws); got != wantDot {
+				t.Fatalf("DotShoupVec = %d, want %d (q=%d)", got, wantDot, q)
+			}
+		}
 	})
 }

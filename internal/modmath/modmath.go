@@ -136,6 +136,15 @@ func (m Modulus) reduce128(hi, lo uint64) uint64 {
 	return r
 }
 
+// Reduce128 reduces a 128-bit value x = hi·2^64 + lo modulo q. The
+// caller must keep hi < q (always true for products of reduced operands
+// and for the lazy 128-bit checksum accumulators the integrity layer
+// folds: a sum of up to 2n word-sized terms has hi ≤ 2n < q, since NTT
+// moduli satisfy q ≡ 1 mod 2n).
+func (m Modulus) Reduce128(hi, lo uint64) uint64 {
+	return m.reduce128(hi, lo)
+}
+
 // MulAdd returns (a*b + c) mod q.
 func (m Modulus) MulAdd(a, b, c uint64) uint64 {
 	return m.Add(m.Mul(a, b), c)

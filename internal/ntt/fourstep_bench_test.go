@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"crophe/internal/integrity"
 	"crophe/internal/modmath"
 )
 
@@ -51,5 +52,34 @@ func BenchmarkFourStepInverse(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fs.Inverse(dst, a)
+	}
+}
+
+// BenchmarkFourStepForwardIntegrity is the ABFT-checked counterpart of
+// BenchmarkFourStepForward; the delta between the two is the integrity
+// overhead the bench-diff gate pins to ≤3%.
+func BenchmarkFourStepForwardIntegrity(b *testing.B) {
+	_, fs, a := benchSetup(b, 4096)
+	dst := make([]uint64, len(a))
+	ck := integrity.NewChecker(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.ForwardChecked(dst, a, ck); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFourStepInverseIntegrity(b *testing.B) {
+	_, fs, a := benchSetup(b, 4096)
+	dst := make([]uint64, len(a))
+	ck := integrity.NewChecker(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.InverseChecked(dst, a, ck); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

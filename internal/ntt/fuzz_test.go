@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"crophe/internal/integrity"
 	"crophe/internal/modmath"
 )
 
@@ -67,6 +68,30 @@ func FuzzNTTRoundTrip(f *testing.F) {
 			if coeffs[i] != orig[i] {
 				t.Fatalf("round-trip mismatch at %d: got %d, want %d", i, coeffs[i], orig[i])
 			}
+		}
+
+		// ABFT invariants on the same vector: the weighted NTT checksum
+		// must equal the coefficient checksum, and the checked transforms
+		// must round-trip with zero false positives and identical output.
+		wantSum := tbl.CoeffChecksum(orig)
+		c := integrity.NewChecker(1)
+		sum, err := tbl.ForwardChecked(coeffs, c)
+		if err != nil {
+			t.Fatalf("ForwardChecked false positive: %v", err)
+		}
+		if sum != wantSum {
+			t.Fatalf("forward checksum %d, want coeff checksum %d", sum, wantSum)
+		}
+		if _, err := tbl.InverseChecked(coeffs, c); err != nil {
+			t.Fatalf("InverseChecked false positive: %v", err)
+		}
+		for i := range coeffs {
+			if coeffs[i] != orig[i] {
+				t.Fatalf("checked round-trip mismatch at %d", i)
+			}
+		}
+		if s := c.Stats(); s.Detected != 0 {
+			t.Fatalf("clean fuzz vector reported corruption: %+v", s)
 		}
 	})
 }

@@ -1,0 +1,350 @@
+package ntt
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"crophe/internal/integrity"
+	"crophe/internal/modmath"
+	"crophe/internal/parallel"
+)
+
+// TestCheckWeightsIdentity pins the weighted-checksum identity and the
+// output-order mapping: for random polynomials over every small-prime
+// table, the coefficient row's plain sum must equal the weighted sum of
+// the forward transform's output — in the radix-2 bit-reversed layout
+// AND the standard-order layout.
+func TestCheckWeightsIdentity(t *testing.T) {
+	for _, tbl := range smallTables(t) {
+		rng := rand.New(rand.NewSource(int64(tbl.N)))
+		for trial := 0; trial < 50; trial++ {
+			a := randomPoly(rng, tbl.M.Q, tbl.N)
+			want := tbl.CoeffChecksum(a)
+
+			br := append([]uint64(nil), a...)
+			tbl.Forward(br)
+			if got := tbl.NTTChecksum(br); got != want {
+				t.Fatalf("q=%d n=%d trial %d: bit-reversed weighted sum %d != coeff sum %d",
+					tbl.M.Q, tbl.N, trial, got, want)
+			}
+
+			std := make([]uint64, tbl.N)
+			tbl.ForwardStandard(std, a)
+			if got := tbl.NTTChecksumStandard(std); got != want {
+				t.Fatalf("q=%d n=%d trial %d: standard weighted sum %d != coeff sum %d",
+					tbl.M.Q, tbl.N, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestCheckedZeroFalsePositives sweeps every scaled basis polynomial
+// c·e_i over the full small-prime lazy-vs-strict corpus — the same
+// corpus that pins kernel bit-exactness — through the checked forward
+// and inverse transforms with no corruption injected. The verifier must
+// never fire and the outputs must stay bit-identical to the unchecked
+// kernels.
+func TestCheckedZeroFalsePositives(t *testing.T) {
+	for _, tbl := range smallTables(t) {
+		q, n := tbl.M.Q, tbl.N
+		c := integrity.NewChecker(1)
+		checked := make([]uint64, n)
+		plain := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			for v := uint64(0); v < q; v++ {
+				for j := range checked {
+					checked[j], plain[j] = 0, 0
+				}
+				checked[i], plain[i] = v, v
+				if _, err := tbl.ForwardChecked(checked, c); err != nil {
+					t.Fatalf("q=%d n=%d forward(%d·e_%d): false positive: %v", q, n, v, i, err)
+				}
+				tbl.Forward(plain)
+				for j := range checked {
+					if checked[j] != plain[j] {
+						t.Fatalf("q=%d n=%d forward(%d·e_%d) differs at %d", q, n, v, i, j)
+					}
+				}
+				if _, err := tbl.InverseChecked(checked, c); err != nil {
+					t.Fatalf("q=%d n=%d inverse(%d·e_%d): false positive: %v", q, n, v, i, err)
+				}
+				tbl.Inverse(plain)
+				for j := range checked {
+					if checked[j] != plain[j] {
+						t.Fatalf("q=%d n=%d inverse(%d·e_%d) differs at %d", q, n, v, i, j)
+					}
+				}
+			}
+		}
+		s := c.Stats()
+		if s.Detected != 0 || s.Recomputed != 0 || s.Escalated != 0 {
+			t.Fatalf("q=%d n=%d clean sweep reported corruption: %+v", q, n, s)
+		}
+		if s.Checks == 0 {
+			t.Fatalf("q=%d n=%d checked sweep ran no checks", q, n)
+		}
+	}
+}
+
+// TestSingleBitFlipAlwaysDetected is the detection-bound test: the
+// weighted checksum guarantees certainty against single-event upsets (a
+// bit-flip delta ±2^b is never ≡ 0 mod an odd q and every weight is
+// invertible). Exhaustively flip every bit of every output word and
+// assert the verifier catches each one.
+func TestSingleBitFlipAlwaysDetected(t *testing.T) {
+	for _, tbl := range smallTables(t) {
+		rng := rand.New(rand.NewSource(int64(tbl.N) + 7))
+		a := randomPoly(rng, tbl.M.Q, tbl.N)
+		want := tbl.CoeffChecksum(a)
+		y := append([]uint64(nil), a...)
+		tbl.Forward(y)
+		for i := range y {
+			for b := uint(0); b < 64; b++ {
+				y[i] ^= 1 << b
+				if got := tbl.NTTChecksum(y); got == want {
+					t.Fatalf("q=%d n=%d: flip of bit %d in word %d not detected", tbl.M.Q, tbl.N, b, i)
+				}
+				y[i] ^= 1 << b
+			}
+		}
+	}
+}
+
+// TestFourStepSumIdentityDetectsFlips pins the four-step path's fused
+// identity (Σ y_k ≡ N·a_0): every single-bit flip of any output word
+// must break it.
+func TestFourStepSumIdentityDetectsFlips(t *testing.T) {
+	tbl, err := NewTable(modmath.MustModulus(257), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := NewFourStep(tbl, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tbl.M
+	rng := rand.New(rand.NewSource(11))
+	a := randomPoly(rng, m.Q, 64)
+	dst := make([]uint64, 64)
+	fs.Forward(dst, a)
+	want := m.Mul(uint64(tbl.N), a[0])
+	if got := m.Reduce128(modmath.SumVec(dst)); got != want {
+		t.Fatalf("clean four-step sum %d != N·a0 %d", got, want)
+	}
+	for i := range dst {
+		for b := uint(0); b < 64; b++ {
+			dst[i] ^= 1 << b
+			if got := m.Reduce128(modmath.SumVec(dst)); got == want {
+				t.Fatalf("four-step flip of bit %d in word %d not detected", b, i)
+			}
+			dst[i] ^= 1 << b
+		}
+	}
+}
+
+// TestCheckedRecoversTransientFlip drives the transient (single-event)
+// model: the injector corrupts the first attempt only, so the protocol
+// must detect, recompute once, verify clean, and hand back the exact
+// unchecked result.
+func TestCheckedRecoversTransientFlip(t *testing.T) {
+	tbl, err := NewTable(modmath.MustModulus(257), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	a := randomPoly(rng, tbl.M.Q, tbl.N)
+	want := append([]uint64(nil), a...)
+	tbl.Forward(want)
+
+	inj := integrity.NewInjector(42, 1)
+	inj.Arm(1)
+	c := integrity.NewChecker(42, integrity.WithInjector(inj))
+	sum, err := tbl.ForwardChecked(a, c)
+	if err != nil {
+		t.Fatalf("transient flip escalated: %v", err)
+	}
+	for i := range a {
+		if a[i] != want[i] {
+			t.Fatalf("recovered output differs at %d", i)
+		}
+	}
+	if sum != tbl.NTTChecksum(want) {
+		t.Fatalf("recovered checksum %d mismatches", sum)
+	}
+	s := c.Stats()
+	if s.Detected != 1 || s.Recomputed != 1 || s.Escalated != 0 || s.Checks != 2 {
+		t.Fatalf("transient recovery stats: %+v", s)
+	}
+}
+
+// TestCheckedEscalatesPersistentCorruption drives the stuck-cell model:
+// every replay re-corrupts, so after the recompute bound the kernel
+// must raise a typed *integrity.Error carrying the fault seed, and
+// restore the caller's input row.
+func TestCheckedEscalatesPersistentCorruption(t *testing.T) {
+	tbl, err := NewTable(modmath.MustModulus(257), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	a := randomPoly(rng, tbl.M.Q, tbl.N)
+	orig := append([]uint64(nil), a...)
+
+	inj := integrity.NewInjector(7, 1)
+	inj.Persist(true)
+	c := integrity.NewChecker(7, integrity.WithInjector(inj))
+	_, err = tbl.ForwardChecked(a, c)
+	if err == nil {
+		t.Fatal("persistent corruption did not escalate")
+	}
+	var ie *integrity.Error
+	if !errors.As(err, &ie) {
+		t.Fatalf("escalation is not *integrity.Error: %v", err)
+	}
+	if ie.Seed != 7 {
+		t.Fatalf("escalation lost the fault seed: %+v", ie)
+	}
+	if ie.Attempts != integrity.DefaultMaxRecompute+1 {
+		t.Fatalf("escalated after %d attempts, want %d", ie.Attempts, integrity.DefaultMaxRecompute+1)
+	}
+	for i := range a {
+		if a[i] != orig[i] {
+			t.Fatalf("input row not restored after escalation (index %d)", i)
+		}
+	}
+	s := c.Stats()
+	if s.Escalated != 1 || s.Detected != uint64(integrity.DefaultMaxRecompute+1) {
+		t.Fatalf("persistent escalation stats: %+v", s)
+	}
+}
+
+// TestBatchCheckedMatchesPlain pins the checked batch dispatch against
+// the unchecked one, across worker-pool sizes, and verifies the
+// returned per-limb checksums.
+func TestBatchCheckedMatchesPlain(t *testing.T) {
+	prev := parallel.Workers()
+	defer parallel.SetWorkers(prev)
+	for _, workers := range []int{1, 4} {
+		parallel.SetWorkers(workers)
+		tables, rows := batchFixture(t, 256, 4)
+		want := make([][]uint64, len(rows))
+		for k := range rows {
+			want[k] = append([]uint64(nil), rows[k]...)
+			tables[k].Forward(want[k])
+		}
+		c := integrity.NewChecker(1)
+		sums, err := BatchForwardChecked(tables, rows, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range rows {
+			for i := range rows[k] {
+				if rows[k][i] != want[k][i] {
+					t.Fatalf("workers=%d checked forward limb %d differs at %d", workers, k, i)
+				}
+			}
+			if sums[k] != tables[k].NTTChecksum(want[k]) {
+				t.Fatalf("workers=%d limb %d checksum mismatch", workers, k)
+			}
+		}
+		if _, err := BatchInverseChecked(tables, rows, c); err != nil {
+			t.Fatal(err)
+		}
+		for k := range rows {
+			tables[k].Inverse(want[k])
+			for i := range rows[k] {
+				if rows[k][i] != want[k][i] {
+					t.Fatalf("workers=%d checked inverse limb %d differs at %d", workers, k, i)
+				}
+			}
+		}
+	}
+}
+
+// TestFourStepCheckedMatchesPlain pins the WithIntegrity four-step path
+// bit-exactly against the unchecked transform in both directions and
+// across worker counts, and exercises transient recovery and persistent
+// escalation on it.
+func TestFourStepCheckedMatchesPlain(t *testing.T) {
+	prev := parallel.Workers()
+	defer parallel.SetWorkers(prev)
+	n := 1024
+	ps, err := modmath.GeneratePrimes(45, uint64(n), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := NewTable(modmath.MustModulus(ps[0]), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := NewFourStep(tbl, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	a := randomPoly(rng, tbl.M.Q, n)
+	wantFwd := make([]uint64, n)
+	fs.Forward(wantFwd, a)
+	wantInv := make([]uint64, n)
+	fs.Inverse(wantInv, wantFwd)
+
+	for _, workers := range []int{1, 4} {
+		parallel.SetWorkers(workers)
+		c := integrity.NewChecker(1)
+		dst := make([]uint64, n)
+		sum, err := fs.ForwardChecked(dst, a, c)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range dst {
+			if dst[i] != wantFwd[i] {
+				t.Fatalf("workers=%d checked four-step forward differs at %d", workers, i)
+			}
+		}
+		if sum != tbl.M.Reduce128(modmath.SumVec(wantFwd)) {
+			t.Fatalf("workers=%d carried checksum mismatch", workers)
+		}
+		inv := make([]uint64, n)
+		if _, err := fs.InverseChecked(inv, dst, c); err != nil {
+			t.Fatalf("workers=%d inverse: %v", workers, err)
+		}
+		for i := range inv {
+			if inv[i] != wantInv[i] {
+				t.Fatalf("workers=%d checked four-step inverse differs at %d", workers, i)
+			}
+		}
+		if s := c.Stats(); s.Detected != 0 {
+			t.Fatalf("workers=%d clean run detected corruption: %+v", workers, s)
+		}
+	}
+
+	parallel.SetWorkers(1)
+	inj := integrity.NewInjector(13, 0.1)
+	inj.Arm(1)
+	c := integrity.NewChecker(13, integrity.WithInjector(inj))
+	dst := make([]uint64, n)
+	if _, err := fs.ForwardChecked(dst, a, c); err != nil {
+		t.Fatalf("transient four-step flip escalated: %v", err)
+	}
+	for i := range dst {
+		if dst[i] != wantFwd[i] {
+			t.Fatalf("four-step transient recovery differs at %d", i)
+		}
+	}
+	if s := c.Stats(); s.Detected != 1 || s.Recomputed != 1 {
+		t.Fatalf("four-step transient stats: %+v", s)
+	}
+
+	inj2 := integrity.NewInjector(17, 0.1)
+	inj2.Persist(true)
+	c2 := integrity.NewChecker(17, integrity.WithInjector(inj2))
+	if _, err := fs.ForwardChecked(dst, a, c2); err == nil {
+		t.Fatal("persistent four-step corruption did not escalate")
+	} else {
+		var ie *integrity.Error
+		if !errors.As(err, &ie) || ie.Seed != 17 {
+			t.Fatalf("four-step escalation error: %v", err)
+		}
+	}
+}

@@ -18,6 +18,7 @@ package ntt
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"crophe/internal/modmath"
 )
@@ -39,6 +40,11 @@ type Table struct {
 
 	nInv      uint64 // N^{-1} mod q
 	nInvShoup uint64
+
+	// ABFT check-weight table (see integrity.go), built lazily on first
+	// checked use so unchecked pipelines pay nothing for it.
+	checkOnce sync.Once
+	check     *checkWeights
 }
 
 // NewTable precomputes twiddles for ring degree n (a power of two ≥ 2)

@@ -1,0 +1,102 @@
+package poly
+
+import (
+	"fmt"
+
+	"crophe/internal/integrity"
+	"crophe/internal/ntt"
+)
+
+// Checked mode of the poly layer. A CheckedRing is an opt-in view of a
+// Ring whose NTT/INTT route through the ABFT-verified batch kernels and
+// which carries per-limb residue checksums alongside the limb-major
+// buffers — the consumer-side half of the integrity story: a producer
+// stamps a Poly's checksum, the buffer crosses an operator (or memory,
+// or transport) boundary, and the consumer verifies the stamp before
+// trusting the data. Unchecked pipelines never touch any of this.
+
+// WithIntegrity returns the checked view of the ring; all transforms
+// run detect → bounded-recompute → escalate under the given checker.
+// The view is as safe for concurrent use as the checker itself.
+func (r *Ring) WithIntegrity(c *integrity.Checker) *CheckedRing {
+	return &CheckedRing{Ring: r, Checker: c}
+}
+
+// CheckedRing is a Ring bound to an integrity checker.
+type CheckedRing struct {
+	Ring    *Ring
+	Checker *integrity.Checker
+}
+
+// Checksum is the per-limb residue stamp of a Poly: in coefficient form
+// the plain mod-q sum of each limb row, in NTT form the Jou-Abraham
+// weighted sum — the same quantity, since the forward transform maps
+// one to the other (see internal/ntt/integrity.go).
+type Checksum struct {
+	Sums  []uint64
+	IsNTT bool
+}
+
+// Checksum stamps p in its current representation.
+func (cr *CheckedRing) Checksum(p *Poly) *Checksum {
+	cs := &Checksum{Sums: make([]uint64, p.Limbs()), IsNTT: p.IsNTT}
+	for i := range cs.Sums {
+		t := cr.Ring.Tables[i]
+		if p.IsNTT {
+			cs.Sums[i] = t.NTTChecksum(p.Coeffs[i])
+		} else {
+			cs.Sums[i] = t.CoeffChecksum(p.Coeffs[i])
+		}
+	}
+	return cs
+}
+
+// Verify recomputes p's stamp and compares it to a carried one. A
+// mismatch means the buffer was corrupted after cs was produced; with
+// no producer to replay, verification escalates immediately (kernel
+// "poly.Verify") rather than recompute.
+func (cr *CheckedRing) Verify(p *Poly, cs *Checksum) error {
+	if cs.IsNTT != p.IsNTT {
+		return fmt.Errorf("poly: checksum stamped in IsNTT=%v, buffer is IsNTT=%v", cs.IsNTT, p.IsNTT)
+	}
+	if len(cs.Sums) != p.Limbs() {
+		return fmt.Errorf("poly: checksum covers %d limbs, buffer has %d", len(cs.Sums), p.Limbs())
+	}
+	got := cr.Checksum(p)
+	cr.Checker.Checked()
+	for i := range cs.Sums {
+		if got.Sums[i] != cs.Sums[i] {
+			cr.Checker.Detected()
+			return cr.Checker.Escalate("poly.Verify", 1)
+		}
+	}
+	return nil
+}
+
+// NTT converts p to NTT form through the checked batch kernel and
+// returns the NTT-domain stamp (no-op stamp if already converted).
+func (cr *CheckedRing) NTT(p *Poly) (*Checksum, error) {
+	if p.IsNTT {
+		return cr.Checksum(p), nil
+	}
+	sums, err := ntt.BatchForwardChecked(cr.Ring.Tables[:p.Limbs()], p.Coeffs, cr.Checker)
+	if err != nil {
+		return nil, err
+	}
+	p.IsNTT = true
+	return &Checksum{Sums: sums, IsNTT: true}, nil
+}
+
+// INTT converts p to coefficient form through the checked batch kernel
+// and returns the coefficient-domain stamp.
+func (cr *CheckedRing) INTT(p *Poly) (*Checksum, error) {
+	if !p.IsNTT {
+		return cr.Checksum(p), nil
+	}
+	sums, err := ntt.BatchInverseChecked(cr.Ring.Tables[:p.Limbs()], p.Coeffs, cr.Checker)
+	if err != nil {
+		return nil, err
+	}
+	p.IsNTT = false
+	return &Checksum{Sums: sums, IsNTT: false}, nil
+}

@@ -1,0 +1,137 @@
+package poly
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"crophe/internal/integrity"
+	"crophe/internal/modmath"
+)
+
+func checkedFixture(t *testing.T) (*Ring, *Poly) {
+	t.Helper()
+	n := 128
+	primes, err := modmath.GeneratePrimes(45, uint64(n), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRing(n, primes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, r.UniformPoly(3, rand.New(rand.NewSource(1)))
+}
+
+func TestCheckedRingMatchesPlain(t *testing.T) {
+	r, p := checkedFixture(t)
+	want := p.Copy()
+	r.NTT(want)
+
+	cr := r.WithIntegrity(integrity.NewChecker(1))
+	q := p.Copy()
+	cs, err := cr.NTT(q)
+	if err != nil {
+		t.Fatalf("checked NTT false positive: %v", err)
+	}
+	if !q.Equal(want) {
+		t.Fatal("checked NTT differs from plain")
+	}
+	if !cs.IsNTT || len(cs.Sums) != q.Limbs() {
+		t.Fatalf("NTT stamp shape: %+v", cs)
+	}
+	// The stamp is the one a fresh Checksum of the buffer reproduces.
+	if err := cr.Verify(q, cs); err != nil {
+		t.Fatalf("clean buffer failed its own stamp: %v", err)
+	}
+
+	r.INTT(want)
+	csInv, err := cr.INTT(q)
+	if err != nil {
+		t.Fatalf("checked INTT false positive: %v", err)
+	}
+	if !q.Equal(want) {
+		t.Fatal("checked INTT differs from plain")
+	}
+	if csInv.IsNTT {
+		t.Fatal("INTT stamp still marked NTT")
+	}
+	if err := cr.Verify(q, csInv); err != nil {
+		t.Fatalf("clean coefficient buffer failed its stamp: %v", err)
+	}
+	if s := cr.Checker.Stats(); s.Detected != 0 || s.Checks == 0 {
+		t.Fatalf("clean round-trip stats: %+v", s)
+	}
+
+	// No-op conversions still hand back a valid stamp.
+	again, err := cr.INTT(q)
+	if err != nil || again.IsNTT {
+		t.Fatalf("no-op INTT: %v %+v", err, again)
+	}
+}
+
+func TestCheckedRingVerifyCatchesCarriedCorruption(t *testing.T) {
+	// The carried-checksum scenario: producer stamps, the buffer is
+	// corrupted at rest, consumer verification escalates — no producer
+	// exists to replay.
+	r, p := checkedFixture(t)
+	cr := r.WithIntegrity(integrity.NewChecker(33))
+	cs := cr.Checksum(p)
+	p.Coeffs[1][17] ^= 1 << 40
+	err := cr.Verify(p, cs)
+	if err == nil {
+		t.Fatal("corrupted buffer verified clean")
+	}
+	var ie *integrity.Error
+	if !errors.As(err, &ie) {
+		t.Fatalf("not *integrity.Error: %v", err)
+	}
+	if ie.Kernel != "poly.Verify" || ie.Seed != 33 {
+		t.Fatalf("escalation payload: %+v", ie)
+	}
+	if s := cr.Checker.Stats(); s.Detected != 1 || s.Escalated != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+
+	// Shape mismatches are caller errors, not corruption.
+	p.Coeffs[1][17] ^= 1 << 40
+	p.IsNTT = true
+	if err := cr.Verify(p, cs); err == nil {
+		t.Fatal("representation mismatch verified")
+	}
+	p.IsNTT = false
+	p.DropLevel(2)
+	if err := cr.Verify(p, cs); err == nil {
+		t.Fatal("limb-count mismatch verified")
+	}
+}
+
+func TestCheckedRingRecoversAndEscalates(t *testing.T) {
+	r, p := checkedFixture(t)
+	want := p.Copy()
+	r.NTT(want)
+
+	inj := integrity.NewInjector(51, 1)
+	inj.Arm(1)
+	cr := r.WithIntegrity(integrity.NewChecker(51, integrity.WithInjector(inj)))
+	q := p.Copy()
+	if _, err := cr.NTT(q); err != nil {
+		t.Fatalf("transient flip escalated: %v", err)
+	}
+	if !q.Equal(want) {
+		t.Fatal("recovered poly differs from plain transform")
+	}
+	if s := cr.Checker.Stats(); s.Detected != 1 || s.Recomputed != 1 {
+		t.Fatalf("transient stats: %+v", s)
+	}
+
+	inj2 := integrity.NewInjector(53, 1)
+	inj2.Persist(true)
+	cr2 := r.WithIntegrity(integrity.NewChecker(53, integrity.WithInjector(inj2)))
+	q2 := p.Copy()
+	_, err := cr2.NTT(q2)
+	var ie *integrity.Error
+	if !errors.As(err, &ie) || ie.Seed != 53 {
+		t.Fatalf("persistent corruption error: %v", err)
+	}
+}

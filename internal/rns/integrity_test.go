@@ -1,0 +1,148 @@
+package rns
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"crophe/internal/integrity"
+	"crophe/internal/parallel"
+)
+
+func convFixture(t *testing.T, n int) (*Conv, [][]uint64, [][]uint64) {
+	t.Helper()
+	src := testBasis(t, 40, 1<<10, 3)
+	dst := testBasis(t, 41, 1<<10, 5)
+	conv := NewConv(src, dst)
+	rng := rand.New(rand.NewSource(int64(n)))
+	in := make([][]uint64, src.K())
+	for i := range in {
+		in[i] = make([]uint64, n)
+		for c := range in[i] {
+			in[i][c] = rng.Uint64() % src.Mods[i].Q
+		}
+	}
+	out := make([][]uint64, dst.K())
+	for j := range out {
+		out[j] = make([]uint64, n)
+	}
+	return conv, in, out
+}
+
+func TestConvertColumnsCheckedMatchesPlain(t *testing.T) {
+	// The checked conversion with no injector must never fire and must be
+	// bit-identical to the unchecked kernel, across worker-pool sizes and
+	// across block-boundary column counts.
+	prev := parallel.Workers()
+	defer parallel.SetWorkers(prev)
+	for _, workers := range []int{1, 4} {
+		parallel.SetWorkers(workers)
+		for _, n := range []int{64, convBlock, convBlock + 17} {
+			conv, in, out := convFixture(t, n)
+			want := make([][]uint64, len(out))
+			for j := range want {
+				want[j] = make([]uint64, n)
+			}
+			conv.ConvertColumns(want, in)
+
+			ck := integrity.NewChecker(1)
+			if err := conv.ConvertColumnsChecked(out, in, ck); err != nil {
+				t.Fatalf("workers=%d n=%d: false positive: %v", workers, n, err)
+			}
+			for j := range out {
+				for c := range out[j] {
+					if out[j][c] != want[j][c] {
+						t.Fatalf("workers=%d n=%d: limb %d col %d differs", workers, n, j, c)
+					}
+				}
+			}
+			s := ck.Stats()
+			if s.Detected != 0 || s.Checks != 1 {
+				t.Fatalf("workers=%d n=%d: clean stats %+v", workers, n, s)
+			}
+		}
+	}
+}
+
+func TestConvertColumnsCheckedDetectsBitFlips(t *testing.T) {
+	// Detection bound on the BConv check: every single-bit flip of every
+	// output word must break its limb's column-sum identity.
+	conv, in, out := convFixture(t, 64)
+	ck := integrity.NewChecker(1)
+	if err := conv.ConvertColumnsChecked(out, in, ck); err != nil {
+		t.Fatal(err)
+	}
+	k := conv.Src.K()
+	sHi := make([]uint64, k)
+	sLo := make([]uint64, k)
+	scratch := make([][]uint64, len(out))
+	for j := range scratch {
+		scratch[j] = make([]uint64, len(out[j]))
+	}
+	conv.convertColumnsSum(scratch, in, sHi, sLo)
+	for j, md := range conv.Dst.Mods {
+		var want uint64
+		for i := 0; i < k; i++ {
+			want = md.Add(want, md.Mul(md.Reduce128(sHi[i]%md.Q, sLo[i]), conv.cHatModD[j][i]))
+		}
+		if got := md.SumModVec(out[j]); got != want {
+			t.Fatalf("clean limb %d fails its own check: %d != %d", j, got, want)
+		}
+		for c := range out[j] {
+			for b := uint(0); b < 64; b++ {
+				out[j][c] ^= 1 << b
+				if md.SumModVec(out[j]) == want {
+					t.Fatalf("limb %d: flip of bit %d in col %d not detected", j, b, c)
+				}
+				out[j][c] ^= 1 << b
+			}
+		}
+	}
+}
+
+func TestConvertColumnsCheckedRecoversTransient(t *testing.T) {
+	conv, in, out := convFixture(t, 64)
+	want := make([][]uint64, len(out))
+	for j := range want {
+		want[j] = make([]uint64, len(out[j]))
+	}
+	conv.ConvertColumns(want, in)
+
+	inj := integrity.NewInjector(23, 1)
+	inj.Arm(1) // corrupt only the first attempt's first dst row pass
+	ck := integrity.NewChecker(23, integrity.WithInjector(inj))
+	if err := conv.ConvertColumnsChecked(out, in, ck); err != nil {
+		t.Fatalf("transient flip escalated: %v", err)
+	}
+	for j := range out {
+		for c := range out[j] {
+			if out[j][c] != want[j][c] {
+				t.Fatalf("recovered limb %d col %d differs", j, c)
+			}
+		}
+	}
+	if s := ck.Stats(); s.Detected != 1 || s.Recomputed != 1 || s.Escalated != 0 {
+		t.Fatalf("transient recovery stats: %+v", s)
+	}
+}
+
+func TestConvertColumnsCheckedEscalatesPersistent(t *testing.T) {
+	conv, in, out := convFixture(t, 64)
+	inj := integrity.NewInjector(29, 0.05)
+	inj.Persist(true)
+	ck := integrity.NewChecker(29, integrity.WithInjector(inj))
+	err := conv.ConvertColumnsChecked(out, in, ck)
+	if err == nil {
+		t.Fatal("persistent corruption did not escalate")
+	}
+	var ie *integrity.Error
+	if !errors.As(err, &ie) {
+		t.Fatalf("escalation is not *integrity.Error: %v", err)
+	}
+	if ie.Seed != 29 || ie.Kernel != "rns.ConvertColumns" {
+		t.Fatalf("escalation payload: %+v", ie)
+	}
+	if s := ck.Stats(); s.Escalated != 1 || s.Detected != uint64(integrity.DefaultMaxRecompute+1) {
+		t.Fatalf("persistent stats: %+v", s)
+	}
+}

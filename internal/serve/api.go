@@ -1,6 +1,10 @@
 package serve
 
 import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+
 	"crophe"
 )
 
@@ -45,15 +49,30 @@ type DegradedRequest struct {
 }
 
 // DegradedResponse reports a degraded run plus throughput retained.
+// Integrity is present only when the fault spec injected silent data
+// corruption (flip:R) — the priced detect → recompute → escalate
+// outcome, whose cycle penalty is already folded into Cycles.
 type DegradedResponse struct {
-	Workload   string  `json:"workload"`
-	HW         string  `json:"hw"`
-	Faults     string  `json:"faults"`
-	Seed       int64   `json:"seed"`
-	FaultCount int     `json:"fault_count"`
-	TimeMS     float64 `json:"time_ms"`
-	Cycles     float64 `json:"cycles"`
-	Partial    bool    `json:"partial"`
+	Workload   string          `json:"workload"`
+	HW         string          `json:"hw"`
+	Faults     string          `json:"faults"`
+	Seed       int64           `json:"seed"`
+	FaultCount int             `json:"fault_count"`
+	TimeMS     float64         `json:"time_ms"`
+	Cycles     float64         `json:"cycles"`
+	Partial    bool            `json:"partial"`
+	Integrity  *IntegrityStats `json:"integrity,omitempty"`
+}
+
+// IntegrityStats is the wire form of the data-plane integrity outcome:
+// checked units, detections, bounded recomputes, escalations to bank
+// quarantine, and the recovery's total cycle cost.
+type IntegrityStats struct {
+	Checks        float64 `json:"checks"`
+	Detected      float64 `json:"detected"`
+	Recomputed    float64 `json:"recomputed"`
+	Escalated     float64 `json:"escalated"`
+	PenaltyCycles float64 `json:"penalty_cycles"`
 }
 
 // SweepRequest is the body of POST /v1/sweeps. ShardIndex/ShardCount
@@ -105,6 +124,28 @@ type SweepStatus struct {
 	BaselineMS float64                  `json:"baseline_ms,omitempty"`
 	Points     []SweepPointSummary      `json:"points,omitempty"`
 	RawPoints  []crophe.ResiliencePoint `json:"raw_points,omitempty"`
+	RawSum     string                   `json:"raw_sum,omitempty"` // sumPoints(RawPoints), set whenever RawPoints are
+}
+
+// sumPoints is the end-to-end checksum a raw shard payload travels
+// under: FNV-1a over each point's exact JSON encoding. The worker
+// stamps it into SweepStatus.RawSum next to RawPoints; the coordinator
+// recomputes it from the points it actually received and refuses to
+// merge on mismatch — a one-bit corruption anywhere in the payload
+// (see the chaos transport's flip dimension) is caught here instead of
+// poisoning the merged sweep report.
+func sumPoints(pts []crophe.ResiliencePoint) string {
+	h := fnv.New64a()
+	for _, pt := range pts {
+		b, err := json.Marshal(pt)
+		if err != nil {
+			// ResiliencePoint is plain data; Marshal cannot fail on it.
+			panic(err)
+		}
+		h.Write(b)
+		h.Write([]byte{'\n'})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // MemoImportResponse is the body of a POST /v1/memo/snapshot reply.

@@ -21,10 +21,15 @@
 //     io.ErrUnexpectedEOF — the half-open connection.
 //   - A 500 is synthesized without forwarding, the gateway error a load
 //     balancer emits when the backend is unreachable.
+//   - A flip XORs one bit of an otherwise successful response body —
+//     silent data corruption on the wire, the fault the end-to-end
+//     payload checksums exist to catch. Unlike every other dimension it
+//     produces no transport error at all.
 //   - Latency sleeps before forwarding, honouring the request context.
 package chaos
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math/rand"
@@ -45,6 +50,7 @@ type Spec struct {
 	Reset   float64 // reset:F — connection dies after the peer did the work
 	Trunc   float64 // trunc:F — response body cut mid-stream
 	Err500  float64 // err500:F — synthesized gateway 500, request not forwarded
+	Flip    float64 // flip:F — one bit of the response body silently XORed
 	LatProb float64 // lat:F@D — probability of added latency ...
 	LatMS   float64 // ... of ~D milliseconds (uniform in [D/2, 3D/2))
 }
@@ -66,6 +72,7 @@ func (s Spec) String() string {
 	add("reset", s.Reset)
 	add("trunc", s.Trunc)
 	add("err500", s.Err500)
+	add("flip", s.Flip)
 	if s.LatProb > 0 {
 		terms = append(terms, fmt.Sprintf("lat:%g@%g", s.LatProb, s.LatMS))
 	}
@@ -110,6 +117,8 @@ func ParseSpec(text string) (Spec, error) {
 			s.Trunc, err = prob(val)
 		case "err500":
 			s.Err500, err = prob(val)
+		case "flip":
+			s.Flip, err = prob(val)
 		case "lat":
 			p, ms, ok := strings.Cut(val, "@")
 			if !ok {
@@ -139,6 +148,7 @@ const (
 	saltReset = 0x72657374 // "rest"
 	saltTrunc = 0x74727563 // "truc"
 	saltErr   = 0x65353030 // "e500"
+	saltFlip  = 0x666c6970 // "flip"
 	saltLat   = 0x6c617463 // "latc"
 )
 
@@ -154,13 +164,14 @@ type Counts struct {
 	Resets      uint64
 	Truncations uint64
 	Err500s     uint64
+	Flips       uint64
 	Latencies   uint64
 }
 
 // Total returns the number of injected faults across all dimensions
 // (latency included — a slow request is a fault too).
 func (c Counts) Total() uint64 {
-	return c.Drops + c.Resets + c.Truncations + c.Err500s + c.Latencies
+	return c.Drops + c.Resets + c.Truncations + c.Err500s + c.Flips + c.Latencies
 }
 
 // Error is an injected transport fault, distinguishable from genuine
@@ -187,6 +198,7 @@ type Transport struct {
 	reset  *rand.Rand
 	trunc  *rand.Rand
 	err500 *rand.Rand
+	flip   *rand.Rand
 	lat    *rand.Rand
 	seq    uint64
 	counts Counts
@@ -205,6 +217,7 @@ func New(spec Spec, seed int64, base http.RoundTripper) *Transport {
 		reset:  dimRand(seed, saltReset),
 		trunc:  dimRand(seed, saltTrunc),
 		err500: dimRand(seed, saltErr),
+		flip:   dimRand(seed, saltFlip),
 		lat:    dimRand(seed, saltLat),
 	}
 }
@@ -218,12 +231,14 @@ func (t *Transport) Counts() Counts {
 
 // decision is one request's fate, fully determined at arrival.
 type decision struct {
-	seq    uint64
-	drop   bool
-	reset  bool
-	trunc  bool
-	err500 bool
-	delay  time.Duration
+	seq      uint64
+	drop     bool
+	reset    bool
+	trunc    bool
+	err500   bool
+	flip     bool
+	flipPick uint64 // which body bit to XOR, drawn only when flip fires
+	delay    time.Duration
 }
 
 // decide draws one value from every dimension's stream, in fixed order,
@@ -239,6 +254,10 @@ func (t *Transport) decide() decision {
 	d.reset = t.reset.Float64() < t.spec.Reset
 	d.trunc = t.trunc.Float64() < t.spec.Trunc
 	d.err500 = t.err500.Float64() < t.spec.Err500
+	if t.flip.Float64() < t.spec.Flip {
+		d.flip = true
+		d.flipPick = t.flip.Uint64()
+	}
 	if t.lat.Float64() < t.spec.LatProb {
 		d.delay = time.Duration((0.5 + t.lat.Float64()) * t.spec.LatMS * float64(time.Millisecond))
 		t.counts.Latencies++
@@ -253,13 +272,16 @@ func (t *Transport) decide() decision {
 		t.counts.Resets++
 	case d.trunc:
 		t.counts.Truncations++
+	case d.flip:
+		t.counts.Flips++
 	}
 	return d
 }
 
 // RoundTrip applies the request's decided fate. Fault precedence when
-// several dimensions fire at once: drop > err500 > reset > trunc (a
-// request that never left cannot also be reset).
+// several dimensions fire at once: drop > err500 > reset > trunc > flip
+// (a request that never left cannot also be reset, and a truncated body
+// is already corrupt).
 func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	d := t.decide()
 	if d.delay > 0 {
@@ -306,6 +328,18 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 			return nil, rerr
 		}
 		resp.Body = io.NopCloser(&truncReader{data: raw[:len(raw)/2]})
+	} else if d.flip {
+		raw, rerr := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		if len(raw) > 0 {
+			bit := d.flipPick % uint64(len(raw)*8)
+			raw[bit/8] ^= 1 << (bit % 8)
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(raw))
+		resp.ContentLength = int64(len(raw))
 	}
 	return resp, nil
 }

@@ -17,6 +17,8 @@ func TestParseSpecRoundTrip(t *testing.T) {
 		"none",
 		"drop:0.1",
 		"drop:0.1,reset:0.05,trunc:0.05,err500:0.1,lat:0.3@5",
+		"drop:0.1,reset:0.05,trunc:0.05,err500:0.1,flip:0.02,lat:0.3@5",
+		"flip:0.25",
 		"lat:1@25",
 	}
 	for _, text := range cases {
@@ -44,6 +46,8 @@ func TestParseSpecRejectsGarbage(t *testing.T) {
 		"drop:zero",      // unparsable float
 		"drop:0.1,,",     // empty term
 		"reset:0.1;lat:", // wrong separator
+		"flip:1.01",      // probability out of range
+		"flip:bit",       // unparsable float
 	} {
 		if _, err := ParseSpec(text); err == nil {
 			t.Errorf("ParseSpec(%q) accepted garbage", text)
@@ -215,5 +219,98 @@ func TestTruncationEndsInUnexpectedEOF(t *testing.T) {
 	}
 	if len(body) == 0 {
 		t.Fatal("truncation returned no prefix at all")
+	}
+}
+
+func TestFlipCorruptsExactlyOneBit(t *testing.T) {
+	leakcheck.Check(t)
+	srv := httptest.NewServer(countingHandler(new(int)))
+	defer srv.Close()
+
+	clean, err := (&http.Client{}).Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := io.ReadAll(clean.Body)
+	clean.Body.Close()
+
+	tr := New(Spec{Flip: 1}, 11, nil)
+	hc := &http.Client{Transport: tr}
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("a flip must not surface as a transport error: %v", err)
+	}
+	got, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		t.Fatalf("flipped body read: %v", rerr)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("flip changed body length: %d != %d", len(got), len(want))
+	}
+	diffBits := 0
+	for i := range got {
+		for b := got[i] ^ want[i]; b != 0; b &= b - 1 {
+			diffBits++
+		}
+	}
+	if diffBits != 1 {
+		t.Fatalf("flip changed %d bits; want exactly 1\nclean:   %q\nflipped: %q", diffBits, want, got)
+	}
+	if c := tr.Counts(); c.Flips != 1 || c.Total() != 1 {
+		t.Fatalf("counts after one flipped request: %+v", c)
+	}
+
+	// Same (spec, seed) flips the same bit of the same request.
+	resp2, err := (&http.Client{Transport: New(Spec{Flip: 1}, 11, nil)}).Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if string(got2) != string(got) {
+		t.Fatal("same (spec, seed) flipped a different bit")
+	}
+}
+
+func TestFlipYieldsToTruncation(t *testing.T) {
+	// Precedence: a truncated body is already corrupt, so flip does not
+	// additionally fire — the fate reads as a clean truncation.
+	leakcheck.Check(t)
+	srv := httptest.NewServer(countingHandler(new(int)))
+	defer srv.Close()
+
+	tr := New(Spec{Trunc: 1, Flip: 1}, 3, nil)
+	hc := &http.Client{Transport: tr}
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !errors.Is(rerr, io.ErrUnexpectedEOF) {
+		t.Fatalf("trunc+flip read error = %v; want truncation", rerr)
+	}
+	if c := tr.Counts(); c.Truncations != 1 || c.Flips != 0 {
+		t.Fatalf("trunc must win over flip in the tally: %+v", c)
+	}
+}
+
+func TestFlipStreamDoesNotPerturbOtherDimensions(t *testing.T) {
+	// The per-dimension salted streams mean adding flip to a spec leaves
+	// every other dimension's decision sequence bit-identical.
+	leakcheck.Check(t)
+	srv := httptest.NewServer(countingHandler(new(int)))
+	defer srv.Close()
+
+	base := Spec{Drop: 0.2, Reset: 0.15, Trunc: 0.15, Err500: 0.15}
+	withFlip := base
+	withFlip.Flip = 0.5
+	const n = 150
+	seqBase := drive(t, New(base, 19, nil), srv.URL, n)
+	seqFlip := drive(t, New(withFlip, 19, nil), srv.URL, n)
+	// drive records flips as '.', so the fate strings must be identical.
+	if seqBase != seqFlip {
+		t.Fatalf("adding flip perturbed other dimensions:\n%s\n%s", seqBase, seqFlip)
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"os"
 	"testing"
 	"time"
+
+	"crophe/internal/leakcheck"
 )
 
 // sweepTestParams is the shared job identity the checkpoint tests run:
@@ -41,6 +43,7 @@ func waitJob(t *testing.T, j *job, what string, pred func(state string, complete
 // over the same checkpoint directory must finish with a journal
 // byte-identical to an uninterrupted run's.
 func TestSweepCheckpointKillResumeByteIdentical(t *testing.T) {
+	leakcheck.Check(t)
 	params := sweepTestParams()
 	interruptedDir, cleanDir := t.TempDir(), t.TempDir()
 
@@ -125,6 +128,7 @@ func TestSweepCheckpointKillResumeByteIdentical(t *testing.T) {
 // TestDoneJobSurvivesRestart: a finished journal recovers as a done job
 // with its result reassembled from the journaled rungs.
 func TestDoneJobSurvivesRestart(t *testing.T) {
+	leakcheck.Check(t)
 	dir := t.TempDir()
 	params := sweepTestParams()
 
@@ -239,6 +243,7 @@ func TestTornJournalTailRecovery(t *testing.T) {
 // TestSweepJobAPI drives the HTTP surface: idempotent POST, polling, and
 // the finished retained-throughput curve.
 func TestSweepJobAPI(t *testing.T) {
+	leakcheck.Check(t)
 	s := startServer(t, Config{CheckpointDir: t.TempDir()})
 	client := &http.Client{}
 	defer client.CloseIdleConnections()

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"crophe"
+
+	"crophe/internal/leakcheck"
 )
 
 // startCluster boots n single-role workers plus a coordinator wired to
@@ -119,6 +121,7 @@ func coordResult(t *testing.T, s *Server, id string) *crophe.ResilienceSweep {
 }
 
 func TestShardedSweepByteIdenticalToSingleProcess(t *testing.T) {
+	leakcheck.Check(t)
 	coordSrv, _ := startCluster(t, 2, nil)
 	c := NewClient(coordSrv.Addr())
 
@@ -156,6 +159,7 @@ func TestShardedSweepByteIdenticalToSingleProcess(t *testing.T) {
 }
 
 func TestWorkerCrashReassignsShardByteIdentical(t *testing.T) {
+	leakcheck.Check(t)
 	coordSrv, workers := startCluster(t, 2, nil)
 	c := NewClient(coordSrv.Addr())
 

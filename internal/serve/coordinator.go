@@ -135,6 +135,7 @@ func (j *coordJob) status(raw bool) SweepStatus {
 		for _, s := range steps {
 			st.RawPoints = append(st.RawPoints, j.points[s])
 		}
+		st.RawSum = sumPoints(st.RawPoints)
 	}
 	return st
 }
@@ -159,6 +160,11 @@ type coordinator struct {
 	active       atomic.Bool  // activated (or promoted) and leasing
 	fenced       atomic.Bool  // a higher epoch claimed the directory
 	fencedWrites atomic.Int64 // journal writes refused post-fence
+
+	// checksumRejects counts shard payloads refused because the raw-point
+	// checksum the worker stamped did not match what arrived — silent
+	// corruption on the wire, caught before it could poison the merge.
+	checksumRejects atomic.Int64
 
 	// saltLink mixes the worker index into the per-link chaos seed, the
 	// same ASCII-tag idiom as the chaos package's dimension salts.
@@ -483,6 +489,22 @@ func (c *coordinator) lease(j *coordJob, f *os.File, sh *shardState) {
 	}
 	pick.markOK()
 
+	// The shard job ID is a deterministic hash of the parameters, so the
+	// coordinator knows what the worker must have answered. A mismatch
+	// means the response was corrupted in flight (the chaos transport's
+	// flip dimension exercises exactly this); trusting it would leave the
+	// poll loop addressing a job that does not exist. The lease is
+	// idempotent — refuse and retry next tick.
+	wantID := sweepID(sweepParams{
+		V: 1, HW: j.params.HW, Workload: j.params.Workload,
+		Seed: j.params.Seed, Steps: j.params.Steps, DeadlineMS: j.params.DeadlineMS,
+		ShardIndex: sh.index, ShardCount: len(c.workers),
+	})
+	if st.ID != wantID {
+		c.checksumRejects.Add(1)
+		return
+	}
+
 	j.mu.Lock()
 	sh.worker = pick
 	sh.jobID = st.ID
@@ -515,6 +537,19 @@ func (c *coordinator) pollShard(j *coordJob, f *os.File, sh *shardState) bool {
 		return false
 	}
 	sh.worker.markOK()
+
+	// End-to-end payload integrity: the worker stamped RawSum over the
+	// points it sent; a mismatch against the points that arrived means the
+	// payload was corrupted in flight (one flipped bit is enough — see the
+	// chaos transport's flip dimension). Refuse the merge and retry next
+	// tick rather than poison the journal: transport corruption is
+	// transient, and merging a corrupted rung would either trip the
+	// bit-exact disagreement check (failing the whole job) or silently
+	// alter the final report.
+	if got := sumPoints(st.RawPoints); got != st.RawSum {
+		c.checksumRejects.Add(1)
+		return false
+	}
 
 	if err := c.mergePoints(j, f, st.RawPoints); err != nil {
 		j.fail(err.Error())
@@ -657,6 +692,7 @@ func (c *coordinator) chaosCounts() *chaos.Counts {
 		sum.Resets += ct.Resets
 		sum.Truncations += ct.Truncations
 		sum.Err500s += ct.Err500s
+		sum.Flips += ct.Flips
 		sum.Latencies += ct.Latencies
 	}
 	return &sum

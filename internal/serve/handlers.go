@@ -197,9 +197,19 @@ func (s *Server) handleSimulateDegraded(w http.ResponseWriter, r *http.Request) 
 	if sched.Partial {
 		s.metrics.partials.Add(1)
 	}
-	writeJSON(w, http.StatusOK, DegradedResponse{
+	resp := DegradedResponse{
 		Workload: wl.Name, HW: hw.Name,
 		Faults: spec.String(), Seed: req.Seed, FaultCount: m.Plan.FaultCount(),
 		TimeMS: res.TimeSec * 1e3, Cycles: res.Cycles, Partial: sched.Partial,
-	})
+	}
+	if res.Integrity != nil {
+		resp.Integrity = &IntegrityStats{
+			Checks:        res.Integrity.Checks,
+			Detected:      res.Integrity.Detected,
+			Recomputed:    res.Integrity.Recomputed,
+			Escalated:     res.Integrity.Escalated,
+			PenaltyCycles: res.Integrity.PenaltyCycles(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

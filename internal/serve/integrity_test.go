@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"crophe"
+	"crophe/internal/leakcheck"
+	"crophe/internal/serve/chaos"
+)
+
+// fakeWorker speaks just enough of the worker protocol to lease one
+// shard and answer polls — with the first raw poll's payload tampered
+// after the checksum was stamped, the wire-corruption scenario the
+// coordinator's RawSum verification exists to catch.
+type fakeWorker struct {
+	mu     sync.Mutex
+	polls  int
+	status SweepStatus // correct terminal status, RawSum already stamped
+}
+
+func (fw *fakeWorker) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		var req SweepRequest
+		if err := decodeJSON(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		params := sweepParams{
+			V: 1, HW: req.HW, Workload: req.Workload,
+			Seed: req.Seed, Steps: req.Steps, DeadlineMS: req.DeadlineMS,
+			ShardIndex: req.ShardIndex, ShardCount: req.ShardCount,
+		}
+		created := true
+		writeJSON(w, http.StatusAccepted, SweepStatus{ID: sweepID(params), State: jobRunning, Created: &created})
+	})
+	mux.HandleFunc("GET /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		fw.mu.Lock()
+		fw.polls++
+		first := fw.polls == 1
+		st := fw.status
+		fw.mu.Unlock()
+		if first {
+			// Corrupt one merged value after the checksum was computed —
+			// exactly what a bit flip on the wire does. The stale RawSum
+			// travels with it.
+			pts := make([]crophe.ResiliencePoint, len(st.RawPoints))
+			copy(pts, st.RawPoints)
+			pts[0].Outcome.TimeSec *= 2
+			st.RawPoints = pts
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	return mux
+}
+
+// TestCoordinatorRejectsCorruptedShardPayload: a shard payload whose
+// raw points no longer match the worker's stamped checksum must be
+// refused — not merged — and the next (clean) poll must complete the
+// job with a result byte-identical to the single-process run. Without
+// the rejection, the corrupted rung would be journaled first and the
+// clean rerun would trip the bit-exact disagreement check, failing the
+// whole sweep.
+func TestCoordinatorRejectsCorruptedShardPayload(t *testing.T) {
+	leakcheck.Check(t)
+	ref := referenceSweep(t, "crophe64", "helr", 11, 4, 3)
+
+	fw := &fakeWorker{}
+	fw.status = SweepStatus{
+		ID: "ignored", State: jobDone,
+		HW: "crophe64", Workload: "helr", Seed: 11, Steps: 4,
+		Completed: len(ref.Points),
+		RawPoints: ref.Points,
+		RawSum:    sumPoints(ref.Points),
+	}
+	srv := httptest.NewServer(fw.handler())
+	defer srv.Close()
+
+	coordSrv := startServer(t, Config{
+		Role:              RoleCoordinator,
+		WorkerURLs:        []string{srv.Listener.Addr().String()},
+		CheckpointDir:     t.TempDir(),
+		HeartbeatInterval: 25 * time.Millisecond,
+		WorkerTimeout:     500 * time.Millisecond,
+		PollInterval:      10 * time.Millisecond,
+	})
+	c := NewClient(coordSrv.Addr())
+
+	st, err := c.StartSweep(context.Background(),
+		SweepRequest{HW: "crophe64", Workload: "helr", Seed: 11, Steps: 4, DeadlineMS: 3})
+	if err != nil {
+		t.Fatalf("StartSweep: %v", err)
+	}
+	waitSweepDone(t, c, st.ID, 30*time.Second)
+
+	if got := coordSrv.coord.checksumRejects.Load(); got != 1 {
+		t.Fatalf("shard_checksum_rejects = %d; want exactly 1 (the tampered first poll)", got)
+	}
+	// The corrupted value never reached the merge; the result is the
+	// single-process one.
+	assertByteIdentical(t, coordResult(t, coordSrv, st.ID), ref)
+
+	// The coordinator's own raw status carries a verifiable stamp.
+	raw, err := c.SweepStatus(context.Background(), st.ID, true)
+	if err != nil {
+		t.Fatalf("raw SweepStatus: %v", err)
+	}
+	if raw.RawSum == "" || raw.RawSum != sumPoints(raw.RawPoints) {
+		t.Fatalf("coordinator raw_sum %q does not cover its own payload", raw.RawSum)
+	}
+}
+
+// TestCoordinatorRejectsCorruptedLeaseResponse: the shard job ID is a
+// deterministic parameter hash, so a corrupted StartSweep reply is
+// detectable before the coordinator starts polling a job that does not
+// exist.
+func TestCoordinatorRejectsCorruptedLeaseResponse(t *testing.T) {
+	leakcheck.Check(t)
+	ref := referenceSweep(t, "crophe64", "helr", 13, 4, 3)
+
+	fw := &fakeWorker{}
+	fw.status = SweepStatus{
+		ID: "ignored", State: jobDone,
+		HW: "crophe64", Workload: "helr", Seed: 13, Steps: 4,
+		Completed: len(ref.Points),
+		RawPoints: ref.Points,
+		RawSum:    sumPoints(ref.Points),
+	}
+	mux := fw.handler().(*http.ServeMux)
+	var leases int
+	var mu sync.Mutex
+	tampering := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/sweeps" {
+			mu.Lock()
+			leases++
+			first := leases == 1
+			mu.Unlock()
+			if first {
+				var req SweepRequest
+				if err := decodeJSON(r, &req); err != nil {
+					writeError(w, http.StatusBadRequest, "%v", err)
+					return
+				}
+				created := true
+				// A flipped bit in the ID field of the 202 body.
+				writeJSON(w, http.StatusAccepted, SweepStatus{ID: "0000corrupted000", State: jobRunning, Created: &created})
+				return
+			}
+		}
+		mux.ServeHTTP(w, r)
+	})
+	srv := httptest.NewServer(tampering)
+	defer srv.Close()
+
+	coordSrv := startServer(t, Config{
+		Role:              RoleCoordinator,
+		WorkerURLs:        []string{srv.Listener.Addr().String()},
+		CheckpointDir:     t.TempDir(),
+		HeartbeatInterval: 25 * time.Millisecond,
+		WorkerTimeout:     500 * time.Millisecond,
+		PollInterval:      10 * time.Millisecond,
+	})
+	c := NewClient(coordSrv.Addr())
+
+	st, err := c.StartSweep(context.Background(),
+		SweepRequest{HW: "crophe64", Workload: "helr", Seed: 13, Steps: 4, DeadlineMS: 3})
+	if err != nil {
+		t.Fatalf("StartSweep: %v", err)
+	}
+	waitSweepDone(t, c, st.ID, 30*time.Second)
+
+	if got := coordSrv.coord.checksumRejects.Load(); got < 1 {
+		t.Fatalf("shard_checksum_rejects = %d; want the corrupted lease counted", got)
+	}
+	mu.Lock()
+	retried := leases >= 2
+	mu.Unlock()
+	if !retried {
+		t.Fatal("coordinator never retried the refused lease")
+	}
+	assertByteIdentical(t, coordResult(t, coordSrv, st.ID), ref)
+}
+
+// TestClusterSweepByteIdenticalUnderFlipChaos: with every
+// coordinator→worker link silently flipping one bit of most response
+// bodies, the end-to-end payload checksums must keep the merged sweep
+// byte-identical to a clean single-process run — silent corruption may
+// slow the sweep, never skew it.
+func TestClusterSweepByteIdenticalUnderFlipChaos(t *testing.T) {
+	leakcheck.Check(t)
+	spec, err := chaos.ParseSpec("flip:0.6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordSrv, _ := startCluster(t, 2, func(cfg *Config) {
+		cfg.NetChaos = spec
+		cfg.NetChaosSeed = 17
+	})
+	c := NewClient(coordSrv.Addr())
+
+	req := SweepRequest{HW: "crophe64", Workload: "helr", Seed: 5, Steps: 6, DeadlineMS: 3}
+	st, err := c.StartSweep(context.Background(), req)
+	if err != nil {
+		t.Fatalf("StartSweep: %v", err)
+	}
+	final := waitSweepDone(t, c, st.ID, 120*time.Second)
+	if len(final.Points) != 6 {
+		t.Fatalf("done sweep has %d points; want 6", len(final.Points))
+	}
+
+	ref := referenceSweep(t, "crophe64", "helr", 5, 6, 3)
+	assertByteIdentical(t, coordResult(t, coordSrv, st.ID), ref)
+
+	// The injector really flipped bits on the links, and the
+	// observability window reports both the flips and the reject counter.
+	ct := coordSrv.coord.chaosCounts()
+	if ct == nil || ct.Flips == 0 {
+		t.Fatalf("chaos counts %+v; want injected flips on the worker links", ct)
+	}
+	cv := coordSrv.coordVars()
+	nc, ok := cv["net_chaos"].(map[string]any)
+	if !ok {
+		t.Fatalf("coordinator vars missing net_chaos: %v", cv)
+	}
+	// Heartbeats keep flowing, so compare against a floor, not equality.
+	if got := nc["flips"].(uint64); got < 1 {
+		t.Fatalf("net_chaos.flips = %v; want >= 1", got)
+	}
+	if _, ok := cv["shard_checksum_rejects"]; !ok {
+		t.Fatalf("coordinator vars missing shard_checksum_rejects: %v", cv)
+	}
+}

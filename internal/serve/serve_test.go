@@ -217,6 +217,51 @@ func TestSimulateDegradedEndpoint(t *testing.T) {
 	if code != 400 {
 		t.Fatalf("bad fault spec = %d %v; want 400", code, body)
 	}
+
+	// A malformed SDC term is rejected the same way.
+	code, body, _ = doJSON(t, client, "POST", url,
+		map[string]any{"hw": "crophe64", "workload": "helr", "faults": "flip:2", "seed": 1}, nil)
+	if code != 400 {
+		t.Fatalf("bad flip rate = %d %v; want 400", code, body)
+	}
+}
+
+func TestSimulateDegradedReportsIntegrity(t *testing.T) {
+	// A fault spec with silent data corruption surfaces the priced
+	// detect → recompute → escalate outcome on the wire; one without
+	// omits the section entirely.
+	s := startServer(t, Config{})
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+	url := "http://" + s.Addr() + "/v1/simulate-degraded"
+
+	code, body, _ := doJSON(t, client, "POST", url,
+		map[string]any{"hw": "crophe64", "workload": "helr", "faults": "flip:0.0001,scrub:100000", "seed": 42}, nil)
+	if code != 200 {
+		t.Fatalf("simulate-degraded with flips = %d %v", code, body)
+	}
+	integ, ok := body["integrity"].(map[string]any)
+	if !ok {
+		t.Fatalf("flip run carries no integrity section: %v", body)
+	}
+	if n, _ := integ["checks"].(float64); n <= 0 {
+		t.Fatalf("integrity.checks = %v; want > 0", integ["checks"])
+	}
+	if det, _ := integ["detected"].(float64); det != integ["recomputed"].(float64) {
+		t.Fatalf("every detection must be recomputed: %v", integ)
+	}
+	if p, _ := integ["penalty_cycles"].(float64); p <= 0 {
+		t.Fatalf("scrubbing run priced no penalty cycles: %v", integ)
+	}
+
+	code, body, _ = doJSON(t, client, "POST", url,
+		map[string]any{"hw": "crophe64", "workload": "helr", "faults": "rows:1", "seed": 42}, nil)
+	if code != 200 {
+		t.Fatalf("simulate-degraded without flips = %d %v", code, body)
+	}
+	if _, ok := body["integrity"]; ok {
+		t.Fatalf("flip-free run leaked an integrity section: %v", body)
+	}
 }
 
 func TestVarsEndpoint(t *testing.T) {

@@ -40,6 +40,7 @@ func statusOf(j *job, raw bool) SweepStatus {
 	}
 	if raw {
 		st.RawPoints = j.rawPoints()
+		st.RawSum = sumPoints(st.RawPoints)
 	}
 	return st
 }

@@ -87,6 +87,8 @@ func (s *Server) coordVars() map[string]any {
 		"fenced_writes":   s.coord.fencedWrites.Load(),
 		"workers_healthy": healthy,
 		"workers_total":   total,
+
+		"shard_checksum_rejects": s.coord.checksumRejects.Load(),
 	}
 	if cc := s.coord.chaosCounts(); cc != nil {
 		cv["net_chaos"] = map[string]any{
@@ -96,6 +98,7 @@ func (s *Server) coordVars() map[string]any {
 			"resets":      cc.Resets,
 			"truncations": cc.Truncations,
 			"err500s":     cc.Err500s,
+			"flips":       cc.Flips,
 			"latencies":   cc.Latencies,
 		}
 	}

@@ -315,3 +315,87 @@ func TestFaultTelemetryTrackAndCounters(t *testing.T) {
 		}
 	}
 }
+
+func TestDegradedRunPricesSDCRecovery(t *testing.T) {
+	// A flip-injecting plan must price the integrity protocol: the run
+	// carries an Integrity outcome whose penalty is folded into Cycles,
+	// the integrity/* counters land in telemetry, and the whole thing is
+	// deterministic per seed and monotone in the flip rate.
+	clean, _ := degradedTime(t, "healthy", 42)
+	lo, _ := degradedTime(t, "flip:0.0001,scrub:100000", 42)
+	lo2, _ := degradedTime(t, "flip:0.0001,scrub:100000", 42)
+	hi, _ := degradedTime(t, "flip:0.001,scrub:100000", 42)
+
+	if clean.Integrity != nil {
+		t.Fatal("clean run priced SDC recovery")
+	}
+	if lo.Integrity == nil || hi.Integrity == nil {
+		t.Fatal("flip-injecting run carries no Integrity outcome")
+	}
+	if lo.Cycles != lo2.Cycles || *lo.Integrity != *lo2.Integrity {
+		t.Fatal("SDC pricing not deterministic per seed")
+	}
+	if lo.Integrity.Checks <= 0 || lo.Integrity.Detected <= 0 {
+		t.Fatalf("flip run detected nothing: %+v", *lo.Integrity)
+	}
+	if hi.Integrity.Detected <= lo.Integrity.Detected {
+		t.Fatalf("detections not monotone in flip rate: %g then %g",
+			lo.Integrity.Detected, hi.Integrity.Detected)
+	}
+	if lo.Cycles <= clean.Cycles {
+		t.Fatalf("recovery penalty did not extend the run: %g vs clean %g", lo.Cycles, clean.Cycles)
+	}
+	if hi.Cycles <= lo.Cycles {
+		t.Fatalf("cycles not monotone in flip rate: %g then %g", lo.Cycles, hi.Cycles)
+	}
+	if lo.Integrity.ScrubCycles <= 0 {
+		t.Fatalf("scrub period priced no scrub passes: %+v", *lo.Integrity)
+	}
+
+	// Counters and the recovery span land in telemetry.
+	s, err := fault.ParseSpec("flip:0.001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fault.Generate(arch.CROPHE64, s, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := fault.NewMachine(arch.CROPHE64, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.New()
+	res, _, err := SimulateDegraded(context.Background(),
+		m, sched.DefaultOptions(sched.DataflowCROPHE), resilienceWorkload(),
+		WithTelemetry(tel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters := map[string]float64{}
+	for _, c := range res.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["integrity/checks"] != res.Integrity.Checks ||
+		counters["integrity/detected"] != res.Integrity.Detected ||
+		counters["integrity/recomputed"] != res.Integrity.Recomputed ||
+		counters["integrity/escalated"] != res.Integrity.Escalated {
+		t.Fatalf("integrity counters disagree with the outcome: %+v vs %+v", counters, *res.Integrity)
+	}
+	if counters["fault/flip_rate"] != 0.001 {
+		t.Fatalf("fault/flip_rate = %g", counters["fault/flip_rate"])
+	}
+	if counters["integrity/escalated"] != float64(len(plan.QuarantinedBanks)) {
+		t.Fatalf("escalations %g != quarantined banks %d",
+			counters["integrity/escalated"], len(plan.QuarantinedBanks))
+	}
+	found := false
+	for _, sp := range tel.Spans() {
+		if sp.Track == "Fault" && sp.Lane == "sdc" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no sdc recovery span on the Fault track")
+	}
+}

@@ -60,6 +60,10 @@ type Result struct {
 	// Counters is the snapshot of telemetry counters accumulated during
 	// the run (nil when the engine has no collector attached).
 	Counters []telemetry.Counter
+	// Integrity is the priced silent-data-corruption recovery outcome
+	// (nil unless the fault plan injects bit-flips); its cycle penalty is
+	// already folded into Cycles.
+	Integrity *fault.SDCStats
 }
 
 // SegmentCycles returns the per-execution cycles of the named segment and
@@ -388,6 +392,16 @@ func (e *Engine) simulate(ctx context.Context, w *workload.Workload, s *sched.Sc
 		endRegion()
 	}
 
+	// Silent-data-corruption recovery: with flip:R injected, every HBM
+	// burst and buffer access is a checked unit, and the detect →
+	// recompute → escalate protocol's deterministic cycle cost extends
+	// the run (see fault.ModelSDC).
+	if e.faults != nil && e.faults.Plan.FlipRate > 0 {
+		sdc := e.faults.ModelSDC(hbm.Stats().Bursts, float64(sram.Stats().Accesses), res.Cycles)
+		res.Cycles += sdc.PenaltyCycles()
+		res.Integrity = &sdc
+	}
+
 	clusters := s.Opt.Clusters
 	if clusters < 1 {
 		clusters = 1
@@ -422,6 +436,12 @@ func (e *Engine) simulate(ctx context.Context, w *workload.Workload, s *sched.Sc
 				n, cycles := stalls.Injected()
 				tel.EmitCounter("fault/stalls_injected", float64(n))
 				tel.EmitCounter("fault/stall_cycles", cycles)
+			}
+			if res.Integrity != nil {
+				res.Integrity.EmitCounters(tel)
+				tel.EmitSpan("Fault", "sdc", "recovery", 0, res.Integrity.PenaltyCycles(),
+					telemetry.Arg{Key: "detected", Value: res.Integrity.Detected},
+					telemetry.Arg{Key: "recomputed", Value: res.Integrity.Recomputed})
 			}
 		}
 		tel.EmitCounter("sim/segments", float64(len(res.PerSegment)))
